@@ -1,0 +1,62 @@
+// Ablation: loop coalescing (§3.2.1 / §4.3 "work unbalance").
+//
+// The coarse-grain transformation coalesces the batch loop with inner loops
+// so the minimal static-scheduling work unit shrinks. Without coalescing,
+// one loop iteration = one full sample, and thread counts that do not
+// divide the batch leave whole-sample bubbles. This bench quantifies the
+// effect two ways:
+//  1. analytically — exact static-chunk makespans of the pool1 layer's
+//     iteration space with and without coalescing;
+//  2. via the multicore model — simulated pool1 forward time both ways.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cgdnn/parallel/coalesce.hpp"
+
+int main() {
+  using namespace cgdnn;
+  std::cout << "=== Ablation: loop coalescing vs bare batch loop ===\n"
+            << "LeNet pool1: batch 64, 20 channels -> coalesced space 1280 "
+               "planes; bare space 64 samples.\n\n";
+
+  printf("%8s %22s %22s %12s\n", "threads", "coalesced_makespan",
+         "batch_only_makespan", "advantage");
+  for (const int t : bench::kThreadSweep) {
+    // Slowest-thread share of the iteration space (1.0 = serial).
+    const auto makespan = [&](index_t total) {
+      index_t max_chunk = 0;
+      for (int tid = 0; tid < t; ++tid) {
+        max_chunk =
+            std::max(max_chunk, parallel::StaticChunk(total, t, tid).size());
+      }
+      return static_cast<double>(max_chunk) / static_cast<double>(total);
+    };
+    const double coalesced = makespan(64 * 20);
+    const double batch_only = makespan(64);
+    printf("%8d %22.4f %22.4f %11.1f%%\n", t, coalesced, batch_only,
+           100.0 * (batch_only - coalesced) / batch_only);
+  }
+
+  std::cout << "\nSimulated pool1 forward time (us), 16-core Xeon model, via "
+               "iteration-space choice:\n";
+  auto ctx = bench::PrepareMnist(/*batch=*/64, /*measure_iters=*/2);
+  for (std::size_t li = 0; li < ctx.work.size(); ++li) {
+    if (ctx.work[li].name != "pool1") continue;
+    const sim::LayerWork* prev = li > 0 ? &ctx.work[li - 1] : nullptr;
+    sim::LayerWork coalesced = ctx.work[li];
+    sim::LayerWork batch_only = ctx.work[li];
+    batch_only.forward.par_iters = 64;  // bare batch loop
+    printf("%8s %14s %14s\n", "threads", "coalesced", "batch-only");
+    for (const int t : bench::kThreadSweep) {
+      printf("%8d %14.0f %14.0f\n", t,
+             ctx.cpu.SimulatePass(coalesced, coalesced.forward, prev, t,
+                                  false),
+             ctx.cpu.SimulatePass(batch_only, batch_only.forward, prev, t,
+                                  false));
+    }
+  }
+  std::cout << "\n(the 12-thread row shows the paper's point: 64 samples "
+               "over 12 threads quantize to 6-sample chunks, an 11% bubble, "
+               "while 1280 coalesced planes split almost evenly)\n";
+  return 0;
+}

@@ -1,0 +1,219 @@
+#include "bench_common.hpp"
+
+#include <omp.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/data/dataset.hpp"
+#include "cgdnn/parallel/context.hpp"
+#include "cgdnn/profile/timer.hpp"
+
+namespace cgdnn::bench {
+
+double FigureContext::SerialTotalUs() const {
+  double total = 0;
+  for (const auto& w : work) {
+    total += w.forward.serial_us + w.backward.serial_us;
+  }
+  return total;
+}
+
+namespace {
+
+FigureContext Prepare(const proto::NetParameter& param,
+                      const std::string& dataset, index_t batch,
+                      int measure_iters) {
+  FigureContext ctx;
+  ctx.dataset = dataset;
+  ctx.batch = batch;
+  SeedGlobalRng(1);
+  data::ClearDatasetCache();
+  Net<float> net(param, Phase::kTrain);
+  ctx.work = sim::ExtractWorkload(net, measure_iters, /*warmup=*/1);
+  return ctx;
+}
+
+}  // namespace
+
+FigureContext PrepareMnist(index_t batch, int measure_iters) {
+  models::ModelOptions opts;
+  opts.batch_size = batch;
+  opts.num_samples = std::max<index_t>(batch, 128);
+  opts.with_accuracy = false;
+  return Prepare(models::LeNet(opts), "MNIST (LeNet)", batch, measure_iters);
+}
+
+FigureContext PrepareCifar(index_t batch, int measure_iters) {
+  models::ModelOptions opts;
+  opts.batch_size = batch;
+  opts.num_samples = std::max<index_t>(batch, 128);
+  opts.with_accuracy = false;
+  return Prepare(models::Cifar10Quick(opts), "CIFAR-10 (quick)", batch,
+                 measure_iters);
+}
+
+void PrintLayerTimeFigure(const FigureContext& ctx, const std::string& title) {
+  std::cout << "=== " << title << " ===\n"
+            << ctx.dataset << ", batch " << ctx.batch
+            << ". Absolute per-layer execution time (microseconds) and share "
+               "of one training iteration.\n"
+            << "1-thread column: measured serial time on this host; other "
+               "columns: calibrated 16-core Xeon E5-2667v2 model.\n\n";
+  for (const auto phase : {false, true}) {  // forward, backward
+    std::cout << (phase ? "backward pass:\n" : "forward pass:\n");
+    std::cout << std::left << std::setw(10) << "layer";
+    for (const int t : kThreadSweep) {
+      std::cout << std::right << std::setw(11) << (std::to_string(t) + "T");
+    }
+    std::cout << std::setw(9) << "share1T" << "\n";
+    const double serial_total = ctx.SerialTotalUs();
+    for (std::size_t li = 0; li < ctx.work.size(); ++li) {
+      const auto& lw = ctx.work[li];
+      const auto& pass = phase ? lw.backward : lw.forward;
+      if (pass.serial_us <= 0) continue;
+      std::cout << std::left << std::setw(10) << lw.name << std::right
+                << std::fixed << std::setprecision(0);
+      const sim::LayerWork* prev = li > 0 ? &ctx.work[li - 1] : nullptr;
+      for (const int t : kThreadSweep) {
+        std::cout << std::setw(11)
+                  << ctx.cpu.SimulatePass(lw, pass, prev, t, phase);
+      }
+      std::cout << std::setprecision(1) << std::setw(8)
+                << 100.0 * pass.serial_us / serial_total << "%\n";
+    }
+  }
+  std::cout << "\n";
+}
+
+void PrintScalabilityFigure(const FigureContext& ctx,
+                            const std::string& title) {
+  std::cout << "=== " << title << " ===\n"
+            << ctx.dataset << ", batch " << ctx.batch
+            << ". Per-layer speedup over the serial execution "
+               "(model: 16-core dual-NUMA Xeon E5-2667v2).\n\n";
+  for (const auto phase : {false, true}) {
+    std::cout << (phase ? "backward pass:\n" : "forward pass:\n");
+    std::cout << std::left << std::setw(10) << "layer";
+    for (const int t : kThreadSweep) {
+      if (t == 1) continue;
+      std::cout << std::right << std::setw(9) << (std::to_string(t) + "T");
+    }
+    std::cout << "\n";
+    for (std::size_t li = 0; li < ctx.work.size(); ++li) {
+      const auto& lw = ctx.work[li];
+      const auto& pass = phase ? lw.backward : lw.forward;
+      if (pass.serial_us <= 0 || lw.sequential) continue;
+      const sim::LayerWork* prev = li > 0 ? &ctx.work[li - 1] : nullptr;
+      std::cout << std::left << std::setw(10) << lw.name << std::right
+                << std::fixed << std::setprecision(2);
+      for (const int t : kThreadSweep) {
+        if (t == 1) continue;
+        const double st = ctx.cpu.SimulatePass(lw, pass, prev, t, phase);
+        std::cout << std::setw(9) << pass.serial_us / st;
+      }
+      std::cout << "\n";
+    }
+  }
+  std::cout << "\n";
+}
+
+void PrintOverallFigure(const FigureContext& ctx, const std::string& title,
+                        const PaperOverall& paper) {
+  std::cout << "=== " << title << " ===\n"
+            << ctx.dataset << ", batch " << ctx.batch
+            << ". Overall training-iteration speedup over serial CPU.\n\n";
+  const double serial = ctx.SerialTotalUs();
+
+  std::cout << std::left << std::setw(14) << "version" << std::right
+            << std::setw(12) << "time_us" << std::setw(10) << "speedup"
+            << std::setw(10) << "paper" << "\n";
+  std::cout << std::left << std::setw(14) << "serial" << std::right
+            << std::fixed << std::setprecision(0) << std::setw(12) << serial
+            << std::setprecision(2) << std::setw(10) << 1.0 << std::setw(10)
+            << 1.0 << "\n";
+  for (const int t : kThreadSweep) {
+    if (t == 1) continue;
+    const auto simres = ctx.cpu.SimulateNet(ctx.work, t);
+    double paper_val = 0;
+    if (t == 8) paper_val = paper.omp8;
+    if (t == 16) paper_val = paper.omp16;
+    std::cout << std::left << std::setw(14)
+              << ("OpenMP-" + std::to_string(t)) << std::right
+              << std::setprecision(0) << std::setw(12) << simres.total_us
+              << std::setprecision(2) << std::setw(10)
+              << serial / simres.total_us;
+    if (paper_val > 0) {
+      std::cout << std::setw(10) << paper_val;
+    } else {
+      std::cout << std::setw(10) << "-";
+    }
+    std::cout << "\n";
+  }
+  for (const auto variant : {sim::GpuVariant::kPlain, sim::GpuVariant::kCudnn}) {
+    const auto simres = ctx.gpu.SimulateNet(ctx.work, variant);
+    const double paper_val = variant == sim::GpuVariant::kPlain
+                                 ? paper.plain_gpu
+                                 : paper.cudnn_gpu;
+    std::cout << std::left << std::setw(14) << sim::GpuVariantName(variant)
+              << std::right << std::setprecision(0) << std::setw(12)
+              << simres.total_us << std::setprecision(2) << std::setw(10)
+              << serial / simres.total_us << std::setw(10) << paper_val
+              << "\n";
+  }
+
+  // Right side of the paper's figure: per-layer GPU speedups.
+  std::cout << "\nper-layer GPU speedup over serial CPU:\n"
+            << std::left << std::setw(10) << "layer" << std::right
+            << std::setw(12) << "plain-fwd" << std::setw(12) << "plain-bwd"
+            << std::setw(12) << "cudnn-fwd" << std::setw(12) << "cudnn-bwd"
+            << "\n";
+  for (const auto& lw : ctx.work) {
+    if (lw.sequential || lw.forward.serial_us <= 0) continue;
+    std::cout << std::left << std::setw(10) << lw.name << std::right
+              << std::fixed << std::setprecision(2);
+    for (const auto variant :
+         {sim::GpuVariant::kPlain, sim::GpuVariant::kCudnn}) {
+      const double fwd = ctx.gpu.SimulatePass(lw, lw.forward, variant, false);
+      const double bwd = ctx.gpu.SimulatePass(lw, lw.backward, variant, true);
+      std::cout << std::setw(12) << lw.forward.serial_us / fwd;
+      std::cout << std::setw(12)
+                << (bwd > 0 ? lw.backward.serial_us / bwd : 0.0);
+    }
+    std::cout << "\n";
+  }
+
+  if (HostHasMultipleCores()) {
+    std::cout << "\n(host has " << omp_get_num_procs()
+              << " cores: run examples/mnist_lenet with varying thread "
+                 "counts for real wall-clock speedups)\n";
+  } else {
+    std::cout << "\n(host has 1 core: OpenMP timings are model-based; "
+                 "correctness of the parallel code is covered by the test "
+                 "suite on oversubscribed threads)\n";
+  }
+  std::cout << "\n";
+}
+
+bool HostHasMultipleCores() { return omp_get_num_procs() > 1; }
+
+double MeasureRealIterationUs(const proto::NetParameter& param, int threads,
+                              int iters) {
+  parallel::ParallelConfig cfg;
+  cfg.mode = threads > 1 ? parallel::ExecutionMode::kCoarseGrain
+                         : parallel::ExecutionMode::kSerial;
+  cfg.num_threads = threads;
+  parallel::Parallel::Scope scope(cfg);
+  SeedGlobalRng(1);
+  Net<float> net(param, Phase::kTrain);
+  net.ForwardBackward();  // warmup
+  profile::Timer timer;
+  for (int i = 0; i < iters; ++i) {
+    net.ClearParamDiffs();
+    net.ForwardBackward();
+  }
+  return timer.MicroSeconds() / iters;
+}
+
+}  // namespace cgdnn::bench

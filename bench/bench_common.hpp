@@ -1,0 +1,68 @@
+// Shared harness for the figure-reproduction benches (DESIGN.md §3).
+//
+// Every figure binary follows the same recipe:
+//  1. build the real network and MEASURE per-layer serial forward/backward
+//     times on this host (plus analytic FLOP/byte counts from real shapes);
+//  2. feed that workload into the calibrated machine models (16-core
+//     dual-NUMA Xeon E5-2667v2 CPU; Tesla K40 plain/cuDNN GPU) to obtain
+//     the multi-thread and GPU series of the paper's figures;
+//  3. print the series next to the paper's reported values so the shape
+//     comparison (who wins, by what factor, where it saturates) is direct.
+// When the host itself has multiple cores, real OpenMP timings are also
+// measured and printed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cgdnn/net/models.hpp"
+#include "cgdnn/net/net.hpp"
+#include "cgdnn/sim/gpu_sim.hpp"
+#include "cgdnn/sim/multicore_sim.hpp"
+#include "cgdnn/sim/workload.hpp"
+
+namespace cgdnn::bench {
+
+inline const std::vector<int> kThreadSweep = {1, 2, 4, 8, 12, 16};
+
+struct FigureContext {
+  std::string dataset;
+  index_t batch = 0;
+  std::vector<sim::LayerWork> work;
+  sim::MulticoreSim cpu{sim::CpuMachine::XeonE5_2667v2()};
+  sim::GpuSim gpu{sim::GpuMachine::TeslaK40()};
+
+  double SerialTotalUs() const;
+};
+
+/// Builds LeNet / CIFAR-quick on synthetic data and measures the workload.
+FigureContext PrepareMnist(index_t batch = 64, int measure_iters = 3);
+FigureContext PrepareCifar(index_t batch = 100, int measure_iters = 2);
+
+/// Figure 4/7: per-layer absolute µs and share of the iteration, one block
+/// per thread count (horizontal bars of the paper).
+void PrintLayerTimeFigure(const FigureContext& ctx, const std::string& title);
+
+/// Figure 5/8: per-layer speedup vs serial for each thread count.
+void PrintScalabilityFigure(const FigureContext& ctx, const std::string& title);
+
+struct PaperOverall {
+  // Paper-reported overall speedups for the shape comparison.
+  double omp8 = 0, omp16 = 0, plain_gpu = 0, cudnn_gpu = 0;
+};
+
+/// Figure 6/9: overall OpenMP/GPU speedups plus per-layer GPU speedups.
+void PrintOverallFigure(const FigureContext& ctx, const std::string& title,
+                        const PaperOverall& paper);
+
+/// True when this host can actually run a multi-core sweep (its value on
+/// the 1-core reference container is false; the harness then reports only
+/// model-based series, as documented in DESIGN.md §4).
+bool HostHasMultipleCores();
+
+/// Measures REAL wall-clock per-iteration time of one training iteration at
+/// the given thread count (only meaningful on multi-core hosts).
+double MeasureRealIterationUs(const proto::NetParameter& param, int threads,
+                              int iters);
+
+}  // namespace cgdnn::bench

@@ -1,0 +1,26 @@
+// Figure 4 reproduction: MNIST per-layer absolute execution time and share
+// of one training iteration for 1/2/4/8/12/16 threads.
+//
+// Paper shape targets: convolution + pooling layers account for ~80% of the
+// iteration; conv2 dominates; the "center" layers (pool2, ip1 tail, relu,
+// ip2, loss) shrink with network depth (dimensionality reduction).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cgdnn;
+  auto ctx = bench::PrepareMnist();
+  bench::PrintLayerTimeFigure(ctx, "Figure 4: MNIST per-layer time");
+
+  // Headline check printed for EXPERIMENTS.md: conv+pool share.
+  double conv_pool = 0, total = 0;
+  for (const auto& w : ctx.work) {
+    const double us = w.forward.serial_us + w.backward.serial_us;
+    total += us;
+    if (w.type == "Convolution" || w.type == "Pooling") conv_pool += us;
+  }
+  std::cout << "conv+pool share of iteration: " << 100.0 * conv_pool / total
+            << "% (paper: ~80%)\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 7 reproduction: CIFAR-10 per-layer absolute execution time and
+// relative weight per thread count.
+//
+// Paper shape targets: conv + pool + LRN layers account for ~85% of the
+// iteration in all thread configurations; the deep tail (pool3, ip1, loss)
+// is negligible.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cgdnn;
+  auto ctx = bench::PrepareCifar();
+  bench::PrintLayerTimeFigure(ctx, "Figure 7: CIFAR-10 per-layer time");
+
+  double dominant = 0, total = 0;
+  for (const auto& w : ctx.work) {
+    const double us = w.forward.serial_us + w.backward.serial_us;
+    total += us;
+    if (w.type == "Convolution" || w.type == "Pooling" || w.type == "LRN") {
+      dominant += us;
+    }
+  }
+  std::cout << "conv+pool+norm share of iteration: "
+            << 100.0 * dominant / total << "% (paper: ~85%)\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 8 reproduction: CIFAR-10 per-layer scalability.
+//
+// Paper shape targets: conv1 ~5.87x at 8 threads / ~9x at 16 (sequential
+// data layer + NUMA); pool1/relu1 scale to ~11x/13x; norm1 changes the
+// data-thread distribution and reaches ~4.6x/10.8x; conv2 is dragged by
+// norm1's different distribution; reductions in the backward pass are
+// negligible.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cgdnn;
+  auto ctx = bench::PrepareCifar();
+  bench::PrintScalabilityFigure(ctx,
+                                "Figure 8: CIFAR-10 per-layer scalability");
+
+  const auto speedup = [&](const std::string& name, int threads) {
+    for (std::size_t li = 0; li < ctx.work.size(); ++li) {
+      if (ctx.work[li].name != name) continue;
+      const sim::LayerWork* prev = li > 0 ? &ctx.work[li - 1] : nullptr;
+      const double t = ctx.cpu.SimulatePass(ctx.work[li],
+                                            ctx.work[li].forward, prev,
+                                            threads, false);
+      return ctx.work[li].forward.serial_us / t;
+    }
+    return 0.0;
+  };
+  std::cout << "conv1 fwd speedup @8T: " << speedup("conv1", 8)
+            << " @16T: " << speedup("conv1", 16)
+            << "  (paper: 5.87 / 9)\n";
+  std::cout << "pool1 fwd speedup @8T: " << speedup("pool1", 8)
+            << " @16T: " << speedup("pool1", 16) << "  (paper: 6.5 / 11)\n";
+  std::cout << "conv2 fwd speedup @16T: " << speedup("conv2", 16)
+            << "  (paper: ~8.25, limited by norm1's distribution)\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// google-benchmark micro-kernels for the primitives every layer is built
+// from. These are host measurements (no simulation): useful for regression
+// tracking of the native BLAS and im2col implementations.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cgdnn/blas/blas.hpp"
+#include "cgdnn/blas/im2col.hpp"
+#include "cgdnn/core/rng.hpp"
+
+namespace {
+
+using namespace cgdnn;
+
+std::vector<float> RandomVec(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.Uniform(-1, 1));
+  return v;
+}
+
+// LeNet conv2 forward GEMM: 50 x (20*5*5=500) x (8*8=64).
+void BM_GemmConv2Shape(benchmark::State& state) {
+  const auto a = RandomVec(50 * 500, 1);
+  const auto b = RandomVec(500 * 64, 2);
+  std::vector<float> c(50 * 64);
+  for (auto _ : state) {
+    blas::gemm(blas::Transpose::kNo, blas::Transpose::kNo, 50, 64, 500, 1.0f,
+               a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 50 * 64 * 500);
+}
+BENCHMARK(BM_GemmConv2Shape);
+
+// LeNet ip1 forward GEMM: 64 x 800 -> 500.
+void BM_GemmIp1Shape(benchmark::State& state) {
+  const auto a = RandomVec(64 * 800, 3);
+  const auto b = RandomVec(500 * 800, 4);
+  std::vector<float> c(64 * 500);
+  for (auto _ : state) {
+    blas::gemm(blas::Transpose::kNo, blas::Transpose::kTrans, 64, 500, 800,
+               1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 64 * 500 * 800);
+}
+BENCHMARK(BM_GemmIp1Shape);
+
+// Transposed-A GEMM (the weight-gradient shape).
+void BM_GemmWeightGradShape(benchmark::State& state) {
+  const auto a = RandomVec(64 * 500, 5);  // top_diff
+  const auto b = RandomVec(64 * 800, 6);  // bottom
+  std::vector<float> c(500 * 800);
+  for (auto _ : state) {
+    blas::gemm(blas::Transpose::kTrans, blas::Transpose::kNo, 500, 800, 64,
+               1.0f, a.data(), b.data(), 1.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 500 * 800 * 64);
+}
+BENCHMARK(BM_GemmWeightGradShape);
+
+// MNIST conv1 im2col: 1x28x28, 5x5 kernel.
+void BM_Im2ColMnist(benchmark::State& state) {
+  const auto img = RandomVec(28 * 28, 7);
+  std::vector<float> col(25 * 24 * 24);
+  for (auto _ : state) {
+    blas::im2col(img.data(), 1, 28, 28, 5, 5, 0, 0, 1, 1, 1, 1, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(col.size() * sizeof(float)));
+}
+BENCHMARK(BM_Im2ColMnist);
+
+// CIFAR conv2 col2im (backward data path): 32 ch, 16x16, 5x5 pad 2.
+void BM_Col2ImCifar(benchmark::State& state) {
+  const auto col = RandomVec(32 * 25 * 16 * 16, 8);
+  std::vector<float> img(32 * 16 * 16);
+  for (auto _ : state) {
+    blas::col2im(col.data(), 32, 16, 16, 5, 5, 2, 2, 1, 1, 1, 1, img.data());
+    benchmark::DoNotOptimize(img.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(col.size() * sizeof(float)));
+}
+BENCHMARK(BM_Col2ImCifar);
+
+void BM_Axpy(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto x = RandomVec(n, 9);
+  std::vector<float> y(static_cast<std::size_t>(n), 1.0f);
+  for (auto _ : state) {
+    blas::axpy(n, 0.5f, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n *
+                          static_cast<int64_t>(3 * sizeof(float)));
+}
+BENCHMARK(BM_Axpy)->Arg(1024)->Arg(25050)->Arg(400000);
+
+}  // namespace

@@ -1,0 +1,89 @@
+// §3.2.1 memory-overhead table: extra memory from per-thread privatization
+// at 16 threads vs the network's total allocation.
+//
+// Paper numbers: MNIST ≤640KB extra vs 8MB total; CIFAR-10 ≤1250KB extra vs
+// 36MB total (~5%). The privatized storage is reused across layers, so the
+// total is bounded by the most demanding layer, not the sum over layers.
+// Our arena also privatizes the im2col column buffers (one per thread),
+// which the paper accounts under the layer's own working memory — both
+// components are reported separately below.
+#include <iostream>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/data/dataset.hpp"
+#include "cgdnn/net/models.hpp"
+#include "cgdnn/net/net.hpp"
+#include "cgdnn/parallel/context.hpp"
+#include "cgdnn/parallel/privatizer.hpp"
+
+namespace {
+
+void Report(const char* name, const cgdnn::proto::NetParameter& param,
+            double paper_extra_kb, double paper_total_mb) {
+  using namespace cgdnn;
+  constexpr int kThreads = 16;
+
+  parallel::ParallelConfig cfg;
+  cfg.mode = parallel::ExecutionMode::kCoarseGrain;
+  cfg.num_threads = kThreads;
+  cfg.merge = parallel::GradientMerge::kOrdered;
+  parallel::Parallel::Scope scope(cfg);
+
+  SeedGlobalRng(1);
+  data::ClearDatasetCache();
+  auto& pool = parallel::PrivatizationPool::Get();
+  pool.Release();
+
+  Net<float> net(param, Phase::kTrain);
+  net.ClearParamDiffs();
+  net.ForwardBackward();
+
+  // Gradient-privatization share: the largest privatizing layer's
+  // (weight+bias) gradient x threads. Only convolutions privatize
+  // (InnerProduct partitions gradient rows across threads instead), which
+  // is also the layer type the paper attributes its numbers to.
+  std::size_t max_param_bytes = 0;
+  for (const auto& layer : net.layers()) {
+    if (std::string(layer->type()) != "Convolution") continue;
+    std::size_t bytes = 0;
+    for (const auto& blob : layer->blobs()) bytes += blob->data_bytes();
+    max_param_bytes = std::max(max_param_bytes, bytes);
+  }
+  const double grad_extra_kb =
+      static_cast<double>(max_param_bytes) * kThreads / 1024.0;
+  const double arena_kb = static_cast<double>(pool.total_bytes()) / 1024.0;
+  const double total_mb =
+      static_cast<double>(net.MemoryUsedBytes()) / (1024.0 * 1024.0);
+
+  std::cout << name << " (16 threads):\n"
+            << "  gradient privatization (largest layer x threads): "
+            << grad_extra_kb << " KB   [paper: <=" << paper_extra_kb
+            << " KB]\n"
+            << "  full per-thread arena (incl. im2col buffers):      "
+            << arena_kb << " KB\n"
+            << "  network total allocation:                          "
+            << total_mb << " MB   [paper: " << paper_total_mb << " MB]\n"
+            << "  gradient overhead / total: "
+            << 100.0 * grad_extra_kb / 1024.0 / total_mb
+            << "%   [paper: ~5% including working buffers]\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace cgdnn;
+  std::cout << "=== Memory overhead of batch-level privatization "
+               "(paper 3.2.1) ===\n\n";
+  models::ModelOptions mnist_opts;
+  mnist_opts.batch_size = 64;
+  mnist_opts.num_samples = 128;
+  mnist_opts.with_accuracy = false;
+  Report("MNIST / LeNet", models::LeNet(mnist_opts), 640, 8);
+
+  models::ModelOptions cifar_opts;
+  cifar_opts.batch_size = 100;
+  cifar_opts.num_samples = 128;
+  cifar_opts.with_accuracy = false;
+  Report("CIFAR-10 / quick", models::Cifar10Quick(cifar_opts), 1250, 36);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// CIFAR-10 "quick" CNN on synthetic CIFAR — the paper's second workload,
+// exercising convolution, MAX/AVE pooling, ReLU and LRN layers.
+//
+//   ./cifar10_quick [threads] [iters] [batch]
+#include <cstdlib>
+#include <iostream>
+
+#include "cgdnn/net/models.hpp"
+#include "cgdnn/parallel/context.hpp"
+#include "cgdnn/profile/profiler.hpp"
+#include "cgdnn/solvers/solver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cgdnn;
+
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const index_t iters = argc > 2 ? std::atoll(argv[2]) : 60;
+  const index_t batch = argc > 3 ? std::atoll(argv[3]) : 100;
+
+  auto& cfg = parallel::Parallel::Config();
+  cfg.mode = threads > 1 ? parallel::ExecutionMode::kCoarseGrain
+                         : parallel::ExecutionMode::kSerial;
+  cfg.num_threads = threads;
+  cfg.merge = parallel::GradientMerge::kOrdered;
+
+  models::ModelOptions opts;
+  opts.batch_size = batch;
+  opts.num_samples = 400;
+  auto solver_param = models::Cifar10QuickSolver(opts);
+  solver_param.max_iter = iters;
+  solver_param.display = iters / 4;
+
+  const auto solver = CreateSolver<float>(solver_param);
+  std::cout << "CIFAR-10 quick / synthetic CIFAR, batch " << batch << ", "
+            << threads << " thread(s)\n";
+  solver->Solve();
+
+  for (const auto& [name, value] : solver->TestAll()) {
+    std::cout << "test " << name << ": " << value << "\n";
+  }
+
+  profile::Profiler profiler;
+  solver->net().set_profiler(&profiler);
+  for (int i = 0; i < 3; ++i) {
+    solver->net().ClearParamDiffs();
+    solver->net().ForwardBackward();
+  }
+  solver->net().set_profiler(nullptr);
+  std::cout << "\nPer-layer execution time (" << threads << " threads):\n"
+            << profiler.Table();
+  return 0;
+}

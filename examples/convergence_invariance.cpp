@@ -1,0 +1,82 @@
+// Convergence invariance (paper §3.2.1): the coarse-grain parallelization
+// changes no training hyper-parameter, and with the ORDERED gradient merge
+// the loss trajectory is reproducible — run-to-run identical for a fixed
+// thread count, and equal to the serial trajectory up to floating-point
+// re-association of the privatized weight-gradient partial sums.
+//
+//   ./convergence_invariance [iters]
+//
+// Trains the same LeNet four times (serial, 2, 4, 8 threads; same seed) and
+// prints the loss traces side by side with the maximum relative divergence.
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "cgdnn/net/models.hpp"
+#include "cgdnn/parallel/context.hpp"
+#include "cgdnn/solvers/solver.hpp"
+
+namespace {
+
+std::vector<float> TrainOnce(int threads, cgdnn::index_t iters) {
+  using namespace cgdnn;
+  parallel::ParallelConfig cfg;
+  cfg.mode = threads > 1 ? parallel::ExecutionMode::kCoarseGrain
+                         : parallel::ExecutionMode::kSerial;
+  cfg.num_threads = threads;
+  cfg.merge = parallel::GradientMerge::kOrdered;
+  parallel::Parallel::Scope scope(cfg);
+
+  models::ModelOptions opts;
+  opts.batch_size = 16;
+  opts.num_samples = 64;
+  opts.with_accuracy = false;
+  auto solver_param = models::LeNetSolver(opts);
+  solver_param.max_iter = iters;
+  solver_param.test_iter = 0;  // no test net needed
+  const auto solver = CreateSolver<float>(solver_param);
+  solver->Step(iters);
+  return solver->loss_history();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cgdnn::index_t iters = argc > 1 ? std::atoll(argv[1]) : 12;
+  const int thread_counts[] = {1, 2, 4, 8};
+
+  std::vector<std::vector<float>> traces;
+  for (const int t : thread_counts) traces.push_back(TrainOnce(t, iters));
+
+  std::cout << "iter";
+  for (const int t : thread_counts) {
+    std::cout << std::setw(16) << (std::to_string(t) + " thread(s)");
+  }
+  std::cout << "\n" << std::scientific << std::setprecision(8);
+  double max_rel = 0;
+  for (cgdnn::index_t i = 0; i < iters; ++i) {
+    std::cout << std::setw(4) << i;
+    for (const auto& trace : traces) {
+      std::cout << std::setw(16) << trace[static_cast<std::size_t>(i)];
+      const double rel =
+          std::abs(trace[static_cast<std::size_t>(i)] -
+                   traces[0][static_cast<std::size_t>(i)]) /
+          std::max(1e-12, std::abs(static_cast<double>(
+                              traces[0][static_cast<std::size_t>(i)])));
+      max_rel = std::max(max_rel, rel);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nmax relative divergence vs serial: " << max_rel << "\n"
+            << "(zero-or-rounding-level divergence demonstrates the "
+               "convergence-invariance property)\n";
+
+  // Reproducibility: the same thread count twice must match bit-for-bit.
+  const auto again = TrainOnce(4, iters);
+  const bool identical = again == traces[2];
+  std::cout << "4-thread run repeated: "
+            << (identical ? "bit-identical" : "MISMATCH") << "\n";
+  return identical ? 0 : 1;
+}

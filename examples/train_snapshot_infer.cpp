@@ -1,0 +1,88 @@
+// Train → snapshot → restore → classify: the full lifecycle a downstream
+// user runs (the file format is the role of Caffe's .caffemodel).
+//
+//   ./train_snapshot_infer [threads] [iters]
+//
+// 1. trains LeNet on synthetic MNIST with coarse-grain parallelism,
+// 2. saves the weights to a temporary .cgdnn file,
+// 3. builds a FRESH TEST-phase net, restores the weights,
+// 4. classifies a batch and prints predicted vs true labels.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "cgdnn/net/models.hpp"
+#include "cgdnn/net/serialization.hpp"
+#include "cgdnn/parallel/context.hpp"
+#include "cgdnn/solvers/solver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cgdnn;
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const index_t iters = argc > 2 ? std::atoll(argv[2]) : 120;
+
+  auto& cfg = parallel::Parallel::Config();
+  cfg.mode = threads > 1 ? parallel::ExecutionMode::kCoarseGrain
+                         : parallel::ExecutionMode::kSerial;
+  cfg.num_threads = threads;
+
+  models::ModelOptions opts;
+  opts.batch_size = 32;
+  opts.num_samples = 256;
+  auto solver_param = models::LeNetSolver(opts);
+  solver_param.max_iter = iters;
+  solver_param.test_iter = 0;
+
+  // 1. train
+  const auto solver = CreateSolver<float>(solver_param);
+  std::cout << "training LeNet for " << iters << " iterations on " << threads
+            << " thread(s)...\n";
+  solver->Solve();
+  std::cout << "final training loss: " << solver->loss_history().back()
+            << "\n";
+
+  // 2. snapshot
+  const auto path =
+      (std::filesystem::temp_directory_path() / "lenet_example.cgdnn")
+          .string();
+  SaveWeights(solver->net(), path);
+  std::cout << "weights saved to " << path << "\n";
+
+  // 3. fresh inference net (TEST phase: no loss needed for classification —
+  //    we read the ip2 scores directly), weights restored from disk.
+  opts.with_accuracy = true;
+  Net<float> infer_net(models::LeNet(opts), Phase::kTest);
+  const std::size_t restored = LoadWeights(infer_net, path);
+  std::cout << "restored " << restored << " layers into a fresh net\n";
+
+  // 4. classify one batch
+  infer_net.Forward();
+  const auto& scores = infer_net.blob_by_name("ip2");
+  const auto& labels = infer_net.blob_by_name("label");
+  const index_t classes = scores->count() / scores->num();
+  index_t correct = 0;
+  std::cout << "\nsample predictions (first 10 of the batch):\n";
+  for (index_t n = 0; n < scores->num(); ++n) {
+    index_t best = 0;
+    for (index_t c = 1; c < classes; ++c) {
+      if (scores->cpu_data()[n * classes + c] >
+          scores->cpu_data()[n * classes + best]) {
+        best = c;
+      }
+    }
+    const auto truth = static_cast<index_t>(labels->cpu_data()[n]);
+    if (best == truth) ++correct;
+    if (n < 10) {
+      std::printf("  sample %2lld: predicted %lld, true %lld %s\n",
+                  static_cast<long long>(n), static_cast<long long>(best),
+                  static_cast<long long>(truth), best == truth ? "" : "  <-- miss");
+    }
+  }
+  std::cout << "batch accuracy: "
+            << 100.0 * static_cast<double>(correct) /
+                   static_cast<double>(scores->num())
+            << "%\n";
+  std::filesystem::remove(path);
+  return 0;
+}

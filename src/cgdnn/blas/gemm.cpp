@@ -1,0 +1,163 @@
+#include <algorithm>
+
+#include "cgdnn/blas/blas.hpp"
+
+namespace cgdnn::blas {
+
+namespace {
+
+// Loop orders are chosen so the innermost loop runs over contiguous C and,
+// when possible, contiguous A/B — the compiler vectorizes these with -O2.
+// K-blocking keeps the working set of the NN kernel inside L1/L2 for the
+// matrix shapes produced by im2col-based convolutions.
+constexpr index_t kBlockK = 256;
+
+template <typename Dtype>
+void ScaleC(index_t m, index_t n, Dtype beta, Dtype* c) {
+  const index_t total = m * n;
+  if (beta == Dtype(0)) {
+    std::fill(c, c + total, Dtype(0));
+  } else if (beta != Dtype(1)) {
+    for (index_t i = 0; i < total; ++i) c[i] *= beta;
+  }
+}
+
+template <typename Dtype>
+void GemmNN(index_t m, index_t n, index_t k, Dtype alpha, const Dtype* a,
+            const Dtype* b, Dtype* c) {
+  for (index_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const index_t k1 = std::min(k0 + kBlockK, k);
+    for (index_t i = 0; i < m; ++i) {
+      Dtype* ci = c + i * n;
+      for (index_t kk = k0; kk < k1; ++kk) {
+        const Dtype aik = alpha * a[i * k + kk];
+        if (aik == Dtype(0)) continue;
+        const Dtype* bk = b + kk * n;
+        for (index_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+      }
+    }
+  }
+}
+
+template <typename Dtype>
+void GemmNT(index_t m, index_t n, index_t k, Dtype alpha, const Dtype* a,
+            const Dtype* b, Dtype* c) {
+  for (index_t i = 0; i < m; ++i) {
+    const Dtype* ai = a + i * k;
+    Dtype* ci = c + i * n;
+    for (index_t j = 0; j < n; ++j) {
+      const Dtype* bj = b + j * k;
+      Dtype sum = 0;
+      for (index_t kk = 0; kk < k; ++kk) sum += ai[kk] * bj[kk];
+      ci[j] += alpha * sum;
+    }
+  }
+}
+
+template <typename Dtype>
+void GemmTN(index_t m, index_t n, index_t k, Dtype alpha, const Dtype* a,
+            const Dtype* b, Dtype* c) {
+  // op(A)(i,kk) = a[kk*m + i]
+  for (index_t kk = 0; kk < k; ++kk) {
+    const Dtype* ak = a + kk * m;
+    const Dtype* bk = b + kk * n;
+    for (index_t i = 0; i < m; ++i) {
+      const Dtype aik = alpha * ak[i];
+      if (aik == Dtype(0)) continue;
+      Dtype* ci = c + i * n;
+      for (index_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+template <typename Dtype>
+void GemmTT(index_t m, index_t n, index_t k, Dtype alpha, const Dtype* a,
+            const Dtype* b, Dtype* c) {
+  // op(A)(i,kk) = a[kk*m + i]; op(B)(kk,j) = b[j*k + kk]
+  for (index_t i = 0; i < m; ++i) {
+    Dtype* ci = c + i * n;
+    for (index_t j = 0; j < n; ++j) {
+      const Dtype* bj = b + j * k;
+      Dtype sum = 0;
+      for (index_t kk = 0; kk < k; ++kk) sum += a[kk * m + i] * bj[kk];
+      ci[j] += alpha * sum;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename Dtype>
+void gemm(Transpose trans_a, Transpose trans_b, index_t m, index_t n,
+          index_t k, Dtype alpha, const Dtype* a, const Dtype* b, Dtype beta,
+          Dtype* c) {
+  CGDNN_CHECK_GE(m, 0);
+  CGDNN_CHECK_GE(n, 0);
+  CGDNN_CHECK_GE(k, 0);
+  ScaleC(m, n, beta, c);
+  if (m == 0 || n == 0 || k == 0 || alpha == Dtype(0)) return;
+  const bool ta = trans_a == Transpose::kTrans;
+  const bool tb = trans_b == Transpose::kTrans;
+  if (!ta && !tb) {
+    GemmNN(m, n, k, alpha, a, b, c);
+  } else if (!ta && tb) {
+    GemmNT(m, n, k, alpha, a, b, c);
+  } else if (ta && !tb) {
+    GemmTN(m, n, k, alpha, a, b, c);
+  } else {
+    GemmTT(m, n, k, alpha, a, b, c);
+  }
+}
+
+template <typename Dtype>
+void gemv(Transpose trans_a, index_t m, index_t n, Dtype alpha,
+          const Dtype* a, const Dtype* x, Dtype beta, Dtype* y) {
+  // A is m x n row-major; y has length m (no trans) or n (trans).
+  const index_t ylen = trans_a == Transpose::kNo ? m : n;
+  if (beta == Dtype(0)) {
+    std::fill(y, y + ylen, Dtype(0));
+  } else if (beta != Dtype(1)) {
+    for (index_t i = 0; i < ylen; ++i) y[i] *= beta;
+  }
+  if (alpha == Dtype(0) || m == 0 || n == 0) return;
+  if (trans_a == Transpose::kNo) {
+    for (index_t i = 0; i < m; ++i) {
+      const Dtype* ai = a + i * n;
+      Dtype sum = 0;
+      for (index_t j = 0; j < n; ++j) sum += ai[j] * x[j];
+      y[i] += alpha * sum;
+    }
+  } else {
+    for (index_t i = 0; i < m; ++i) {
+      const Dtype axi = alpha * x[i];
+      if (axi == Dtype(0)) continue;
+      const Dtype* ai = a + i * n;
+      for (index_t j = 0; j < n; ++j) y[j] += axi * ai[j];
+    }
+  }
+}
+
+template <typename Dtype>
+void ger(index_t m, index_t n, Dtype alpha, const Dtype* x, const Dtype* y,
+         Dtype* a) {
+  for (index_t i = 0; i < m; ++i) {
+    const Dtype axi = alpha * x[i];
+    if (axi == Dtype(0)) continue;
+    Dtype* ai = a + i * n;
+    for (index_t j = 0; j < n; ++j) ai[j] += axi * y[j];
+  }
+}
+
+#define CGDNN_INSTANTIATE_GEMM(Dtype)                                         \
+  template void gemm<Dtype>(Transpose, Transpose, index_t, index_t, index_t, \
+                            Dtype, const Dtype*, const Dtype*, Dtype,        \
+                            Dtype*);                                         \
+  template void gemv<Dtype>(Transpose, index_t, index_t, Dtype,              \
+                            const Dtype*, const Dtype*, Dtype, Dtype*);      \
+  template void ger<Dtype>(index_t, index_t, Dtype, const Dtype*,            \
+                           const Dtype*, Dtype*)
+
+CGDNN_INSTANTIATE_GEMM(float);
+CGDNN_INSTANTIATE_GEMM(double);
+
+}  // namespace cgdnn::blas

@@ -1,0 +1,83 @@
+#include "cgdnn/blas/im2col.hpp"
+
+#include <cstring>
+
+namespace cgdnn::blas {
+
+template <typename Dtype>
+void im2col(const Dtype* data_im, index_t channels, index_t height,
+            index_t width, index_t kernel_h, index_t kernel_w, index_t pad_h,
+            index_t pad_w, index_t stride_h, index_t stride_w,
+            index_t dilation_h, index_t dilation_w, Dtype* data_col) {
+  const index_t out_h =
+      ConvOutSize(height, kernel_h, pad_h, stride_h, dilation_h);
+  const index_t out_w =
+      ConvOutSize(width, kernel_w, pad_w, stride_w, dilation_w);
+  const index_t channel_size = height * width;
+  for (index_t c = 0; c < channels; ++c, data_im += channel_size) {
+    for (index_t kh = 0; kh < kernel_h; ++kh) {
+      for (index_t kw = 0; kw < kernel_w; ++kw) {
+        index_t in_y = kh * dilation_h - pad_h;
+        for (index_t oy = 0; oy < out_h; ++oy, in_y += stride_h) {
+          if (in_y < 0 || in_y >= height) {
+            for (index_t ox = 0; ox < out_w; ++ox) *(data_col++) = 0;
+            continue;
+          }
+          const Dtype* row = data_im + in_y * width;
+          index_t in_x = kw * dilation_w - pad_w;
+          for (index_t ox = 0; ox < out_w; ++ox, in_x += stride_w) {
+            *(data_col++) =
+                (in_x >= 0 && in_x < width) ? row[in_x] : Dtype(0);
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename Dtype>
+void col2im(const Dtype* data_col, index_t channels, index_t height,
+            index_t width, index_t kernel_h, index_t kernel_w, index_t pad_h,
+            index_t pad_w, index_t stride_h, index_t stride_w,
+            index_t dilation_h, index_t dilation_w, Dtype* data_im) {
+  std::memset(data_im, 0,
+              static_cast<std::size_t>(channels * height * width) *
+                  sizeof(Dtype));
+  const index_t out_h =
+      ConvOutSize(height, kernel_h, pad_h, stride_h, dilation_h);
+  const index_t out_w =
+      ConvOutSize(width, kernel_w, pad_w, stride_w, dilation_w);
+  const index_t channel_size = height * width;
+  for (index_t c = 0; c < channels; ++c, data_im += channel_size) {
+    for (index_t kh = 0; kh < kernel_h; ++kh) {
+      for (index_t kw = 0; kw < kernel_w; ++kw) {
+        index_t in_y = kh * dilation_h - pad_h;
+        for (index_t oy = 0; oy < out_h; ++oy, in_y += stride_h) {
+          if (in_y < 0 || in_y >= height) {
+            data_col += out_w;
+            continue;
+          }
+          Dtype* row = data_im + in_y * width;
+          index_t in_x = kw * dilation_w - pad_w;
+          for (index_t ox = 0; ox < out_w; ++ox, in_x += stride_w) {
+            if (in_x >= 0 && in_x < width) row[in_x] += *data_col;
+            ++data_col;
+          }
+        }
+      }
+    }
+  }
+}
+
+#define CGDNN_INSTANTIATE_IM2COL(Dtype)                                      \
+  template void im2col<Dtype>(const Dtype*, index_t, index_t, index_t,       \
+                              index_t, index_t, index_t, index_t, index_t,   \
+                              index_t, index_t, index_t, Dtype*);            \
+  template void col2im<Dtype>(const Dtype*, index_t, index_t, index_t,       \
+                              index_t, index_t, index_t, index_t, index_t,   \
+                              index_t, index_t, index_t, Dtype*)
+
+CGDNN_INSTANTIATE_IM2COL(float);
+CGDNN_INSTANTIATE_IM2COL(double);
+
+}  // namespace cgdnn::blas

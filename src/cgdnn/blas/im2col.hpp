@@ -1,0 +1,31 @@
+// im2col / col2im: the lowering that turns a convolution into a GEMM, as in
+// Caffe's ConvolutionLayer. For an input image of C x H x W and a kernel of
+// kh x kw with padding/stride/dilation, im2col produces a matrix of
+// (C*kh*kw) x (out_h*out_w) where column (y, x) contains the receptive field
+// of output pixel (y, x).
+#pragma once
+
+#include "cgdnn/core/common.hpp"
+
+namespace cgdnn::blas {
+
+/// Output spatial extent for one convolved/pooled dimension.
+inline index_t ConvOutSize(index_t in, index_t kernel, index_t pad,
+                           index_t stride, index_t dilation) {
+  const index_t eff_kernel = dilation * (kernel - 1) + 1;
+  return (in + 2 * pad - eff_kernel) / stride + 1;
+}
+
+template <typename Dtype>
+void im2col(const Dtype* data_im, index_t channels, index_t height,
+            index_t width, index_t kernel_h, index_t kernel_w, index_t pad_h,
+            index_t pad_w, index_t stride_h, index_t stride_w,
+            index_t dilation_h, index_t dilation_w, Dtype* data_col);
+
+template <typename Dtype>
+void col2im(const Dtype* data_col, index_t channels, index_t height,
+            index_t width, index_t kernel_h, index_t kernel_w, index_t pad_h,
+            index_t pad_w, index_t stride_h, index_t stride_w,
+            index_t dilation_h, index_t dilation_w, Dtype* data_im);
+
+}  // namespace cgdnn::blas

@@ -1,0 +1,144 @@
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "cgdnn/blas/blas.hpp"
+
+namespace cgdnn::blas {
+
+template <typename Dtype>
+void axpy(index_t n, Dtype alpha, const Dtype* x, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+template <typename Dtype>
+void axpby(index_t n, Dtype alpha, const Dtype* x, Dtype beta, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+template <typename Dtype>
+void scal(index_t n, Dtype alpha, Dtype* x) {
+  for (index_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+template <typename Dtype>
+Dtype dot(index_t n, const Dtype* x, const Dtype* y) {
+  Dtype sum = 0;
+  for (index_t i = 0; i < n; ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+template <typename Dtype>
+Dtype asum(index_t n, const Dtype* x) {
+  Dtype sum = 0;
+  for (index_t i = 0; i < n; ++i) sum += std::abs(x[i]);
+  return sum;
+}
+
+template <typename Dtype>
+Dtype sumsq(index_t n, const Dtype* x) {
+  Dtype sum = 0;
+  for (index_t i = 0; i < n; ++i) sum += x[i] * x[i];
+  return sum;
+}
+
+template <typename Dtype>
+void copy(index_t n, const Dtype* x, Dtype* y) {
+  if (x == y || n == 0) return;
+  std::memcpy(y, x, static_cast<std::size_t>(n) * sizeof(Dtype));
+}
+
+template <typename Dtype>
+void set(index_t n, Dtype value, Dtype* y) {
+  std::fill(y, y + n, value);
+}
+
+template <typename Dtype>
+void add(index_t n, const Dtype* a, const Dtype* b, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = a[i] + b[i];
+}
+
+template <typename Dtype>
+void sub(index_t n, const Dtype* a, const Dtype* b, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = a[i] - b[i];
+}
+
+template <typename Dtype>
+void mul(index_t n, const Dtype* a, const Dtype* b, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = a[i] * b[i];
+}
+
+template <typename Dtype>
+void div(index_t n, const Dtype* a, const Dtype* b, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = a[i] / b[i];
+}
+
+template <typename Dtype>
+void add_scalar(index_t n, Dtype alpha, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) y[i] += alpha;
+}
+
+template <typename Dtype>
+void sqr(index_t n, const Dtype* a, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = a[i] * a[i];
+}
+
+template <typename Dtype>
+void sqrt(index_t n, const Dtype* a, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = std::sqrt(a[i]);
+}
+
+template <typename Dtype>
+void exp(index_t n, const Dtype* a, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = std::exp(a[i]);
+}
+
+template <typename Dtype>
+void log(index_t n, const Dtype* a, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = std::log(a[i]);
+}
+
+template <typename Dtype>
+void abs(index_t n, const Dtype* a, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = std::abs(a[i]);
+}
+
+template <typename Dtype>
+void powx(index_t n, const Dtype* a, Dtype b, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) y[i] = std::pow(a[i], b);
+}
+
+template <typename Dtype>
+void sign(index_t n, const Dtype* x, Dtype* y) {
+  for (index_t i = 0; i < n; ++i) {
+    y[i] = (Dtype(0) < x[i]) - (x[i] < Dtype(0));
+  }
+}
+
+#define CGDNN_INSTANTIATE_L1(Dtype)                                       \
+  template void axpy<Dtype>(index_t, Dtype, const Dtype*, Dtype*);        \
+  template void axpby<Dtype>(index_t, Dtype, const Dtype*, Dtype,         \
+                             Dtype*);                                     \
+  template void scal<Dtype>(index_t, Dtype, Dtype*);                      \
+  template Dtype dot<Dtype>(index_t, const Dtype*, const Dtype*);         \
+  template Dtype asum<Dtype>(index_t, const Dtype*);                      \
+  template Dtype sumsq<Dtype>(index_t, const Dtype*);                     \
+  template void copy<Dtype>(index_t, const Dtype*, Dtype*);               \
+  template void set<Dtype>(index_t, Dtype, Dtype*);                       \
+  template void add<Dtype>(index_t, const Dtype*, const Dtype*, Dtype*);  \
+  template void sub<Dtype>(index_t, const Dtype*, const Dtype*, Dtype*);  \
+  template void mul<Dtype>(index_t, const Dtype*, const Dtype*, Dtype*);  \
+  template void div<Dtype>(index_t, const Dtype*, const Dtype*, Dtype*);  \
+  template void add_scalar<Dtype>(index_t, Dtype, Dtype*);                \
+  template void sqr<Dtype>(index_t, const Dtype*, Dtype*);                \
+  template void sqrt<Dtype>(index_t, const Dtype*, Dtype*);               \
+  template void exp<Dtype>(index_t, const Dtype*, Dtype*);                \
+  template void log<Dtype>(index_t, const Dtype*, Dtype*);                \
+  template void abs<Dtype>(index_t, const Dtype*, Dtype*);                \
+  template void powx<Dtype>(index_t, const Dtype*, Dtype, Dtype*);        \
+  template void sign<Dtype>(index_t, const Dtype*, Dtype*)
+
+CGDNN_INSTANTIATE_L1(float);
+CGDNN_INSTANTIATE_L1(double);
+
+}  // namespace cgdnn::blas

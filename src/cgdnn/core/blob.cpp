@@ -1,0 +1,247 @@
+#include "cgdnn/core/blob.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace cgdnn {
+
+template <typename Dtype>
+Blob<Dtype>::Blob(index_t num, index_t channels, index_t height,
+                  index_t width) {
+  Reshape(num, channels, height, width);
+}
+
+template <typename Dtype>
+Blob<Dtype>::Blob(const std::vector<index_t>& shape) {
+  Reshape(shape);
+}
+
+template <typename Dtype>
+void Blob<Dtype>::Reshape(const std::vector<index_t>& shape) {
+  CGDNN_CHECK_LE(shape.size(), 32u) << "blob has too many axes";
+  index_t count = 1;
+  for (index_t dim : shape) {
+    CGDNN_CHECK_GE(dim, 0) << "blob dimensions must be non-negative";
+    if (count != 0) {
+      CGDNN_CHECK_LE(dim, std::numeric_limits<index_t>::max() / std::max<index_t>(count, 1))
+          << "blob size overflows index_t";
+    }
+    count *= dim;
+  }
+  shape_ = shape;
+  count_ = count;
+  if (count_ > capacity_) {
+    capacity_ = count_;
+    data_ = std::make_shared<SyncedMemory>(capacity_ * sizeof(Dtype));
+    diff_ = std::make_shared<SyncedMemory>(capacity_ * sizeof(Dtype));
+  }
+}
+
+template <typename Dtype>
+void Blob<Dtype>::Reshape(index_t num, index_t channels, index_t height,
+                          index_t width) {
+  Reshape({num, channels, height, width});
+}
+
+template <typename Dtype>
+void Blob<Dtype>::ReshapeLike(const Blob& other) {
+  Reshape(other.shape());
+}
+
+template <typename Dtype>
+index_t Blob<Dtype>::count(int start_axis, int end_axis) const {
+  CGDNN_CHECK_LE(start_axis, end_axis);
+  CGDNN_CHECK_GE(start_axis, 0);
+  CGDNN_CHECK_LE(end_axis, num_axes());
+  index_t c = 1;
+  for (int i = start_axis; i < end_axis; ++i) c *= shape_[i];
+  return c;
+}
+
+template <typename Dtype>
+index_t Blob<Dtype>::count(int start_axis) const {
+  return count(start_axis, num_axes());
+}
+
+template <typename Dtype>
+int Blob<Dtype>::CanonicalAxisIndex(int axis) const {
+  CGDNN_CHECK_GE(axis, -num_axes()) << "axis out of range for " << shape_string();
+  CGDNN_CHECK_LT(axis, num_axes()) << "axis out of range for " << shape_string();
+  return axis < 0 ? axis + num_axes() : axis;
+}
+
+template <typename Dtype>
+index_t Blob<Dtype>::LegacyShape(int axis) const {
+  CGDNN_CHECK_LE(num_axes(), 4) << "LegacyShape only valid for <=4 axes";
+  CGDNN_CHECK_GE(axis, 0);
+  CGDNN_CHECK_LT(axis, 4);
+  if (axis >= num_axes()) return 1;
+  return shape_[axis];
+}
+
+template <typename Dtype>
+index_t Blob<Dtype>::offset(index_t n, index_t c, index_t h, index_t w) const {
+  CGDNN_CHECK_GE(n, 0);
+  CGDNN_CHECK_LT(n, num());
+  CGDNN_CHECK_GE(c, 0);
+  CGDNN_CHECK_LT(c, channels());
+  CGDNN_CHECK_GE(h, 0);
+  CGDNN_CHECK_LT(h, height());
+  CGDNN_CHECK_GE(w, 0);
+  CGDNN_CHECK_LT(w, width());
+  return ((n * channels() + c) * height() + h) * width() + w;
+}
+
+template <typename Dtype>
+index_t Blob<Dtype>::offset(const std::vector<index_t>& indices) const {
+  CGDNN_CHECK_LE(indices.size(), shape_.size());
+  index_t off = 0;
+  for (int i = 0; i < num_axes(); ++i) {
+    off *= shape_[i];
+    if (static_cast<std::size_t>(i) < indices.size()) {
+      CGDNN_CHECK_GE(indices[i], 0);
+      CGDNN_CHECK_LT(indices[i], shape_[i]);
+      off += indices[i];
+    }
+  }
+  return off;
+}
+
+template <typename Dtype>
+const Dtype* Blob<Dtype>::cpu_data() const {
+  CGDNN_CHECK(data_) << "blob has no storage (never reshaped?)";
+  return static_cast<const Dtype*>(data_->cpu_data());
+}
+
+template <typename Dtype>
+Dtype* Blob<Dtype>::mutable_cpu_data() {
+  CGDNN_CHECK(data_) << "blob has no storage (never reshaped?)";
+  return static_cast<Dtype*>(data_->mutable_cpu_data());
+}
+
+template <typename Dtype>
+const Dtype* Blob<Dtype>::cpu_diff() const {
+  CGDNN_CHECK(diff_) << "blob has no storage (never reshaped?)";
+  return static_cast<const Dtype*>(diff_->cpu_data());
+}
+
+template <typename Dtype>
+Dtype* Blob<Dtype>::mutable_cpu_diff() {
+  CGDNN_CHECK(diff_) << "blob has no storage (never reshaped?)";
+  return static_cast<Dtype*>(diff_->mutable_cpu_data());
+}
+
+template <typename Dtype>
+Dtype Blob<Dtype>::data_at(index_t n, index_t c, index_t h, index_t w) const {
+  return cpu_data()[offset(n, c, h, w)];
+}
+
+template <typename Dtype>
+Dtype Blob<Dtype>::diff_at(index_t n, index_t c, index_t h, index_t w) const {
+  return cpu_diff()[offset(n, c, h, w)];
+}
+
+template <typename Dtype>
+void Blob<Dtype>::Update() {
+  Dtype* data = mutable_cpu_data();
+  const Dtype* diff = cpu_diff();
+  for (index_t i = 0; i < count_; ++i) data[i] -= diff[i];
+}
+
+template <typename Dtype>
+Dtype Blob<Dtype>::asum_data() const {
+  const Dtype* p = cpu_data();
+  Dtype sum = 0;
+  for (index_t i = 0; i < count_; ++i) sum += std::abs(p[i]);
+  return sum;
+}
+
+template <typename Dtype>
+Dtype Blob<Dtype>::asum_diff() const {
+  const Dtype* p = cpu_diff();
+  Dtype sum = 0;
+  for (index_t i = 0; i < count_; ++i) sum += std::abs(p[i]);
+  return sum;
+}
+
+template <typename Dtype>
+Dtype Blob<Dtype>::sumsq_data() const {
+  const Dtype* p = cpu_data();
+  Dtype sum = 0;
+  for (index_t i = 0; i < count_; ++i) sum += p[i] * p[i];
+  return sum;
+}
+
+template <typename Dtype>
+Dtype Blob<Dtype>::sumsq_diff() const {
+  const Dtype* p = cpu_diff();
+  Dtype sum = 0;
+  for (index_t i = 0; i < count_; ++i) sum += p[i] * p[i];
+  return sum;
+}
+
+template <typename Dtype>
+void Blob<Dtype>::scale_data(Dtype factor) {
+  Dtype* p = mutable_cpu_data();
+  for (index_t i = 0; i < count_; ++i) p[i] *= factor;
+}
+
+template <typename Dtype>
+void Blob<Dtype>::scale_diff(Dtype factor) {
+  Dtype* p = mutable_cpu_diff();
+  for (index_t i = 0; i < count_; ++i) p[i] *= factor;
+}
+
+template <typename Dtype>
+void Blob<Dtype>::set_data(Dtype value) {
+  Dtype* p = mutable_cpu_data();
+  std::fill(p, p + count_, value);
+}
+
+template <typename Dtype>
+void Blob<Dtype>::set_diff(Dtype value) {
+  Dtype* p = mutable_cpu_diff();
+  std::fill(p, p + count_, value);
+}
+
+template <typename Dtype>
+void Blob<Dtype>::ShareData(const Blob& other) {
+  CGDNN_CHECK_EQ(count_, other.count());
+  data_ = other.data();
+}
+
+template <typename Dtype>
+void Blob<Dtype>::ShareDiff(const Blob& other) {
+  CGDNN_CHECK_EQ(count_, other.count());
+  diff_ = other.diff();
+}
+
+template <typename Dtype>
+void Blob<Dtype>::CopyFrom(const Blob& other, bool copy_diff, bool reshape) {
+  if (count_ != other.count() || shape_ != other.shape()) {
+    CGDNN_CHECK(reshape) << "shape mismatch in CopyFrom: " << shape_string()
+                         << " vs " << other.shape_string();
+    Reshape(other.shape());
+  }
+  if (copy_diff) {
+    std::memcpy(mutable_cpu_diff(), other.cpu_diff(), count_ * sizeof(Dtype));
+  } else {
+    std::memcpy(mutable_cpu_data(), other.cpu_data(), count_ * sizeof(Dtype));
+  }
+}
+
+template <typename Dtype>
+std::string Blob<Dtype>::shape_string() const {
+  std::ostringstream os;
+  for (index_t dim : shape_) os << dim << " ";
+  os << "(" << count_ << ")";
+  return os.str();
+}
+
+template class Blob<float>;
+template class Blob<double>;
+
+}  // namespace cgdnn

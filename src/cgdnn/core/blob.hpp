@@ -1,0 +1,103 @@
+// Blob: the N-dimensional, C-contiguous array that carries all data through
+// the network (batches, parameters, gradients), mirroring Caffe's blob design
+// described in §2.1.1 of the paper. A blob holds two planes: `data` (values)
+// and `diff` (gradients). The canonical image layout is N x C x H x W with
+// the value at (n, c, h, w) stored at ((n*C + c)*H + h)*W + w.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cgdnn/core/common.hpp"
+#include "cgdnn/core/synced_memory.hpp"
+
+namespace cgdnn {
+
+template <typename Dtype>
+class Blob {
+ public:
+  Blob() = default;
+  /// Convenience 4-d constructor (num, channels, height, width).
+  Blob(index_t num, index_t channels, index_t height, index_t width);
+  explicit Blob(const std::vector<index_t>& shape);
+
+  /// Changes the blob's dimensions, reallocating only when the new element
+  /// count exceeds the current capacity (Caffe semantics: Reshape is cheap
+  /// inside the steady-state training loop).
+  void Reshape(const std::vector<index_t>& shape);
+  void Reshape(index_t num, index_t channels, index_t height, index_t width);
+  void ReshapeLike(const Blob& other);
+
+  const std::vector<index_t>& shape() const { return shape_; }
+  index_t shape(int axis) const { return shape_[CanonicalAxisIndex(axis)]; }
+  int num_axes() const { return static_cast<int>(shape_.size()); }
+  index_t count() const { return count_; }
+  /// Product of dimensions in [start_axis, end_axis).
+  index_t count(int start_axis, int end_axis) const;
+  /// Product of dimensions from start_axis to the end.
+  index_t count(int start_axis) const;
+
+  /// Supports negative axes (-1 = last), throwing when out of range.
+  int CanonicalAxisIndex(int axis) const;
+
+  /// Canonical 4-d accessors; axes beyond num_axes() count as size 1,
+  /// matching Caffe's LegacyShape behaviour for vectors/matrices.
+  index_t num() const { return LegacyShape(0); }
+  index_t channels() const { return LegacyShape(1); }
+  index_t height() const { return LegacyShape(2); }
+  index_t width() const { return LegacyShape(3); }
+  index_t LegacyShape(int axis) const;
+
+  index_t offset(index_t n, index_t c = 0, index_t h = 0, index_t w = 0) const;
+  index_t offset(const std::vector<index_t>& indices) const;
+
+  const Dtype* cpu_data() const;
+  Dtype* mutable_cpu_data();
+  const Dtype* cpu_diff() const;
+  Dtype* mutable_cpu_diff();
+
+  Dtype data_at(index_t n, index_t c, index_t h, index_t w) const;
+  Dtype diff_at(index_t n, index_t c, index_t h, index_t w) const;
+
+  /// data := data - diff   (the SGD update applied by solvers).
+  void Update();
+
+  /// L1 norm / sum of squares of each plane.
+  Dtype asum_data() const;
+  Dtype asum_diff() const;
+  Dtype sumsq_data() const;
+  Dtype sumsq_diff() const;
+  /// In-place scaling of each plane.
+  void scale_data(Dtype factor);
+  void scale_diff(Dtype factor);
+  void set_data(Dtype value);
+  void set_diff(Dtype value);
+
+  /// Share another blob's data/diff storage (zero copy). Shapes must match
+  /// in count. Used by Split layers and train/test weight sharing.
+  void ShareData(const Blob& other);
+  void ShareDiff(const Blob& other);
+
+  /// Copy data (and optionally diff) from another blob, reshaping if asked.
+  void CopyFrom(const Blob& other, bool copy_diff = false,
+                bool reshape = false);
+
+  /// Human-readable shape, e.g. "64 32 16 16 (32768)".
+  std::string shape_string() const;
+
+  /// Bytes held by the data plane (diff lazily allocates the same amount).
+  std::size_t data_bytes() const { return count_ * sizeof(Dtype); }
+
+  const std::shared_ptr<SyncedMemory>& data() const { return data_; }
+  const std::shared_ptr<SyncedMemory>& diff() const { return diff_; }
+
+ private:
+  std::shared_ptr<SyncedMemory> data_;
+  std::shared_ptr<SyncedMemory> diff_;
+  std::vector<index_t> shape_;
+  index_t count_ = 0;
+  index_t capacity_ = 0;
+};
+
+}  // namespace cgdnn

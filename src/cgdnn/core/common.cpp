@@ -1,0 +1,25 @@
+#include "cgdnn/core/common.hpp"
+
+namespace cgdnn {
+
+std::string Error::Format(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  return os.str();
+}
+
+namespace detail {
+void ThrowCheckFailure(const char* file, int line, const char* expr,
+                       const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr;
+  if (!msg.empty()) os << " " << msg;
+  throw Error(file, line, os.str());
+}
+}  // namespace detail
+
+const char* PhaseName(Phase phase) {
+  return phase == Phase::kTrain ? "TRAIN" : "TEST";
+}
+
+}  // namespace cgdnn

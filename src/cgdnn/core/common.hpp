@@ -1,0 +1,101 @@
+// Common definitions for the cgdnn library: index types, error reporting
+// and the CHECK macro family used throughout (Caffe-style, but throwing
+// cgdnn::Error instead of aborting so library users can recover).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cgdnn {
+
+/// Signed index type used for all shape/offset arithmetic. Signed so that
+/// negative-axis indexing and difference expressions are well defined.
+using index_t = std::int64_t;
+
+/// Exception type thrown by all CGDNN_CHECK* failures and explicit errors.
+class Error : public std::runtime_error {
+ public:
+  Error(const char* file, int line, const std::string& msg)
+      : std::runtime_error(Format(file, line, msg)) {}
+
+ private:
+  static std::string Format(const char* file, int line,
+                            const std::string& msg);
+};
+
+namespace detail {
+[[noreturn]] void ThrowCheckFailure(const char* file, int line,
+                                    const char* expr, const std::string& msg);
+
+/// Stream-builder used by the CHECK macros to collect an optional message.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    ThrowCheckFailure(file_, line_, expr_, stream_.str());
+  }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+namespace detail {
+/// Evaluates both operands exactly once; returns the "(a vs b) " diagnostic
+/// on failure, null on success (glog's MakeCheckOpString technique).
+template <typename A, typename B, typename Pred>
+std::unique_ptr<std::string> MakeCheckOpString(const A& a, const B& b,
+                                               Pred pred) {
+  if (pred(a, b)) return nullptr;
+  std::ostringstream os;
+  os << "(" << a << " vs " << b << ") ";
+  return std::make_unique<std::string>(os.str());
+}
+}  // namespace detail
+
+// The macros evaluate their arguments exactly once. On failure they throw
+// cgdnn::Error carrying file:line, the failed expression, both operand
+// values and any streamed message:
+//   CGDNN_CHECK_EQ(a, b) << "while reshaping " << name;
+// The `while` form (from glog) has no `else`, so the macros compose safely
+// with unbraced if/else in caller code; the body throws on its only
+// iteration.
+#define CGDNN_CHECK(cond)                                       \
+  while (!(cond)) /* NOLINT */                                  \
+  ::cgdnn::detail::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define CGDNN_CHECK_OP(op, a, b)                                             \
+  while (const auto cgdnn_msg_ = ::cgdnn::detail::MakeCheckOpString(         \
+             (a), (b),                                                       \
+             [](const auto& va_, const auto& vb_) { return va_ op vb_; }))   \
+  ::cgdnn::detail::CheckMessage(__FILE__, __LINE__, #a " " #op " " #b)       \
+      << *cgdnn_msg_
+
+#define CGDNN_CHECK_EQ(a, b) CGDNN_CHECK_OP(==, a, b)
+#define CGDNN_CHECK_NE(a, b) CGDNN_CHECK_OP(!=, a, b)
+#define CGDNN_CHECK_LT(a, b) CGDNN_CHECK_OP(<, a, b)
+#define CGDNN_CHECK_LE(a, b) CGDNN_CHECK_OP(<=, a, b)
+#define CGDNN_CHECK_GT(a, b) CGDNN_CHECK_OP(>, a, b)
+#define CGDNN_CHECK_GE(a, b) CGDNN_CHECK_OP(>=, a, b)
+
+#define CGDNN_NOT_IMPLEMENTED \
+  CGDNN_CHECK(false) << "not implemented"
+
+/// Phase of network execution, mirroring Caffe's caffe::Phase.
+enum class Phase { kTrain, kTest };
+
+const char* PhaseName(Phase phase);
+
+}  // namespace cgdnn

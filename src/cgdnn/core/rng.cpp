@@ -1,0 +1,96 @@
+#include "cgdnn/core/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace cgdnn {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t HashCombine64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return SplitMix64(s);
+}
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : seed_(seed), stream_(stream) {
+  std::uint64_t sm = HashCombine64(seed, stream);
+  for (auto& s : s_) s = SplitMix64(sm);
+  // All-zero state is the one invalid state for xoshiro; SplitMix64 cannot
+  // produce four zeros from a single chain, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 top bits -> [0, 1) with full double precision.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  CGDNN_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+index_t Rng::UniformInt(index_t lo, index_t hi) {
+  CGDNN_CHECK_LE(lo, hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<index_t>(NextU64());  // full 64-bit span
+  // Rejection sampling for an unbiased draw.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t v = NextU64();
+  while (v >= limit) v = NextU64();
+  return lo + static_cast<index_t>(v % range);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  CGDNN_CHECK_GE(stddev, 0.0);
+  // Box-Muller; u1 is kept away from 0 so log() is finite.
+  const double u1 = 1.0 - Uniform();
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::Bernoulli(double p) {
+  CGDNN_CHECK_GE(p, 0.0);
+  CGDNN_CHECK_LE(p, 1.0);
+  return Uniform() < p;
+}
+
+Rng Rng::Split(std::uint64_t substream) const {
+  return Rng(seed_, HashCombine64(stream_ + 1, substream));
+}
+
+Rng& GlobalRng() {
+  static Rng rng(1, /*stream=*/0x610BA1);
+  return rng;
+}
+
+void SeedGlobalRng(std::uint64_t seed) {
+  GlobalRng() = Rng(seed, /*stream=*/0x610BA1);
+}
+
+}  // namespace cgdnn

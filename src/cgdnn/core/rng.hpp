@@ -1,0 +1,62 @@
+// Deterministic, splittable random number generation.
+//
+// Reproducibility is a core requirement of the paper's convergence-invariance
+// property: a training run must produce bit-identical results regardless of
+// the number of OpenMP threads. We therefore avoid std::mt19937 seeded from
+// time and instead use a counter-based design: every Rng is fully determined
+// by (seed, stream), and independent streams can be split off for
+// sample-indexed work (e.g. dropout masks keyed by element index) so the
+// random values consumed do not depend on thread interleaving.
+#pragma once
+
+#include <cstdint>
+
+#include "cgdnn/core/common.hpp"
+
+namespace cgdnn {
+
+/// SplitMix64 step — used for seeding and as a cheap stateless hash.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// Stateless 64-bit mix of two words (used to derive per-index streams).
+std::uint64_t HashCombine64(std::uint64_t a, std::uint64_t b);
+
+/// xoshiro256** generator with deterministic (seed, stream) initialization.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  index_t UniformInt(index_t lo, index_t hi);
+  /// Standard normal via Box-Muller (no cached spare: stateless per call
+  /// pair, which keeps replay behaviour simple).
+  double Gaussian(double mean, double stddev);
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Derives an independent generator for the given sub-stream. Splitting
+  /// does not perturb this generator's state.
+  Rng Split(std::uint64_t substream) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+  std::uint64_t stream_;
+};
+
+/// Process-wide generator (the analogue of Caffe's Caffe::rng), used for
+/// weight initialization. Only ever advanced from serial code; per-sample
+/// randomness (dropout masks, data augmentation) uses Split()-derived
+/// streams instead so results do not depend on thread interleaving.
+Rng& GlobalRng();
+/// Reseeds the global generator (Caffe::set_random_seed).
+void SeedGlobalRng(std::uint64_t seed);
+
+}  // namespace cgdnn

@@ -1,0 +1,126 @@
+#include "cgdnn/core/synced_memory.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cgdnn {
+
+TransferStats& TransferStats::Get() {
+  static TransferStats stats;
+  return stats;
+}
+
+void TransferStats::Reset() { *this = TransferStats{}; }
+
+namespace {
+constexpr std::size_t kAlignment = 64;  // cache line; also good for AVX-512
+}
+
+AlignedBuffer::AlignedBuffer(std::size_t bytes) : bytes_(bytes) {
+  if (bytes == 0) return;
+  const std::size_t rounded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  ptr_ = std::aligned_alloc(kAlignment, rounded);
+  CGDNN_CHECK(ptr_ != nullptr) << "aligned_alloc of " << rounded << " bytes failed";
+  std::memset(ptr_, 0, rounded);
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(ptr_); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : ptr_(other.ptr_), bytes_(other.bytes_) {
+  other.ptr_ = nullptr;
+  other.bytes_ = 0;
+}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(ptr_);
+    ptr_ = other.ptr_;
+    bytes_ = other.bytes_;
+    other.ptr_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+SyncedMemory::SyncedMemory(std::size_t bytes) : bytes_(bytes) {}
+
+void SyncedMemory::ToCpu() {
+  switch (head_) {
+    case Head::kUninitialized:
+      cpu_buffer_ = AlignedBuffer(bytes_);
+      cpu_ptr_ = cpu_buffer_.get();
+      own_cpu_data_ = true;
+      head_ = Head::kAtCpu;
+      break;
+    case Head::kAtDevice:
+      if (cpu_ptr_ == nullptr) {
+        cpu_buffer_ = AlignedBuffer(bytes_);
+        cpu_ptr_ = cpu_buffer_.get();
+        own_cpu_data_ = true;
+      }
+      std::memcpy(cpu_ptr_, device_ptr_, bytes_);
+      TransferStats::Get().to_host_bytes += bytes_;
+      TransferStats::Get().to_host_count += 1;
+      head_ = Head::kSynced;
+      break;
+    case Head::kAtCpu:
+    case Head::kSynced:
+      break;
+  }
+}
+
+void SyncedMemory::ToDevice() {
+  switch (head_) {
+    case Head::kUninitialized:
+      device_buffer_ = AlignedBuffer(bytes_);
+      device_ptr_ = device_buffer_.get();
+      head_ = Head::kAtDevice;
+      break;
+    case Head::kAtCpu:
+      if (device_ptr_ == nullptr) {
+        device_buffer_ = AlignedBuffer(bytes_);
+        device_ptr_ = device_buffer_.get();
+      }
+      std::memcpy(device_ptr_, cpu_ptr_, bytes_);
+      TransferStats::Get().to_device_bytes += bytes_;
+      TransferStats::Get().to_device_count += 1;
+      head_ = Head::kSynced;
+      break;
+    case Head::kAtDevice:
+    case Head::kSynced:
+      break;
+  }
+}
+
+const void* SyncedMemory::cpu_data() {
+  ToCpu();
+  return cpu_ptr_;
+}
+
+const void* SyncedMemory::device_data() {
+  ToDevice();
+  return device_ptr_;
+}
+
+void* SyncedMemory::mutable_cpu_data() {
+  ToCpu();
+  head_ = Head::kAtCpu;
+  return cpu_ptr_;
+}
+
+void* SyncedMemory::mutable_device_data() {
+  ToDevice();
+  head_ = Head::kAtDevice;
+  return device_ptr_;
+}
+
+void SyncedMemory::set_cpu_data(void* data) {
+  CGDNN_CHECK(data != nullptr);
+  cpu_buffer_ = AlignedBuffer();  // release any owned storage
+  cpu_ptr_ = data;
+  own_cpu_data_ = false;
+  head_ = Head::kAtCpu;
+}
+
+}  // namespace cgdnn

@@ -1,0 +1,56 @@
+#include "cgdnn/data/dataset.hpp"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "cgdnn/data/io.hpp"
+#include "cgdnn/data/synthetic.hpp"
+
+namespace cgdnn::data {
+
+namespace {
+using CacheKey = std::tuple<std::string, index_t, std::uint64_t>;
+std::map<CacheKey, std::shared_ptr<const Dataset>>& Cache() {
+  static std::map<CacheKey, std::shared_ptr<const Dataset>> cache;
+  return cache;
+}
+std::mutex& CacheMutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+std::shared_ptr<const Dataset> LoadDataset(const std::string& source,
+                                           index_t num_samples,
+                                           std::uint64_t seed) {
+  const CacheKey key{source, num_samples, seed};
+  std::lock_guard<std::mutex> lock(CacheMutex());
+  auto& cache = Cache();
+  if (const auto it = cache.find(key); it != cache.end()) return it->second;
+
+  std::shared_ptr<const Dataset> ds;
+  if (source == "synthetic-mnist") {
+    ds = std::make_shared<Dataset>(MakeSyntheticMnist(num_samples, seed));
+  } else if (source == "synthetic-cifar10") {
+    ds = std::make_shared<Dataset>(MakeSyntheticCifar10(num_samples, seed));
+  } else if (source == "random") {
+    ds = std::make_shared<Dataset>(
+        MakeRandom(num_samples, 1, 28, 28, 10, seed));
+  } else if (source.starts_with("idx:")) {
+    ds = std::make_shared<Dataset>(ReadIdx(source.substr(4)));
+  } else if (source.starts_with("cifarbin:")) {
+    ds = std::make_shared<Dataset>(ReadCifarBin(source.substr(9)));
+  } else {
+    throw Error(__FILE__, __LINE__, "unknown dataset source: " + source);
+  }
+  cache.emplace(key, ds);
+  return ds;
+}
+
+void ClearDatasetCache() {
+  std::lock_guard<std::mutex> lock(CacheMutex());
+  Cache().clear();
+}
+
+}  // namespace cgdnn::data

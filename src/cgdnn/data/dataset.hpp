@@ -1,0 +1,63 @@
+// In-memory dataset container plus the resolver the Data layer uses.
+//
+// The paper trains on MNIST and CIFAR-10, which are not redistributable
+// inside this offline reproduction; DESIGN.md §4 documents the substitution:
+// procedural generators emit datasets with the same tensor shapes, value
+// range ([0,1] after Caffe's 1/256 scaling) and a 10-class learnable
+// structure. Real files in IDX / CIFAR-binary format load through the same
+// interface (see io.hpp) when available.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cgdnn/core/common.hpp"
+
+namespace cgdnn::data {
+
+struct Dataset {
+  std::string name;
+  index_t num = 0;
+  index_t channels = 0;
+  index_t height = 0;
+  index_t width = 0;
+  index_t num_classes = 0;
+  /// Pixel values in [0, 1], sample-major C-contiguous (N x C x H x W).
+  std::vector<float> images;
+  std::vector<index_t> labels;
+
+  index_t sample_dim() const { return channels * height * width; }
+  const float* sample(index_t i) const {
+    CGDNN_CHECK_GE(i, 0);
+    CGDNN_CHECK_LT(i, num);
+    return images.data() + i * sample_dim();
+  }
+  float* mutable_sample(index_t i) {
+    CGDNN_CHECK_GE(i, 0);
+    CGDNN_CHECK_LT(i, num);
+    return images.data() + i * sample_dim();
+  }
+  index_t label(index_t i) const {
+    CGDNN_CHECK_GE(i, 0);
+    CGDNN_CHECK_LT(i, num);
+    return labels[static_cast<std::size_t>(i)];
+  }
+};
+
+/// Resolves a DataParameter-style source string to a dataset:
+///   "synthetic-mnist"    — 28x28x1 procedural digits
+///   "synthetic-cifar10"  — 32x32x3 procedural class textures
+///   "random"             — unstructured noise with random labels
+///   "idx:<prefix>"       — <prefix>-images.idx3-ubyte / -labels.idx1-ubyte
+///   "cifarbin:<file>"    — CIFAR-10 binary batch file
+/// Results are cached per (source, num_samples, seed) so the train and test
+/// nets of one solver share storage.
+std::shared_ptr<const Dataset> LoadDataset(const std::string& source,
+                                           index_t num_samples,
+                                           std::uint64_t seed);
+
+/// Drops all cached datasets (tests).
+void ClearDatasetCache();
+
+}  // namespace cgdnn::data

@@ -1,0 +1,162 @@
+#include "cgdnn/data/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace cgdnn::data {
+
+namespace {
+
+constexpr std::uint32_t kIdxImagesMagic = 0x00000803;
+constexpr std::uint32_t kIdxLabelsMagic = 0x00000801;
+
+std::uint32_t ReadBigEndian32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  CGDNN_CHECK(in.good()) << "truncated IDX header";
+  return (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+         (std::uint32_t{b[2]} << 8) | std::uint32_t{b[3]};
+}
+
+void WriteBigEndian32(std::ostream& out, std::uint32_t v) {
+  const unsigned char b[4] = {
+      static_cast<unsigned char>(v >> 24), static_cast<unsigned char>(v >> 16),
+      static_cast<unsigned char>(v >> 8), static_cast<unsigned char>(v)};
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+std::uint8_t QuantizePixel(float v) {
+  return static_cast<std::uint8_t>(
+      std::clamp(std::lround(v * 255.0f), 0L, 255L));
+}
+
+}  // namespace
+
+Dataset ReadIdx(const std::string& prefix) {
+  const std::string images_path = prefix + "-images.idx3-ubyte";
+  const std::string labels_path = prefix + "-labels.idx1-ubyte";
+
+  std::ifstream images(images_path, std::ios::binary);
+  CGDNN_CHECK(images.good()) << "cannot open " << images_path;
+  CGDNN_CHECK_EQ(ReadBigEndian32(images), kIdxImagesMagic)
+      << "bad IDX image magic in " << images_path;
+  const auto num = static_cast<index_t>(ReadBigEndian32(images));
+  const auto height = static_cast<index_t>(ReadBigEndian32(images));
+  const auto width = static_cast<index_t>(ReadBigEndian32(images));
+
+  std::ifstream labels(labels_path, std::ios::binary);
+  CGDNN_CHECK(labels.good()) << "cannot open " << labels_path;
+  CGDNN_CHECK_EQ(ReadBigEndian32(labels), kIdxLabelsMagic)
+      << "bad IDX label magic in " << labels_path;
+  CGDNN_CHECK_EQ(static_cast<index_t>(ReadBigEndian32(labels)), num)
+      << "image/label count mismatch";
+
+  Dataset ds;
+  ds.name = "idx:" + prefix;
+  ds.num = num;
+  ds.channels = 1;
+  ds.height = height;
+  ds.width = width;
+  ds.num_classes = 10;
+  const std::size_t pixels = static_cast<std::size_t>(num * height * width);
+  std::vector<std::uint8_t> raw(pixels);
+  images.read(reinterpret_cast<char*>(raw.data()),
+              static_cast<std::streamsize>(pixels));
+  CGDNN_CHECK(images.good()) << "truncated IDX image data in " << images_path;
+  ds.images.resize(pixels);
+  for (std::size_t i = 0; i < pixels; ++i) {
+    ds.images[i] = static_cast<float>(raw[i]) / 256.0f;  // Caffe's 1/256 scale
+  }
+
+  std::vector<std::uint8_t> raw_labels(static_cast<std::size_t>(num));
+  labels.read(reinterpret_cast<char*>(raw_labels.data()), num);
+  CGDNN_CHECK(labels.good()) << "truncated IDX label data in " << labels_path;
+  ds.labels.resize(static_cast<std::size_t>(num));
+  for (index_t i = 0; i < num; ++i) {
+    ds.labels[static_cast<std::size_t>(i)] = raw_labels[static_cast<std::size_t>(i)];
+  }
+  return ds;
+}
+
+void WriteIdx(const Dataset& ds, const std::string& prefix) {
+  CGDNN_CHECK_EQ(ds.channels, 1) << "IDX stores single-channel images";
+  const std::string images_path = prefix + "-images.idx3-ubyte";
+  const std::string labels_path = prefix + "-labels.idx1-ubyte";
+
+  std::ofstream images(images_path, std::ios::binary);
+  CGDNN_CHECK(images.good()) << "cannot create " << images_path;
+  WriteBigEndian32(images, kIdxImagesMagic);
+  WriteBigEndian32(images, static_cast<std::uint32_t>(ds.num));
+  WriteBigEndian32(images, static_cast<std::uint32_t>(ds.height));
+  WriteBigEndian32(images, static_cast<std::uint32_t>(ds.width));
+  for (float v : ds.images) {
+    const std::uint8_t q = QuantizePixel(v);
+    images.write(reinterpret_cast<const char*>(&q), 1);
+  }
+  CGDNN_CHECK(images.good()) << "write failed: " << images_path;
+
+  std::ofstream labels(labels_path, std::ios::binary);
+  CGDNN_CHECK(labels.good()) << "cannot create " << labels_path;
+  WriteBigEndian32(labels, kIdxLabelsMagic);
+  WriteBigEndian32(labels, static_cast<std::uint32_t>(ds.num));
+  for (index_t l : ds.labels) {
+    const auto q = static_cast<std::uint8_t>(l);
+    labels.write(reinterpret_cast<const char*>(&q), 1);
+  }
+  CGDNN_CHECK(labels.good()) << "write failed: " << labels_path;
+}
+
+Dataset ReadCifarBin(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  CGDNN_CHECK(in.good()) << "cannot open " << path;
+  constexpr index_t kRecord = 1 + 3 * 32 * 32;
+  const auto size = static_cast<index_t>(in.tellg());
+  CGDNN_CHECK_EQ(size % kRecord, 0)
+      << "file size is not a multiple of the CIFAR record size";
+  const index_t num = size / kRecord;
+  in.seekg(0);
+
+  Dataset ds;
+  ds.name = "cifarbin:" + path;
+  ds.num = num;
+  ds.channels = 3;
+  ds.height = 32;
+  ds.width = 32;
+  ds.num_classes = 10;
+  ds.images.resize(static_cast<std::size_t>(num * 3 * 32 * 32));
+  ds.labels.resize(static_cast<std::size_t>(num));
+  std::vector<std::uint8_t> record(static_cast<std::size_t>(kRecord));
+  for (index_t i = 0; i < num; ++i) {
+    in.read(reinterpret_cast<char*>(record.data()), kRecord);
+    CGDNN_CHECK(in.good()) << "truncated CIFAR record " << i;
+    ds.labels[static_cast<std::size_t>(i)] = record[0];
+    float* img = ds.mutable_sample(i);
+    for (index_t j = 0; j < 3 * 32 * 32; ++j) {
+      img[j] = static_cast<float>(record[static_cast<std::size_t>(1 + j)]) / 256.0f;
+    }
+  }
+  return ds;
+}
+
+void WriteCifarBin(const Dataset& ds, const std::string& path) {
+  CGDNN_CHECK_EQ(ds.channels, 3);
+  CGDNN_CHECK_EQ(ds.height, 32);
+  CGDNN_CHECK_EQ(ds.width, 32);
+  std::ofstream out(path, std::ios::binary);
+  CGDNN_CHECK(out.good()) << "cannot create " << path;
+  for (index_t i = 0; i < ds.num; ++i) {
+    const auto label = static_cast<std::uint8_t>(ds.label(i));
+    out.write(reinterpret_cast<const char*>(&label), 1);
+    const float* img = ds.sample(i);
+    for (index_t j = 0; j < 3 * 32 * 32; ++j) {
+      const std::uint8_t q = QuantizePixel(img[j]);
+      out.write(reinterpret_cast<const char*>(&q), 1);
+    }
+  }
+  CGDNN_CHECK(out.good()) << "write failed: " << path;
+}
+
+}  // namespace cgdnn::data

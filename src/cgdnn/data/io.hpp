@@ -1,0 +1,28 @@
+// On-disk dataset formats: IDX (the MNIST distribution format) and the
+// CIFAR-10 binary batch format. Real downloaded files drop straight into the
+// Data layer via "idx:<prefix>" / "cifarbin:<file>" sources; the writers let
+// tests round-trip synthetic data through the genuine byte formats.
+#pragma once
+
+#include <string>
+
+#include "cgdnn/data/dataset.hpp"
+
+namespace cgdnn::data {
+
+/// Reads `<prefix>-images.idx3-ubyte` + `<prefix>-labels.idx1-ubyte`
+/// (big-endian IDX with magics 0x00000803 / 0x00000801). Pixels are scaled
+/// to [0, 1] (Caffe's scale: 0.00390625).
+Dataset ReadIdx(const std::string& prefix);
+
+/// Writes the dataset in IDX format (quantizing pixels to uint8).
+void WriteIdx(const Dataset& ds, const std::string& prefix);
+
+/// Reads one CIFAR-10 binary batch file (records of 1 label byte + 3072
+/// pixel bytes, row-major per channel).
+Dataset ReadCifarBin(const std::string& path);
+
+/// Writes the dataset as a CIFAR-10 binary batch file. Requires 3x32x32.
+void WriteCifarBin(const Dataset& ds, const std::string& path);
+
+}  // namespace cgdnn::data

@@ -1,0 +1,210 @@
+#include "cgdnn/data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "cgdnn/core/rng.hpp"
+
+namespace cgdnn::data {
+
+namespace {
+
+struct Segment {
+  float x1, y1, x2, y2;
+};
+
+// Seven-segment layout in a unit box (x right, y down):
+//      --0--
+//     1     2
+//      --3--
+//     4     5
+//      --6--
+constexpr Segment kSegments[7] = {
+    {0.25f, 0.15f, 0.75f, 0.15f},  // 0: top
+    {0.25f, 0.15f, 0.25f, 0.50f},  // 1: top-left
+    {0.75f, 0.15f, 0.75f, 0.50f},  // 2: top-right
+    {0.25f, 0.50f, 0.75f, 0.50f},  // 3: middle
+    {0.25f, 0.50f, 0.25f, 0.85f},  // 4: bottom-left
+    {0.75f, 0.50f, 0.75f, 0.85f},  // 5: bottom-right
+    {0.25f, 0.85f, 0.75f, 0.85f},  // 6: bottom
+};
+
+// Active segments per digit (classic seven-segment encoding).
+constexpr int kDigitSegments[10][7] = {
+    {1, 1, 1, 0, 1, 1, 1},  // 0
+    {0, 0, 1, 0, 0, 1, 0},  // 1
+    {1, 0, 1, 1, 1, 0, 1},  // 2
+    {1, 0, 1, 1, 0, 1, 1},  // 3
+    {0, 1, 1, 1, 0, 1, 0},  // 4
+    {1, 1, 0, 1, 0, 1, 1},  // 5
+    {1, 1, 0, 1, 1, 1, 1},  // 6
+    {1, 0, 1, 0, 0, 1, 0},  // 7
+    {1, 1, 1, 1, 1, 1, 1},  // 8
+    {1, 1, 1, 1, 0, 1, 1},  // 9
+};
+
+float DistanceToSegment(float px, float py, const Segment& s) {
+  const float dx = s.x2 - s.x1;
+  const float dy = s.y2 - s.y1;
+  const float len2 = dx * dx + dy * dy;
+  float t = len2 > 0 ? ((px - s.x1) * dx + (py - s.y1) * dy) / len2 : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float cx = s.x1 + t * dx;
+  const float cy = s.y1 + t * dy;
+  return std::hypot(px - cx, py - cy);
+}
+
+}  // namespace
+
+Dataset MakeSyntheticMnist(index_t num_samples, std::uint64_t seed) {
+  CGDNN_CHECK_GT(num_samples, 0);
+  Dataset ds;
+  ds.name = "synthetic-mnist";
+  ds.num = num_samples;
+  ds.channels = 1;
+  ds.height = 28;
+  ds.width = 28;
+  ds.num_classes = 10;
+  ds.images.assign(static_cast<std::size_t>(num_samples * 28 * 28), 0.0f);
+  ds.labels.resize(static_cast<std::size_t>(num_samples));
+
+  const Rng base(seed, /*stream=*/0xD161);
+  for (index_t i = 0; i < num_samples; ++i) {
+    // Per-sample generator keyed by the sample index: sample i is identical
+    // no matter how many samples are generated or in what order.
+    Rng rng = base.Split(static_cast<std::uint64_t>(i));
+    const index_t digit = i % 10;  // balanced classes
+    ds.labels[static_cast<std::size_t>(i)] = digit;
+
+    const float angle =
+        static_cast<float>(rng.Uniform(-0.15, 0.15));  // radians (~±8.5°)
+    const float scale = static_cast<float>(rng.Uniform(0.85, 1.1));
+    const float shift_x = static_cast<float>(rng.Uniform(-0.06, 0.06));
+    const float shift_y = static_cast<float>(rng.Uniform(-0.06, 0.06));
+    const float thickness = static_cast<float>(rng.Uniform(0.045, 0.075));
+    const float cos_a = std::cos(angle);
+    const float sin_a = std::sin(angle);
+
+    // Transform the active template segments for this sample.
+    Segment segs[7];
+    int nsegs = 0;
+    for (int s = 0; s < 7; ++s) {
+      if (!kDigitSegments[digit][s]) continue;
+      Segment seg = kSegments[s];
+      const auto xform = [&](float& x, float& y) {
+        const float tx = (x - 0.5f) * scale;
+        const float ty = (y - 0.5f) * scale;
+        x = 0.5f + shift_x + cos_a * tx - sin_a * ty;
+        y = 0.5f + shift_y + sin_a * tx + cos_a * ty;
+      };
+      xform(seg.x1, seg.y1);
+      xform(seg.x2, seg.y2);
+      segs[nsegs++] = seg;
+    }
+
+    float* img = ds.mutable_sample(i);
+    for (index_t y = 0; y < 28; ++y) {
+      for (index_t x = 0; x < 28; ++x) {
+        const float px = (static_cast<float>(x) + 0.5f) / 28.0f;
+        const float py = (static_cast<float>(y) + 0.5f) / 28.0f;
+        float intensity = 0.0f;
+        for (int s = 0; s < nsegs; ++s) {
+          const float d = DistanceToSegment(px, py, segs[s]);
+          // Soft-edged stroke: full intensity inside, linear falloff over
+          // one stroke width outside.
+          const float v = 1.0f - std::clamp((d - thickness) / thickness, 0.0f, 1.0f);
+          intensity = std::max(intensity, v);
+        }
+        // Additive sensor-style noise, clamped to the valid range.
+        intensity += static_cast<float>(rng.Uniform(-0.04, 0.04));
+        img[y * 28 + x] = std::clamp(intensity, 0.0f, 1.0f);
+      }
+    }
+  }
+  return ds;
+}
+
+Dataset MakeSyntheticCifar10(index_t num_samples, std::uint64_t seed) {
+  CGDNN_CHECK_GT(num_samples, 0);
+  Dataset ds;
+  ds.name = "synthetic-cifar10";
+  ds.num = num_samples;
+  ds.channels = 3;
+  ds.height = 32;
+  ds.width = 32;
+  ds.num_classes = 10;
+  ds.images.assign(static_cast<std::size_t>(num_samples * 3 * 32 * 32), 0.0f);
+  ds.labels.resize(static_cast<std::size_t>(num_samples));
+
+  // Ten well-separated base colours (roughly evenly spread hues).
+  constexpr float kPalette[10][3] = {
+      {0.9f, 0.2f, 0.2f}, {0.9f, 0.6f, 0.1f}, {0.8f, 0.8f, 0.2f},
+      {0.3f, 0.8f, 0.2f}, {0.1f, 0.7f, 0.6f}, {0.2f, 0.5f, 0.9f},
+      {0.3f, 0.2f, 0.9f}, {0.7f, 0.2f, 0.8f}, {0.9f, 0.3f, 0.6f},
+      {0.6f, 0.6f, 0.6f}};
+
+  const Rng base(seed, /*stream=*/0xC1FA);
+  for (index_t i = 0; i < num_samples; ++i) {
+    Rng rng = base.Split(static_cast<std::uint64_t>(i));
+    const index_t cls = i % 10;
+    ds.labels[static_cast<std::size_t>(i)] = cls;
+
+    // Class-characteristic oriented sinusoid; random phase per sample.
+    const float theta =
+        static_cast<float>(cls) * static_cast<float>(std::numbers::pi) / 10.0f;
+    const float freq = 2.5f + static_cast<float>(cls % 3);
+    const float phase =
+        static_cast<float>(rng.Uniform(0.0, 2.0 * std::numbers::pi));
+    const float cos_t = std::cos(theta);
+    const float sin_t = std::sin(theta);
+    const float brightness = static_cast<float>(rng.Uniform(0.8, 1.2));
+
+    float* img = ds.mutable_sample(i);
+    const index_t plane = 32 * 32;
+    for (index_t y = 0; y < 32; ++y) {
+      for (index_t x = 0; x < 32; ++x) {
+        const float u = static_cast<float>(x) / 32.0f;
+        const float v = static_cast<float>(y) / 32.0f;
+        const float wave =
+            0.5f + 0.5f * std::sin(2.0f * static_cast<float>(std::numbers::pi) *
+                                       freq * (u * cos_t + v * sin_t) +
+                                   phase);
+        const float noise = static_cast<float>(rng.Uniform(-0.05, 0.05));
+        for (index_t c = 0; c < 3; ++c) {
+          const float val =
+              brightness * kPalette[cls][c] * (0.35f + 0.65f * wave) + noise;
+          img[c * plane + y * 32 + x] = std::clamp(val, 0.0f, 1.0f);
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+Dataset MakeRandom(index_t num_samples, index_t channels, index_t height,
+                   index_t width, index_t num_classes, std::uint64_t seed) {
+  CGDNN_CHECK_GT(num_samples, 0);
+  CGDNN_CHECK_GT(num_classes, 0);
+  Dataset ds;
+  ds.name = "random";
+  ds.num = num_samples;
+  ds.channels = channels;
+  ds.height = height;
+  ds.width = width;
+  ds.num_classes = num_classes;
+  ds.images.resize(static_cast<std::size_t>(num_samples * ds.sample_dim()));
+  ds.labels.resize(static_cast<std::size_t>(num_samples));
+  const Rng base(seed, /*stream=*/0x4A4D);
+  for (index_t i = 0; i < num_samples; ++i) {
+    Rng rng = base.Split(static_cast<std::uint64_t>(i));
+    ds.labels[static_cast<std::size_t>(i)] = rng.UniformInt(0, num_classes - 1);
+    float* img = ds.mutable_sample(i);
+    for (index_t j = 0; j < ds.sample_dim(); ++j) {
+      img[j] = static_cast<float>(rng.Uniform());
+    }
+  }
+  return ds;
+}
+
+}  // namespace cgdnn::data

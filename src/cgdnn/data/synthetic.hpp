@@ -1,0 +1,27 @@
+// Procedural stand-ins for MNIST and CIFAR-10 (see DESIGN.md §4).
+//
+// MNIST substitute: seven-segment stroke renderings of the digits 0-9 with
+// per-sample random affine jitter (shift/scale/rotation), stroke thickness
+// variation and additive noise — 28x28 grayscale, like MNIST.
+//
+// CIFAR-10 substitute: 32x32 RGB textures where each class k has a
+// characteristic base colour and oriented sinusoidal pattern, with random
+// phase and noise per sample. Convolutional nets separate the classes well,
+// which is what the convergence experiments need; per-layer *cost* depends
+// only on the shapes.
+#pragma once
+
+#include "cgdnn/data/dataset.hpp"
+
+namespace cgdnn::data {
+
+Dataset MakeSyntheticMnist(index_t num_samples, std::uint64_t seed);
+
+Dataset MakeSyntheticCifar10(index_t num_samples, std::uint64_t seed);
+
+/// Unstructured noise dataset (shape-compatible with MNIST by default);
+/// used by micro-benchmarks where only tensor shapes matter.
+Dataset MakeRandom(index_t num_samples, index_t channels, index_t height,
+                   index_t width, index_t num_classes, std::uint64_t seed);
+
+}  // namespace cgdnn::data

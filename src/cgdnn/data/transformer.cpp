@@ -1,0 +1,67 @@
+#include "cgdnn/data/transformer.hpp"
+
+namespace cgdnn::data {
+
+DataTransformer::DataTransformer(const proto::TransformationParameter& param,
+                                 Phase phase, std::uint64_t seed)
+    : param_(param), phase_(phase), base_(seed, /*stream=*/0x7F0F) {
+  if (!param_.mean_value.empty()) {
+    CGDNN_CHECK_GE(param_.mean_value.size(), 1u);
+  }
+}
+
+index_t DataTransformer::out_height(index_t in_height) const {
+  return param_.crop_size > 0 ? param_.crop_size : in_height;
+}
+
+index_t DataTransformer::out_width(index_t in_width) const {
+  return param_.crop_size > 0 ? param_.crop_size : in_width;
+}
+
+void DataTransformer::Transform(const float* in, index_t channels,
+                                index_t height, index_t width,
+                                std::uint64_t ordinal, float* out) const {
+  const index_t crop = param_.crop_size;
+  const index_t oh = out_height(height);
+  const index_t ow = out_width(width);
+
+  index_t off_h = 0;
+  index_t off_w = 0;
+  bool mirror = false;
+  if (crop > 0) {
+    CGDNN_CHECK_LE(crop, height);
+    CGDNN_CHECK_LE(crop, width);
+  }
+  if (phase_ == Phase::kTrain) {
+    Rng rng = base_.Split(ordinal);
+    if (crop > 0) {
+      off_h = rng.UniformInt(0, height - crop);
+      off_w = rng.UniformInt(0, width - crop);
+    }
+    if (param_.mirror) mirror = rng.Bernoulli(0.5);
+  } else if (crop > 0) {
+    off_h = (height - crop) / 2;  // deterministic center crop at test time
+    off_w = (width - crop) / 2;
+  }
+
+  const auto scale = static_cast<float>(param_.scale);
+  for (index_t c = 0; c < channels; ++c) {
+    const float mean =
+        param_.mean_value.empty()
+            ? 0.0f
+            : static_cast<float>(param_.mean_value[std::min(
+                  static_cast<std::size_t>(c), param_.mean_value.size() - 1)]);
+    const float* in_plane = in + c * height * width;
+    float* out_plane = out + c * oh * ow;
+    for (index_t y = 0; y < oh; ++y) {
+      const float* in_row = in_plane + (y + off_h) * width + off_w;
+      float* out_row = out_plane + y * ow;
+      for (index_t x = 0; x < ow; ++x) {
+        const index_t src_x = mirror ? ow - 1 - x : x;
+        out_row[x] = (in_row[src_x] - mean) * scale;
+      }
+    }
+  }
+}
+
+}  // namespace cgdnn::data

@@ -1,0 +1,35 @@
+// DataTransformer: the per-sample preprocessing Caffe applies between the
+// raw dataset and the network input blob — scaling, per-channel mean
+// subtraction, random cropping and mirroring. Random decisions are drawn
+// from a generator keyed by (seed, sample ordinal), so the output stream is
+// independent of thread count (convergence invariance).
+#pragma once
+
+#include "cgdnn/core/common.hpp"
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/proto/params.hpp"
+
+namespace cgdnn::data {
+
+class DataTransformer {
+ public:
+  DataTransformer(const proto::TransformationParameter& param, Phase phase,
+                  std::uint64_t seed);
+
+  /// Output spatial size for an input of (height, width).
+  index_t out_height(index_t in_height) const;
+  index_t out_width(index_t in_width) const;
+
+  /// Transforms one C x H x W sample into `out` (C x outH x outW).
+  /// `ordinal` identifies the sample position in the global stream and
+  /// seeds the per-sample randomness (crop offset, mirror flip).
+  void Transform(const float* in, index_t channels, index_t height,
+                 index_t width, std::uint64_t ordinal, float* out) const;
+
+ private:
+  proto::TransformationParameter param_;
+  Phase phase_;
+  Rng base_;
+};
+
+}  // namespace cgdnn::data

@@ -1,0 +1,45 @@
+#include "cgdnn/layers/accuracy_layer.hpp"
+
+namespace cgdnn {
+
+template <typename Dtype>
+void AccuracyLayer<Dtype>::Reshape(const std::vector<Blob<Dtype>*>& bottom,
+                                   const std::vector<Blob<Dtype>*>& top) {
+  top_k_ = this->layer_param_.accuracy_param.top_k;
+  CGDNN_CHECK_GE(top_k_, 1);
+  CGDNN_CHECK_EQ(bottom[1]->count(), bottom[0]->num())
+      << "one label per sample expected";
+  CGDNN_CHECK_LE(top_k_, bottom[0]->count() / bottom[0]->num())
+      << "top_k exceeds the number of classes";
+  top[0]->Reshape(std::vector<index_t>{});
+}
+
+template <typename Dtype>
+void AccuracyLayer<Dtype>::Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
+                                       const std::vector<Blob<Dtype>*>& top) {
+  const Dtype* scores = bottom[0]->cpu_data();
+  const Dtype* labels = bottom[1]->cpu_data();
+  const index_t num = bottom[0]->num();
+  const index_t classes = bottom[0]->count() / num;
+  index_t correct = 0;
+  for (index_t n = 0; n < num; ++n) {
+    const Dtype* s = scores + n * classes;
+    const auto lab = static_cast<index_t>(labels[n]);
+    CGDNN_CHECK_GE(lab, 0);
+    CGDNN_CHECK_LT(lab, classes);
+    // Count classes strictly better than the label; ties resolve in the
+    // label's favour (matches Caffe's >= comparison semantics).
+    index_t better = 0;
+    for (index_t c = 0; c < classes; ++c) {
+      if (s[c] > s[lab]) ++better;
+    }
+    if (better < top_k_) ++correct;
+  }
+  top[0]->mutable_cpu_data()[0] =
+      static_cast<Dtype>(correct) / static_cast<Dtype>(num);
+}
+
+template class AccuracyLayer<float>;
+template class AccuracyLayer<double>;
+
+}  // namespace cgdnn

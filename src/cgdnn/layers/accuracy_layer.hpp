@@ -1,0 +1,40 @@
+// AccuracyLayer: fraction of samples whose label is among the top-k scored
+// classes. Evaluation-only (no backward), used by the TEST-phase nets.
+#pragma once
+
+#include "cgdnn/layers/layer.hpp"
+
+namespace cgdnn {
+
+template <typename Dtype>
+class AccuracyLayer : public Layer<Dtype> {
+ public:
+  explicit AccuracyLayer(const proto::LayerParameter& param)
+      : Layer<Dtype>(param) {}
+
+  void Reshape(const std::vector<Blob<Dtype>*>& bottom,
+               const std::vector<Blob<Dtype>*>& top) override;
+
+  const char* type() const override { return "Accuracy"; }
+  int ExactNumBottomBlobs() const override { return 2; }
+  int ExactNumTopBlobs() const override { return 1; }
+  bool AllowForceBackward(int /*bottom_index*/) const override {
+    return false;
+  }
+
+ protected:
+  void Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
+                   const std::vector<Blob<Dtype>*>& top) override;
+  void Backward_cpu(const std::vector<Blob<Dtype>*>& /*top*/,
+                    const std::vector<bool>& propagate_down,
+                    const std::vector<Blob<Dtype>*>& /*bottom*/) override {
+    for (const bool pd : propagate_down) {
+      CGDNN_CHECK(!pd) << "Accuracy layer cannot backpropagate";
+    }
+  }
+
+ private:
+  index_t top_k_ = 1;
+};
+
+}  // namespace cgdnn

@@ -1,0 +1,149 @@
+#include "cgdnn/layers/data_layers.hpp"
+
+#include <algorithm>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/layers/filler.hpp"
+
+namespace cgdnn {
+
+// -------------------------------------------------------------------- Data
+
+template <typename Dtype>
+void DataLayer<Dtype>::LayerSetUp(const std::vector<Blob<Dtype>*>& bottom,
+                                  const std::vector<Blob<Dtype>*>& top) {
+  (void)bottom;
+  (void)top;
+  const auto& p = this->layer_param_.data_param;
+  CGDNN_CHECK_GT(p.batch_size, 0)
+      << "data layer '" << this->layer_param_.name << "' needs batch_size";
+  batch_size_ = p.batch_size;
+  dataset_ = data::LoadDataset(p.source, p.num_samples, p.seed);
+  CGDNN_CHECK_GE(dataset_->num, batch_size_)
+      << "dataset smaller than one batch";
+  transformer_ = std::make_unique<data::DataTransformer>(
+      this->layer_param_.transform_param, this->phase_, p.seed);
+  transform_buf_.resize(static_cast<std::size_t>(
+      dataset_->channels * transformer_->out_height(dataset_->height) *
+      transformer_->out_width(dataset_->width)));
+}
+
+template <typename Dtype>
+void DataLayer<Dtype>::Reshape(const std::vector<Blob<Dtype>*>& bottom,
+                               const std::vector<Blob<Dtype>*>& top) {
+  (void)bottom;
+  top[0]->Reshape(batch_size_, dataset_->channels,
+                  transformer_->out_height(dataset_->height),
+                  transformer_->out_width(dataset_->width));
+  if (top.size() > 1) top[1]->Reshape({batch_size_});
+}
+
+template <typename Dtype>
+void DataLayer<Dtype>::Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
+                                   const std::vector<Blob<Dtype>*>& top) {
+  (void)bottom;
+  Dtype* data = top[0]->mutable_cpu_data();
+  Dtype* label = top.size() > 1 ? top[1]->mutable_cpu_data() : nullptr;
+  const index_t sample_out = top[0]->count(1);
+  // Sequential batch assembly (one thread touches all input data — the
+  // memory-footprint pattern the paper attributes conv1's locality loss to).
+  for (index_t i = 0; i < batch_size_; ++i) {
+    const index_t s = cursor_;
+    transformer_->Transform(dataset_->sample(s), dataset_->channels,
+                            dataset_->height, dataset_->width, ordinal_++,
+                            transform_buf_.data());
+    Dtype* out = data + i * sample_out;
+    for (index_t j = 0; j < sample_out; ++j) {
+      out[j] = static_cast<Dtype>(transform_buf_[static_cast<std::size_t>(j)]);
+    }
+    if (label != nullptr) label[i] = static_cast<Dtype>(dataset_->label(s));
+    cursor_ = (cursor_ + 1) % dataset_->num;
+  }
+}
+
+// -------------------------------------------------------------- MemoryData
+
+template <typename Dtype>
+void MemoryDataLayer<Dtype>::LayerSetUp(
+    const std::vector<Blob<Dtype>*>& bottom,
+    const std::vector<Blob<Dtype>*>& top) {
+  (void)bottom;
+  (void)top;
+  const auto& p = this->layer_param_.memory_data_param;
+  CGDNN_CHECK_GT(p.batch_size, 0) << "MemoryData needs batch_size";
+  CGDNN_CHECK_GT(p.channels, 0) << "MemoryData needs channels";
+  CGDNN_CHECK_GT(p.height, 0) << "MemoryData needs height";
+  CGDNN_CHECK_GT(p.width, 0) << "MemoryData needs width";
+  batch_size_ = p.batch_size;
+  channels_ = p.channels;
+  height_ = p.height;
+  width_ = p.width;
+}
+
+template <typename Dtype>
+void MemoryDataLayer<Dtype>::Reshape(const std::vector<Blob<Dtype>*>& bottom,
+                                     const std::vector<Blob<Dtype>*>& top) {
+  (void)bottom;
+  top[0]->Reshape(batch_size_, channels_, height_, width_);
+  if (top.size() > 1) top[1]->Reshape({batch_size_});
+}
+
+template <typename Dtype>
+void MemoryDataLayer<Dtype>::Reset(const Dtype* data, const Dtype* labels,
+                                   index_t n) {
+  CGDNN_CHECK(data != nullptr);
+  CGDNN_CHECK_GE(n, batch_size_) << "need at least one batch of samples";
+  data_ = data;
+  labels_ = labels;
+  num_samples_ = n;
+  cursor_ = 0;
+}
+
+template <typename Dtype>
+void MemoryDataLayer<Dtype>::Forward_cpu(
+    const std::vector<Blob<Dtype>*>& bottom,
+    const std::vector<Blob<Dtype>*>& top) {
+  (void)bottom;
+  CGDNN_CHECK(data_ != nullptr)
+      << "MemoryData layer '" << this->layer_param_.name
+      << "' used before Reset()";
+  if (top.size() > 1) {
+    CGDNN_CHECK(labels_ != nullptr)
+        << "label top requested but Reset() got no labels";
+  }
+  const index_t dim = channels_ * height_ * width_;
+  Dtype* out = top[0]->mutable_cpu_data();
+  Dtype* label_out = top.size() > 1 ? top[1]->mutable_cpu_data() : nullptr;
+  for (index_t i = 0; i < batch_size_; ++i) {
+    std::copy(data_ + cursor_ * dim, data_ + (cursor_ + 1) * dim,
+              out + i * dim);
+    if (label_out != nullptr) label_out[i] = labels_[cursor_];
+    cursor_ = (cursor_ + 1) % num_samples_;
+  }
+}
+
+// --------------------------------------------------------------- DummyData
+
+template <typename Dtype>
+void DummyDataLayer<Dtype>::LayerSetUp(const std::vector<Blob<Dtype>*>& bottom,
+                                       const std::vector<Blob<Dtype>*>& top) {
+  (void)bottom;
+  const auto& p = this->layer_param_.dummy_data_param;
+  CGDNN_CHECK_EQ(p.shape.size(), top.size())
+      << "DummyData needs one shape per top blob";
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    top[i]->Reshape(p.shape[i].dim);
+    proto::FillerParameter filler_param;  // default: constant 0
+    if (i < p.data_filler.size()) filler_param = p.data_filler[i];
+    GetFiller<Dtype>(filler_param)->Fill(*top[i], GlobalRng());
+  }
+}
+
+template class MemoryDataLayer<float>;
+template class MemoryDataLayer<double>;
+template class DataLayer<float>;
+template class DataLayer<double>;
+template class DummyDataLayer<float>;
+template class DummyDataLayer<double>;
+
+}  // namespace cgdnn

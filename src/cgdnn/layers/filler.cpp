@@ -1,0 +1,132 @@
+#include "cgdnn/layers/filler.hpp"
+
+#include <cmath>
+
+namespace cgdnn {
+
+namespace {
+
+template <typename Dtype>
+class ConstantFiller : public Filler<Dtype> {
+ public:
+  using Filler<Dtype>::Filler;
+  void Fill(Blob<Dtype>& blob, Rng& /*rng*/) override {
+    blob.set_data(static_cast<Dtype>(this->param_.value));
+  }
+};
+
+template <typename Dtype>
+class UniformFiller : public Filler<Dtype> {
+ public:
+  using Filler<Dtype>::Filler;
+  void Fill(Blob<Dtype>& blob, Rng& rng) override {
+    Dtype* data = blob.mutable_cpu_data();
+    for (index_t i = 0; i < blob.count(); ++i) {
+      data[i] = static_cast<Dtype>(
+          rng.Uniform(this->param_.min, this->param_.max));
+    }
+  }
+};
+
+template <typename Dtype>
+class GaussianFiller : public Filler<Dtype> {
+ public:
+  using Filler<Dtype>::Filler;
+  void Fill(Blob<Dtype>& blob, Rng& rng) override {
+    Dtype* data = blob.mutable_cpu_data();
+    for (index_t i = 0; i < blob.count(); ++i) {
+      data[i] = static_cast<Dtype>(
+          rng.Gaussian(this->param_.mean, this->param_.std));
+    }
+  }
+};
+
+template <typename Dtype>
+class XavierFiller : public Filler<Dtype> {
+ public:
+  using Filler<Dtype>::Filler;
+  void Fill(Blob<Dtype>& blob, Rng& rng) override {
+    const Dtype scale = std::sqrt(Dtype(3) / this->ScaleDenominator(blob));
+    Dtype* data = blob.mutable_cpu_data();
+    for (index_t i = 0; i < blob.count(); ++i) {
+      data[i] = static_cast<Dtype>(rng.Uniform(-scale, scale));
+    }
+  }
+};
+
+template <typename Dtype>
+class MsraFiller : public Filler<Dtype> {
+ public:
+  using Filler<Dtype>::Filler;
+  void Fill(Blob<Dtype>& blob, Rng& rng) override {
+    const Dtype std_dev = std::sqrt(Dtype(2) / this->ScaleDenominator(blob));
+    Dtype* data = blob.mutable_cpu_data();
+    for (index_t i = 0; i < blob.count(); ++i) {
+      data[i] = static_cast<Dtype>(rng.Gaussian(0.0, std_dev));
+    }
+  }
+};
+
+template <typename Dtype>
+class PositiveUnitballFiller : public Filler<Dtype> {
+ public:
+  using Filler<Dtype>::Filler;
+  void Fill(Blob<Dtype>& blob, Rng& rng) override {
+    Dtype* data = blob.mutable_cpu_data();
+    const index_t num = blob.shape(0);
+    const index_t dim = blob.count() / num;
+    for (index_t n = 0; n < num; ++n) {
+      Dtype sum = 0;
+      for (index_t i = 0; i < dim; ++i) {
+        data[n * dim + i] = static_cast<Dtype>(rng.Uniform());
+        sum += data[n * dim + i];
+      }
+      CGDNN_CHECK_GT(sum, Dtype(0));
+      for (index_t i = 0; i < dim; ++i) data[n * dim + i] /= sum;
+    }
+  }
+};
+
+template <typename Dtype>
+class BilinearFiller : public Filler<Dtype> {
+ public:
+  using Filler<Dtype>::Filler;
+  void Fill(Blob<Dtype>& blob, Rng& /*rng*/) override {
+    CGDNN_CHECK_EQ(blob.num_axes(), 4) << "bilinear filler needs 4-axis blob";
+    CGDNN_CHECK_EQ(blob.height(), blob.width())
+        << "bilinear filler needs square kernels";
+    Dtype* data = blob.mutable_cpu_data();
+    const index_t k = blob.height();
+    const auto f = static_cast<Dtype>((k + 1) / 2);
+    const Dtype c = (static_cast<Dtype>(k) - 1) / (Dtype(2) * f);
+    for (index_t i = 0; i < blob.count(); ++i) {
+      const index_t x = i % k;
+      const index_t y = (i / k) % k;
+      data[i] = (Dtype(1) - std::abs(static_cast<Dtype>(x) / f - c)) *
+                (Dtype(1) - std::abs(static_cast<Dtype>(y) / f - c));
+    }
+  }
+};
+
+}  // namespace
+
+template <typename Dtype>
+std::unique_ptr<Filler<Dtype>> GetFiller(const proto::FillerParameter& param) {
+  const std::string& type = param.type;
+  if (type == "constant") return std::make_unique<ConstantFiller<Dtype>>(param);
+  if (type == "uniform") return std::make_unique<UniformFiller<Dtype>>(param);
+  if (type == "gaussian") return std::make_unique<GaussianFiller<Dtype>>(param);
+  if (type == "xavier") return std::make_unique<XavierFiller<Dtype>>(param);
+  if (type == "msra") return std::make_unique<MsraFiller<Dtype>>(param);
+  if (type == "positive_unitball")
+    return std::make_unique<PositiveUnitballFiller<Dtype>>(param);
+  if (type == "bilinear") return std::make_unique<BilinearFiller<Dtype>>(param);
+  throw Error(__FILE__, __LINE__, "unknown filler type: " + type);
+}
+
+template std::unique_ptr<Filler<float>> GetFiller<float>(
+    const proto::FillerParameter&);
+template std::unique_ptr<Filler<double>> GetFiller<double>(
+    const proto::FillerParameter&);
+
+}  // namespace cgdnn

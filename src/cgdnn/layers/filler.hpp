@@ -1,0 +1,48 @@
+// Weight/bias initialization strategies (Caffe's filler.hpp).
+// All fillers draw from an explicitly passed Rng, so network initialization
+// is a pure function of the solver's random_seed.
+#pragma once
+
+#include <memory>
+
+#include "cgdnn/core/blob.hpp"
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/proto/params.hpp"
+
+namespace cgdnn {
+
+template <typename Dtype>
+class Filler {
+ public:
+  explicit Filler(const proto::FillerParameter& param) : param_(param) {}
+  virtual ~Filler() = default;
+  virtual void Fill(Blob<Dtype>& blob, Rng& rng) = 0;
+
+ protected:
+  /// Fan-in / fan-out for xavier/msra scaling: for a blob of shape
+  /// (num, channels, h, w), fan_in = channels*h*w, fan_out = num*h*w.
+  static index_t FanIn(const Blob<Dtype>& blob) {
+    return blob.count() / blob.shape(0);
+  }
+  static index_t FanOut(const Blob<Dtype>& blob) {
+    return blob.num_axes() > 1 ? blob.count() / blob.shape(1) : blob.count();
+  }
+  Dtype ScaleDenominator(const Blob<Dtype>& blob) const {
+    index_t n = FanIn(blob);
+    if (param_.variance_norm == "FAN_OUT") {
+      n = FanOut(blob);
+    } else if (param_.variance_norm == "AVERAGE") {
+      n = (FanIn(blob) + FanOut(blob)) / 2;
+    }
+    return static_cast<Dtype>(n);
+  }
+
+  proto::FillerParameter param_;
+};
+
+/// Creates the filler named by `param.type`:
+/// constant | uniform | gaussian | xavier | msra | positive_unitball | bilinear.
+template <typename Dtype>
+std::unique_ptr<Filler<Dtype>> GetFiller(const proto::FillerParameter& param);
+
+}  // namespace cgdnn

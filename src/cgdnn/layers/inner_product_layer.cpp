@@ -1,0 +1,188 @@
+#include "cgdnn/layers/inner_product_layer.hpp"
+
+#include <omp.h>
+
+#include "cgdnn/blas/blas.hpp"
+#include "cgdnn/layers/filler.hpp"
+#include "cgdnn/parallel/coalesce.hpp"
+#include "cgdnn/parallel/merge.hpp"
+#include "cgdnn/parallel/privatizer.hpp"
+
+namespace cgdnn {
+
+template <typename Dtype>
+void InnerProductLayer<Dtype>::LayerSetUp(
+    const std::vector<Blob<Dtype>*>& bottom,
+    const std::vector<Blob<Dtype>*>& top) {
+  (void)top;
+  const auto& p = this->layer_param_.inner_product_param;
+  num_output_ = p.num_output;
+  bias_term_ = p.bias_term;
+  CGDNN_CHECK_GT(num_output_, 0);
+  const int axis = bottom[0]->CanonicalAxisIndex(p.axis);
+  k_ = bottom[0]->count(axis);
+  if (this->blobs_.empty()) {
+    this->blobs_.resize(bias_term_ ? 2 : 1);
+    this->blobs_[0] =
+        std::make_shared<Blob<Dtype>>(std::vector<index_t>{num_output_, k_});
+    GetFiller<Dtype>(p.weight_filler)->Fill(*this->blobs_[0], GlobalRng());
+    if (bias_term_) {
+      this->blobs_[1] =
+          std::make_shared<Blob<Dtype>>(std::vector<index_t>{num_output_});
+      GetFiller<Dtype>(p.bias_filler)->Fill(*this->blobs_[1], GlobalRng());
+    }
+  }
+  this->param_propagate_down_.assign(this->blobs_.size(), true);
+}
+
+template <typename Dtype>
+void InnerProductLayer<Dtype>::Reshape(const std::vector<Blob<Dtype>*>& bottom,
+                                       const std::vector<Blob<Dtype>*>& top) {
+  const int axis =
+      bottom[0]->CanonicalAxisIndex(this->layer_param_.inner_product_param.axis);
+  CGDNN_CHECK_EQ(bottom[0]->count(axis), k_)
+      << "input feature dimension changed for " << this->layer_param_.name;
+  m_ = bottom[0]->count(0, axis);
+  top[0]->Reshape({m_, num_output_});
+  if (bias_term_) {
+    bias_multiplier_.Reshape({m_});
+    bias_multiplier_.set_data(Dtype(1));
+  }
+}
+
+template <typename Dtype>
+void InnerProductLayer<Dtype>::Forward_cpu(
+    const std::vector<Blob<Dtype>*>& bottom,
+    const std::vector<Blob<Dtype>*>& top) {
+  const Dtype* bottom_data = bottom[0]->cpu_data();
+  const Dtype* weight = this->blobs_[0]->cpu_data();
+  Dtype* top_data = top[0]->mutable_cpu_data();
+  // top (m x num_output) = bottom (m x k) * W^T (k x num_output)
+  blas::gemm(blas::Transpose::kNo, blas::Transpose::kTrans, m_, num_output_,
+             k_, Dtype(1), bottom_data, weight, Dtype(0), top_data);
+  if (bias_term_) {
+    blas::ger(m_, num_output_, Dtype(1), bias_multiplier_.cpu_data(),
+              this->blobs_[1]->cpu_data(), top_data);
+  }
+}
+
+template <typename Dtype>
+void InnerProductLayer<Dtype>::Forward_cpu_parallel(
+    const std::vector<Blob<Dtype>*>& bottom,
+    const std::vector<Blob<Dtype>*>& top) {
+  const Dtype* bottom_data = bottom[0]->cpu_data();
+  const Dtype* weight = this->blobs_[0]->cpu_data();
+  const Dtype* bias = bias_term_ ? this->blobs_[1]->cpu_data() : nullptr;
+  Dtype* top_data = top[0]->mutable_cpu_data();
+  const int nthreads = parallel::Parallel::ResolveThreads();
+  // Batch-level parallelism: each thread evaluates the GEMM restricted to
+  // its contiguous block of samples (rows). Row results are independent,
+  // so this is bit-identical to the serial GEMM.
+#pragma omp parallel num_threads(nthreads)
+  {
+    const auto range = parallel::StaticChunk(m_, omp_get_num_threads(),
+                                             omp_get_thread_num());
+    if (range.size() > 0) {
+      Dtype* out = top_data + range.begin * num_output_;
+      blas::gemm(blas::Transpose::kNo, blas::Transpose::kTrans, range.size(),
+                 num_output_, k_, Dtype(1), bottom_data + range.begin * k_,
+                 weight, Dtype(0), out);
+      if (bias != nullptr) {
+        for (index_t s = 0; s < range.size(); ++s) {
+          blas::axpy(num_output_, Dtype(1), bias, out + s * num_output_);
+        }
+      }
+    }
+  }
+}
+
+template <typename Dtype>
+void InnerProductLayer<Dtype>::Backward_cpu(
+    const std::vector<Blob<Dtype>*>& top,
+    const std::vector<bool>& propagate_down,
+    const std::vector<Blob<Dtype>*>& bottom) {
+  const Dtype* top_diff = top[0]->cpu_diff();
+  if (this->param_propagate_down(0)) {
+    // dW (num_output x k) += top_diff^T (num_output x m) * bottom (m x k)
+    blas::gemm(blas::Transpose::kTrans, blas::Transpose::kNo, num_output_, k_,
+               m_, Dtype(1), top_diff, bottom[0]->cpu_data(), Dtype(1),
+               this->blobs_[0]->mutable_cpu_diff());
+  }
+  if (bias_term_ && this->param_propagate_down(1)) {
+    // db += top_diff^T * ones
+    blas::gemv(blas::Transpose::kTrans, m_, num_output_, Dtype(1), top_diff,
+               bias_multiplier_.cpu_data(), Dtype(1),
+               this->blobs_[1]->mutable_cpu_diff());
+  }
+  if (propagate_down[0]) {
+    // d_bottom (m x k) = top_diff (m x num_output) * W (num_output x k)
+    blas::gemm(blas::Transpose::kNo, blas::Transpose::kNo, m_, k_, num_output_,
+               Dtype(1), top_diff, this->blobs_[0]->cpu_data(), Dtype(0),
+               bottom[0]->mutable_cpu_diff());
+  }
+}
+
+template <typename Dtype>
+void InnerProductLayer<Dtype>::Backward_cpu_parallel(
+    const std::vector<Blob<Dtype>*>& top,
+    const std::vector<bool>& propagate_down,
+    const std::vector<Blob<Dtype>*>& bottom) {
+  const Dtype* top_diff = top[0]->cpu_diff();
+  const Dtype* bottom_data = bottom[0]->cpu_data();
+  const Dtype* weight = this->blobs_[0]->cpu_data();
+  const bool do_weights = this->param_propagate_down(0);
+  const bool do_bias = bias_term_ && this->param_propagate_down(1);
+  Dtype* weight_diff_dest =
+      do_weights ? this->blobs_[0]->mutable_cpu_diff() : nullptr;
+  Dtype* bias_diff_dest = do_bias ? this->blobs_[1]->mutable_cpu_diff() : nullptr;
+  Dtype* bottom_diff =
+      propagate_down[0] ? bottom[0]->mutable_cpu_diff() : nullptr;
+
+  const int nthreads = parallel::Parallel::ResolveThreads();
+  // Parameter gradients are partitioned by OUTPUT ROW instead of by sample
+  // (the loop-rearrangement freedom of paper §3.1.2): each dW row is a sum
+  // over all samples, so threads own disjoint rows, no privatization or
+  // merge is needed, and the per-row sample-ascending accumulation is
+  // bit-identical to the serial GEMM. The weight matrix is the layer's
+  // dominant state, so this also avoids the O(weights x threads) memory a
+  // batch-partitioned accumulation would privatize.
+#pragma omp parallel num_threads(nthreads)
+  {
+    const int tid = omp_get_thread_num();
+    const int team = omp_get_num_threads();
+    if (do_weights || do_bias) {
+      const auto rows = parallel::StaticChunk(num_output_, team, tid);
+      for (index_t o = rows.begin; o < rows.end; ++o) {
+        if (do_weights) {
+          Dtype* wrow = weight_diff_dest + o * k_;
+          for (index_t s = 0; s < m_; ++s) {
+            blas::axpy(k_, top_diff[s * num_output_ + o],
+                       bottom_data + s * k_, wrow);
+          }
+        }
+        if (do_bias) {
+          // Accumulate from the existing value in sample order: the exact
+          // association of the serial transposed GEMV.
+          Dtype sum = bias_diff_dest[o];
+          for (index_t s = 0; s < m_; ++s) sum += top_diff[s * num_output_ + o];
+          bias_diff_dest[o] = sum;
+        }
+      }
+    }
+    if (bottom_diff != nullptr) {
+      // Bottom gradient stays batch-partitioned (disjoint per sample).
+      const auto range = parallel::StaticChunk(m_, team, tid);
+      if (range.size() > 0) {
+        blas::gemm(blas::Transpose::kNo, blas::Transpose::kNo, range.size(),
+                   k_, num_output_, Dtype(1),
+                   top_diff + range.begin * num_output_, weight, Dtype(0),
+                   bottom_diff + range.begin * k_);
+      }
+    }
+  }
+}
+
+template class InnerProductLayer<float>;
+template class InnerProductLayer<double>;
+
+}  // namespace cgdnn

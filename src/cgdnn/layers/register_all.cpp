@@ -1,0 +1,78 @@
+// Central layer registration. Explicit (rather than static-initializer
+// based) registration avoids the classic dead-stripping problem of
+// self-registering translation units inside static libraries.
+#include <mutex>
+
+#include "cgdnn/layers/accuracy_layer.hpp"
+#include "cgdnn/layers/batch_norm_layer.hpp"
+#include "cgdnn/layers/conv_layer.hpp"
+#include "cgdnn/layers/data_layers.hpp"
+#include "cgdnn/layers/extra_neuron_layers.hpp"
+#include "cgdnn/layers/inner_product_layer.hpp"
+#include "cgdnn/layers/layer.hpp"
+#include "cgdnn/layers/loss_layers.hpp"
+#include "cgdnn/layers/lrn_layer.hpp"
+#include "cgdnn/layers/neuron_layers.hpp"
+#include "cgdnn/layers/pooling_layer.hpp"
+#include "cgdnn/layers/scale_bias_layers.hpp"
+#include "cgdnn/layers/shape_layers.hpp"
+#include "cgdnn/layers/softmax_layer.hpp"
+#include "cgdnn/layers/util_layers.hpp"
+
+namespace cgdnn {
+
+namespace {
+
+template <typename Dtype, template <typename> class LayerT>
+std::shared_ptr<Layer<Dtype>> Make(const proto::LayerParameter& param) {
+  return std::make_shared<LayerT<Dtype>>(param);
+}
+
+template <typename Dtype>
+void RegisterAllFor() {
+  auto& registry = LayerRegistry<Dtype>::Get();
+  registry.Register("Data", &Make<Dtype, DataLayer>);
+  registry.Register("DummyData", &Make<Dtype, DummyDataLayer>);
+  registry.Register("MemoryData", &Make<Dtype, MemoryDataLayer>);
+  registry.Register("Convolution", &Make<Dtype, ConvolutionLayer>);
+  registry.Register("Pooling", &Make<Dtype, PoolingLayer>);
+  registry.Register("InnerProduct", &Make<Dtype, InnerProductLayer>);
+  registry.Register("LRN", &Make<Dtype, LRNLayer>);
+  registry.Register("ReLU", &Make<Dtype, ReLULayer>);
+  registry.Register("Sigmoid", &Make<Dtype, SigmoidLayer>);
+  registry.Register("TanH", &Make<Dtype, TanHLayer>);
+  registry.Register("Dropout", &Make<Dtype, DropoutLayer>);
+  registry.Register("Softmax", &Make<Dtype, SoftmaxLayer>);
+  registry.Register("SoftmaxWithLoss", &Make<Dtype, SoftmaxWithLossLayer>);
+  registry.Register("EuclideanLoss", &Make<Dtype, EuclideanLossLayer>);
+  registry.Register("Accuracy", &Make<Dtype, AccuracyLayer>);
+  registry.Register("Split", &Make<Dtype, SplitLayer>);
+  registry.Register("Concat", &Make<Dtype, ConcatLayer>);
+  registry.Register("Eltwise", &Make<Dtype, EltwiseLayer>);
+  registry.Register("Flatten", &Make<Dtype, FlattenLayer>);
+  registry.Register("Power", &Make<Dtype, PowerLayer>);
+  registry.Register("Exp", &Make<Dtype, ExpLayer>);
+  registry.Register("Log", &Make<Dtype, LogLayer>);
+  registry.Register("AbsVal", &Make<Dtype, AbsValLayer>);
+  registry.Register("BNLL", &Make<Dtype, BNLLLayer>);
+  registry.Register("ELU", &Make<Dtype, ELULayer>);
+  registry.Register("Scale", &Make<Dtype, ScaleLayer>);
+  registry.Register("Bias", &Make<Dtype, BiasLayer>);
+  registry.Register("Slice", &Make<Dtype, SliceLayer>);
+  registry.Register("Reshape", &Make<Dtype, ReshapeLayer>);
+  registry.Register("ArgMax", &Make<Dtype, ArgMaxLayer>);
+  registry.Register("Silence", &Make<Dtype, SilenceLayer>);
+  registry.Register("BatchNorm", &Make<Dtype, BatchNormLayer>);
+}
+
+}  // namespace
+
+void EnsureLayersRegistered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    RegisterAllFor<float>();
+    RegisterAllFor<double>();
+  });
+}
+
+}  // namespace cgdnn

@@ -1,0 +1,233 @@
+#include "cgdnn/layers/util_layers.hpp"
+
+#include "cgdnn/blas/blas.hpp"
+
+namespace cgdnn {
+
+// ------------------------------------------------------------------- Split
+
+template <typename Dtype>
+void SplitLayer<Dtype>::Reshape(const std::vector<Blob<Dtype>*>& bottom,
+                                const std::vector<Blob<Dtype>*>& top) {
+  for (Blob<Dtype>* t : top) {
+    t->ReshapeLike(*bottom[0]);
+    t->ShareData(*bottom[0]);  // zero-copy forward
+  }
+}
+
+template <typename Dtype>
+void SplitLayer<Dtype>::Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
+                                    const std::vector<Blob<Dtype>*>& top) {
+  (void)bottom;
+  (void)top;  // data already shared in Reshape
+}
+
+template <typename Dtype>
+void SplitLayer<Dtype>::Backward_cpu(const std::vector<Blob<Dtype>*>& top,
+                                     const std::vector<bool>& propagate_down,
+                                     const std::vector<Blob<Dtype>*>& bottom) {
+  if (!propagate_down[0]) return;
+  const index_t count = bottom[0]->count();
+  Dtype* bottom_diff = bottom[0]->mutable_cpu_diff();
+  blas::copy(count, top[0]->cpu_diff(), bottom_diff);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    blas::axpy(count, Dtype(1), top[i]->cpu_diff(), bottom_diff);
+  }
+}
+
+// ------------------------------------------------------------------ Concat
+
+template <typename Dtype>
+void ConcatLayer<Dtype>::Reshape(const std::vector<Blob<Dtype>*>& bottom,
+                                 const std::vector<Blob<Dtype>*>& top) {
+  axis_ = bottom[0]->CanonicalAxisIndex(this->layer_param_.concat_param.axis);
+  std::vector<index_t> top_shape = bottom[0]->shape();
+  num_concats_ = bottom[0]->count(0, axis_);
+  for (std::size_t i = 1; i < bottom.size(); ++i) {
+    CGDNN_CHECK_EQ(bottom[i]->num_axes(), bottom[0]->num_axes());
+    for (int a = 0; a < bottom[0]->num_axes(); ++a) {
+      if (a == axis_) continue;
+      CGDNN_CHECK_EQ(bottom[i]->shape(a), bottom[0]->shape(a))
+          << "concat inputs must match on non-concat axes";
+    }
+    top_shape[static_cast<std::size_t>(axis_)] += bottom[i]->shape(axis_);
+  }
+  top[0]->Reshape(top_shape);
+  concat_input_ = top[0]->count(axis_);
+}
+
+template <typename Dtype>
+void ConcatLayer<Dtype>::Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
+                                     const std::vector<Blob<Dtype>*>& top) {
+  Dtype* top_data = top[0]->mutable_cpu_data();
+  index_t offset = 0;
+  for (Blob<Dtype>* b : bottom) {
+    const Dtype* bottom_data = b->cpu_data();
+    const index_t slice = b->count(axis_);
+    for (index_t n = 0; n < num_concats_; ++n) {
+      blas::copy(slice, bottom_data + n * slice,
+                 top_data + n * concat_input_ + offset);
+    }
+    offset += slice;
+  }
+}
+
+template <typename Dtype>
+void ConcatLayer<Dtype>::Backward_cpu(const std::vector<Blob<Dtype>*>& top,
+                                      const std::vector<bool>& propagate_down,
+                                      const std::vector<Blob<Dtype>*>& bottom) {
+  const Dtype* top_diff = top[0]->cpu_diff();
+  index_t offset = 0;
+  for (std::size_t i = 0; i < bottom.size(); ++i) {
+    const index_t slice = bottom[i]->count(axis_);
+    if (propagate_down[i]) {
+      Dtype* bottom_diff = bottom[i]->mutable_cpu_diff();
+      for (index_t n = 0; n < num_concats_; ++n) {
+        blas::copy(slice, top_diff + n * concat_input_ + offset,
+                   bottom_diff + n * slice);
+      }
+    }
+    offset += slice;
+  }
+}
+
+// ----------------------------------------------------------------- Eltwise
+
+template <typename Dtype>
+void EltwiseLayer<Dtype>::LayerSetUp(const std::vector<Blob<Dtype>*>& bottom,
+                                     const std::vector<Blob<Dtype>*>& top) {
+  (void)top;
+  const auto& p = this->layer_param_.eltwise_param;
+  op_ = p.operation;
+  coeffs_.assign(bottom.size(), Dtype(1));
+  if (!p.coeff.empty()) {
+    CGDNN_CHECK_EQ(p.coeff.size(), bottom.size())
+        << "one coefficient per bottom, or none";
+    CGDNN_CHECK(op_ == proto::EltwiseParameter::Op::kSum)
+        << "coefficients only apply to SUM";
+    for (std::size_t i = 0; i < bottom.size(); ++i) {
+      coeffs_[i] = static_cast<Dtype>(p.coeff[i]);
+    }
+  }
+}
+
+template <typename Dtype>
+void EltwiseLayer<Dtype>::Reshape(const std::vector<Blob<Dtype>*>& bottom,
+                                  const std::vector<Blob<Dtype>*>& top) {
+  for (std::size_t i = 1; i < bottom.size(); ++i) {
+    CGDNN_CHECK(bottom[i]->shape() == bottom[0]->shape())
+        << "eltwise inputs must have identical shapes";
+  }
+  top[0]->ReshapeLike(*bottom[0]);
+  if (op_ == proto::EltwiseParameter::Op::kMax) {
+    max_arg_.assign(static_cast<std::size_t>(bottom[0]->count()), 0);
+  }
+}
+
+template <typename Dtype>
+void EltwiseLayer<Dtype>::Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
+                                      const std::vector<Blob<Dtype>*>& top) {
+  const index_t count = top[0]->count();
+  Dtype* top_data = top[0]->mutable_cpu_data();
+  switch (op_) {
+    case proto::EltwiseParameter::Op::kProd:
+      blas::mul(count, bottom[0]->cpu_data(), bottom[1]->cpu_data(), top_data);
+      for (std::size_t i = 2; i < bottom.size(); ++i) {
+        blas::mul(count, top_data, bottom[i]->cpu_data(), top_data);
+      }
+      break;
+    case proto::EltwiseParameter::Op::kSum:
+      blas::set(count, Dtype(0), top_data);
+      for (std::size_t i = 0; i < bottom.size(); ++i) {
+        blas::axpy(count, coeffs_[i], bottom[i]->cpu_data(), top_data);
+      }
+      break;
+    case proto::EltwiseParameter::Op::kMax:
+      for (index_t j = 0; j < count; ++j) {
+        Dtype best = bottom[0]->cpu_data()[j];
+        int arg = 0;
+        for (std::size_t i = 1; i < bottom.size(); ++i) {
+          const Dtype v = bottom[i]->cpu_data()[j];
+          if (v > best) {
+            best = v;
+            arg = static_cast<int>(i);
+          }
+        }
+        top_data[j] = best;
+        max_arg_[static_cast<std::size_t>(j)] = arg;
+      }
+      break;
+  }
+}
+
+template <typename Dtype>
+void EltwiseLayer<Dtype>::Backward_cpu(const std::vector<Blob<Dtype>*>& top,
+                                       const std::vector<bool>& propagate_down,
+                                       const std::vector<Blob<Dtype>*>& bottom) {
+  const index_t count = top[0]->count();
+  const Dtype* top_diff = top[0]->cpu_diff();
+  const Dtype* top_data = top[0]->cpu_data();
+  for (std::size_t i = 0; i < bottom.size(); ++i) {
+    if (!propagate_down[i]) continue;
+    Dtype* bottom_diff = bottom[i]->mutable_cpu_diff();
+    switch (op_) {
+      case proto::EltwiseParameter::Op::kProd:
+        // d/db_i = top / b_i * top_diff (safe when b_i != 0; matches
+        // Caffe's stable=false fast path).
+        blas::div(count, top_data, bottom[i]->cpu_data(), bottom_diff);
+        blas::mul(count, bottom_diff, top_diff, bottom_diff);
+        break;
+      case proto::EltwiseParameter::Op::kSum:
+        for (index_t j = 0; j < count; ++j) {
+          bottom_diff[j] = coeffs_[i] * top_diff[j];
+        }
+        break;
+      case proto::EltwiseParameter::Op::kMax:
+        for (index_t j = 0; j < count; ++j) {
+          bottom_diff[j] =
+              max_arg_[static_cast<std::size_t>(j)] == static_cast<int>(i)
+                  ? top_diff[j]
+                  : Dtype(0);
+        }
+        break;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Flatten
+
+template <typename Dtype>
+void FlattenLayer<Dtype>::Reshape(const std::vector<Blob<Dtype>*>& bottom,
+                                  const std::vector<Blob<Dtype>*>& top) {
+  CGDNN_CHECK_NE(bottom[0], top[0]) << "Flatten cannot run in-place";
+  top[0]->Reshape({bottom[0]->shape(0), bottom[0]->count(1)});
+  top[0]->ShareData(*bottom[0]);
+  top[0]->ShareDiff(*bottom[0]);
+}
+
+template <typename Dtype>
+void FlattenLayer<Dtype>::Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
+                                      const std::vector<Blob<Dtype>*>& top) {
+  (void)bottom;
+  (void)top;  // storage shared in Reshape
+}
+
+template <typename Dtype>
+void FlattenLayer<Dtype>::Backward_cpu(const std::vector<Blob<Dtype>*>& top,
+                                       const std::vector<bool>& propagate_down,
+                                       const std::vector<Blob<Dtype>*>& bottom) {
+  (void)top;
+  (void)propagate_down;
+  (void)bottom;  // diff shared in Reshape
+}
+
+#define CGDNN_INSTANTIATE_UTIL(Layer) \
+  template class Layer<float>;        \
+  template class Layer<double>
+
+CGDNN_INSTANTIATE_UTIL(SplitLayer);
+CGDNN_INSTANTIATE_UTIL(ConcatLayer);
+CGDNN_INSTANTIATE_UTIL(EltwiseLayer);
+CGDNN_INSTANTIATE_UTIL(FlattenLayer);
+
+}  // namespace cgdnn

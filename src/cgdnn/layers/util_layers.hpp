@@ -1,0 +1,104 @@
+// Structural / element-wise utility layers: Split (inserted automatically
+// when one top feeds several bottoms), Concat, Eltwise, Flatten.
+#pragma once
+
+#include <vector>
+
+#include "cgdnn/layers/layer.hpp"
+
+namespace cgdnn {
+
+/// Split: tops share the bottom's data (zero copy); backward sums top diffs.
+template <typename Dtype>
+class SplitLayer : public Layer<Dtype> {
+ public:
+  explicit SplitLayer(const proto::LayerParameter& param)
+      : Layer<Dtype>(param) {}
+  void Reshape(const std::vector<Blob<Dtype>*>& bottom,
+               const std::vector<Blob<Dtype>*>& top) override;
+  const char* type() const override { return "Split"; }
+  int ExactNumBottomBlobs() const override { return 1; }
+  int MinTopBlobs() const override { return 1; }
+
+ protected:
+  void Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
+                   const std::vector<Blob<Dtype>*>& top) override;
+  void Backward_cpu(const std::vector<Blob<Dtype>*>& top,
+                    const std::vector<bool>& propagate_down,
+                    const std::vector<Blob<Dtype>*>& bottom) override;
+};
+
+/// Concat along a given axis (default: channels).
+template <typename Dtype>
+class ConcatLayer : public Layer<Dtype> {
+ public:
+  explicit ConcatLayer(const proto::LayerParameter& param)
+      : Layer<Dtype>(param) {}
+  void Reshape(const std::vector<Blob<Dtype>*>& bottom,
+               const std::vector<Blob<Dtype>*>& top) override;
+  const char* type() const override { return "Concat"; }
+  int MinBottomBlobs() const override { return 1; }
+  int ExactNumTopBlobs() const override { return 1; }
+
+ protected:
+  void Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
+                   const std::vector<Blob<Dtype>*>& top) override;
+  void Backward_cpu(const std::vector<Blob<Dtype>*>& top,
+                    const std::vector<bool>& propagate_down,
+                    const std::vector<Blob<Dtype>*>& bottom) override;
+
+ private:
+  int axis_ = 1;
+  index_t num_concats_ = 0;    // product of dims before axis
+  index_t concat_input_ = 0;   // product of dims from axis on (per bottom)
+};
+
+/// Eltwise: PROD / SUM (with per-bottom coefficients) / MAX (with argmax
+/// mask for the backward pass).
+template <typename Dtype>
+class EltwiseLayer : public Layer<Dtype> {
+ public:
+  explicit EltwiseLayer(const proto::LayerParameter& param)
+      : Layer<Dtype>(param) {}
+  void LayerSetUp(const std::vector<Blob<Dtype>*>& bottom,
+                  const std::vector<Blob<Dtype>*>& top) override;
+  void Reshape(const std::vector<Blob<Dtype>*>& bottom,
+               const std::vector<Blob<Dtype>*>& top) override;
+  const char* type() const override { return "Eltwise"; }
+  int MinBottomBlobs() const override { return 2; }
+  int ExactNumTopBlobs() const override { return 1; }
+
+ protected:
+  void Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
+                   const std::vector<Blob<Dtype>*>& top) override;
+  void Backward_cpu(const std::vector<Blob<Dtype>*>& top,
+                    const std::vector<bool>& propagate_down,
+                    const std::vector<Blob<Dtype>*>& bottom) override;
+
+ private:
+  proto::EltwiseParameter::Op op_ = proto::EltwiseParameter::Op::kSum;
+  std::vector<Dtype> coeffs_;
+  std::vector<int> max_arg_;  // winning bottom index per element (kMax)
+};
+
+/// Flatten: reshapes (N, d1, d2, ...) to (N, d1*d2*...), sharing storage.
+template <typename Dtype>
+class FlattenLayer : public Layer<Dtype> {
+ public:
+  explicit FlattenLayer(const proto::LayerParameter& param)
+      : Layer<Dtype>(param) {}
+  void Reshape(const std::vector<Blob<Dtype>*>& bottom,
+               const std::vector<Blob<Dtype>*>& top) override;
+  const char* type() const override { return "Flatten"; }
+  int ExactNumBottomBlobs() const override { return 1; }
+  int ExactNumTopBlobs() const override { return 1; }
+
+ protected:
+  void Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
+                   const std::vector<Blob<Dtype>*>& top) override;
+  void Backward_cpu(const std::vector<Blob<Dtype>*>& top,
+                    const std::vector<bool>& propagate_down,
+                    const std::vector<Blob<Dtype>*>& bottom) override;
+};
+
+}  // namespace cgdnn

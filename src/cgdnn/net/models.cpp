@@ -1,0 +1,213 @@
+#include "cgdnn/net/models.hpp"
+
+namespace cgdnn::models {
+
+namespace {
+
+using proto::FillerParameter;
+using proto::LayerParameter;
+using proto::NetParameter;
+
+FillerParameter Xavier() {
+  FillerParameter f;
+  f.type = "xavier";
+  return f;
+}
+
+FillerParameter Gaussian(double std_dev) {
+  FillerParameter f;
+  f.type = "gaussian";
+  f.std = std_dev;
+  return f;
+}
+
+FillerParameter Constant(double value = 0.0) {
+  FillerParameter f;
+  f.type = "constant";
+  f.value = value;
+  return f;
+}
+
+LayerParameter Data(const std::string& name, const std::string& source,
+                    const ModelOptions& opts) {
+  LayerParameter l;
+  l.name = name;
+  l.type = "Data";
+  l.top = {"data", "label"};
+  l.data_param.source = opts.source.empty() ? source : opts.source;
+  l.data_param.batch_size = opts.batch_size;
+  l.data_param.num_samples = opts.num_samples;
+  l.data_param.seed = opts.data_seed;
+  return l;
+}
+
+LayerParameter Conv(const std::string& name, const std::string& bottom,
+                    index_t num_output, index_t kernel, index_t stride,
+                    index_t pad, const FillerParameter& weight_filler) {
+  LayerParameter l;
+  l.name = name;
+  l.type = "Convolution";
+  l.bottom = {bottom};
+  l.top = {name};
+  l.convolution_param.num_output = num_output;
+  l.convolution_param.kernel_h = kernel;
+  l.convolution_param.kernel_w = kernel;
+  l.convolution_param.stride_h = stride;
+  l.convolution_param.stride_w = stride;
+  l.convolution_param.pad_h = pad;
+  l.convolution_param.pad_w = pad;
+  l.convolution_param.weight_filler = weight_filler;
+  l.convolution_param.bias_filler = Constant();
+  l.param = {{"", 1.0, 1.0}, {"", 2.0, 0.0}};  // Caffe's conv lr multipliers
+  return l;
+}
+
+LayerParameter Pool(const std::string& name, const std::string& bottom,
+                    proto::PoolingParameter::Method method, index_t kernel,
+                    index_t stride) {
+  LayerParameter l;
+  l.name = name;
+  l.type = "Pooling";
+  l.bottom = {bottom};
+  l.top = {name};
+  l.pooling_param.pool = method;
+  l.pooling_param.kernel_size = kernel;
+  l.pooling_param.stride = stride;
+  return l;
+}
+
+LayerParameter ReLU(const std::string& name, const std::string& blob) {
+  LayerParameter l;
+  l.name = name;
+  l.type = "ReLU";
+  l.bottom = {blob};
+  l.top = {blob};  // in-place, as in the Caffe model zoo
+  return l;
+}
+
+LayerParameter Lrn(const std::string& name, const std::string& bottom,
+                   index_t local_size, double alpha, double beta) {
+  LayerParameter l;
+  l.name = name;
+  l.type = "LRN";
+  l.bottom = {bottom};
+  l.top = {name};
+  l.lrn_param.local_size = local_size;
+  l.lrn_param.alpha = alpha;
+  l.lrn_param.beta = beta;
+  return l;
+}
+
+LayerParameter Ip(const std::string& name, const std::string& bottom,
+                  index_t num_output, const FillerParameter& weight_filler) {
+  LayerParameter l;
+  l.name = name;
+  l.type = "InnerProduct";
+  l.bottom = {bottom};
+  l.top = {name};
+  l.inner_product_param.num_output = num_output;
+  l.inner_product_param.weight_filler = weight_filler;
+  l.inner_product_param.bias_filler = Constant();
+  l.param = {{"", 1.0, 1.0}, {"", 2.0, 0.0}};
+  return l;
+}
+
+LayerParameter Loss(const std::string& bottom) {
+  LayerParameter l;
+  l.name = "loss";
+  l.type = "SoftmaxWithLoss";
+  l.bottom = {bottom, "label"};
+  l.top = {"loss"};
+  return l;
+}
+
+LayerParameter Accuracy(const std::string& bottom) {
+  LayerParameter l;
+  l.name = "accuracy";
+  l.type = "Accuracy";
+  l.bottom = {bottom, "label"};
+  l.top = {"accuracy"};
+  l.include_phase = Phase::kTest;
+  return l;
+}
+
+}  // namespace
+
+NetParameter LeNet(const ModelOptions& opts) {
+  NetParameter net;
+  net.name = "LeNet";
+  net.layer.push_back(Data("mnist", "synthetic-mnist", opts));
+  net.layer.push_back(Conv("conv1", "data", 20, 5, 1, 0, Xavier()));
+  net.layer.push_back(
+      Pool("pool1", "conv1", proto::PoolingParameter::Method::kMax, 2, 2));
+  net.layer.push_back(Conv("conv2", "pool1", 50, 5, 1, 0, Xavier()));
+  net.layer.push_back(
+      Pool("pool2", "conv2", proto::PoolingParameter::Method::kMax, 2, 2));
+  net.layer.push_back(Ip("ip1", "pool2", 500, Xavier()));
+  net.layer.push_back(ReLU("relu1", "ip1"));
+  net.layer.push_back(Ip("ip2", "ip1", 10, Xavier()));
+  if (opts.with_accuracy) net.layer.push_back(Accuracy("ip2"));
+  net.layer.push_back(Loss("ip2"));
+  return net;
+}
+
+NetParameter Cifar10Quick(const ModelOptions& opts) {
+  NetParameter net;
+  net.name = "CIFAR10_quick";
+  ModelOptions o = opts;
+  if (o.batch_size == 64) o.batch_size = 100;  // Caffe's CIFAR default
+  net.layer.push_back(Data("cifar", "synthetic-cifar10", o));
+  net.layer.push_back(Conv("conv1", "data", 32, 5, 1, 2, Gaussian(0.0001)));
+  net.layer.push_back(
+      Pool("pool1", "conv1", proto::PoolingParameter::Method::kMax, 3, 2));
+  net.layer.push_back(ReLU("relu1", "pool1"));
+  net.layer.push_back(Lrn("norm1", "pool1", 3, 5e-5, 0.75));
+  net.layer.push_back(Conv("conv2", "norm1", 32, 5, 1, 2, Gaussian(0.01)));
+  net.layer.push_back(ReLU("relu2", "conv2"));
+  net.layer.push_back(
+      Pool("pool2", "conv2", proto::PoolingParameter::Method::kAve, 3, 2));
+  net.layer.push_back(Lrn("norm2", "pool2", 3, 5e-5, 0.75));
+  net.layer.push_back(Conv("conv3", "norm2", 64, 5, 1, 2, Gaussian(0.01)));
+  net.layer.push_back(ReLU("relu3", "conv3"));
+  net.layer.push_back(
+      Pool("pool3", "conv3", proto::PoolingParameter::Method::kAve, 3, 2));
+  net.layer.push_back(Ip("ip1", "pool3", 64, Gaussian(0.1)));
+  net.layer.push_back(Ip("ip2", "ip1", 10, Gaussian(0.1)));
+  if (opts.with_accuracy) net.layer.push_back(Accuracy("ip2"));
+  net.layer.push_back(Loss("ip2"));
+  return net;
+}
+
+proto::SolverParameter LeNetSolver(const ModelOptions& opts) {
+  proto::SolverParameter s;
+  s.type = "SGD";
+  s.net_param = LeNet(opts);
+  s.base_lr = 0.01;
+  s.momentum = 0.9;
+  s.weight_decay = 0.0005;
+  s.lr_policy = "inv";
+  s.gamma = 0.0001;
+  s.power = 0.75;
+  s.max_iter = 200;
+  s.test_iter = 4;
+  s.test_interval = 100;
+  s.random_seed = 1;
+  return s;
+}
+
+proto::SolverParameter Cifar10QuickSolver(const ModelOptions& opts) {
+  proto::SolverParameter s;
+  s.type = "SGD";
+  s.net_param = Cifar10Quick(opts);
+  s.base_lr = 0.001;
+  s.momentum = 0.9;
+  s.weight_decay = 0.004;
+  s.lr_policy = "fixed";
+  s.max_iter = 200;
+  s.test_iter = 4;
+  s.test_interval = 100;
+  s.random_seed = 1;
+  return s;
+}
+
+}  // namespace cgdnn::models

@@ -1,0 +1,37 @@
+// The two evaluation networks of the paper (§2.2, Figure 3), expressed as
+// prototxt builders so examples/tests/benches share one definition.
+//
+//  * LeNet on MNIST: data → conv1(20,5x5) → pool1(2x2 MAX) → conv2(50,5x5)
+//    → pool2 → ip1(500) → relu1 (in-place) → ip2(10) → SoftmaxWithLoss.
+//  * CIFAR-10 "quick": data → conv1(32,5x5,pad2) → pool1(3x3/2 MAX) → relu1
+//    → norm1(LRN) → conv2(32) → relu2 → pool2(AVE) → norm2 → conv3(64) →
+//    relu3 → pool3(AVE) → ip1(64) → ip2(10) → SoftmaxWithLoss.
+// TEST phase additionally computes Accuracy.
+#pragma once
+
+#include <string>
+
+#include "cgdnn/proto/params.hpp"
+
+namespace cgdnn::models {
+
+struct ModelOptions {
+  index_t batch_size = 64;
+  index_t num_samples = 512;     ///< synthetic dataset size
+  std::uint64_t data_seed = 1;
+  bool with_accuracy = true;     ///< add TEST-phase Accuracy layer
+  std::string source;            ///< dataset source override (default synthetic)
+};
+
+/// LeNet (MNIST classifier) network parameter.
+proto::NetParameter LeNet(const ModelOptions& opts = {});
+
+/// CIFAR-10 "quick" CNN network parameter.
+proto::NetParameter Cifar10Quick(const ModelOptions& opts = {});
+
+/// Matching solver parameters (Caffe's lenet_solver / cifar10_quick_solver
+/// hyper-parameters, scaled to synthetic dataset sizes).
+proto::SolverParameter LeNetSolver(const ModelOptions& opts = {});
+proto::SolverParameter Cifar10QuickSolver(const ModelOptions& opts = {});
+
+}  // namespace cgdnn::models

@@ -1,0 +1,61 @@
+#include "cgdnn/net/replica.hpp"
+
+#include "cgdnn/blas/blas.hpp"
+
+namespace cgdnn {
+
+template <typename Dtype>
+DataParallelGroup<Dtype>::DataParallelGroup(const proto::NetParameter& param,
+                                            int replicas) {
+  CGDNN_CHECK_GE(replicas, 1);
+  for (int r = 0; r < replicas; ++r) {
+    replicas_.push_back(std::make_unique<Net<Dtype>>(param, Phase::kTrain));
+    if (r > 0) {
+      // Weight data aliases the master; gradient planes stay private.
+      replicas_.back()->ShareTrainedLayersWith(*replicas_.front());
+    }
+  }
+}
+
+template <typename Dtype>
+Dtype DataParallelGroup<Dtype>::ForwardBackward() {
+  for (auto& net : replicas_) net->ClearParamDiffs();
+  Dtype loss = 0;
+  // Replicas run one after another here (one host device); on a multi-GPU
+  // deployment these R calls are what executes concurrently — their data
+  // and gradient planes are fully disjoint.
+  for (auto& net : replicas_) loss += net->ForwardBackward();
+  AccumulateGradients();
+  return loss / static_cast<Dtype>(size());
+}
+
+template <typename Dtype>
+void DataParallelGroup<Dtype>::AccumulateGradients() {
+  const auto scale = Dtype(1) / static_cast<Dtype>(size());
+  auto& master_params = replicas_.front()->learnable_params();
+  // Master's own gradient is scaled in place, then every other replica's
+  // gradient is folded in replica order — a deterministic reduction, the
+  // cross-device analogue of the ordered merge of Algorithm 5.
+  for (Blob<Dtype>* p : master_params) p->scale_diff(scale);
+  for (std::size_t r = 1; r < replicas_.size(); ++r) {
+    const auto& rep_params = replicas_[r]->learnable_params();
+    CGDNN_CHECK_EQ(rep_params.size(), master_params.size());
+    for (std::size_t i = 0; i < master_params.size(); ++i) {
+      blas::axpy(master_params[i]->count(), scale, rep_params[i]->cpu_diff(),
+                 master_params[i]->mutable_cpu_diff());
+    }
+  }
+}
+
+template <typename Dtype>
+void DataParallelGroup<Dtype>::ApplyUpdate(Dtype lr) {
+  for (Blob<Dtype>* p : replicas_.front()->learnable_params()) {
+    p->scale_diff(lr);
+    p->Update();
+  }
+}
+
+template class DataParallelGroup<float>;
+template class DataParallelGroup<double>;
+
+}  // namespace cgdnn

@@ -1,0 +1,55 @@
+// Data-parallel replica groups — the paper's multi-device compatibility
+// claim, made concrete.
+//
+// The abstract states the batch-level parallelization "is compatible with
+// multi-GPU execution without altering the algorithm convergence rate":
+// because the gradient of a batch is the average of per-sample gradients,
+// a batch can be SPLIT across R model replicas (each itself running the
+// coarse-grain OpenMP layers) and the replica gradients averaged in a fixed
+// order — the update equals the single-device large-batch update, so no
+// hyper-parameter (in particular the effective batch size) changes.
+//
+// DataParallelGroup manages R replica nets built from one NetParameter:
+//  * replicas SHARE the master's weight data (zero copy), so one Update()
+//    on the master advances every replica;
+//  * each replica keeps its own gradient plane;
+//  * AccumulateGradients() folds replica gradients into the master in
+//    replica order scaled by 1/R — deterministic, like the ordered merge.
+// On this host the replicas stand in for devices; the structure is exactly
+// what a multi-GPU deployment would distribute.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cgdnn/net/net.hpp"
+
+namespace cgdnn {
+
+template <typename Dtype>
+class DataParallelGroup {
+ public:
+  /// Builds `replicas` nets from `param` (TRAIN phase). Every replica's
+  /// learnable parameters alias the first ("master") replica's data.
+  DataParallelGroup(const proto::NetParameter& param, int replicas);
+
+  int size() const { return static_cast<int>(replicas_.size()); }
+  Net<Dtype>& master() { return *replicas_.front(); }
+  Net<Dtype>& replica(int r) { return *replicas_[static_cast<std::size_t>(r)]; }
+
+  /// One data-parallel iteration: zero master diffs, run every replica's
+  /// ForwardBackward (each on its own data shard — the caller wires the
+  /// replica data layers), then fold gradients into the master scaled by
+  /// 1/R in replica order. Returns the averaged loss.
+  Dtype ForwardBackward();
+
+  /// Applies the accumulated master gradient: param -= lr * grad.
+  void ApplyUpdate(Dtype lr);
+
+ private:
+  void AccumulateGradients();
+
+  std::vector<std::unique_ptr<Net<Dtype>>> replicas_;
+};
+
+}  // namespace cgdnn

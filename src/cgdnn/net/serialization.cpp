@@ -1,0 +1,139 @@
+#include "cgdnn/net/serialization.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace cgdnn {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'G', 'D', 'N', 'N', 'W', 'T', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in, const std::string& path) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  CGDNN_CHECK(in.good()) << "truncated weights file: " << path;
+  return v;
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WritePod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string ReadString(std::istream& in, const std::string& path) {
+  const auto len = ReadPod<std::uint32_t>(in, path);
+  CGDNN_CHECK_LE(len, 4096u) << "implausible name length in " << path;
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  CGDNN_CHECK(in.good()) << "truncated weights file: " << path;
+  return s;
+}
+
+}  // namespace
+
+template <typename Dtype>
+void SaveWeights(const Net<Dtype>& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  CGDNN_CHECK(out.good()) << "cannot create weights file: " << path;
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+
+  std::uint32_t layer_count = 0;
+  for (const auto& layer : net.layers()) {
+    if (!layer->blobs().empty()) ++layer_count;
+  }
+  WritePod(out, layer_count);
+
+  for (std::size_t li = 0; li < net.layers().size(); ++li) {
+    const auto& layer = net.layers()[li];
+    if (layer->blobs().empty()) continue;
+    WriteString(out, net.layer_names()[li]);
+    WritePod(out, static_cast<std::uint32_t>(layer->blobs().size()));
+    for (const auto& blob : layer->blobs()) {
+      WritePod(out, static_cast<std::uint32_t>(blob->num_axes()));
+      for (int a = 0; a < blob->num_axes(); ++a) {
+        WritePod(out, static_cast<std::int64_t>(blob->shape(a)));
+      }
+      WritePod(out, static_cast<std::uint8_t>(sizeof(Dtype)));
+      out.write(reinterpret_cast<const char*>(blob->cpu_data()),
+                static_cast<std::streamsize>(blob->count() * sizeof(Dtype)));
+    }
+  }
+  CGDNN_CHECK(out.good()) << "write failed: " << path;
+}
+
+template <typename Dtype>
+std::size_t LoadWeights(Net<Dtype>& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CGDNN_CHECK(in.good()) << "cannot open weights file: " << path;
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  CGDNN_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
+      << "not a cgdnn weights file: " << path;
+  const auto version = ReadPod<std::uint32_t>(in, path);
+  CGDNN_CHECK_EQ(version, kVersion) << "unsupported weights version in " << path;
+  const auto layer_count = ReadPod<std::uint32_t>(in, path);
+
+  std::size_t restored = 0;
+  for (std::uint32_t l = 0; l < layer_count; ++l) {
+    const std::string name = ReadString(in, path);
+    const auto blob_count = ReadPod<std::uint32_t>(in, path);
+    const bool present = net.has_layer(name);
+    Layer<Dtype>* layer = present ? net.layer_by_name(name).get() : nullptr;
+    if (present) {
+      CGDNN_CHECK_EQ(layer->blobs().size(),
+                     static_cast<std::size_t>(blob_count))
+          << "blob count mismatch for layer '" << name << "' in " << path;
+      ++restored;
+    }
+    for (std::uint32_t b = 0; b < blob_count; ++b) {
+      const auto ndims = ReadPod<std::uint32_t>(in, path);
+      CGDNN_CHECK_LE(ndims, 32u) << "implausible blob rank in " << path;
+      std::vector<index_t> shape;
+      index_t count = 1;
+      for (std::uint32_t d = 0; d < ndims; ++d) {
+        shape.push_back(static_cast<index_t>(ReadPod<std::int64_t>(in, path)));
+        count *= shape.back();
+      }
+      const auto scalar_size = ReadPod<std::uint8_t>(in, path);
+      CGDNN_CHECK(scalar_size == 4 || scalar_size == 8)
+          << "unsupported scalar size in " << path;
+      std::vector<char> raw(static_cast<std::size_t>(count) * scalar_size);
+      in.read(raw.data(), static_cast<std::streamsize>(raw.size()));
+      CGDNN_CHECK(in.good()) << "truncated weights file: " << path;
+      if (!present) continue;  // skip layers the net does not have
+      Blob<Dtype>& dst = *layer->blobs()[b];
+      CGDNN_CHECK(dst.shape() == shape)
+          << "shape mismatch for layer '" << name << "' blob " << b << ": net "
+          << dst.shape_string();
+      Dtype* out = dst.mutable_cpu_data();
+      if (scalar_size == sizeof(Dtype)) {
+        std::memcpy(out, raw.data(), raw.size());
+      } else if (scalar_size == 4) {
+        const auto* src = reinterpret_cast<const float*>(raw.data());
+        for (index_t i = 0; i < count; ++i) out[i] = static_cast<Dtype>(src[i]);
+      } else {
+        const auto* src = reinterpret_cast<const double*>(raw.data());
+        for (index_t i = 0; i < count; ++i) out[i] = static_cast<Dtype>(src[i]);
+      }
+    }
+  }
+  return restored;
+}
+
+template void SaveWeights<float>(const Net<float>&, const std::string&);
+template void SaveWeights<double>(const Net<double>&, const std::string&);
+template std::size_t LoadWeights<float>(Net<float>&, const std::string&);
+template std::size_t LoadWeights<double>(Net<double>&, const std::string&);
+
+}  // namespace cgdnn

@@ -1,0 +1,26 @@
+// Trained-weight serialization (the role of Caffe's .caffemodel files).
+//
+// Format "CGDNNWTS" v1, little-endian:
+//   magic[8] | u32 version | u32 layer_count
+//   per layer:  u32 name_len | name | u32 blob_count
+//   per blob:   u32 ndims | i64 dims[ndims] | u8 scalar_size | raw values
+// Weights are stored at their in-memory precision; loading converts between
+// float and double transparently. Loading matches layers by NAME (Caffe
+// semantics): layers absent from the file keep their current weights,
+// layers present must match blob counts and shapes exactly.
+#pragma once
+
+#include <string>
+
+#include "cgdnn/net/net.hpp"
+
+namespace cgdnn {
+
+template <typename Dtype>
+void SaveWeights(const Net<Dtype>& net, const std::string& path);
+
+/// Returns the number of layers whose weights were restored.
+template <typename Dtype>
+std::size_t LoadWeights(Net<Dtype>& net, const std::string& path);
+
+}  // namespace cgdnn

@@ -1,0 +1,74 @@
+#include "cgdnn/parallel/merge.hpp"
+
+#include <omp.h>
+
+#include "cgdnn/blas/blas.hpp"
+
+namespace cgdnn::parallel {
+
+namespace {
+
+template <typename Dtype>
+void MergeOrdered(Dtype* const* parts, int nparts, Dtype* dest, index_t n) {
+  // Algorithm 5 lines 22-24: an ordered loop over thread ids. Each thread
+  // executes its own iteration; the ordered construct serializes the
+  // accumulations in tid order, reproducing the sequential bit pattern.
+#pragma omp for ordered schedule(static, 1)
+  for (int th = 0; th < nparts; ++th) {
+#pragma omp ordered
+    blas::axpy(n, Dtype(1), parts[th], dest);
+  }
+}
+
+template <typename Dtype>
+void MergeAtomic(Dtype* const* parts, int nparts, Dtype* dest, index_t n) {
+  const int tid = omp_get_thread_num();
+  if (tid < nparts) {
+#pragma omp critical(cgdnn_gradient_merge)
+    blas::axpy(n, Dtype(1), parts[tid], dest);
+  }
+#pragma omp barrier
+}
+
+template <typename Dtype>
+void MergeTree(Dtype* const* parts, int nparts, Dtype* dest, index_t n) {
+  const int tid = omp_get_thread_num();
+  for (int stride = 1; stride < nparts; stride *= 2) {
+    if (tid < nparts && tid % (2 * stride) == 0 && tid + stride < nparts) {
+      blas::axpy(n, Dtype(1), parts[tid + stride], parts[tid]);
+    }
+#pragma omp barrier
+  }
+#pragma omp single
+  blas::axpy(n, Dtype(1), parts[0], dest);
+  // implicit barrier at the end of single
+}
+
+}  // namespace
+
+template <typename Dtype>
+void AccumulatePrivate(GradientMerge mode, Dtype* const* parts, int nparts,
+                       Dtype* dest, index_t n) {
+  switch (mode) {
+    case GradientMerge::kOrdered:
+      MergeOrdered(parts, nparts, dest, n);
+      break;
+    case GradientMerge::kAtomic:
+      MergeAtomic(parts, nparts, dest, n);
+      break;
+    case GradientMerge::kTree:
+      MergeTree(parts, nparts, dest, n);
+      break;
+    case GradientMerge::kSerial:
+#pragma omp single
+      CGDNN_CHECK(false) << "kSerial merge inside a parallel region";
+      break;
+  }
+}
+
+template void AccumulatePrivate<float>(GradientMerge, float* const*, int,
+                                       float*, index_t);
+template void AccumulatePrivate<double>(GradientMerge, double* const*, int,
+                                        double*, index_t);
+
+}  // namespace cgdnn::parallel

@@ -1,0 +1,97 @@
+#include "cgdnn/profile/profiler.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+namespace cgdnn::profile {
+
+const char* LayerPhaseName(LayerPhase phase) {
+  return phase == LayerPhase::kForward ? "forward" : "backward";
+}
+
+double PhaseStats::total_us() const {
+  return std::accumulate(samples_us.begin(), samples_us.end(), 0.0);
+}
+
+double PhaseStats::mean_us() const {
+  return samples_us.empty() ? 0.0 : total_us() / static_cast<double>(samples_us.size());
+}
+
+double PhaseStats::min_us() const {
+  return samples_us.empty()
+             ? 0.0
+             : *std::min_element(samples_us.begin(), samples_us.end());
+}
+
+void Profiler::Record(const std::string& layer, LayerPhase phase,
+                      double micros) {
+  if (std::find(order_.begin(), order_.end(), layer) == order_.end()) {
+    order_.push_back(layer);
+  }
+  stats_[{layer, phase}].Add(micros);
+}
+
+void Profiler::Reset() {
+  stats_.clear();
+  order_.clear();
+}
+
+const PhaseStats& Profiler::stats(const std::string& layer,
+                                  LayerPhase phase) const {
+  static const PhaseStats kEmpty{};
+  const auto it = stats_.find({layer, phase});
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+bool Profiler::has(const std::string& layer, LayerPhase phase) const {
+  return stats_.contains({layer, phase});
+}
+
+double Profiler::TotalMeanUs() const {
+  double total = 0.0;
+  for (const auto& [key, st] : stats_) total += st.mean_us();
+  return total;
+}
+
+std::string Profiler::Table() const {
+  const double total = TotalMeanUs();
+  std::ostringstream os;
+  os << std::left << std::setw(16) << "layer" << std::setw(10) << "phase"
+     << std::right << std::setw(14) << "mean_us" << std::setw(14) << "min_us"
+     << std::setw(9) << "share" << "\n";
+  for (const auto& layer : order_) {
+    for (const LayerPhase phase : {LayerPhase::kForward, LayerPhase::kBackward}) {
+      if (!has(layer, phase)) continue;
+      const PhaseStats& st = stats(layer, phase);
+      os << std::left << std::setw(16) << layer << std::setw(10)
+         << LayerPhaseName(phase) << std::right << std::fixed
+         << std::setprecision(1) << std::setw(14) << st.mean_us()
+         << std::setw(14) << st.min_us() << std::setprecision(1)
+         << std::setw(8) << (total > 0 ? 100.0 * st.mean_us() / total : 0.0)
+         << "%\n";
+    }
+  }
+  os << std::left << std::setw(26) << "TOTAL (per iteration)" << std::right
+     << std::fixed << std::setprecision(1) << std::setw(14) << total << "\n";
+  return os.str();
+}
+
+std::string Profiler::Csv() const {
+  const double total = TotalMeanUs();
+  std::ostringstream os;
+  os << "layer,phase,mean_us,min_us,total_us,count,share\n";
+  for (const auto& layer : order_) {
+    for (const LayerPhase phase : {LayerPhase::kForward, LayerPhase::kBackward}) {
+      if (!has(layer, phase)) continue;
+      const PhaseStats& st = stats(layer, phase);
+      os << layer << ',' << LayerPhaseName(phase) << ',' << st.mean_us() << ','
+         << st.min_us() << ',' << st.total_us() << ',' << st.count() << ','
+         << (total > 0 ? st.mean_us() / total : 0.0) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cgdnn::profile

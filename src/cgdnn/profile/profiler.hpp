@@ -1,0 +1,57 @@
+// Per-layer, per-phase execution-time instrumentation.
+//
+// The paper's Figures 4/5/7/8 are built from exactly this data: absolute
+// microseconds per (layer, forward|backward) and the share of each layer in
+// the total iteration time. Net installs one Record() call around every
+// layer invocation when a Profiler is attached.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cgdnn/core/common.hpp"
+
+namespace cgdnn::profile {
+
+enum class LayerPhase { kForward, kBackward };
+
+const char* LayerPhaseName(LayerPhase phase);
+
+struct PhaseStats {
+  std::vector<double> samples_us;
+
+  void Add(double us) { samples_us.push_back(us); }
+  double total_us() const;
+  double mean_us() const;
+  double min_us() const;
+  std::size_t count() const { return samples_us.size(); }
+};
+
+class Profiler {
+ public:
+  void Record(const std::string& layer, LayerPhase phase, double micros);
+  void Reset();
+
+  /// Layer names in first-recorded order (network order for forward).
+  const std::vector<std::string>& layer_order() const { return order_; }
+  /// Stats for a (layer, phase); returns empty stats when absent.
+  const PhaseStats& stats(const std::string& layer, LayerPhase phase) const;
+  bool has(const std::string& layer, LayerPhase phase) const;
+
+  /// Sum of mean forward+backward time over all layers (one iteration).
+  double TotalMeanUs() const;
+
+  /// Figure 4/7-style table: one row per layer and phase with absolute mean
+  /// microseconds and relative share of the iteration.
+  std::string Table() const;
+  /// CSV with header `layer,phase,mean_us,min_us,total_us,count,share`.
+  std::string Csv() const;
+
+ private:
+  using Key = std::pair<std::string, LayerPhase>;
+  std::map<Key, PhaseStats> stats_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace cgdnn::profile

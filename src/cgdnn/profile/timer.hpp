@@ -1,0 +1,27 @@
+// Monotonic wall-clock timing used by the per-layer instrumentation.
+#pragma once
+
+#include <chrono>
+
+namespace cgdnn::profile {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed microseconds since construction / last Restart.
+  double MicroSeconds() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+  double MilliSeconds() const { return MicroSeconds() / 1e3; }
+  double Seconds() const { return MicroSeconds() / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cgdnn::profile

@@ -1,0 +1,839 @@
+#include "cgdnn/proto/params.hpp"
+
+#include <sstream>
+
+namespace cgdnn::proto {
+
+namespace {
+
+[[noreturn]] void UnknownField(const char* message_name,
+                               const std::string& field) {
+  throw Error(__FILE__, __LINE__, std::string("unknown field '") + field +
+                                      "' in message " + message_name);
+}
+
+Phase ParsePhase(const std::string& token) {
+  if (token == "TRAIN") return Phase::kTrain;
+  if (token == "TEST") return Phase::kTest;
+  throw Error(__FILE__, __LINE__, "unknown phase: " + token);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Filler
+
+FillerParameter FillerParameter::FromText(const TextMessage& msg) {
+  FillerParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "type") p.type = e.value.AsString();
+    else if (e.name == "value") p.value = e.value.AsDouble();
+    else if (e.name == "min") p.min = e.value.AsDouble();
+    else if (e.name == "max") p.max = e.value.AsDouble();
+    else if (e.name == "mean") p.mean = e.value.AsDouble();
+    else if (e.name == "std") p.std = e.value.AsDouble();
+    else if (e.name == "variance_norm") p.variance_norm = e.value.AsString();
+    else UnknownField("FillerParameter", e.name);
+  }
+  return p;
+}
+
+void FillerParameter::ToText(TextMessage& msg) const {
+  msg.AddString("type", type);
+  if (type == "constant") msg.AddDouble("value", value);
+  if (type == "uniform") {
+    msg.AddDouble("min", min);
+    msg.AddDouble("max", max);
+  }
+  if (type == "gaussian") {
+    msg.AddDouble("mean", mean);
+    msg.AddDouble("std", std);
+  }
+  if (type == "xavier" || type == "msra") {
+    msg.AddScalar("variance_norm", variance_norm);
+  }
+}
+
+// --------------------------------------------------------------- ParamSpec
+
+ParamSpec ParamSpec::FromText(const TextMessage& msg) {
+  ParamSpec p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "name") p.name = e.value.AsString();
+    else if (e.name == "lr_mult") p.lr_mult = e.value.AsDouble();
+    else if (e.name == "decay_mult") p.decay_mult = e.value.AsDouble();
+    else UnknownField("ParamSpec", e.name);
+  }
+  return p;
+}
+
+void ParamSpec::ToText(TextMessage& msg) const {
+  if (!name.empty()) msg.AddString("name", name);
+  msg.AddDouble("lr_mult", lr_mult);
+  msg.AddDouble("decay_mult", decay_mult);
+}
+
+// ------------------------------------------------------------- Convolution
+
+ConvolutionParameter ConvolutionParameter::FromText(const TextMessage& msg) {
+  ConvolutionParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "num_output") p.num_output = e.value.AsInt();
+    else if (e.name == "bias_term") p.bias_term = e.value.AsBool();
+    else if (e.name == "kernel_size") p.kernel_h = p.kernel_w = e.value.AsInt();
+    else if (e.name == "kernel_h") p.kernel_h = e.value.AsInt();
+    else if (e.name == "kernel_w") p.kernel_w = e.value.AsInt();
+    else if (e.name == "stride") p.stride_h = p.stride_w = e.value.AsInt();
+    else if (e.name == "stride_h") p.stride_h = e.value.AsInt();
+    else if (e.name == "stride_w") p.stride_w = e.value.AsInt();
+    else if (e.name == "pad") p.pad_h = p.pad_w = e.value.AsInt();
+    else if (e.name == "pad_h") p.pad_h = e.value.AsInt();
+    else if (e.name == "pad_w") p.pad_w = e.value.AsInt();
+    else if (e.name == "dilation") p.dilation = e.value.AsInt();
+    else if (e.name == "group") p.group = e.value.AsInt();
+    else if (e.name == "weight_filler")
+      p.weight_filler = FillerParameter::FromText(e.value.message());
+    else if (e.name == "bias_filler")
+      p.bias_filler = FillerParameter::FromText(e.value.message());
+    else UnknownField("ConvolutionParameter", e.name);
+  }
+  return p;
+}
+
+void ConvolutionParameter::ToText(TextMessage& msg) const {
+  msg.AddInt("num_output", num_output);
+  if (!bias_term) msg.AddBool("bias_term", false);
+  if (kernel_h == kernel_w) {
+    msg.AddInt("kernel_size", kernel_h);
+  } else {
+    msg.AddInt("kernel_h", kernel_h);
+    msg.AddInt("kernel_w", kernel_w);
+  }
+  if (stride_h == stride_w) {
+    if (stride_h != 1) msg.AddInt("stride", stride_h);
+  } else {
+    msg.AddInt("stride_h", stride_h);
+    msg.AddInt("stride_w", stride_w);
+  }
+  if (pad_h == pad_w) {
+    if (pad_h != 0) msg.AddInt("pad", pad_h);
+  } else {
+    msg.AddInt("pad_h", pad_h);
+    msg.AddInt("pad_w", pad_w);
+  }
+  if (dilation != 1) msg.AddInt("dilation", dilation);
+  if (group != 1) msg.AddInt("group", group);
+  weight_filler.ToText(msg.AddMessage("weight_filler"));
+  if (bias_term) bias_filler.ToText(msg.AddMessage("bias_filler"));
+}
+
+// ----------------------------------------------------------------- Pooling
+
+PoolingParameter PoolingParameter::FromText(const TextMessage& msg) {
+  PoolingParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "pool") {
+      const std::string v = e.value.AsString();
+      if (v == "MAX") p.pool = Method::kMax;
+      else if (v == "AVE") p.pool = Method::kAve;
+      else throw Error(__FILE__, __LINE__, "unknown pooling method: " + v);
+    } else if (e.name == "kernel_size") p.kernel_size = e.value.AsInt();
+    else if (e.name == "stride") p.stride = e.value.AsInt();
+    else if (e.name == "pad") p.pad = e.value.AsInt();
+    else if (e.name == "global_pooling") p.global_pooling = e.value.AsBool();
+    else UnknownField("PoolingParameter", e.name);
+  }
+  return p;
+}
+
+void PoolingParameter::ToText(TextMessage& msg) const {
+  msg.AddScalar("pool", pool == Method::kMax ? "MAX" : "AVE");
+  if (global_pooling) {
+    msg.AddBool("global_pooling", true);
+  } else {
+    msg.AddInt("kernel_size", kernel_size);
+  }
+  if (stride != 1) msg.AddInt("stride", stride);
+  if (pad != 0) msg.AddInt("pad", pad);
+}
+
+// ------------------------------------------------------------ InnerProduct
+
+InnerProductParameter InnerProductParameter::FromText(const TextMessage& msg) {
+  InnerProductParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "num_output") p.num_output = e.value.AsInt();
+    else if (e.name == "bias_term") p.bias_term = e.value.AsBool();
+    else if (e.name == "axis") p.axis = static_cast<int>(e.value.AsInt());
+    else if (e.name == "weight_filler")
+      p.weight_filler = FillerParameter::FromText(e.value.message());
+    else if (e.name == "bias_filler")
+      p.bias_filler = FillerParameter::FromText(e.value.message());
+    else UnknownField("InnerProductParameter", e.name);
+  }
+  return p;
+}
+
+void InnerProductParameter::ToText(TextMessage& msg) const {
+  msg.AddInt("num_output", num_output);
+  if (!bias_term) msg.AddBool("bias_term", false);
+  if (axis != 1) msg.AddInt("axis", axis);
+  weight_filler.ToText(msg.AddMessage("weight_filler"));
+  if (bias_term) bias_filler.ToText(msg.AddMessage("bias_filler"));
+}
+
+// --------------------------------------------------------------------- LRN
+
+LRNParameter LRNParameter::FromText(const TextMessage& msg) {
+  LRNParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "local_size") p.local_size = e.value.AsInt();
+    else if (e.name == "alpha") p.alpha = e.value.AsDouble();
+    else if (e.name == "beta") p.beta = e.value.AsDouble();
+    else if (e.name == "k") p.k = e.value.AsDouble();
+    else if (e.name == "norm_region") {
+      const std::string v = e.value.AsString();
+      if (v == "ACROSS_CHANNELS") p.norm_region = NormRegion::kAcrossChannels;
+      else if (v == "WITHIN_CHANNEL") p.norm_region = NormRegion::kWithinChannel;
+      else throw Error(__FILE__, __LINE__, "unknown norm_region: " + v);
+    } else UnknownField("LRNParameter", e.name);
+  }
+  return p;
+}
+
+void LRNParameter::ToText(TextMessage& msg) const {
+  msg.AddInt("local_size", local_size);
+  msg.AddDouble("alpha", alpha);
+  msg.AddDouble("beta", beta);
+  if (k != 1.0) msg.AddDouble("k", k);
+  if (norm_region == NormRegion::kWithinChannel) {
+    msg.AddScalar("norm_region", "WITHIN_CHANNEL");
+  }
+}
+
+// -------------------------------------------------------------------- ReLU
+
+ReLUParameter ReLUParameter::FromText(const TextMessage& msg) {
+  ReLUParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "negative_slope") p.negative_slope = e.value.AsDouble();
+    else UnknownField("ReLUParameter", e.name);
+  }
+  return p;
+}
+
+void ReLUParameter::ToText(TextMessage& msg) const {
+  if (negative_slope != 0.0) msg.AddDouble("negative_slope", negative_slope);
+}
+
+// ------------------------------------------------------------------- Power
+
+PowerParameter PowerParameter::FromText(const TextMessage& msg) {
+  PowerParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "power") p.power = e.value.AsDouble();
+    else if (e.name == "scale") p.scale = e.value.AsDouble();
+    else if (e.name == "shift") p.shift = e.value.AsDouble();
+    else UnknownField("PowerParameter", e.name);
+  }
+  return p;
+}
+
+void PowerParameter::ToText(TextMessage& msg) const {
+  if (power != 1.0) msg.AddDouble("power", power);
+  if (scale != 1.0) msg.AddDouble("scale", scale);
+  if (shift != 0.0) msg.AddDouble("shift", shift);
+}
+
+// --------------------------------------------------------------------- Exp
+
+ExpParameter ExpParameter::FromText(const TextMessage& msg) {
+  ExpParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "base") p.base = e.value.AsDouble();
+    else if (e.name == "scale") p.scale = e.value.AsDouble();
+    else if (e.name == "shift") p.shift = e.value.AsDouble();
+    else UnknownField("ExpParameter", e.name);
+  }
+  return p;
+}
+
+void ExpParameter::ToText(TextMessage& msg) const {
+  if (base != -1.0) msg.AddDouble("base", base);
+  if (scale != 1.0) msg.AddDouble("scale", scale);
+  if (shift != 0.0) msg.AddDouble("shift", shift);
+}
+
+// --------------------------------------------------------------------- Log
+
+LogParameter LogParameter::FromText(const TextMessage& msg) {
+  LogParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "base") p.base = e.value.AsDouble();
+    else if (e.name == "scale") p.scale = e.value.AsDouble();
+    else if (e.name == "shift") p.shift = e.value.AsDouble();
+    else UnknownField("LogParameter", e.name);
+  }
+  return p;
+}
+
+void LogParameter::ToText(TextMessage& msg) const {
+  if (base != -1.0) msg.AddDouble("base", base);
+  if (scale != 1.0) msg.AddDouble("scale", scale);
+  if (shift != 0.0) msg.AddDouble("shift", shift);
+}
+
+// --------------------------------------------------------------------- ELU
+
+ELUParameter ELUParameter::FromText(const TextMessage& msg) {
+  ELUParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "alpha") p.alpha = e.value.AsDouble();
+    else UnknownField("ELUParameter", e.name);
+  }
+  return p;
+}
+
+void ELUParameter::ToText(TextMessage& msg) const {
+  if (alpha != 1.0) msg.AddDouble("alpha", alpha);
+}
+
+// ------------------------------------------------------------------- Scale
+
+ScaleParameter ScaleParameter::FromText(const TextMessage& msg) {
+  ScaleParameter p;
+  p.filler.type = "constant";
+  p.filler.value = 1.0;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "axis") p.axis = static_cast<int>(e.value.AsInt());
+    else if (e.name == "num_axes") p.num_axes = static_cast<int>(e.value.AsInt());
+    else if (e.name == "bias_term") p.bias_term = e.value.AsBool();
+    else if (e.name == "filler")
+      p.filler = FillerParameter::FromText(e.value.message());
+    else if (e.name == "bias_filler")
+      p.bias_filler = FillerParameter::FromText(e.value.message());
+    else UnknownField("ScaleParameter", e.name);
+  }
+  return p;
+}
+
+void ScaleParameter::ToText(TextMessage& msg) const {
+  if (axis != 1) msg.AddInt("axis", axis);
+  if (num_axes != 1) msg.AddInt("num_axes", num_axes);
+  if (bias_term) msg.AddBool("bias_term", true);
+  filler.ToText(msg.AddMessage("filler"));
+  if (bias_term) bias_filler.ToText(msg.AddMessage("bias_filler"));
+}
+
+// -------------------------------------------------------------------- Bias
+
+BiasParameter BiasParameter::FromText(const TextMessage& msg) {
+  BiasParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "axis") p.axis = static_cast<int>(e.value.AsInt());
+    else if (e.name == "num_axes") p.num_axes = static_cast<int>(e.value.AsInt());
+    else if (e.name == "filler")
+      p.filler = FillerParameter::FromText(e.value.message());
+    else UnknownField("BiasParameter", e.name);
+  }
+  return p;
+}
+
+void BiasParameter::ToText(TextMessage& msg) const {
+  if (axis != 1) msg.AddInt("axis", axis);
+  if (num_axes != 1) msg.AddInt("num_axes", num_axes);
+  filler.ToText(msg.AddMessage("filler"));
+}
+
+// ------------------------------------------------------------------- Slice
+
+SliceParameter SliceParameter::FromText(const TextMessage& msg) {
+  SliceParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "axis") p.axis = static_cast<int>(e.value.AsInt());
+    else if (e.name == "slice_point") p.slice_point.push_back(e.value.AsInt());
+    else UnknownField("SliceParameter", e.name);
+  }
+  return p;
+}
+
+void SliceParameter::ToText(TextMessage& msg) const {
+  if (axis != 1) msg.AddInt("axis", axis);
+  for (index_t sp : slice_point) msg.AddInt("slice_point", sp);
+}
+
+// ----------------------------------------------------------------- Reshape
+
+ReshapeParameter ReshapeParameter::FromText(const TextMessage& msg) {
+  ReshapeParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "shape") p.shape = BlobShape::FromText(e.value.message());
+    else UnknownField("ReshapeParameter", e.name);
+  }
+  return p;
+}
+
+void ReshapeParameter::ToText(TextMessage& msg) const {
+  shape.ToText(msg.AddMessage("shape"));
+}
+
+// ------------------------------------------------------------------ ArgMax
+
+ArgMaxParameter ArgMaxParameter::FromText(const TextMessage& msg) {
+  ArgMaxParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "top_k") p.top_k = e.value.AsInt();
+    else if (e.name == "out_max_val") p.out_max_val = e.value.AsBool();
+    else UnknownField("ArgMaxParameter", e.name);
+  }
+  return p;
+}
+
+void ArgMaxParameter::ToText(TextMessage& msg) const {
+  if (top_k != 1) msg.AddInt("top_k", top_k);
+  if (out_max_val) msg.AddBool("out_max_val", true);
+}
+
+// -------------------------------------------------------------- MemoryData
+
+MemoryDataParameter MemoryDataParameter::FromText(const TextMessage& msg) {
+  MemoryDataParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "batch_size") p.batch_size = e.value.AsInt();
+    else if (e.name == "channels") p.channels = e.value.AsInt();
+    else if (e.name == "height") p.height = e.value.AsInt();
+    else if (e.name == "width") p.width = e.value.AsInt();
+    else UnknownField("MemoryDataParameter", e.name);
+  }
+  return p;
+}
+
+void MemoryDataParameter::ToText(TextMessage& msg) const {
+  msg.AddInt("batch_size", batch_size);
+  msg.AddInt("channels", channels);
+  msg.AddInt("height", height);
+  msg.AddInt("width", width);
+}
+
+// --------------------------------------------------------------- BatchNorm
+
+BatchNormParameter BatchNormParameter::FromText(const TextMessage& msg) {
+  BatchNormParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "use_global_stats") p.use_global_stats = e.value.AsBool();
+    else if (e.name == "moving_average_fraction")
+      p.moving_average_fraction = e.value.AsDouble();
+    else if (e.name == "eps") p.eps = e.value.AsDouble();
+    else UnknownField("BatchNormParameter", e.name);
+  }
+  return p;
+}
+
+void BatchNormParameter::ToText(TextMessage& msg) const {
+  if (use_global_stats) msg.AddBool("use_global_stats", *use_global_stats);
+  if (moving_average_fraction != 0.999) {
+    msg.AddDouble("moving_average_fraction", moving_average_fraction);
+  }
+  if (eps != 1e-5) msg.AddDouble("eps", eps);
+}
+
+// ----------------------------------------------------------------- Dropout
+
+DropoutParameter DropoutParameter::FromText(const TextMessage& msg) {
+  DropoutParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "dropout_ratio") p.dropout_ratio = e.value.AsDouble();
+    else UnknownField("DropoutParameter", e.name);
+  }
+  return p;
+}
+
+void DropoutParameter::ToText(TextMessage& msg) const {
+  msg.AddDouble("dropout_ratio", dropout_ratio);
+}
+
+// ----------------------------------------------------------------- Eltwise
+
+EltwiseParameter EltwiseParameter::FromText(const TextMessage& msg) {
+  EltwiseParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "operation") {
+      const std::string v = e.value.AsString();
+      if (v == "PROD") p.operation = Op::kProd;
+      else if (v == "SUM") p.operation = Op::kSum;
+      else if (v == "MAX") p.operation = Op::kMax;
+      else throw Error(__FILE__, __LINE__, "unknown eltwise op: " + v);
+    } else if (e.name == "coeff") p.coeff.push_back(e.value.AsDouble());
+    else UnknownField("EltwiseParameter", e.name);
+  }
+  return p;
+}
+
+void EltwiseParameter::ToText(TextMessage& msg) const {
+  const char* names[] = {"PROD", "SUM", "MAX"};
+  msg.AddScalar("operation", names[static_cast<int>(operation)]);
+  for (double c : coeff) msg.AddDouble("coeff", c);
+}
+
+// ------------------------------------------------------------------ Concat
+
+ConcatParameter ConcatParameter::FromText(const TextMessage& msg) {
+  ConcatParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "axis") p.axis = static_cast<int>(e.value.AsInt());
+    else UnknownField("ConcatParameter", e.name);
+  }
+  return p;
+}
+
+void ConcatParameter::ToText(TextMessage& msg) const {
+  if (axis != 1) msg.AddInt("axis", axis);
+}
+
+// ----------------------------------------------------------------- Softmax
+
+SoftmaxParameter SoftmaxParameter::FromText(const TextMessage& msg) {
+  SoftmaxParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "axis") p.axis = static_cast<int>(e.value.AsInt());
+    else UnknownField("SoftmaxParameter", e.name);
+  }
+  return p;
+}
+
+void SoftmaxParameter::ToText(TextMessage& msg) const {
+  if (axis != 1) msg.AddInt("axis", axis);
+}
+
+// ---------------------------------------------------------------- Accuracy
+
+AccuracyParameter AccuracyParameter::FromText(const TextMessage& msg) {
+  AccuracyParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "top_k") p.top_k = e.value.AsInt();
+    else if (e.name == "axis") p.axis = static_cast<int>(e.value.AsInt());
+    else UnknownField("AccuracyParameter", e.name);
+  }
+  return p;
+}
+
+void AccuracyParameter::ToText(TextMessage& msg) const {
+  if (top_k != 1) msg.AddInt("top_k", top_k);
+  if (axis != 1) msg.AddInt("axis", axis);
+}
+
+// -------------------------------------------------------------------- Loss
+
+LossParameter LossParameter::FromText(const TextMessage& msg) {
+  LossParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "ignore_label") p.ignore_label = e.value.AsInt();
+    else if (e.name == "normalize") p.normalize = e.value.AsBool();
+    else UnknownField("LossParameter", e.name);
+  }
+  return p;
+}
+
+void LossParameter::ToText(TextMessage& msg) const {
+  if (ignore_label) msg.AddInt("ignore_label", *ignore_label);
+  if (!normalize) msg.AddBool("normalize", false);
+}
+
+// -------------------------------------------------------------------- Data
+
+DataParameter DataParameter::FromText(const TextMessage& msg) {
+  DataParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "source") p.source = e.value.AsString();
+    else if (e.name == "batch_size") p.batch_size = e.value.AsInt();
+    else if (e.name == "num_samples") p.num_samples = e.value.AsInt();
+    else if (e.name == "seed")
+      p.seed = static_cast<std::uint64_t>(e.value.AsInt());
+    else UnknownField("DataParameter", e.name);
+  }
+  return p;
+}
+
+void DataParameter::ToText(TextMessage& msg) const {
+  msg.AddString("source", source);
+  msg.AddInt("batch_size", batch_size);
+  msg.AddInt("num_samples", num_samples);
+  msg.AddInt("seed", static_cast<index_t>(seed));
+}
+
+// ---------------------------------------------------------- Transformation
+
+TransformationParameter TransformationParameter::FromText(
+    const TextMessage& msg) {
+  TransformationParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "scale") p.scale = e.value.AsDouble();
+    else if (e.name == "mirror") p.mirror = e.value.AsBool();
+    else if (e.name == "crop_size") p.crop_size = e.value.AsInt();
+    else if (e.name == "mean_value") p.mean_value.push_back(e.value.AsDouble());
+    else UnknownField("TransformationParameter", e.name);
+  }
+  return p;
+}
+
+void TransformationParameter::ToText(TextMessage& msg) const {
+  if (scale != 1.0) msg.AddDouble("scale", scale);
+  if (mirror) msg.AddBool("mirror", true);
+  if (crop_size != 0) msg.AddInt("crop_size", crop_size);
+  for (double m : mean_value) msg.AddDouble("mean_value", m);
+}
+
+// --------------------------------------------------------------- BlobShape
+
+BlobShape BlobShape::FromText(const TextMessage& msg) {
+  BlobShape p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "dim") p.dim.push_back(e.value.AsInt());
+    else UnknownField("BlobShape", e.name);
+  }
+  return p;
+}
+
+void BlobShape::ToText(TextMessage& msg) const {
+  for (index_t d : dim) msg.AddInt("dim", d);
+}
+
+// --------------------------------------------------------------- DummyData
+
+DummyDataParameter DummyDataParameter::FromText(const TextMessage& msg) {
+  DummyDataParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "shape") p.shape.push_back(BlobShape::FromText(e.value.message()));
+    else if (e.name == "data_filler")
+      p.data_filler.push_back(FillerParameter::FromText(e.value.message()));
+    else UnknownField("DummyDataParameter", e.name);
+  }
+  return p;
+}
+
+void DummyDataParameter::ToText(TextMessage& msg) const {
+  for (const auto& s : shape) s.ToText(msg.AddMessage("shape"));
+  for (const auto& f : data_filler) f.ToText(msg.AddMessage("data_filler"));
+}
+
+// ------------------------------------------------------------------- Layer
+
+LayerParameter LayerParameter::FromText(const TextMessage& msg) {
+  LayerParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "name") p.name = e.value.AsString();
+    else if (e.name == "type") p.type = e.value.AsString();
+    else if (e.name == "bottom") p.bottom.push_back(e.value.AsString());
+    else if (e.name == "top") p.top.push_back(e.value.AsString());
+    else if (e.name == "loss_weight") p.loss_weight.push_back(e.value.AsDouble());
+    else if (e.name == "param") p.param.push_back(ParamSpec::FromText(e.value.message()));
+    else if (e.name == "include") {
+      const TextMessage& inc = e.value.message();
+      if (inc.Has("phase")) p.include_phase = ParsePhase(inc.Get("phase").AsString());
+    }
+    else if (e.name == "phase") p.include_phase = ParsePhase(e.value.AsString());
+    else if (e.name == "convolution_param")
+      p.convolution_param = ConvolutionParameter::FromText(e.value.message());
+    else if (e.name == "pooling_param")
+      p.pooling_param = PoolingParameter::FromText(e.value.message());
+    else if (e.name == "inner_product_param")
+      p.inner_product_param = InnerProductParameter::FromText(e.value.message());
+    else if (e.name == "lrn_param")
+      p.lrn_param = LRNParameter::FromText(e.value.message());
+    else if (e.name == "relu_param")
+      p.relu_param = ReLUParameter::FromText(e.value.message());
+    else if (e.name == "power_param")
+      p.power_param = PowerParameter::FromText(e.value.message());
+    else if (e.name == "exp_param")
+      p.exp_param = ExpParameter::FromText(e.value.message());
+    else if (e.name == "log_param")
+      p.log_param = LogParameter::FromText(e.value.message());
+    else if (e.name == "elu_param")
+      p.elu_param = ELUParameter::FromText(e.value.message());
+    else if (e.name == "scale_param")
+      p.scale_param = ScaleParameter::FromText(e.value.message());
+    else if (e.name == "bias_param")
+      p.bias_param = BiasParameter::FromText(e.value.message());
+    else if (e.name == "slice_param")
+      p.slice_param = SliceParameter::FromText(e.value.message());
+    else if (e.name == "reshape_param")
+      p.reshape_param = ReshapeParameter::FromText(e.value.message());
+    else if (e.name == "argmax_param")
+      p.argmax_param = ArgMaxParameter::FromText(e.value.message());
+    else if (e.name == "batch_norm_param")
+      p.batch_norm_param = BatchNormParameter::FromText(e.value.message());
+    else if (e.name == "memory_data_param")
+      p.memory_data_param = MemoryDataParameter::FromText(e.value.message());
+    else if (e.name == "dropout_param")
+      p.dropout_param = DropoutParameter::FromText(e.value.message());
+    else if (e.name == "eltwise_param")
+      p.eltwise_param = EltwiseParameter::FromText(e.value.message());
+    else if (e.name == "concat_param")
+      p.concat_param = ConcatParameter::FromText(e.value.message());
+    else if (e.name == "softmax_param")
+      p.softmax_param = SoftmaxParameter::FromText(e.value.message());
+    else if (e.name == "accuracy_param")
+      p.accuracy_param = AccuracyParameter::FromText(e.value.message());
+    else if (e.name == "loss_param")
+      p.loss_param = LossParameter::FromText(e.value.message());
+    else if (e.name == "data_param")
+      p.data_param = DataParameter::FromText(e.value.message());
+    else if (e.name == "transform_param")
+      p.transform_param = TransformationParameter::FromText(e.value.message());
+    else if (e.name == "dummy_data_param")
+      p.dummy_data_param = DummyDataParameter::FromText(e.value.message());
+    else UnknownField("LayerParameter", e.name);
+  }
+  CGDNN_CHECK(!p.type.empty()) << "layer '" << p.name << "' has no type";
+  return p;
+}
+
+void LayerParameter::ToText(TextMessage& msg) const {
+  msg.AddString("name", name);
+  msg.AddString("type", type);
+  for (const auto& b : bottom) msg.AddString("bottom", b);
+  for (const auto& t : top) msg.AddString("top", t);
+  if (include_phase) {
+    msg.AddMessage("include").AddScalar(
+        "phase", *include_phase == Phase::kTrain ? "TRAIN" : "TEST");
+  }
+  for (double w : loss_weight) msg.AddDouble("loss_weight", w);
+  for (const auto& ps : param) ps.ToText(msg.AddMessage("param"));
+  // Only the sub-message relevant to the layer type is emitted, mirroring
+  // how Caffe prototxt files are written.
+  if (type == "Convolution") convolution_param.ToText(msg.AddMessage("convolution_param"));
+  else if (type == "Pooling") pooling_param.ToText(msg.AddMessage("pooling_param"));
+  else if (type == "InnerProduct") inner_product_param.ToText(msg.AddMessage("inner_product_param"));
+  else if (type == "LRN") lrn_param.ToText(msg.AddMessage("lrn_param"));
+  else if (type == "ReLU") relu_param.ToText(msg.AddMessage("relu_param"));
+  else if (type == "Power") power_param.ToText(msg.AddMessage("power_param"));
+  else if (type == "Exp") exp_param.ToText(msg.AddMessage("exp_param"));
+  else if (type == "Log") log_param.ToText(msg.AddMessage("log_param"));
+  else if (type == "ELU") elu_param.ToText(msg.AddMessage("elu_param"));
+  else if (type == "Scale") scale_param.ToText(msg.AddMessage("scale_param"));
+  else if (type == "Bias") bias_param.ToText(msg.AddMessage("bias_param"));
+  else if (type == "Slice") slice_param.ToText(msg.AddMessage("slice_param"));
+  else if (type == "Reshape") reshape_param.ToText(msg.AddMessage("reshape_param"));
+  else if (type == "ArgMax") argmax_param.ToText(msg.AddMessage("argmax_param"));
+  else if (type == "BatchNorm") batch_norm_param.ToText(msg.AddMessage("batch_norm_param"));
+  else if (type == "MemoryData") memory_data_param.ToText(msg.AddMessage("memory_data_param"));
+  else if (type == "Dropout") dropout_param.ToText(msg.AddMessage("dropout_param"));
+  else if (type == "Eltwise") eltwise_param.ToText(msg.AddMessage("eltwise_param"));
+  else if (type == "Concat") concat_param.ToText(msg.AddMessage("concat_param"));
+  else if (type == "Softmax") softmax_param.ToText(msg.AddMessage("softmax_param"));
+  else if (type == "Accuracy") accuracy_param.ToText(msg.AddMessage("accuracy_param"));
+  else if (type == "Data") {
+    data_param.ToText(msg.AddMessage("data_param"));
+    transform_param.ToText(msg.AddMessage("transform_param"));
+  } else if (type == "DummyData") {
+    dummy_data_param.ToText(msg.AddMessage("dummy_data_param"));
+  }
+}
+
+// --------------------------------------------------------------------- Net
+
+NetParameter NetParameter::FromText(const TextMessage& msg) {
+  NetParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "name") p.name = e.value.AsString();
+    else if (e.name == "force_backward") p.force_backward = e.value.AsBool();
+    else if (e.name == "layer" || e.name == "layers")
+      p.layer.push_back(LayerParameter::FromText(e.value.message()));
+    else UnknownField("NetParameter", e.name);
+  }
+  return p;
+}
+
+NetParameter NetParameter::FromString(std::string_view prototxt) {
+  return FromText(TextMessage::Parse(prototxt));
+}
+
+NetParameter NetParameter::FromFile(const std::string& path) {
+  return FromText(TextMessage::ParseFile(path));
+}
+
+void NetParameter::ToText(TextMessage& msg) const {
+  msg.AddString("name", name);
+  if (force_backward) msg.AddBool("force_backward", true);
+  for (const auto& l : layer) l.ToText(msg.AddMessage("layer"));
+}
+
+std::string NetParameter::ToString() const {
+  TextMessage msg;
+  ToText(msg);
+  return msg.Print();
+}
+
+// ------------------------------------------------------------------ Solver
+
+SolverParameter SolverParameter::FromText(const TextMessage& msg) {
+  SolverParameter p;
+  for (const auto& e : msg.entries()) {
+    if (e.name == "type") p.type = e.value.AsString();
+    else if (e.name == "net") p.net = e.value.AsString();
+    else if (e.name == "net_param")
+      p.net_param = NetParameter::FromText(e.value.message());
+    else if (e.name == "test_iter") p.test_iter = e.value.AsInt();
+    else if (e.name == "test_interval") p.test_interval = e.value.AsInt();
+    else if (e.name == "test_initialization") p.test_initialization = e.value.AsBool();
+    else if (e.name == "base_lr") p.base_lr = e.value.AsDouble();
+    else if (e.name == "display") p.display = e.value.AsInt();
+    else if (e.name == "max_iter") p.max_iter = e.value.AsInt();
+    else if (e.name == "iter_size") p.iter_size = e.value.AsInt();
+    else if (e.name == "lr_policy") p.lr_policy = e.value.AsString();
+    else if (e.name == "gamma") p.gamma = e.value.AsDouble();
+    else if (e.name == "power") p.power = e.value.AsDouble();
+    else if (e.name == "momentum") p.momentum = e.value.AsDouble();
+    else if (e.name == "weight_decay") p.weight_decay = e.value.AsDouble();
+    else if (e.name == "regularization_type") p.regularization_type = e.value.AsString();
+    else if (e.name == "stepsize") p.stepsize = e.value.AsInt();
+    else if (e.name == "stepvalue") p.stepvalue.push_back(e.value.AsInt());
+    else if (e.name == "clip_gradients") p.clip_gradients = e.value.AsDouble();
+    else if (e.name == "random_seed")
+      p.random_seed = static_cast<std::uint64_t>(e.value.AsInt());
+    else if (e.name == "delta") p.delta = e.value.AsDouble();
+    else if (e.name == "rms_decay") p.rms_decay = e.value.AsDouble();
+    else if (e.name == "momentum2") p.momentum2 = e.value.AsDouble();
+    else UnknownField("SolverParameter", e.name);
+  }
+  return p;
+}
+
+SolverParameter SolverParameter::FromString(std::string_view prototxt) {
+  return FromText(TextMessage::Parse(prototxt));
+}
+
+void SolverParameter::ToText(TextMessage& msg) const {
+  msg.AddString("type", type);
+  if (!net.empty()) msg.AddString("net", net);
+  if (!net_param.layer.empty() || !net_param.name.empty()) {
+    net_param.ToText(msg.AddMessage("net_param"));
+  }
+  if (test_iter != 0) msg.AddInt("test_iter", test_iter);
+  if (test_interval != 0) msg.AddInt("test_interval", test_interval);
+  if (!test_initialization) msg.AddBool("test_initialization", false);
+  msg.AddDouble("base_lr", base_lr);
+  if (display != 0) msg.AddInt("display", display);
+  msg.AddInt("max_iter", max_iter);
+  if (iter_size != 1) msg.AddInt("iter_size", iter_size);
+  msg.AddString("lr_policy", lr_policy);
+  if (gamma != 0.0) msg.AddDouble("gamma", gamma);
+  if (power != 0.0) msg.AddDouble("power", power);
+  if (momentum != 0.0) msg.AddDouble("momentum", momentum);
+  if (weight_decay != 0.0) msg.AddDouble("weight_decay", weight_decay);
+  if (regularization_type != "L2")
+    msg.AddString("regularization_type", regularization_type);
+  if (stepsize != 0) msg.AddInt("stepsize", stepsize);
+  for (index_t sv : stepvalue) msg.AddInt("stepvalue", sv);
+  if (clip_gradients >= 0.0) msg.AddDouble("clip_gradients", clip_gradients);
+  msg.AddInt("random_seed", static_cast<index_t>(random_seed));
+  if (delta != 1e-8) msg.AddDouble("delta", delta);
+  if (rms_decay != 0.99) msg.AddDouble("rms_decay", rms_decay);
+}
+
+std::string SolverParameter::ToString() const {
+  TextMessage msg;
+  ToText(msg);
+  return msg.Print();
+}
+
+}  // namespace cgdnn::proto

@@ -1,0 +1,371 @@
+// Typed configuration messages mirroring Caffe's caffe.proto definitions,
+// parsed from / printed to the prototxt text format. Field names match
+// Caffe's so real LeNet / CIFAR-10-quick prototxt files (minus unsupported
+// features) load unchanged.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cgdnn/core/common.hpp"
+#include "cgdnn/proto/textformat.hpp"
+
+namespace cgdnn::proto {
+
+struct FillerParameter {
+  std::string type = "constant";  // constant|uniform|gaussian|xavier|msra|positive_unitball|bilinear
+  double value = 0.0;             // constant
+  double min = 0.0, max = 1.0;    // uniform
+  double mean = 0.0, std = 1.0;   // gaussian
+  std::string variance_norm = "FAN_IN";  // xavier/msra: FAN_IN|FAN_OUT|AVERAGE
+
+  static FillerParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+/// Per-learnable-blob training multipliers (Caffe's ParamSpec).
+struct ParamSpec {
+  std::string name;  // optional: shared-parameter key
+  double lr_mult = 1.0;
+  double decay_mult = 1.0;
+
+  static ParamSpec FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct ConvolutionParameter {
+  index_t num_output = 0;
+  bool bias_term = true;
+  index_t kernel_h = 0, kernel_w = 0;  // set via kernel_size or kernel_h/w
+  index_t stride_h = 1, stride_w = 1;
+  index_t pad_h = 0, pad_w = 0;
+  index_t dilation = 1;
+  index_t group = 1;
+  FillerParameter weight_filler;
+  FillerParameter bias_filler;
+
+  static ConvolutionParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct PoolingParameter {
+  enum class Method { kMax, kAve };
+  Method pool = Method::kMax;
+  index_t kernel_size = 0;
+  index_t stride = 1;
+  index_t pad = 0;
+  bool global_pooling = false;
+
+  static PoolingParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct InnerProductParameter {
+  index_t num_output = 0;
+  bool bias_term = true;
+  int axis = 1;
+  FillerParameter weight_filler;
+  FillerParameter bias_filler;
+
+  static InnerProductParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct LRNParameter {
+  index_t local_size = 5;
+  double alpha = 1.0;
+  double beta = 0.75;
+  double k = 1.0;
+  enum class NormRegion { kAcrossChannels, kWithinChannel };
+  NormRegion norm_region = NormRegion::kAcrossChannels;
+
+  static LRNParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct ReLUParameter {
+  double negative_slope = 0.0;
+
+  static ReLUParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct BlobShape {
+  std::vector<index_t> dim;
+
+  static BlobShape FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+/// y = (shift + scale * x) ^ power
+struct PowerParameter {
+  double power = 1.0;
+  double scale = 1.0;
+  double shift = 0.0;
+
+  static PowerParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+/// y = base ^ (shift + scale * x); base -1 means e.
+struct ExpParameter {
+  double base = -1.0;
+  double scale = 1.0;
+  double shift = 0.0;
+
+  static ExpParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+/// y = log_base(shift + scale * x); base -1 means e.
+struct LogParameter {
+  double base = -1.0;
+  double scale = 1.0;
+  double shift = 0.0;
+
+  static LogParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct ELUParameter {
+  double alpha = 1.0;
+
+  static ELUParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+/// Per-channel learned (or provided) multiplicative scaling.
+struct ScaleParameter {
+  int axis = 1;
+  int num_axes = 1;
+  bool bias_term = false;
+  FillerParameter filler{.type = "constant", .value = 1.0};  // identity scale
+  FillerParameter bias_filler;  // defaults to constant 0
+
+  static ScaleParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+/// Per-channel learned (or provided) additive bias.
+struct BiasParameter {
+  int axis = 1;
+  int num_axes = 1;
+  FillerParameter filler;  // defaults to constant 0
+
+  static BiasParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct SliceParameter {
+  int axis = 1;
+  std::vector<index_t> slice_point;  // empty = equal slices
+
+  static SliceParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct ReshapeParameter {
+  /// Target shape; dim 0 copies the bottom dimension, dim -1 is inferred.
+  BlobShape shape;
+
+  static ReshapeParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct ArgMaxParameter {
+  index_t top_k = 1;
+  bool out_max_val = false;
+
+  static ArgMaxParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+/// MemoryData: user-supplied in-memory batches (Caffe's MemoryDataLayer).
+struct MemoryDataParameter {
+  index_t batch_size = 0;
+  index_t channels = 0;
+  index_t height = 0;
+  index_t width = 0;
+
+  static MemoryDataParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct BatchNormParameter {
+  /// Unset: batch statistics in TRAIN, stored statistics in TEST (Caffe's
+  /// default); set: force the choice.
+  std::optional<bool> use_global_stats;
+  double moving_average_fraction = 0.999;
+  double eps = 1e-5;
+
+  static BatchNormParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct DropoutParameter {
+  double dropout_ratio = 0.5;
+
+  static DropoutParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct EltwiseParameter {
+  enum class Op { kProd, kSum, kMax };
+  Op operation = Op::kSum;
+  std::vector<double> coeff;  // per-bottom coefficients for kSum
+
+  static EltwiseParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct ConcatParameter {
+  int axis = 1;
+
+  static ConcatParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct SoftmaxParameter {
+  int axis = 1;
+
+  static SoftmaxParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct AccuracyParameter {
+  index_t top_k = 1;
+  int axis = 1;
+
+  static AccuracyParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct LossParameter {
+  std::optional<index_t> ignore_label;
+  bool normalize = true;
+
+  static LossParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+/// Data source configuration. `source` selects a dataset:
+///   "synthetic-mnist" | "synthetic-cifar10" | "random" | path to IDX/CIFAR
+/// files (see cgdnn/data). The data layer runs sequentially, as in the paper.
+struct DataParameter {
+  std::string source = "synthetic-mnist";
+  index_t batch_size = 0;
+  index_t num_samples = 1024;  // synthetic dataset size
+  std::uint64_t seed = 1;      // synthetic dataset seed
+
+  static DataParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct TransformationParameter {
+  double scale = 1.0;
+  bool mirror = false;
+  index_t crop_size = 0;
+  std::vector<double> mean_value;
+
+  static TransformationParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+/// Constant-content input layer (Caffe's DummyData), used by tests/benches.
+struct DummyDataParameter {
+  std::vector<BlobShape> shape;
+  std::vector<FillerParameter> data_filler;
+
+  static DummyDataParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct LayerParameter {
+  std::string name;
+  std::string type;
+  std::vector<std::string> bottom;
+  std::vector<std::string> top;
+  std::optional<Phase> include_phase;  // Caffe's include { phase: ... }
+  std::vector<double> loss_weight;
+  std::vector<ParamSpec> param;
+
+  ConvolutionParameter convolution_param;
+  PoolingParameter pooling_param;
+  InnerProductParameter inner_product_param;
+  LRNParameter lrn_param;
+  ReLUParameter relu_param;
+  PowerParameter power_param;
+  ExpParameter exp_param;
+  LogParameter log_param;
+  ELUParameter elu_param;
+  ScaleParameter scale_param;
+  BiasParameter bias_param;
+  SliceParameter slice_param;
+  ReshapeParameter reshape_param;
+  ArgMaxParameter argmax_param;
+  BatchNormParameter batch_norm_param;
+  MemoryDataParameter memory_data_param;
+  DropoutParameter dropout_param;
+  EltwiseParameter eltwise_param;
+  ConcatParameter concat_param;
+  SoftmaxParameter softmax_param;
+  AccuracyParameter accuracy_param;
+  LossParameter loss_param;
+  DataParameter data_param;
+  TransformationParameter transform_param;
+  DummyDataParameter dummy_data_param;
+
+  static LayerParameter FromText(const TextMessage& msg);
+  void ToText(TextMessage& msg) const;
+};
+
+struct NetParameter {
+  std::string name;
+  bool force_backward = false;
+  std::vector<LayerParameter> layer;
+
+  static NetParameter FromText(const TextMessage& msg);
+  static NetParameter FromString(std::string_view prototxt);
+  static NetParameter FromFile(const std::string& path);
+  void ToText(TextMessage& msg) const;
+  std::string ToString() const;
+};
+
+struct SolverParameter {
+  std::string type = "SGD";  // SGD|Nesterov|Adam|AdaGrad|RMSProp|AdaDelta
+  NetParameter net_param;    // inline net (net_param { ... })
+  /// Path to an external net prototxt (Caffe's `net:` field); resolved by
+  /// the cgdnn_train tool into net_param before solver construction.
+  std::string net;
+  index_t test_iter = 0;
+  index_t test_interval = 0;
+  bool test_initialization = true;
+  double base_lr = 0.01;
+  index_t display = 0;
+  index_t max_iter = 0;
+  /// Gradient accumulation: each iteration runs `iter_size` forward/backward
+  /// passes before one update, giving an effective batch of
+  /// iter_size * batch_size without growing the working set.
+  index_t iter_size = 1;
+  std::string lr_policy = "fixed";  // fixed|step|exp|inv|multistep|poly|sigmoid
+  double gamma = 0.0;
+  double power = 0.0;
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+  std::string regularization_type = "L2";  // L2|L1
+  index_t stepsize = 0;
+  std::vector<index_t> stepvalue;
+  double clip_gradients = -1.0;
+  std::uint64_t random_seed = 1;
+  double delta = 1e-8;     // AdaGrad / AdaDelta / RMSProp numerical floor
+  double rms_decay = 0.99; // RMSProp
+  double momentum2 = 0.999;
+
+  static SolverParameter FromText(const TextMessage& msg);
+  static SolverParameter FromString(std::string_view prototxt);
+  void ToText(TextMessage& msg) const;
+  std::string ToString() const;
+};
+
+}  // namespace cgdnn::proto

@@ -1,0 +1,397 @@
+#include "cgdnn/proto/textformat.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace cgdnn::proto {
+
+// ---------------------------------------------------------------- TextValue
+
+TextValue TextValue::Scalar(std::string token, bool quoted) {
+  TextValue v;
+  v.token_ = std::move(token);
+  v.quoted_ = quoted;
+  return v;
+}
+
+TextValue TextValue::Message(std::unique_ptr<TextMessage> msg) {
+  TextValue v;
+  v.msg_ = std::move(msg);
+  return v;
+}
+
+TextValue::TextValue(TextValue&&) noexcept = default;
+TextValue& TextValue::operator=(TextValue&&) noexcept = default;
+TextValue::~TextValue() = default;
+
+const std::string& TextValue::token() const {
+  CGDNN_CHECK(is_scalar()) << "field holds a message, not a scalar";
+  return token_;
+}
+
+const TextMessage& TextValue::message() const {
+  CGDNN_CHECK(is_message()) << "field holds a scalar, not a message";
+  return *msg_;
+}
+
+TextMessage& TextValue::message() {
+  CGDNN_CHECK(is_message()) << "field holds a scalar, not a message";
+  return *msg_;
+}
+
+std::string TextValue::AsString() const { return token(); }
+
+double TextValue::AsDouble() const {
+  const std::string& t = token();
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(t, &pos);
+    CGDNN_CHECK_EQ(pos, t.size()) << "trailing characters in number '" << t << "'";
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw Error(__FILE__, __LINE__, "not a number: '" + t + "'");
+  } catch (const std::out_of_range&) {
+    throw Error(__FILE__, __LINE__, "number out of range: '" + t + "'");
+  }
+}
+
+index_t TextValue::AsInt() const {
+  const std::string& t = token();
+  index_t v = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  CGDNN_CHECK(ec == std::errc{} && ptr == t.data() + t.size())
+      << "not an integer: '" << t << "'";
+  return v;
+}
+
+bool TextValue::AsBool() const {
+  const std::string& t = token();
+  if (t == "true" || t == "1") return true;
+  if (t == "false" || t == "0") return false;
+  throw Error(__FILE__, __LINE__, "not a boolean: '" + t + "'");
+}
+
+// ----------------------------------------------------------------- Lexer
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kScalar, kString, kColon, kLBrace, kRBrace, kEnd };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token Next() {
+    SkipSpaceAndComments();
+    if (pos_ >= text_.size()) return {Token::Kind::kEnd, "", line_};
+    const char c = text_[pos_];
+    if (c == ':') {
+      ++pos_;
+      return {Token::Kind::kColon, ":", line_};
+    }
+    if (c == '{') {
+      ++pos_;
+      return {Token::Kind::kLBrace, "{", line_};
+    }
+    if (c == '}') {
+      ++pos_;
+      return {Token::Kind::kRBrace, "}", line_};
+    }
+    if (c == '"' || c == '\'') return LexString(c);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdentOrKeyword();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+        c == '.') {
+      return LexNumber();
+    }
+    Fail(std::string("unexpected character '") + c + "'");
+  }
+
+  [[noreturn]] void Fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "prototxt parse error at line " << line_ << ": " << msg;
+    throw Error(__FILE__, __LINE__, os.str());
+  }
+
+  int line() const { return line_; }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) || c == ',' ||
+                 c == ';') {
+        ++pos_;  // commas/semicolons are permitted separators in text format
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token LexString(char quote) {
+    const int start_line = line_;
+    ++pos_;  // consume quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          case '\'': c = '\''; break;
+          default: Fail(std::string("unknown escape '\\") + esc + "'");
+        }
+      } else if (c == '\n') {
+        Fail("unterminated string literal");
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) Fail("unterminated string literal");
+    ++pos_;  // closing quote
+    return {Token::Kind::kString, std::move(out), start_line};
+  }
+
+  Token LexIdentOrKeyword() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return {Token::Kind::kIdent, std::string(text_.substr(start, pos_ - start)),
+            line_};
+  }
+
+  Token LexNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return {Token::Kind::kScalar,
+            std::string(text_.substr(start, pos_ - start)), line_};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { Advance(); }
+
+  TextMessage ParseMessageBody(bool top_level) {
+    TextMessage msg;
+    while (true) {
+      if (cur_.kind == Token::Kind::kEnd) {
+        if (!top_level) lexer_.Fail("unexpected end of input: missing '}'");
+        return msg;
+      }
+      if (cur_.kind == Token::Kind::kRBrace) {
+        if (top_level) lexer_.Fail("unexpected '}' at top level");
+        return msg;
+      }
+      ParseField(msg);
+    }
+  }
+
+ private:
+  void Advance() { cur_ = lexer_.Next(); }
+
+  void ParseField(TextMessage& msg) {
+    if (cur_.kind != Token::Kind::kIdent) {
+      lexer_.Fail("expected field name, got '" + cur_.text + "'");
+    }
+    std::string name = cur_.text;
+    Advance();
+    if (cur_.kind == Token::Kind::kColon) {
+      Advance();
+      if (cur_.kind == Token::Kind::kLBrace) {
+        ParseNested(msg, std::move(name));
+      } else if (cur_.kind == Token::Kind::kString) {
+        msg.AddScalar(std::move(name), cur_.text, /*quoted=*/true);
+        Advance();
+      } else if (cur_.kind == Token::Kind::kScalar ||
+                 cur_.kind == Token::Kind::kIdent) {
+        msg.AddScalar(std::move(name), cur_.text, /*quoted=*/false);
+        Advance();
+      } else {
+        lexer_.Fail("expected value after ':' for field '" + name + "'");
+      }
+    } else if (cur_.kind == Token::Kind::kLBrace) {
+      ParseNested(msg, std::move(name));
+    } else {
+      lexer_.Fail("expected ':' or '{' after field name '" + name + "'");
+    }
+  }
+
+  void ParseNested(TextMessage& msg, std::string name) {
+    Advance();  // consume '{'
+    auto nested = std::make_unique<TextMessage>(ParseMessageBody(false));
+    if (cur_.kind != Token::Kind::kRBrace) {
+      lexer_.Fail("expected '}' closing message '" + name + "'");
+    }
+    Advance();  // consume '}'
+    TextMessage& slot = msg.AddMessage(std::move(name));
+    slot = std::move(*nested);
+  }
+
+  Lexer lexer_;
+  Token cur_{Token::Kind::kEnd, "", 0};
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- Message
+
+TextMessage TextMessage::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseMessageBody(/*top_level=*/true);
+}
+
+TextMessage TextMessage::ParseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CGDNN_CHECK(in.good()) << "cannot open prototxt file: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+bool TextMessage::Has(std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+std::size_t TextMessage::Count(std::string_view name) const {
+  std::size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.name == name) ++n;
+  }
+  return n;
+}
+
+const TextValue& TextMessage::Get(std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e.value;
+  }
+  throw Error(__FILE__, __LINE__,
+              "missing required field '" + std::string(name) + "'");
+}
+
+std::vector<const TextValue*> TextMessage::GetAll(std::string_view name) const {
+  std::vector<const TextValue*> out;
+  for (const Entry& e : entries_) {
+    if (e.name == name) out.push_back(&e.value);
+  }
+  return out;
+}
+
+std::string TextMessage::GetString(std::string_view name,
+                                   std::string def) const {
+  return Has(name) ? Get(name).AsString() : std::move(def);
+}
+
+double TextMessage::GetDouble(std::string_view name, double def) const {
+  return Has(name) ? Get(name).AsDouble() : def;
+}
+
+index_t TextMessage::GetInt(std::string_view name, index_t def) const {
+  return Has(name) ? Get(name).AsInt() : def;
+}
+
+bool TextMessage::GetBool(std::string_view name, bool def) const {
+  return Has(name) ? Get(name).AsBool() : def;
+}
+
+void TextMessage::AddScalar(std::string name, std::string token, bool quoted) {
+  entries_.push_back({std::move(name), TextValue::Scalar(std::move(token), quoted)});
+}
+
+void TextMessage::AddString(std::string name, std::string value) {
+  AddScalar(std::move(name), std::move(value), /*quoted=*/true);
+}
+
+void TextMessage::AddDouble(std::string name, double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  AddScalar(std::move(name), os.str());
+}
+
+void TextMessage::AddInt(std::string name, index_t value) {
+  AddScalar(std::move(name), std::to_string(value));
+}
+
+void TextMessage::AddBool(std::string name, bool value) {
+  AddScalar(std::move(name), value ? "true" : "false");
+}
+
+TextMessage& TextMessage::AddMessage(std::string name) {
+  entries_.push_back(
+      {std::move(name), TextValue::Message(std::make_unique<TextMessage>())});
+  return entries_.back().value.message();
+}
+
+namespace {
+void PrintQuoted(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\\': os << "\\\\"; break;
+      case '"': os << "\\\""; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+}  // namespace
+
+std::string TextMessage::Print(int indent) const {
+  std::ostringstream os;
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  for (const Entry& e : entries_) {
+    if (e.value.is_message()) {
+      os << pad << e.name << " {\n"
+         << e.value.message().Print(indent + 1) << pad << "}\n";
+    } else if (e.value.quoted()) {
+      os << pad << e.name << ": ";
+      PrintQuoted(os, e.value.token());
+      os << "\n";
+    } else {
+      os << pad << e.name << ": " << e.value.token() << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cgdnn::proto

@@ -1,0 +1,97 @@
+// A protobuf *text-format* (prototxt) subset parser and printer — the
+// configuration surface Caffe users touch. Supports the constructs Caffe
+// prototxt files use: scalar fields (`name: "LeNet"`, `base_lr: 0.01`),
+// repeated fields (multiple `layer { ... }` entries, `stepvalue: 1 2`-style
+// repetition via repeated keys), nested messages with optional colon
+// (`weight_filler { ... }`), enum tokens (`pool: MAX`), booleans, and `#`
+// comments. Field order is preserved (layer order is semantically relevant).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cgdnn/core/common.hpp"
+
+namespace cgdnn::proto {
+
+class TextMessage;
+
+/// One field value: either a scalar token (number / quoted string / enum /
+/// bool, stored in raw token form) or a nested message.
+class TextValue {
+ public:
+  static TextValue Scalar(std::string token, bool quoted);
+  static TextValue Message(std::unique_ptr<TextMessage> msg);
+
+  bool is_message() const { return msg_ != nullptr; }
+  bool is_scalar() const { return msg_ == nullptr; }
+  bool quoted() const { return quoted_; }
+
+  /// Raw token (unquoted content for strings).
+  const std::string& token() const;
+  const TextMessage& message() const;
+  TextMessage& message();
+
+  // Typed conversions with validation; throw cgdnn::Error on mismatch.
+  std::string AsString() const;
+  double AsDouble() const;
+  index_t AsInt() const;
+  bool AsBool() const;
+
+  TextValue(TextValue&&) noexcept;
+  TextValue& operator=(TextValue&&) noexcept;
+  ~TextValue();
+
+ private:
+  TextValue() = default;
+  std::string token_;
+  bool quoted_ = false;
+  std::unique_ptr<TextMessage> msg_;
+};
+
+class TextMessage {
+ public:
+  struct Entry {
+    std::string name;
+    TextValue value;
+  };
+
+  /// Parses prototxt text into a message tree. Throws cgdnn::Error with a
+  /// line/column diagnostic on malformed input.
+  static TextMessage Parse(std::string_view text);
+  /// Convenience: reads a file then parses it.
+  static TextMessage ParseFile(const std::string& path);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  bool Has(std::string_view name) const;
+  std::size_t Count(std::string_view name) const;
+  /// First value for the field; throws if absent.
+  const TextValue& Get(std::string_view name) const;
+  /// All values for a repeated field (possibly empty).
+  std::vector<const TextValue*> GetAll(std::string_view name) const;
+
+  // Typed accessors with defaults.
+  std::string GetString(std::string_view name, std::string def = "") const;
+  double GetDouble(std::string_view name, double def = 0.0) const;
+  index_t GetInt(std::string_view name, index_t def = 0) const;
+  bool GetBool(std::string_view name, bool def = false) const;
+
+  // Builders (used by the printers / round-trip tests).
+  void AddScalar(std::string name, std::string token, bool quoted = false);
+  void AddString(std::string name, std::string value);
+  void AddDouble(std::string name, double value);
+  void AddInt(std::string name, index_t value);
+  void AddBool(std::string name, bool value);
+  TextMessage& AddMessage(std::string name);
+
+  /// Serializes back to prototxt (2-space indentation).
+  std::string Print(int indent = 0) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cgdnn::proto

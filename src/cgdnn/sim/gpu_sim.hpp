@@ -1,0 +1,46 @@
+// GPU performance models for the fine-grain comparison bars of Figures 6/9.
+//
+// Two variants, as in the paper:
+//  * plain-GPU — Caffe's native CUDA kernels: memory-bound layers (pooling,
+//    LRN, ReLU) run near bandwidth, while the generic convolution kernels
+//    achieve a tiny fraction of peak FLOPs (the paper measures conv
+//    speedups of only 0.43x-6x);
+//  * cuDNN-GPU — NVIDIA's tuned library: convolution efficiency jumps an
+//    order of magnitude; its pooling kernels trade peak bandwidth for
+//    generality (the paper's pool2 drop from 62x to 27x).
+// Per-pass time = max(flops/peak_eff, bytes/bw_eff) + kernel launches.
+#pragma once
+
+#include <string>
+
+#include "cgdnn/sim/machine.hpp"
+#include "cgdnn/sim/multicore_sim.hpp"  // LayerSim / NetSim result types
+#include "cgdnn/sim/workload.hpp"
+
+namespace cgdnn::sim {
+
+enum class GpuVariant { kPlain, kCudnn };
+
+const char* GpuVariantName(GpuVariant v);
+
+class GpuSim {
+ public:
+  explicit GpuSim(const GpuMachine& machine) : machine_(machine) {}
+
+  /// Kernel model for (layer type, variant, pass).
+  GpuKernelModel KernelModel(const std::string& type, GpuVariant variant,
+                             bool is_backward) const;
+
+  /// Simulated execution time (µs) of one layer pass.
+  double SimulatePass(const LayerWork& layer, const PassWork& pass,
+                      GpuVariant variant, bool is_backward) const;
+
+  /// Simulates a full iteration.
+  NetSim SimulateNet(const std::vector<LayerWork>& work,
+                     GpuVariant variant) const;
+
+ private:
+  GpuMachine machine_;
+};
+
+}  // namespace cgdnn::sim

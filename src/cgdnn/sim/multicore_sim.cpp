@@ -1,0 +1,84 @@
+#include "cgdnn/sim/multicore_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cgdnn::sim {
+
+double MulticoreSim::SimulatePass(const LayerWork& layer, const PassWork& pass,
+                                  const LayerWork* prev, int threads,
+                                  bool is_backward) const {
+  if (pass.serial_us <= 0) return 0;
+  if (layer.sequential || pass.par_iters == 0 || threads <= 1) {
+    return pass.serial_us;
+  }
+  const int t = std::min<int>(threads, machine_.cores);
+
+  // Static-schedule makespan: the slowest thread executes ceil(iters/T)
+  // iterations (uniform per-iteration cost assumed, as in the layer loops).
+  const double iters = static_cast<double>(pass.par_iters);
+  const double max_chunk = std::ceil(iters / t);
+  const double chunk_frac = max_chunk / iters;
+
+  // Memory-bound fraction from arithmetic intensity.
+  const double ai = pass.bytes > 0 ? pass.flops / pass.bytes : 1e9;
+  const double mem_frac = 1.0 / (1.0 + ai / machine_.balance_flops_per_byte);
+
+  // Locality penalty: producer layout-class mismatch or sequential producer.
+  double loc_mult = 1.0;
+  if (prev != nullptr &&
+      (prev->sequential || prev->locality_class != layer.locality_class)) {
+    // Penalty grows with the fraction of data that lands on a different
+    // thread than produced it: 1 - 1/T of the blob, in expectation.
+    loc_mult += machine_.locality_penalty * (1.0 - 1.0 / t);
+  }
+
+  // NUMA penalty once the team spans sockets.
+  double numa_mult = 1.0;
+  if (t > machine_.cores_per_node()) {
+    const double spill =
+        static_cast<double>(t - machine_.cores_per_node()) /
+        static_cast<double>(machine_.cores - machine_.cores_per_node());
+    numa_mult += machine_.numa_penalty * spill;
+  }
+
+  const double compute_frac = 1.0 - mem_frac;
+  double time = pass.serial_us *
+                (compute_frac * chunk_frac +
+                 mem_frac * chunk_frac * loc_mult * numa_mult);
+
+  // Fixed parallel-region overhead (fork/join + implicit barrier).
+  time += machine_.fork_join_us;
+
+  // Ordered gradient merge: T sequential accumulations of the parameter
+  // blob (backward passes of parameterized layers only). Modelled as a
+  // byte-rate-limited serial chain; negligible for the studied layers, as
+  // the paper observes, but it is part of the model.
+  if (is_backward && layer.param_count > 0 && layer.merge_params) {
+    const double merge_bytes =
+        static_cast<double>(layer.param_count) * sizeof(float) * t;
+    constexpr double kMergeBytesPerUs = 30000.0;  // ~30 GB/s (cache-resident)
+    time += merge_bytes / kMergeBytesPerUs;
+  }
+  return time;
+}
+
+NetSim MulticoreSim::SimulateNet(const std::vector<LayerWork>& work,
+                                 int threads) const {
+  NetSim sim;
+  sim.threads = threads;
+  const LayerWork* prev = nullptr;
+  for (const LayerWork& lw : work) {
+    LayerSim ls;
+    ls.name = lw.name;
+    ls.type = lw.type;
+    ls.forward_us = SimulatePass(lw, lw.forward, prev, threads, false);
+    ls.backward_us = SimulatePass(lw, lw.backward, prev, threads, true);
+    sim.total_us += ls.forward_us + ls.backward_us;
+    sim.layers.push_back(std::move(ls));
+    prev = &lw;
+  }
+  return sim;
+}
+
+}  // namespace cgdnn::sim

@@ -1,0 +1,58 @@
+// Multicore execution model for the coarse-grain OpenMP parallelization.
+//
+// For each layer pass at T threads the model composes the effects the paper
+// identifies (§4.3):
+//  * static-schedule makespan — the slowest thread's share of the coalesced
+//    iteration space (exact OpenMP static chunking, so quantization shows
+//    up when T does not divide the iteration count);
+//  * work granularity — the fixed fork/join overhead stops helping once
+//    per-thread work shrinks to its scale;
+//  * locality between layers — the memory-bound fraction of a pass pays a
+//    penalty when the producer's data-thread distribution differs (or the
+//    producer is the sequential data layer);
+//  * NUMA — crossing the 8-core node boundary adds a bandwidth penalty to
+//    the memory-bound fraction;
+//  * gradient merge — backward passes of parameterized layers add the
+//    ordered-merge serialization (T accumulations of the parameter blob).
+#pragma once
+
+#include <vector>
+
+#include "cgdnn/sim/machine.hpp"
+#include "cgdnn/sim/workload.hpp"
+
+namespace cgdnn::sim {
+
+struct LayerSim {
+  std::string name;
+  std::string type;
+  double forward_us = 0;
+  double backward_us = 0;
+};
+
+struct NetSim {
+  int threads = 1;
+  std::vector<LayerSim> layers;
+  double total_us = 0;
+};
+
+class MulticoreSim {
+ public:
+  explicit MulticoreSim(const CpuMachine& machine) : machine_(machine) {}
+
+  /// Simulated execution time (µs) of one layer pass at `threads` threads.
+  /// `prev` is the upstream layer (nullptr for the first).
+  double SimulatePass(const LayerWork& layer, const PassWork& pass,
+                      const LayerWork* prev, int threads,
+                      bool is_backward) const;
+
+  /// Simulates a full iteration (all layers, forward + backward).
+  NetSim SimulateNet(const std::vector<LayerWork>& work, int threads) const;
+
+  const CpuMachine& machine() const { return machine_; }
+
+ private:
+  CpuMachine machine_;
+};
+
+}  // namespace cgdnn::sim

@@ -1,0 +1,157 @@
+#include "cgdnn/sim/workload.hpp"
+
+#include "cgdnn/parallel/context.hpp"
+
+namespace cgdnn::sim {
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kSequential: return "sequential";
+    case Distribution::kBatch: return "batch";
+    case Distribution::kBatchChannel: return "batch-channel";
+    case Distribution::kBatchRow: return "batch-row";
+    case Distribution::kWholeNest: return "whole-nest";
+    case Distribution::kNone: return "none";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kF = sizeof(float);
+
+/// Analytic cost model per layer type. `bot`/`top` are the principal
+/// bottom/top blobs; `layer` supplies parameters.
+void FillAnalytic(const Layer<float>& layer, const Blob<float>& bot,
+                  const Blob<float>& top, LayerWork& w) {
+  const std::string& type = w.type;
+  const double bot_b = static_cast<double>(bot.count()) * kF;
+  const double top_b = static_cast<double>(top.count()) * kF;
+  double param_b = 0;
+  for (const auto& p : layer.blobs()) {
+    param_b += static_cast<double>(p->count()) * kF;
+    w.param_count += p->count();
+  }
+  const index_t n = bot.num();
+
+  if (type == "Data") {
+    w.dist = Distribution::kSequential;
+    w.sequential = true;
+    w.forward = {0, top_b, 0, 0};
+    w.backward = {0, 0, 0, 0};
+  } else if (type == "Convolution") {
+    // flops = 2 * K * out_spatial per output element per sample
+    const double out_count = static_cast<double>(top.count());
+    const double k = static_cast<double>(layer.blobs()[0]->count()) /
+                     static_cast<double>(top.channels());  // Cin/g*kh*kw
+    const double fwd_flops = 2.0 * out_count * k;
+    // im2col roughly re-reads the input k/ (stride^2) times; approximate the
+    // traffic as bottom * kh*kw / stride + top + params.
+    const double col_b = bot_b * k / static_cast<double>(bot.channels());
+    w.dist = Distribution::kBatch;
+    w.forward = {fwd_flops, col_b + top_b + param_b, n, 0};
+    w.backward = {2 * fwd_flops, 2 * (col_b + top_b) + 2 * param_b, n, 0};
+  } else if (type == "Pooling") {
+    // Each output inspects a kernel window: ~k^2 compares per output.
+    const double window =
+        static_cast<double>(bot.count()) / std::max<double>(1.0, top.count());
+    w.dist = Distribution::kBatchChannel;
+    w.forward = {static_cast<double>(top.count()) * window * 3,
+                 bot_b + top_b, n * bot.channels(), 0};
+    w.backward = {static_cast<double>(top.count()) * window,
+                  bot_b + top_b, n * bot.channels(), 0};
+  } else if (type == "LRN") {
+    w.dist = Distribution::kBatchRow;
+    w.locality_class = 1;  // strided channel windows
+    w.forward = {static_cast<double>(bot.count()) * 15, 2 * bot_b + top_b,
+                 n * bot.height(), 0};
+    w.backward = {static_cast<double>(bot.count()) * 20, 4 * bot_b,
+                  n * bot.height(), 0};
+  } else if (type == "InnerProduct") {
+    const double fwd_flops = 2.0 * static_cast<double>(bot.count(1)) *
+                             static_cast<double>(top.count());
+    // The weight matrix is streamed once per sample (GEMV-style access; it
+    // exceeds the per-core caches for the evaluated nets), which is what
+    // makes ip1 memory-bound and poorly scaling in the paper's Fig. 5.
+    const double streamed_params = param_b * static_cast<double>(n);
+    w.dist = Distribution::kBatch;
+    // Flattening a spatial producer re-interprets the blob: the paper's
+    // pool2→ip1 locality loss (§4.1.1).
+    if (bot.num_axes() > 2 && bot.count(2) > 1) w.locality_class = 2;
+    w.merge_params = false;  // row-partitioned gradient, no merge
+    w.forward = {fwd_flops, bot_b + top_b + streamed_params, n, 0};
+    w.backward = {2 * fwd_flops, bot_b + top_b + 2 * streamed_params, n, 0};
+  } else if (type == "ReLU" || type == "Sigmoid" || type == "TanH" ||
+             type == "Dropout" || type == "Power" || type == "Exp" ||
+             type == "Log" || type == "AbsVal" || type == "BNLL" ||
+             type == "ELU") {
+    w.dist = Distribution::kWholeNest;
+    w.forward = {static_cast<double>(bot.count()) * 2, bot_b + top_b,
+                 bot.count(), 0};
+    w.backward = {static_cast<double>(bot.count()) * 2, 2 * (bot_b + top_b),
+                  bot.count(), 0};
+  } else if (type == "BatchNorm" || type == "Scale" || type == "Bias") {
+    // Channel/coefficient-partitioned layers: parallel over C, no merge.
+    w.dist = Distribution::kBatchChannel;
+    w.merge_params = false;
+    w.forward = {static_cast<double>(bot.count()) * 4, 2 * bot_b + top_b,
+                 bot.channels(), 0};
+    w.backward = {static_cast<double>(bot.count()) * 6, 2 * (bot_b + top_b),
+                  bot.channels(), 0};
+  } else if (type == "Softmax" || type == "SoftmaxWithLoss") {
+    w.dist = Distribution::kBatch;
+    w.forward = {static_cast<double>(bot.count()) * 8, bot_b + top_b, n, 0};
+    w.backward = {static_cast<double>(bot.count()) * 2, 2 * bot_b, n, 0};
+  } else if (type == "LRN2") {
+    // unreachable; placeholder for extension
+  } else {
+    // Generic small layer (Accuracy, Split, ...): byte-bound copy-ish cost.
+    w.dist = Distribution::kNone;
+    w.forward = {static_cast<double>(bot.count()), bot_b + top_b, 0, 0};
+    w.backward = {static_cast<double>(bot.count()), bot_b + top_b, 0, 0};
+  }
+}
+
+}  // namespace
+
+std::vector<LayerWork> ExtractWorkload(Net<float>& net, int measure_iters,
+                                       int warmup) {
+  CGDNN_CHECK_GT(measure_iters, 0);
+  std::vector<LayerWork> work;
+  // Analytic part from shapes (valid after one forward reshape).
+  net.Forward();
+  const auto& layers = net.layers();
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    LayerWork w;
+    w.name = net.layer_names()[li];
+    w.type = layers[li]->type();
+    const auto& bots = net.bottom_vecs()[li];
+    const auto& tops = net.top_vecs()[li];
+    const Blob<float>& principal_bot = bots.empty() ? *tops[0] : *bots[0];
+    const Blob<float>& principal_top = *tops[0];
+    FillAnalytic(*layers[li], principal_bot, principal_top, w);
+    work.push_back(std::move(w));
+  }
+
+  // Measured part: profiled serial execution.
+  parallel::ParallelConfig serial_cfg;
+  serial_cfg.mode = parallel::ExecutionMode::kSerial;
+  parallel::Parallel::Scope scope(serial_cfg);
+  for (int i = 0; i < warmup; ++i) net.ForwardBackward();
+  profile::Profiler profiler;
+  net.set_profiler(&profiler);
+  for (int i = 0; i < measure_iters; ++i) net.ForwardBackward();
+  net.set_profiler(nullptr);
+
+  for (LayerWork& w : work) {
+    // Use the minimum over repetitions: least noisy estimate of the true
+    // serial cost on a shared host.
+    w.forward.serial_us =
+        profiler.stats(w.name, profile::LayerPhase::kForward).min_us();
+    w.backward.serial_us =
+        profiler.stats(w.name, profile::LayerPhase::kBackward).min_us();
+  }
+  return work;
+}
+
+}  // namespace cgdnn::sim

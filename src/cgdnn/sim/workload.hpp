@@ -1,0 +1,68 @@
+// Workload extraction: turns a real Net into the per-layer description the
+// simulators consume — analytic FLOP/byte counts from the actual blob
+// shapes, the parallel iteration space each layer's coarse-grain loop
+// exposes, its data-thread distribution pattern, and measured single-thread
+// forward/backward times from the profiler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cgdnn/net/net.hpp"
+
+namespace cgdnn::sim {
+
+/// Data-thread distribution pattern of a layer's coarse-grain loop. Two
+/// adjacent layers with different patterns lose producer-consumer locality
+/// (paper §4.3).
+enum class Distribution {
+  kSequential,    ///< data layers: one thread touches everything
+  kBatch,         ///< parallel over samples (conv, ip chunks)
+  kBatchChannel,  ///< coalesced (N, C) planes (pooling)
+  kBatchRow,      ///< coalesced (N, H) rows (LRN)
+  kWholeNest,     ///< fully coalesced element loop (ReLU & friends)
+  kNone,          ///< layers with no meaningful loop (loss tail)
+};
+
+const char* DistributionName(Distribution d);
+
+struct PassWork {
+  double flops = 0;
+  double bytes = 0;
+  /// Iterations of the (coalesced) parallel loop; 0 = not parallelized.
+  index_t par_iters = 0;
+  /// Measured single-thread execution time on the host (microseconds).
+  double serial_us = 0;
+};
+
+struct LayerWork {
+  std::string name;
+  std::string type;
+  Distribution dist = Distribution::kNone;
+  /// Memory-layout class of the layer's data-thread association. Two
+  /// adjacent layers lose locality when their classes differ:
+  ///   0 — contiguous NCHW ranges (batch / plane / element chunks all slice
+  ///       the blob into contiguous runs);
+  ///   1 — strided access (LRN rows span all channels);
+  ///   2 — reshaping consumer (InnerProduct flattening a spatial blob, the
+  ///       paper's pool2→ip1 case).
+  int locality_class = 0;
+  bool sequential = false;  ///< executes serially regardless of threads
+  PassWork forward;
+  PassWork backward;
+  /// Learnable-coefficient count (privatized in the backward pass).
+  index_t param_count = 0;
+  /// Whether the backward pass privatizes + merges parameter gradients
+  /// (convolutions do; InnerProduct partitions gradient rows instead).
+  bool merge_params = true;
+};
+
+/// Computes analytic FLOP/byte counts and iteration spaces for every layer
+/// of `net`, then measures single-thread forward/backward times by running
+/// `measure_iters` profiled serial iterations (after `warmup` unprofiled
+/// ones). The net is executed for real — call on a freshly built net.
+std::vector<LayerWork> ExtractWorkload(Net<float>& net,
+                                       int measure_iters = 5,
+                                       int warmup = 2);
+
+}  // namespace cgdnn::sim

@@ -1,0 +1,168 @@
+#include "cgdnn/solvers/sgd_solvers.hpp"
+
+#include <cmath>
+
+#include "cgdnn/blas/blas.hpp"
+
+namespace cgdnn {
+
+// --------------------------------------------------------------------- SGD
+
+template <typename Dtype>
+SGDSolver<Dtype>::SGDSolver(const proto::SolverParameter& param)
+    : Solver<Dtype>(param) {}
+
+template <typename Dtype>
+void SGDSolver<Dtype>::ComputeUpdateValue(std::size_t param_id, Dtype rate) {
+  Blob<Dtype>* param = this->net_->learnable_params()[param_id];
+  const auto local_rate =
+      rate * static_cast<Dtype>(this->net_->params_lr()[param_id]);
+  const auto momentum = static_cast<Dtype>(this->param_.momentum);
+  Dtype* history = this->history_[param_id]->mutable_cpu_data();
+  // v = momentum * v + local_rate * grad; update value (diff) = v
+  blas::axpby(param->count(), local_rate, param->cpu_diff(), momentum,
+              history);
+  blas::copy(param->count(), history, param->mutable_cpu_diff());
+}
+
+// ---------------------------------------------------------------- Nesterov
+
+template <typename Dtype>
+void NesterovSolver<Dtype>::ComputeUpdateValue(std::size_t param_id,
+                                               Dtype rate) {
+  Blob<Dtype>* param = this->net_->learnable_params()[param_id];
+  const auto local_rate =
+      rate * static_cast<Dtype>(this->net_->params_lr()[param_id]);
+  const auto momentum = static_cast<Dtype>(this->param_.momentum);
+  const index_t count = param->count();
+  Dtype* history = this->history_[param_id]->mutable_cpu_data();
+  Dtype* scratch = this->update_[param_id]->mutable_cpu_data();
+  // save v_{t-1}
+  blas::copy(count, history, scratch);
+  // v_t = momentum * v_{t-1} + lr * grad
+  blas::axpby(count, local_rate, param->cpu_diff(), momentum, history);
+  // update = (1 + momentum) * v_t - momentum * v_{t-1}
+  Dtype* diff = param->mutable_cpu_diff();
+  for (index_t i = 0; i < count; ++i) {
+    diff[i] = (Dtype(1) + momentum) * history[i] - momentum * scratch[i];
+  }
+}
+
+// ----------------------------------------------------------------- AdaGrad
+
+template <typename Dtype>
+void AdaGradSolver<Dtype>::ComputeUpdateValue(std::size_t param_id,
+                                              Dtype rate) {
+  Blob<Dtype>* param = this->net_->learnable_params()[param_id];
+  const auto local_rate =
+      rate * static_cast<Dtype>(this->net_->params_lr()[param_id]);
+  const auto delta = static_cast<Dtype>(this->param_.delta);
+  const index_t count = param->count();
+  Dtype* history = this->history_[param_id]->mutable_cpu_data();
+  Dtype* diff = param->mutable_cpu_diff();
+  for (index_t i = 0; i < count; ++i) {
+    history[i] += diff[i] * diff[i];
+    diff[i] = local_rate * diff[i] / (std::sqrt(history[i]) + delta);
+  }
+}
+
+// ----------------------------------------------------------------- RMSProp
+
+template <typename Dtype>
+void RMSPropSolver<Dtype>::ComputeUpdateValue(std::size_t param_id,
+                                              Dtype rate) {
+  Blob<Dtype>* param = this->net_->learnable_params()[param_id];
+  const auto local_rate =
+      rate * static_cast<Dtype>(this->net_->params_lr()[param_id]);
+  const auto delta = static_cast<Dtype>(this->param_.delta);
+  const auto decay = static_cast<Dtype>(this->param_.rms_decay);
+  const index_t count = param->count();
+  Dtype* history = this->history_[param_id]->mutable_cpu_data();
+  Dtype* diff = param->mutable_cpu_diff();
+  for (index_t i = 0; i < count; ++i) {
+    history[i] = decay * history[i] + (Dtype(1) - decay) * diff[i] * diff[i];
+    diff[i] = local_rate * diff[i] / (std::sqrt(history[i]) + delta);
+  }
+}
+
+// -------------------------------------------------------------------- Adam
+
+template <typename Dtype>
+AdamSolver<Dtype>::AdamSolver(const proto::SolverParameter& param)
+    : SGDSolver<Dtype>(param) {
+  CGDNN_CHECK_GT(param.momentum, 0.0) << "Adam needs momentum (beta1)";
+  CGDNN_CHECK_LT(param.momentum, 1.0);
+  CGDNN_CHECK_GT(param.momentum2, 0.0) << "Adam needs momentum2 (beta2)";
+  CGDNN_CHECK_LT(param.momentum2, 1.0);
+  for (Blob<Dtype>* p : this->net_->learnable_params()) {
+    second_moment_.push_back(std::make_shared<Blob<Dtype>>(p->shape()));
+  }
+}
+
+template <typename Dtype>
+void AdamSolver<Dtype>::ComputeUpdateValue(std::size_t param_id, Dtype rate) {
+  Blob<Dtype>* param = this->net_->learnable_params()[param_id];
+  const auto local_rate =
+      rate * static_cast<Dtype>(this->net_->params_lr()[param_id]);
+  const auto beta1 = static_cast<Dtype>(this->param_.momentum);
+  const auto beta2 = static_cast<Dtype>(this->param_.momentum2);
+  const auto eps = static_cast<Dtype>(this->param_.delta);
+  const auto t = static_cast<Dtype>(this->iter_ + 1);
+  const Dtype correction = std::sqrt(Dtype(1) - std::pow(beta2, t)) /
+                           (Dtype(1) - std::pow(beta1, t));
+  const index_t count = param->count();
+  Dtype* m = this->history_[param_id]->mutable_cpu_data();
+  Dtype* v = second_moment_[param_id]->mutable_cpu_data();
+  Dtype* diff = param->mutable_cpu_diff();
+  for (index_t i = 0; i < count; ++i) {
+    m[i] = beta1 * m[i] + (Dtype(1) - beta1) * diff[i];
+    v[i] = beta2 * v[i] + (Dtype(1) - beta2) * diff[i] * diff[i];
+    diff[i] = local_rate * correction * m[i] / (std::sqrt(v[i]) + eps);
+  }
+}
+
+// ---------------------------------------------------------------- AdaDelta
+
+template <typename Dtype>
+AdaDeltaSolver<Dtype>::AdaDeltaSolver(const proto::SolverParameter& param)
+    : SGDSolver<Dtype>(param) {
+  for (Blob<Dtype>* p : this->net_->learnable_params()) {
+    update_history_.push_back(std::make_shared<Blob<Dtype>>(p->shape()));
+  }
+}
+
+template <typename Dtype>
+void AdaDeltaSolver<Dtype>::ComputeUpdateValue(std::size_t param_id,
+                                               Dtype rate) {
+  Blob<Dtype>* param = this->net_->learnable_params()[param_id];
+  const auto local_rate =
+      rate * static_cast<Dtype>(this->net_->params_lr()[param_id]);
+  const auto delta = static_cast<Dtype>(this->param_.delta);
+  const auto momentum = static_cast<Dtype>(this->param_.momentum);
+  const index_t count = param->count();
+  Dtype* grad_hist = this->history_[param_id]->mutable_cpu_data();
+  Dtype* update_hist = update_history_[param_id]->mutable_cpu_data();
+  Dtype* diff = param->mutable_cpu_diff();
+  for (index_t i = 0; i < count; ++i) {
+    grad_hist[i] =
+        momentum * grad_hist[i] + (Dtype(1) - momentum) * diff[i] * diff[i];
+    const Dtype step = diff[i] * std::sqrt((update_hist[i] + delta) /
+                                           (grad_hist[i] + delta));
+    update_hist[i] =
+        momentum * update_hist[i] + (Dtype(1) - momentum) * step * step;
+    diff[i] = local_rate * step;
+  }
+}
+
+#define CGDNN_INSTANTIATE_SOLVER(S) \
+  template class S<float>;          \
+  template class S<double>
+
+CGDNN_INSTANTIATE_SOLVER(SGDSolver);
+CGDNN_INSTANTIATE_SOLVER(AdamSolver);
+CGDNN_INSTANTIATE_SOLVER(NesterovSolver);
+CGDNN_INSTANTIATE_SOLVER(AdaGradSolver);
+CGDNN_INSTANTIATE_SOLVER(RMSPropSolver);
+CGDNN_INSTANTIATE_SOLVER(AdaDeltaSolver);
+
+}  // namespace cgdnn

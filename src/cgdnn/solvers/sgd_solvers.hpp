@@ -1,0 +1,93 @@
+// The concrete update rules. All state lives in history_/update_ blobs
+// shaped like the corresponding parameter.
+#pragma once
+
+#include "cgdnn/solvers/solver.hpp"
+
+namespace cgdnn {
+
+/// Plain / momentum SGD: v = momentum*v + lr*grad; w -= v.
+template <typename Dtype>
+class SGDSolver : public Solver<Dtype> {
+ public:
+  explicit SGDSolver(const proto::SolverParameter& param);
+  const char* type() const override { return "SGD"; }
+
+ protected:
+  void ComputeUpdateValue(std::size_t param_id, Dtype rate) override;
+};
+
+/// Nesterov accelerated gradient [23]:
+/// v' = momentum*v + lr*grad; w -= (1+momentum)*v' - momentum*v.
+template <typename Dtype>
+class NesterovSolver : public SGDSolver<Dtype> {
+ public:
+  explicit NesterovSolver(const proto::SolverParameter& param)
+      : SGDSolver<Dtype>(param) {}
+  const char* type() const override { return "Nesterov"; }
+
+ protected:
+  void ComputeUpdateValue(std::size_t param_id, Dtype rate) override;
+};
+
+/// AdaGrad [13]: h += grad^2; w -= lr * grad / (sqrt(h) + delta).
+template <typename Dtype>
+class AdaGradSolver : public SGDSolver<Dtype> {
+ public:
+  explicit AdaGradSolver(const proto::SolverParameter& param)
+      : SGDSolver<Dtype>(param) {
+    CGDNN_CHECK_EQ(param.momentum, 0.0) << "AdaGrad does not use momentum";
+  }
+  const char* type() const override { return "AdaGrad"; }
+
+ protected:
+  void ComputeUpdateValue(std::size_t param_id, Dtype rate) override;
+};
+
+/// RMSProp: h = decay*h + (1-decay)*grad^2; w -= lr*grad/(sqrt(h)+delta).
+template <typename Dtype>
+class RMSPropSolver : public SGDSolver<Dtype> {
+ public:
+  explicit RMSPropSolver(const proto::SolverParameter& param)
+      : SGDSolver<Dtype>(param) {
+    CGDNN_CHECK_EQ(param.momentum, 0.0) << "RMSProp does not use momentum";
+  }
+  const char* type() const override { return "RMSProp"; }
+
+ protected:
+  void ComputeUpdateValue(std::size_t param_id, Dtype rate) override;
+};
+
+/// Adam: bias-corrected first/second moment estimates;
+/// w -= lr * sqrt(1 - b2^t) / (1 - b1^t) * m / (sqrt(v) + delta).
+template <typename Dtype>
+class AdamSolver : public SGDSolver<Dtype> {
+ public:
+  explicit AdamSolver(const proto::SolverParameter& param);
+  const char* type() const override { return "Adam"; }
+
+ protected:
+  void ComputeUpdateValue(std::size_t param_id, Dtype rate) override;
+
+ private:
+  /// Second-moment accumulator (history_ stores the first moment).
+  std::vector<std::shared_ptr<Blob<Dtype>>> second_moment_;
+};
+
+/// AdaDelta: parameter-free step sizing from running gradient/update RMS.
+template <typename Dtype>
+class AdaDeltaSolver : public SGDSolver<Dtype> {
+ public:
+  explicit AdaDeltaSolver(const proto::SolverParameter& param);
+  const char* type() const override { return "AdaDelta"; }
+
+ protected:
+  void ComputeUpdateValue(std::size_t param_id, Dtype rate) override;
+
+ private:
+  /// Second accumulator (squared updates), alongside history_ (squared
+  /// gradients).
+  std::vector<std::shared_ptr<Blob<Dtype>>> update_history_;
+};
+
+}  // namespace cgdnn

@@ -1,0 +1,199 @@
+#include "cgdnn/solvers/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "cgdnn/blas/blas.hpp"
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/solvers/sgd_solvers.hpp"
+
+namespace cgdnn {
+
+template <typename Dtype>
+Solver<Dtype>::Solver(const proto::SolverParameter& param) : param_(param) {
+  CGDNN_CHECK(!param_.net_param.layer.empty())
+      << "solver has no inline net_param";
+  SeedGlobalRng(param_.random_seed);
+  net_ = std::make_unique<Net<Dtype>>(param_.net_param, Phase::kTrain);
+  if (param_.test_iter > 0) {
+    test_net_ = std::make_unique<Net<Dtype>>(param_.net_param, Phase::kTest);
+    test_net_->ShareTrainedLayersWith(*net_);
+  }
+  for (Blob<Dtype>* p : net_->learnable_params()) {
+    history_.push_back(std::make_shared<Blob<Dtype>>(p->shape()));
+    update_.push_back(std::make_shared<Blob<Dtype>>(p->shape()));
+  }
+}
+
+template <typename Dtype>
+double Solver<Dtype>::GetLearningRate() const {
+  const double base = param_.base_lr;
+  const std::string& policy = param_.lr_policy;
+  const auto it = static_cast<double>(iter_);
+  if (policy == "fixed") return base;
+  if (policy == "step") {
+    CGDNN_CHECK_GT(param_.stepsize, 0) << "step policy needs stepsize";
+    const auto step = std::floor(it / static_cast<double>(param_.stepsize));
+    return base * std::pow(param_.gamma, step);
+  }
+  if (policy == "exp") return base * std::pow(param_.gamma, it);
+  if (policy == "inv") {
+    return base * std::pow(1.0 + param_.gamma * it, -param_.power);
+  }
+  if (policy == "multistep") {
+    std::size_t stage = 0;
+    while (stage < param_.stepvalue.size() &&
+           iter_ >= param_.stepvalue[stage]) {
+      ++stage;
+    }
+    return base * std::pow(param_.gamma, static_cast<double>(stage));
+  }
+  if (policy == "poly") {
+    CGDNN_CHECK_GT(param_.max_iter, 0) << "poly policy needs max_iter";
+    return base * std::pow(1.0 - it / static_cast<double>(param_.max_iter),
+                           param_.power);
+  }
+  if (policy == "sigmoid") {
+    return base /
+           (1.0 + std::exp(-param_.gamma *
+                           (it - static_cast<double>(param_.stepsize))));
+  }
+  throw Error(__FILE__, __LINE__, "unknown lr_policy: " + policy);
+}
+
+template <typename Dtype>
+void Solver<Dtype>::Step(index_t iters) {
+  for (index_t i = 0; i < iters; ++i) {
+    if (test_net_ && param_.test_interval > 0 &&
+        iter_ % param_.test_interval == 0 &&
+        (iter_ > 0 || param_.test_initialization)) {
+      TestAll();
+    }
+    net_->ClearParamDiffs();
+    // Gradient accumulation: iter_size passes per update (effective batch
+    // = iter_size x batch_size). Gradients sum across passes and are
+    // rescaled so the update matches a single large batch.
+    const index_t iter_size = std::max<index_t>(1, param_.iter_size);
+    Dtype loss = 0;
+    for (index_t k = 0; k < iter_size; ++k) {
+      loss += net_->ForwardBackward();
+    }
+    loss /= static_cast<Dtype>(iter_size);
+    if (iter_size > 1) {
+      for (Blob<Dtype>* p : net_->learnable_params()) {
+        p->scale_diff(Dtype(1) / static_cast<Dtype>(iter_size));
+      }
+    }
+    loss_history_.push_back(loss);
+    ApplyUpdate();
+    ++iter_;
+    if (param_.display > 0 && iter_ % param_.display == 0) {
+      std::cout << "Iteration " << iter_ << ", loss = " << loss
+                << ", lr = " << GetLearningRate() << "\n";
+    }
+  }
+}
+
+template <typename Dtype>
+void Solver<Dtype>::Solve() {
+  CGDNN_CHECK_GT(param_.max_iter, 0) << "Solve() requires max_iter";
+  Step(param_.max_iter - iter_);
+}
+
+template <typename Dtype>
+std::vector<std::pair<std::string, Dtype>> Solver<Dtype>::TestAll() {
+  CGDNN_CHECK(test_net_ != nullptr) << "no test net configured";
+  CGDNN_CHECK_GT(param_.test_iter, 0);
+  // Average the scalar output blobs (loss / accuracy style) over test_iter
+  // forward passes.
+  std::vector<std::pair<std::string, Dtype>> results;
+  std::vector<Dtype> sums;
+  std::vector<std::string> names;
+  for (index_t i = 0; i < param_.test_iter; ++i) {
+    test_net_->Forward();
+    std::size_t k = 0;
+    for (std::size_t b = 0; b < test_net_->blobs().size(); ++b) {
+      if (test_net_->blobs()[b]->count() != 1) continue;
+      if (i == 0) {
+        sums.push_back(Dtype(0));
+        names.push_back(test_net_->blob_names()[b]);
+      }
+      sums[k] += test_net_->blobs()[b]->cpu_data()[0];
+      ++k;
+    }
+  }
+  for (std::size_t k = 0; k < sums.size(); ++k) {
+    results.emplace_back(names[k],
+                         sums[k] / static_cast<Dtype>(param_.test_iter));
+  }
+  return results;
+}
+
+template <typename Dtype>
+void Solver<Dtype>::ApplyUpdate() {
+  ClipGradients();
+  const auto rate = static_cast<Dtype>(GetLearningRate());
+  for (std::size_t i = 0; i < net_->learnable_params().size(); ++i) {
+    Regularize(i);
+    ComputeUpdateValue(i, rate);
+    net_->learnable_params()[i]->Update();
+  }
+}
+
+template <typename Dtype>
+void Solver<Dtype>::Regularize(std::size_t param_id) {
+  const double decay_mult = net_->params_weight_decay()[param_id];
+  const auto decay = static_cast<Dtype>(param_.weight_decay * decay_mult);
+  if (decay == Dtype(0)) return;
+  Blob<Dtype>* param = net_->learnable_params()[param_id];
+  if (param_.regularization_type == "L2") {
+    blas::axpy(param->count(), decay, param->cpu_data(),
+               param->mutable_cpu_diff());
+  } else if (param_.regularization_type == "L1") {
+    Dtype* sign_buf = update_[param_id]->mutable_cpu_data();
+    blas::sign(param->count(), param->cpu_data(), sign_buf);
+    blas::axpy(param->count(), decay, sign_buf, param->mutable_cpu_diff());
+  } else {
+    throw Error(__FILE__, __LINE__, "unknown regularization_type: " +
+                                        param_.regularization_type);
+  }
+}
+
+template <typename Dtype>
+void Solver<Dtype>::ClipGradients() {
+  const double threshold = param_.clip_gradients;
+  if (threshold < 0) return;
+  Dtype sumsq = 0;
+  for (const Blob<Dtype>* p : net_->learnable_params()) {
+    sumsq += p->sumsq_diff();
+  }
+  const double l2norm = std::sqrt(static_cast<double>(sumsq));
+  if (l2norm <= threshold) return;
+  const auto scale = static_cast<Dtype>(threshold / l2norm);
+  for (Blob<Dtype>* p : net_->learnable_params()) {
+    p->scale_diff(scale);
+  }
+}
+
+template <typename Dtype>
+std::unique_ptr<Solver<Dtype>> CreateSolver(
+    const proto::SolverParameter& param) {
+  const std::string& type = param.type;
+  if (type == "SGD") return std::make_unique<SGDSolver<Dtype>>(param);
+  if (type == "Nesterov") return std::make_unique<NesterovSolver<Dtype>>(param);
+  if (type == "Adam") return std::make_unique<AdamSolver<Dtype>>(param);
+  if (type == "AdaGrad") return std::make_unique<AdaGradSolver<Dtype>>(param);
+  if (type == "RMSProp") return std::make_unique<RMSPropSolver<Dtype>>(param);
+  if (type == "AdaDelta") return std::make_unique<AdaDeltaSolver<Dtype>>(param);
+  throw Error(__FILE__, __LINE__, "unknown solver type: " + type);
+}
+
+template class Solver<float>;
+template class Solver<double>;
+template std::unique_ptr<Solver<float>> CreateSolver<float>(
+    const proto::SolverParameter&);
+template std::unique_ptr<Solver<double>> CreateSolver<double>(
+    const proto::SolverParameter&);
+
+}  // namespace cgdnn

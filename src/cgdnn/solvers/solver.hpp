@@ -1,0 +1,75 @@
+// Solver: the training driver of Algorithm 1 — iterate batches, run the
+// net's forward/backward, and update coefficients. Matches Caffe's solver
+// architecture: a base class owns the loop, learning-rate policies,
+// regularization and gradient clipping; subclasses implement the per-
+// parameter update rule (SGD/Nesterov/AdaGrad/RMSProp/AdaDelta).
+//
+// Convergence invariance: the solver changes NO hyper-parameter as a
+// function of the thread count — the same SolverParameter trains with 1 or
+// 16 threads, and with the ordered gradient merge the loss trace is
+// reproducible.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cgdnn/net/net.hpp"
+#include "cgdnn/proto/params.hpp"
+
+namespace cgdnn {
+
+template <typename Dtype>
+class Solver {
+ public:
+  explicit Solver(const proto::SolverParameter& param);
+  virtual ~Solver() = default;
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Runs `iters` training iterations.
+  void Step(index_t iters);
+  /// Trains to max_iter (running scheduled tests).
+  void Solve();
+
+  /// Learning rate for the current iteration under the configured policy.
+  double GetLearningRate() const;
+
+  /// Evaluates the test net over test_iter batches; returns one averaged
+  /// value per scalar test-net output (e.g. accuracy, loss), paired with
+  /// the blob name.
+  std::vector<std::pair<std::string, Dtype>> TestAll();
+
+  Net<Dtype>& net() { return *net_; }
+  Net<Dtype>* test_net() { return test_net_.get(); }
+  index_t iter() const { return iter_; }
+  const std::vector<Dtype>& loss_history() const { return loss_history_; }
+  const proto::SolverParameter& param() const { return param_; }
+
+  virtual const char* type() const = 0;
+
+ protected:
+  /// Applies weight decay / clipping, asks the subclass for the update
+  /// value (left in each param's diff), then applies param -= diff.
+  void ApplyUpdate();
+  virtual void ComputeUpdateValue(std::size_t param_id, Dtype rate) = 0;
+
+  void Regularize(std::size_t param_id);
+  void ClipGradients();
+
+  proto::SolverParameter param_;
+  std::unique_ptr<Net<Dtype>> net_;
+  std::unique_ptr<Net<Dtype>> test_net_;
+  index_t iter_ = 0;
+  std::vector<Dtype> loss_history_;
+  /// Per-parameter state (momentum, squared-gradient accumulators, ...).
+  std::vector<std::shared_ptr<Blob<Dtype>>> history_;
+  std::vector<std::shared_ptr<Blob<Dtype>>> update_;
+};
+
+/// Instantiates the solver named by param.type.
+template <typename Dtype>
+std::unique_ptr<Solver<Dtype>> CreateSolver(
+    const proto::SolverParameter& param);
+
+}  // namespace cgdnn

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cgdnn/blas/blas.hpp"
+
+namespace cgdnn::blas {
+namespace {
+
+template <typename Dtype>
+class Level1Test : public ::testing::Test {};
+
+using Dtypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(Level1Test, Dtypes);
+
+TYPED_TEST(Level1Test, Axpy) {
+  std::vector<TypeParam> x = {1, 2, 3};
+  std::vector<TypeParam> y = {10, 20, 30};
+  axpy<TypeParam>(3, 2, x.data(), y.data());
+  EXPECT_EQ(y, (std::vector<TypeParam>{12, 24, 36}));
+}
+
+TYPED_TEST(Level1Test, Axpby) {
+  std::vector<TypeParam> x = {1, 2};
+  std::vector<TypeParam> y = {10, 20};
+  axpby<TypeParam>(2, 3, x.data(), TypeParam(0.5), y.data());
+  EXPECT_EQ(y, (std::vector<TypeParam>{8, 16}));
+}
+
+TYPED_TEST(Level1Test, Scal) {
+  std::vector<TypeParam> x = {1, -2, 4};
+  scal<TypeParam>(3, -2, x.data());
+  EXPECT_EQ(x, (std::vector<TypeParam>{-2, 4, -8}));
+}
+
+TYPED_TEST(Level1Test, DotAsumSumsq) {
+  std::vector<TypeParam> x = {1, -2, 3};
+  std::vector<TypeParam> y = {4, 5, -6};
+  EXPECT_EQ(dot<TypeParam>(3, x.data(), y.data()), TypeParam(-24));
+  EXPECT_EQ(asum<TypeParam>(3, x.data()), TypeParam(6));
+  EXPECT_EQ(sumsq<TypeParam>(3, x.data()), TypeParam(14));
+}
+
+TYPED_TEST(Level1Test, CopyAndSet) {
+  std::vector<TypeParam> x = {1, 2, 3};
+  std::vector<TypeParam> y(3);
+  copy<TypeParam>(3, x.data(), y.data());
+  EXPECT_EQ(y, x);
+  copy<TypeParam>(3, y.data(), y.data());  // self-copy is a no-op
+  EXPECT_EQ(y, x);
+  set<TypeParam>(3, TypeParam(7), y.data());
+  EXPECT_EQ(y, (std::vector<TypeParam>{7, 7, 7}));
+}
+
+TYPED_TEST(Level1Test, ElementwiseArithmetic) {
+  std::vector<TypeParam> a = {1, 4, 9};
+  std::vector<TypeParam> b = {2, 2, 3};
+  std::vector<TypeParam> y(3);
+  add<TypeParam>(3, a.data(), b.data(), y.data());
+  EXPECT_EQ(y, (std::vector<TypeParam>{3, 6, 12}));
+  sub<TypeParam>(3, a.data(), b.data(), y.data());
+  EXPECT_EQ(y, (std::vector<TypeParam>{-1, 2, 6}));
+  mul<TypeParam>(3, a.data(), b.data(), y.data());
+  EXPECT_EQ(y, (std::vector<TypeParam>{2, 8, 27}));
+  div<TypeParam>(3, a.data(), b.data(), y.data());
+  EXPECT_EQ(y, (std::vector<TypeParam>{TypeParam(0.5), 2, 3}));
+}
+
+TYPED_TEST(Level1Test, UnaryFunctions) {
+  std::vector<TypeParam> a = {1, 4, 9};
+  std::vector<TypeParam> y(3);
+  sqr<TypeParam>(3, a.data(), y.data());
+  EXPECT_EQ(y, (std::vector<TypeParam>{1, 16, 81}));
+  sqrt<TypeParam>(3, a.data(), y.data());
+  EXPECT_EQ(y, (std::vector<TypeParam>{1, 2, 3}));
+  std::vector<TypeParam> neg = {-1, 0, 2};
+  abs<TypeParam>(3, neg.data(), y.data());
+  EXPECT_EQ(y, (std::vector<TypeParam>{1, 0, 2}));
+  exp<TypeParam>(1, neg.data(), y.data());
+  EXPECT_NEAR(y[0], std::exp(TypeParam(-1)), 1e-6);
+  log<TypeParam>(1, a.data() + 1, y.data());
+  EXPECT_NEAR(y[0], std::log(TypeParam(4)), 1e-6);
+  powx<TypeParam>(3, a.data(), TypeParam(0.5), y.data());
+  EXPECT_NEAR(y[2], 3, 1e-6);
+}
+
+TYPED_TEST(Level1Test, AddScalarAndSign) {
+  std::vector<TypeParam> y = {-3, 0, 5};
+  std::vector<TypeParam> s(3);
+  sign<TypeParam>(3, y.data(), s.data());
+  EXPECT_EQ(s, (std::vector<TypeParam>{-1, 0, 1}));
+  add_scalar<TypeParam>(3, TypeParam(2), y.data());
+  EXPECT_EQ(y, (std::vector<TypeParam>{-1, 2, 7}));
+}
+
+TYPED_TEST(Level1Test, Ger) {
+  // A += 2 * x y^T, A is 2x3.
+  std::vector<TypeParam> a(6, TypeParam(1));
+  std::vector<TypeParam> x = {1, 2};
+  std::vector<TypeParam> y = {3, 4, 5};
+  ger<TypeParam>(2, 3, TypeParam(2), x.data(), y.data(), a.data());
+  EXPECT_EQ(a, (std::vector<TypeParam>{7, 9, 11, 13, 17, 21}));
+}
+
+TYPED_TEST(Level1Test, GemvNoTrans) {
+  // A (2x3) * x
+  std::vector<TypeParam> a = {1, 2, 3, 4, 5, 6};
+  std::vector<TypeParam> x = {1, 0, -1};
+  std::vector<TypeParam> y = {100, 100};
+  gemv<TypeParam>(Transpose::kNo, 2, 3, TypeParam(1), a.data(), x.data(),
+                  TypeParam(0), y.data());
+  EXPECT_EQ(y, (std::vector<TypeParam>{-2, -2}));
+}
+
+TYPED_TEST(Level1Test, GemvTransAccumulates) {
+  std::vector<TypeParam> a = {1, 2, 3, 4, 5, 6};  // 2x3
+  std::vector<TypeParam> x = {1, 1};
+  std::vector<TypeParam> y = {1, 1, 1};
+  gemv<TypeParam>(Transpose::kTrans, 2, 3, TypeParam(2), a.data(), x.data(),
+                  TypeParam(1), y.data());
+  // y = 1 + 2 * (A^T x) = 1 + 2*{5,7,9}
+  EXPECT_EQ(y, (std::vector<TypeParam>{11, 15, 19}));
+}
+
+TYPED_TEST(Level1Test, FinegrainAxpyMatchesSerial) {
+  constexpr index_t kN = 1000;
+  std::vector<TypeParam> x(kN), y1(kN), y2(kN);
+  for (index_t i = 0; i < kN; ++i) {
+    x[static_cast<std::size_t>(i)] = static_cast<TypeParam>(i % 17) / 3;
+    y1[static_cast<std::size_t>(i)] = y2[static_cast<std::size_t>(i)] =
+        static_cast<TypeParam>(i % 5);
+  }
+  axpy<TypeParam>(kN, TypeParam(1.5), x.data(), y1.data());
+  finegrain::set_num_threads(4);
+  finegrain::axpy<TypeParam>(kN, TypeParam(1.5), x.data(), y2.data());
+  finegrain::set_num_threads(0);
+  EXPECT_EQ(y1, y2) << "element-parallel axpy is race-free and exact";
+}
+
+}  // namespace
+}  // namespace cgdnn::blas

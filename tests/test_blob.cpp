@@ -1,0 +1,214 @@
+#include "cgdnn/core/blob.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgdnn {
+namespace {
+
+template <typename Dtype>
+class BlobTest : public ::testing::Test {};
+
+using Dtypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(BlobTest, Dtypes);
+
+TYPED_TEST(BlobTest, DefaultConstructedIsEmpty) {
+  Blob<TypeParam> blob;
+  EXPECT_EQ(blob.count(), 0);
+  EXPECT_EQ(blob.num_axes(), 0);
+}
+
+TYPED_TEST(BlobTest, FourDConstructor) {
+  Blob<TypeParam> blob(2, 3, 4, 5);
+  EXPECT_EQ(blob.num(), 2);
+  EXPECT_EQ(blob.channels(), 3);
+  EXPECT_EQ(blob.height(), 4);
+  EXPECT_EQ(blob.width(), 5);
+  EXPECT_EQ(blob.count(), 120);
+}
+
+TYPED_TEST(BlobTest, OffsetMatchesCaffeFormula) {
+  Blob<TypeParam> blob(2, 3, 4, 5);
+  for (index_t n = 0; n < 2; ++n) {
+    for (index_t c = 0; c < 3; ++c) {
+      for (index_t h = 0; h < 4; ++h) {
+        for (index_t w = 0; w < 5; ++w) {
+          EXPECT_EQ(blob.offset(n, c, h, w), ((n * 3 + c) * 4 + h) * 5 + w);
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(BlobTest, OffsetBoundsChecked) {
+  Blob<TypeParam> blob(2, 3, 4, 5);
+  EXPECT_THROW(blob.offset(2, 0, 0, 0), Error);
+  EXPECT_THROW(blob.offset(0, 3, 0, 0), Error);
+  EXPECT_THROW(blob.offset(0, 0, 4, 0), Error);
+  EXPECT_THROW(blob.offset(0, 0, 0, 5), Error);
+  EXPECT_THROW(blob.offset(-1, 0, 0, 0), Error);
+}
+
+TYPED_TEST(BlobTest, CountRanges) {
+  Blob<TypeParam> blob(std::vector<index_t>{2, 3, 4, 5});
+  EXPECT_EQ(blob.count(0, 4), 120);
+  EXPECT_EQ(blob.count(1, 3), 12);
+  EXPECT_EQ(blob.count(2), 20);
+  EXPECT_EQ(blob.count(4), 1);  // empty product
+  EXPECT_THROW(blob.count(3, 2), Error);
+  EXPECT_THROW(blob.count(0, 5), Error);
+}
+
+TYPED_TEST(BlobTest, CanonicalAxisNegativeIndexing) {
+  Blob<TypeParam> blob({2, 3, 4});
+  EXPECT_EQ(blob.CanonicalAxisIndex(-1), 2);
+  EXPECT_EQ(blob.CanonicalAxisIndex(-3), 0);
+  EXPECT_EQ(blob.CanonicalAxisIndex(1), 1);
+  EXPECT_THROW(blob.CanonicalAxisIndex(3), Error);
+  EXPECT_THROW(blob.CanonicalAxisIndex(-4), Error);
+}
+
+TYPED_TEST(BlobTest, LegacyShapePadsWithOnes) {
+  Blob<TypeParam> blob({7, 9});
+  EXPECT_EQ(blob.num(), 7);
+  EXPECT_EQ(blob.channels(), 9);
+  EXPECT_EQ(blob.height(), 1);
+  EXPECT_EQ(blob.width(), 1);
+}
+
+TYPED_TEST(BlobTest, ScalarBlobHasCountOne) {
+  Blob<TypeParam> blob(std::vector<index_t>{});
+  EXPECT_EQ(blob.count(), 1);
+  blob.mutable_cpu_data()[0] = TypeParam(3);
+  EXPECT_EQ(blob.cpu_data()[0], TypeParam(3));
+}
+
+TYPED_TEST(BlobTest, ReshapeKeepsDataWhenCapacitySuffices) {
+  Blob<TypeParam> blob({4, 4});
+  blob.mutable_cpu_data()[0] = TypeParam(5);
+  const TypeParam* before = blob.cpu_data();
+  blob.Reshape({2, 8});
+  EXPECT_EQ(blob.cpu_data(), before) << "no reallocation expected";
+  EXPECT_EQ(blob.cpu_data()[0], TypeParam(5));
+}
+
+TYPED_TEST(BlobTest, ReshapeGrowsWhenNeeded) {
+  Blob<TypeParam> blob({2, 2});
+  blob.Reshape({8, 8});
+  EXPECT_EQ(blob.count(), 64);
+  // Fresh storage is zero-initialized.
+  for (index_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(blob.cpu_data()[i], TypeParam(0));
+  }
+}
+
+TYPED_TEST(BlobTest, ReshapeRejectsNegativeDims) {
+  Blob<TypeParam> blob;
+  EXPECT_THROW(blob.Reshape({2, -1}), Error);
+}
+
+TYPED_TEST(BlobTest, ZeroSizedDimensionGivesZeroCount) {
+  Blob<TypeParam> blob({4, 0, 3});
+  EXPECT_EQ(blob.count(), 0);
+}
+
+TYPED_TEST(BlobTest, UpdateSubtractsDiff) {
+  Blob<TypeParam> blob({4});
+  for (index_t i = 0; i < 4; ++i) {
+    blob.mutable_cpu_data()[i] = TypeParam(10 + i);
+    blob.mutable_cpu_diff()[i] = TypeParam(i);
+  }
+  blob.Update();
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(blob.cpu_data()[i], TypeParam(10));
+  }
+}
+
+TYPED_TEST(BlobTest, Norms) {
+  Blob<TypeParam> blob({3});
+  blob.mutable_cpu_data()[0] = TypeParam(-1);
+  blob.mutable_cpu_data()[1] = TypeParam(2);
+  blob.mutable_cpu_data()[2] = TypeParam(-3);
+  EXPECT_EQ(blob.asum_data(), TypeParam(6));
+  EXPECT_EQ(blob.sumsq_data(), TypeParam(14));
+  blob.mutable_cpu_diff()[0] = TypeParam(4);
+  EXPECT_EQ(blob.asum_diff(), TypeParam(4));
+  EXPECT_EQ(blob.sumsq_diff(), TypeParam(16));
+}
+
+TYPED_TEST(BlobTest, ScaleAndSet) {
+  Blob<TypeParam> blob({4});
+  blob.set_data(TypeParam(2));
+  blob.scale_data(TypeParam(3));
+  for (index_t i = 0; i < 4; ++i) EXPECT_EQ(blob.cpu_data()[i], TypeParam(6));
+  blob.set_diff(TypeParam(1));
+  blob.scale_diff(TypeParam(-2));
+  for (index_t i = 0; i < 4; ++i) EXPECT_EQ(blob.cpu_diff()[i], TypeParam(-2));
+}
+
+TYPED_TEST(BlobTest, ShareDataAliases) {
+  Blob<TypeParam> a({4});
+  Blob<TypeParam> b({4});
+  a.set_data(TypeParam(3));
+  b.ShareData(a);
+  EXPECT_EQ(b.cpu_data(), a.cpu_data());
+  a.mutable_cpu_data()[2] = TypeParam(9);
+  EXPECT_EQ(b.cpu_data()[2], TypeParam(9));
+  // Diffs remain independent.
+  b.set_diff(TypeParam(1));
+  EXPECT_NE(b.cpu_diff(), a.cpu_diff());
+}
+
+TYPED_TEST(BlobTest, ShareRequiresMatchingCount) {
+  Blob<TypeParam> a({4});
+  Blob<TypeParam> b({5});
+  EXPECT_THROW(b.ShareData(a), Error);
+  EXPECT_THROW(b.ShareDiff(a), Error);
+}
+
+TYPED_TEST(BlobTest, CopyFromChecksShapeUnlessReshape) {
+  Blob<TypeParam> a({2, 3});
+  Blob<TypeParam> b({6});
+  a.set_data(TypeParam(4));
+  EXPECT_THROW(b.CopyFrom(a), Error);
+  b.CopyFrom(a, /*copy_diff=*/false, /*reshape=*/true);
+  EXPECT_EQ(b.shape(), a.shape());
+  EXPECT_EQ(b.cpu_data()[5], TypeParam(4));
+}
+
+TYPED_TEST(BlobTest, CopyFromDiffPlane) {
+  Blob<TypeParam> a({3});
+  Blob<TypeParam> b({3});
+  a.set_diff(TypeParam(7));
+  b.CopyFrom(a, /*copy_diff=*/true);
+  EXPECT_EQ(b.cpu_diff()[1], TypeParam(7));
+}
+
+TYPED_TEST(BlobTest, DataDiffIndependent) {
+  Blob<TypeParam> blob({2});
+  blob.set_data(TypeParam(1));
+  blob.set_diff(TypeParam(2));
+  EXPECT_EQ(blob.cpu_data()[0], TypeParam(1));
+  EXPECT_EQ(blob.cpu_diff()[0], TypeParam(2));
+}
+
+TYPED_TEST(BlobTest, ShapeString) {
+  Blob<TypeParam> blob({2, 3});
+  EXPECT_EQ(blob.shape_string(), "2 3 (6)");
+}
+
+TYPED_TEST(BlobTest, DataAtDiffAt) {
+  Blob<TypeParam> blob(1, 2, 2, 2);
+  blob.mutable_cpu_data()[blob.offset(0, 1, 1, 0)] = TypeParam(42);
+  blob.mutable_cpu_diff()[blob.offset(0, 0, 1, 1)] = TypeParam(-1);
+  EXPECT_EQ(blob.data_at(0, 1, 1, 0), TypeParam(42));
+  EXPECT_EQ(blob.diff_at(0, 0, 1, 1), TypeParam(-1));
+}
+
+TYPED_TEST(BlobTest, AccessBeforeReshapeThrows) {
+  Blob<TypeParam> blob;
+  EXPECT_THROW(blob.cpu_data(), Error);
+  EXPECT_THROW(blob.mutable_cpu_diff(), Error);
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,118 @@
+#include "cgdnn/parallel/coalesce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cgdnn::parallel {
+namespace {
+
+TEST(CoalescedRange, TotalIsProduct) {
+  const CoalescedRange r{4, 3, 2};
+  EXPECT_EQ(r.total(), 24);
+  EXPECT_EQ(r.ndims(), 3);
+  EXPECT_EQ(r.dim(0), 4);
+  EXPECT_EQ(r.dim(2), 2);
+}
+
+TEST(CoalescedRange, DecodeRecoversLoopNestOrder) {
+  // Decode must walk the iteration space exactly like the original nest
+  // (first dimension slowest) — this is what preserves sequential sample
+  // order inside each static chunk.
+  const CoalescedRange r{2, 3, 4};
+  index_t civ = 0;
+  for (index_t a = 0; a < 2; ++a) {
+    for (index_t b = 0; b < 3; ++b) {
+      for (index_t c = 0; c < 4; ++c, ++civ) {
+        const auto idx = r.Decode(civ);
+        EXPECT_EQ(idx[0], a);
+        EXPECT_EQ(idx[1], b);
+        EXPECT_EQ(idx[2], c);
+      }
+    }
+  }
+}
+
+TEST(CoalescedRange, SingleDimIsIdentity) {
+  const CoalescedRange r{7};
+  for (index_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(r.Decode(i)[0], i);
+  }
+}
+
+TEST(CoalescedRange, DecodeIsBijective) {
+  const CoalescedRange r{3, 5, 2, 4};
+  std::vector<bool> seen(static_cast<std::size_t>(r.total()), false);
+  for (index_t civ = 0; civ < r.total(); ++civ) {
+    const auto idx = r.Decode(civ);
+    index_t recomposed = 0;
+    for (int d = 0; d < r.ndims(); ++d) {
+      recomposed = recomposed * r.dim(d) + idx[d];
+    }
+    EXPECT_EQ(recomposed, civ);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(recomposed)]);
+    seen[static_cast<std::size_t>(recomposed)] = true;
+  }
+}
+
+TEST(CoalescedRange, ZeroDimensionGivesEmptyRange) {
+  const CoalescedRange r{4, 0};
+  EXPECT_EQ(r.total(), 0);
+}
+
+TEST(CoalescedRange, TooManyDimsRejected) {
+  EXPECT_THROW((CoalescedRange{1, 2, 3, 4, 5, 6, 7}), Error);
+}
+
+TEST(StaticChunk, CoversRangeWithoutOverlap) {
+  for (const index_t total : {0L, 1L, 7L, 16L, 64L, 100L}) {
+    for (const int threads : {1, 2, 3, 8, 16, 23}) {
+      index_t covered = 0;
+      index_t prev_end = 0;
+      for (int t = 0; t < threads; ++t) {
+        const IterRange r = StaticChunk(total, threads, t);
+        EXPECT_EQ(r.begin, prev_end) << "chunks must be contiguous ascending";
+        EXPECT_LE(r.begin, r.end);
+        covered += r.size();
+        prev_end = r.end;
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(prev_end, total);
+    }
+  }
+}
+
+TEST(StaticChunk, BalancedWithinOne) {
+  const index_t total = 67;
+  const int threads = 8;
+  index_t min_size = total, max_size = 0;
+  for (int t = 0; t < threads; ++t) {
+    const auto r = StaticChunk(total, threads, t);
+    min_size = std::min(min_size, r.size());
+    max_size = std::max(max_size, r.size());
+  }
+  EXPECT_LE(max_size - min_size, 1);
+}
+
+TEST(StaticChunk, EarlyThreadsGetRemainder) {
+  // 10 iterations over 4 threads: 3,3,2,2.
+  EXPECT_EQ(StaticChunk(10, 4, 0).size(), 3);
+  EXPECT_EQ(StaticChunk(10, 4, 1).size(), 3);
+  EXPECT_EQ(StaticChunk(10, 4, 2).size(), 2);
+  EXPECT_EQ(StaticChunk(10, 4, 3).size(), 2);
+}
+
+TEST(StaticChunk, MoreThreadsThanWork) {
+  EXPECT_EQ(StaticChunk(2, 8, 0).size(), 1);
+  EXPECT_EQ(StaticChunk(2, 8, 1).size(), 1);
+  EXPECT_EQ(StaticChunk(2, 8, 7).size(), 0);
+}
+
+TEST(StaticChunk, InvalidArgsThrow) {
+  EXPECT_THROW(StaticChunk(10, 0, 0), Error);
+  EXPECT_THROW(StaticChunk(10, 4, 4), Error);
+  EXPECT_THROW(StaticChunk(10, 4, -1), Error);
+}
+
+}  // namespace
+}  // namespace cgdnn::parallel

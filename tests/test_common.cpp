@@ -1,0 +1,54 @@
+#include "cgdnn/core/common.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgdnn {
+namespace {
+
+TEST(CheckMacros, PassingChecksDoNotThrow) {
+  EXPECT_NO_THROW(CGDNN_CHECK(true));
+  EXPECT_NO_THROW(CGDNN_CHECK_EQ(1, 1));
+  EXPECT_NO_THROW(CGDNN_CHECK_NE(1, 2));
+  EXPECT_NO_THROW(CGDNN_CHECK_LT(1, 2));
+  EXPECT_NO_THROW(CGDNN_CHECK_LE(2, 2));
+  EXPECT_NO_THROW(CGDNN_CHECK_GT(3, 2));
+  EXPECT_NO_THROW(CGDNN_CHECK_GE(3, 3));
+}
+
+TEST(CheckMacros, FailingChecksThrowError) {
+  EXPECT_THROW(CGDNN_CHECK(false), Error);
+  EXPECT_THROW(CGDNN_CHECK_EQ(1, 2), Error);
+  EXPECT_THROW(CGDNN_CHECK_NE(1, 1), Error);
+  EXPECT_THROW(CGDNN_CHECK_LT(2, 1), Error);
+  EXPECT_THROW(CGDNN_CHECK_LE(3, 2), Error);
+  EXPECT_THROW(CGDNN_CHECK_GT(2, 2), Error);
+  EXPECT_THROW(CGDNN_CHECK_GE(1, 2), Error);
+}
+
+TEST(CheckMacros, MessageCarriesOperandsAndStreamedText) {
+  try {
+    CGDNN_CHECK_EQ(3, 4) << "context " << 42;
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3 == 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("(3 vs 4)"), std::string::npos) << what;
+    EXPECT_NE(what.find("context 42"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckMacros, OperandsEvaluatedExactlyOnce) {
+  int calls = 0;
+  const auto count = [&calls] { return ++calls; };
+  CGDNN_CHECK_GE(count(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Phase, Names) {
+  EXPECT_STREQ(PhaseName(Phase::kTrain), "TRAIN");
+  EXPECT_STREQ(PhaseName(Phase::kTest), "TEST");
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,261 @@
+#include "cgdnn/layers/conv_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cgdnn/core/rng.hpp"
+#include "gradient_checker.hpp"
+
+namespace cgdnn {
+namespace {
+
+using testing::FillUniform;
+using testing::GradientChecker;
+
+proto::LayerParameter ConvParam(index_t num_output, index_t kernel,
+                                index_t stride = 1, index_t pad = 0,
+                                index_t group = 1, bool bias = true) {
+  proto::LayerParameter p;
+  p.name = "conv";
+  p.type = "Convolution";
+  p.convolution_param.num_output = num_output;
+  p.convolution_param.kernel_h = kernel;
+  p.convolution_param.kernel_w = kernel;
+  p.convolution_param.stride_h = stride;
+  p.convolution_param.stride_w = stride;
+  p.convolution_param.pad_h = pad;
+  p.convolution_param.pad_w = pad;
+  p.convolution_param.group = group;
+  p.convolution_param.bias_term = bias;
+  p.convolution_param.weight_filler.type = "gaussian";
+  p.convolution_param.weight_filler.std = 0.1;
+  p.convolution_param.bias_filler.type = "gaussian";
+  p.convolution_param.bias_filler.std = 0.1;
+  return p;
+}
+
+/// Direct convolution oracle: naive 7-deep loop nest.
+template <typename Dtype>
+void NaiveConvForward(const Blob<Dtype>& bottom, const Blob<Dtype>& weights,
+                      const Dtype* bias, index_t stride, index_t pad,
+                      index_t group, Blob<Dtype>& top) {
+  const index_t n_out = weights.shape(0);
+  const index_t kh = weights.shape(2);
+  const index_t kw = weights.shape(3);
+  const index_t out_h = (bottom.height() + 2 * pad - kh) / stride + 1;
+  const index_t out_w = (bottom.width() + 2 * pad - kw) / stride + 1;
+  top.Reshape(bottom.num(), n_out, out_h, out_w);
+  const index_t cin_per_group = bottom.channels() / group;
+  const index_t cout_per_group = n_out / group;
+  Dtype* out = top.mutable_cpu_data();
+  for (index_t n = 0; n < bottom.num(); ++n) {
+    for (index_t co = 0; co < n_out; ++co) {
+      const index_t g = co / cout_per_group;
+      for (index_t oy = 0; oy < out_h; ++oy) {
+        for (index_t ox = 0; ox < out_w; ++ox) {
+          Dtype sum = bias != nullptr ? bias[co] : Dtype(0);
+          for (index_t ci = 0; ci < cin_per_group; ++ci) {
+            for (index_t ky = 0; ky < kh; ++ky) {
+              for (index_t kx = 0; kx < kw; ++kx) {
+                const index_t iy = oy * stride - pad + ky;
+                const index_t ix = ox * stride - pad + kx;
+                if (iy < 0 || iy >= bottom.height() || ix < 0 ||
+                    ix >= bottom.width()) {
+                  continue;
+                }
+                sum += weights.data_at(co, ci, ky, kx) *
+                       bottom.data_at(n, g * cin_per_group + ci, iy, ix);
+              }
+            }
+          }
+          out[top.offset(n, co, oy, ox)] = sum;
+        }
+      }
+    }
+  }
+}
+
+template <typename Dtype>
+class ConvLayerTest : public ::testing::Test {};
+
+using Dtypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(ConvLayerTest, Dtypes);
+
+TYPED_TEST(ConvLayerTest, OutputShape) {
+  Blob<TypeParam> bottom(2, 3, 8, 10);
+  Blob<TypeParam> top;
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  ConvolutionLayer<TypeParam> layer(ConvParam(4, 3, 2, 1));
+  layer.SetUp(bots, tops);
+  EXPECT_EQ(top.num(), 2);
+  EXPECT_EQ(top.channels(), 4);
+  EXPECT_EQ(top.height(), 4);  // (8 + 2 - 3) / 2 + 1
+  EXPECT_EQ(top.width(), 5);   // (10 + 2 - 3) / 2 + 1
+  ASSERT_EQ(layer.blobs().size(), 2u);
+  EXPECT_EQ(layer.blobs()[0]->shape(),
+            (std::vector<index_t>{4, 3, 3, 3}));
+  EXPECT_EQ(layer.blobs()[1]->shape(), (std::vector<index_t>{4}));
+}
+
+TYPED_TEST(ConvLayerTest, ForwardMatchesNaiveConvolution) {
+  SeedGlobalRng(7);
+  Blob<TypeParam> bottom(2, 3, 7, 7);
+  Blob<TypeParam> top, expected;
+  FillUniform<TypeParam>(&bottom, TypeParam(-1), TypeParam(1));
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  ConvolutionLayer<TypeParam> layer(ConvParam(4, 3, 1, 0));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  NaiveConvForward<TypeParam>(bottom, *layer.blobs()[0],
+                              layer.blobs()[1]->cpu_data(), 1, 0, 1,
+                              expected);
+  ASSERT_EQ(top.shape(), expected.shape());
+  for (index_t i = 0; i < top.count(); ++i) {
+    EXPECT_NEAR(top.cpu_data()[i], expected.cpu_data()[i], 2e-5)
+        << "element " << i;
+  }
+}
+
+TYPED_TEST(ConvLayerTest, ForwardMatchesNaiveWithStridePadGroups) {
+  SeedGlobalRng(11);
+  Blob<TypeParam> bottom(1, 4, 6, 6);
+  Blob<TypeParam> top, expected;
+  FillUniform<TypeParam>(&bottom, TypeParam(-1), TypeParam(1), 99);
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  ConvolutionLayer<TypeParam> layer(ConvParam(6, 3, 2, 1, /*group=*/2));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  NaiveConvForward<TypeParam>(bottom, *layer.blobs()[0],
+                              layer.blobs()[1]->cpu_data(), 2, 1, 2,
+                              expected);
+  ASSERT_EQ(top.shape(), expected.shape());
+  for (index_t i = 0; i < top.count(); ++i) {
+    EXPECT_NEAR(top.cpu_data()[i], expected.cpu_data()[i], 2e-5);
+  }
+}
+
+TYPED_TEST(ConvLayerTest, NoBiasVariant) {
+  SeedGlobalRng(3);
+  Blob<TypeParam> bottom(1, 1, 4, 4);
+  Blob<TypeParam> top;
+  bottom.set_data(TypeParam(1));
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  auto param = ConvParam(1, 2, 1, 0, 1, /*bias=*/false);
+  param.convolution_param.weight_filler.type = "constant";
+  param.convolution_param.weight_filler.value = 1.0;
+  ConvolutionLayer<TypeParam> layer(param);
+  layer.SetUp(bots, tops);
+  ASSERT_EQ(layer.blobs().size(), 1u);
+  layer.Forward(bots, tops);
+  for (index_t i = 0; i < top.count(); ++i) {
+    EXPECT_NEAR(top.cpu_data()[i], TypeParam(4), 1e-6) << i;  // 2x2 ones
+  }
+}
+
+TEST(ConvLayerGradient, ExhaustiveSmall) {
+  SeedGlobalRng(21);
+  Blob<double> bottom(2, 2, 4, 4);
+  Blob<double> top;
+  FillUniform<double>(&bottom, -1.0, 1.0);
+  std::vector<Blob<double>*> bots{&bottom}, tops{&top};
+  ConvolutionLayer<double> layer(ConvParam(2, 3));
+  testing::GradientChecker<double> checker(1e-3, 1e-4);
+  checker.CheckGradientExhaustive(layer, bots, tops);
+}
+
+TEST(ConvLayerGradient, StridePad) {
+  SeedGlobalRng(22);
+  Blob<double> bottom(1, 2, 5, 5);
+  Blob<double> top;
+  FillUniform<double>(&bottom, -1.0, 1.0, 5);
+  std::vector<Blob<double>*> bots{&bottom}, tops{&top};
+  ConvolutionLayer<double> layer(ConvParam(3, 3, 2, 1));
+  testing::GradientChecker<double> checker(1e-3, 1e-4);
+  checker.CheckGradientExhaustive(layer, bots, tops);
+}
+
+TEST(ConvLayerGradient, Grouped) {
+  SeedGlobalRng(23);
+  Blob<double> bottom(1, 4, 4, 4);
+  Blob<double> top;
+  FillUniform<double>(&bottom, -1.0, 1.0, 6);
+  std::vector<Blob<double>*> bots{&bottom}, tops{&top};
+  ConvolutionLayer<double> layer(ConvParam(4, 3, 1, 1, /*group=*/2));
+  testing::GradientChecker<double> checker(1e-3, 1e-4);
+  checker.CheckGradientExhaustive(layer, bots, tops);
+}
+
+TEST(ConvLayerGradient, Dilated) {
+  SeedGlobalRng(24);
+  Blob<double> bottom(1, 2, 7, 7);
+  Blob<double> top;
+  FillUniform<double>(&bottom, -1.0, 1.0, 7);
+  std::vector<Blob<double>*> bots{&bottom}, tops{&top};
+  auto param = ConvParam(2, 3, 1, 0);
+  param.convolution_param.dilation = 2;  // effective 5x5 receptive field
+  ConvolutionLayer<double> layer(param);
+  testing::GradientChecker<double> checker(1e-3, 1e-4);
+  checker.CheckGradientExhaustive(layer, bots, tops);
+}
+
+TYPED_TEST(ConvLayerTest, DilatedForwardMatchesExplicitTaps) {
+  SeedGlobalRng(25);
+  Blob<TypeParam> bottom(1, 1, 5, 5);
+  Blob<TypeParam> top;
+  FillUniform<TypeParam>(&bottom, TypeParam(-1), TypeParam(1), 9);
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  auto param = ConvParam(1, 2, 1, 0, 1, /*bias=*/false);
+  param.convolution_param.dilation = 2;
+  ConvolutionLayer<TypeParam> layer(param);
+  layer.SetUp(bots, tops);
+  // (5 - (2-1)*2 - 1)/1 + 1 = 3
+  EXPECT_EQ(top.height(), 3);
+  layer.Forward(bots, tops);
+  const TypeParam* w = layer.blobs()[0]->cpu_data();
+  // Output (0,0): taps at (0,0), (0,2), (2,0), (2,2).
+  const TypeParam expected =
+      w[0] * bottom.data_at(0, 0, 0, 0) + w[1] * bottom.data_at(0, 0, 0, 2) +
+      w[2] * bottom.data_at(0, 0, 2, 0) + w[3] * bottom.data_at(0, 0, 2, 2);
+  EXPECT_NEAR(top.data_at(0, 0, 0, 0), expected, 1e-5);
+}
+
+TYPED_TEST(ConvLayerTest, RejectsInvalidConfig) {
+  Blob<TypeParam> bottom(1, 3, 4, 4);
+  Blob<TypeParam> top;
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  {
+    ConvolutionLayer<TypeParam> layer(ConvParam(0, 3));
+    EXPECT_THROW(layer.SetUp(bots, tops), Error);
+  }
+  {
+    ConvolutionLayer<TypeParam> layer(ConvParam(2, 0));
+    EXPECT_THROW(layer.SetUp(bots, tops), Error);
+  }
+  {
+    // channels not divisible by group
+    ConvolutionLayer<TypeParam> layer(ConvParam(4, 3, 1, 0, 2));
+    EXPECT_THROW(layer.SetUp(bots, tops), Error);
+  }
+  {
+    // kernel larger than padded input -> empty output
+    ConvolutionLayer<TypeParam> layer(ConvParam(2, 9));
+    EXPECT_THROW(layer.SetUp(bots, tops), Error);
+  }
+}
+
+TYPED_TEST(ConvLayerTest, ReshapeToNewBatchSizeKeepsWeights) {
+  SeedGlobalRng(31);
+  Blob<TypeParam> bottom(2, 1, 5, 5);
+  Blob<TypeParam> top;
+  FillUniform<TypeParam>(&bottom, TypeParam(-1), TypeParam(1));
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  ConvolutionLayer<TypeParam> layer(ConvParam(2, 3));
+  layer.SetUp(bots, tops);
+  const TypeParam w0 = layer.blobs()[0]->cpu_data()[0];
+  bottom.Reshape(4, 1, 5, 5);
+  layer.Reshape(bots, tops);
+  EXPECT_EQ(top.num(), 4);
+  EXPECT_EQ(layer.blobs()[0]->cpu_data()[0], w0);
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,287 @@
+#include "cgdnn/layers/data_layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/data/dataset.hpp"
+#include "cgdnn/net/net.hpp"
+
+namespace cgdnn {
+namespace {
+
+proto::LayerParameter DataParam(index_t batch, index_t samples,
+                                std::uint64_t seed = 1,
+                                const std::string& source = "synthetic-mnist") {
+  proto::LayerParameter p;
+  p.name = "data";
+  p.type = "Data";
+  p.data_param.source = source;
+  p.data_param.batch_size = batch;
+  p.data_param.num_samples = samples;
+  p.data_param.seed = seed;
+  return p;
+}
+
+TEST(DataLayer, ProducesBatchAndLabels) {
+  data::ClearDatasetCache();
+  Blob<float> data, label;
+  std::vector<Blob<float>*> bots, tops{&data, &label};
+  DataLayer<float> layer(DataParam(8, 32));
+  layer.SetUp(bots, tops);
+  EXPECT_EQ(data.shape(), (std::vector<index_t>{8, 1, 28, 28}));
+  EXPECT_EQ(label.shape(), (std::vector<index_t>{8}));
+  layer.Forward(bots, tops);
+  for (index_t i = 0; i < 8; ++i) {
+    EXPECT_GE(label.cpu_data()[i], 0.0f);
+    EXPECT_LT(label.cpu_data()[i], 10.0f);
+  }
+}
+
+TEST(DataLayer, BatchContentMatchesDataset) {
+  data::ClearDatasetCache();
+  Blob<float> data, label;
+  std::vector<Blob<float>*> bots, tops{&data, &label};
+  DataLayer<float> layer(DataParam(4, 16, 9));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  const auto ds = data::LoadDataset("synthetic-mnist", 16, 9);
+  for (index_t i = 0; i < 4; ++i) {
+    const float* expected = ds->sample(i);
+    const float* got = data.cpu_data() + i * 28 * 28;
+    for (index_t j = 0; j < 28 * 28; ++j) {
+      ASSERT_EQ(got[j], expected[j]) << "sample " << i << " pixel " << j;
+    }
+    EXPECT_EQ(static_cast<index_t>(label.cpu_data()[i]), ds->label(i));
+  }
+}
+
+TEST(DataLayer, CursorAdvancesAndWraps) {
+  data::ClearDatasetCache();
+  Blob<float> data, label;
+  std::vector<Blob<float>*> bots, tops{&data, &label};
+  DataLayer<float> layer(DataParam(6, 10));
+  layer.SetUp(bots, tops);
+  EXPECT_EQ(layer.cursor(), 0);
+  layer.Forward(bots, tops);
+  EXPECT_EQ(layer.cursor(), 6);
+  layer.Forward(bots, tops);
+  EXPECT_EQ(layer.cursor(), 2);  // wrapped: 12 % 10
+  // After the wrap, the first sample of the next batch is dataset sample 2.
+  const auto ds = data::LoadDataset("synthetic-mnist", 10, 1);
+  layer.Forward(bots, tops);
+  EXPECT_EQ(static_cast<index_t>(label.cpu_data()[0]), ds->label(2));
+}
+
+TEST(DataLayer, SingleTopOmitsLabels) {
+  data::ClearDatasetCache();
+  Blob<float> data;
+  std::vector<Blob<float>*> bots, tops{&data};
+  DataLayer<float> layer(DataParam(2, 8));
+  layer.SetUp(bots, tops);
+  EXPECT_NO_THROW(layer.Forward(bots, tops));
+}
+
+TEST(DataLayer, TransformationsApplied) {
+  data::ClearDatasetCache();
+  auto p = DataParam(2, 8, 3);
+  p.transform_param.scale = 2.0;
+  p.transform_param.crop_size = 20;
+  p.include_phase = Phase::kTest;  // deterministic center crop
+  Blob<float> data, label;
+  std::vector<Blob<float>*> bots, tops{&data, &label};
+  DataLayer<float> layer(p);
+  layer.SetUp(bots, tops);
+  EXPECT_EQ(data.shape(), (std::vector<index_t>{2, 1, 20, 20}));
+  layer.Forward(bots, tops);
+  const auto ds = data::LoadDataset("synthetic-mnist", 8, 3);
+  // Center crop offset (4,4); value scaled by 2.
+  EXPECT_FLOAT_EQ(data.cpu_data()[0], ds->sample(0)[4 * 28 + 4] * 2.0f);
+}
+
+TEST(DataLayer, RequiresBatchSize) {
+  Blob<float> data;
+  std::vector<Blob<float>*> bots, tops{&data};
+  DataLayer<float> layer(DataParam(0, 8));
+  EXPECT_THROW(layer.SetUp(bots, tops), Error);
+}
+
+TEST(DataLayer, DatasetMustCoverOneBatch) {
+  data::ClearDatasetCache();
+  Blob<float> data;
+  std::vector<Blob<float>*> bots, tops{&data};
+  DataLayer<float> layer(DataParam(16, 8));
+  EXPECT_THROW(layer.SetUp(bots, tops), Error);
+}
+
+TEST(DataLayer, CifarSourceGivesThreeChannels) {
+  data::ClearDatasetCache();
+  Blob<float> data, label;
+  std::vector<Blob<float>*> bots, tops{&data, &label};
+  DataLayer<float> layer(DataParam(4, 16, 1, "synthetic-cifar10"));
+  layer.SetUp(bots, tops);
+  EXPECT_EQ(data.shape(), (std::vector<index_t>{4, 3, 32, 32}));
+}
+
+proto::LayerParameter MemoryParam(index_t batch, index_t c, index_t h,
+                                  index_t w) {
+  proto::LayerParameter p;
+  p.name = "mem";
+  p.type = "MemoryData";
+  p.memory_data_param.batch_size = batch;
+  p.memory_data_param.channels = c;
+  p.memory_data_param.height = h;
+  p.memory_data_param.width = w;
+  return p;
+}
+
+TEST(MemoryDataLayer, ServesUserArraysWithWraparound) {
+  std::vector<float> samples(6 * 4);  // 6 samples of 1x2x2
+  std::vector<float> labels(6);
+  for (index_t i = 0; i < 6; ++i) {
+    labels[static_cast<std::size_t>(i)] = static_cast<float>(i);
+    for (index_t j = 0; j < 4; ++j) {
+      samples[static_cast<std::size_t>(i * 4 + j)] =
+          static_cast<float>(i * 10 + j);
+    }
+  }
+  Blob<float> data, label;
+  std::vector<Blob<float>*> bots, tops{&data, &label};
+  MemoryDataLayer<float> layer(MemoryParam(4, 1, 2, 2));
+  layer.SetUp(bots, tops);
+  layer.Reset(samples.data(), labels.data(), 6);
+
+  layer.Forward(bots, tops);
+  EXPECT_EQ(data.shape(), (std::vector<index_t>{4, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(data.cpu_data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(data.cpu_data()[4], 10.0f);
+  EXPECT_FLOAT_EQ(label.cpu_data()[3], 3.0f);
+
+  layer.Forward(bots, tops);  // samples 4, 5, then wrap to 0, 1
+  EXPECT_FLOAT_EQ(label.cpu_data()[0], 4.0f);
+  EXPECT_FLOAT_EQ(label.cpu_data()[2], 0.0f);
+  EXPECT_FLOAT_EQ(data.cpu_data()[2 * 4], 0.0f);
+}
+
+TEST(MemoryDataLayer, ResetRestartsTheStream) {
+  std::vector<float> samples(8, 1.0f);
+  std::vector<float> labels = {7, 8};
+  Blob<float> data, label;
+  std::vector<Blob<float>*> bots, tops{&data, &label};
+  MemoryDataLayer<float> layer(MemoryParam(2, 1, 2, 2));
+  layer.SetUp(bots, tops);
+  layer.Reset(samples.data(), labels.data(), 2);
+  layer.Forward(bots, tops);
+  layer.Reset(samples.data(), labels.data(), 2);
+  layer.Forward(bots, tops);
+  EXPECT_FLOAT_EQ(label.cpu_data()[0], 7.0f);
+}
+
+TEST(MemoryDataLayer, ForwardBeforeResetRejected) {
+  Blob<float> data;
+  std::vector<Blob<float>*> bots, tops{&data};
+  MemoryDataLayer<float> layer(MemoryParam(2, 1, 1, 1));
+  layer.SetUp(bots, tops);
+  EXPECT_THROW(layer.Forward(bots, tops), Error);
+}
+
+TEST(MemoryDataLayer, LabelTopWithoutLabelsRejected) {
+  std::vector<float> samples(4, 0.0f);
+  Blob<float> data, label;
+  std::vector<Blob<float>*> bots, tops{&data, &label};
+  MemoryDataLayer<float> layer(MemoryParam(2, 1, 1, 1));
+  layer.SetUp(bots, tops);
+  layer.Reset(samples.data(), nullptr, 4);
+  EXPECT_THROW(layer.Forward(bots, tops), Error);
+}
+
+TEST(MemoryDataLayer, TrainsInsideANet) {
+  const auto param = proto::NetParameter::FromString(R"(
+    name: "memnet"
+    layer {
+      name: "input" type: "MemoryData" top: "data" top: "label"
+      memory_data_param { batch_size: 8 channels: 1 height: 4 width: 4 }
+    }
+    layer {
+      name: "ip" type: "InnerProduct" bottom: "data" top: "ip"
+      inner_product_param { num_output: 2 weight_filler { type: "xavier" } }
+    }
+    layer {
+      name: "loss" type: "SoftmaxWithLoss" bottom: "ip" bottom: "label"
+      top: "loss"
+    }
+  )");
+  SeedGlobalRng(3);
+  Net<float> net(param, Phase::kTrain);
+  // Two linearly separable blobs.
+  std::vector<float> samples(16 * 16);
+  std::vector<float> labels(16);
+  Rng rng(5);
+  for (index_t i = 0; i < 16; ++i) {
+    const float base = i % 2 == 0 ? 0.2f : 0.8f;
+    labels[static_cast<std::size_t>(i)] = i % 2 == 0 ? 0.0f : 1.0f;
+    for (index_t j = 0; j < 16; ++j) {
+      samples[static_cast<std::size_t>(i * 16 + j)] =
+          base + static_cast<float>(rng.Uniform(-0.05, 0.05));
+    }
+  }
+  auto* mem = dynamic_cast<MemoryDataLayer<float>*>(
+      net.layer_by_name("input").get());
+  ASSERT_NE(mem, nullptr);
+  mem->Reset(samples.data(), labels.data(), 16);
+
+  float first = 0, last = 0;
+  for (int iter = 0; iter < 50; ++iter) {
+    net.ClearParamDiffs();
+    last = net.ForwardBackward();
+    if (iter == 0) first = last;
+    for (auto* p : net.learnable_params()) {
+      p->scale_diff(0.5f);  // lr
+      p->Update();
+    }
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(DummyDataLayer, FillerDefinedConstants) {
+  proto::LayerParameter p;
+  p.name = "dummy";
+  p.type = "DummyData";
+  proto::BlobShape s1;
+  s1.dim = {2, 3};
+  proto::BlobShape s2;
+  s2.dim = {2};
+  p.dummy_data_param.shape = {s1, s2};
+  proto::FillerParameter f;
+  f.type = "constant";
+  f.value = 4.5;
+  p.dummy_data_param.data_filler = {f};
+
+  Blob<float> a, b;
+  std::vector<Blob<float>*> bots, tops{&a, &b};
+  DummyDataLayer<float> layer(p);
+  layer.SetUp(bots, tops);
+  EXPECT_EQ(a.shape(), (std::vector<index_t>{2, 3}));
+  for (index_t i = 0; i < a.count(); ++i) {
+    EXPECT_FLOAT_EQ(a.cpu_data()[i], 4.5f);
+  }
+  // Second top uses the default constant-0 filler.
+  for (index_t i = 0; i < b.count(); ++i) {
+    EXPECT_FLOAT_EQ(b.cpu_data()[i], 0.0f);
+  }
+}
+
+TEST(DummyDataLayer, ShapeCountMustMatchTops) {
+  proto::LayerParameter p;
+  p.name = "dummy";
+  p.type = "DummyData";
+  proto::BlobShape s;
+  s.dim = {2};
+  p.dummy_data_param.shape = {s};
+  Blob<float> a, b;
+  std::vector<Blob<float>*> bots, tops{&a, &b};
+  DummyDataLayer<float> layer(p);
+  EXPECT_THROW(layer.SetUp(bots, tops), Error);
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,150 @@
+#include "cgdnn/layers/filler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cgdnn {
+namespace {
+
+proto::FillerParameter Param(const std::string& type) {
+  proto::FillerParameter p;
+  p.type = type;
+  return p;
+}
+
+TEST(Filler, Constant) {
+  auto p = Param("constant");
+  p.value = 2.5;
+  Blob<float> blob({3, 4});
+  Rng rng(1);
+  GetFiller<float>(p)->Fill(blob, rng);
+  for (index_t i = 0; i < blob.count(); ++i) {
+    EXPECT_FLOAT_EQ(blob.cpu_data()[i], 2.5f);
+  }
+}
+
+TEST(Filler, UniformRespectsBounds) {
+  auto p = Param("uniform");
+  p.min = -2.0;
+  p.max = 3.0;
+  Blob<double> blob({1000});
+  Rng rng(2);
+  GetFiller<double>(p)->Fill(blob, rng);
+  double lo = 1e9, hi = -1e9;
+  for (index_t i = 0; i < blob.count(); ++i) {
+    lo = std::min(lo, blob.cpu_data()[i]);
+    hi = std::max(hi, blob.cpu_data()[i]);
+  }
+  EXPECT_GE(lo, -2.0);
+  EXPECT_LT(hi, 3.0);
+  EXPECT_LT(lo, -1.5) << "range should be explored";
+  EXPECT_GT(hi, 2.5);
+}
+
+TEST(Filler, GaussianMoments) {
+  auto p = Param("gaussian");
+  p.mean = 1.0;
+  p.std = 0.5;
+  Blob<double> blob({20000});
+  Rng rng(3);
+  GetFiller<double>(p)->Fill(blob, rng);
+  double sum = 0, sumsq = 0;
+  for (index_t i = 0; i < blob.count(); ++i) {
+    sum += blob.cpu_data()[i];
+    sumsq += blob.cpu_data()[i] * blob.cpu_data()[i];
+  }
+  const double n = static_cast<double>(blob.count());
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1.0, 0.02);
+  EXPECT_NEAR(std::sqrt(sumsq / n - mean * mean), 0.5, 0.02);
+}
+
+TEST(Filler, XavierScaleFanIn) {
+  // For a (num=10, channels=20, 1, 1) blob, fan_in = 20 and the range is
+  // +-sqrt(3/20).
+  auto p = Param("xavier");
+  Blob<double> blob(std::vector<index_t>{10, 20, 1, 1});
+  Rng rng(4);
+  GetFiller<double>(p)->Fill(blob, rng);
+  const double bound = std::sqrt(3.0 / 20.0);
+  for (index_t i = 0; i < blob.count(); ++i) {
+    EXPECT_LE(std::abs(blob.cpu_data()[i]), bound);
+  }
+}
+
+TEST(Filler, XavierVarianceNormModes) {
+  Blob<double> blob(std::vector<index_t>{8, 32, 1, 1});
+  Rng rng(5);
+  auto fan_out = Param("xavier");
+  fan_out.variance_norm = "FAN_OUT";
+  GetFiller<double>(fan_out)->Fill(blob, rng);
+  const double bound_out = std::sqrt(3.0 / 8.0);
+  double max_abs = 0;
+  for (index_t i = 0; i < blob.count(); ++i) {
+    max_abs = std::max(max_abs, std::abs(blob.cpu_data()[i]));
+  }
+  EXPECT_LE(max_abs, bound_out);
+  EXPECT_GT(max_abs, std::sqrt(3.0 / 32.0))
+      << "FAN_OUT bound is wider than FAN_IN here and should be used";
+}
+
+TEST(Filler, MsraStdDev) {
+  auto p = Param("msra");
+  Blob<double> blob(std::vector<index_t>{50, 100, 1, 1});
+  Rng rng(6);
+  GetFiller<double>(p)->Fill(blob, rng);
+  double sumsq = 0;
+  for (index_t i = 0; i < blob.count(); ++i) {
+    sumsq += blob.cpu_data()[i] * blob.cpu_data()[i];
+  }
+  const double std_dev = std::sqrt(sumsq / static_cast<double>(blob.count()));
+  EXPECT_NEAR(std_dev, std::sqrt(2.0 / 100.0), 0.01);
+}
+
+TEST(Filler, PositiveUnitballRowsSumToOne) {
+  auto p = Param("positive_unitball");
+  Blob<double> blob({5, 40});
+  Rng rng(7);
+  GetFiller<double>(p)->Fill(blob, rng);
+  for (index_t n = 0; n < 5; ++n) {
+    double sum = 0;
+    for (index_t i = 0; i < 40; ++i) {
+      const double v = blob.cpu_data()[n * 40 + i];
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Filler, BilinearKernelIsSeparablePyramid) {
+  auto p = Param("bilinear");
+  Blob<double> blob(std::vector<index_t>{1, 1, 4, 4});
+  Rng rng(8);
+  GetFiller<double>(p)->Fill(blob, rng);
+  // f = 2, c = 0.75: weights (1 - |x/2 - 0.75|)(1 - |y/2 - 0.75|).
+  EXPECT_NEAR(blob.data_at(0, 0, 1, 1), 0.5625, 1e-9);
+  EXPECT_NEAR(blob.data_at(0, 0, 1, 2), 0.5625, 1e-9);
+  EXPECT_NEAR(blob.data_at(0, 0, 0, 0), 0.0625, 1e-9);
+  // Symmetry.
+  EXPECT_NEAR(blob.data_at(0, 0, 0, 3), blob.data_at(0, 0, 3, 0), 1e-12);
+}
+
+TEST(Filler, DeterministicGivenRngState) {
+  auto p = Param("gaussian");
+  Blob<float> a({64}), b({64});
+  Rng r1(9), r2(9);
+  GetFiller<float>(p)->Fill(a, r1);
+  GetFiller<float>(p)->Fill(b, r2);
+  for (index_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.cpu_data()[i], b.cpu_data()[i]);
+  }
+}
+
+TEST(Filler, UnknownTypeRejected) {
+  EXPECT_THROW(GetFiller<float>(Param("nope")), Error);
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,64 @@
+// Meta-tests for the gradient checker itself: it must accept a correct
+// layer and reject a layer with a deliberately broken backward pass —
+// otherwise green gradient tests prove nothing.
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include "cgdnn/layers/neuron_layers.hpp"
+#include "gradient_checker.hpp"
+
+namespace cgdnn {
+namespace {
+
+using testing::FillUniform;
+using testing::GradientChecker;
+
+/// TanH with an off-by-factor backward: the checker must flag it.
+template <typename Dtype>
+class BrokenTanHLayer : public TanHLayer<Dtype> {
+ public:
+  using TanHLayer<Dtype>::TanHLayer;
+  const char* type() const override { return "BrokenTanH"; }
+
+ protected:
+  void Backward_cpu(const std::vector<Blob<Dtype>*>& top,
+                    const std::vector<bool>& propagate_down,
+                    const std::vector<Blob<Dtype>*>& bottom) override {
+    TanHLayer<Dtype>::Backward_cpu(top, propagate_down, bottom);
+    bottom[0]->scale_diff(Dtype(1.5));  // the bug
+  }
+};
+
+proto::LayerParameter Param(const std::string& type) {
+  proto::LayerParameter p;
+  p.name = "gc";
+  p.type = type;
+  return p;
+}
+
+TEST(GradientChecker, AcceptsCorrectLayer) {
+  Blob<double> bottom(2, 3, 2, 2);
+  Blob<double> top;
+  FillUniform<double>(&bottom, -1.0, 1.0);
+  std::vector<Blob<double>*> bots{&bottom}, tops{&top};
+  TanHLayer<double> layer(Param("TanH"));
+  GradientChecker<double> checker(1e-4, 1e-4);
+  checker.CheckGradientEltwise(layer, bots, tops);
+}
+
+TEST(GradientChecker, RejectsBrokenBackward) {
+  // Single-element blob: EXPECT_NONFATAL_FAILURE expects exactly one
+  // failing comparison.
+  Blob<double> bottom(1, 1, 1, 1);
+  Blob<double> top;
+  FillUniform<double>(&bottom, -1.0, 1.0);
+  std::vector<Blob<double>*> bots{&bottom}, tops{&top};
+  BrokenTanHLayer<double> layer(Param("TanH"));
+  GradientChecker<double> checker(1e-4, 1e-4);
+  EXPECT_NONFATAL_FAILURE(
+      checker.CheckGradientEltwise(layer, bots, tops),
+      "blob 0");
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "cgdnn/blas/im2col.hpp"
+#include "cgdnn/core/rng.hpp"
+
+namespace cgdnn::blas {
+namespace {
+
+TEST(ConvOutSize, Basics) {
+  EXPECT_EQ(ConvOutSize(28, 5, 0, 1, 1), 24);
+  EXPECT_EQ(ConvOutSize(32, 5, 2, 1, 1), 32);  // "same" conv
+  EXPECT_EQ(ConvOutSize(28, 2, 0, 2, 1), 14);  // pool-style stride
+  EXPECT_EQ(ConvOutSize(7, 3, 0, 1, 2), 3);    // dilation 2 -> effective 5
+}
+
+TEST(Im2Col, IdentityKernelIsCopy) {
+  // 1x1 kernel, stride 1: the column matrix equals the image.
+  const std::vector<float> img = {1, 2, 3, 4, 5, 6};
+  std::vector<float> col(6);
+  im2col<float>(img.data(), 1, 2, 3, 1, 1, 0, 0, 1, 1, 1, 1, col.data());
+  EXPECT_EQ(col, img);
+}
+
+TEST(Im2Col, TwoByTwoKernelKnownLayout) {
+  // 1 channel, 3x3 image, 2x2 kernel, stride 1 -> 2x2 output, col is 4x4.
+  const std::vector<float> img = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> col(16);
+  im2col<float>(img.data(), 1, 3, 3, 2, 2, 0, 0, 1, 1, 1, 1, col.data());
+  // Row r of col = kernel offset (kh, kw); column = output position.
+  const std::vector<float> expected = {
+      1, 2, 4, 5,   // (0,0)
+      2, 3, 5, 6,   // (0,1)
+      4, 5, 7, 8,   // (1,0)
+      5, 6, 8, 9};  // (1,1)
+  EXPECT_EQ(col, expected);
+}
+
+TEST(Im2Col, PaddingYieldsZeros) {
+  const std::vector<float> img = {1, 2, 3, 4};  // 2x2
+  // 3x3 kernel, pad 1, stride 1 -> 2x2 output; corner taps hit padding.
+  std::vector<float> col(9 * 4);
+  im2col<float>(img.data(), 1, 2, 2, 3, 3, 1, 1, 1, 1, 1, 1, col.data());
+  // Kernel offset (0,0) looks up-left of every output: output (0,0) reads
+  // padded (-1,-1) = 0; output (1,1) reads pixel (0,0) = 1.
+  EXPECT_EQ(col[0], 0);
+  EXPECT_EQ(col[3], 1);
+  // Center tap (1,1) is the identity.
+  const std::size_t center = 4 * 4;
+  EXPECT_EQ(col[center + 0], 1);
+  EXPECT_EQ(col[center + 3], 4);
+}
+
+TEST(Im2Col, MultiChannelStacksChannelMajor) {
+  const std::vector<float> img = {1, 2, 3, 4,      // channel 0
+                                  10, 20, 30, 40};  // channel 1
+  std::vector<float> col(2 * 4);  // 1x1 kernel on 2x2
+  im2col<float>(img.data(), 2, 2, 2, 1, 1, 0, 0, 1, 1, 1, 1, col.data());
+  EXPECT_EQ(col, img);
+}
+
+// Adjointness: col2im is the transpose of im2col, so for random x, y:
+//   <im2col(x), y> == <x, col2im(y)>.
+// This single property pins down every indexing detail of both kernels.
+using ColCase = std::tuple<int, int, int, int, int, int>;
+// channels, size, kernel, pad, stride, dilation
+
+class Im2ColAdjoint : public ::testing::TestWithParam<ColCase> {};
+
+TEST_P(Im2ColAdjoint, InnerProductIdentity) {
+  const auto [channels, size, kernel, pad, stride, dilation] = GetParam();
+  const index_t out =
+      ConvOutSize(size, kernel, pad, stride, dilation);
+  ASSERT_GT(out, 0);
+  const index_t img_count = channels * size * size;
+  const index_t col_count = channels * kernel * kernel * out * out;
+
+  Rng rng(static_cast<std::uint64_t>(channels * 1000 + size * 100 +
+                                     kernel * 10 + pad + stride + dilation));
+  std::vector<double> x(static_cast<std::size_t>(img_count));
+  std::vector<double> y(static_cast<std::size_t>(col_count));
+  for (auto& v : x) v = rng.Uniform(-1, 1);
+  for (auto& v : y) v = rng.Uniform(-1, 1);
+
+  std::vector<double> col(static_cast<std::size_t>(col_count));
+  im2col<double>(x.data(), channels, size, size, kernel, kernel, pad, pad,
+                 stride, stride, dilation, dilation, col.data());
+  std::vector<double> img(static_cast<std::size_t>(img_count));
+  col2im<double>(y.data(), channels, size, size, kernel, kernel, pad, pad,
+                 stride, stride, dilation, dilation, img.data());
+
+  double lhs = 0, rhs = 0;
+  for (index_t i = 0; i < col_count; ++i) {
+    lhs += col[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+  }
+  for (index_t i = 0; i < img_count; ++i) {
+    rhs += x[static_cast<std::size_t>(i)] * img[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-9 * static_cast<double>(col_count));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Im2ColAdjoint,
+    ::testing::Values(ColCase{1, 5, 3, 0, 1, 1}, ColCase{3, 8, 3, 1, 1, 1},
+                      ColCase{2, 9, 5, 2, 2, 1}, ColCase{1, 7, 3, 0, 2, 2},
+                      ColCase{4, 6, 2, 0, 2, 1}, ColCase{1, 28, 5, 0, 1, 1},
+                      ColCase{3, 32, 5, 2, 1, 1}));
+
+TEST(Col2Im, AccumulatesOverlappingContributions) {
+  // 2x2 kernel, stride 1 on a 3x3 image: center pixel (1,1) is covered by
+  // all four output positions, once per kernel tap that reaches it.
+  const index_t out = ConvOutSize(3, 2, 0, 1, 1);
+  ASSERT_EQ(out, 2);
+  std::vector<float> col(4 * 4, 1.0f);
+  std::vector<float> img(9);
+  col2im<float>(col.data(), 1, 3, 3, 2, 2, 0, 0, 1, 1, 1, 1, img.data());
+  EXPECT_FLOAT_EQ(img[4], 4.0f);  // center: 4 contributions
+  EXPECT_FLOAT_EQ(img[0], 1.0f);  // corner: 1 contribution
+  EXPECT_FLOAT_EQ(img[1], 2.0f);  // edge: 2 contributions
+}
+
+}  // namespace
+}  // namespace cgdnn::blas

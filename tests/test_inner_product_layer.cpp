@@ -1,0 +1,135 @@
+#include "cgdnn/layers/inner_product_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cgdnn/core/rng.hpp"
+#include "gradient_checker.hpp"
+
+namespace cgdnn {
+namespace {
+
+using testing::FillUniform;
+using testing::GradientChecker;
+
+proto::LayerParameter IpParam(index_t num_output, bool bias = true) {
+  proto::LayerParameter p;
+  p.name = "ip";
+  p.type = "InnerProduct";
+  p.inner_product_param.num_output = num_output;
+  p.inner_product_param.bias_term = bias;
+  p.inner_product_param.weight_filler.type = "uniform";
+  p.inner_product_param.weight_filler.min = -0.5;
+  p.inner_product_param.weight_filler.max = 0.5;
+  p.inner_product_param.bias_filler.type = "uniform";
+  p.inner_product_param.bias_filler.min = -0.3;
+  p.inner_product_param.bias_filler.max = 0.3;
+  return p;
+}
+
+template <typename Dtype>
+class InnerProductLayerTest : public ::testing::Test {};
+
+using Dtypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(InnerProductLayerTest, Dtypes);
+
+TYPED_TEST(InnerProductLayerTest, ShapesAndParamBlobs) {
+  SeedGlobalRng(1);
+  Blob<TypeParam> bottom(4, 3, 5, 5);
+  Blob<TypeParam> top;
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  InnerProductLayer<TypeParam> layer(IpParam(10));
+  layer.SetUp(bots, tops);
+  EXPECT_EQ(top.shape(), (std::vector<index_t>{4, 10}));
+  ASSERT_EQ(layer.blobs().size(), 2u);
+  EXPECT_EQ(layer.blobs()[0]->shape(), (std::vector<index_t>{10, 75}));
+  EXPECT_EQ(layer.blobs()[1]->shape(), (std::vector<index_t>{10}));
+}
+
+TYPED_TEST(InnerProductLayerTest, ForwardMatchesManualMatmul) {
+  SeedGlobalRng(2);
+  Blob<TypeParam> bottom({3, 4});
+  Blob<TypeParam> top;
+  FillUniform<TypeParam>(&bottom, TypeParam(-1), TypeParam(1));
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  InnerProductLayer<TypeParam> layer(IpParam(5));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  const TypeParam* w = layer.blobs()[0]->cpu_data();
+  const TypeParam* b = layer.blobs()[1]->cpu_data();
+  for (index_t n = 0; n < 3; ++n) {
+    for (index_t o = 0; o < 5; ++o) {
+      TypeParam expected = b[o];
+      for (index_t k = 0; k < 4; ++k) {
+        expected += bottom.cpu_data()[n * 4 + k] * w[o * 4 + k];
+      }
+      EXPECT_NEAR(top.cpu_data()[n * 5 + o], expected, 1e-5)
+          << "(" << n << "," << o << ")";
+    }
+  }
+}
+
+TYPED_TEST(InnerProductLayerTest, NoBias) {
+  SeedGlobalRng(3);
+  Blob<TypeParam> bottom({2, 3});
+  Blob<TypeParam> top;
+  bottom.set_data(TypeParam(1));
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  auto p = IpParam(2, /*bias=*/false);
+  p.inner_product_param.weight_filler.type = "constant";
+  p.inner_product_param.weight_filler.value = 2.0;
+  InnerProductLayer<TypeParam> layer(p);
+  layer.SetUp(bots, tops);
+  ASSERT_EQ(layer.blobs().size(), 1u);
+  layer.Forward(bots, tops);
+  for (index_t i = 0; i < top.count(); ++i) {
+    EXPECT_NEAR(top.cpu_data()[i], TypeParam(6), 1e-6);
+  }
+}
+
+TEST(InnerProductGradient, Exhaustive) {
+  SeedGlobalRng(4);
+  Blob<double> bottom(3, 2, 2, 2);
+  Blob<double> top;
+  FillUniform<double>(&bottom, -1.0, 1.0);
+  std::vector<Blob<double>*> bots{&bottom}, tops{&top};
+  InnerProductLayer<double> layer(IpParam(4));
+  GradientChecker<double> checker(1e-4, 1e-5);
+  checker.CheckGradientExhaustive(layer, bots, tops);
+}
+
+TEST(InnerProductGradient, NoBias) {
+  SeedGlobalRng(5);
+  Blob<double> bottom({2, 5});
+  Blob<double> top;
+  FillUniform<double>(&bottom, -1.0, 1.0, 44);
+  std::vector<Blob<double>*> bots{&bottom}, tops{&top};
+  InnerProductLayer<double> layer(IpParam(3, /*bias=*/false));
+  GradientChecker<double> checker(1e-4, 1e-5);
+  checker.CheckGradientExhaustive(layer, bots, tops);
+}
+
+TYPED_TEST(InnerProductLayerTest, FeatureDimChangeRejected) {
+  SeedGlobalRng(6);
+  Blob<TypeParam> bottom({2, 6});
+  Blob<TypeParam> top;
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  InnerProductLayer<TypeParam> layer(IpParam(4));
+  layer.SetUp(bots, tops);
+  bottom.Reshape({2, 7});
+  EXPECT_THROW(layer.Reshape(bots, tops), Error);
+}
+
+TYPED_TEST(InnerProductLayerTest, BatchGrowthAllowed) {
+  SeedGlobalRng(7);
+  Blob<TypeParam> bottom({2, 6});
+  Blob<TypeParam> top;
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  InnerProductLayer<TypeParam> layer(IpParam(4));
+  layer.SetUp(bots, tops);
+  bottom.Reshape({9, 6});
+  layer.Reshape(bots, tops);
+  EXPECT_EQ(top.shape(), (std::vector<index_t>{9, 4}));
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,249 @@
+// Cross-module integration tests: non-trivial topologies (branches via
+// Slice/Concat, BatchNorm+Scale pipelines, Dropout) trained end-to-end,
+// serial vs coarse-grain, including a 16-thread oversubscription stress.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/data/dataset.hpp"
+#include "cgdnn/net/models.hpp"
+#include "cgdnn/parallel/context.hpp"
+#include "cgdnn/solvers/solver.hpp"
+
+namespace cgdnn {
+namespace {
+
+std::vector<float> TrainNet(const proto::NetParameter& net_param, int threads,
+                            index_t iters, double base_lr = 0.01) {
+  parallel::ParallelConfig cfg;
+  cfg.mode = threads > 1 ? parallel::ExecutionMode::kCoarseGrain
+                         : parallel::ExecutionMode::kSerial;
+  cfg.num_threads = threads;
+  cfg.merge = parallel::GradientMerge::kOrdered;
+  parallel::Parallel::Scope scope(cfg);
+  data::ClearDatasetCache();
+
+  proto::SolverParameter param;
+  param.type = "SGD";
+  param.base_lr = base_lr;
+  param.momentum = 0.9;
+  param.lr_policy = "fixed";
+  param.random_seed = 11;
+  param.net_param = net_param;
+  const auto solver = CreateSolver<float>(param);
+  solver->Step(iters);
+  return solver->loss_history();
+}
+
+constexpr const char* kBranchyNet = R"(
+  name: "branchy"
+  layer {
+    name: "data" type: "Data" top: "data" top: "label"
+    data_param { source: "synthetic-mnist" batch_size: 12 num_samples: 48 seed: 3 }
+  }
+  layer {
+    name: "conv0" type: "Convolution" bottom: "data" top: "conv0"
+    convolution_param {
+      num_output: 8 kernel_size: 5 stride: 2
+      weight_filler { type: "xavier" }
+    }
+  }
+  layer {
+    name: "split_channels" type: "Slice" bottom: "conv0"
+    top: "half_a" top: "half_b"
+  }
+  layer { name: "act_a" type: "ELU" bottom: "half_a" top: "act_a" }
+  layer { name: "act_b" type: "BNLL" bottom: "half_b" top: "act_b" }
+  layer {
+    name: "rejoin" type: "Concat" bottom: "act_a" bottom: "act_b" top: "joined"
+  }
+  layer {
+    name: "pool" type: "Pooling" bottom: "joined" top: "pool"
+    pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+  }
+  layer {
+    name: "ip" type: "InnerProduct" bottom: "pool" top: "ip"
+    inner_product_param { num_output: 10 weight_filler { type: "xavier" } }
+  }
+  layer {
+    name: "loss" type: "SoftmaxWithLoss" bottom: "ip" bottom: "label"
+    top: "loss"
+  }
+)";
+
+TEST(Integration, BranchyNetTrainsAndLearnsSomething) {
+  const auto hist =
+      TrainNet(proto::NetParameter::FromString(kBranchyNet), 1, 25);
+  EXPECT_LT(hist.back(), hist.front());
+  for (const float l : hist) EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST(Integration, BranchyNetParallelMatchesSerial) {
+  const auto serial =
+      TrainNet(proto::NetParameter::FromString(kBranchyNet), 1, 8);
+  const auto parallel_run =
+      TrainNet(proto::NetParameter::FromString(kBranchyNet), 4, 8);
+  ASSERT_EQ(serial.size(), parallel_run.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const double tol = 1e-4 * std::max(1.0, std::abs(double(serial[i])));
+    EXPECT_NEAR(parallel_run[i], serial[i], tol) << "iteration " << i;
+  }
+}
+
+constexpr const char* kBnNet = R"(
+  name: "bn_pipeline"
+  layer {
+    name: "data" type: "Data" top: "data" top: "label"
+    data_param { source: "synthetic-cifar10" batch_size: 8 num_samples: 32 seed: 5 }
+  }
+  layer {
+    name: "conv1" type: "Convolution" bottom: "data" top: "conv1"
+    convolution_param {
+      num_output: 8 kernel_size: 3 stride: 2
+      bias_term: false
+      weight_filler { type: "msra" }
+    }
+  }
+  layer { name: "bn1" type: "BatchNorm" bottom: "conv1" top: "bn1" }
+  layer {
+    name: "scale1" type: "Scale" bottom: "bn1" top: "scaled1"
+    scale_param { bias_term: true }
+  }
+  layer { name: "relu1" type: "ReLU" bottom: "scaled1" top: "scaled1" }
+  layer {
+    name: "ip" type: "InnerProduct" bottom: "scaled1" top: "ip"
+    inner_product_param { num_output: 10 weight_filler { type: "xavier" } }
+  }
+  layer {
+    name: "loss" type: "SoftmaxWithLoss" bottom: "ip" bottom: "label"
+    top: "loss"
+  }
+)";
+
+TEST(Integration, BatchNormPipelineTrains) {
+  const auto hist =
+      TrainNet(proto::NetParameter::FromString(kBnNet), 1, 20, 0.05);
+  float head = 0, tail = 0;
+  for (int i = 0; i < 3; ++i) {
+    head += hist[static_cast<std::size_t>(i)];
+    tail += hist[hist.size() - 1 - static_cast<std::size_t>(i)];
+  }
+  EXPECT_LT(tail, head) << "BN+Scale pipeline should reduce the loss";
+}
+
+TEST(Integration, BatchNormPipelineParallelMatchesSerial) {
+  const auto serial = TrainNet(proto::NetParameter::FromString(kBnNet), 1, 6);
+  const auto parallel_run =
+      TrainNet(proto::NetParameter::FromString(kBnNet), 4, 6);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const double tol = 1e-4 * std::max(1.0, std::abs(double(serial[i])));
+    EXPECT_NEAR(parallel_run[i], serial[i], tol) << "iteration " << i;
+  }
+}
+
+TEST(Integration, DropoutNetReproducibleAcrossThreadCounts) {
+  auto make_net = [] {
+    auto param = proto::NetParameter::FromString(R"(
+      name: "dropnet"
+      layer {
+        name: "data" type: "Data" top: "data" top: "label"
+        data_param { source: "synthetic-mnist" batch_size: 8 num_samples: 32 seed: 9 }
+      }
+      layer {
+        name: "ip1" type: "InnerProduct" bottom: "data" top: "ip1"
+        inner_product_param { num_output: 32 weight_filler { type: "xavier" } }
+      }
+      layer { name: "relu" type: "ReLU" bottom: "ip1" top: "ip1" }
+      layer {
+        name: "drop" type: "Dropout" bottom: "ip1" top: "dropped"
+        dropout_param { dropout_ratio: 0.5 }
+      }
+      layer {
+        name: "ip2" type: "InnerProduct" bottom: "dropped" top: "ip2"
+        inner_product_param { num_output: 10 weight_filler { type: "xavier" } }
+      }
+      layer {
+        name: "loss" type: "SoftmaxWithLoss" bottom: "ip2" bottom: "label"
+        top: "loss"
+      }
+    )");
+    return param;
+  };
+  // The dropout masks are counter-based: the loss trajectory must agree
+  // across thread counts to FP tolerance, and exactly run-to-run.
+  const auto serial = TrainNet(make_net(), 1, 10);
+  const auto par4 = TrainNet(make_net(), 4, 10);
+  const auto par4_again = TrainNet(make_net(), 4, 10);
+  EXPECT_EQ(par4, par4_again);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const double tol = 1e-4 * std::max(1.0, std::abs(double(serial[i])));
+    EXPECT_NEAR(par4[i], serial[i], tol) << "iteration " << i;
+  }
+}
+
+TEST(Integration, SixteenThreadStressBitReproducible) {
+  models::ModelOptions opts;
+  opts.batch_size = 12;  // 16 threads > 12 samples: some threads idle
+  opts.num_samples = 24;
+  opts.with_accuracy = false;
+  const auto param = models::LeNet(opts);
+  const auto a = TrainNet(param, 16, 4);
+  const auto b = TrainNet(param, 16, 4);
+  EXPECT_EQ(a, b);
+  const auto serial = TrainNet(param, 1, 4);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const double tol = 1e-4 * std::max(1.0, std::abs(double(serial[i])));
+    EXPECT_NEAR(a[i], serial[i], tol) << "iteration " << i;
+  }
+}
+
+TEST(Integration, SaveTrainResumeMatchesUninterruptedRun) {
+  // Snapshot/restore must be transparent: train 6 = train 3 + snapshot +
+  // restore + train 3 (momentum history excluded — use plain SGD).
+  models::ModelOptions opts;
+  opts.batch_size = 8;
+  opts.num_samples = 32;
+  opts.with_accuracy = false;
+
+  const auto make_solver = [&] {
+    proto::SolverParameter param;
+    param.type = "SGD";
+    param.base_lr = 0.01;
+    param.momentum = 0.0;
+    param.lr_policy = "fixed";
+    param.random_seed = 21;
+    param.net_param = models::LeNet(opts);
+    return param;
+  };
+
+  data::ClearDatasetCache();
+  const auto uninterrupted = CreateSolver<float>(make_solver());
+  uninterrupted->Step(6);
+
+  data::ClearDatasetCache();
+  const auto first = CreateSolver<float>(make_solver());
+  first->Step(3);
+  // "Resume": weights transfer via ShareTrainedLayersWith-like aliasing —
+  // here we copy through the public blob API.
+  data::ClearDatasetCache();
+  const auto second = CreateSolver<float>(make_solver());
+  for (std::size_t li = 0; li < first->net().layers().size(); ++li) {
+    const auto& src = first->net().layers()[li]->blobs();
+    const auto& dst = second->net().layers()[li]->blobs();
+    for (std::size_t j = 0; j < src.size(); ++j) {
+      dst[j]->CopyFrom(*src[j]);
+    }
+  }
+  // Align the data stream: skip the 3 batches the first solver consumed.
+  for (int i = 0; i < 3; ++i) second->net().Forward();
+  second->Step(3);
+
+  const float final_uninterrupted = uninterrupted->loss_history().back();
+  const float final_resumed = second->loss_history().back();
+  EXPECT_NEAR(final_resumed, final_uninterrupted,
+              1e-5f * std::max(1.0f, std::abs(final_uninterrupted)));
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,135 @@
+#include "cgdnn/data/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "cgdnn/data/synthetic.hpp"
+
+namespace cgdnn::data {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cgdnn_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, IdxRoundTripPreservesLabelsAndQuantizedPixels) {
+  const Dataset original = MakeSyntheticMnist(12, 4);
+  const std::string prefix = (dir_ / "train").string();
+  WriteIdx(original, prefix);
+  const Dataset loaded = ReadIdx(prefix);
+
+  EXPECT_EQ(loaded.num, original.num);
+  EXPECT_EQ(loaded.height, 28);
+  EXPECT_EQ(loaded.width, 28);
+  EXPECT_EQ(loaded.channels, 1);
+  EXPECT_EQ(loaded.labels, original.labels);
+  // Pixels survive up to uint8 quantization and the 1/256 read scale.
+  for (std::size_t i = 0; i < original.images.size(); ++i) {
+    EXPECT_NEAR(loaded.images[i], original.images[i], 1.0f / 128.0f)
+        << "pixel " << i;
+  }
+}
+
+TEST_F(IoTest, IdxFileLayoutIsBigEndianWithMagics) {
+  const Dataset ds = MakeSyntheticMnist(3, 1);
+  const std::string prefix = (dir_ / "fmt").string();
+  WriteIdx(ds, prefix);
+
+  std::ifstream in(prefix + "-images.idx3-ubyte", std::ios::binary);
+  unsigned char header[16];
+  in.read(reinterpret_cast<char*>(header), 16);
+  ASSERT_TRUE(in.good());
+  // magic 0x00000803, count 3, rows 28, cols 28 — all big-endian.
+  EXPECT_EQ(header[2], 0x08);
+  EXPECT_EQ(header[3], 0x03);
+  EXPECT_EQ(header[7], 3);
+  EXPECT_EQ(header[11], 28);
+  EXPECT_EQ(header[15], 28);
+  const auto file_size = std::filesystem::file_size(prefix + "-images.idx3-ubyte");
+  EXPECT_EQ(file_size, 16u + 3u * 28 * 28);
+}
+
+TEST_F(IoTest, IdxRejectsMissingAndCorruptFiles) {
+  EXPECT_THROW(ReadIdx((dir_ / "absent").string()), Error);
+  // Corrupt magic.
+  const std::string prefix = (dir_ / "bad").string();
+  {
+    std::ofstream out(prefix + "-images.idx3-ubyte", std::ios::binary);
+    out.write("\xff\xff\xff\xff", 4);
+  }
+  {
+    std::ofstream out(prefix + "-labels.idx1-ubyte", std::ios::binary);
+    out.write("\xff\xff\xff\xff", 4);
+  }
+  EXPECT_THROW(ReadIdx(prefix), Error);
+}
+
+TEST_F(IoTest, IdxRejectsCountMismatch) {
+  const Dataset ds = MakeSyntheticMnist(3, 1);
+  const std::string p1 = (dir_ / "a").string();
+  const std::string p2 = (dir_ / "b").string();
+  WriteIdx(ds, p1);
+  WriteIdx(MakeSyntheticMnist(4, 1), p2);
+  // Pair a's images with b's labels.
+  std::filesystem::copy(p2 + "-labels.idx1-ubyte", p1 + "-labels.idx1-ubyte",
+                        std::filesystem::copy_options::overwrite_existing);
+  EXPECT_THROW(ReadIdx(p1), Error);
+}
+
+TEST_F(IoTest, IdxRejectsMultiChannelWrite) {
+  const Dataset ds = MakeSyntheticCifar10(2, 1);
+  EXPECT_THROW(WriteIdx(ds, (dir_ / "rgb").string()), Error);
+}
+
+TEST_F(IoTest, CifarBinRoundTrip) {
+  const Dataset original = MakeSyntheticCifar10(7, 2);
+  const std::string path = (dir_ / "batch.bin").string();
+  WriteCifarBin(original, path);
+  EXPECT_EQ(std::filesystem::file_size(path), 7u * (1 + 3 * 32 * 32));
+
+  const Dataset loaded = ReadCifarBin(path);
+  EXPECT_EQ(loaded.num, 7);
+  EXPECT_EQ(loaded.labels, original.labels);
+  for (std::size_t i = 0; i < original.images.size(); ++i) {
+    EXPECT_NEAR(loaded.images[i], original.images[i], 1.0f / 128.0f);
+  }
+}
+
+TEST_F(IoTest, CifarBinRejectsBadRecordSize) {
+  const std::string path = (dir_ / "trunc.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("abc", 3);
+  }
+  EXPECT_THROW(ReadCifarBin(path), Error);
+}
+
+TEST_F(IoTest, DatasetResolverReadsWrittenFiles) {
+  const Dataset ds = MakeSyntheticMnist(5, 8);
+  const std::string prefix = (dir_ / "resolved").string();
+  WriteIdx(ds, prefix);
+  ClearDatasetCache();
+  const auto loaded = LoadDataset("idx:" + prefix, 0, 0);
+  EXPECT_EQ(loaded->num, 5);
+  EXPECT_EQ(loaded->labels, ds.labels);
+
+  const std::string cifar_path = (dir_ / "c.bin").string();
+  WriteCifarBin(MakeSyntheticCifar10(3, 1), cifar_path);
+  EXPECT_EQ(LoadDataset("cifarbin:" + cifar_path, 0, 0)->num, 3);
+}
+
+}  // namespace
+}  // namespace cgdnn::data

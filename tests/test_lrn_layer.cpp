@@ -1,0 +1,126 @@
+#include "cgdnn/layers/lrn_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradient_checker.hpp"
+
+namespace cgdnn {
+namespace {
+
+using testing::FillUniform;
+using testing::GradientChecker;
+
+proto::LayerParameter LrnParam(index_t local_size = 5, double alpha = 1e-4,
+                               double beta = 0.75, double k = 1.0) {
+  proto::LayerParameter p;
+  p.name = "norm";
+  p.type = "LRN";
+  p.lrn_param.local_size = local_size;
+  p.lrn_param.alpha = alpha;
+  p.lrn_param.beta = beta;
+  p.lrn_param.k = k;
+  return p;
+}
+
+template <typename Dtype>
+class LrnLayerTest : public ::testing::Test {};
+
+using Dtypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(LrnLayerTest, Dtypes);
+
+TYPED_TEST(LrnLayerTest, ForwardMatchesDefinition) {
+  Blob<TypeParam> bottom(2, 7, 3, 3);
+  Blob<TypeParam> top;
+  FillUniform<TypeParam>(&bottom, TypeParam(-1), TypeParam(1));
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  const index_t local = 5;
+  const double alpha = 0.01, beta = 0.75, k = 2.0;
+  LRNLayer<TypeParam> layer(LrnParam(local, alpha, beta, k));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+
+  for (index_t n = 0; n < 2; ++n) {
+    for (index_t c = 0; c < 7; ++c) {
+      for (index_t h = 0; h < 3; ++h) {
+        for (index_t w = 0; w < 3; ++w) {
+          double accum = 0;
+          for (index_t cc = std::max<index_t>(0, c - 2);
+               cc <= std::min<index_t>(6, c + 2); ++cc) {
+            const double v = bottom.data_at(n, cc, h, w);
+            accum += v * v;
+          }
+          const double scale = k + alpha / static_cast<double>(local) * accum;
+          const double expected =
+              bottom.data_at(n, c, h, w) * std::pow(scale, -beta);
+          EXPECT_NEAR(top.data_at(n, c, h, w), expected, 1e-5)
+              << n << "," << c << "," << h << "," << w;
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(LrnLayerTest, RegionSizeOneNormalizesSelfOnly) {
+  Blob<TypeParam> bottom(1, 2, 1, 1);
+  Blob<TypeParam> top;
+  bottom.mutable_cpu_data()[0] = TypeParam(3);
+  bottom.mutable_cpu_data()[1] = TypeParam(-4);
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  LRNLayer<TypeParam> layer(LrnParam(1, 1.0, 0.5, 1.0));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  // scale = 1 + x^2, y = x / sqrt(1 + x^2)
+  EXPECT_NEAR(top.cpu_data()[0], 3.0 / std::sqrt(10.0), 1e-5);
+  EXPECT_NEAR(top.cpu_data()[1], -4.0 / std::sqrt(17.0), 1e-5);
+}
+
+TYPED_TEST(LrnLayerTest, ShapePreserved) {
+  Blob<TypeParam> bottom(2, 5, 4, 6);
+  Blob<TypeParam> top;
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  LRNLayer<TypeParam> layer(LrnParam(3));
+  layer.SetUp(bots, tops);
+  EXPECT_EQ(top.shape(), bottom.shape());
+}
+
+TEST(LrnLayerGradient, AcrossChannels) {
+  Blob<double> bottom(2, 5, 2, 2);
+  Blob<double> top;
+  FillUniform<double>(&bottom, -1.0, 1.0, 21);
+  std::vector<Blob<double>*> bots{&bottom}, tops{&top};
+  // Large alpha makes the normalization term actually matter.
+  LRNLayer<double> layer(LrnParam(3, 0.05, 0.75, 2.0));
+  GradientChecker<double> checker(1e-4, 1e-4);
+  checker.CheckGradientExhaustive(layer, bots, tops);
+}
+
+TEST(LrnLayerGradient, WindowCoversAllChannels) {
+  Blob<double> bottom(1, 3, 2, 2);
+  Blob<double> top;
+  FillUniform<double>(&bottom, -1.0, 1.0, 22);
+  std::vector<Blob<double>*> bots{&bottom}, tops{&top};
+  LRNLayer<double> layer(LrnParam(7, 0.1, 0.5, 1.0));  // window > channels
+  GradientChecker<double> checker(1e-4, 1e-4);
+  checker.CheckGradientExhaustive(layer, bots, tops);
+}
+
+TYPED_TEST(LrnLayerTest, InvalidConfigRejected) {
+  Blob<TypeParam> bottom(1, 3, 2, 2);
+  Blob<TypeParam> top;
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  {
+    LRNLayer<TypeParam> layer(LrnParam(4));  // even local_size
+    EXPECT_THROW(layer.SetUp(bots, tops), Error);
+  }
+  {
+    auto p = LrnParam(3);
+    p.lrn_param.norm_region = proto::LRNParameter::NormRegion::kWithinChannel;
+    LRNLayer<TypeParam> layer(p);
+    EXPECT_THROW(layer.SetUp(bots, tops), Error);
+  }
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,79 @@
+// The shipped prototxt files in models/ must parse, build, and train —
+// this is the file-based workflow the cgdnn_train tool drives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/net/net.hpp"
+#include "cgdnn/solvers/solver.hpp"
+
+#ifndef CGDNN_MODELS_DIR
+#error "CGDNN_MODELS_DIR must be defined by the build"
+#endif
+
+namespace cgdnn {
+namespace {
+
+std::string ModelPath(const std::string& name) {
+  return (std::filesystem::path(CGDNN_MODELS_DIR) / name).string();
+}
+
+proto::SolverParameter LoadSolver(const std::string& solver_file) {
+  auto param = proto::SolverParameter::FromText(
+      proto::TextMessage::ParseFile(ModelPath(solver_file)));
+  if (!param.net.empty()) {
+    param.net_param = proto::NetParameter::FromFile(ModelPath(param.net));
+  }
+  return param;
+}
+
+TEST(ModelFiles, LeNetPrototxtBuilds) {
+  const auto param =
+      proto::NetParameter::FromFile(ModelPath("lenet_train_test.prototxt"));
+  EXPECT_EQ(param.name, "LeNet");
+  EXPECT_EQ(param.layer.size(), 10u);
+  SeedGlobalRng(1);
+  Net<float> train_net(param, Phase::kTrain);
+  EXPECT_TRUE(std::isfinite(train_net.Forward()));
+  Net<float> test_net(param, Phase::kTest);
+  EXPECT_TRUE(test_net.has_layer("accuracy"));
+}
+
+TEST(ModelFiles, CifarQuickPrototxtBuilds) {
+  const auto param = proto::NetParameter::FromFile(
+      ModelPath("cifar10_quick_train_test.prototxt"));
+  EXPECT_EQ(param.name, "CIFAR10_quick");
+  SeedGlobalRng(2);
+  Net<float> net(param, Phase::kTrain);
+  net.Forward();
+  EXPECT_EQ(net.blob_by_name("conv3")->channels(), 64);
+}
+
+TEST(ModelFiles, LeNetSolverTrains) {
+  auto param = LoadSolver("lenet_solver.prototxt");
+  EXPECT_EQ(param.lr_policy, "inv");
+  param.max_iter = 12;
+  param.test_iter = 0;
+  // Shrink the workload for a unit test.
+  for (auto& lp : param.net_param.layer) {
+    if (lp.type == "Data") {
+      lp.data_param.batch_size = 8;
+      lp.data_param.num_samples = 32;
+    }
+  }
+  const auto solver = CreateSolver<float>(param);
+  solver->Step(12);
+  EXPECT_LT(solver->loss_history().back(), solver->loss_history().front());
+}
+
+TEST(ModelFiles, CifarSolverReferencesNetFile) {
+  const auto param = LoadSolver("cifar10_quick_solver.prototxt");
+  EXPECT_EQ(param.net, "cifar10_quick_train_test.prototxt");
+  EXPECT_FALSE(param.net_param.layer.empty());
+  EXPECT_DOUBLE_EQ(param.base_lr, 0.001);
+}
+
+}  // namespace
+}  // namespace cgdnn

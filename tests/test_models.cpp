@@ -1,0 +1,123 @@
+#include "cgdnn/net/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/net/net.hpp"
+
+namespace cgdnn {
+namespace {
+
+models::ModelOptions SmallOpts(index_t batch) {
+  models::ModelOptions o;
+  o.batch_size = batch;
+  o.num_samples = std::max<index_t>(batch, 32);
+  return o;
+}
+
+TEST(LeNetModel, LayerStackMatchesPaperFigure3) {
+  const auto param = models::LeNet(SmallOpts(8));
+  std::vector<std::string> types;
+  for (const auto& l : param.layer) types.push_back(l.type);
+  EXPECT_EQ(types, (std::vector<std::string>{
+                       "Data", "Convolution", "Pooling", "Convolution",
+                       "Pooling", "InnerProduct", "ReLU", "InnerProduct",
+                       "Accuracy", "SoftmaxWithLoss"}));
+}
+
+TEST(LeNetModel, BlobShapesMatchLeNet) {
+  SeedGlobalRng(1);
+  Net<float> net(models::LeNet(SmallOpts(8)), Phase::kTrain);
+  EXPECT_EQ(net.blob_by_name("data")->shape(),
+            (std::vector<index_t>{8, 1, 28, 28}));
+  net.Forward();
+  EXPECT_EQ(net.blob_by_name("conv1")->shape(),
+            (std::vector<index_t>{8, 20, 24, 24}));
+  EXPECT_EQ(net.blob_by_name("pool1")->shape(),
+            (std::vector<index_t>{8, 20, 12, 12}));
+  EXPECT_EQ(net.blob_by_name("conv2")->shape(),
+            (std::vector<index_t>{8, 50, 8, 8}));
+  EXPECT_EQ(net.blob_by_name("pool2")->shape(),
+            (std::vector<index_t>{8, 50, 4, 4}));
+  EXPECT_EQ(net.blob_by_name("ip1")->shape(), (std::vector<index_t>{8, 500}));
+  EXPECT_EQ(net.blob_by_name("ip2")->shape(), (std::vector<index_t>{8, 10}));
+}
+
+TEST(LeNetModel, TrainBackwardRuns) {
+  SeedGlobalRng(2);
+  Net<float> net(models::LeNet(SmallOpts(4)), Phase::kTrain);
+  net.ClearParamDiffs();
+  const float loss = net.ForwardBackward();
+  EXPECT_TRUE(std::isfinite(loss));
+  // 4 parameterized layers x (weight + bias).
+  EXPECT_EQ(net.learnable_params().size(), 8u);
+  for (const auto* p : net.learnable_params()) {
+    EXPECT_GT(p->asum_diff(), 0.0f);
+  }
+}
+
+TEST(CifarModel, LayerStackMatchesPaperFigure3) {
+  const auto param = models::Cifar10Quick(SmallOpts(8));
+  std::vector<std::string> names;
+  for (const auto& l : param.layer) names.push_back(l.name);
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "cifar", "conv1", "pool1", "relu1", "norm1", "conv2",
+                       "relu2", "pool2", "norm2", "conv3", "relu3", "pool3",
+                       "ip1", "ip2", "accuracy", "loss"}));
+}
+
+TEST(CifarModel, BlobShapes) {
+  SeedGlobalRng(3);
+  models::ModelOptions o = SmallOpts(6);
+  Net<float> net(models::Cifar10Quick(o), Phase::kTrain);
+  net.Forward();
+  EXPECT_EQ(net.blob_by_name("data")->shape(),
+            (std::vector<index_t>{6, 3, 32, 32}));
+  EXPECT_EQ(net.blob_by_name("conv1")->shape(),
+            (std::vector<index_t>{6, 32, 32, 32}));  // pad 2 "same"
+  EXPECT_EQ(net.blob_by_name("pool1")->shape(),
+            (std::vector<index_t>{6, 32, 16, 16}));
+  EXPECT_EQ(net.blob_by_name("conv2")->shape(),
+            (std::vector<index_t>{6, 32, 16, 16}));
+  EXPECT_EQ(net.blob_by_name("pool3")->shape(),
+            (std::vector<index_t>{6, 64, 4, 4}));
+  EXPECT_EQ(net.blob_by_name("ip1")->shape(), (std::vector<index_t>{6, 64}));
+}
+
+TEST(CifarModel, TrainBackwardRuns) {
+  SeedGlobalRng(4);
+  models::ModelOptions o = SmallOpts(4);
+  Net<float> net(models::Cifar10Quick(o), Phase::kTrain);
+  net.ClearParamDiffs();
+  const float loss = net.ForwardBackward();
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_EQ(net.learnable_params().size(), 10u);
+}
+
+TEST(Models, PrototxtRoundTripPreservesStructure) {
+  const auto param = models::LeNet(SmallOpts(8));
+  const auto reparsed = proto::NetParameter::FromString(param.ToString());
+  ASSERT_EQ(reparsed.layer.size(), param.layer.size());
+  for (std::size_t i = 0; i < param.layer.size(); ++i) {
+    EXPECT_EQ(reparsed.layer[i].type, param.layer[i].type);
+    EXPECT_EQ(reparsed.layer[i].name, param.layer[i].name);
+  }
+  SeedGlobalRng(5);
+  Net<float> net(reparsed, Phase::kTrain);
+  EXPECT_TRUE(std::isfinite(net.Forward()));
+}
+
+TEST(Models, SolverParamsHaveCaffeHyperparameters) {
+  const auto lenet = models::LeNetSolver(SmallOpts(8));
+  EXPECT_DOUBLE_EQ(lenet.base_lr, 0.01);
+  EXPECT_DOUBLE_EQ(lenet.momentum, 0.9);
+  EXPECT_EQ(lenet.lr_policy, "inv");
+  const auto cifar = models::Cifar10QuickSolver(SmallOpts(8));
+  EXPECT_DOUBLE_EQ(cifar.base_lr, 0.001);
+  EXPECT_EQ(cifar.lr_policy, "fixed");
+}
+
+}  // namespace
+}  // namespace cgdnn

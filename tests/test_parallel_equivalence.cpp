@@ -1,0 +1,168 @@
+// Serial vs coarse-grain equivalence at the layer level: for every layer of
+// both evaluation networks, the OpenMP batch-parallel forward/backward must
+// reproduce the serial results. Forward activations and bottom diffs are
+// written to disjoint per-sample slots and must match BIT-EXACTLY for any
+// thread count; privatized weight gradients are merged in thread-id order
+// and must match the serial accumulation to floating-point re-association
+// tolerance (and bit-exactly run-to-run).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/data/dataset.hpp"
+#include "cgdnn/net/models.hpp"
+#include "cgdnn/net/net.hpp"
+#include "cgdnn/parallel/context.hpp"
+
+namespace cgdnn {
+namespace {
+
+struct NetState {
+  std::vector<std::vector<float>> blob_data;
+  std::vector<std::vector<float>> blob_diff;
+  std::vector<std::vector<float>> param_diff;
+};
+
+NetState CaptureState(const Net<float>& net) {
+  NetState s;
+  for (const auto& blob : net.blobs()) {
+    const float* d = blob->cpu_data();
+    const float* g = blob->cpu_diff();
+    s.blob_data.emplace_back(d, d + blob->count());
+    s.blob_diff.emplace_back(g, g + blob->count());
+  }
+  for (const auto* p : net.learnable_params()) {
+    const float* g = p->cpu_diff();
+    s.param_diff.emplace_back(g, g + p->count());
+  }
+  return s;
+}
+
+NetState RunOnce(const proto::NetParameter& param, int threads,
+                 parallel::GradientMerge merge) {
+  parallel::ParallelConfig cfg;
+  cfg.mode = threads > 1 ? parallel::ExecutionMode::kCoarseGrain
+                         : parallel::ExecutionMode::kSerial;
+  cfg.num_threads = threads;
+  cfg.merge = merge;
+  parallel::Parallel::Scope scope(cfg);
+
+  SeedGlobalRng(1234);
+  data::ClearDatasetCache();
+  Net<float> net(param, Phase::kTrain);
+  net.ClearParamDiffs();
+  net.ForwardBackward();
+  return CaptureState(net);
+}
+
+void ExpectActivationsBitEqual(const NetState& a, const NetState& b) {
+  ASSERT_EQ(a.blob_data.size(), b.blob_data.size());
+  for (std::size_t i = 0; i < a.blob_data.size(); ++i) {
+    EXPECT_EQ(a.blob_data[i], b.blob_data[i]) << "activation blob " << i;
+    EXPECT_EQ(a.blob_diff[i], b.blob_diff[i]) << "diff blob " << i;
+  }
+}
+
+void ExpectParamDiffsClose(const NetState& a, const NetState& b,
+                           double rel_tol) {
+  ASSERT_EQ(a.param_diff.size(), b.param_diff.size());
+  for (std::size_t p = 0; p < a.param_diff.size(); ++p) {
+    ASSERT_EQ(a.param_diff[p].size(), b.param_diff[p].size());
+    for (std::size_t i = 0; i < a.param_diff[p].size(); ++i) {
+      const double ref = a.param_diff[p][i];
+      const double got = b.param_diff[p][i];
+      const double tol =
+          rel_tol * std::max({std::abs(ref), std::abs(got), 1e-4});
+      EXPECT_NEAR(got, ref, tol) << "param " << p << " element " << i;
+    }
+  }
+}
+
+proto::NetParameter LeNetParam() {
+  models::ModelOptions o;
+  o.batch_size = 12;  // not a multiple of most thread counts
+  o.num_samples = 32;
+  o.with_accuracy = false;
+  return models::LeNet(o);
+}
+
+proto::NetParameter CifarParam() {
+  models::ModelOptions o;
+  o.batch_size = 6;
+  o.num_samples = 32;
+  o.with_accuracy = false;
+  return models::Cifar10Quick(o);
+}
+
+class ParallelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEquivalence, LeNetActivationsBitIdenticalToSerial) {
+  const auto serial = RunOnce(LeNetParam(), 1, parallel::GradientMerge::kSerial);
+  const auto parallel_run =
+      RunOnce(LeNetParam(), GetParam(), parallel::GradientMerge::kOrdered);
+  ExpectActivationsBitEqual(serial, parallel_run);
+  ExpectParamDiffsClose(serial, parallel_run, 1e-4);
+}
+
+TEST_P(ParallelEquivalence, CifarActivationsBitIdenticalToSerial) {
+  const auto serial = RunOnce(CifarParam(), 1, parallel::GradientMerge::kSerial);
+  const auto parallel_run =
+      RunOnce(CifarParam(), GetParam(), parallel::GradientMerge::kOrdered);
+  ExpectActivationsBitEqual(serial, parallel_run);
+  ExpectParamDiffsClose(serial, parallel_run, 1e-4);
+}
+
+TEST_P(ParallelEquivalence, OrderedMergeBitReproducibleAcrossRuns) {
+  const auto a = RunOnce(LeNetParam(), GetParam(),
+                         parallel::GradientMerge::kOrdered);
+  const auto b = RunOnce(LeNetParam(), GetParam(),
+                         parallel::GradientMerge::kOrdered);
+  ExpectActivationsBitEqual(a, b);
+  for (std::size_t p = 0; p < a.param_diff.size(); ++p) {
+    EXPECT_EQ(a.param_diff[p], b.param_diff[p]) << "param " << p;
+  }
+}
+
+TEST_P(ParallelEquivalence, TreeMergeCloseToSerial) {
+  const auto serial = RunOnce(LeNetParam(), 1, parallel::GradientMerge::kSerial);
+  const auto tree =
+      RunOnce(LeNetParam(), GetParam(), parallel::GradientMerge::kTree);
+  ExpectActivationsBitEqual(serial, tree);
+  ExpectParamDiffsClose(serial, tree, 1e-4);
+}
+
+TEST_P(ParallelEquivalence, AtomicMergeCloseToSerial) {
+  const auto serial = RunOnce(LeNetParam(), 1, parallel::GradientMerge::kSerial);
+  const auto atomic =
+      RunOnce(LeNetParam(), GetParam(), parallel::GradientMerge::kAtomic);
+  ExpectActivationsBitEqual(serial, atomic);
+  ExpectParamDiffsClose(serial, atomic, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelEquivalence,
+                         ::testing::Values(2, 3, 4, 8),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+TEST(ParallelEquivalence, CoalescingOffStillCorrect) {
+  const auto serial = RunOnce(LeNetParam(), 1, parallel::GradientMerge::kSerial);
+  parallel::ParallelConfig cfg;
+  cfg.mode = parallel::ExecutionMode::kCoarseGrain;
+  cfg.num_threads = 4;
+  cfg.merge = parallel::GradientMerge::kOrdered;
+  cfg.coalesce = false;
+  parallel::Parallel::Scope scope(cfg);
+  SeedGlobalRng(1234);
+  data::ClearDatasetCache();
+  Net<float> net(LeNetParam(), Phase::kTrain);
+  net.ClearParamDiffs();
+  net.ForwardBackward();
+  const auto state = CaptureState(net);
+  ExpectActivationsBitEqual(serial, state);
+  ExpectParamDiffsClose(serial, state, 1e-4);
+}
+
+}  // namespace
+}  // namespace cgdnn

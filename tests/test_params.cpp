@@ -1,0 +1,208 @@
+#include "cgdnn/proto/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgdnn::proto {
+namespace {
+
+TEST(Params, ConvolutionFromCaffePrototxt) {
+  const auto net = NetParameter::FromString(R"(
+    name: "n"
+    layer {
+      name: "conv1"
+      type: "Convolution"
+      bottom: "data"
+      top: "conv1"
+      param { lr_mult: 1 }
+      param { lr_mult: 2 }
+      convolution_param {
+        num_output: 20
+        kernel_size: 5
+        stride: 1
+        weight_filler { type: "xavier" }
+        bias_filler { type: "constant" }
+      }
+    }
+  )");
+  ASSERT_EQ(net.layer.size(), 1u);
+  const auto& l = net.layer[0];
+  EXPECT_EQ(l.type, "Convolution");
+  EXPECT_EQ(l.bottom, std::vector<std::string>{"data"});
+  EXPECT_EQ(l.convolution_param.num_output, 20);
+  EXPECT_EQ(l.convolution_param.kernel_h, 5);
+  EXPECT_EQ(l.convolution_param.kernel_w, 5);
+  EXPECT_EQ(l.convolution_param.stride_h, 1);
+  EXPECT_EQ(l.convolution_param.weight_filler.type, "xavier");
+  ASSERT_EQ(l.param.size(), 2u);
+  EXPECT_DOUBLE_EQ(l.param[1].lr_mult, 2.0);
+}
+
+TEST(Params, AsymmetricKernelAndPads) {
+  const auto msg = TextMessage::Parse(
+      "num_output: 4 kernel_h: 3 kernel_w: 5 pad_h: 1 pad_w: 2 "
+      "stride_h: 2 stride_w: 3");
+  const auto p = ConvolutionParameter::FromText(msg);
+  EXPECT_EQ(p.kernel_h, 3);
+  EXPECT_EQ(p.kernel_w, 5);
+  EXPECT_EQ(p.pad_h, 1);
+  EXPECT_EQ(p.pad_w, 2);
+  EXPECT_EQ(p.stride_h, 2);
+  EXPECT_EQ(p.stride_w, 3);
+}
+
+TEST(Params, PoolingEnumParsing) {
+  auto p = PoolingParameter::FromText(
+      TextMessage::Parse("pool: AVE kernel_size: 3 stride: 2"));
+  EXPECT_EQ(p.pool, PoolingParameter::Method::kAve);
+  EXPECT_EQ(p.kernel_size, 3);
+  EXPECT_EQ(p.stride, 2);
+  EXPECT_THROW(PoolingParameter::FromText(TextMessage::Parse("pool: MEDIAN")),
+               Error);
+}
+
+TEST(Params, UnknownFieldRejected) {
+  EXPECT_THROW(
+      ReLUParameter::FromText(TextMessage::Parse("negative_slop: 0.1")),
+      Error)
+      << "typos in field names must not be silently ignored";
+}
+
+TEST(Params, IncludePhaseBothForms) {
+  const auto a = LayerParameter::FromText(TextMessage::Parse(
+      R"(name: "x" type: "Accuracy" include { phase: TEST })"));
+  ASSERT_TRUE(a.include_phase.has_value());
+  EXPECT_EQ(*a.include_phase, Phase::kTest);
+  const auto b = LayerParameter::FromText(
+      TextMessage::Parse(R"(name: "x" type: "Data" phase: TRAIN)"));
+  ASSERT_TRUE(b.include_phase.has_value());
+  EXPECT_EQ(*b.include_phase, Phase::kTrain);
+  const auto c = LayerParameter::FromText(
+      TextMessage::Parse(R"(name: "x" type: "Data")"));
+  EXPECT_FALSE(c.include_phase.has_value());
+}
+
+TEST(Params, LayerRequiresType) {
+  EXPECT_THROW(LayerParameter::FromText(TextMessage::Parse(R"(name: "x")")),
+               Error);
+}
+
+TEST(Params, EltwiseCoefficients) {
+  const auto p = EltwiseParameter::FromText(
+      TextMessage::Parse("operation: SUM coeff: 1 coeff: -1"));
+  EXPECT_EQ(p.operation, EltwiseParameter::Op::kSum);
+  ASSERT_EQ(p.coeff.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.coeff[1], -1.0);
+}
+
+TEST(Params, LossIgnoreLabelOptional) {
+  const auto with = LossParameter::FromText(
+      TextMessage::Parse("ignore_label: -1 normalize: false"));
+  ASSERT_TRUE(with.ignore_label.has_value());
+  EXPECT_EQ(*with.ignore_label, -1);
+  EXPECT_FALSE(with.normalize);
+  const auto without = LossParameter::FromText(TextMessage::Parse(""));
+  EXPECT_FALSE(without.ignore_label.has_value());
+  EXPECT_TRUE(without.normalize);
+}
+
+TEST(Params, TransformationRepeatedMeans) {
+  const auto p = TransformationParameter::FromText(TextMessage::Parse(
+      "scale: 0.00390625 mirror: true crop_size: 27 "
+      "mean_value: 104 mean_value: 117 mean_value: 123"));
+  EXPECT_DOUBLE_EQ(p.scale, 0.00390625);
+  EXPECT_TRUE(p.mirror);
+  EXPECT_EQ(p.crop_size, 27);
+  ASSERT_EQ(p.mean_value.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.mean_value[2], 123.0);
+}
+
+TEST(Params, DummyDataShapes) {
+  const auto p = DummyDataParameter::FromText(TextMessage::Parse(R"(
+    shape { dim: 2 dim: 3 dim: 4 dim: 5 }
+    shape { dim: 2 }
+    data_filler { type: "gaussian" std: 0.5 }
+  )"));
+  ASSERT_EQ(p.shape.size(), 2u);
+  EXPECT_EQ(p.shape[0].dim, (std::vector<index_t>{2, 3, 4, 5}));
+  ASSERT_EQ(p.data_filler.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.data_filler[0].std, 0.5);
+}
+
+TEST(Params, SolverDefaultsAndFields) {
+  const auto s = SolverParameter::FromString(R"(
+    type: "Nesterov"
+    base_lr: 0.1
+    lr_policy: "multistep"
+    gamma: 0.5
+    stepvalue: 10 stepvalue: 20
+    momentum: 0.95
+    weight_decay: 0.0005
+    clip_gradients: 35
+    random_seed: 7
+    max_iter: 100
+    net_param { name: "inner" }
+  )");
+  EXPECT_EQ(s.type, "Nesterov");
+  EXPECT_DOUBLE_EQ(s.base_lr, 0.1);
+  EXPECT_EQ(s.lr_policy, "multistep");
+  EXPECT_EQ(s.stepvalue, (std::vector<index_t>{10, 20}));
+  EXPECT_DOUBLE_EQ(s.clip_gradients, 35.0);
+  EXPECT_EQ(s.random_seed, 7u);
+  EXPECT_EQ(s.net_param.name, "inner");
+  EXPECT_EQ(s.regularization_type, "L2");  // default
+  EXPECT_DOUBLE_EQ(s.delta, 1e-8);         // default
+}
+
+TEST(Params, NetRoundTripThroughText) {
+  auto net = NetParameter::FromString(R"(
+    name: "roundtrip"
+    force_backward: true
+    layer {
+      name: "d" type: "Data" top: "data" top: "label"
+      data_param { source: "synthetic-mnist" batch_size: 8 num_samples: 32 seed: 3 }
+      transform_param { scale: 0.5 }
+    }
+    layer {
+      name: "ip" type: "InnerProduct" bottom: "data" top: "ip"
+      inner_product_param {
+        num_output: 10
+        weight_filler { type: "gaussian" std: 0.01 }
+      }
+    }
+    layer {
+      name: "loss" type: "SoftmaxWithLoss" bottom: "ip" bottom: "label"
+      top: "loss" loss_weight: 2
+    }
+  )");
+  const std::string text = net.ToString();
+  const auto reparsed = NetParameter::FromString(text);
+  EXPECT_EQ(reparsed.name, "roundtrip");
+  EXPECT_TRUE(reparsed.force_backward);
+  ASSERT_EQ(reparsed.layer.size(), 3u);
+  EXPECT_EQ(reparsed.layer[0].data_param.batch_size, 8);
+  EXPECT_DOUBLE_EQ(reparsed.layer[0].transform_param.scale, 0.5);
+  EXPECT_EQ(reparsed.layer[1].inner_product_param.num_output, 10);
+  EXPECT_DOUBLE_EQ(reparsed.layer[1].inner_product_param.weight_filler.std,
+                   0.01);
+  ASSERT_EQ(reparsed.layer[2].loss_weight.size(), 1u);
+  EXPECT_DOUBLE_EQ(reparsed.layer[2].loss_weight[0], 2.0);
+}
+
+TEST(Params, SolverRoundTripThroughText) {
+  auto s = SolverParameter{};
+  s.type = "AdaGrad";
+  s.base_lr = 0.02;
+  s.lr_policy = "step";
+  s.gamma = 0.1;
+  s.stepsize = 50;
+  s.max_iter = 500;
+  s.net_param.name = "n";
+  const auto reparsed = SolverParameter::FromString(s.ToString());
+  EXPECT_EQ(reparsed.type, "AdaGrad");
+  EXPECT_DOUBLE_EQ(reparsed.base_lr, 0.02);
+  EXPECT_EQ(reparsed.stepsize, 50);
+  EXPECT_EQ(reparsed.net_param.name, "n");
+}
+
+}  // namespace
+}  // namespace cgdnn::proto

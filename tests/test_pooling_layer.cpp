@@ -1,0 +1,178 @@
+#include "cgdnn/layers/pooling_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gradient_checker.hpp"
+
+namespace cgdnn {
+namespace {
+
+using testing::FillUniformAvoiding;
+
+proto::LayerParameter PoolParam(proto::PoolingParameter::Method method,
+                                index_t kernel, index_t stride = 1,
+                                index_t pad = 0) {
+  proto::LayerParameter p;
+  p.name = "pool";
+  p.type = "Pooling";
+  p.pooling_param.pool = method;
+  p.pooling_param.kernel_size = kernel;
+  p.pooling_param.stride = stride;
+  p.pooling_param.pad = pad;
+  return p;
+}
+
+template <typename Dtype>
+class PoolingLayerTest : public ::testing::Test {};
+
+using Dtypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(PoolingLayerTest, Dtypes);
+
+TYPED_TEST(PoolingLayerTest, OutputShapeUsesCeil) {
+  Blob<TypeParam> bottom(1, 2, 5, 5);
+  Blob<TypeParam> top;
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  PoolingLayer<TypeParam> layer(
+      PoolParam(proto::PoolingParameter::Method::kMax, 2, 2));
+  layer.SetUp(bots, tops);
+  // ceil((5 - 2) / 2) + 1 = 3 (Caffe keeps the ragged right edge).
+  EXPECT_EQ(top.height(), 3);
+  EXPECT_EQ(top.width(), 3);
+}
+
+TYPED_TEST(PoolingLayerTest, MaxForwardKnownValues) {
+  Blob<TypeParam> bottom(1, 1, 2, 4);
+  Blob<TypeParam> top;
+  TypeParam* d = bottom.mutable_cpu_data();
+  // [1 2 5 3]
+  // [4 0 1 2]
+  const TypeParam vals[] = {1, 2, 5, 3, 4, 0, 1, 2};
+  std::copy(vals, vals + 8, d);
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  PoolingLayer<TypeParam> layer(
+      PoolParam(proto::PoolingParameter::Method::kMax, 2, 2));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  ASSERT_EQ(top.count(), 2);
+  EXPECT_EQ(top.cpu_data()[0], TypeParam(4));
+  EXPECT_EQ(top.cpu_data()[1], TypeParam(5));
+}
+
+TYPED_TEST(PoolingLayerTest, AveForwardKnownValues) {
+  Blob<TypeParam> bottom(1, 1, 2, 2);
+  Blob<TypeParam> top;
+  TypeParam* d = bottom.mutable_cpu_data();
+  d[0] = 1;
+  d[1] = 2;
+  d[2] = 3;
+  d[3] = 6;
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  PoolingLayer<TypeParam> layer(
+      PoolParam(proto::PoolingParameter::Method::kAve, 2, 2));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  ASSERT_EQ(top.count(), 1);
+  EXPECT_EQ(top.cpu_data()[0], TypeParam(3));
+}
+
+TYPED_TEST(PoolingLayerTest, MaxBackwardRoutesToArgmax) {
+  Blob<TypeParam> bottom(1, 1, 2, 2);
+  Blob<TypeParam> top;
+  TypeParam* d = bottom.mutable_cpu_data();
+  d[0] = 1;
+  d[1] = 9;
+  d[2] = 3;
+  d[3] = 2;
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  PoolingLayer<TypeParam> layer(
+      PoolParam(proto::PoolingParameter::Method::kMax, 2, 2));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  top.mutable_cpu_diff()[0] = TypeParam(5);
+  layer.Backward(tops, {true}, bots);
+  EXPECT_EQ(bottom.cpu_diff()[0], TypeParam(0));
+  EXPECT_EQ(bottom.cpu_diff()[1], TypeParam(5));
+  EXPECT_EQ(bottom.cpu_diff()[2], TypeParam(0));
+  EXPECT_EQ(bottom.cpu_diff()[3], TypeParam(0));
+}
+
+TYPED_TEST(PoolingLayerTest, GlobalPoolingCollapsesSpatialDims) {
+  Blob<TypeParam> bottom(2, 3, 4, 6);
+  Blob<TypeParam> top;
+  bottom.set_data(TypeParam(2));
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  proto::LayerParameter p = PoolParam(proto::PoolingParameter::Method::kAve, 0);
+  p.pooling_param.global_pooling = true;
+  PoolingLayer<TypeParam> layer(p);
+  layer.SetUp(bots, tops);
+  EXPECT_EQ(top.height(), 1);
+  EXPECT_EQ(top.width(), 1);
+  layer.Forward(bots, tops);
+  for (index_t i = 0; i < top.count(); ++i) {
+    EXPECT_NEAR(top.cpu_data()[i], TypeParam(2), 1e-6);
+  }
+}
+
+TEST(PoolingLayerGradient, MaxPool) {
+  Blob<double> bottom(2, 2, 4, 4);
+  Blob<double> top;
+  // Spread-out values avoid argmax ties, which break finite differences.
+  double* d = bottom.mutable_cpu_data();
+  Rng rng(5);
+  for (index_t i = 0; i < bottom.count(); ++i) {
+    d[i] = static_cast<double>(i % 29) * 0.37 + rng.Uniform(0.0, 0.01);
+  }
+  std::vector<Blob<double>*> bots{&bottom}, tops{&top};
+  PoolingLayer<double> layer(
+      PoolParam(proto::PoolingParameter::Method::kMax, 2, 2));
+  testing::GradientChecker<double> checker(1e-4, 1e-4);
+  checker.CheckGradientExhaustive(layer, bots, tops);
+}
+
+TEST(PoolingLayerGradient, AvePoolOverlappingWindows) {
+  Blob<double> bottom(1, 2, 5, 5);
+  Blob<double> top;
+  FillUniformAvoiding<double>(&bottom, -1.0, 1.0, 0.0, 0.0);
+  std::vector<Blob<double>*> bots{&bottom}, tops{&top};
+  // stride < kernel: overlapping windows exercise accumulation.
+  PoolingLayer<double> layer(
+      PoolParam(proto::PoolingParameter::Method::kAve, 3, 2, 1));
+  testing::GradientChecker<double> checker(1e-4, 1e-4);
+  checker.CheckGradientExhaustive(layer, bots, tops);
+}
+
+TYPED_TEST(PoolingLayerTest, PaddedMaxPoolIgnoresPadding) {
+  // With negative inputs, a padded MAX pool must never return the pad value
+  // (0): padding is excluded from the max, not treated as a sample.
+  Blob<TypeParam> bottom(1, 1, 2, 2);
+  Blob<TypeParam> top;
+  bottom.set_data(TypeParam(-5));
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  PoolingLayer<TypeParam> layer(
+      PoolParam(proto::PoolingParameter::Method::kMax, 2, 2, 1));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  for (index_t i = 0; i < top.count(); ++i) {
+    EXPECT_EQ(top.cpu_data()[i], TypeParam(-5)) << i;
+  }
+}
+
+TYPED_TEST(PoolingLayerTest, InvalidConfigRejected) {
+  Blob<TypeParam> bottom(1, 1, 4, 4);
+  Blob<TypeParam> top;
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  {
+    PoolingLayer<TypeParam> layer(
+        PoolParam(proto::PoolingParameter::Method::kMax, 0));
+    EXPECT_THROW(layer.SetUp(bots, tops), Error);
+  }
+  {
+    // pad >= kernel
+    PoolingLayer<TypeParam> layer(
+        PoolParam(proto::PoolingParameter::Method::kMax, 2, 1, 2));
+    EXPECT_THROW(layer.SetUp(bots, tops), Error);
+  }
+}
+
+}  // namespace
+}  // namespace cgdnn

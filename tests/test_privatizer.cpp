@@ -1,0 +1,110 @@
+#include "cgdnn/parallel/privatizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace cgdnn::parallel {
+namespace {
+
+TEST(ThreadArena, AllocationsAreAlignedAndDistinct) {
+  ThreadArena arena;
+  void* a = arena.Allocate(100);
+  void* b = arena.Allocate(100);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+}
+
+TEST(ThreadArena, PointersStableAcrossGrowth) {
+  // The arena must never move existing allocations — layers keep several
+  // live buffers (col buffer + weight grad + bias grad) simultaneously.
+  ThreadArena arena;
+  auto* a = static_cast<char*>(arena.Allocate(1000));
+  a[0] = 42;
+  // Force growth beyond the initial chunk.
+  for (int i = 0; i < 100; ++i) arena.Allocate(64 * 1024);
+  EXPECT_EQ(a[0], 42);
+}
+
+TEST(ThreadArena, ResetScopeReusesStorage) {
+  ThreadArena arena;
+  void* a = arena.Allocate(512);
+  const std::size_t cap = arena.capacity_bytes();
+  arena.ResetScope();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  void* b = arena.Allocate(512);
+  EXPECT_EQ(a, b) << "after reset the same storage is handed out";
+  EXPECT_EQ(arena.capacity_bytes(), cap) << "no new chunk should be needed";
+}
+
+TEST(ThreadArena, OversizeRequestGetsDedicatedChunk) {
+  ThreadArena arena;
+  arena.Allocate(16);
+  void* big = arena.Allocate(1 << 20);
+  EXPECT_NE(big, nullptr);
+  EXPECT_GE(arena.capacity_bytes(), (1u << 20));
+}
+
+TEST(PrivatizationPool, GrowOnlyAcrossLayers) {
+  PrivatizationPool pool;
+  pool.Configure(4);
+  EXPECT_EQ(pool.configured_threads(), 4);
+
+  // "Layer A": each thread takes 100KB.
+  pool.BeginLayerScope();
+  for (int t = 0; t < 4; ++t) pool.Acquire<float>(t, 25 * 1024);
+  const std::size_t after_a = pool.total_bytes();
+
+  // "Layer B": smaller needs — memory must be reused, not grown.
+  pool.BeginLayerScope();
+  for (int t = 0; t < 4; ++t) pool.Acquire<float>(t, 1024);
+  EXPECT_EQ(pool.total_bytes(), after_a)
+      << "cross-layer reuse bounds extra memory at the largest layer "
+         "(paper §3.2.1)";
+
+  // "Layer C": the largest layer grows the pool to its own needs.
+  pool.BeginLayerScope();
+  for (int t = 0; t < 4; ++t) pool.Acquire<float>(t, 100 * 1024);
+  EXPECT_GT(pool.total_bytes(), after_a);
+}
+
+TEST(PrivatizationPool, HighWaterTracksLargestLayer) {
+  PrivatizationPool pool;
+  pool.Configure(2);
+  pool.BeginLayerScope();
+  pool.Acquire<double>(0, 1000);
+  pool.Acquire<double>(1, 1000);
+  pool.BeginLayerScope();  // records the previous scope's usage
+  pool.Acquire<double>(0, 10);
+  pool.BeginLayerScope();
+  EXPECT_GE(pool.high_water_layer_bytes(), 2 * 1000 * sizeof(double));
+}
+
+TEST(PrivatizationPool, ConfigureGrowsButNeverShrinks) {
+  PrivatizationPool pool;
+  pool.Configure(2);
+  pool.Configure(8);
+  EXPECT_EQ(pool.configured_threads(), 8);
+  pool.Configure(4);
+  EXPECT_EQ(pool.configured_threads(), 8);
+}
+
+TEST(PrivatizationPool, AcquireValidatesThreadId) {
+  PrivatizationPool pool;
+  pool.Configure(2);
+  EXPECT_THROW(pool.Acquire<float>(2, 10), Error);
+  EXPECT_THROW(pool.Acquire<float>(-1, 10), Error);
+}
+
+TEST(PrivatizationPool, ReleaseDropsEverything) {
+  PrivatizationPool pool;
+  pool.Configure(2);
+  pool.Acquire<float>(0, 1024);
+  pool.Release();
+  EXPECT_EQ(pool.total_bytes(), 0u);
+  EXPECT_EQ(pool.configured_threads(), 0);
+}
+
+}  // namespace
+}  // namespace cgdnn::parallel

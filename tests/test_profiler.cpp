@@ -1,0 +1,96 @@
+#include "cgdnn/profile/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cgdnn/profile/timer.hpp"
+
+namespace cgdnn::profile {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double us = timer.MicroSeconds();
+  EXPECT_GE(us, 4000.0);
+  EXPECT_LT(us, 500000.0);
+  EXPECT_NEAR(timer.MilliSeconds(), timer.MicroSeconds() / 1e3,
+              timer.MicroSeconds() * 0.5);
+}
+
+TEST(Timer, RestartResets) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  timer.Restart();
+  EXPECT_LT(timer.MicroSeconds(), 3000.0);
+}
+
+TEST(PhaseStats, Aggregates) {
+  PhaseStats stats;
+  stats.Add(10.0);
+  stats.Add(20.0);
+  stats.Add(30.0);
+  EXPECT_DOUBLE_EQ(stats.total_us(), 60.0);
+  EXPECT_DOUBLE_EQ(stats.mean_us(), 20.0);
+  EXPECT_DOUBLE_EQ(stats.min_us(), 10.0);
+  EXPECT_EQ(stats.count(), 3u);
+}
+
+TEST(PhaseStats, EmptyIsZero) {
+  PhaseStats stats;
+  EXPECT_DOUBLE_EQ(stats.total_us(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_us(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min_us(), 0.0);
+}
+
+TEST(Profiler, RecordsPerLayerPerPhase) {
+  Profiler profiler;
+  profiler.Record("conv1", LayerPhase::kForward, 100.0);
+  profiler.Record("conv1", LayerPhase::kForward, 120.0);
+  profiler.Record("conv1", LayerPhase::kBackward, 300.0);
+  profiler.Record("pool1", LayerPhase::kForward, 50.0);
+
+  EXPECT_TRUE(profiler.has("conv1", LayerPhase::kForward));
+  EXPECT_FALSE(profiler.has("pool1", LayerPhase::kBackward));
+  EXPECT_DOUBLE_EQ(profiler.stats("conv1", LayerPhase::kForward).mean_us(),
+                   110.0);
+  EXPECT_DOUBLE_EQ(profiler.stats("conv1", LayerPhase::kBackward).mean_us(),
+                   300.0);
+  EXPECT_DOUBLE_EQ(profiler.stats("ghost", LayerPhase::kForward).mean_us(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(profiler.TotalMeanUs(), 110.0 + 300.0 + 50.0);
+}
+
+TEST(Profiler, OrderFollowsFirstRecording) {
+  Profiler profiler;
+  profiler.Record("b", LayerPhase::kForward, 1.0);
+  profiler.Record("a", LayerPhase::kForward, 1.0);
+  profiler.Record("b", LayerPhase::kBackward, 1.0);
+  EXPECT_EQ(profiler.layer_order(), (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(Profiler, TableAndCsvContainLayers) {
+  Profiler profiler;
+  profiler.Record("conv1", LayerPhase::kForward, 75.0);
+  profiler.Record("conv1", LayerPhase::kBackward, 25.0);
+  const std::string table = profiler.Table();
+  EXPECT_NE(table.find("conv1"), std::string::npos);
+  EXPECT_NE(table.find("75.0"), std::string::npos);
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+  const std::string csv = profiler.Csv();
+  EXPECT_NE(csv.find("layer,phase,mean_us"), std::string::npos);
+  EXPECT_NE(csv.find("conv1,forward,75"), std::string::npos);
+  EXPECT_NE(csv.find("conv1,backward,25"), std::string::npos);
+}
+
+TEST(Profiler, ResetClears) {
+  Profiler profiler;
+  profiler.Record("x", LayerPhase::kForward, 1.0);
+  profiler.Reset();
+  EXPECT_TRUE(profiler.layer_order().empty());
+  EXPECT_DOUBLE_EQ(profiler.TotalMeanUs(), 0.0);
+}
+
+}  // namespace
+}  // namespace cgdnn::profile

@@ -1,0 +1,162 @@
+#include "cgdnn/net/serialization.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/data/dataset.hpp"
+#include "cgdnn/net/models.hpp"
+
+namespace cgdnn {
+namespace {
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cgdnn_ser_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    data::ClearDatasetCache();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static proto::NetParameter SmallNet() {
+    models::ModelOptions opts;
+    opts.batch_size = 4;
+    opts.num_samples = 16;
+    opts.with_accuracy = false;
+    return models::LeNet(opts);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializationTest, SaveLoadRoundTripBitExact) {
+  SeedGlobalRng(1);
+  Net<float> source(SmallNet(), Phase::kTrain);
+  SaveWeights(source, Path("w.cgdnn"));
+
+  SeedGlobalRng(2);  // different init
+  Net<float> target(SmallNet(), Phase::kTrain);
+  // Must differ before the load...
+  EXPECT_NE(source.layer_by_name("conv1")->blobs()[0]->cpu_data()[0],
+            target.layer_by_name("conv1")->blobs()[0]->cpu_data()[0]);
+  const std::size_t restored = LoadWeights(target, Path("w.cgdnn"));
+  EXPECT_EQ(restored, 4u);  // conv1, conv2, ip1, ip2
+  // ...and match exactly after.
+  for (const auto& name : {"conv1", "conv2", "ip1", "ip2"}) {
+    const auto& a = source.layer_by_name(name)->blobs();
+    const auto& b = target.layer_by_name(name)->blobs();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      for (index_t i = 0; i < a[j]->count(); ++i) {
+        ASSERT_EQ(a[j]->cpu_data()[i], b[j]->cpu_data()[i])
+            << name << " blob " << j << " element " << i;
+      }
+    }
+  }
+}
+
+TEST_F(SerializationTest, TrainedWeightsReproduceForwardOutputs) {
+  // Dataset of exactly one batch: every Forward sees the same samples, so
+  // the loss depends only on the weights.
+  models::ModelOptions opts;
+  opts.batch_size = 8;
+  opts.num_samples = 8;
+  opts.with_accuracy = false;
+  const auto one_batch_net = models::LeNet(opts);
+
+  SeedGlobalRng(3);
+  Net<float> net(one_batch_net, Phase::kTrain);
+  net.ClearParamDiffs();
+  net.ForwardBackward();  // perturb from init
+  for (auto* p : const_cast<std::vector<Blob<float>*>&>(net.learnable_params())) {
+    p->Update();
+  }
+  const float loss_before = net.Forward();
+  SaveWeights(net, Path("trained.cgdnn"));
+
+  SeedGlobalRng(99);
+  Net<float> restored(one_batch_net, Phase::kTrain);
+  LoadWeights(restored, Path("trained.cgdnn"));
+  const float loss_after = restored.Forward();
+  EXPECT_EQ(loss_before, loss_after)
+      << "same weights + same data stream must give the same loss";
+}
+
+TEST_F(SerializationTest, CrossPrecisionLoad) {
+  SeedGlobalRng(4);
+  Net<double> source(SmallNet(), Phase::kTrain);
+  SaveWeights(source, Path("f64.cgdnn"));
+  SeedGlobalRng(5);
+  Net<float> target(SmallNet(), Phase::kTrain);
+  EXPECT_EQ(LoadWeights(target, Path("f64.cgdnn")), 4u);
+  const double expected = source.layer_by_name("ip2")->blobs()[0]->cpu_data()[7];
+  EXPECT_FLOAT_EQ(target.layer_by_name("ip2")->blobs()[0]->cpu_data()[7],
+                  static_cast<float>(expected));
+}
+
+TEST_F(SerializationTest, UnknownLayersAreSkipped) {
+  SeedGlobalRng(6);
+  Net<float> lenet(SmallNet(), Phase::kTrain);
+  SaveWeights(lenet, Path("lenet.cgdnn"));
+
+  // A different net sharing only ip2's name and shape... build tiny net
+  // with one same-named layer of a DIFFERENT shape to prove shape checking,
+  // and a net with no matching layers to prove skipping.
+  const auto other = proto::NetParameter::FromString(R"(
+    name: "other"
+    layer {
+      name: "data" type: "Data" top: "data" top: "label"
+      data_param { source: "synthetic-mnist" batch_size: 2 num_samples: 8 seed: 1 }
+    }
+    layer {
+      name: "fc_unrelated" type: "InnerProduct" bottom: "data" top: "fc"
+      inner_product_param { num_output: 3 weight_filler { type: "xavier" } }
+    }
+    layer {
+      name: "loss" type: "SoftmaxWithLoss" bottom: "fc" bottom: "label"
+      top: "loss"
+    }
+  )");
+  Net<float> unrelated(other, Phase::kTrain);
+  EXPECT_EQ(LoadWeights(unrelated, Path("lenet.cgdnn")), 0u);
+}
+
+TEST_F(SerializationTest, ShapeMismatchRejected) {
+  SeedGlobalRng(7);
+  Net<float> lenet(SmallNet(), Phase::kTrain);
+  SaveWeights(lenet, Path("lenet.cgdnn"));
+
+  auto modified = SmallNet();
+  for (auto& lp : modified.layer) {
+    if (lp.name == "ip1") lp.inner_product_param.num_output = 300;  // was 500
+  }
+  Net<float> target(modified, Phase::kTrain);
+  EXPECT_THROW(LoadWeights(target, Path("lenet.cgdnn")), Error);
+}
+
+TEST_F(SerializationTest, CorruptFilesRejected) {
+  SeedGlobalRng(8);
+  Net<float> net(SmallNet(), Phase::kTrain);
+  EXPECT_THROW(LoadWeights(net, Path("absent.cgdnn")), Error);
+  {
+    std::ofstream out(Path("bad.cgdnn"), std::ios::binary);
+    out.write("NOTWEIGHTS", 10);
+  }
+  EXPECT_THROW(LoadWeights(net, Path("bad.cgdnn")), Error);
+  // Truncated: valid header, then EOF.
+  SaveWeights(net, Path("trunc.cgdnn"));
+  std::filesystem::resize_file(Path("trunc.cgdnn"), 40);
+  EXPECT_THROW(LoadWeights(net, Path("trunc.cgdnn")), Error);
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,233 @@
+// Tests for the performance-model substrate: the simulators must exhibit
+// the qualitative laws the paper's figures rest on (Amdahl behaviour,
+// granularity saturation, NUMA knee, locality penalty, GPU variant
+// ordering), independent of the host machine.
+#include <gtest/gtest.h>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/data/dataset.hpp"
+#include "cgdnn/net/models.hpp"
+#include "cgdnn/parallel/context.hpp"
+#include "cgdnn/sim/gpu_sim.hpp"
+#include "cgdnn/sim/multicore_sim.hpp"
+#include "cgdnn/sim/workload.hpp"
+
+namespace cgdnn::sim {
+namespace {
+
+LayerWork MakeLayer(const std::string& type, Distribution dist, double flops,
+                    double bytes, index_t iters, double serial_us,
+                    index_t params = 0) {
+  LayerWork w;
+  w.name = type;
+  w.type = type;
+  w.dist = dist;
+  // Layout class as ExtractWorkload would assign it.
+  w.locality_class = dist == Distribution::kBatchRow ? 1 : 0;
+  w.forward = {flops, bytes, iters, serial_us};
+  w.backward = {flops, bytes, iters, serial_us};
+  w.param_count = params;
+  return w;
+}
+
+TEST(MulticoreSim, SerialLayerIgnoresThreads) {
+  MulticoreSim sim(CpuMachine::XeonE5_2667v2());
+  LayerWork data = MakeLayer("Data", Distribution::kSequential, 0, 1e6, 0, 500);
+  data.sequential = true;
+  for (const int t : {1, 2, 8, 16}) {
+    EXPECT_DOUBLE_EQ(sim.SimulatePass(data, data.forward, nullptr, t, false),
+                     500.0);
+  }
+}
+
+TEST(MulticoreSim, ComputeBoundLayerScalesNearLinearlyOnOneNode) {
+  MulticoreSim sim(CpuMachine::XeonE5_2667v2());
+  // Compute-heavy (high arithmetic intensity), lots of iterations.
+  const LayerWork conv = MakeLayer("Convolution", Distribution::kBatch, 1e9,
+                                   1e6, 64, 40000);
+  const double t1 = sim.SimulatePass(conv, conv.forward, nullptr, 1, false);
+  const double t8 = sim.SimulatePass(conv, conv.forward, nullptr, 8, false);
+  const double speedup = t1 / t8;
+  EXPECT_GT(speedup, 6.0);
+  EXPECT_LE(speedup, 8.0);
+}
+
+TEST(MulticoreSim, SpeedupMonotonicallyOrderedByWork) {
+  MulticoreSim sim(CpuMachine::XeonE5_2667v2());
+  // Big layer scales better at 16 threads than a tiny one (granularity).
+  const LayerWork big = MakeLayer("Convolution", Distribution::kBatch, 1e9,
+                                  1e6, 64, 50000);
+  const LayerWork tiny = MakeLayer("InnerProduct", Distribution::kBatch, 1e5,
+                                   1e5, 64, 30);
+  const auto speedup = [&](const LayerWork& lw, int t) {
+    return sim.SimulatePass(lw, lw.forward, nullptr, 1, false) /
+           sim.SimulatePass(lw, lw.forward, nullptr, t, false);
+  };
+  EXPECT_GT(speedup(big, 16), 2.0 * speedup(tiny, 16));
+  // Tiny layers saturate: 16 threads no better than 8 (within 20%).
+  EXPECT_LT(speedup(tiny, 16), speedup(tiny, 8) * 1.2);
+}
+
+TEST(MulticoreSim, StaticChunkQuantizationVisible) {
+  MulticoreSim sim(CpuMachine::XeonE5_2667v2());
+  // 12 iterations on 8 threads: slowest thread has 2 of 12 -> at most 6x
+  // from chunking alone.
+  const LayerWork lw = MakeLayer("Convolution", Distribution::kBatch, 1e9,
+                                 1e3, 12, 60000);
+  const double t1 = sim.SimulatePass(lw, lw.forward, nullptr, 1, false);
+  const double t8 = sim.SimulatePass(lw, lw.forward, nullptr, 8, false);
+  EXPECT_LT(t1 / t8, 6.05);
+  EXPECT_GT(t1 / t8, 5.0);
+}
+
+TEST(MulticoreSim, NumaKneeBeyondEightThreads) {
+  MulticoreSim sim(CpuMachine::XeonE5_2667v2());
+  // Memory-bound layer: crossing the node boundary hurts efficiency.
+  const LayerWork mem = MakeLayer("Pooling", Distribution::kBatchChannel, 1e5,
+                                  1e8, 1280, 20000);
+  const auto eff = [&](int t) {
+    const double s = sim.SimulatePass(mem, mem.forward, nullptr, 1, false) /
+                     sim.SimulatePass(mem, mem.forward, nullptr, t, false);
+    return s / t;
+  };
+  EXPECT_LT(eff(16), eff(8)) << "per-thread efficiency must drop across NUMA";
+}
+
+TEST(MulticoreSim, LocalityPenaltyOnDistributionMismatch) {
+  MulticoreSim sim(CpuMachine::XeonE5_2667v2());
+  const LayerWork producer_same =
+      MakeLayer("Pooling", Distribution::kBatchChannel, 1e5, 1e7, 640, 1000);
+  const LayerWork producer_diff =
+      MakeLayer("LRN", Distribution::kBatchRow, 1e5, 1e7, 640, 1000);
+  const LayerWork consumer =
+      MakeLayer("Pooling", Distribution::kBatchChannel, 1e5, 1e7, 640, 1000);
+  const double matched =
+      sim.SimulatePass(consumer, consumer.forward, &producer_same, 8, false);
+  const double mismatched =
+      sim.SimulatePass(consumer, consumer.forward, &producer_diff, 8, false);
+  EXPECT_GT(mismatched, matched);
+}
+
+TEST(MulticoreSim, SequentialProducerPenalizesConsumer) {
+  MulticoreSim sim(CpuMachine::XeonE5_2667v2());
+  LayerWork data = MakeLayer("Data", Distribution::kSequential, 0, 1e6, 0, 100);
+  data.sequential = true;
+  const LayerWork conv = MakeLayer("Convolution", Distribution::kBatch, 1e7,
+                                   1e7, 64, 5000);
+  const double after_data =
+      sim.SimulatePass(conv, conv.forward, &data, 8, false);
+  const double after_conv =
+      sim.SimulatePass(conv, conv.forward, &conv, 8, false);
+  EXPECT_GT(after_data, after_conv)
+      << "the paper's conv1-after-data locality effect";
+}
+
+TEST(MulticoreSim, OrderedMergeCostGrowsWithThreadsAndParams) {
+  MulticoreSim sim(CpuMachine::XeonE5_2667v2());
+  const LayerWork with_params = MakeLayer(
+      "Convolution", Distribution::kBatch, 1e6, 1e5, 64, 1000, 500 * 1024);
+  const double b4 =
+      sim.SimulatePass(with_params, with_params.backward, nullptr, 4, true);
+  const double b16 =
+      sim.SimulatePass(with_params, with_params.backward, nullptr, 16, true);
+  const double f16 =
+      sim.SimulatePass(with_params, with_params.forward, nullptr, 16, false);
+  EXPECT_GT(b16, f16) << "backward pays the merge";
+  // Merge cost grows ~linearly with T, so 16-thread backward must not be
+  // faster than 4-thread scaled naively.
+  EXPECT_GT(b16, b4 * 0.3);
+}
+
+// ----------------------------------------------------------------- GPU sim
+
+TEST(GpuSim, CudnnBeatsPlainOnConvolution) {
+  GpuSim sim(GpuMachine::TeslaK40());
+  const LayerWork conv = MakeLayer("Convolution", Distribution::kBatch, 1e9,
+                                   1e7, 64, 50000);
+  const double plain =
+      sim.SimulatePass(conv, conv.forward, GpuVariant::kPlain, false);
+  const double cudnn =
+      sim.SimulatePass(conv, conv.forward, GpuVariant::kCudnn, false);
+  EXPECT_GT(plain, 5.0 * cudnn)
+      << "the paper's order-of-magnitude cuDNN conv gap";
+}
+
+TEST(GpuSim, PlainBeatsCudnnOnPooling) {
+  GpuSim sim(GpuMachine::TeslaK40());
+  const LayerWork pool = MakeLayer("Pooling", Distribution::kBatchChannel,
+                                   1e6, 1e8, 640, 20000);
+  const double plain =
+      sim.SimulatePass(pool, pool.forward, GpuVariant::kPlain, false);
+  const double cudnn =
+      sim.SimulatePass(pool, pool.forward, GpuVariant::kCudnn, false);
+  EXPECT_LT(plain, cudnn) << "Fig. 6: pool2 drops from 62x to 27x under cuDNN";
+}
+
+TEST(GpuSim, LaunchOverheadDominatesTinyLayers) {
+  GpuSim sim(GpuMachine::TeslaK40());
+  const LayerWork relu = MakeLayer("ReLU", Distribution::kWholeNest, 1e4, 1e4,
+                                   64, 30);
+  const double t = sim.SimulatePass(relu, relu.forward, GpuVariant::kPlain,
+                                    false);
+  EXPECT_GT(t, GpuMachine::TeslaK40().launch_overhead_us * 0.9)
+      << "a tiny kernel cannot beat its launch overhead";
+}
+
+TEST(GpuSim, DataLayerStaysOnHost) {
+  GpuSim sim(GpuMachine::TeslaK40());
+  LayerWork data = MakeLayer("Data", Distribution::kSequential, 0, 1e6, 0, 800);
+  data.sequential = true;
+  EXPECT_DOUBLE_EQ(
+      sim.SimulatePass(data, data.forward, GpuVariant::kPlain, false), 800.0);
+}
+
+// --------------------------------------------------------------- workload
+
+TEST(Workload, ExtractsEveryLayerWithMeasurements) {
+  parallel::ParallelConfig cfg;
+  cfg.mode = parallel::ExecutionMode::kSerial;
+  parallel::Parallel::Scope scope(cfg);
+  SeedGlobalRng(5);
+  data::ClearDatasetCache();
+  models::ModelOptions opts;
+  opts.batch_size = 8;
+  opts.num_samples = 16;
+  opts.with_accuracy = false;
+  Net<float> net(models::LeNet(opts), Phase::kTrain);
+  const auto work = ExtractWorkload(net, /*measure_iters=*/2, /*warmup=*/1);
+  ASSERT_EQ(work.size(), net.layers().size());
+
+  const auto find = [&](const std::string& name) -> const LayerWork& {
+    for (const auto& w : work) {
+      if (w.name == name) return w;
+    }
+    throw Error(__FILE__, __LINE__, "missing layer " + name);
+  };
+  EXPECT_TRUE(find("mnist").sequential);
+  EXPECT_EQ(find("conv1").dist, Distribution::kBatch);
+  EXPECT_EQ(find("pool1").dist, Distribution::kBatchChannel);
+  EXPECT_GT(find("conv1").forward.flops, find("ip2").forward.flops);
+  EXPECT_GT(find("conv1").forward.serial_us, 0.0);
+  EXPECT_GT(find("conv1").backward.serial_us, 0.0);
+  EXPECT_GT(find("conv2").param_count, 0);
+  // conv2 has 50*20*5*5 weights + 50 biases.
+  EXPECT_EQ(find("conv2").param_count, 50 * 20 * 5 * 5 + 50);
+}
+
+TEST(Workload, SimulateNetSumsLayers) {
+  MulticoreSim sim(CpuMachine::XeonE5_2667v2());
+  std::vector<LayerWork> work;
+  work.push_back(MakeLayer("Convolution", Distribution::kBatch, 1e8, 1e6, 64,
+                           1000));
+  work.push_back(MakeLayer("Pooling", Distribution::kBatchChannel, 1e5, 1e6,
+                           640, 200));
+  const NetSim result = sim.SimulateNet(work, 4);
+  ASSERT_EQ(result.layers.size(), 2u);
+  double total = 0;
+  for (const auto& l : result.layers) total += l.forward_us + l.backward_us;
+  EXPECT_DOUBLE_EQ(result.total_us, total);
+  EXPECT_EQ(result.threads, 4);
+}
+
+}  // namespace
+}  // namespace cgdnn::sim

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cgdnn/layers/loss_layers.hpp"
+#include "cgdnn/layers/softmax_layer.hpp"
+#include "gradient_checker.hpp"
+
+namespace cgdnn {
+namespace {
+
+using testing::FillUniform;
+using testing::GradientChecker;
+
+proto::LayerParameter Param(const std::string& type) {
+  proto::LayerParameter p;
+  p.name = "sm";
+  p.type = type;
+  return p;
+}
+
+template <typename Dtype>
+class SoftmaxLayerTest : public ::testing::Test {};
+
+using Dtypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(SoftmaxLayerTest, Dtypes);
+
+TYPED_TEST(SoftmaxLayerTest, RowsSumToOneAndOrderPreserved) {
+  Blob<TypeParam> bottom({3, 5});
+  Blob<TypeParam> top;
+  FillUniform<TypeParam>(&bottom, TypeParam(-3), TypeParam(3));
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  SoftmaxLayer<TypeParam> layer(Param("Softmax"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  for (index_t n = 0; n < 3; ++n) {
+    TypeParam sum = 0;
+    for (index_t c = 0; c < 5; ++c) {
+      const TypeParam p = top.cpu_data()[n * 5 + c];
+      EXPECT_GT(p, TypeParam(0));
+      EXPECT_LT(p, TypeParam(1));
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+    // Monotonic: larger logits give larger probabilities.
+    for (index_t a = 0; a < 5; ++a) {
+      for (index_t b = 0; b < 5; ++b) {
+        if (bottom.cpu_data()[n * 5 + a] > bottom.cpu_data()[n * 5 + b]) {
+          EXPECT_GT(top.cpu_data()[n * 5 + a], top.cpu_data()[n * 5 + b]);
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(SoftmaxLayerTest, StableUnderLargeLogits) {
+  Blob<TypeParam> bottom({1, 3});
+  Blob<TypeParam> top;
+  bottom.mutable_cpu_data()[0] = TypeParam(1000);
+  bottom.mutable_cpu_data()[1] = TypeParam(1001);
+  bottom.mutable_cpu_data()[2] = TypeParam(999);
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  SoftmaxLayer<TypeParam> layer(Param("Softmax"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  for (index_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(std::isnan(static_cast<double>(top.cpu_data()[i])));
+  }
+  EXPECT_GT(top.cpu_data()[1], top.cpu_data()[0]);
+}
+
+TYPED_TEST(SoftmaxLayerTest, SpatialSoftmaxPerPosition) {
+  Blob<TypeParam> bottom(1, 4, 2, 3);
+  Blob<TypeParam> top;
+  FillUniform<TypeParam>(&bottom, TypeParam(-1), TypeParam(1));
+  std::vector<Blob<TypeParam>*> bots{&bottom}, tops{&top};
+  SoftmaxLayer<TypeParam> layer(Param("Softmax"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  for (index_t h = 0; h < 2; ++h) {
+    for (index_t w = 0; w < 3; ++w) {
+      TypeParam sum = 0;
+      for (index_t c = 0; c < 4; ++c) sum += top.data_at(0, c, h, w);
+      EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+  }
+}
+
+TEST(SoftmaxGradient, Exhaustive) {
+  Blob<double> bottom(2, 4, 2, 2);
+  Blob<double> top;
+  FillUniform<double>(&bottom, -2.0, 2.0);
+  std::vector<Blob<double>*> bots{&bottom}, tops{&top};
+  SoftmaxLayer<double> layer(Param("Softmax"));
+  GradientChecker<double> checker(1e-4, 1e-4);
+  checker.CheckGradientExhaustive(layer, bots, tops);
+}
+
+// --------------------------------------------------------- SoftmaxWithLoss
+
+template <typename Dtype>
+void MakeLossInputs(Blob<Dtype>& scores, Blob<Dtype>& labels, index_t num,
+                    index_t classes, std::uint64_t seed = 1) {
+  scores.Reshape({num, classes});
+  FillUniform<Dtype>(&scores, Dtype(-2), Dtype(2), seed);
+  labels.Reshape({num});
+  Rng rng(seed + 1);
+  for (index_t i = 0; i < num; ++i) {
+    labels.mutable_cpu_data()[i] =
+        static_cast<Dtype>(rng.UniformInt(0, classes - 1));
+  }
+}
+
+TYPED_TEST(SoftmaxLayerTest, LossMatchesManualCrossEntropy) {
+  Blob<TypeParam> scores, labels, loss;
+  MakeLossInputs(scores, labels, 4, 3);
+  std::vector<Blob<TypeParam>*> bots{&scores, &labels}, tops{&loss};
+  SoftmaxWithLossLayer<TypeParam> layer(Param("SoftmaxWithLoss"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+
+  double expected = 0;
+  for (index_t n = 0; n < 4; ++n) {
+    double max_v = scores.cpu_data()[n * 3];
+    for (index_t c = 1; c < 3; ++c) {
+      max_v = std::max(max_v, static_cast<double>(scores.cpu_data()[n * 3 + c]));
+    }
+    double denom = 0;
+    for (index_t c = 0; c < 3; ++c) {
+      denom += std::exp(static_cast<double>(scores.cpu_data()[n * 3 + c]) - max_v);
+    }
+    const auto lab = static_cast<index_t>(labels.cpu_data()[n]);
+    expected -= std::log(
+        std::exp(static_cast<double>(scores.cpu_data()[n * 3 + lab]) - max_v) /
+        denom);
+  }
+  EXPECT_NEAR(loss.cpu_data()[0], expected / 4.0, 1e-5);
+}
+
+TYPED_TEST(SoftmaxLayerTest, PerfectPredictionGivesNearZeroLoss) {
+  Blob<TypeParam> scores({2, 3});
+  Blob<TypeParam> labels({2});
+  Blob<TypeParam> loss;
+  scores.set_data(TypeParam(0));
+  scores.mutable_cpu_data()[0 * 3 + 1] = TypeParam(50);
+  scores.mutable_cpu_data()[1 * 3 + 2] = TypeParam(50);
+  labels.mutable_cpu_data()[0] = TypeParam(1);
+  labels.mutable_cpu_data()[1] = TypeParam(2);
+  std::vector<Blob<TypeParam>*> bots{&scores, &labels}, tops{&loss};
+  SoftmaxWithLossLayer<TypeParam> layer(Param("SoftmaxWithLoss"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  EXPECT_NEAR(loss.cpu_data()[0], 0.0, 1e-5);
+}
+
+TEST(SoftmaxWithLossGradient, MatchesFiniteDifferences) {
+  Blob<double> scores, labels, loss;
+  MakeLossInputs(scores, labels, 5, 4, 7);
+  std::vector<Blob<double>*> bots{&scores, &labels}, tops{&loss};
+  SoftmaxWithLossLayer<double> layer(Param("SoftmaxWithLoss"));
+  GradientChecker<double> checker(1e-4, 1e-4);
+  // Only bottom[0] (scores) is differentiable.
+  layer.SetUp(bots, tops);
+  checker.CheckGradientSingle(layer, bots, tops, 0, 0, 0);
+}
+
+TYPED_TEST(SoftmaxLayerTest, IgnoreLabelSkipsSamples) {
+  Blob<TypeParam> scores({2, 3});
+  Blob<TypeParam> labels({2});
+  Blob<TypeParam> loss;
+  FillUniform<TypeParam>(&scores, TypeParam(-1), TypeParam(1));
+  labels.mutable_cpu_data()[0] = TypeParam(1);
+  labels.mutable_cpu_data()[1] = TypeParam(-1);  // ignored
+  auto p = Param("SoftmaxWithLoss");
+  p.loss_param.ignore_label = -1;
+  std::vector<Blob<TypeParam>*> bots{&scores, &labels}, tops{&loss};
+  SoftmaxWithLossLayer<TypeParam> layer(p);
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  loss.set_diff(TypeParam(1));
+  layer.Backward(tops, {true, false}, bots);
+  // The ignored sample's gradient must be exactly zero.
+  for (index_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(scores.cpu_diff()[3 + c], TypeParam(0));
+  }
+}
+
+TYPED_TEST(SoftmaxLayerTest, LossRejectsBackpropToLabels) {
+  Blob<TypeParam> scores, labels, loss;
+  MakeLossInputs(scores, labels, 2, 3);
+  std::vector<Blob<TypeParam>*> bots{&scores, &labels}, tops{&loss};
+  SoftmaxWithLossLayer<TypeParam> layer(Param("SoftmaxWithLoss"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  EXPECT_THROW(layer.Backward(tops, {true, true}, bots), Error);
+}
+
+TYPED_TEST(SoftmaxLayerTest, OutOfRangeLabelRejected) {
+  Blob<TypeParam> scores({1, 3});
+  Blob<TypeParam> labels({1});
+  Blob<TypeParam> loss;
+  FillUniform<TypeParam>(&scores, TypeParam(-1), TypeParam(1));
+  labels.mutable_cpu_data()[0] = TypeParam(3);
+  std::vector<Blob<TypeParam>*> bots{&scores, &labels}, tops{&loss};
+  SoftmaxWithLossLayer<TypeParam> layer(Param("SoftmaxWithLoss"));
+  layer.SetUp(bots, tops);
+  EXPECT_THROW(layer.Forward(bots, tops), Error);
+}
+
+// ------------------------------------------------------------ EuclideanLoss
+
+TYPED_TEST(SoftmaxLayerTest, EuclideanLossValue) {
+  Blob<TypeParam> a({2, 2});
+  Blob<TypeParam> b({2, 2});
+  Blob<TypeParam> loss;
+  a.set_data(TypeParam(3));
+  b.set_data(TypeParam(1));
+  std::vector<Blob<TypeParam>*> bots{&a, &b}, tops{&loss};
+  EuclideanLossLayer<TypeParam> layer(Param("EuclideanLoss"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  // sum (3-1)^2 = 16 over 4 elements; / (2 * num=2) = 4.
+  EXPECT_NEAR(loss.cpu_data()[0], 4.0, 1e-6);
+}
+
+TEST(EuclideanLossGradient, BothBottoms) {
+  Blob<double> a({3, 4});
+  Blob<double> b({3, 4});
+  Blob<double> loss;
+  FillUniform<double>(&a, -1.0, 1.0, 10);
+  FillUniform<double>(&b, -1.0, 1.0, 11);
+  std::vector<Blob<double>*> bots{&a, &b}, tops{&loss};
+  EuclideanLossLayer<double> layer(Param("EuclideanLoss"));
+  GradientChecker<double> checker(1e-4, 1e-4);
+  layer.SetUp(bots, tops);
+  checker.CheckGradientSingle(layer, bots, tops, -1, 0, 0);
+}
+
+}  // namespace
+}  // namespace cgdnn

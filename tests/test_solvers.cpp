@@ -1,0 +1,347 @@
+#include "cgdnn/solvers/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cgdnn/data/dataset.hpp"
+#include "cgdnn/net/models.hpp"
+#include "cgdnn/solvers/sgd_solvers.hpp"
+
+namespace cgdnn {
+namespace {
+
+/// A minimal learnable problem: logistic regression on synthetic MNIST.
+proto::SolverParameter TinySolver(const std::string& type = "SGD") {
+  proto::SolverParameter s;
+  s.type = type;
+  s.base_lr = 0.05;
+  s.lr_policy = "fixed";
+  s.max_iter = 40;
+  s.random_seed = 17;
+  s.net_param = proto::NetParameter::FromString(R"(
+    name: "tiny"
+    layer {
+      name: "data" type: "Data" top: "data" top: "label"
+      data_param { source: "synthetic-mnist" batch_size: 16 num_samples: 64 seed: 2 }
+    }
+    layer {
+      name: "ip" type: "InnerProduct" bottom: "data" top: "ip"
+      inner_product_param {
+        num_output: 10
+        weight_filler { type: "xavier" }
+      }
+    }
+    layer {
+      name: "accuracy" type: "Accuracy" bottom: "ip" bottom: "label"
+      top: "accuracy" include { phase: TEST }
+    }
+    layer {
+      name: "loss" type: "SoftmaxWithLoss" bottom: "ip" bottom: "label"
+      top: "loss"
+    }
+  )");
+  s.test_iter = 2;
+  s.test_interval = 0;  // only explicit TestAll calls
+  return s;
+}
+
+class SolverTypes : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SolverTypes, LossDecreasesOverTraining) {
+  auto param = TinySolver(GetParam());
+  if (GetParam() == "AdaGrad" || GetParam() == "RMSProp") param.momentum = 0.0;
+  if (GetParam() == "AdaDelta") {
+    param.momentum = 0.95;
+    param.base_lr = 1.0;
+  }
+  if (GetParam() == "SGD" || GetParam() == "Nesterov") param.momentum = 0.9;
+  if (GetParam() == "Adam") {
+    param.momentum = 0.9;
+    param.momentum2 = 0.999;
+    param.base_lr = 0.01;
+  }
+  const auto solver = CreateSolver<float>(param);
+  EXPECT_EQ(solver->type(), GetParam());
+  solver->Step(40);
+  const auto& hist = solver->loss_history();
+  ASSERT_EQ(hist.size(), 40u);
+  // Average of the last 5 losses must be well below the first loss.
+  float tail = 0;
+  for (int i = 0; i < 5; ++i) tail += hist[hist.size() - 1 - i];
+  tail /= 5;
+  EXPECT_LT(tail, hist.front() * 0.7f)
+      << "solver failed to reduce the loss (first " << hist.front()
+      << ", tail avg " << tail << ")";
+  for (const float l : hist) EXPECT_TRUE(std::isfinite(l));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, SolverTypes,
+                         ::testing::Values("SGD", "Nesterov", "AdaGrad",
+                                           "RMSProp", "AdaDelta", "Adam"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Solver, UnknownTypeRejected) {
+  auto param = TinySolver("Adam2000");
+  EXPECT_THROW(CreateSolver<float>(param), Error);
+}
+
+TEST(Solver, TestAllReportsAccuracyAndLoss) {
+  const auto solver = CreateSolver<float>(TinySolver());
+  solver->Step(40);
+  const auto results = solver->TestAll();
+  ASSERT_EQ(results.size(), 2u);
+  bool saw_accuracy = false;
+  for (const auto& [name, value] : results) {
+    if (name == "accuracy") {
+      saw_accuracy = true;
+      EXPECT_GT(value, 0.5f) << "tiny logistic model should beat chance";
+      EXPECT_LE(value, 1.0f);
+    }
+  }
+  EXPECT_TRUE(saw_accuracy);
+}
+
+TEST(Solver, DeterministicGivenSeed) {
+  const auto a = CreateSolver<float>(TinySolver());
+  a->Step(10);
+  const auto b = CreateSolver<float>(TinySolver());
+  b->Step(10);
+  EXPECT_EQ(a->loss_history(), b->loss_history());
+}
+
+TEST(Solver, SeedChangesTrajectory) {
+  auto param = TinySolver();
+  const auto a = CreateSolver<float>(param);
+  a->Step(5);
+  param.random_seed = 18;
+  const auto b = CreateSolver<float>(param);
+  b->Step(5);
+  EXPECT_NE(a->loss_history(), b->loss_history());
+}
+
+// ------------------------------------------------------------- lr policies
+
+TEST(LrPolicy, Fixed) {
+  auto param = TinySolver();
+  param.base_lr = 0.1;
+  const auto solver = CreateSolver<float>(param);
+  EXPECT_DOUBLE_EQ(solver->GetLearningRate(), 0.1);
+  solver->Step(3);
+  EXPECT_DOUBLE_EQ(solver->GetLearningRate(), 0.1);
+}
+
+TEST(LrPolicy, StepDecays) {
+  auto param = TinySolver();
+  param.base_lr = 0.1;
+  param.lr_policy = "step";
+  param.gamma = 0.5;
+  param.stepsize = 2;
+  const auto solver = CreateSolver<float>(param);
+  EXPECT_DOUBLE_EQ(solver->GetLearningRate(), 0.1);
+  solver->Step(2);
+  EXPECT_DOUBLE_EQ(solver->GetLearningRate(), 0.05);
+  solver->Step(2);
+  EXPECT_DOUBLE_EQ(solver->GetLearningRate(), 0.025);
+}
+
+TEST(LrPolicy, Inv) {
+  auto param = TinySolver();
+  param.base_lr = 0.01;
+  param.lr_policy = "inv";
+  param.gamma = 0.1;
+  param.power = 0.75;
+  const auto solver = CreateSolver<float>(param);
+  solver->Step(10);
+  EXPECT_NEAR(solver->GetLearningRate(), 0.01 * std::pow(2.0, -0.75), 1e-12);
+}
+
+TEST(LrPolicy, Multistep) {
+  auto param = TinySolver();
+  param.base_lr = 1.0;
+  param.lr_policy = "multistep";
+  param.gamma = 0.1;
+  param.stepvalue = {3, 6};
+  const auto solver = CreateSolver<float>(param);
+  EXPECT_DOUBLE_EQ(solver->GetLearningRate(), 1.0);
+  solver->Step(3);
+  EXPECT_NEAR(solver->GetLearningRate(), 0.1, 1e-12);
+  solver->Step(3);
+  EXPECT_NEAR(solver->GetLearningRate(), 0.01, 1e-12);
+}
+
+TEST(LrPolicy, PolyReachesZeroAtMaxIter) {
+  auto param = TinySolver();
+  param.base_lr = 1.0;
+  param.lr_policy = "poly";
+  param.power = 1.0;
+  param.max_iter = 10;
+  const auto solver = CreateSolver<float>(param);
+  solver->Step(5);
+  EXPECT_NEAR(solver->GetLearningRate(), 0.5, 1e-12);
+  solver->Step(5);
+  EXPECT_NEAR(solver->GetLearningRate(), 0.0, 1e-12);
+}
+
+TEST(LrPolicy, ExpAndSigmoid) {
+  auto param = TinySolver();
+  param.base_lr = 1.0;
+  param.lr_policy = "exp";
+  param.gamma = 0.9;
+  const auto solver = CreateSolver<float>(param);
+  solver->Step(2);
+  EXPECT_NEAR(solver->GetLearningRate(), 0.81, 1e-12);
+
+  param.lr_policy = "sigmoid";
+  param.gamma = 1.0;
+  param.stepsize = 5;
+  const auto s2 = CreateSolver<float>(param);
+  EXPECT_NEAR(s2->GetLearningRate(), 1.0 / (1.0 + std::exp(5.0)), 1e-12);
+}
+
+TEST(LrPolicy, UnknownRejected) {
+  auto param = TinySolver();
+  param.lr_policy = "warp";
+  const auto solver = CreateSolver<float>(param);
+  EXPECT_THROW(solver->GetLearningRate(), Error);
+}
+
+// ----------------------------------------------------------- solver pieces
+
+TEST(Solver, MomentumAcceleratesUpdates) {
+  // With constant gradient g and momentum m, the k-th update approaches
+  // lr*g/(1-m). Verify the history blob accumulates across steps.
+  auto param = TinySolver();
+  param.momentum = 0.9;
+  const auto solver = CreateSolver<float>(param);
+  solver->Step(1);
+  const auto& net = solver->net();
+  // After one step the weights moved; after more steps with momentum the
+  // same loss decrease needs fewer raw gradients. Indirect but cheap check:
+  // training still converges faster than without momentum.
+  auto no_momentum = TinySolver();
+  no_momentum.momentum = 0.0;
+  const auto slow = CreateSolver<float>(no_momentum);
+  solver->Step(29);
+  slow->Step(30);
+  EXPECT_LT(solver->loss_history().back(), slow->loss_history().back() * 1.2f);
+  (void)net;
+}
+
+TEST(Solver, WeightDecayShrinksWeights) {
+  auto param = TinySolver();
+  param.max_iter = 1;
+  param.base_lr = 0.0;  // isolate the decay term: update = lr*(grad+decay*w) = 0
+  param.weight_decay = 0.5;
+  const auto solver = CreateSolver<float>(param);
+  const float w0 = solver->net().learnable_params()[0]->cpu_data()[0];
+  solver->Step(1);
+  // lr == 0 means no change at all, decay included (it scales with lr).
+  EXPECT_FLOAT_EQ(solver->net().learnable_params()[0]->cpu_data()[0], w0);
+
+  auto param2 = TinySolver();
+  param2.weight_decay = 10.0;  // decay dominates the gradient
+  param2.base_lr = 0.01;
+  const auto s2 = CreateSolver<float>(param2);
+  float norm0 = s2->net().learnable_params()[0]->sumsq_data();
+  s2->Step(10);
+  EXPECT_LT(s2->net().learnable_params()[0]->sumsq_data(), norm0)
+      << "strong L2 decay must shrink the weights";
+}
+
+TEST(Solver, L1RegularizationRuns) {
+  auto param = TinySolver();
+  param.regularization_type = "L1";
+  param.weight_decay = 0.001;
+  const auto solver = CreateSolver<float>(param);
+  solver->Step(5);
+  EXPECT_TRUE(std::isfinite(solver->loss_history().back()));
+}
+
+TEST(Solver, UnknownRegularizationRejected) {
+  auto param = TinySolver();
+  param.regularization_type = "L3";
+  param.weight_decay = 0.1;
+  const auto solver = CreateSolver<float>(param);
+  EXPECT_THROW(solver->Step(1), Error);
+}
+
+TEST(Solver, GradientClippingBoundsUpdateNorm) {
+  auto param = TinySolver();
+  param.clip_gradients = 1e-3;  // aggressive clip
+  const auto solver = CreateSolver<float>(param);
+  solver->Step(3);
+  EXPECT_TRUE(std::isfinite(solver->loss_history().back()));
+  // Clipped training moves slower than unclipped.
+  const auto free_solver = CreateSolver<float>(TinySolver());
+  free_solver->Step(3);
+  EXPECT_GE(solver->loss_history().back(),
+            free_solver->loss_history().back() - 1e-4f);
+}
+
+TEST(Solver, IterSizeEquivalentToLargerBatch) {
+  // iter_size=2 with batch B consumes samples 0..2B-1 in two passes and
+  // averages their gradients — exactly one batch-2B iteration. Updates must
+  // match to floating-point tolerance.
+  const auto run = [](index_t batch, index_t iter_size) {
+    data::ClearDatasetCache();
+    auto param = TinySolver();
+    param.momentum = 0.0;  // isolate the raw gradient
+    param.iter_size = iter_size;
+    for (auto& lp : param.net_param.layer) {
+      if (lp.type == "Data") lp.data_param.batch_size = batch;
+    }
+    const auto solver = CreateSolver<float>(param);
+    solver->Step(3);
+    std::vector<float> weights;
+    const auto* w = solver->net().learnable_params()[0];
+    weights.assign(w->cpu_data(), w->cpu_data() + w->count());
+    return weights;
+  };
+  const auto big_batch = run(32, 1);
+  const auto accumulated = run(16, 2);
+  ASSERT_EQ(big_batch.size(), accumulated.size());
+  for (std::size_t i = 0; i < big_batch.size(); ++i) {
+    EXPECT_NEAR(big_batch[i], accumulated[i], 2e-6f) << "weight " << i;
+  }
+}
+
+TEST(Solver, IterSizeLossIsAveraged) {
+  auto param = TinySolver();
+  param.iter_size = 4;
+  const auto solver = CreateSolver<float>(param);
+  solver->Step(2);
+  for (const float l : solver->loss_history()) {
+    EXPECT_TRUE(std::isfinite(l));
+    EXPECT_GT(l, 0.0f);
+    EXPECT_LT(l, 10.0f) << "averaged loss, not the 4x sum";
+  }
+}
+
+TEST(Solver, SolveRunsToMaxIter) {
+  auto param = TinySolver();
+  param.max_iter = 7;
+  const auto solver = CreateSolver<float>(param);
+  solver->Solve();
+  EXPECT_EQ(solver->iter(), 7);
+  EXPECT_EQ(solver->loss_history().size(), 7u);
+}
+
+TEST(Solver, LeNetTrainsOnSyntheticMnist) {
+  models::ModelOptions opts;
+  opts.batch_size = 16;
+  opts.num_samples = 64;
+  auto param = models::LeNetSolver(opts);
+  param.max_iter = 30;
+  param.test_iter = 2;
+  const auto solver = CreateSolver<float>(param);
+  solver->Step(30);
+  float acc = 0;
+  for (const auto& [name, value] : solver->TestAll()) {
+    if (name == "accuracy") acc = value;
+  }
+  EXPECT_GT(acc, 0.6f) << "LeNet should learn the synthetic digits quickly";
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,88 @@
+#include "cgdnn/core/synced_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace cgdnn {
+namespace {
+
+TEST(AlignedBuffer, SixtyFourByteAligned) {
+  AlignedBuffer buf(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.get()) % 64, 0u);
+  EXPECT_EQ(buf.bytes(), 100u);
+}
+
+TEST(AlignedBuffer, ZeroInitialized) {
+  AlignedBuffer buf(256);
+  const auto* p = static_cast<const unsigned char*>(buf.get());
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(p[i], 0);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(64);
+  void* ptr = a.get();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.get(), ptr);
+  EXPECT_EQ(a.get(), nullptr);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SyncedMemory, InitialStateUninitialized) {
+  SyncedMemory mem(64);
+  EXPECT_EQ(mem.head(), SyncedMemory::Head::kUninitialized);
+  EXPECT_EQ(mem.size(), 64u);
+}
+
+TEST(SyncedMemory, CpuAccessAllocatesAtCpu) {
+  SyncedMemory mem(64);
+  EXPECT_NE(mem.cpu_data(), nullptr);
+  EXPECT_EQ(mem.head(), SyncedMemory::Head::kAtCpu);
+}
+
+TEST(SyncedMemory, DeviceRoundTripPreservesContent) {
+  TransferStats::Get().Reset();
+  SyncedMemory mem(sizeof(int) * 4);
+  auto* p = static_cast<int*>(mem.mutable_cpu_data());
+  for (int i = 0; i < 4; ++i) p[i] = i * 11;
+
+  // CPU -> device sync.
+  const auto* d = static_cast<const int*>(mem.device_data());
+  EXPECT_EQ(mem.head(), SyncedMemory::Head::kSynced);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(d[i], i * 11);
+  EXPECT_EQ(TransferStats::Get().to_device_count, 1u);
+  EXPECT_EQ(TransferStats::Get().to_device_bytes, sizeof(int) * 4);
+
+  // Mutate on device, sync back.
+  auto* dm = static_cast<int*>(mem.mutable_device_data());
+  dm[0] = 999;
+  EXPECT_EQ(mem.head(), SyncedMemory::Head::kAtDevice);
+  const auto* c = static_cast<const int*>(mem.cpu_data());
+  EXPECT_EQ(c[0], 999);
+  EXPECT_EQ(TransferStats::Get().to_host_count, 1u);
+}
+
+TEST(SyncedMemory, RepeatedReadsDoNotRetransfer) {
+  TransferStats::Get().Reset();
+  SyncedMemory mem(16);
+  mem.mutable_cpu_data();
+  mem.device_data();
+  mem.device_data();
+  mem.cpu_data();
+  EXPECT_EQ(TransferStats::Get().to_device_count, 1u);
+  EXPECT_EQ(TransferStats::Get().to_host_count, 0u)
+      << "synced state needs no host copy";
+}
+
+TEST(SyncedMemory, SetCpuDataAdoptsExternalBuffer) {
+  SyncedMemory mem(sizeof(float) * 3);
+  float external[3] = {1.0f, 2.0f, 3.0f};
+  mem.set_cpu_data(external);
+  EXPECT_EQ(mem.cpu_data(), external);
+  EXPECT_EQ(mem.head(), SyncedMemory::Head::kAtCpu);
+  const auto* d = static_cast<const float*>(mem.device_data());
+  EXPECT_EQ(d[2], 3.0f);
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,181 @@
+#include "cgdnn/data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cgdnn/data/dataset.hpp"
+
+namespace cgdnn::data {
+namespace {
+
+TEST(SyntheticMnist, ShapesMatchMnist) {
+  const Dataset ds = MakeSyntheticMnist(20, 1);
+  EXPECT_EQ(ds.num, 20);
+  EXPECT_EQ(ds.channels, 1);
+  EXPECT_EQ(ds.height, 28);
+  EXPECT_EQ(ds.width, 28);
+  EXPECT_EQ(ds.num_classes, 10);
+  EXPECT_EQ(ds.images.size(), 20u * 28 * 28);
+  EXPECT_EQ(ds.labels.size(), 20u);
+}
+
+TEST(SyntheticMnist, PixelsInUnitRange) {
+  const Dataset ds = MakeSyntheticMnist(10, 2);
+  for (const float v : ds.images) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SyntheticMnist, BalancedLabels) {
+  const Dataset ds = MakeSyntheticMnist(100, 3);
+  index_t counts[10] = {};
+  for (const index_t l : ds.labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, 10);
+    ++counts[l];
+  }
+  for (const index_t c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SyntheticMnist, DeterministicAndPrefixStable) {
+  const Dataset a = MakeSyntheticMnist(8, 5);
+  const Dataset b = MakeSyntheticMnist(8, 5);
+  EXPECT_EQ(a.images, b.images);
+  // Sample i is a pure function of (seed, i): a longer dataset shares its
+  // prefix with a shorter one.
+  const Dataset longer = MakeSyntheticMnist(16, 5);
+  for (index_t i = 0; i < 8 * 28 * 28; ++i) {
+    ASSERT_EQ(longer.images[static_cast<std::size_t>(i)],
+              a.images[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SyntheticMnist, SeedsChangeContent) {
+  const Dataset a = MakeSyntheticMnist(4, 1);
+  const Dataset b = MakeSyntheticMnist(4, 2);
+  EXPECT_NE(a.images, b.images);
+}
+
+TEST(SyntheticMnist, DigitsHaveInk) {
+  // Every rendered digit must have a meaningful bright stroke area and a
+  // dark background (it is an image of something, not noise).
+  const Dataset ds = MakeSyntheticMnist(20, 7);
+  for (index_t i = 0; i < ds.num; ++i) {
+    const float* img = ds.sample(i);
+    int bright = 0, dark = 0;
+    for (index_t j = 0; j < 28 * 28; ++j) {
+      if (img[j] > 0.6f) ++bright;
+      if (img[j] < 0.2f) ++dark;
+    }
+    EXPECT_GT(bright, 30) << "digit " << ds.label(i) << " has no stroke";
+    EXPECT_GT(dark, 250) << "digit " << ds.label(i) << " has no background";
+  }
+}
+
+TEST(SyntheticMnist, ClassesAreVisuallyDistinct) {
+  // Mean image of class 1 (two short strokes) must differ clearly from the
+  // mean image of class 8 (all strokes).
+  const Dataset ds = MakeSyntheticMnist(200, 11);
+  std::vector<double> mean1(28 * 28, 0), mean8(28 * 28, 0);
+  int n1 = 0, n8 = 0;
+  for (index_t i = 0; i < ds.num; ++i) {
+    if (ds.label(i) == 1) {
+      for (int j = 0; j < 28 * 28; ++j) mean1[j] += ds.sample(i)[j];
+      ++n1;
+    } else if (ds.label(i) == 8) {
+      for (int j = 0; j < 28 * 28; ++j) mean8[j] += ds.sample(i)[j];
+      ++n8;
+    }
+  }
+  ASSERT_GT(n1, 0);
+  ASSERT_GT(n8, 0);
+  double l1 = 0;
+  for (int j = 0; j < 28 * 28; ++j) {
+    l1 += std::abs(mean1[j] / n1 - mean8[j] / n8);
+  }
+  EXPECT_GT(l1, 20.0) << "class means are nearly identical";
+}
+
+TEST(SyntheticCifar, ShapesMatchCifar) {
+  const Dataset ds = MakeSyntheticCifar10(10, 1);
+  EXPECT_EQ(ds.channels, 3);
+  EXPECT_EQ(ds.height, 32);
+  EXPECT_EQ(ds.width, 32);
+  EXPECT_EQ(ds.num_classes, 10);
+  EXPECT_EQ(ds.images.size(), 10u * 3 * 32 * 32);
+}
+
+TEST(SyntheticCifar, DeterministicPerSeed) {
+  EXPECT_EQ(MakeSyntheticCifar10(6, 9).images,
+            MakeSyntheticCifar10(6, 9).images);
+  EXPECT_NE(MakeSyntheticCifar10(6, 9).images,
+            MakeSyntheticCifar10(6, 10).images);
+}
+
+TEST(SyntheticCifar, ClassColorSignaturesDiffer) {
+  const Dataset ds = MakeSyntheticCifar10(40, 3);
+  // Per-class mean RGB must separate at least some class pairs strongly.
+  double mean_rgb[10][3] = {};
+  int counts[10] = {};
+  for (index_t i = 0; i < ds.num; ++i) {
+    const index_t c = ds.label(i);
+    const float* img = ds.sample(i);
+    for (int ch = 0; ch < 3; ++ch) {
+      double sum = 0;
+      for (int j = 0; j < 32 * 32; ++j) sum += img[ch * 32 * 32 + j];
+      mean_rgb[c][ch] += sum / (32 * 32);
+    }
+    ++counts[c];
+  }
+  double max_dist = 0;
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      double d = 0;
+      for (int ch = 0; ch < 3; ++ch) {
+        d += std::abs(mean_rgb[a][ch] / counts[a] - mean_rgb[b][ch] / counts[b]);
+      }
+      max_dist = std::max(max_dist, d);
+    }
+  }
+  EXPECT_GT(max_dist, 0.3);
+}
+
+TEST(MakeRandom, ShapeAndLabelRange) {
+  const Dataset ds = MakeRandom(12, 2, 5, 6, 4, 99);
+  EXPECT_EQ(ds.sample_dim(), 60);
+  for (const index_t l : ds.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+}
+
+TEST(Dataset, SampleAccessorsBoundsChecked) {
+  Dataset ds = MakeRandom(3, 1, 2, 2, 2, 1);
+  EXPECT_THROW(ds.sample(3), Error);
+  EXPECT_THROW(ds.sample(-1), Error);
+  EXPECT_THROW(ds.label(3), Error);
+}
+
+TEST(LoadDataset, CachesByKey) {
+  ClearDatasetCache();
+  const auto a = LoadDataset("synthetic-mnist", 16, 1);
+  const auto b = LoadDataset("synthetic-mnist", 16, 1);
+  EXPECT_EQ(a.get(), b.get()) << "same key must share storage";
+  const auto c = LoadDataset("synthetic-mnist", 16, 2);
+  EXPECT_NE(a.get(), c.get());
+  const auto d = LoadDataset("synthetic-mnist", 32, 1);
+  EXPECT_NE(a.get(), d.get());
+}
+
+TEST(LoadDataset, KnownSources) {
+  ClearDatasetCache();
+  EXPECT_EQ(LoadDataset("synthetic-cifar10", 4, 1)->channels, 3);
+  EXPECT_EQ(LoadDataset("random", 4, 1)->height, 28);
+  EXPECT_THROW(LoadDataset("no-such-source", 4, 1), Error);
+}
+
+}  // namespace
+}  // namespace cgdnn::data

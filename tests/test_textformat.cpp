@@ -1,0 +1,155 @@
+#include "cgdnn/proto/textformat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgdnn::proto {
+namespace {
+
+TEST(TextFormat, ScalarFields) {
+  const auto msg = TextMessage::Parse(R"(
+    name: "LeNet"
+    base_lr: 0.01
+    max_iter: 10000
+    shuffle: true
+  )");
+  EXPECT_EQ(msg.GetString("name"), "LeNet");
+  EXPECT_DOUBLE_EQ(msg.GetDouble("base_lr"), 0.01);
+  EXPECT_EQ(msg.GetInt("max_iter"), 10000);
+  EXPECT_TRUE(msg.GetBool("shuffle"));
+}
+
+TEST(TextFormat, DefaultsWhenAbsent) {
+  const auto msg = TextMessage::Parse("a: 1");
+  EXPECT_EQ(msg.GetString("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(msg.GetDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(msg.GetInt("missing", -3), -3);
+  EXPECT_TRUE(msg.GetBool("missing", true));
+}
+
+TEST(TextFormat, NestedMessagesWithAndWithoutColon) {
+  const auto msg = TextMessage::Parse(R"(
+    layer { name: "a" }
+    param: { lr_mult: 2 }
+  )");
+  EXPECT_EQ(msg.Get("layer").message().GetString("name"), "a");
+  EXPECT_DOUBLE_EQ(msg.Get("param").message().GetDouble("lr_mult"), 2.0);
+}
+
+TEST(TextFormat, RepeatedFieldsPreserveOrder) {
+  const auto msg = TextMessage::Parse(R"(
+    top: "data"
+    top: "label"
+    stepvalue: 100 stepvalue: 200 stepvalue: 300
+  )");
+  const auto tops = msg.GetAll("top");
+  ASSERT_EQ(tops.size(), 2u);
+  EXPECT_EQ(tops[0]->AsString(), "data");
+  EXPECT_EQ(tops[1]->AsString(), "label");
+  const auto steps = msg.GetAll("stepvalue");
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[2]->AsInt(), 300);
+  EXPECT_EQ(msg.Count("stepvalue"), 3u);
+}
+
+TEST(TextFormat, CommentsAndSeparatorsIgnored) {
+  const auto msg = TextMessage::Parse(R"(
+    # leading comment
+    a: 1, b: 2; c: 3  # trailing comment
+  )");
+  EXPECT_EQ(msg.GetInt("a"), 1);
+  EXPECT_EQ(msg.GetInt("b"), 2);
+  EXPECT_EQ(msg.GetInt("c"), 3);
+}
+
+TEST(TextFormat, EnumTokensAreScalars) {
+  const auto msg = TextMessage::Parse("pool: MAX phase: TEST");
+  EXPECT_EQ(msg.GetString("pool"), "MAX");
+  EXPECT_EQ(msg.GetString("phase"), "TEST");
+}
+
+TEST(TextFormat, StringEscapes) {
+  const auto msg = TextMessage::Parse(R"(s: "a\nb\t\"c\"")");
+  EXPECT_EQ(msg.GetString("s"), "a\nb\t\"c\"");
+}
+
+TEST(TextFormat, NumbersInAllFormats) {
+  const auto msg = TextMessage::Parse(R"(
+    a: -5 b: 0.5 c: 1e-3 d: -2.5E+2
+  )");
+  EXPECT_EQ(msg.GetInt("a"), -5);
+  EXPECT_DOUBLE_EQ(msg.GetDouble("b"), 0.5);
+  EXPECT_DOUBLE_EQ(msg.GetDouble("c"), 1e-3);
+  EXPECT_DOUBLE_EQ(msg.GetDouble("d"), -250.0);
+}
+
+TEST(TextFormat, DeepNesting) {
+  const auto msg = TextMessage::Parse("a { b { c { d: 4 } } }");
+  EXPECT_EQ(msg.Get("a").message().Get("b").message().Get("c").message()
+                .GetInt("d"),
+            4);
+}
+
+TEST(TextFormat, ErrorsCarryLineNumbers) {
+  try {
+    TextMessage::Parse("a: 1\nb {\n  c: }\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TextFormat, MalformedInputsThrow) {
+  EXPECT_THROW(TextMessage::Parse("a:"), Error);
+  EXPECT_THROW(TextMessage::Parse("a { b: 1"), Error);
+  EXPECT_THROW(TextMessage::Parse("} "), Error);
+  EXPECT_THROW(TextMessage::Parse("a: \"unterminated"), Error);
+  EXPECT_THROW(TextMessage::Parse("a: 1 @"), Error);
+  EXPECT_THROW(TextMessage::Parse("1: 2"), Error);
+}
+
+TEST(TextFormat, TypeMismatchesThrow) {
+  const auto msg = TextMessage::Parse(R"(s: "text" m { x: 1 })");
+  EXPECT_THROW(msg.Get("s").AsDouble(), Error);
+  EXPECT_THROW(msg.Get("s").AsInt(), Error);
+  EXPECT_THROW(msg.Get("s").AsBool(), Error);
+  EXPECT_THROW(msg.Get("s").message(), Error);
+  EXPECT_THROW(msg.Get("m").AsString(), Error);
+  EXPECT_THROW(msg.Get("absent"), Error);
+}
+
+TEST(TextFormat, BoolAcceptsTrueFalseAndBits) {
+  const auto msg = TextMessage::Parse("a: true b: false c: 1 d: 0");
+  EXPECT_TRUE(msg.GetBool("a"));
+  EXPECT_FALSE(msg.GetBool("b"));
+  EXPECT_TRUE(msg.GetBool("c"));
+  EXPECT_FALSE(msg.GetBool("d"));
+}
+
+TEST(TextFormat, PrintParseRoundTrip) {
+  TextMessage msg;
+  msg.AddString("name", "net \"x\"\n");
+  msg.AddDouble("lr", 0.125);
+  msg.AddInt("iters", 42);
+  msg.AddBool("flag", true);
+  auto& nested = msg.AddMessage("layer");
+  nested.AddString("type", "ReLU");
+  nested.AddScalar("pool", "MAX");
+
+  const std::string text = msg.Print();
+  const auto reparsed = TextMessage::Parse(text);
+  EXPECT_EQ(reparsed.GetString("name"), "net \"x\"\n");
+  EXPECT_DOUBLE_EQ(reparsed.GetDouble("lr"), 0.125);
+  EXPECT_EQ(reparsed.GetInt("iters"), 42);
+  EXPECT_TRUE(reparsed.GetBool("flag"));
+  EXPECT_EQ(reparsed.Get("layer").message().GetString("type"), "ReLU");
+  EXPECT_EQ(reparsed.Get("layer").message().GetString("pool"), "MAX");
+}
+
+TEST(TextFormat, EmptyInputIsEmptyMessage) {
+  const auto msg = TextMessage::Parse("  # only a comment\n");
+  EXPECT_TRUE(msg.entries().empty());
+}
+
+}  // namespace
+}  // namespace cgdnn::proto

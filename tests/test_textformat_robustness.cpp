@@ -1,0 +1,101 @@
+// Robustness sweep for the prototxt parser: pseudo-random token soup must
+// either parse or throw cgdnn::Error — never crash, hang, or throw anything
+// else. This is the library's only parser of external input.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/proto/params.hpp"
+#include "cgdnn/proto/textformat.hpp"
+
+namespace cgdnn::proto {
+namespace {
+
+std::string RandomTokenSoup(Rng& rng, int tokens) {
+  static const char* kTokens[] = {
+      "layer",  "{",       "}",        ":",       "name",    "\"x\"",
+      "type",   "3.14",    "-7",       "true",    "false",   "TRAIN",
+      "bottom", "top",     "1e9",      "\"\"",    "#c\n",    "a_b.c",
+      "param",  "include", "\"q\\n\"", "0",       "shape",   "dim",
+  };
+  std::string out;
+  for (int i = 0; i < tokens; ++i) {
+    out += kTokens[rng.UniformInt(0, std::size(kTokens) - 1)];
+    out += ' ';
+  }
+  return out;
+}
+
+TEST(TextFormatRobustness, RandomTokenSoupNeverCrashes) {
+  Rng rng(0xF00D);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string soup = RandomTokenSoup(rng, 1 + trial % 40);
+    try {
+      (void)TextMessage::Parse(soup);
+      ++parsed;
+    } catch (const Error&) {
+      ++rejected;
+    }
+    // Any other exception type escapes and fails the test.
+  }
+  // Sanity: the sweep must exercise both outcomes.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(TextFormatRobustness, RandomBytesNeverCrash) {
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes;
+    const int len = 1 + static_cast<int>(rng.UniformInt(0, 120));
+    for (int i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformInt(1, 127)));
+    }
+    try {
+      (void)TextMessage::Parse(bytes);
+    } catch (const Error&) {
+      // expected for malformed input
+    }
+  }
+  SUCCEED();
+}
+
+TEST(TextFormatRobustness, ValidStructureWithUnknownFieldsRejectedByTypedLayer) {
+  // The generic parser accepts any well-formed tree; the typed layer is
+  // where unknown fields are rejected, with the field name in the message.
+  const auto msg = TextMessage::Parse(R"(
+    name: "n"
+    layer { name: "l" type: "ReLU" frobnicate: 12 }
+  )");
+  try {
+    (void)NetParameter::FromText(msg);
+    FAIL() << "expected rejection";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(TextFormatRobustness, DeeplyNestedInputHandled) {
+  std::string deep;
+  constexpr int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) deep += "m { ";
+  deep += "x: 1 ";
+  for (int i = 0; i < kDepth; ++i) deep += "} ";
+  const auto msg = TextMessage::Parse(deep);
+  const TextMessage* cur = &msg;
+  for (int i = 0; i < kDepth; ++i) cur = &cur->Get("m").message();
+  EXPECT_EQ(cur->GetInt("x"), 1);
+}
+
+TEST(TextFormatRobustness, HugeRepeatedFieldHandled) {
+  std::string many = "name: \"n\"\n";
+  for (int i = 0; i < 5000; ++i) many += "dim: " + std::to_string(i) + "\n";
+  const auto msg = TextMessage::Parse(many);
+  EXPECT_EQ(msg.Count("dim"), 5000u);
+  EXPECT_EQ(msg.GetAll("dim").back()->AsInt(), 4999);
+}
+
+}  // namespace
+}  // namespace cgdnn::proto

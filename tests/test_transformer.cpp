@@ -1,0 +1,154 @@
+#include "cgdnn/data/transformer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cgdnn::data {
+namespace {
+
+std::vector<float> Ramp(index_t n) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    v[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  }
+  return v;
+}
+
+TEST(Transformer, IdentityByDefault) {
+  proto::TransformationParameter p;
+  DataTransformer t(p, Phase::kTrain, 1);
+  const auto in = Ramp(2 * 3 * 4);
+  std::vector<float> out(in.size());
+  t.Transform(in.data(), 2, 3, 4, 0, out.data());
+  EXPECT_EQ(out, in);
+}
+
+TEST(Transformer, ScaleAndMeanPerChannel) {
+  proto::TransformationParameter p;
+  p.scale = 0.5;
+  p.mean_value = {1.0, 2.0};
+  DataTransformer t(p, Phase::kTest, 1);
+  const std::vector<float> in = {3, 5,   // channel 0
+                                 7, 9};  // channel 1
+  std::vector<float> out(4);
+  t.Transform(in.data(), 2, 1, 2, 0, out.data());
+  EXPECT_FLOAT_EQ(out[0], (3 - 1) * 0.5f);
+  EXPECT_FLOAT_EQ(out[1], (5 - 1) * 0.5f);
+  EXPECT_FLOAT_EQ(out[2], (7 - 2) * 0.5f);
+  EXPECT_FLOAT_EQ(out[3], (9 - 2) * 0.5f);
+}
+
+TEST(Transformer, SingleMeanBroadcastsToAllChannels) {
+  proto::TransformationParameter p;
+  p.mean_value = {10.0};
+  DataTransformer t(p, Phase::kTest, 1);
+  const std::vector<float> in = {11, 12};
+  std::vector<float> out(2);
+  t.Transform(in.data(), 2, 1, 1, 0, out.data());
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+}
+
+TEST(Transformer, TestPhaseCenterCrop) {
+  proto::TransformationParameter p;
+  p.crop_size = 2;
+  DataTransformer t(p, Phase::kTest, 1);
+  EXPECT_EQ(t.out_height(4), 2);
+  EXPECT_EQ(t.out_width(4), 2);
+  const auto in = Ramp(16);  // 4x4
+  std::vector<float> out(4);
+  t.Transform(in.data(), 1, 4, 4, 0, out.data());
+  // Center crop offset (1,1): rows 1-2, cols 1-2.
+  EXPECT_EQ(out, (std::vector<float>{5, 6, 9, 10}));
+}
+
+TEST(Transformer, TrainPhaseCropStaysInBounds) {
+  proto::TransformationParameter p;
+  p.crop_size = 3;
+  DataTransformer t(p, Phase::kTrain, 5);
+  const auto in = Ramp(36);  // 6x6
+  std::vector<float> out(9);
+  for (std::uint64_t ordinal = 0; ordinal < 50; ++ordinal) {
+    t.Transform(in.data(), 1, 6, 6, ordinal, out.data());
+    for (const float v : out) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LT(v, 36.0f);
+    }
+    // Rows of the crop are contiguous runs of the ramp.
+    EXPECT_FLOAT_EQ(out[1], out[0] + 1);
+    EXPECT_FLOAT_EQ(out[3], out[0] + 6);
+  }
+}
+
+TEST(Transformer, TrainCropOffsetsVaryWithOrdinal) {
+  proto::TransformationParameter p;
+  p.crop_size = 2;
+  DataTransformer t(p, Phase::kTrain, 5);
+  const auto in = Ramp(64);  // 8x8
+  std::vector<float> out(4);
+  std::set<float> first_pixels;
+  for (std::uint64_t ordinal = 0; ordinal < 40; ++ordinal) {
+    t.Transform(in.data(), 1, 8, 8, ordinal, out.data());
+    first_pixels.insert(out[0]);
+  }
+  EXPECT_GT(first_pixels.size(), 4u) << "crops should explore many offsets";
+}
+
+TEST(Transformer, MirrorFlipsHorizontally) {
+  proto::TransformationParameter p;
+  p.mirror = true;
+  DataTransformer t(p, Phase::kTrain, 3);
+  const std::vector<float> in = {1, 2, 3};
+  std::vector<float> out(3);
+  bool saw_mirrored = false, saw_plain = false;
+  for (std::uint64_t ordinal = 0; ordinal < 64; ++ordinal) {
+    t.Transform(in.data(), 1, 1, 3, ordinal, out.data());
+    if (out == std::vector<float>{3, 2, 1}) saw_mirrored = true;
+    if (out == std::vector<float>{1, 2, 3}) saw_plain = true;
+  }
+  EXPECT_TRUE(saw_mirrored);
+  EXPECT_TRUE(saw_plain);
+}
+
+TEST(Transformer, NoMirrorAtTestTime) {
+  proto::TransformationParameter p;
+  p.mirror = true;
+  DataTransformer t(p, Phase::kTest, 3);
+  const std::vector<float> in = {1, 2, 3};
+  std::vector<float> out(3);
+  for (std::uint64_t ordinal = 0; ordinal < 16; ++ordinal) {
+    t.Transform(in.data(), 1, 1, 3, ordinal, out.data());
+    EXPECT_EQ(out, in);
+  }
+}
+
+TEST(Transformer, DeterministicPerOrdinal) {
+  // The augmentation of sample k depends only on (seed, k): the basis of
+  // thread-count-independent data streams.
+  proto::TransformationParameter p;
+  p.crop_size = 2;
+  p.mirror = true;
+  DataTransformer t1(p, Phase::kTrain, 9);
+  DataTransformer t2(p, Phase::kTrain, 9);
+  const auto in = Ramp(25);
+  std::vector<float> a(4), b(4);
+  // Consume ordinals in different orders; same ordinal -> same output.
+  t1.Transform(in.data(), 1, 5, 5, 17, a.data());
+  t2.Transform(in.data(), 1, 5, 5, 3, b.data());
+  t2.Transform(in.data(), 1, 5, 5, 17, b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Transformer, CropLargerThanImageRejected) {
+  proto::TransformationParameter p;
+  p.crop_size = 10;
+  DataTransformer t(p, Phase::kTrain, 1);
+  const auto in = Ramp(16);
+  std::vector<float> out(100);
+  EXPECT_THROW(t.Transform(in.data(), 1, 4, 4, 0, out.data()), Error);
+}
+
+}  // namespace
+}  // namespace cgdnn::data

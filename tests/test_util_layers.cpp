@@ -1,0 +1,292 @@
+#include "cgdnn/layers/util_layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cgdnn/layers/accuracy_layer.hpp"
+#include "gradient_checker.hpp"
+
+namespace cgdnn {
+namespace {
+
+using testing::FillUniform;
+using testing::GradientChecker;
+
+proto::LayerParameter Param(const std::string& type) {
+  proto::LayerParameter p;
+  p.name = "util";
+  p.type = type;
+  return p;
+}
+
+// ------------------------------------------------------------------- Split
+
+TEST(SplitLayer, TopsShareBottomData) {
+  Blob<float> bottom(2, 3, 2, 2);
+  Blob<float> top0, top1;
+  FillUniform<float>(&bottom, -1.0f, 1.0f);
+  std::vector<Blob<float>*> bots{&bottom}, tops{&top0, &top1};
+  SplitLayer<float> layer(Param("Split"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  EXPECT_EQ(top0.cpu_data(), bottom.cpu_data());
+  EXPECT_EQ(top1.cpu_data(), bottom.cpu_data());
+  EXPECT_EQ(top0.shape(), bottom.shape());
+}
+
+TEST(SplitLayer, BackwardSumsTopDiffs) {
+  Blob<float> bottom(1, 1, 1, 3);
+  Blob<float> top0, top1, top2;
+  bottom.set_data(0.0f);
+  std::vector<Blob<float>*> bots{&bottom}, tops{&top0, &top1, &top2};
+  SplitLayer<float> layer(Param("Split"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  top0.set_diff(1.0f);
+  top1.set_diff(2.0f);
+  top2.set_diff(4.0f);
+  layer.Backward(tops, {true}, bots);
+  for (index_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(bottom.cpu_diff()[i], 7.0f);
+  }
+}
+
+// ------------------------------------------------------------------ Concat
+
+TEST(ConcatLayer, ChannelAxisShapesAndValues) {
+  Blob<float> a(2, 2, 2, 2), b(2, 3, 2, 2);
+  Blob<float> top;
+  FillUniform<float>(&a, -1.0f, 1.0f, 1);
+  FillUniform<float>(&b, -1.0f, 1.0f, 2);
+  std::vector<Blob<float>*> bots{&a, &b}, tops{&top};
+  ConcatLayer<float> layer(Param("Concat"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  EXPECT_EQ(top.shape(), (std::vector<index_t>{2, 5, 2, 2}));
+  for (index_t n = 0; n < 2; ++n) {
+    for (index_t h = 0; h < 2; ++h) {
+      for (index_t w = 0; w < 2; ++w) {
+        for (index_t c = 0; c < 2; ++c) {
+          EXPECT_EQ(top.data_at(n, c, h, w), a.data_at(n, c, h, w));
+        }
+        for (index_t c = 0; c < 3; ++c) {
+          EXPECT_EQ(top.data_at(n, 2 + c, h, w), b.data_at(n, c, h, w));
+        }
+      }
+    }
+  }
+}
+
+TEST(ConcatLayer, BackwardSlicesDiffs) {
+  Blob<float> a(1, 1, 1, 2), b(1, 2, 1, 2);
+  Blob<float> top;
+  a.set_data(0.0f);
+  b.set_data(0.0f);
+  std::vector<Blob<float>*> bots{&a, &b}, tops{&top};
+  ConcatLayer<float> layer(Param("Concat"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  for (index_t i = 0; i < top.count(); ++i) {
+    top.mutable_cpu_diff()[i] = static_cast<float>(i);
+  }
+  layer.Backward(tops, {true, true}, bots);
+  EXPECT_FLOAT_EQ(a.cpu_diff()[0], 0.0f);
+  EXPECT_FLOAT_EQ(a.cpu_diff()[1], 1.0f);
+  EXPECT_FLOAT_EQ(b.cpu_diff()[0], 2.0f);
+  EXPECT_FLOAT_EQ(b.cpu_diff()[3], 5.0f);
+}
+
+TEST(ConcatLayer, MismatchedNonConcatAxesRejected) {
+  Blob<float> a(2, 2, 2, 2), b(3, 2, 2, 2);
+  Blob<float> top;
+  std::vector<Blob<float>*> bots{&a, &b}, tops{&top};
+  ConcatLayer<float> layer(Param("Concat"));
+  EXPECT_THROW(layer.SetUp(bots, tops), Error);
+}
+
+TEST(ConcatLayer, BatchAxisConcat) {
+  Blob<float> a({2, 3}), b({1, 3});
+  Blob<float> top;
+  auto p = Param("Concat");
+  p.concat_param.axis = 0;
+  std::vector<Blob<float>*> bots{&a, &b}, tops{&top};
+  ConcatLayer<float> layer(p);
+  layer.SetUp(bots, tops);
+  EXPECT_EQ(top.shape(), (std::vector<index_t>{3, 3}));
+}
+
+// ----------------------------------------------------------------- Eltwise
+
+TEST(EltwiseLayer, SumWithCoefficients) {
+  Blob<float> a({4}), b({4});
+  Blob<float> top;
+  a.set_data(3.0f);
+  b.set_data(1.0f);
+  auto p = Param("Eltwise");
+  p.eltwise_param.operation = proto::EltwiseParameter::Op::kSum;
+  p.eltwise_param.coeff = {1.0, -2.0};
+  std::vector<Blob<float>*> bots{&a, &b}, tops{&top};
+  EltwiseLayer<float> layer(p);
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  for (index_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(top.cpu_data()[i], 1.0f);
+}
+
+TEST(EltwiseLayer, Product) {
+  Blob<float> a({3}), b({3}), c({3});
+  Blob<float> top;
+  a.set_data(2.0f);
+  b.set_data(3.0f);
+  c.set_data(4.0f);
+  auto p = Param("Eltwise");
+  p.eltwise_param.operation = proto::EltwiseParameter::Op::kProd;
+  std::vector<Blob<float>*> bots{&a, &b, &c}, tops{&top};
+  EltwiseLayer<float> layer(p);
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  for (index_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(top.cpu_data()[i], 24.0f);
+}
+
+TEST(EltwiseLayer, MaxForwardAndMaskedBackward) {
+  Blob<float> a({3}), b({3});
+  Blob<float> top;
+  a.mutable_cpu_data()[0] = 5;
+  a.mutable_cpu_data()[1] = 1;
+  a.mutable_cpu_data()[2] = 2;
+  b.mutable_cpu_data()[0] = 3;
+  b.mutable_cpu_data()[1] = 4;
+  b.mutable_cpu_data()[2] = 2;  // tie: first bottom wins
+  auto p = Param("Eltwise");
+  p.eltwise_param.operation = proto::EltwiseParameter::Op::kMax;
+  std::vector<Blob<float>*> bots{&a, &b}, tops{&top};
+  EltwiseLayer<float> layer(p);
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  EXPECT_FLOAT_EQ(top.cpu_data()[0], 5);
+  EXPECT_FLOAT_EQ(top.cpu_data()[1], 4);
+  EXPECT_FLOAT_EQ(top.cpu_data()[2], 2);
+  top.set_diff(1.0f);
+  layer.Backward(tops, {true, true}, bots);
+  EXPECT_FLOAT_EQ(a.cpu_diff()[0], 1);
+  EXPECT_FLOAT_EQ(a.cpu_diff()[1], 0);
+  EXPECT_FLOAT_EQ(a.cpu_diff()[2], 1);
+  EXPECT_FLOAT_EQ(b.cpu_diff()[0], 0);
+  EXPECT_FLOAT_EQ(b.cpu_diff()[1], 1);
+  EXPECT_FLOAT_EQ(b.cpu_diff()[2], 0);
+}
+
+TEST(EltwiseLayerGradient, Sum) {
+  Blob<double> a({2, 2}), b({2, 2});
+  Blob<double> top;
+  FillUniform<double>(&a, -1.0, 1.0, 1);
+  FillUniform<double>(&b, -1.0, 1.0, 2);
+  auto p = Param("Eltwise");
+  p.eltwise_param.coeff = {2.0, -0.5};
+  std::vector<Blob<double>*> bots{&a, &b}, tops{&top};
+  EltwiseLayer<double> layer(p);
+  GradientChecker<double> checker(1e-4, 1e-5);
+  checker.CheckGradientExhaustive(layer, bots, tops);
+}
+
+TEST(EltwiseLayerGradient, Prod) {
+  Blob<double> a({2, 2}), b({2, 2});
+  Blob<double> top;
+  // Keep values away from zero (the PROD backward divides by bottom data).
+  FillUniform<double>(&a, 0.5, 1.5, 3);
+  FillUniform<double>(&b, 0.5, 1.5, 4);
+  auto p = Param("Eltwise");
+  p.eltwise_param.operation = proto::EltwiseParameter::Op::kProd;
+  std::vector<Blob<double>*> bots{&a, &b}, tops{&top};
+  EltwiseLayer<double> layer(p);
+  GradientChecker<double> checker(1e-4, 1e-4);
+  checker.CheckGradientExhaustive(layer, bots, tops);
+}
+
+TEST(EltwiseLayer, ShapeMismatchRejected) {
+  Blob<float> a({3}), b({4});
+  Blob<float> top;
+  std::vector<Blob<float>*> bots{&a, &b}, tops{&top};
+  EltwiseLayer<float> layer(Param("Eltwise"));
+  EXPECT_THROW(layer.SetUp(bots, tops), Error);
+}
+
+TEST(EltwiseLayer, CoefficientCountMustMatchBottoms) {
+  Blob<float> a({3}), b({3});
+  Blob<float> top;
+  auto p = Param("Eltwise");
+  p.eltwise_param.coeff = {1.0};
+  std::vector<Blob<float>*> bots{&a, &b}, tops{&top};
+  EltwiseLayer<float> layer(p);
+  EXPECT_THROW(layer.SetUp(bots, tops), Error);
+}
+
+// ----------------------------------------------------------------- Flatten
+
+TEST(FlattenLayer, ReshapesAndShares) {
+  Blob<float> bottom(2, 3, 4, 5);
+  Blob<float> top;
+  FillUniform<float>(&bottom, -1.0f, 1.0f);
+  std::vector<Blob<float>*> bots{&bottom}, tops{&top};
+  FlattenLayer<float> layer(Param("Flatten"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  EXPECT_EQ(top.shape(), (std::vector<index_t>{2, 60}));
+  EXPECT_EQ(top.cpu_data(), bottom.cpu_data());
+  top.set_diff(2.0f);
+  layer.Backward(tops, {true}, bots);
+  EXPECT_EQ(bottom.cpu_diff()[0], 2.0f);
+}
+
+// ---------------------------------------------------------------- Accuracy
+
+TEST(AccuracyLayer, Top1) {
+  Blob<float> scores({4, 3});
+  Blob<float> labels({4});
+  Blob<float> acc;
+  const float s[] = {
+      0.1f, 0.8f, 0.1f,   // pred 1, label 1: hit
+      0.9f, 0.0f, 0.1f,   // pred 0, label 2: miss
+      0.2f, 0.3f, 0.5f,   // pred 2, label 2: hit
+      0.4f, 0.4f, 0.2f};  // tie 0/1, label 1: ties favour the label
+  std::copy(s, s + 12, scores.mutable_cpu_data());
+  const float l[] = {1, 2, 2, 1};
+  std::copy(l, l + 4, labels.mutable_cpu_data());
+  std::vector<Blob<float>*> bots{&scores, &labels}, tops{&acc};
+  AccuracyLayer<float> layer(Param("Accuracy"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  EXPECT_FLOAT_EQ(acc.cpu_data()[0], 0.75f);
+}
+
+TEST(AccuracyLayer, TopK) {
+  Blob<float> scores({2, 4});
+  Blob<float> labels({2});
+  Blob<float> acc;
+  const float s[] = {0.1f, 0.2f, 0.3f, 0.4f,   // label 1 is 3rd best
+                     0.9f, 0.05f, 0.03f, 0.02f};  // label 0 is best
+  std::copy(s, s + 8, scores.mutable_cpu_data());
+  labels.mutable_cpu_data()[0] = 1;
+  labels.mutable_cpu_data()[1] = 0;
+  auto p = Param("Accuracy");
+  p.accuracy_param.top_k = 3;
+  std::vector<Blob<float>*> bots{&scores, &labels}, tops{&acc};
+  AccuracyLayer<float> layer(p);
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  EXPECT_FLOAT_EQ(acc.cpu_data()[0], 1.0f);
+}
+
+TEST(AccuracyLayer, RefusesBackward) {
+  Blob<float> scores({2, 3});
+  Blob<float> labels({2});
+  Blob<float> acc;
+  FillUniform<float>(&scores, -1.0f, 1.0f);
+  labels.set_data(0.0f);
+  std::vector<Blob<float>*> bots{&scores, &labels}, tops{&acc};
+  AccuracyLayer<float> layer(Param("Accuracy"));
+  layer.SetUp(bots, tops);
+  layer.Forward(bots, tops);
+  EXPECT_THROW(layer.Backward(tops, {true, false}, bots), Error);
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,48 @@
+// cgdnn_time — per-layer forward/backward timing of a network (the
+// analogue of `caffe time`), i.e. the measurement underlying the paper's
+// Figures 4 and 7.
+//
+//   cgdnn_time --model=models/lenet_train_test.prototxt
+//              [--iterations=N] [--threads=N] [--merge=MODE] [--csv]
+#include <iostream>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/net/net.hpp"
+#include "cgdnn/profile/profiler.hpp"
+#include "flags.hpp"
+
+namespace {
+constexpr const char* kUsage =
+    "cgdnn_time --model=<file> [--iterations=N] [--threads=N] "
+    "[--merge=MODE] [--csv]";
+}
+
+int main(int argc, char** argv) {
+  using namespace cgdnn;
+  try {
+    const tools::Flags flags(argc, argv);
+    const std::string model_path = flags.Require("model", kUsage);
+    const index_t iterations = flags.GetInt("iterations", 10);
+    tools::ConfigureParallel(flags);
+
+    SeedGlobalRng(1);
+    Net<float> net(proto::NetParameter::FromFile(model_path), Phase::kTrain);
+    std::cout << "timing " << net.name() << " ("
+              << parallel::Parallel::ResolveThreads() << " thread(s), "
+              << iterations << " iterations)\n";
+
+    net.ForwardBackward();  // warmup + shape resolution
+    profile::Profiler profiler;
+    net.set_profiler(&profiler);
+    for (index_t i = 0; i < iterations; ++i) {
+      net.ClearParamDiffs();
+      net.ForwardBackward();
+    }
+    net.set_profiler(nullptr);
+    std::cout << (flags.GetBool("csv") ? profiler.Csv() : profiler.Table());
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

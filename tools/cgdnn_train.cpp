@@ -1,0 +1,76 @@
+// cgdnn_train — train a network from a solver prototxt (the analogue of
+// `caffe train`).
+//
+//   cgdnn_train --solver=models/lenet_solver.prototxt
+//               [--threads=N] [--merge=ordered|atomic|tree] [--no-coalesce]
+//               [--weights=init.cgdnn] [--snapshot=out.cgdnn]
+//               [--iterations=N]            (overrides solver max_iter)
+//
+// The solver file may inline its net (`net_param { ... }`) or reference an
+// external prototxt via `net: "relative/path.prototxt"` (resolved relative
+// to the solver file).
+#include <filesystem>
+#include <iostream>
+
+#include "cgdnn/net/serialization.hpp"
+#include "cgdnn/solvers/solver.hpp"
+#include "flags.hpp"
+
+namespace {
+constexpr const char* kUsage =
+    "cgdnn_train --solver=<file> [--threads=N] [--merge=MODE] "
+    "[--weights=<file>] [--snapshot=<file>] [--iterations=N]";
+}
+
+int main(int argc, char** argv) {
+  using namespace cgdnn;
+  try {
+    const tools::Flags flags(argc, argv);
+    const std::string solver_path = flags.Require("solver", kUsage);
+    tools::ConfigureParallel(flags);
+
+    auto param = proto::SolverParameter::FromText(
+        proto::TextMessage::ParseFile(solver_path));
+    if (!param.net.empty()) {
+      const auto net_path =
+          std::filesystem::path(solver_path).parent_path() / param.net;
+      param.net_param = proto::NetParameter::FromFile(net_path.string());
+    }
+    if (flags.Has("iterations")) {
+      param.max_iter = flags.GetInt("iterations", param.max_iter);
+    }
+    if (param.display == 0) {
+      param.display = std::max<index_t>(1, param.max_iter / 10);
+    }
+
+    const auto solver = CreateSolver<float>(param);
+    if (flags.Has("weights")) {
+      const std::size_t n =
+          LoadWeights(solver->net(), flags.GetString("weights"));
+      std::cout << "restored " << n << " layers from "
+                << flags.GetString("weights") << "\n";
+    }
+
+    std::cout << "training " << solver->net().name() << " ("
+              << parallel::Parallel::ResolveThreads() << " thread(s), merge="
+              << parallel::GradientMergeName(
+                     parallel::Parallel::Config().merge)
+              << ") for " << param.max_iter << " iterations\n";
+    solver->Solve();
+    std::cout << "final loss: " << solver->loss_history().back() << "\n";
+    if (solver->test_net() != nullptr) {
+      for (const auto& [name, value] : solver->TestAll()) {
+        std::cout << "test " << name << " = " << value << "\n";
+      }
+    }
+
+    if (flags.Has("snapshot")) {
+      SaveWeights(solver->net(), flags.GetString("snapshot"));
+      std::cout << "weights saved to " << flags.GetString("snapshot") << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

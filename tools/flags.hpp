@@ -1,0 +1,81 @@
+// Minimal --key=value flag parsing shared by the command-line tools.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cgdnn/core/common.hpp"
+#include "cgdnn/parallel/context.hpp"
+
+namespace cgdnn::tools {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.contains(key); }
+
+  std::string GetString(const std::string& key, std::string def = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::move(def) : it->second;
+  }
+
+  index_t GetInt(const std::string& key, index_t def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : std::stoll(it->second);
+  }
+
+  bool GetBool(const std::string& key, bool def = false) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    return it->second == "true" || it->second == "1";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Required flag; prints usage and exits if absent.
+  std::string Require(const std::string& key, const std::string& usage) const {
+    if (!Has(key)) {
+      std::cerr << "missing --" << key << "\nusage: " << usage << "\n";
+      std::exit(2);
+    }
+    return GetString(key);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Applies the common --threads / --merge / --no-coalesce flags to the
+/// global parallel configuration.
+inline void ConfigureParallel(const Flags& flags) {
+  auto& cfg = parallel::Parallel::Config();
+  const index_t threads = flags.GetInt("threads", 1);
+  cfg.mode = threads > 1 ? parallel::ExecutionMode::kCoarseGrain
+                         : parallel::ExecutionMode::kSerial;
+  cfg.num_threads = static_cast<int>(threads);
+  cfg.merge =
+      parallel::GradientMergeFromName(flags.GetString("merge", "ordered"));
+  cfg.coalesce = !flags.GetBool("no-coalesce");
+}
+
+}  // namespace cgdnn::tools
