@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_blas_vs_batch.dir/abl_blas_vs_batch.cpp.o"
+  "CMakeFiles/abl_blas_vs_batch.dir/abl_blas_vs_batch.cpp.o.d"
+  "CMakeFiles/abl_blas_vs_batch.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_blas_vs_batch.dir/bench_common.cpp.o.d"
+  "abl_blas_vs_batch"
+  "abl_blas_vs_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_blas_vs_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

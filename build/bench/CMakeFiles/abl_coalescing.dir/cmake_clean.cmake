@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coalescing.dir/abl_coalescing.cpp.o"
+  "CMakeFiles/abl_coalescing.dir/abl_coalescing.cpp.o.d"
+  "CMakeFiles/abl_coalescing.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_coalescing.dir/bench_common.cpp.o.d"
+  "abl_coalescing"
+  "abl_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

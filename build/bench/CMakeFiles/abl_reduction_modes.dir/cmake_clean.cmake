@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reduction_modes.dir/abl_reduction_modes.cpp.o"
+  "CMakeFiles/abl_reduction_modes.dir/abl_reduction_modes.cpp.o.d"
+  "CMakeFiles/abl_reduction_modes.dir/bench_common.cpp.o"
+  "CMakeFiles/abl_reduction_modes.dir/bench_common.cpp.o.d"
+  "abl_reduction_modes"
+  "abl_reduction_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reduction_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

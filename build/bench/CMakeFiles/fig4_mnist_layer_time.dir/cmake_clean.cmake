@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mnist_layer_time.dir/bench_common.cpp.o"
+  "CMakeFiles/fig4_mnist_layer_time.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig4_mnist_layer_time.dir/fig4_mnist_layer_time.cpp.o"
+  "CMakeFiles/fig4_mnist_layer_time.dir/fig4_mnist_layer_time.cpp.o.d"
+  "fig4_mnist_layer_time"
+  "fig4_mnist_layer_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mnist_layer_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mnist_layer_scalability.dir/bench_common.cpp.o"
+  "CMakeFiles/fig5_mnist_layer_scalability.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig5_mnist_layer_scalability.dir/fig5_mnist_layer_scalability.cpp.o"
+  "CMakeFiles/fig5_mnist_layer_scalability.dir/fig5_mnist_layer_scalability.cpp.o.d"
+  "fig5_mnist_layer_scalability"
+  "fig5_mnist_layer_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mnist_layer_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

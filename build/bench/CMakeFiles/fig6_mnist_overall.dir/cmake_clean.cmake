@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mnist_overall.dir/bench_common.cpp.o"
+  "CMakeFiles/fig6_mnist_overall.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig6_mnist_overall.dir/fig6_mnist_overall.cpp.o"
+  "CMakeFiles/fig6_mnist_overall.dir/fig6_mnist_overall.cpp.o.d"
+  "fig6_mnist_overall"
+  "fig6_mnist_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mnist_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cpp" "bench/CMakeFiles/fig8_cifar_layer_scalability.dir/bench_common.cpp.o" "gcc" "bench/CMakeFiles/fig8_cifar_layer_scalability.dir/bench_common.cpp.o.d"
+  "/root/repo/bench/fig8_cifar_layer_scalability.cpp" "bench/CMakeFiles/fig8_cifar_layer_scalability.dir/fig8_cifar_layer_scalability.cpp.o" "gcc" "bench/CMakeFiles/fig8_cifar_layer_scalability.dir/fig8_cifar_layer_scalability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cgdnn/sim/CMakeFiles/cgdnn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/solvers/CMakeFiles/cgdnn_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/net/CMakeFiles/cgdnn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/data/CMakeFiles/cgdnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/profile/CMakeFiles/cgdnn_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/parallel/CMakeFiles/cgdnn_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/proto/CMakeFiles/cgdnn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/blas/CMakeFiles/cgdnn_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/core/CMakeFiles/cgdnn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

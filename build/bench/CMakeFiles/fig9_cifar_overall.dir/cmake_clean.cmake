@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cifar_overall.dir/bench_common.cpp.o"
+  "CMakeFiles/fig9_cifar_overall.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig9_cifar_overall.dir/fig9_cifar_overall.cpp.o"
+  "CMakeFiles/fig9_cifar_overall.dir/fig9_cifar_overall.cpp.o.d"
+  "fig9_cifar_overall"
+  "fig9_cifar_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cifar_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_memory_overhead.dir/bench_common.cpp.o"
+  "CMakeFiles/tab_memory_overhead.dir/bench_common.cpp.o.d"
+  "CMakeFiles/tab_memory_overhead.dir/tab_memory_overhead.cpp.o"
+  "CMakeFiles/tab_memory_overhead.dir/tab_memory_overhead.cpp.o.d"
+  "tab_memory_overhead"
+  "tab_memory_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_memory_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cifar10_quick.dir/cifar10_quick.cpp.o"
+  "CMakeFiles/cifar10_quick.dir/cifar10_quick.cpp.o.d"
+  "cifar10_quick"
+  "cifar10_quick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cifar10_quick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cifar10_quick.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_invariance.dir/convergence_invariance.cpp.o"
+  "CMakeFiles/convergence_invariance.dir/convergence_invariance.cpp.o.d"
+  "convergence_invariance"
+  "convergence_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_layer.dir/custom_layer.cpp.o"
+  "CMakeFiles/custom_layer.dir/custom_layer.cpp.o.d"
+  "custom_layer"
+  "custom_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_lenet.dir/mnist_lenet.cpp.o"
+  "CMakeFiles/mnist_lenet.dir/mnist_lenet.cpp.o.d"
+  "mnist_lenet"
+  "mnist_lenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_lenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_snapshot_infer.dir/train_snapshot_infer.cpp.o"
+  "CMakeFiles/train_snapshot_infer.dir/train_snapshot_infer.cpp.o.d"
+  "train_snapshot_infer"
+  "train_snapshot_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_snapshot_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgdnn/blas/finegrain.cpp" "src/cgdnn/blas/CMakeFiles/cgdnn_blas.dir/finegrain.cpp.o" "gcc" "src/cgdnn/blas/CMakeFiles/cgdnn_blas.dir/finegrain.cpp.o.d"
+  "/root/repo/src/cgdnn/blas/gemm.cpp" "src/cgdnn/blas/CMakeFiles/cgdnn_blas.dir/gemm.cpp.o" "gcc" "src/cgdnn/blas/CMakeFiles/cgdnn_blas.dir/gemm.cpp.o.d"
+  "/root/repo/src/cgdnn/blas/im2col.cpp" "src/cgdnn/blas/CMakeFiles/cgdnn_blas.dir/im2col.cpp.o" "gcc" "src/cgdnn/blas/CMakeFiles/cgdnn_blas.dir/im2col.cpp.o.d"
+  "/root/repo/src/cgdnn/blas/level1.cpp" "src/cgdnn/blas/CMakeFiles/cgdnn_blas.dir/level1.cpp.o" "gcc" "src/cgdnn/blas/CMakeFiles/cgdnn_blas.dir/level1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cgdnn/core/CMakeFiles/cgdnn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgdnn_blas.dir/finegrain.cpp.o"
+  "CMakeFiles/cgdnn_blas.dir/finegrain.cpp.o.d"
+  "CMakeFiles/cgdnn_blas.dir/gemm.cpp.o"
+  "CMakeFiles/cgdnn_blas.dir/gemm.cpp.o.d"
+  "CMakeFiles/cgdnn_blas.dir/im2col.cpp.o"
+  "CMakeFiles/cgdnn_blas.dir/im2col.cpp.o.d"
+  "CMakeFiles/cgdnn_blas.dir/level1.cpp.o"
+  "CMakeFiles/cgdnn_blas.dir/level1.cpp.o.d"
+  "libcgdnn_blas.a"
+  "libcgdnn_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgdnn_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgdnn/core/blob.cpp" "src/cgdnn/core/CMakeFiles/cgdnn_core.dir/blob.cpp.o" "gcc" "src/cgdnn/core/CMakeFiles/cgdnn_core.dir/blob.cpp.o.d"
+  "/root/repo/src/cgdnn/core/common.cpp" "src/cgdnn/core/CMakeFiles/cgdnn_core.dir/common.cpp.o" "gcc" "src/cgdnn/core/CMakeFiles/cgdnn_core.dir/common.cpp.o.d"
+  "/root/repo/src/cgdnn/core/rng.cpp" "src/cgdnn/core/CMakeFiles/cgdnn_core.dir/rng.cpp.o" "gcc" "src/cgdnn/core/CMakeFiles/cgdnn_core.dir/rng.cpp.o.d"
+  "/root/repo/src/cgdnn/core/synced_memory.cpp" "src/cgdnn/core/CMakeFiles/cgdnn_core.dir/synced_memory.cpp.o" "gcc" "src/cgdnn/core/CMakeFiles/cgdnn_core.dir/synced_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgdnn_core.dir/blob.cpp.o"
+  "CMakeFiles/cgdnn_core.dir/blob.cpp.o.d"
+  "CMakeFiles/cgdnn_core.dir/common.cpp.o"
+  "CMakeFiles/cgdnn_core.dir/common.cpp.o.d"
+  "CMakeFiles/cgdnn_core.dir/rng.cpp.o"
+  "CMakeFiles/cgdnn_core.dir/rng.cpp.o.d"
+  "CMakeFiles/cgdnn_core.dir/synced_memory.cpp.o"
+  "CMakeFiles/cgdnn_core.dir/synced_memory.cpp.o.d"
+  "libcgdnn_core.a"
+  "libcgdnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgdnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

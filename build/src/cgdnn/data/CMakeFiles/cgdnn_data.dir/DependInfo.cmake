@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgdnn/data/dataset.cpp" "src/cgdnn/data/CMakeFiles/cgdnn_data.dir/dataset.cpp.o" "gcc" "src/cgdnn/data/CMakeFiles/cgdnn_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/cgdnn/data/io.cpp" "src/cgdnn/data/CMakeFiles/cgdnn_data.dir/io.cpp.o" "gcc" "src/cgdnn/data/CMakeFiles/cgdnn_data.dir/io.cpp.o.d"
+  "/root/repo/src/cgdnn/data/synthetic.cpp" "src/cgdnn/data/CMakeFiles/cgdnn_data.dir/synthetic.cpp.o" "gcc" "src/cgdnn/data/CMakeFiles/cgdnn_data.dir/synthetic.cpp.o.d"
+  "/root/repo/src/cgdnn/data/transformer.cpp" "src/cgdnn/data/CMakeFiles/cgdnn_data.dir/transformer.cpp.o" "gcc" "src/cgdnn/data/CMakeFiles/cgdnn_data.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cgdnn/core/CMakeFiles/cgdnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/proto/CMakeFiles/cgdnn_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

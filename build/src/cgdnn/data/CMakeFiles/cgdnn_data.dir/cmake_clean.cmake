@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgdnn_data.dir/dataset.cpp.o"
+  "CMakeFiles/cgdnn_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/cgdnn_data.dir/io.cpp.o"
+  "CMakeFiles/cgdnn_data.dir/io.cpp.o.d"
+  "CMakeFiles/cgdnn_data.dir/synthetic.cpp.o"
+  "CMakeFiles/cgdnn_data.dir/synthetic.cpp.o.d"
+  "CMakeFiles/cgdnn_data.dir/transformer.cpp.o"
+  "CMakeFiles/cgdnn_data.dir/transformer.cpp.o.d"
+  "libcgdnn_data.a"
+  "libcgdnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgdnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

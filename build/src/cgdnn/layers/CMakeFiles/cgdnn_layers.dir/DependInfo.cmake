@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgdnn/layers/accuracy_layer.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/accuracy_layer.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/accuracy_layer.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/batch_norm_layer.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/batch_norm_layer.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/batch_norm_layer.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/conv_layer.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/conv_layer.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/conv_layer.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/data_layers.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/data_layers.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/data_layers.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/extra_neuron_layers.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/extra_neuron_layers.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/extra_neuron_layers.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/filler.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/filler.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/filler.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/inner_product_layer.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/inner_product_layer.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/inner_product_layer.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/layer.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/layer.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/layer.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/loss_layers.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/loss_layers.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/loss_layers.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/lrn_layer.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/lrn_layer.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/lrn_layer.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/neuron_layers.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/neuron_layers.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/neuron_layers.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/pooling_layer.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/pooling_layer.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/pooling_layer.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/register_all.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/register_all.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/register_all.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/scale_bias_layers.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/scale_bias_layers.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/scale_bias_layers.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/shape_layers.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/shape_layers.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/shape_layers.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/softmax_layer.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/softmax_layer.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/softmax_layer.cpp.o.d"
+  "/root/repo/src/cgdnn/layers/util_layers.cpp" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/util_layers.cpp.o" "gcc" "src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/util_layers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cgdnn/core/CMakeFiles/cgdnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/blas/CMakeFiles/cgdnn_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/proto/CMakeFiles/cgdnn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/parallel/CMakeFiles/cgdnn_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/data/CMakeFiles/cgdnn_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgdnn_net.dir/models.cpp.o"
+  "CMakeFiles/cgdnn_net.dir/models.cpp.o.d"
+  "CMakeFiles/cgdnn_net.dir/net.cpp.o"
+  "CMakeFiles/cgdnn_net.dir/net.cpp.o.d"
+  "CMakeFiles/cgdnn_net.dir/replica.cpp.o"
+  "CMakeFiles/cgdnn_net.dir/replica.cpp.o.d"
+  "CMakeFiles/cgdnn_net.dir/serialization.cpp.o"
+  "CMakeFiles/cgdnn_net.dir/serialization.cpp.o.d"
+  "libcgdnn_net.a"
+  "libcgdnn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgdnn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgdnn/parallel/context.cpp" "src/cgdnn/parallel/CMakeFiles/cgdnn_parallel.dir/context.cpp.o" "gcc" "src/cgdnn/parallel/CMakeFiles/cgdnn_parallel.dir/context.cpp.o.d"
+  "/root/repo/src/cgdnn/parallel/merge.cpp" "src/cgdnn/parallel/CMakeFiles/cgdnn_parallel.dir/merge.cpp.o" "gcc" "src/cgdnn/parallel/CMakeFiles/cgdnn_parallel.dir/merge.cpp.o.d"
+  "/root/repo/src/cgdnn/parallel/privatizer.cpp" "src/cgdnn/parallel/CMakeFiles/cgdnn_parallel.dir/privatizer.cpp.o" "gcc" "src/cgdnn/parallel/CMakeFiles/cgdnn_parallel.dir/privatizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cgdnn/core/CMakeFiles/cgdnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/blas/CMakeFiles/cgdnn_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgdnn_parallel.dir/context.cpp.o"
+  "CMakeFiles/cgdnn_parallel.dir/context.cpp.o.d"
+  "CMakeFiles/cgdnn_parallel.dir/merge.cpp.o"
+  "CMakeFiles/cgdnn_parallel.dir/merge.cpp.o.d"
+  "CMakeFiles/cgdnn_parallel.dir/privatizer.cpp.o"
+  "CMakeFiles/cgdnn_parallel.dir/privatizer.cpp.o.d"
+  "libcgdnn_parallel.a"
+  "libcgdnn_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgdnn_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgdnn_profile.dir/profiler.cpp.o"
+  "CMakeFiles/cgdnn_profile.dir/profiler.cpp.o.d"
+  "libcgdnn_profile.a"
+  "libcgdnn_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgdnn_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgdnn/proto/params.cpp" "src/cgdnn/proto/CMakeFiles/cgdnn_proto.dir/params.cpp.o" "gcc" "src/cgdnn/proto/CMakeFiles/cgdnn_proto.dir/params.cpp.o.d"
+  "/root/repo/src/cgdnn/proto/textformat.cpp" "src/cgdnn/proto/CMakeFiles/cgdnn_proto.dir/textformat.cpp.o" "gcc" "src/cgdnn/proto/CMakeFiles/cgdnn_proto.dir/textformat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cgdnn/core/CMakeFiles/cgdnn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

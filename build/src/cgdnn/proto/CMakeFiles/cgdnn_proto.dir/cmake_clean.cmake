@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgdnn_proto.dir/params.cpp.o"
+  "CMakeFiles/cgdnn_proto.dir/params.cpp.o.d"
+  "CMakeFiles/cgdnn_proto.dir/textformat.cpp.o"
+  "CMakeFiles/cgdnn_proto.dir/textformat.cpp.o.d"
+  "libcgdnn_proto.a"
+  "libcgdnn_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgdnn_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgdnn_sim.dir/gpu_sim.cpp.o"
+  "CMakeFiles/cgdnn_sim.dir/gpu_sim.cpp.o.d"
+  "CMakeFiles/cgdnn_sim.dir/multicore_sim.cpp.o"
+  "CMakeFiles/cgdnn_sim.dir/multicore_sim.cpp.o.d"
+  "CMakeFiles/cgdnn_sim.dir/workload.cpp.o"
+  "CMakeFiles/cgdnn_sim.dir/workload.cpp.o.d"
+  "libcgdnn_sim.a"
+  "libcgdnn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgdnn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

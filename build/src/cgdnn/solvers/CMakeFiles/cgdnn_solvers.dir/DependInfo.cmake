@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cgdnn/solvers/sgd_solvers.cpp" "src/cgdnn/solvers/CMakeFiles/cgdnn_solvers.dir/sgd_solvers.cpp.o" "gcc" "src/cgdnn/solvers/CMakeFiles/cgdnn_solvers.dir/sgd_solvers.cpp.o.d"
+  "/root/repo/src/cgdnn/solvers/solver.cpp" "src/cgdnn/solvers/CMakeFiles/cgdnn_solvers.dir/solver.cpp.o" "gcc" "src/cgdnn/solvers/CMakeFiles/cgdnn_solvers.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cgdnn/net/CMakeFiles/cgdnn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/layers/CMakeFiles/cgdnn_layers.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/parallel/CMakeFiles/cgdnn_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/blas/CMakeFiles/cgdnn_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/data/CMakeFiles/cgdnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/proto/CMakeFiles/cgdnn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/profile/CMakeFiles/cgdnn_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/cgdnn/core/CMakeFiles/cgdnn_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

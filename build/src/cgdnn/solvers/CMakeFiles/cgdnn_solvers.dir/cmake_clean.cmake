@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgdnn_solvers.dir/sgd_solvers.cpp.o"
+  "CMakeFiles/cgdnn_solvers.dir/sgd_solvers.cpp.o.d"
+  "CMakeFiles/cgdnn_solvers.dir/solver.cpp.o"
+  "CMakeFiles/cgdnn_solvers.dir/solver.cpp.o.d"
+  "libcgdnn_solvers.a"
+  "libcgdnn_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgdnn_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcgdnn_solvers.a"
+)

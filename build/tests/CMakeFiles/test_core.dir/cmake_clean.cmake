@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_blob.cpp.o"
+  "CMakeFiles/test_core.dir/test_blob.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_common.cpp.o"
+  "CMakeFiles/test_core.dir/test_common.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_rng.cpp.o"
+  "CMakeFiles/test_core.dir/test_rng.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_synced_memory.cpp.o"
+  "CMakeFiles/test_core.dir/test_synced_memory.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

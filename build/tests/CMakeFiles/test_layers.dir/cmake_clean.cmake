@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layers.dir/test_conv_layer.cpp.o"
+  "CMakeFiles/test_layers.dir/test_conv_layer.cpp.o.d"
+  "CMakeFiles/test_layers.dir/test_data_layers.cpp.o"
+  "CMakeFiles/test_layers.dir/test_data_layers.cpp.o.d"
+  "CMakeFiles/test_layers.dir/test_filler.cpp.o"
+  "CMakeFiles/test_layers.dir/test_filler.cpp.o.d"
+  "CMakeFiles/test_layers.dir/test_gradient_check.cpp.o"
+  "CMakeFiles/test_layers.dir/test_gradient_check.cpp.o.d"
+  "CMakeFiles/test_layers.dir/test_inner_product_layer.cpp.o"
+  "CMakeFiles/test_layers.dir/test_inner_product_layer.cpp.o.d"
+  "CMakeFiles/test_layers.dir/test_lrn_layer.cpp.o"
+  "CMakeFiles/test_layers.dir/test_lrn_layer.cpp.o.d"
+  "CMakeFiles/test_layers.dir/test_neuron_layers.cpp.o"
+  "CMakeFiles/test_layers.dir/test_neuron_layers.cpp.o.d"
+  "CMakeFiles/test_layers.dir/test_pooling_layer.cpp.o"
+  "CMakeFiles/test_layers.dir/test_pooling_layer.cpp.o.d"
+  "CMakeFiles/test_layers.dir/test_softmax_layers.cpp.o"
+  "CMakeFiles/test_layers.dir/test_softmax_layers.cpp.o.d"
+  "CMakeFiles/test_layers.dir/test_util_layers.cpp.o"
+  "CMakeFiles/test_layers.dir/test_util_layers.cpp.o.d"
+  "test_layers"
+  "test_layers.pdb"
+  "test_layers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layers_ext.dir/test_batch_norm_layer.cpp.o"
+  "CMakeFiles/test_layers_ext.dir/test_batch_norm_layer.cpp.o.d"
+  "CMakeFiles/test_layers_ext.dir/test_extra_neuron_layers.cpp.o"
+  "CMakeFiles/test_layers_ext.dir/test_extra_neuron_layers.cpp.o.d"
+  "CMakeFiles/test_layers_ext.dir/test_scale_bias_layers.cpp.o"
+  "CMakeFiles/test_layers_ext.dir/test_scale_bias_layers.cpp.o.d"
+  "CMakeFiles/test_layers_ext.dir/test_shape_layers.cpp.o"
+  "CMakeFiles/test_layers_ext.dir/test_shape_layers.cpp.o.d"
+  "test_layers_ext"
+  "test_layers_ext.pdb"
+  "test_layers_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layers_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel.dir/test_coalesce.cpp.o"
+  "CMakeFiles/test_parallel.dir/test_coalesce.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/test_merge.cpp.o"
+  "CMakeFiles/test_parallel.dir/test_merge.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/test_privatizer.cpp.o"
+  "CMakeFiles/test_parallel.dir/test_privatizer.cpp.o.d"
+  "test_parallel"
+  "test_parallel.pdb"
+  "test_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

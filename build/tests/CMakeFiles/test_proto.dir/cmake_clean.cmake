@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto.dir/test_params.cpp.o"
+  "CMakeFiles/test_proto.dir/test_params.cpp.o.d"
+  "CMakeFiles/test_proto.dir/test_textformat.cpp.o"
+  "CMakeFiles/test_proto.dir/test_textformat.cpp.o.d"
+  "CMakeFiles/test_proto.dir/test_textformat_robustness.cpp.o"
+  "CMakeFiles/test_proto.dir/test_textformat_robustness.cpp.o.d"
+  "test_proto"
+  "test_proto.pdb"
+  "test_proto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

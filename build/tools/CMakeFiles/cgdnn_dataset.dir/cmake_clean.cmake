@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgdnn_dataset.dir/cgdnn_dataset.cpp.o"
+  "CMakeFiles/cgdnn_dataset.dir/cgdnn_dataset.cpp.o.d"
+  "cgdnn_dataset"
+  "cgdnn_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgdnn_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

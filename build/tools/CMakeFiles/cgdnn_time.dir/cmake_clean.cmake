@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgdnn_time.dir/cgdnn_time.cpp.o"
+  "CMakeFiles/cgdnn_time.dir/cgdnn_time.cpp.o.d"
+  "cgdnn_time"
+  "cgdnn_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgdnn_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgdnn_train.dir/cgdnn_train.cpp.o"
+  "CMakeFiles/cgdnn_train.dir/cgdnn_train.cpp.o.d"
+  "cgdnn_train"
+  "cgdnn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgdnn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
