@@ -16,6 +16,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "cgdnn/blas/blas.hpp"
 #include "cgdnn/core/rng.hpp"
 #include "cgdnn/parallel/coalesce.hpp"
@@ -91,6 +92,12 @@ int main() {
          0.0);
   printf("%-28s %12.0f %16.1e\n", "coarse-grain (batch chunks)", coarse_us,
          max_diff);
+  auto& report = cgdnn::bench::BenchReport::Get();
+  report.Add("gemm", "serial", "wall_us", serial_us);
+  report.Add("gemm", "fine_grain", "wall_us", fine_us);
+  report.Add("gemm", "coarse_grain", "wall_us", coarse_us);
+  report.Add("gemm", "coarse_grain", "max_abs_diff", max_diff);
+  report.Write("abl_blas_vs_batch");
   std::cout << "\n(" << threads << " threads on " << omp_get_num_procs()
             << " core(s); with one physical core both parallel variants "
                "pay only overhead — the point of this ablation is that the "

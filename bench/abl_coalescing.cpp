@@ -35,6 +35,10 @@ int main() {
     const double batch_only = makespan(64);
     printf("%8d %22.4f %22.4f %11.1f%%\n", t, coalesced, batch_only,
            100.0 * (batch_only - coalesced) / batch_only);
+    auto& report = bench::BenchReport::Get();
+    const std::string col = std::to_string(t) + "T";
+    report.Add("makespan", "coalesced", col, coalesced);
+    report.Add("makespan", "batch_only", col, batch_only);
   }
 
   std::cout << "\nSimulated pool1 forward time (us), 16-core Xeon model, via "
@@ -48,15 +52,21 @@ int main() {
     batch_only.forward.par_iters = 64;  // bare batch loop
     printf("%8s %14s %14s\n", "threads", "coalesced", "batch-only");
     for (const int t : bench::kThreadSweep) {
-      printf("%8d %14.0f %14.0f\n", t,
-             ctx.cpu.SimulatePass(coalesced, coalesced.forward, prev, t,
-                                  false),
-             ctx.cpu.SimulatePass(batch_only, batch_only.forward, prev, t,
-                                  false));
+      const double c_us =
+          ctx.cpu.SimulatePass(coalesced, coalesced.forward, prev, t, false);
+      const double b_us =
+          ctx.cpu.SimulatePass(batch_only, batch_only.forward, prev, t,
+                               false);
+      printf("%8d %14.0f %14.0f\n", t, c_us, b_us);
+      auto& report = bench::BenchReport::Get();
+      const std::string col = std::to_string(t) + "T";
+      report.Add("pool1_fwd_us", "coalesced", col, c_us);
+      report.Add("pool1_fwd_us", "batch_only", col, b_us);
     }
   }
   std::cout << "\n(the 12-thread row shows the paper's point: 64 samples "
                "over 12 threads quantize to 6-sample chunks, an 11% bubble, "
                "while 1280 coalesced planes split almost evenly)\n";
+  bench::BenchReport::Get().Write("abl_coalescing");
   return 0;
 }

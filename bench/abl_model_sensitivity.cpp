@@ -47,6 +47,11 @@ Observables Measure(const bench::FigureContext& ctx,
 void Print(const char* label, const Observables& o) {
   std::printf("%-28s %10.2f %12.2f %12.2f %12.2f\n", label, o.ip1_8t,
               o.conv_ratio_16t, o.overall_8t, o.overall_16t);
+  auto& report = bench::BenchReport::Get();
+  report.Add("sensitivity", label, "ip1_8T", o.ip1_8t);
+  report.Add("sensitivity", label, "conv2_over_conv1_16T", o.conv_ratio_16t);
+  report.Add("sensitivity", label, "overall_8T", o.overall_8t);
+  report.Add("sensitivity", label, "overall_16T", o.overall_16t);
 }
 
 }  // namespace
@@ -93,5 +98,6 @@ int main() {
       "\n(the orderings — ip1 saturating, conv2 above conv1, 6-10x overall "
       "band — persist across 4x swings of every constant; only magnitudes "
       "shift)\n");
+  cgdnn::bench::BenchReport::Get().Write("abl_model_sensitivity");
   return 0;
 }

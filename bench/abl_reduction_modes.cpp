@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "cgdnn/core/rng.hpp"
 #include "cgdnn/data/dataset.hpp"
 #include "cgdnn/net/models.hpp"
@@ -75,9 +76,19 @@ int main() {
     printf("%-10s %14.6f %18.3e %14s %12.0f\n",
            parallel::GradientMergeName(merge), double(run1.back()), max_rel,
            run1 == run2 ? "yes" : "NO", wall);
+    auto& report = bench::BenchReport::Get();
+    const std::string key = parallel::GradientMergeName(merge);
+    report.Add("merge", key, "final_loss", double(run1.back()));
+    report.Add("merge", key, "max_rel_vs_serial", max_rel);
+    report.Add("merge", key, "reproducible", run1 == run2 ? 1.0 : 0.0);
+    report.Add("merge", key, "wall_us", wall);
   }
   std::cout << "\n(ordered: deterministic and closest to serial — the "
                "paper's choice for tuning/debugging; atomic is unordered "
                "and may differ run to run)\n";
+  auto& report = bench::BenchReport::Get();
+  report.Add("merge", "serial", "final_loss", double(serial.back()));
+  report.Add("merge", "serial", "wall_us", serial_us);
+  report.Write("abl_reduction_modes");
   return 0;
 }

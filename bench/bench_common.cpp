@@ -2,6 +2,7 @@
 
 #include <omp.h>
 
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 
@@ -76,12 +77,15 @@ void PrintLayerTimeFigure(const FigureContext& ctx, const std::string& title) {
       std::cout << std::left << std::setw(10) << lw.name << std::right
                 << std::fixed << std::setprecision(0);
       const sim::LayerWork* prev = li > 0 ? &ctx.work[li - 1] : nullptr;
+      const char* section = phase ? "backward_us" : "forward_us";
       for (const int t : kThreadSweep) {
-        std::cout << std::setw(11)
-                  << ctx.cpu.SimulatePass(lw, pass, prev, t, phase);
+        const double us = ctx.cpu.SimulatePass(lw, pass, prev, t, phase);
+        BenchReport::Get().Add(section, lw.name, std::to_string(t) + "T", us);
+        std::cout << std::setw(11) << us;
       }
-      std::cout << std::setprecision(1) << std::setw(8)
-                << 100.0 * pass.serial_us / serial_total << "%\n";
+      const double share = 100.0 * pass.serial_us / serial_total;
+      BenchReport::Get().Add(section, lw.name, "share1T_pct", share);
+      std::cout << std::setprecision(1) << std::setw(8) << share << "%\n";
     }
   }
   std::cout << "\n";
@@ -111,6 +115,9 @@ void PrintScalabilityFigure(const FigureContext& ctx,
       for (const int t : kThreadSweep) {
         if (t == 1) continue;
         const double st = ctx.cpu.SimulatePass(lw, pass, prev, t, phase);
+        BenchReport::Get().Add(
+            phase ? "backward_speedup" : "forward_speedup", lw.name,
+            std::to_string(t) + "T", pass.serial_us / st);
         std::cout << std::setw(9) << pass.serial_us / st;
       }
       std::cout << "\n";
@@ -133,14 +140,22 @@ void PrintOverallFigure(const FigureContext& ctx, const std::string& title,
             << std::fixed << std::setprecision(0) << std::setw(12) << serial
             << std::setprecision(2) << std::setw(10) << 1.0 << std::setw(10)
             << 1.0 << "\n";
+  BenchReport::Get().Add("overall", "serial", "time_us", serial);
+  BenchReport::Get().Add("overall", "serial", "speedup", 1.0);
   for (const int t : kThreadSweep) {
     if (t == 1) continue;
     const auto simres = ctx.cpu.SimulateNet(ctx.work, t);
     double paper_val = 0;
     if (t == 8) paper_val = paper.omp8;
     if (t == 16) paper_val = paper.omp16;
-    std::cout << std::left << std::setw(14)
-              << ("OpenMP-" + std::to_string(t)) << std::right
+    const std::string version = "OpenMP-" + std::to_string(t);
+    BenchReport::Get().Add("overall", version, "time_us", simres.total_us);
+    BenchReport::Get().Add("overall", version, "speedup",
+                           serial / simres.total_us);
+    if (paper_val > 0) {
+      BenchReport::Get().Add("overall", version, "paper", paper_val);
+    }
+    std::cout << std::left << std::setw(14) << version << std::right
               << std::setprecision(0) << std::setw(12) << simres.total_us
               << std::setprecision(2) << std::setw(10)
               << serial / simres.total_us;
@@ -156,7 +171,12 @@ void PrintOverallFigure(const FigureContext& ctx, const std::string& title,
     const double paper_val = variant == sim::GpuVariant::kPlain
                                  ? paper.plain_gpu
                                  : paper.cudnn_gpu;
-    std::cout << std::left << std::setw(14) << sim::GpuVariantName(variant)
+    const std::string version = sim::GpuVariantName(variant);
+    BenchReport::Get().Add("overall", version, "time_us", simres.total_us);
+    BenchReport::Get().Add("overall", version, "speedup",
+                           serial / simres.total_us);
+    BenchReport::Get().Add("overall", version, "paper", paper_val);
+    std::cout << std::left << std::setw(14) << version
               << std::right << std::setprecision(0) << std::setw(12)
               << simres.total_us << std::setprecision(2) << std::setw(10)
               << serial / simres.total_us << std::setw(10) << paper_val
@@ -177,6 +197,13 @@ void PrintOverallFigure(const FigureContext& ctx, const std::string& title,
          {sim::GpuVariant::kPlain, sim::GpuVariant::kCudnn}) {
       const double fwd = ctx.gpu.SimulatePass(lw, lw.forward, variant, false);
       const double bwd = ctx.gpu.SimulatePass(lw, lw.backward, variant, true);
+      const char* tag = variant == sim::GpuVariant::kPlain ? "plain" : "cudnn";
+      BenchReport::Get().Add("gpu_per_layer", lw.name,
+                             std::string(tag) + "_fwd",
+                             lw.forward.serial_us / fwd);
+      BenchReport::Get().Add("gpu_per_layer", lw.name,
+                             std::string(tag) + "_bwd",
+                             bwd > 0 ? lw.backward.serial_us / bwd : 0.0);
       std::cout << std::setw(12) << lw.forward.serial_us / fwd;
       std::cout << std::setw(12)
                 << (bwd > 0 ? lw.backward.serial_us / bwd : 0.0);
@@ -197,6 +224,59 @@ void PrintOverallFigure(const FigureContext& ctx, const std::string& title,
 }
 
 bool HostHasMultipleCores() { return omp_get_num_procs() > 1; }
+
+BenchReport& BenchReport::Get() {
+  static BenchReport report;
+  return report;
+}
+
+void BenchReport::Add(const std::string& section, const std::string& key,
+                      const std::string& column, double value) {
+  Row* row = nullptr;
+  for (Row& r : rows_) {
+    if (r.section == section && r.key == key) {
+      row = &r;
+      break;
+    }
+  }
+  if (row == nullptr) {
+    rows_.push_back({section, key, {}});
+    row = &rows_.back();
+  }
+  for (auto& [col, val] : row->values) {
+    if (col == column) {
+      val = value;
+      return;
+    }
+  }
+  row->values.emplace_back(column, value);
+}
+
+bool BenchReport::Write(const std::string& bench_name) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "note: cannot write " << path << "\n";
+    rows_.clear();
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"rows\": [";
+  out << std::setprecision(15);
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    out << (i ? ",\n" : "\n") << "    {\"section\": \"" << r.section
+        << "\", \"key\": \"" << r.key << "\", \"values\": {";
+    for (std::size_t j = 0; j < r.values.size(); ++j) {
+      out << (j ? ", " : "") << "\"" << r.values[j].first
+          << "\": " << r.values[j].second;
+    }
+    out << "}}";
+  }
+  out << "\n  ]\n}\n";
+  rows_.clear();
+  std::cerr << "report written to " << path << "\n";
+  return true;
+}
 
 double MeasureRealIterationUs(const proto::NetParameter& param, int threads,
                               int iters) {

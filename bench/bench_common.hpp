@@ -13,6 +13,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cgdnn/net/models.hpp"
@@ -59,6 +60,35 @@ void PrintOverallFigure(const FigureContext& ctx, const std::string& title,
 /// the 1-core reference container is false; the harness then reports only
 /// model-based series, as documented in DESIGN.md §4).
 bool HostHasMultipleCores();
+
+/// Machine-readable mirror of the figure output. The Print* helpers record
+/// every value they print; a bench main then calls
+/// `BenchReport::Get().Write("fig4_mnist_layer_time")` to produce
+/// BENCH_fig4_mnist_layer_time.json in the working directory
+/// (tools/run_benches.sh collects these under bench/results/). Benches that
+/// print custom tables record their headline numbers with Add() directly.
+class BenchReport {
+ public:
+  static BenchReport& Get();
+
+  /// Records `section/key/column = value`, e.g.
+  /// Add("forward", "conv1", "8T", 512.0). Repeated calls with the same
+  /// coordinates overwrite.
+  void Add(const std::string& section, const std::string& key,
+           const std::string& column, double value);
+
+  /// Writes BENCH_<bench_name>.json and clears the accumulated rows.
+  /// Returns false (with a note on stderr) when the file cannot be opened.
+  bool Write(const std::string& bench_name);
+
+ private:
+  struct Row {
+    std::string section;
+    std::string key;
+    std::vector<std::pair<std::string, double>> values;
+  };
+  std::vector<Row> rows_;
+};
 
 /// Measures REAL wall-clock per-iteration time of one training iteration at
 /// the given thread count (only meaningful on multi-core hosts).

@@ -22,5 +22,10 @@ int main() {
   }
   std::cout << "conv+pool share of iteration: " << 100.0 * conv_pool / total
             << "% (paper: ~80%)\n";
+  bench::BenchReport::Get().Add("headline", "conv_pool_share_pct", "value",
+                                100.0 * conv_pool / total);
+  bench::BenchReport::Get().Add("headline", "conv_pool_share_pct", "paper",
+                                80.0);
+  bench::BenchReport::Get().Write("fig4_mnist_layer_time");
   return 0;
 }

@@ -35,5 +35,14 @@ int main() {
   std::cout << "pool2 fwd speedup @8T: " << speedup("pool2", 8)
             << " @16T: " << speedup("pool2", 16)
             << "  (paper: 5.52 at 8T, flat beyond)\n";
+  bench::BenchReport::Get().Add("headline", "ip1_fwd_speedup", "8T",
+                                speedup("ip1", 8));
+  bench::BenchReport::Get().Add("headline", "ip1_fwd_speedup", "paper_8T",
+                                4.58);
+  bench::BenchReport::Get().Add("headline", "pool2_fwd_speedup", "8T",
+                                speedup("pool2", 8));
+  bench::BenchReport::Get().Add("headline", "pool2_fwd_speedup", "paper_8T",
+                                5.52);
+  bench::BenchReport::Get().Write("fig5_mnist_layer_scalability");
   return 0;
 }

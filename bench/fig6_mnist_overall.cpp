@@ -16,5 +16,6 @@ int main() {
   paper.plain_gpu = 2.0;
   paper.cudnn_gpu = 12.0;
   bench::PrintOverallFigure(ctx, "Figure 6: MNIST overall speedups", paper);
+  bench::BenchReport::Get().Write("fig6_mnist_overall");
   return 0;
 }

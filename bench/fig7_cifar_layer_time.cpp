@@ -23,5 +23,10 @@ int main() {
   }
   std::cout << "conv+pool+norm share of iteration: "
             << 100.0 * dominant / total << "% (paper: ~85%)\n";
+  bench::BenchReport::Get().Add("headline", "conv_pool_norm_share_pct",
+                                "value", 100.0 * dominant / total);
+  bench::BenchReport::Get().Add("headline", "conv_pool_norm_share_pct",
+                                "paper", 85.0);
+  bench::BenchReport::Get().Write("fig7_cifar_layer_time");
   return 0;
 }

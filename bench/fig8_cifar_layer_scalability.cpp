@@ -33,5 +33,12 @@ int main() {
             << " @16T: " << speedup("pool1", 16) << "  (paper: 6.5 / 11)\n";
   std::cout << "conv2 fwd speedup @16T: " << speedup("conv2", 16)
             << "  (paper: ~8.25, limited by norm1's distribution)\n";
+  bench::BenchReport::Get().Add("headline", "conv1_fwd_speedup", "8T",
+                                speedup("conv1", 8));
+  bench::BenchReport::Get().Add("headline", "conv1_fwd_speedup", "16T",
+                                speedup("conv1", 16));
+  bench::BenchReport::Get().Add("headline", "conv2_fwd_speedup", "16T",
+                                speedup("conv2", 16));
+  bench::BenchReport::Get().Write("fig8_cifar_layer_scalability");
   return 0;
 }

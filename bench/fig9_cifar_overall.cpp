@@ -15,5 +15,6 @@ int main() {
   paper.plain_gpu = 6.0;
   paper.cudnn_gpu = 27.0;
   bench::PrintOverallFigure(ctx, "Figure 9: CIFAR-10 overall speedups", paper);
+  bench::BenchReport::Get().Write("fig9_cifar_overall");
   return 0;
 }

@@ -9,6 +9,7 @@
 // components are reported separately below.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "cgdnn/core/rng.hpp"
 #include "cgdnn/data/dataset.hpp"
 #include "cgdnn/net/models.hpp"
@@ -55,6 +56,12 @@ void Report(const char* name, const cgdnn::proto::NetParameter& param,
   const double total_mb =
       static_cast<double>(net.MemoryUsedBytes()) / (1024.0 * 1024.0);
 
+  auto& report = bench::BenchReport::Get();
+  report.Add(name, "grad_privatization_kb", "value", grad_extra_kb);
+  report.Add(name, "grad_privatization_kb", "paper_max", paper_extra_kb);
+  report.Add(name, "arena_kb", "value", arena_kb);
+  report.Add(name, "total_mb", "value", total_mb);
+  report.Add(name, "total_mb", "paper", paper_total_mb);
   std::cout << name << " (16 threads):\n"
             << "  gradient privatization (largest layer x threads): "
             << grad_extra_kb << " KB   [paper: <=" << paper_extra_kb
@@ -85,5 +92,6 @@ int main() {
   cifar_opts.num_samples = 128;
   cifar_opts.with_accuracy = false;
   Report("CIFAR-10 / quick", models::Cifar10Quick(cifar_opts), 1250, 36);
+  bench::BenchReport::Get().Write("tab_memory_overhead");
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "cgdnn/blas/blas.hpp"
 #include "cgdnn/blas/im2col.hpp"
 #include "cgdnn/layers/filler.hpp"
+#include "cgdnn/parallel/instrument.hpp"
 #include "cgdnn/parallel/merge.hpp"
 #include "cgdnn/parallel/privatizer.hpp"
 
@@ -174,17 +175,24 @@ void ConvolutionLayer<Dtype>::Forward_cpu_parallel(
   auto& pool = parallel::PrivatizationPool::Get();
   pool.Configure(nthreads);
   pool.BeginLayerScope();
+  parallel::RegionStats rstats(this->layer_param_.name + ".forward",
+                               nthreads);
   // Batch-level parallelism, no coalescing needed: each sample is a heavy
   // and uniform work unit (im2col + GEMM), and all writes are disjoint.
 #pragma omp parallel num_threads(nthreads)
   {
     const int tid = omp_get_thread_num();
     Dtype* col = pool.Acquire<Dtype>(tid, col_count_);
-#pragma omp for schedule(static)
-    for (index_t n = 0; n < num_; ++n) {
-      ForwardSample(bottom_data + n * bottom_dim_, top_data + n * top_dim_,
-                    col);
+    {
+      parallel::ThreadRegionScope rscope(rstats, tid);
+#pragma omp for schedule(static) nowait
+      for (index_t n = 0; n < num_; ++n) {
+        ForwardSample(bottom_data + n * bottom_dim_, top_data + n * top_dim_,
+                      col);
+      }
     }
+    // nowait keeps barrier wait out of the busy-time measurement; the
+    // region-end barrier still synchronizes everything.
   }
 }
 
@@ -241,6 +249,8 @@ void ConvolutionLayer<Dtype>::Backward_cpu_parallel(
   pool.BeginLayerScope();
   std::vector<Dtype*> priv_w(static_cast<std::size_t>(nthreads), nullptr);
   std::vector<Dtype*> priv_b(static_cast<std::size_t>(nthreads), nullptr);
+  parallel::RegionStats rstats(this->layer_param_.name + ".backward",
+                               nthreads);
 
 #pragma omp parallel num_threads(nthreads)
   {
@@ -261,18 +271,24 @@ void ConvolutionLayer<Dtype>::Backward_cpu_parallel(
       priv_b[static_cast<std::size_t>(tid)] = bgrad;
     }
 
-#pragma omp for schedule(static)
-    for (index_t n = 0; n < num_; ++n) {
-      if (do_weights) {
-        BackwardSampleWeights(bottom_data + n * bottom_dim_,
-                              top_diff + n * top_dim_, wgrad, bgrad, col);
-      }
-      if (bottom_diff != nullptr) {
-        BackwardSampleBottom(top_diff + n * top_dim_,
-                             bottom_diff + n * bottom_dim_, col);
+    {
+      parallel::ThreadRegionScope rscope(rstats, tid);
+#pragma omp for schedule(static) nowait
+      for (index_t n = 0; n < num_; ++n) {
+        if (do_weights) {
+          BackwardSampleWeights(bottom_data + n * bottom_dim_,
+                                top_diff + n * top_dim_, wgrad, bgrad, col);
+        }
+        if (bottom_diff != nullptr) {
+          BackwardSampleBottom(top_diff + n * top_dim_,
+                               bottom_diff + n * bottom_dim_, col);
+        }
       }
     }
-    // implicit barrier: all private gradients complete and visible
+    // Explicit barrier replacing the worksharing loop's implicit one (the
+    // loop is nowait so the busy-time scope above excludes barrier waits):
+    // all private gradients must be complete and visible before the merge.
+#pragma omp barrier
 
     if (do_weights) {
       parallel::AccumulatePrivate(merge, priv_w.data(), nthreads,

@@ -5,6 +5,7 @@
 #include "cgdnn/blas/blas.hpp"
 #include "cgdnn/layers/filler.hpp"
 #include "cgdnn/parallel/coalesce.hpp"
+#include "cgdnn/parallel/instrument.hpp"
 #include "cgdnn/parallel/merge.hpp"
 #include "cgdnn/parallel/privatizer.hpp"
 
@@ -75,13 +76,16 @@ void InnerProductLayer<Dtype>::Forward_cpu_parallel(
   const Dtype* bias = bias_term_ ? this->blobs_[1]->cpu_data() : nullptr;
   Dtype* top_data = top[0]->mutable_cpu_data();
   const int nthreads = parallel::Parallel::ResolveThreads();
+  parallel::RegionStats rstats(this->layer_param_.name + ".forward",
+                               nthreads);
   // Batch-level parallelism: each thread evaluates the GEMM restricted to
   // its contiguous block of samples (rows). Row results are independent,
   // so this is bit-identical to the serial GEMM.
 #pragma omp parallel num_threads(nthreads)
   {
-    const auto range = parallel::StaticChunk(m_, omp_get_num_threads(),
-                                             omp_get_thread_num());
+    const int tid = omp_get_thread_num();
+    parallel::ThreadRegionScope rscope(rstats, tid);
+    const auto range = parallel::StaticChunk(m_, omp_get_num_threads(), tid);
     if (range.size() > 0) {
       Dtype* out = top_data + range.begin * num_output_;
       blas::gemm(blas::Transpose::kNo, blas::Transpose::kTrans, range.size(),
@@ -139,6 +143,8 @@ void InnerProductLayer<Dtype>::Backward_cpu_parallel(
       propagate_down[0] ? bottom[0]->mutable_cpu_diff() : nullptr;
 
   const int nthreads = parallel::Parallel::ResolveThreads();
+  parallel::RegionStats rstats(this->layer_param_.name + ".backward",
+                               nthreads);
   // Parameter gradients are partitioned by OUTPUT ROW instead of by sample
   // (the loop-rearrangement freedom of paper §3.1.2): each dW row is a sum
   // over all samples, so threads own disjoint rows, no privatization or
@@ -150,6 +156,7 @@ void InnerProductLayer<Dtype>::Backward_cpu_parallel(
   {
     const int tid = omp_get_thread_num();
     const int team = omp_get_num_threads();
+    parallel::ThreadRegionScope rscope(rstats, tid);
     if (do_weights || do_bias) {
       const auto rows = parallel::StaticChunk(num_output_, team, tid);
       for (index_t o = rows.begin; o < rows.end; ++o) {

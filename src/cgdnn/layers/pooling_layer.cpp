@@ -5,7 +5,10 @@
 #include <cstring>
 #include <limits>
 
+#include <omp.h>
+
 #include "cgdnn/parallel/coalesce.hpp"
+#include "cgdnn/parallel/instrument.hpp"
 
 namespace cgdnn {
 
@@ -183,10 +186,17 @@ void PoolingLayer<Dtype>::Forward_cpu_parallel(
   // parallel (ablation).
   if (coalesce) {
     const index_t total = num_ * channels_;
-#pragma omp parallel for num_threads(parallel::Parallel::ResolveThreads()) schedule(static)
-    for (index_t civ = 0; civ < total; ++civ) {
-      ForwardPlane(bottom_data + civ * in_plane, top_data + civ * out_plane,
-                   mask + civ * out_plane);
+    const int nthreads = parallel::Parallel::ResolveThreads();
+    parallel::RegionStats rstats(this->layer_param_.name + ".forward",
+                                 nthreads);
+#pragma omp parallel num_threads(nthreads)
+    {
+      parallel::ThreadRegionScope rscope(rstats, omp_get_thread_num());
+#pragma omp for schedule(static) nowait
+      for (index_t civ = 0; civ < total; ++civ) {
+        ForwardPlane(bottom_data + civ * in_plane, top_data + civ * out_plane,
+                     mask + civ * out_plane);
+      }
     }
   } else {
 #pragma omp parallel for num_threads(parallel::Parallel::ResolveThreads()) schedule(static)
@@ -233,10 +243,17 @@ void PoolingLayer<Dtype>::Backward_cpu_parallel(
   const bool coalesce = parallel::Parallel::Config().coalesce;
   if (coalesce) {
     const index_t total = num_ * channels_;
-#pragma omp parallel for num_threads(parallel::Parallel::ResolveThreads()) schedule(static)
-    for (index_t civ = 0; civ < total; ++civ) {
-      BackwardPlane(top_diff + civ * out_plane, mask + civ * out_plane,
-                    bottom_diff + civ * in_plane);
+    const int nthreads = parallel::Parallel::ResolveThreads();
+    parallel::RegionStats rstats(this->layer_param_.name + ".backward",
+                                 nthreads);
+#pragma omp parallel num_threads(nthreads)
+    {
+      parallel::ThreadRegionScope rscope(rstats, omp_get_thread_num());
+#pragma omp for schedule(static) nowait
+      for (index_t civ = 0; civ < total; ++civ) {
+        BackwardPlane(top_diff + civ * out_plane, mask + civ * out_plane,
+                      bottom_diff + civ * in_plane);
+      }
     }
   } else {
 #pragma omp parallel for num_threads(parallel::Parallel::ResolveThreads()) schedule(static)

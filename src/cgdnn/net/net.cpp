@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "cgdnn/profile/timer.hpp"
+#include "cgdnn/trace/metrics.hpp"
+#include "cgdnn/trace/trace.hpp"
 
 namespace cgdnn {
 
@@ -18,6 +20,33 @@ std::string SplitBlobName(const std::string& layer_name,
   std::ostringstream os;
   os << blob_name << "_" << layer_name << "_split_" << k;
   return os.str();
+}
+
+/// One per-layer timing path serves the profiler, the span tracer and the
+/// metrics registry: a span on the serial (driver) thread's timeline per
+/// layer phase, a PhaseStats sample when a profiler is attached, and a
+/// `layer.<name>.<phase>.us` histogram sample when metrics collection is on
+/// (via Profiler::Record, or directly when no profiler is attached).
+template <typename Dtype, typename Body>
+void TimedLayerPhase(profile::Profiler* profiler, const std::string& layer,
+                     profile::LayerPhase phase, Body&& body) {
+  if (profiler == nullptr && !trace::CollectionActive()) {
+    body();
+    return;
+  }
+  TRACE_SCOPE("layer",
+              layer + "." + profile::LayerPhaseName(phase));
+  profile::Timer timer;
+  body();
+  const double us = timer.MicroSeconds();
+  if (profiler != nullptr) {
+    profiler->Record(layer, phase, us);
+  } else if (trace::MetricsActive()) {
+    trace::MetricsRegistry::Default()
+        .GetHistogram("layer." + layer + "." + profile::LayerPhaseName(phase) +
+                      ".us")
+        .Observe(us);
+  }
 }
 
 }  // namespace
@@ -220,34 +249,29 @@ void Net<Dtype>::AppendParams(const proto::LayerParameter& lp,
 
 template <typename Dtype>
 Dtype Net<Dtype>::Forward() {
+  TRACE_SCOPE("net", name_ + ".forward");
   Dtype loss = 0;
   for (std::size_t li = 0; li < layers_.size(); ++li) {
-    if (profiler_ != nullptr) {
-      profile::Timer timer;
-      loss += layers_[li]->Forward(bottom_vecs_[li], top_vecs_[li]);
-      profiler_->Record(layer_names_[li], profile::LayerPhase::kForward,
-                        timer.MicroSeconds());
-    } else {
-      loss += layers_[li]->Forward(bottom_vecs_[li], top_vecs_[li]);
-    }
+    TimedLayerPhase<Dtype>(profiler_, layer_names_[li],
+                           profile::LayerPhase::kForward, [&] {
+                             loss += layers_[li]->Forward(bottom_vecs_[li],
+                                                          top_vecs_[li]);
+                           });
   }
   return loss;
 }
 
 template <typename Dtype>
 void Net<Dtype>::Backward() {
+  TRACE_SCOPE("net", name_ + ".backward");
   for (std::size_t li = layers_.size(); li-- > 0;) {
     if (!layer_need_backward_[li]) continue;
-    if (profiler_ != nullptr) {
-      profile::Timer timer;
-      layers_[li]->Backward(top_vecs_[li], bottom_need_backward_[li],
-                            bottom_vecs_[li]);
-      profiler_->Record(layer_names_[li], profile::LayerPhase::kBackward,
-                        timer.MicroSeconds());
-    } else {
-      layers_[li]->Backward(top_vecs_[li], bottom_need_backward_[li],
-                            bottom_vecs_[li]);
-    }
+    TimedLayerPhase<Dtype>(profiler_, layer_names_[li],
+                           profile::LayerPhase::kBackward, [&] {
+                             layers_[li]->Backward(top_vecs_[li],
+                                                   bottom_need_backward_[li],
+                                                   bottom_vecs_[li]);
+                           });
   }
 }
 

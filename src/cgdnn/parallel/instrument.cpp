@@ -1,0 +1,46 @@
+#include "cgdnn/parallel/instrument.hpp"
+
+#include <algorithm>
+
+#include "cgdnn/trace/metrics.hpp"
+
+namespace cgdnn::parallel {
+
+RegionStats::RegionStats(std::string name, int nthreads)
+    : name_(std::move(name)) {
+  if (!trace::CollectionActive()) return;
+  active_ = true;
+  busy_ns_.assign(static_cast<std::size_t>(std::max(nthreads, 1)), 0);
+}
+
+void RegionStats::AddThreadBusyNs(int tid, std::uint64_t busy_ns) {
+  if (tid >= 0 && static_cast<std::size_t>(tid) < busy_ns_.size()) {
+    busy_ns_[static_cast<std::size_t>(tid)] += busy_ns;
+  }
+}
+
+double RegionStats::ImbalanceRatio() const {
+  std::uint64_t max_ns = 0, total_ns = 0;
+  std::size_t busy_threads = 0;
+  for (const std::uint64_t ns : busy_ns_) {
+    if (ns == 0) continue;
+    ++busy_threads;
+    total_ns += ns;
+    max_ns = std::max(max_ns, ns);
+  }
+  if (busy_threads == 0 || total_ns == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total_ns) / static_cast<double>(busy_threads);
+  return static_cast<double>(max_ns) / mean;
+}
+
+RegionStats::~RegionStats() {
+  if (!active_ || !trace::MetricsActive()) return;
+  const double ratio = ImbalanceRatio();
+  if (ratio <= 0.0) return;
+  auto& registry = trace::MetricsRegistry::Default();
+  registry.GetHistogram("region." + name_ + ".imbalance").Observe(ratio);
+  registry.GetGauge("region." + name_ + ".imbalance_last").Set(ratio);
+}
+
+}  // namespace cgdnn::parallel

@@ -1,0 +1,88 @@
+// Per-region observability hooks for the coarse-grain parallel loops.
+//
+// The paper's scalability analysis (§4.1, §4.3) hinges on how evenly a
+// coalesced worksharing loop distributes across the team. RegionStats
+// collects each thread's busy time for one parallel region, emits one trace
+// span per thread (so the region shows up on every thread's timeline in
+// chrome://tracing) and records the load-imbalance ratio — max over mean
+// per-thread busy time, 1.0 = perfectly balanced — into the metrics
+// registry as `region.<name>.imbalance`.
+//
+// Usage (layer code):
+//   parallel::RegionStats rs("conv1.forward", nthreads);
+//   #pragma omp parallel num_threads(nthreads)
+//   {
+//     ...
+//     {
+//       parallel::ThreadRegionScope scope(rs, tid);
+//       #pragma omp for schedule(static) nowait   // nowait: the scope must
+//       for (...) { ... }                         // not time barrier waits
+//     }
+//     #pragma omp barrier    // restore the worksharing barrier if needed
+//   }
+//
+// When neither tracing nor metrics collection is active the constructor
+// reads one atomic flag and every hook is a no-op — the disabled cost is a
+// branch per region, not per iteration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cgdnn/core/common.hpp"
+#include "cgdnn/trace/trace.hpp"
+
+namespace cgdnn::parallel {
+
+class RegionStats {
+ public:
+  /// Serial, before the parallel region opens.
+  RegionStats(std::string name, int nthreads);
+  /// Serial, after the region joins: records imbalance metrics.
+  ~RegionStats();
+  RegionStats(const RegionStats&) = delete;
+  RegionStats& operator=(const RegionStats&) = delete;
+
+  bool active() const { return active_; }
+  const std::string& name() const { return name_; }
+
+  /// Called by `tid` only (its own slot): accumulates busy nanoseconds.
+  void AddThreadBusyNs(int tid, std::uint64_t busy_ns);
+
+  /// max/mean busy time over threads that did any work; 0 before the
+  /// region ran. Exposed for tests.
+  double ImbalanceRatio() const;
+
+ private:
+  std::string name_;
+  std::vector<std::uint64_t> busy_ns_;
+  bool active_ = false;
+};
+
+/// RAII per-thread hook: times the enclosed worksharing chunk, feeds the
+/// RegionStats slot and emits the thread's span.
+class ThreadRegionScope {
+ public:
+  ThreadRegionScope(RegionStats& stats, int tid)
+      : stats_(stats), tid_(tid) {
+    if (stats_.active()) start_ns_ = trace::NowNs();
+  }
+  ~ThreadRegionScope() {
+    if (!stats_.active()) return;
+    const std::uint64_t end_ns = trace::NowNs();
+    stats_.AddThreadBusyNs(tid_, end_ns - start_ns_);
+    if (trace::TracingActive()) {
+      trace::Tracer::Get().Emit("region", stats_.name(), start_ns_, end_ns);
+    }
+  }
+  ThreadRegionScope(const ThreadRegionScope&) = delete;
+  ThreadRegionScope& operator=(const ThreadRegionScope&) = delete;
+
+ private:
+  RegionStats& stats_;
+  int tid_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace cgdnn::parallel

@@ -3,45 +3,102 @@
 #include <omp.h>
 
 #include "cgdnn/blas/blas.hpp"
+#include "cgdnn/trace/metrics.hpp"
+#include "cgdnn/trace/trace.hpp"
 
 namespace cgdnn::parallel {
 
 namespace {
 
+/// Per-thread merge accounting: span on the calling thread's timeline plus
+/// wait-time metrics. `total` covers the whole merge (serialization and
+/// barrier waits included), `work_ns` only this thread's own accumulation
+/// work — the difference is what the thread spent blocked on the merge.
+/// Called by every participating thread, with thread 0 counting the
+/// invocation.
+void RecordMerge(const char* mode_name, std::uint64_t start_ns,
+                 std::uint64_t work_ns) {
+  const std::uint64_t end_ns = trace::NowNs();
+  const std::uint64_t total_ns = end_ns - start_ns;
+  const std::string prefix = std::string("merge.") + mode_name;
+  if (trace::TracingActive()) {
+    trace::Tracer::Get().Emit("merge", prefix, start_ns, end_ns);
+  }
+  if (trace::MetricsActive()) {
+    auto& registry = trace::MetricsRegistry::Default();
+    registry.GetHistogram(prefix + ".thread_us")
+        .Observe(static_cast<double>(total_ns) / 1e3);
+    registry.GetHistogram(prefix + ".wait_us")
+        .Observe(static_cast<double>(total_ns > work_ns ? total_ns - work_ns
+                                                        : 0) /
+                 1e3);
+    if (omp_get_thread_num() == 0) {
+      registry.GetCounter(prefix + ".invocations").Add();
+    }
+  }
+}
+
 template <typename Dtype>
 void MergeOrdered(Dtype* const* parts, int nparts, Dtype* dest, index_t n) {
+  const bool collect = trace::CollectionActive();
+  const std::uint64_t t0 = collect ? trace::NowNs() : 0;
+  std::uint64_t work_ns = 0;
   // Algorithm 5 lines 22-24: an ordered loop over thread ids. Each thread
   // executes its own iteration; the ordered construct serializes the
   // accumulations in tid order, reproducing the sequential bit pattern.
 #pragma omp for ordered schedule(static, 1)
   for (int th = 0; th < nparts; ++th) {
 #pragma omp ordered
-    blas::axpy(n, Dtype(1), parts[th], dest);
+    {
+      const std::uint64_t w0 = collect ? trace::NowNs() : 0;
+      blas::axpy(n, Dtype(1), parts[th], dest);
+      if (collect) work_ns += trace::NowNs() - w0;
+    }
   }
+  // implicit barrier of the ordered for: all accumulations complete here
+  if (collect) RecordMerge("ordered", t0, work_ns);
 }
 
 template <typename Dtype>
 void MergeAtomic(Dtype* const* parts, int nparts, Dtype* dest, index_t n) {
+  const bool collect = trace::CollectionActive();
+  const std::uint64_t t0 = collect ? trace::NowNs() : 0;
+  std::uint64_t work_ns = 0;
   const int tid = omp_get_thread_num();
   if (tid < nparts) {
 #pragma omp critical(cgdnn_gradient_merge)
-    blas::axpy(n, Dtype(1), parts[tid], dest);
+    {
+      const std::uint64_t w0 = collect ? trace::NowNs() : 0;
+      blas::axpy(n, Dtype(1), parts[tid], dest);
+      if (collect) work_ns += trace::NowNs() - w0;
+    }
   }
 #pragma omp barrier
+  if (collect) RecordMerge("atomic", t0, work_ns);
 }
 
 template <typename Dtype>
 void MergeTree(Dtype* const* parts, int nparts, Dtype* dest, index_t n) {
+  const bool collect = trace::CollectionActive();
+  const std::uint64_t t0 = collect ? trace::NowNs() : 0;
+  std::uint64_t work_ns = 0;
   const int tid = omp_get_thread_num();
   for (int stride = 1; stride < nparts; stride *= 2) {
     if (tid < nparts && tid % (2 * stride) == 0 && tid + stride < nparts) {
+      const std::uint64_t w0 = collect ? trace::NowNs() : 0;
       blas::axpy(n, Dtype(1), parts[tid + stride], parts[tid]);
+      if (collect) work_ns += trace::NowNs() - w0;
     }
 #pragma omp barrier
   }
 #pragma omp single
-  blas::axpy(n, Dtype(1), parts[0], dest);
+  {
+    const std::uint64_t w0 = collect ? trace::NowNs() : 0;
+    blas::axpy(n, Dtype(1), parts[0], dest);
+    if (collect) work_ns += trace::NowNs() - w0;
+  }
   // implicit barrier at the end of single
+  if (collect) RecordMerge("tree", t0, work_ns);
 }
 
 }  // namespace

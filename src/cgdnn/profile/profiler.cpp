@@ -1,9 +1,13 @@
 #include "cgdnn/profile/profiler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <numeric>
 #include <sstream>
+
+#include "cgdnn/trace/metrics.hpp"
+#include "cgdnn/trace/trace.hpp"
 
 namespace cgdnn::profile {
 
@@ -25,12 +29,41 @@ double PhaseStats::min_us() const {
              : *std::min_element(samples_us.begin(), samples_us.end());
 }
 
+double PhaseStats::max_us() const {
+  return samples_us.empty()
+             ? 0.0
+             : *std::max_element(samples_us.begin(), samples_us.end());
+}
+
+double PhaseStats::stddev_us() const {
+  if (samples_us.size() < 2) return 0.0;
+  const double mean = mean_us();
+  double sq = 0.0;
+  for (const double v : samples_us) sq += (v - mean) * (v - mean);
+  return std::sqrt(sq / static_cast<double>(samples_us.size()));
+}
+
+double PhaseStats::p50_us() const {
+  if (samples_us.empty()) return 0.0;
+  std::vector<double> sorted = samples_us;
+  const std::size_t mid = (sorted.size() - 1) / 2;
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(mid),
+                   sorted.end());
+  return sorted[mid];
+}
+
 void Profiler::Record(const std::string& layer, LayerPhase phase,
                       double micros) {
   if (std::find(order_.begin(), order_.end(), layer) == order_.end()) {
     order_.push_back(layer);
   }
   stats_[{layer, phase}].Add(micros);
+  if (trace::MetricsActive()) {
+    trace::MetricsRegistry::Default()
+        .GetHistogram("layer." + layer + "." + LayerPhaseName(phase) + ".us")
+        .Observe(micros);
+  }
 }
 
 void Profiler::Reset() {
@@ -81,13 +114,15 @@ std::string Profiler::Table() const {
 std::string Profiler::Csv() const {
   const double total = TotalMeanUs();
   std::ostringstream os;
-  os << "layer,phase,mean_us,min_us,total_us,count,share\n";
+  os << "layer,phase,mean_us,min_us,max_us,stddev_us,p50_us,total_us,count,"
+        "share\n";
   for (const auto& layer : order_) {
     for (const LayerPhase phase : {LayerPhase::kForward, LayerPhase::kBackward}) {
       if (!has(layer, phase)) continue;
       const PhaseStats& st = stats(layer, phase);
       os << layer << ',' << LayerPhaseName(phase) << ',' << st.mean_us() << ','
-         << st.min_us() << ',' << st.total_us() << ',' << st.count() << ','
+         << st.min_us() << ',' << st.max_us() << ',' << st.stddev_us() << ','
+         << st.p50_us() << ',' << st.total_us() << ',' << st.count() << ','
          << (total > 0 ? st.mean_us() / total : 0.0) << "\n";
     }
   }

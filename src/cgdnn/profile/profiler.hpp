@@ -25,11 +25,20 @@ struct PhaseStats {
   double total_us() const;
   double mean_us() const;
   double min_us() const;
+  double max_us() const;
+  /// Population standard deviation over the samples (0 when < 2 samples).
+  double stddev_us() const;
+  /// Median (lower-median for even sample counts).
+  double p50_us() const;
   std::size_t count() const { return samples_us.size(); }
 };
 
 class Profiler {
  public:
+  /// Adds one sample. Besides the in-memory PhaseStats, the sample feeds the
+  /// process metrics registry (histogram `layer.<name>.<phase>.us`) whenever
+  /// metrics collection is active, so --metrics-out dumps include the
+  /// per-layer timing distributions.
   void Record(const std::string& layer, LayerPhase phase, double micros);
   void Reset();
 
@@ -45,7 +54,8 @@ class Profiler {
   /// Figure 4/7-style table: one row per layer and phase with absolute mean
   /// microseconds and relative share of the iteration.
   std::string Table() const;
-  /// CSV with header `layer,phase,mean_us,min_us,total_us,count,share`.
+  /// CSV with header
+  /// `layer,phase,mean_us,min_us,max_us,stddev_us,p50_us,total_us,count,share`.
   std::string Csv() const;
 
  private:

@@ -154,4 +154,22 @@ std::vector<LayerWork> ExtractWorkload(Net<float>& net, int measure_iters,
   return work;
 }
 
+void RecordWorkloadMetrics(const std::vector<LayerWork>& work,
+                           trace::MetricsRegistry& registry) {
+  for (const LayerWork& w : work) {
+    const auto record_pass = [&](const char* phase, const PassWork& pass) {
+      const std::string prefix = "layer." + w.name + "." + phase;
+      registry.GetGauge(prefix + ".flops").Set(pass.flops);
+      registry.GetGauge(prefix + ".bytes").Set(pass.bytes);
+      if (pass.serial_us > 0 && pass.flops > 0) {
+        // flops per pass / (µs * 1e3) = GFLOP/s.
+        registry.GetGauge(prefix + ".gflops")
+            .Set(pass.flops / (pass.serial_us * 1e3));
+      }
+    };
+    record_pass("forward", w.forward);
+    record_pass("backward", w.backward);
+  }
+}
+
 }  // namespace cgdnn::sim

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cgdnn/net/net.hpp"
+#include "cgdnn/trace/metrics.hpp"
 
 namespace cgdnn::sim {
 
@@ -64,5 +65,12 @@ struct LayerWork {
 std::vector<LayerWork> ExtractWorkload(Net<float>& net,
                                        int measure_iters = 5,
                                        int warmup = 2);
+
+/// Publishes the per-layer work into a metrics registry: gauges
+/// `layer.<name>.<phase>.flops` and `.bytes` (analytic counts per pass) and
+/// `.gflops` (achieved GFLOP/s implied by the measured serial time). Layers
+/// without a measured time get no gflops gauge.
+void RecordWorkloadMetrics(const std::vector<LayerWork>& work,
+                           trace::MetricsRegistry& registry);
 
 }  // namespace cgdnn::sim

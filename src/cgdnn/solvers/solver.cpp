@@ -6,7 +6,9 @@
 
 #include "cgdnn/blas/blas.hpp"
 #include "cgdnn/core/rng.hpp"
+#include "cgdnn/profile/timer.hpp"
 #include "cgdnn/solvers/sgd_solvers.hpp"
+#include "cgdnn/trace/trace.hpp"
 
 namespace cgdnn {
 
@@ -64,12 +66,20 @@ double Solver<Dtype>::GetLearningRate() const {
 
 template <typename Dtype>
 void Solver<Dtype>::Step(index_t iters) {
+  // Batch size for throughput telemetry: the first blob is the data layer's
+  // top, whose leading axis is the per-pass sample count.
+  const double batch =
+      net_->blobs().empty()
+          ? 0.0
+          : static_cast<double>(net_->blobs().front()->num());
   for (index_t i = 0; i < iters; ++i) {
     if (test_net_ && param_.test_interval > 0 &&
         iter_ % param_.test_interval == 0 &&
         (iter_ > 0 || param_.test_initialization)) {
       TestAll();
     }
+    TRACE_SCOPE("solver", "iteration");
+    profile::Timer iter_timer;
     net_->ClearParamDiffs();
     // Gradient accumulation: iter_size passes per update (effective batch
     // = iter_size x batch_size). Gradients sum across passes and are
@@ -88,6 +98,18 @@ void Solver<Dtype>::Step(index_t iters) {
     loss_history_.push_back(loss);
     ApplyUpdate();
     ++iter_;
+    if (telemetry_ != nullptr) {
+      const double secs = iter_timer.Seconds();
+      telemetry_->Write(
+          {{"iter", static_cast<double>(iter_)},
+           {"loss", static_cast<double>(loss)},
+           {"lr", GetLearningRate()},
+           {"imgs_per_sec",
+            secs > 0 ? batch * static_cast<double>(iter_size) / secs : 0.0},
+           {"iter_us", secs * 1e6},
+           {"rss_bytes",
+            static_cast<double>(trace::CurrentRssBytes())}});
+    }
     if (param_.display > 0 && iter_ % param_.display == 0) {
       std::cout << "Iteration " << iter_ << ", loss = " << loss
                 << ", lr = " << GetLearningRate() << "\n";

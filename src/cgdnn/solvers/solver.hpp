@@ -16,6 +16,7 @@
 
 #include "cgdnn/net/net.hpp"
 #include "cgdnn/proto/params.hpp"
+#include "cgdnn/trace/telemetry.hpp"
 
 namespace cgdnn {
 
@@ -39,6 +40,11 @@ class Solver {
   /// value per scalar test-net output (e.g. accuracy, loss), paired with
   /// the blob name.
   std::vector<std::pair<std::string, Dtype>> TestAll();
+
+  /// Attaches a JSONL telemetry sink: one record per training iteration
+  /// (iter, loss, lr, imgs/sec, RSS). nullptr detaches; the sink must
+  /// outlive the training loop.
+  void set_telemetry(trace::TelemetrySink* sink) { telemetry_ = sink; }
 
   Net<Dtype>& net() { return *net_; }
   Net<Dtype>* test_net() { return test_net_.get(); }
@@ -65,6 +71,7 @@ class Solver {
   /// Per-parameter state (momentum, squared-gradient accumulators, ...).
   std::vector<std::shared_ptr<Blob<Dtype>>> history_;
   std::vector<std::shared_ptr<Blob<Dtype>>> update_;
+  trace::TelemetrySink* telemetry_ = nullptr;
 };
 
 /// Instantiates the solver named by param.type.

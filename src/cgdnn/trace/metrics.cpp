@@ -1,0 +1,131 @@
+#include "cgdnn/trace/metrics.hpp"
+
+#include <iomanip>
+
+namespace cgdnn::trace {
+
+namespace {
+
+/// fetch_add / fetch_min-style CAS update for atomic<double> (the fetch_*
+/// overloads for floating point are C++20 but not universally implemented).
+template <typename Op>
+void AtomicUpdate(std::atomic<double>& target, double v, Op op) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, op(cur, v),
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Observe(double v) {
+  buckets_[static_cast<std::size_t>(BucketIndex(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicUpdate(sum_, v, [](double a, double b) { return a + b; });
+  AtomicUpdate(min_, v, [](double a, double b) { return b < a ? b : a; });
+  AtomicUpdate(max_, v, [](double a, double b) { return b > a ? b : a; });
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
+                                                  Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: e.histogram = std::make_unique<Histogram>(); break;
+    }
+  }
+  CGDNN_CHECK(e.kind == kind)
+      << "metric '" << name << "' already registered with a different kind";
+  return e;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return *GetEntry(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  return *GetEntry(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  return *GetEntry(name, Kind::kHistogram).histogram;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto saved_prec = os.precision();
+  os << std::setprecision(15);
+  const auto write_section = [&](const char* title, Kind kind,
+                                 bool trailing_comma) {
+    os << "  \"" << title << "\": {";
+    bool first = true;
+    for (const auto& [name, e] : entries_) {
+      if (e.kind != kind) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\n    \"" << name << "\": ";
+      if (kind == Kind::kCounter) {
+        os << e.counter->value();
+      } else if (kind == Kind::kGauge) {
+        os << e.gauge->value();
+      } else {
+        const Histogram& h = *e.histogram;
+        os << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
+           << ", \"mean\": " << h.mean() << ", \"min\": " << h.min()
+           << ", \"max\": " << h.max() << ", \"buckets\": [";
+        bool bfirst = true;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          if (h.bucket_count(i) == 0) continue;
+          if (!bfirst) os << ", ";
+          bfirst = false;
+          os << "{\"le\": ";
+          if (i == Histogram::kNumBuckets - 1) {
+            os << "\"inf\"";
+          } else {
+            os << Histogram::BucketUpperBound(i);
+          }
+          os << ", \"count\": " << h.bucket_count(i) << "}";
+        }
+        os << "]}";
+      }
+    }
+    os << (first ? "}" : "\n  }") << (trailing_comma ? "," : "") << "\n";
+  };
+  os << "{\n";
+  write_section("counters", Kind::kCounter, true);
+  write_section("gauges", Kind::kGauge, true);
+  write_section("histograms", Kind::kHistogram, false);
+  os << "}\n";
+  os.precision(saved_prec);
+}
+
+}  // namespace cgdnn::trace

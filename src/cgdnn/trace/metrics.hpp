@@ -1,0 +1,127 @@
+// Metrics registry: named counters, gauges and fixed log-scale histograms.
+//
+// The runtime records per-layer FLOPs, bytes moved, achieved GFLOP/s, the
+// load-imbalance ratio of every parallel region (max/mean per-thread busy
+// time) and gradient-merge wait times here. All update paths are thread-safe
+// (plain atomics; histogram buckets are independent atomic counters), so
+// instrumentation inside OpenMP regions needs no locking. Lookup by name
+// takes a mutex — hot paths should resolve a metric once and keep the
+// reference (references remain valid for the registry's lifetime).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "cgdnn/core/common.hpp"
+
+namespace cgdnn::trace {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins floating-point metric.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over fixed log-scale (power-of-two) buckets.
+///
+/// Bucket 0 covers values <= 1; bucket i (1 <= i < kNumBuckets-1) covers
+/// (2^(i-1), 2^i]; the last bucket collects everything above 2^(kNumBuckets-2).
+/// 44 buckets span ~4.4e12, enough for nanoseconds-to-hours durations in any
+/// unit. Exact count/sum/min/max ride along for mean and range queries.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 44;
+
+  static int BucketIndex(double v) {
+    int i = 0;
+    double ub = 1.0;
+    while (v > ub && i < kNumBuckets - 1) {
+      ub *= 2.0;
+      ++i;
+    }
+    return i;
+  }
+  /// Inclusive upper bound of bucket `i` (+inf for the overflow bucket).
+  static double BucketUpperBound(int i) {
+    if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+    double ub = 1.0;
+    for (int k = 0; k < i; ++k) ub *= 2.0;
+    return ub;
+  }
+
+  void Observe(double v);
+
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Name -> metric map. Get* registers on first use; requesting an existing
+/// name with a different metric kind throws.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the runtime instrumentation records into.
+  static MetricsRegistry& Default();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Drops every registered metric. Serial only; invalidates references.
+  void Reset();
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}} with
+  /// per-histogram count/sum/mean/min/max and non-empty buckets. Serial only.
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& GetEntry(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace cgdnn::trace

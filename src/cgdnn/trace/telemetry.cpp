@@ -1,0 +1,47 @@
+#include "cgdnn/trace/telemetry.hpp"
+
+#include <cmath>
+#include <iomanip>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace cgdnn::trace {
+
+TelemetrySink::TelemetrySink(const std::string& path)
+    : path_(path), out_(path, std::ios::trunc) {}
+
+void TelemetrySink::Write(
+    std::initializer_list<std::pair<const char*, double>> fields) {
+  if (!ok()) return;
+  out_ << std::setprecision(15) << "{";
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) out_ << ",";
+    first = false;
+    out_ << "\"" << key << "\":";
+    // NaN/inf are not valid JSON numbers (a diverged loss would poison the
+    // whole line); emit null instead.
+    if (std::isfinite(value)) {
+      out_ << value;
+    } else {
+      out_ << "null";
+    }
+  }
+  out_ << "}\n" << std::flush;
+}
+
+std::size_t CurrentRssBytes() {
+#ifdef __linux__
+  // /proc/self/statm field 2: resident pages.
+  std::ifstream statm("/proc/self/statm");
+  std::size_t total_pages = 0, resident_pages = 0;
+  if (statm >> total_pages >> resident_pages) {
+    return resident_pages * static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  }
+#endif
+  return 0;
+}
+
+}  // namespace cgdnn::trace

@@ -1,0 +1,39 @@
+// JSONL telemetry sink for training runs.
+//
+// The solver writes one JSON object per line per iteration — iter, loss,
+// learning rate, throughput, resident set size — so a dashboard (or plain
+// `jq`) can follow a long training run without parsing log text. The schema
+// is flat key->number; see docs/observability.md.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "cgdnn/core/common.hpp"
+
+namespace cgdnn::trace {
+
+class TelemetrySink {
+ public:
+  /// Opens (truncates) `path`. A failed open leaves the sink inert — Write
+  /// becomes a no-op — so telemetry can never abort a training run.
+  explicit TelemetrySink(const std::string& path);
+
+  bool ok() const { return out_.is_open() && out_.good(); }
+  const std::string& path() const { return path_; }
+
+  /// Appends one JSONL record with the fields in the given order and
+  /// flushes, keeping the file valid if the process dies mid-run.
+  void Write(std::initializer_list<std::pair<const char*, double>> fields);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Resident set size of this process in bytes (0 where unsupported).
+std::size_t CurrentRssBytes();
+
+}  // namespace cgdnn::trace

@@ -1,0 +1,151 @@
+#include "cgdnn/trace/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <iomanip>
+#include <mutex>
+
+namespace cgdnn::trace {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<bool> g_metrics{false};
+
+std::chrono::steady_clock::time_point Epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+void WriteJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+bool TracingActive() { return g_tracing.load(std::memory_order_relaxed); }
+bool MetricsActive() { return g_metrics.load(std::memory_order_relaxed); }
+bool CollectionActive() { return TracingActive() || MetricsActive(); }
+void SetMetrics(bool active) {
+  g_metrics.store(active, std::memory_order_relaxed);
+}
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch())
+          .count());
+}
+
+struct Tracer::ThreadLog {
+  int tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();  // leaked: threads may outlive main
+  return *tracer;
+}
+
+Tracer::ThreadLog& Tracer::Log() {
+  // Registration order assigns the stable tid. OpenMP reuses its worker
+  // threads across parallel regions, so each worker keeps one log for the
+  // process lifetime; the thread_local caches the lookup.
+  static std::mutex mu;
+  thread_local ThreadLog* log = [this] {
+    auto* l = new ThreadLog();
+    std::lock_guard<std::mutex> lock(mu);
+    l->tid = static_cast<int>(logs_.size());
+    logs_.push_back(l);
+    return l;
+  }();
+  return *log;
+}
+
+void Tracer::Start() {
+  Epoch();  // pin the epoch before the first event
+  g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() { g_tracing.store(false, std::memory_order_relaxed); }
+
+void Tracer::Clear() {
+  for (ThreadLog* log : logs_) log->events.clear();
+}
+
+void Tracer::Emit(const char* category, std::string name,
+                  std::uint64_t start_ns, std::uint64_t end_ns) {
+  ThreadLog& log = Log();
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = category;
+  ev.start_ns = start_ns;
+  ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  ev.tid = log.tid;
+  log.events.push_back(std::move(ev));
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t n = 0;
+  for (const ThreadLog* log : logs_) n += log->events.size();
+  return n;
+}
+
+std::size_t Tracer::thread_count() const {
+  std::size_t n = 0;
+  for (const ThreadLog* log : logs_) n += log->events.empty() ? 0 : 1;
+  return n;
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> all;
+  for (const ThreadLog* log : logs_) {
+    all.insert(all.end(), log->events.begin(), log->events.end());
+  }
+  return all;
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  // Fixed microsecond timestamps with ns resolution: scientific notation is
+  // valid JSON but breaks some trace viewers' zoom heuristics.
+  const auto saved_flags = os.flags();
+  const auto saved_prec = os.precision();
+  os << std::fixed << std::setprecision(3);
+  os << "[";
+  bool first = true;
+  for (const ThreadLog* log : logs_) {
+    for (const TraceEvent& ev : log->events) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n{\"name\":";
+      WriteJsonString(os, ev.name);
+      os << ",\"cat\":\"" << ev.category << "\",\"ph\":\"X\",\"ts\":"
+         << static_cast<double>(ev.start_ns) / 1e3
+         << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3
+         << ",\"pid\":1,\"tid\":" << ev.tid << "}";
+    }
+  }
+  os << "\n]\n";
+  os.flags(saved_flags);
+  os.precision(saved_prec);
+}
+
+}  // namespace cgdnn::trace

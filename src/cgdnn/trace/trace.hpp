@@ -1,0 +1,122 @@
+// Per-thread span tracing for the coarse-grain runtime.
+//
+// The paper's evidence (Figures 4-9) is per-layer, per-thread timing: which
+// OpenMP thread spent time where, how unbalanced a coalesced loop was, what
+// the gradient merge cost. TRACE_SCOPE(category, name) records a span on the
+// calling thread's private event log with nanosecond timestamps; the logs
+// export as Chrome trace-event JSON loadable in chrome://tracing / Perfetto,
+// so every thread of a parallel region appears as its own timeline row.
+//
+// Cost model: each thread appends to a log only it writes (lock-free on the
+// hot path; a mutex is taken once per thread, at registration). When tracing
+// is inactive, an instrumented scope costs one relaxed atomic load and a
+// branch; compiling with CGDNN_TRACE_ENABLED=0 removes even that.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cgdnn/core/common.hpp"
+
+#ifndef CGDNN_TRACE_ENABLED
+#define CGDNN_TRACE_ENABLED 1
+#endif
+
+namespace cgdnn::trace {
+
+/// Runtime collection switches. Tracing (span capture) and metrics
+/// (registry updates) toggle independently; both default off.
+bool TracingActive();
+bool MetricsActive();
+/// True when either kind of collection is on — instrumented regions use it
+/// to skip per-thread timing entirely in the common (disabled) case.
+bool CollectionActive();
+void SetMetrics(bool active);
+
+/// Nanoseconds since the tracer's epoch (first use of the process tracer).
+std::uint64_t NowNs();
+
+/// One completed span, recorded by the owning thread.
+struct TraceEvent {
+  std::string name;      ///< e.g. "conv1.forward" or "merge.ordered"
+  const char* category;  ///< static string: "layer", "region", "merge", ...
+  std::uint64_t start_ns = 0;  ///< relative to the tracer epoch
+  std::uint64_t dur_ns = 0;
+  int tid = 0;  ///< stable per-thread id (registration order)
+};
+
+/// Process-wide span collector. Start()/Stop()/Clear()/Write must be called
+/// from serial code; Emit may be called concurrently from any thread.
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  void Start();
+  void Stop();
+  /// Drops captured events; keeps thread registrations (serial only).
+  void Clear();
+
+  /// Records one completed span on the calling thread's log.
+  void Emit(const char* category, std::string name, std::uint64_t start_ns,
+            std::uint64_t end_ns);
+
+  /// Event count over all threads (serial only: call after the traced
+  /// parallel work has joined/barriered).
+  std::size_t event_count() const;
+  /// Number of distinct threads that have recorded at least one event.
+  std::size_t thread_count() const;
+  /// Copies all events out (serial only).
+  std::vector<TraceEvent> Events() const;
+
+  /// Writes the Chrome trace-event JSON array: one "X" (complete) event per
+  /// span, with "ts"/"dur" in microseconds. Serial only.
+  void WriteChromeTrace(std::ostream& os) const;
+
+ private:
+  Tracer() = default;
+  struct ThreadLog;
+  ThreadLog& Log();
+
+  std::vector<ThreadLog*> logs_;  // owned; never freed while process lives
+};
+
+/// RAII span: captures the start time at construction and emits the event
+/// at destruction. No-op (one atomic load) while tracing is inactive.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, std::string name) {
+    if (!TracingActive()) return;
+    active_ = true;
+    category_ = category;
+    name_ = std::move(name);
+    start_ns_ = NowNs();
+  }
+  ~ScopedSpan() {
+    if (active_) Tracer::Get().Emit(category_, std::move(name_), start_ns_, NowNs());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  const char* category_ = nullptr;
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace cgdnn::trace
+
+#if CGDNN_TRACE_ENABLED
+#define CGDNN_TRACE_CONCAT_IMPL(a, b) a##b
+#define CGDNN_TRACE_CONCAT(a, b) CGDNN_TRACE_CONCAT_IMPL(a, b)
+/// Records the enclosing scope as a span on the calling thread's timeline.
+#define TRACE_SCOPE(category, name)                                   \
+  ::cgdnn::trace::ScopedSpan CGDNN_TRACE_CONCAT(cgdnn_trace_span_,    \
+                                                __COUNTER__)(category, name)
+#else
+#define TRACE_SCOPE(category, name) \
+  do {                              \
+  } while (false)
+#endif

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 
 #include "cgdnn/profile/timer.hpp"
@@ -34,6 +35,7 @@ TEST(PhaseStats, Aggregates) {
   EXPECT_DOUBLE_EQ(stats.total_us(), 60.0);
   EXPECT_DOUBLE_EQ(stats.mean_us(), 20.0);
   EXPECT_DOUBLE_EQ(stats.min_us(), 10.0);
+  EXPECT_DOUBLE_EQ(stats.max_us(), 30.0);
   EXPECT_EQ(stats.count(), 3u);
 }
 
@@ -42,6 +44,32 @@ TEST(PhaseStats, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(stats.total_us(), 0.0);
   EXPECT_DOUBLE_EQ(stats.mean_us(), 0.0);
   EXPECT_DOUBLE_EQ(stats.min_us(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_us(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev_us(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.p50_us(), 0.0);
+}
+
+TEST(PhaseStats, SpreadStatistics) {
+  PhaseStats stats;
+  stats.Add(10.0);
+  stats.Add(20.0);
+  stats.Add(90.0);
+  // Population stddev of {10, 20, 90} around mean 40.
+  EXPECT_NEAR(stats.stddev_us(), std::sqrt((900.0 + 400.0 + 2500.0) / 3.0),
+              1e-9);
+  EXPECT_DOUBLE_EQ(stats.p50_us(), 20.0);
+  // Single sample: no spread, median is the sample.
+  PhaseStats one;
+  one.Add(42.0);
+  EXPECT_DOUBLE_EQ(one.stddev_us(), 0.0);
+  EXPECT_DOUBLE_EQ(one.p50_us(), 42.0);
+  // Even count: lower median (order-statistic, not interpolated).
+  PhaseStats even;
+  even.Add(4.0);
+  even.Add(1.0);
+  even.Add(3.0);
+  even.Add(2.0);
+  EXPECT_DOUBLE_EQ(even.p50_us(), 2.0);
 }
 
 TEST(Profiler, RecordsPerLayerPerPhase) {
@@ -79,7 +107,10 @@ TEST(Profiler, TableAndCsvContainLayers) {
   EXPECT_NE(table.find("75.0"), std::string::npos);
   EXPECT_NE(table.find("TOTAL"), std::string::npos);
   const std::string csv = profiler.Csv();
-  EXPECT_NE(csv.find("layer,phase,mean_us"), std::string::npos);
+  EXPECT_NE(
+      csv.find("layer,phase,mean_us,min_us,max_us,stddev_us,p50_us,total_us,"
+               "count,share"),
+      std::string::npos);
   EXPECT_NE(csv.find("conv1,forward,75"), std::string::npos);
   EXPECT_NE(csv.find("conv1,backward,25"), std::string::npos);
 }

@@ -4,34 +4,54 @@
 //
 //   cgdnn_time --model=models/lenet_train_test.prototxt
 //              [--iterations=N] [--threads=N] [--merge=MODE] [--csv]
+//              [--trace-out=trace.json] [--metrics-out=metrics.json]
+//
+// --model also accepts the builtin names "lenet" and "cifar10_quick"
+// (synthetic data). --trace-out records a Chrome trace-event JSON of the
+// timed iterations (open in chrome://tracing or Perfetto); --metrics-out
+// dumps the metrics registry, including per-layer FLOPs / bytes / achieved
+// GFLOP/s and per-region load-imbalance histograms.
 #include <iostream>
 
 #include "cgdnn/core/rng.hpp"
 #include "cgdnn/net/net.hpp"
 #include "cgdnn/profile/profiler.hpp"
+#include "cgdnn/sim/workload.hpp"
 #include "flags.hpp"
 
 namespace {
 constexpr const char* kUsage =
-    "cgdnn_time --model=<file> [--iterations=N] [--threads=N] "
-    "[--merge=MODE] [--csv]";
+    "cgdnn_time --model=<file|lenet|cifar10_quick> [--iterations=N] "
+    "[--threads=N] [--merge=MODE] [--csv] [--trace-out=<file>] "
+    "[--metrics-out=<file>]";
 }
 
 int main(int argc, char** argv) {
   using namespace cgdnn;
   try {
     const tools::Flags flags(argc, argv);
-    const std::string model_path = flags.Require("model", kUsage);
+    const std::string model = flags.Require("model", kUsage);
     const index_t iterations = flags.GetInt("iterations", 10);
     tools::ConfigureParallel(flags);
 
     SeedGlobalRng(1);
-    Net<float> net(proto::NetParameter::FromFile(model_path), Phase::kTrain);
+    Net<float> net(tools::ResolveModel(model), Phase::kTrain);
     std::cout << "timing " << net.name() << " ("
               << parallel::Parallel::ResolveThreads() << " thread(s), "
               << iterations << " iterations)\n";
 
     net.ForwardBackward();  // warmup + shape resolution
+
+    // Arm tracing/metrics only for the measured iterations so the trace
+    // starts at the first profiled pass.
+    tools::Observability obs(flags);
+    if (flags.Has("metrics-out")) {
+      // Analytic per-layer work (FLOPs, bytes, achieved GFLOP/s from serial
+      // reference timings) published alongside the runtime histograms.
+      sim::RecordWorkloadMetrics(sim::ExtractWorkload(net),
+                                 trace::MetricsRegistry::Default());
+    }
+
     profile::Profiler profiler;
     net.set_profiler(&profiler);
     for (index_t i = 0; i < iterations; ++i) {
@@ -39,6 +59,7 @@ int main(int argc, char** argv) {
       net.ForwardBackward();
     }
     net.set_profiler(nullptr);
+    obs.Finish();
     std::cout << (flags.GetBool("csv") ? profiler.Csv() : profiler.Table());
     return 0;
   } catch (const std::exception& e) {

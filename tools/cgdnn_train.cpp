@@ -5,21 +5,28 @@
 //               [--threads=N] [--merge=ordered|atomic|tree] [--no-coalesce]
 //               [--weights=init.cgdnn] [--snapshot=out.cgdnn]
 //               [--iterations=N]            (overrides solver max_iter)
+//               [--profile]                 (Figure-4-style layer table)
+//               [--trace-out=trace.json] [--metrics-out=metrics.json]
+//               [--telemetry-out=train.jsonl]
 //
 // The solver file may inline its net (`net_param { ... }`) or reference an
 // external prototxt via `net: "relative/path.prototxt"` (resolved relative
-// to the solver file).
+// to the solver file). --telemetry-out streams one JSON object per training
+// iteration (iter, loss, lr, imgs/sec, RSS); --trace-out records a Chrome
+// trace-event JSON of the whole run.
 #include <filesystem>
 #include <iostream>
 
 #include "cgdnn/net/serialization.hpp"
+#include "cgdnn/profile/profiler.hpp"
 #include "cgdnn/solvers/solver.hpp"
 #include "flags.hpp"
 
 namespace {
 constexpr const char* kUsage =
     "cgdnn_train --solver=<file> [--threads=N] [--merge=MODE] "
-    "[--weights=<file>] [--snapshot=<file>] [--iterations=N]";
+    "[--weights=<file>] [--snapshot=<file>] [--iterations=N] [--profile] "
+    "[--trace-out=<file>] [--metrics-out=<file>] [--telemetry-out=<file>]";
 }
 
 int main(int argc, char** argv) {
@@ -51,6 +58,11 @@ int main(int argc, char** argv) {
                 << flags.GetString("weights") << "\n";
     }
 
+    tools::Observability obs(flags);
+    solver->set_telemetry(obs.telemetry());
+    profile::Profiler profiler;
+    if (flags.GetBool("profile")) solver->net().set_profiler(&profiler);
+
     std::cout << "training " << solver->net().name() << " ("
               << parallel::Parallel::ResolveThreads() << " thread(s), merge="
               << parallel::GradientMergeName(
@@ -58,6 +70,10 @@ int main(int argc, char** argv) {
               << ") for " << param.max_iter << " iterations\n";
     solver->Solve();
     std::cout << "final loss: " << solver->loss_history().back() << "\n";
+    solver->net().set_profiler(nullptr);
+    solver->set_telemetry(nullptr);
+    obs.Finish();
+    if (flags.GetBool("profile")) std::cout << profiler.Table();
     if (solver->test_net() != nullptr) {
       for (const auto& [name, value] : solver->TestAll()) {
         std::cout << "test " << name << " = " << value << "\n";

@@ -2,13 +2,19 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cgdnn/core/common.hpp"
+#include "cgdnn/net/models.hpp"
 #include "cgdnn/parallel/context.hpp"
+#include "cgdnn/trace/metrics.hpp"
+#include "cgdnn/trace/telemetry.hpp"
+#include "cgdnn/trace/trace.hpp"
 
 namespace cgdnn::tools {
 
@@ -77,5 +83,75 @@ inline void ConfigureParallel(const Flags& flags) {
       parallel::GradientMergeFromName(flags.GetString("merge", "ordered"));
   cfg.coalesce = !flags.GetBool("no-coalesce");
 }
+
+/// Resolves --model values: the builtin names "lenet" and "cifar10_quick"
+/// (alias "cifar10") map to the paper's evaluation networks with synthetic
+/// data; anything else is read as a prototxt path.
+inline proto::NetParameter ResolveModel(const std::string& model) {
+  if (model == "lenet") return models::LeNet();
+  if (model == "cifar10_quick" || model == "cifar10") {
+    return models::Cifar10Quick();
+  }
+  return proto::NetParameter::FromFile(model);
+}
+
+/// Shared --trace-out / --metrics-out / --telemetry-out plumbing. Construct
+/// after flag parsing (arms the tracer / metrics registry for the run) and
+/// call Finish() once the workload is done to write the output files.
+class Observability {
+ public:
+  explicit Observability(const Flags& flags)
+      : trace_path_(flags.GetString("trace-out")),
+        metrics_path_(flags.GetString("metrics-out")),
+        telemetry_path_(flags.GetString("telemetry-out")) {
+    if (!trace_path_.empty()) {
+      trace::Tracer::Get().Clear();
+      trace::Tracer::Get().Start();
+    }
+    if (!metrics_path_.empty()) {
+      trace::MetricsRegistry::Default().Reset();
+      trace::SetMetrics(true);
+    }
+    if (!telemetry_path_.empty()) {
+      telemetry_ = std::make_unique<trace::TelemetrySink>(telemetry_path_);
+    }
+  }
+
+  /// The JSONL sink for solvers, or nullptr when --telemetry-out is absent.
+  trace::TelemetrySink* telemetry() { return telemetry_.get(); }
+
+  /// Stops collection and writes the requested files; reports each path on
+  /// stderr so benchmark stdout stays machine-readable.
+  void Finish() {
+    if (!trace_path_.empty()) {
+      trace::Tracer::Get().Stop();
+      std::ofstream out(trace_path_, std::ios::trunc);
+      if (out) {
+        trace::Tracer::Get().WriteChromeTrace(out);
+        std::cerr << "trace written to " << trace_path_ << " ("
+                  << trace::Tracer::Get().event_count() << " events, "
+                  << trace::Tracer::Get().thread_count() << " thread(s))\n";
+      } else {
+        std::cerr << "error: cannot write " << trace_path_ << "\n";
+      }
+    }
+    if (!metrics_path_.empty()) {
+      trace::SetMetrics(false);
+      std::ofstream out(metrics_path_, std::ios::trunc);
+      if (out) {
+        trace::MetricsRegistry::Default().WriteJson(out);
+        std::cerr << "metrics written to " << metrics_path_ << "\n";
+      } else {
+        std::cerr << "error: cannot write " << metrics_path_ << "\n";
+      }
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::string telemetry_path_;
+  std::unique_ptr<trace::TelemetrySink> telemetry_;
+};
 
 }  // namespace cgdnn::tools

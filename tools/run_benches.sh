@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Runs every figure/table/ablation bench and collects the machine-readable
+# BENCH_<name>.json reports under bench/results/.
+#
+#   tools/run_benches.sh [build_dir]     (default: build)
+#
+# Human-readable figure output goes to bench/results/<name>.txt alongside
+# each JSON report. micro_kernels (google-benchmark) uses its native JSON
+# reporter.
+set -eu
+
+BUILD_DIR=${1:-build}
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BENCH_DIR="$REPO_ROOT/$BUILD_DIR/bench"
+RESULTS_DIR="$REPO_ROOT/bench/results"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found — build first: cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p "$RESULTS_DIR"
+cd "$RESULTS_DIR"
+
+BENCHES="fig4_mnist_layer_time fig5_mnist_layer_scalability \
+fig6_mnist_overall fig7_cifar_layer_time fig8_cifar_layer_scalability \
+fig9_cifar_overall tab_memory_overhead abl_reduction_modes abl_coalescing \
+abl_blas_vs_batch abl_model_sensitivity"
+
+for name in $BENCHES; do
+  bin="$BENCH_DIR/$name"
+  if [ ! -x "$bin" ]; then
+    echo "skip: $name (not built)" >&2
+    continue
+  fi
+  echo "== $name"
+  "$bin" > "$name.txt"
+done
+
+if [ -x "$BENCH_DIR/micro_kernels" ]; then
+  echo "== micro_kernels"
+  "$BENCH_DIR/micro_kernels" \
+    --benchmark_out="BENCH_micro_kernels.json" \
+    --benchmark_out_format=json > micro_kernels.txt
+fi
+
+echo "reports in $RESULTS_DIR:"
+ls -1 BENCH_*.json
