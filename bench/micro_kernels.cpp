@@ -1,10 +1,18 @@
-// google-benchmark micro-kernels for the primitives every layer is built
-// from. These are host measurements (no simulation): useful for regression
-// tracking of the native BLAS and im2col implementations.
+// Micro-kernel benchmarks: (1) an old-vs-new GEMM engine sweep over the
+// actual im2col/inner-product shapes of LeNet and cifar10_quick, emitting
+// BENCH_gemm_micro.json (the regression gate for the packed GEMM engine —
+// see docs/perf.md and tools/compare_bench.py), and (2) google-benchmark
+// timings of the primitives every layer is built from. These are host
+// measurements (no simulation).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "cgdnn/blas/blas.hpp"
 #include "cgdnn/blas/im2col.hpp"
 #include "cgdnn/core/rng.hpp"
@@ -19,6 +27,175 @@ std::vector<float> RandomVec(index_t n, std::uint64_t seed) {
   for (auto& x : v) x = static_cast<float>(rng.Uniform(-1, 1));
   return v;
 }
+
+// ---- old-vs-new GEMM shape sweep -------------------------------------------
+
+// The pre-packing serial kernels (seed's blas::gemm), kept verbatim as the
+// "old" side of the sweep so the speedup in BENCH_gemm_micro.json always
+// refers to the same baseline.
+namespace legacy {
+
+constexpr index_t kBlockK = 256;
+
+template <typename Dtype>
+void ScaleC(index_t m, index_t n, Dtype beta, Dtype* c) {
+  const index_t total = m * n;
+  if (beta == Dtype(0)) {
+    std::fill(c, c + total, Dtype(0));
+  } else if (beta != Dtype(1)) {
+    for (index_t i = 0; i < total; ++i) c[i] *= beta;
+  }
+}
+
+template <typename Dtype>
+void gemm(blas::Transpose trans_a, blas::Transpose trans_b, index_t m,
+          index_t n, index_t k, Dtype alpha, const Dtype* a, const Dtype* b,
+          Dtype beta, Dtype* c) {
+  ScaleC(m, n, beta, c);
+  if (m == 0 || n == 0 || k == 0 || alpha == Dtype(0)) return;
+  const bool ta = trans_a == blas::Transpose::kTrans;
+  const bool tb = trans_b == blas::Transpose::kTrans;
+  if (!ta && !tb) {
+    for (index_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const index_t k1 = std::min(k0 + kBlockK, k);
+      for (index_t i = 0; i < m; ++i) {
+        Dtype* ci = c + i * n;
+        for (index_t kk = k0; kk < k1; ++kk) {
+          const Dtype aik = alpha * a[i * k + kk];
+          if (aik == Dtype(0)) continue;
+          const Dtype* bk = b + kk * n;
+          for (index_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+        }
+      }
+    }
+  } else if (!ta && tb) {
+    for (index_t i = 0; i < m; ++i) {
+      const Dtype* ai = a + i * k;
+      Dtype* ci = c + i * n;
+      for (index_t j = 0; j < n; ++j) {
+        const Dtype* bj = b + j * k;
+        Dtype sum = 0;
+        for (index_t kk = 0; kk < k; ++kk) sum += ai[kk] * bj[kk];
+        ci[j] += alpha * sum;
+      }
+    }
+  } else if (ta && !tb) {
+    for (index_t kk = 0; kk < k; ++kk) {
+      const Dtype* ak = a + kk * m;
+      const Dtype* bk = b + kk * n;
+      for (index_t i = 0; i < m; ++i) {
+        const Dtype aik = alpha * ak[i];
+        if (aik == Dtype(0)) continue;
+        Dtype* ci = c + i * n;
+        for (index_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+      }
+    }
+  } else {
+    for (index_t i = 0; i < m; ++i) {
+      Dtype* ci = c + i * n;
+      for (index_t j = 0; j < n; ++j) {
+        const Dtype* bj = b + j * k;
+        Dtype sum = 0;
+        for (index_t kk = 0; kk < k; ++kk) sum += a[kk * m + i] * bj[kk];
+        ci[j] += alpha * sum;
+      }
+    }
+  }
+}
+
+}  // namespace legacy
+
+struct GemmShape {
+  const char* name;  // <net>.<layer>.<pass>
+  blas::Transpose ta, tb;
+  index_t m, n, k;
+  float beta;
+};
+
+// The exact per-sample GEMM shapes the conv/inner-product layers issue for
+// LeNet (MNIST) and cifar10_quick: forward (im2col . W), dW (NT) and dX (TN)
+// for each conv, plus the inner-product forward shapes (batch 64/100).
+const GemmShape kGemmShapes[] = {
+    // LeNet convs: conv1 20x(1*5*5=25) on 24x24, conv2 50x(20*5*5=500) on 8x8.
+    {"lenet.conv1.fwd", blas::Transpose::kNo, blas::Transpose::kNo, 20, 576, 25, 0.f},
+    {"lenet.conv1.dW", blas::Transpose::kNo, blas::Transpose::kTrans, 20, 25, 576, 1.f},
+    {"lenet.conv1.dX", blas::Transpose::kTrans, blas::Transpose::kNo, 25, 576, 20, 0.f},
+    {"lenet.conv2.fwd", blas::Transpose::kNo, blas::Transpose::kNo, 50, 64, 500, 0.f},
+    {"lenet.conv2.dW", blas::Transpose::kNo, blas::Transpose::kTrans, 50, 500, 64, 1.f},
+    {"lenet.conv2.dX", blas::Transpose::kTrans, blas::Transpose::kNo, 500, 64, 50, 0.f},
+    // LeNet inner products at batch 64.
+    {"lenet.ip1.fwd", blas::Transpose::kNo, blas::Transpose::kTrans, 64, 500, 800, 0.f},
+    {"lenet.ip2.fwd", blas::Transpose::kNo, blas::Transpose::kTrans, 64, 10, 500, 0.f},
+    // cifar10_quick convs: conv1 32x(3*5*5=75) on 32x32 (the acceptance
+    // shape), conv2 32x(32*5*5=800) on 16x16, conv3 64x800 on 8x8.
+    {"cifar.conv1.fwd", blas::Transpose::kNo, blas::Transpose::kNo, 32, 1024, 75, 0.f},
+    {"cifar.conv1.dW", blas::Transpose::kNo, blas::Transpose::kTrans, 32, 75, 1024, 1.f},
+    {"cifar.conv1.dX", blas::Transpose::kTrans, blas::Transpose::kNo, 75, 1024, 32, 0.f},
+    {"cifar.conv2.fwd", blas::Transpose::kNo, blas::Transpose::kNo, 32, 256, 800, 0.f},
+    {"cifar.conv2.dW", blas::Transpose::kNo, blas::Transpose::kTrans, 32, 800, 256, 1.f},
+    {"cifar.conv2.dX", blas::Transpose::kTrans, blas::Transpose::kNo, 800, 256, 32, 0.f},
+    {"cifar.conv3.fwd", blas::Transpose::kNo, blas::Transpose::kNo, 64, 64, 800, 0.f},
+    {"cifar.conv3.dW", blas::Transpose::kNo, blas::Transpose::kTrans, 64, 800, 64, 1.f},
+    {"cifar.conv3.dX", blas::Transpose::kTrans, blas::Transpose::kNo, 800, 64, 64, 0.f},
+    // cifar10_quick inner products at batch 100.
+    {"cifar.ip1.fwd", blas::Transpose::kNo, blas::Transpose::kTrans, 100, 64, 1024, 0.f},
+    {"cifar.ip2.fwd", blas::Transpose::kNo, blas::Transpose::kTrans, 100, 10, 64, 0.f},
+};
+
+template <typename Fn>
+double MeasureGflops(index_t m, index_t n, index_t k, Fn&& fn) {
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  // Repeat until ~40ms of work so tiny shapes are not timer-noise.
+  const int iters =
+      std::max(1, static_cast<int>(2.0e8 / std::max(flops, 1.0)));
+  fn();  // warmup (also first-touch of the pack scratch)
+  double best_sec = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int it = 0; it < iters; ++it) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best_sec = std::min(best_sec,
+                        std::chrono::duration<double>(t1 - t0).count() / iters);
+  }
+  return flops / best_sec / 1e9;
+}
+
+/// Runs the old-vs-new sweep, prints a table, and writes
+/// BENCH_gemm_micro.json (sections: one per shape; columns: old_gflops,
+/// new_gflops, speedup).
+void RunGemmSweep() {
+  std::printf("=== GEMM engine sweep: packed/register-tiled vs legacy "
+              "kernels (single thread, float) ===\n");
+  std::printf("%-18s %8s %8s %8s %12s %12s %9s\n", "shape", "m", "n", "k",
+              "old GFLOP/s", "new GFLOP/s", "speedup");
+  for (const GemmShape& s : kGemmShapes) {
+    const auto a = RandomVec(s.m * s.k, 1);
+    const auto b = RandomVec(s.k * s.n, 2);
+    std::vector<float> c(static_cast<std::size_t>(s.m * s.n), 0.0f);
+    const double old_gf = MeasureGflops(s.m, s.n, s.k, [&] {
+      legacy::gemm(s.ta, s.tb, s.m, s.n, s.k, 1.0f, a.data(), b.data(),
+                   s.beta, c.data());
+      benchmark::DoNotOptimize(c.data());
+    });
+    const double new_gf = MeasureGflops(s.m, s.n, s.k, [&] {
+      blas::gemm(s.ta, s.tb, s.m, s.n, s.k, 1.0f, a.data(), b.data(), s.beta,
+                 c.data());
+      benchmark::DoNotOptimize(c.data());
+    });
+    const double speedup = new_gf / old_gf;
+    auto& report = bench::BenchReport::Get();
+    report.Add("gemm_sweep", s.name, "old_gflops", old_gf);
+    report.Add("gemm_sweep", s.name, "new_gflops", new_gf);
+    report.Add("gemm_sweep", s.name, "speedup", speedup);
+    std::printf("%-18s %8lld %8lld %8lld %12.2f %12.2f %8.2fx\n", s.name,
+                static_cast<long long>(s.m), static_cast<long long>(s.n),
+                static_cast<long long>(s.k), old_gf, new_gf, speedup);
+  }
+  bench::BenchReport::Get().Write("gemm_micro");
+  std::printf("\n");
+}
+
+// ---- google-benchmark primitives -------------------------------------------
 
 // LeNet conv2 forward GEMM: 50 x (20*5*5=500) x (8*8=64).
 void BM_GemmConv2Shape(benchmark::State& state) {
@@ -102,3 +279,12 @@ void BM_Axpy(benchmark::State& state) {
 BENCHMARK(BM_Axpy)->Arg(1024)->Arg(25050)->Arg(400000);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  RunGemmSweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,39 @@ namespace cgdnn::blas {
 
 enum class Transpose { kNo, kTrans };
 
+/// Cache- and register-blocking parameters of the packed GEMM engine
+/// (docs/perf.md). The microkernel updates an MR x NR register tile; panels
+/// of A (MC x KC) and B (KC x NC) are packed into contiguous 64-byte-aligned
+/// per-thread scratch. Exposed so tests can sweep the edge cases (m/n around
+/// kMR/kNR, k around kKC) and so the docs/bench shapes stay in sync.
+template <typename Dtype>
+struct GemmBlocking;
+
+template <>
+struct GemmBlocking<float> {
+  static constexpr index_t kMR = 4, kNR = 8;
+  static constexpr index_t kMC = 64, kKC = 256, kNC = 1024;
+};
+
+template <>
+struct GemmBlocking<double> {
+  static constexpr index_t kMR = 4, kNR = 4;
+  static constexpr index_t kMC = 64, kKC = 256, kNC = 512;
+};
+
+/// Shapes below this op(B) volume (n * k element loads) skip packing and run
+/// branch-free naive loop nests instead: for LeNet-sized layers the pack
+/// traffic would dominate. The predicate deliberately ignores m so that a
+/// row-partitioned GEMM (inner-product coarse-grain path) takes the same
+/// branch — and therefore produces bit-identical rows — as the full-batch
+/// serial call.
+constexpr index_t kGemmPackMinWork = 4096;
+
+/// Bytes of GEMM packing scratch currently reserved by the calling thread
+/// (0 until this thread executes its first packed GEMM). One grow-only
+/// arena per thread, reused across calls/layers/samples.
+std::size_t gemm_pack_scratch_bytes();
+
 /// C := alpha * op(A) * op(B) + beta * C
 /// op(A) is M x K, op(B) is K x N, C is M x N; all row-major, packed.
 template <typename Dtype>

@@ -1,0 +1,40 @@
+// ThreadArena: bump allocator over stable chunks, the building block of all
+// per-thread scratch storage (parallel::PrivatizationPool's privatized
+// gradient/col buffers and the BLAS GEMM packing scratch).
+//
+// Arena properties: chunked (pointers remain stable while a scope is open),
+// grow-only (reuse across layers/calls), per-thread (no cross-thread
+// allocation, hence no locking). Lives in core so that low-level consumers
+// (blas) can use it without depending on the parallel runtime.
+#pragma once
+
+#include <vector>
+
+#include "cgdnn/core/common.hpp"
+#include "cgdnn/core/synced_memory.hpp"
+
+namespace cgdnn {
+
+/// Bump allocator over stable chunks. Not thread-safe by itself; each
+/// consuming thread owns exactly one arena.
+class ThreadArena {
+ public:
+  /// Returns `bytes` of 64-byte-aligned storage valid until ResetScope().
+  void* Allocate(std::size_t bytes);
+  /// Marks all storage reusable; keeps the chunks (grow-only semantics).
+  void ResetScope();
+
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::size_t used_bytes() const { return used_; }
+
+ private:
+  struct Chunk {
+    AlignedBuffer buffer;
+    std::size_t used = 0;
+  };
+  std::vector<Chunk> chunks_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace cgdnn

@@ -74,12 +74,20 @@ void ConvolutionLayer<Dtype>::Reshape(const std::vector<Blob<Dtype>*>& bottom,
   bottom_dim_ = channels_ * height_ * width_;
   top_dim_ = num_output_ * out_spatial_;
   top[0]->Reshape(num_, num_output_, out_h_, out_w_);
-  col_buffer_.Reshape(
-      {channels_ * kernel_h_ * kernel_w_, out_h_, out_w_});
+  // col_buffer_ is NOT reshaped here: the parallel paths acquire per-thread
+  // column buffers from the PrivatizationPool, so the member buffer is
+  // allocated lazily by SerialColBuffer() only when a serial pass runs
+  // (otherwise the memory-table bench overcounts by one col buffer).
   if (bias_term_) {
     bias_multiplier_.Reshape({out_spatial_});
     bias_multiplier_.set_data(Dtype(1));
   }
+}
+
+template <typename Dtype>
+Dtype* ConvolutionLayer<Dtype>::SerialColBuffer() {
+  col_buffer_.Reshape({channels_ * kernel_h_ * kernel_w_, out_h_, out_w_});
+  return col_buffer_.mutable_cpu_data();
 }
 
 template <typename Dtype>
@@ -159,7 +167,7 @@ void ConvolutionLayer<Dtype>::Forward_cpu(
     const std::vector<Blob<Dtype>*>& top) {
   const Dtype* bottom_data = bottom[0]->cpu_data();
   Dtype* top_data = top[0]->mutable_cpu_data();
-  Dtype* col = col_buffer_.mutable_cpu_data();
+  Dtype* col = SerialColBuffer();
   for (index_t n = 0; n < num_; ++n) {
     ForwardSample(bottom_data + n * bottom_dim_, top_data + n * top_dim_, col);
   }
@@ -203,7 +211,7 @@ void ConvolutionLayer<Dtype>::Backward_cpu(
     const std::vector<Blob<Dtype>*>& bottom) {
   const Dtype* top_diff = top[0]->cpu_diff();
   const Dtype* bottom_data = bottom[0]->cpu_data();
-  Dtype* col = col_buffer_.mutable_cpu_data();
+  Dtype* col = SerialColBuffer();
   Dtype* weight_diff = this->param_propagate_down(0)
                            ? this->blobs_[0]->mutable_cpu_diff()
                            : nullptr;

@@ -53,6 +53,9 @@ class ConvolutionLayer : public Layer<Dtype> {
   void BackwardSampleBottom(const Dtype* top_diff, Dtype* bottom_diff,
                             Dtype* col) const;
   void Im2ColSample(const Dtype* bottom_data, Dtype* col) const;
+  /// Lazily (re)shapes the member column buffer; only the serial paths call
+  /// this — the parallel paths use per-thread pool buffers instead.
+  Dtype* SerialColBuffer();
 
   index_t num_output_ = 0;
   bool bias_term_ = true;
@@ -70,7 +73,7 @@ class ConvolutionLayer : public Layer<Dtype> {
   index_t col_count_ = 0;       // channels * kh * kw * out_spatial
   index_t bottom_dim_ = 0, top_dim_ = 0;
 
-  Blob<Dtype> col_buffer_;       // serial-path column buffer
+  Blob<Dtype> col_buffer_;       // serial-path column buffer (lazy)
   Blob<Dtype> bias_multiplier_;  // vector of ones, length out_spatial
 };
 

@@ -4,38 +4,6 @@
 
 namespace cgdnn::parallel {
 
-namespace {
-constexpr std::size_t kAlign = 64;
-constexpr std::size_t kMinChunkBytes = 64 * 1024;
-
-std::size_t AlignUp(std::size_t n) { return (n + kAlign - 1) / kAlign * kAlign; }
-}  // namespace
-
-void* ThreadArena::Allocate(std::size_t bytes) {
-  const std::size_t need = AlignUp(std::max<std::size_t>(bytes, 1));
-  for (Chunk& chunk : chunks_) {
-    if (chunk.buffer.bytes() - chunk.used >= need) {
-      void* p = static_cast<char*>(chunk.buffer.get()) + chunk.used;
-      chunk.used += need;
-      used_ += need;
-      return p;
-    }
-  }
-  Chunk chunk;
-  const std::size_t chunk_bytes = std::max(need, kMinChunkBytes);
-  chunk.buffer = AlignedBuffer(chunk_bytes);
-  chunk.used = need;
-  capacity_ += chunk_bytes;
-  used_ += need;
-  chunks_.push_back(std::move(chunk));
-  return chunks_.back().buffer.get();
-}
-
-void ThreadArena::ResetScope() {
-  for (Chunk& chunk : chunks_) chunk.used = 0;
-  used_ = 0;
-}
-
 PrivatizationPool& PrivatizationPool::Get() {
   static PrivatizationPool pool;
   return pool;

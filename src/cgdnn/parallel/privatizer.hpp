@@ -9,37 +9,20 @@
 //
 // Arena properties: chunked (pointers remain stable while a scope is open),
 // grow-only (reuse across layers), per-thread (no cross-thread allocation).
+// The arena itself lives in core (cgdnn/core/arena.hpp) so that the BLAS
+// GEMM packing scratch can share the same allocator without a dependency
+// cycle; this header re-exports it under the historical name.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "cgdnn/core/arena.hpp"
 #include "cgdnn/core/common.hpp"
-#include "cgdnn/core/synced_memory.hpp"
 
 namespace cgdnn::parallel {
 
-/// Bump allocator over stable chunks. Not thread-safe by itself; each OpenMP
-/// thread owns exactly one arena.
-class ThreadArena {
- public:
-  /// Returns `bytes` of 64-byte-aligned storage valid until ResetScope().
-  void* Allocate(std::size_t bytes);
-  /// Marks all storage reusable; keeps the chunks (grow-only semantics).
-  void ResetScope();
-
-  std::size_t capacity_bytes() const { return capacity_; }
-  std::size_t used_bytes() const { return used_; }
-
- private:
-  struct Chunk {
-    AlignedBuffer buffer;
-    std::size_t used = 0;
-  };
-  std::vector<Chunk> chunks_;
-  std::size_t capacity_ = 0;
-  std::size_t used_ = 0;
-};
+using ThreadArena = ::cgdnn::ThreadArena;
 
 class PrivatizationPool {
  public:

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
+#include <type_traits>
 #include <vector>
 
 #include "cgdnn/blas/blas.hpp"
@@ -208,6 +210,107 @@ INSTANTIATE_TEST_SUITE_P(Shapes, GemvAgainstNaive,
                            return "m" + std::to_string(std::get<0>(info.param)) +
                                   "n" + std::to_string(std::get<1>(info.param));
                          });
+
+// ---- randomized stress sweep over the packed engine's edge cases -----------
+//
+// Degenerate shapes around the register tile (kMR/kNR plus odd tails), all
+// four transpose combos, alpha/beta in {0, 1, -0.5}, float and double, all
+// validated against the kept naive reference kernel. k crosses kKC so the
+// multi-panel beta handling (user beta on the first KC panel only) is
+// exercised, and the shape mix covers both the packed and the small path.
+template <typename Dtype>
+class GemmStress : public ::testing::Test {};
+
+using StressTypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(GemmStress, StressTypes);
+
+TYPED_TEST(GemmStress, RandomizedSweepMatchesNaiveReference) {
+  using Dtype = TypeParam;
+  constexpr index_t MR = GemmBlocking<Dtype>::kMR;
+  constexpr index_t NR = GemmBlocking<Dtype>::kNR;
+  constexpr index_t KC = GemmBlocking<Dtype>::kKC;
+  const std::vector<index_t> ms = {1, MR - 1, MR, MR + 1, 2 * MR + 1};
+  const std::vector<index_t> ns = {1, NR - 1, NR, NR + 1, 3 * NR + 3};
+  const std::vector<index_t> ks = {1, MR + 3, KC + 1};
+  const std::vector<Dtype> coeffs = {Dtype(0), Dtype(1), Dtype(-0.5)};
+  Rng rng(2024);
+  for (const index_t m : ms) {
+    for (const index_t n : ns) {
+      for (const index_t k : ks) {
+        // Tolerance: the packed engine and the reference associate the
+        // k-sum differently; the error grows with k.
+        const double tol =
+            (std::is_same_v<Dtype, float> ? 1e-5 : 1e-13) *
+            static_cast<double>(k);
+        for (int combo = 0; combo < 4; ++combo) {
+          const Transpose ta = combo & 1 ? Transpose::kTrans : Transpose::kNo;
+          const Transpose tb = combo & 2 ? Transpose::kTrans : Transpose::kNo;
+          const auto a = RandomVec<Dtype>(m * k, rng);
+          const auto b = RandomVec<Dtype>(k * n, rng);
+          const auto c0 = RandomVec<Dtype>(m * n, rng);
+          for (const Dtype alpha : coeffs) {
+            for (const Dtype beta : coeffs) {
+              auto c = c0;
+              auto c_ref = c0;
+              gemm<Dtype>(ta, tb, m, n, k, alpha, a.data(), b.data(), beta,
+                          c.data());
+              NaiveGemm<Dtype>(ta, tb, m, n, k, alpha, a.data(), b.data(),
+                               beta, c_ref.data());
+              for (index_t i = 0; i < m * n; ++i) {
+                ASSERT_NEAR(c[static_cast<std::size_t>(i)],
+                            c_ref[static_cast<std::size_t>(i)], tol)
+                    << "m=" << m << " n=" << n << " k=" << k << " combo="
+                    << combo << " alpha=" << alpha << " beta=" << beta
+                    << " element " << i;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Gemm, PackScratchIsPerThreadAndBounded) {
+  // A packed GEMM reserves the (constant-size) pack buffers once; repeated
+  // calls must not grow the thread's scratch arena.
+  const index_t m = 16, n = 64, k = 300;  // packed path: n*k >= kGemmPackMinWork
+  Rng rng(7);
+  const auto a = RandomVec<float>(m * k, rng);
+  const auto b = RandomVec<float>(k * n, rng);
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  gemm<float>(Transpose::kNo, Transpose::kNo, m, n, k, 1.0f, a.data(),
+              b.data(), 0.0f, c.data());
+  const std::size_t after_first = gemm_pack_scratch_bytes();
+  EXPECT_GT(after_first, 0u);
+  for (int rep = 0; rep < 8; ++rep) {
+    gemm<float>(Transpose::kNo, Transpose::kNo, m, n, k, 1.0f, a.data(),
+                b.data(), 0.0f, c.data());
+  }
+  EXPECT_EQ(gemm_pack_scratch_bytes(), after_first)
+      << "pack scratch must be reused, not re-grown, across calls";
+}
+
+TEST(Gemm, RowPartitionedCallsMatchFullCallBitExactly) {
+  // The coarse-grain inner-product path computes a GEMM in per-thread row
+  // chunks; every row must come out bit-identical to the full-batch call
+  // regardless of where the chunk boundaries fall (this pins down the
+  // m-independence of the path predicate and of the kernels themselves).
+  const index_t m = 37, n = 64, k = 300, chunk = 5;
+  Rng rng(11);
+  const auto a = RandomVec<float>(m * k, rng);
+  const auto b = RandomVec<float>(k * n, rng);
+  std::vector<float> c_full(static_cast<std::size_t>(m * n), 0.0f);
+  auto c_chunked = c_full;
+  gemm<float>(Transpose::kNo, Transpose::kTrans, m, n, k, 1.0f, a.data(),
+              b.data(), 0.0f, c_full.data());
+  for (index_t i0 = 0; i0 < m; i0 += chunk) {
+    const index_t rows = std::min(chunk, m - i0);
+    gemm<float>(Transpose::kNo, Transpose::kTrans, rows, n, k, 1.0f,
+                a.data() + i0 * k, b.data(), 0.0f, c_chunked.data() + i0 * n);
+  }
+  EXPECT_EQ(c_full, c_chunked);
+}
 
 TEST(Gemm, LargeKExercisesBlocking) {
   // K beyond the kernel's 256-wide block: validates the k-blocked NN path.

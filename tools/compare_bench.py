@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json reports and fail on regressions.
+
+Usage:
+    tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+Reports produced by bench::BenchReport have the shape
+    {"bench": "...", "rows": [{"section": s, "key": k, "values": {col: num}}]}
+Every (section, key, column) present in both files is compared. Direction is
+inferred from the column/section name:
+
+  * higher-is-better: columns containing "gflops" or "speedup"
+  * lower-is-better:  columns/sections containing "us", "time", "_kb", "_mb"
+  * everything else is informational (printed, never fails)
+
+A value that moves more than --threshold (default 10%) in the *bad* direction
+is a regression; the script prints every comparison, summarizes regressions,
+and exits 1 if any were found. Entries present in only one file are listed
+but do not fail the comparison (shape sweeps may grow over time).
+"""
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for row in data.get("rows", []):
+        for col, val in row.get("values", {}).items():
+            rows[(row["section"], row["key"], col)] = float(val)
+    return data.get("bench", "?"), rows
+
+
+def direction(section, column):
+    s, c = section.lower(), column.lower()
+    if "gflops" in c or "speedup" in c or "gflops" in s:
+        return "higher"
+    for marker in ("us", "time", "_kb", "_mb"):
+        if marker in c or marker in s:
+            return "lower"
+    return "info"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative regression tolerance (default 0.10 = 10%%)")
+    args = ap.parse_args()
+
+    base_name, base = load_rows(args.baseline)
+    cur_name, cur = load_rows(args.current)
+    if base_name != cur_name:
+        print(f"note: comparing different benches ({base_name} vs {cur_name})")
+
+    common = sorted(set(base) & set(cur))
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    regressions = []
+
+    print(f"{'section/key/column':58s} {'baseline':>12s} {'current':>12s} "
+          f"{'delta':>8s}")
+    for coord in common:
+        section, key, col = coord
+        b, c = base[coord], cur[coord]
+        delta = (c - b) / abs(b) if b != 0 else (0.0 if c == 0 else float("inf"))
+        dirn = direction(section, col)
+        bad = (dirn == "higher" and delta < -args.threshold) or \
+              (dirn == "lower" and delta > args.threshold)
+        flag = " REGRESSION" if bad else ""
+        print(f"{section + '/' + key + '/' + col:58s} {b:12.4g} {c:12.4g} "
+              f"{delta:+7.1%}{flag}")
+        if bad:
+            regressions.append((coord, b, c, delta))
+
+    for coord in only_base:
+        print(f"only in baseline: {'/'.join(coord)}")
+    for coord in only_cur:
+        print(f"only in current:  {'/'.join(coord)}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:")
+        for (section, key, col), b, c, delta in regressions:
+            print(f"  {section}/{key}/{col}: {b:.4g} -> {c:.4g} ({delta:+.1%})")
+        return 1
+    print(f"\nOK: {len(common)} values compared, no regression beyond "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

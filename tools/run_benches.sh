@@ -37,6 +37,11 @@ for name in $BENCHES; do
   "$bin" > "$name.txt"
 done
 
+# micro_kernels first runs the old-vs-new GEMM engine sweep (writes
+# BENCH_gemm_micro.json into the cwd), then the google-benchmark primitives
+# (native JSON reporter). Gate a change with e.g.:
+#   tools/compare_bench.py baseline/BENCH_gemm_micro.json \
+#       bench/results/BENCH_gemm_micro.json
 if [ -x "$BENCH_DIR/micro_kernels" ]; then
   echo "== micro_kernels"
   "$BENCH_DIR/micro_kernels" \
