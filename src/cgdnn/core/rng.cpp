@@ -84,6 +84,18 @@ Rng Rng::Split(std::uint64_t substream) const {
   return Rng(seed_, HashCombine64(stream_ + 1, substream));
 }
 
+RngState Rng::state() const {
+  return {{s_[0], s_[1], s_[2], s_[3]}, seed_, stream_};
+}
+
+void Rng::set_state(const RngState& state) {
+  CGDNN_CHECK((state.s[0] | state.s[1] | state.s[2] | state.s[3]) != 0)
+      << "all-zero xoshiro state is invalid";
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  seed_ = state.seed;
+  stream_ = state.stream;
+}
+
 Rng& GlobalRng() {
   static Rng rng(1, /*stream=*/0x610BA1);
   return rng;

@@ -21,6 +21,15 @@ std::uint64_t SplitMix64(std::uint64_t& state);
 /// Stateless 64-bit mix of two words (used to derive per-index streams).
 std::uint64_t HashCombine64(std::uint64_t a, std::uint64_t b);
 
+/// Complete serialized state of an Rng. Six words fully determine the
+/// generator, so a checkpointed training run can restore the exact point in
+/// the random stream (bit-identical resume).
+struct RngState {
+  std::uint64_t s[4];
+  std::uint64_t seed;
+  std::uint64_t stream;
+};
+
 /// xoshiro256** generator with deterministic (seed, stream) initialization.
 class Rng {
  public:
@@ -44,6 +53,12 @@ class Rng {
   /// Derives an independent generator for the given sub-stream. Splitting
   /// does not perturb this generator's state.
   Rng Split(std::uint64_t substream) const;
+
+  /// Exports the full generator state (checkpointing).
+  RngState state() const;
+  /// Restores a state previously captured with state(). Rejects the all-zero
+  /// xoshiro state, which a genuine export can never contain.
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

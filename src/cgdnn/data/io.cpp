@@ -1,8 +1,15 @@
 #include "cgdnn/data/io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <array>
+#include <cerrno>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <vector>
 
@@ -33,7 +40,78 @@ std::uint8_t QuantizePixel(float v) {
       std::clamp(std::lround(v * 255.0f), 0L, 255L));
 }
 
+std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// RAII fd that closes on scope exit (error paths throw through here).
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
 }  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = MakeCrc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  CGDNN_CHECK(in.good()) << "cannot open " << path;
+  const auto size = static_cast<std::streamsize>(in.tellg());
+  in.seekg(0);
+  std::string bytes(static_cast<std::size_t>(size), '\0');
+  in.read(bytes.data(), size);
+  CGDNN_CHECK(in.good()) << "read failed: " << path;
+  return bytes;
+}
+
+void WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    Fd fd;
+    fd.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    CGDNN_CHECK_GE(fd.fd, 0)
+        << "cannot create " << tmp << ": " << std::strerror(errno);
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      const ::ssize_t n =
+          ::write(fd.fd, bytes.data() + written, bytes.size() - written);
+      if (n < 0 && errno == EINTR) continue;
+      CGDNN_CHECK_GT(n, 0) << "write failed: " << tmp << ": "
+                           << std::strerror(errno);
+      written += static_cast<std::size_t>(n);
+    }
+    CGDNN_CHECK_EQ(::fsync(fd.fd), 0)
+        << "fsync failed: " << tmp << ": " << std::strerror(errno);
+  }
+  CGDNN_CHECK_EQ(std::rename(tmp.c_str(), path.c_str()), 0)
+      << "rename " << tmp << " -> " << path << " failed: "
+      << std::strerror(errno);
+  // fsync the directory so the rename itself survives a power loss.
+  auto dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  Fd dfd;
+  dfd.fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd.fd >= 0) ::fsync(dfd.fd);  // best-effort: some filesystems refuse
+}
 
 Dataset ReadIdx(const std::string& prefix) {
   const std::string images_path = prefix + "-images.idx3-ubyte";

@@ -4,11 +4,26 @@
 // tests round-trip synthetic data through the genuine byte formats.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "cgdnn/data/dataset.hpp"
 
 namespace cgdnn::data {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `size` bytes.
+/// Pass a previous return value as `crc` to checksum data incrementally.
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t crc = 0);
+
+/// Reads a whole binary file into memory. Throws cgdnn::Error on failure.
+std::string ReadFileBytes(const std::string& path);
+
+/// Crash-safe whole-file write: writes to `path.tmp`, flushes and fsyncs,
+/// then atomically renames over `path` and fsyncs the containing directory.
+/// A crash at any point leaves either the previous file intact or (at worst)
+/// a stray `.tmp` — never a half-written `path`.
+void WriteFileAtomic(const std::string& path, std::string_view bytes);
 
 /// Reads `<prefix>-images.idx3-ubyte` + `<prefix>-labels.idx1-ubyte`
 /// (big-endian IDX with magics 0x00000803 / 0x00000801). Pixels are scaled

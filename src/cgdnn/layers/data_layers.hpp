@@ -39,6 +39,22 @@ class DataLayer : public Layer<Dtype> {
   /// Position of the next sample in the epoch stream (tests).
   index_t cursor() const { return cursor_; }
 
+  // The epoch cursor and augmentation ordinal advance every batch; both
+  // must survive a checkpoint/resume for the sample stream to continue
+  // where it stopped.
+  void ExportRuntimeState(std::vector<std::uint64_t>& state) const override {
+    state.push_back(static_cast<std::uint64_t>(cursor_));
+    state.push_back(ordinal_);
+  }
+  void ImportRuntimeState(const std::vector<std::uint64_t>& state) override {
+    CGDNN_CHECK_EQ(state.size(), 2u)
+        << "Data layer runtime state must be {cursor, ordinal}";
+    CGDNN_CHECK_LT(state[0], static_cast<std::uint64_t>(dataset_->num))
+        << "restored data cursor out of range";
+    cursor_ = static_cast<index_t>(state[0]);
+    ordinal_ = state[1];
+  }
+
  protected:
   void Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
                    const std::vector<Blob<Dtype>*>& top) override;
@@ -85,6 +101,15 @@ class MemoryDataLayer : public Layer<Dtype> {
   void Reset(const Dtype* data, const Dtype* labels, index_t n);
 
   index_t batch_size() const { return batch_size_; }
+
+  void ExportRuntimeState(std::vector<std::uint64_t>& state) const override {
+    state.push_back(static_cast<std::uint64_t>(cursor_));
+  }
+  void ImportRuntimeState(const std::vector<std::uint64_t>& state) override {
+    CGDNN_CHECK_EQ(state.size(), 1u)
+        << "MemoryData layer runtime state must be {cursor}";
+    cursor_ = static_cast<index_t>(state[0]);
+  }
 
  protected:
   void Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,

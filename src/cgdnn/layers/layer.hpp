@@ -106,6 +106,21 @@ class Layer {
   Phase phase() const { return phase_; }
   void set_phase(Phase phase) { phase_ = phase; }
 
+  /// Mutable runtime state beyond blobs() — data cursors, dropout pass
+  /// counters — exported as opaque u64 words for checkpointing. A resumed
+  /// net must replay training bit-identically, so any layer whose forward
+  /// pass depends on how many batches it has already served must export
+  /// that state here. The base layer has none.
+  virtual void ExportRuntimeState(std::vector<std::uint64_t>& /*state*/) const {
+  }
+  /// Restores state captured by ExportRuntimeState. Implementations must
+  /// consume exactly the words they exported and reject anything else.
+  virtual void ImportRuntimeState(const std::vector<std::uint64_t>& state) {
+    CGDNN_CHECK(state.empty())
+        << "layer type " << type() << " has no runtime state but got "
+        << state.size() << " words";
+  }
+
  protected:
   // Serial reference implementations (Algorithms 2/3).
   virtual void Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,

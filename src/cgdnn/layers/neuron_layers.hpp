@@ -103,6 +103,18 @@ class DropoutLayer : public NeuronLayer<Dtype> {
   void Reshape(const std::vector<Blob<Dtype>*>& bottom,
                const std::vector<Blob<Dtype>*>& top) override;
 
+  // The mask stream is keyed by (layer seed, pass counter, element); the
+  // counter must survive checkpoint/resume so resumed passes draw the same
+  // masks the uninterrupted run would have.
+  void ExportRuntimeState(std::vector<std::uint64_t>& state) const override {
+    state.push_back(pass_counter_);
+  }
+  void ImportRuntimeState(const std::vector<std::uint64_t>& state) override {
+    CGDNN_CHECK_EQ(state.size(), 1u)
+        << "Dropout layer runtime state must be {pass_counter}";
+    pass_counter_ = state[0];
+  }
+
  protected:
   void Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
                    const std::vector<Blob<Dtype>*>& top) override;

@@ -1,0 +1,439 @@
+#include "cgdnn/net/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "cgdnn/data/io.hpp"
+
+namespace cgdnn {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'G', 'D', 'N', 'N', 'C', 'K', 'P'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kFooterBytes = 4 + 8 + 4;  // tag | body_bytes | crc
+constexpr char kSnapshotSuffix[] = ".cgdnnckpt";
+
+constexpr std::uint32_t FourCC(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+constexpr std::uint32_t kTagMeta = FourCC('M', 'E', 'T', 'A');
+constexpr std::uint32_t kTagLoss = FourCC('L', 'O', 'S', 'S');
+constexpr std::uint32_t kTagWeights = FourCC('W', 'G', 'T', 'S');
+constexpr std::uint32_t kTagSolver = FourCC('S', 'O', 'L', 'V');
+constexpr std::uint32_t kTagNetState = FourCC('N', 'E', 'T', 'S');
+constexpr std::uint32_t kTagFooter = FourCC('C', 'R', 'C', 'F');
+
+// ------------------------------------------------------------- byte writer
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void Pod(const T& v) {
+    bytes_.append(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+  void Raw(const void* data, std::size_t size) {
+    bytes_.append(static_cast<const char*>(data), size);
+  }
+  void Str(const std::string& s) {
+    Pod(static_cast<std::uint32_t>(s.size()));
+    bytes_.append(s);
+  }
+  /// Appends `section` framed with its tag and length.
+  void Section(std::uint32_t tag, const std::string& payload) {
+    Pod(tag);
+    Pod(static_cast<std::uint64_t>(payload.size()));
+    bytes_.append(payload);
+  }
+  std::string& bytes() { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+// ----------------------------------------------- bounds-checked byte reader
+
+/// Cursor over an already-CRC-verified buffer. Every read is bounds-checked
+/// anyway, so a logic bug in the writer (or a hash collision) degrades to a
+/// clean Error instead of a wild allocation or out-of-bounds read.
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t size, const std::string& path)
+      : data_(data), size_(size), path_(&path) {}
+
+  template <typename T>
+  T Pod() {
+    T v{};
+    Need(sizeof(T));
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  std::string Str() {
+    const auto len = Pod<std::uint32_t>();
+    CGDNN_CHECK_LE(len, 4096u) << "implausible name length in " << *path_;
+    Need(len);
+    std::string s(data_ + pos_, len);
+    pos_ += len;
+    return s;
+  }
+  const char* Raw(std::size_t size) {
+    Need(size);
+    const char* p = data_ + pos_;
+    pos_ += size;
+    return p;
+  }
+  /// Sub-reader over the next `size` bytes (one section's payload).
+  ByteReader Sub(std::size_t size) {
+    return ByteReader(Raw(size), size, *path_);
+  }
+  std::size_t remaining() const { return size_ - pos_; }
+  void ExpectConsumed(const char* what) const {
+    CGDNN_CHECK_EQ(remaining(), 0u)
+        << what << " section has trailing bytes in " << *path_;
+  }
+
+ private:
+  void Need(std::size_t n) const {
+    CGDNN_CHECK_LE(n, size_ - pos_)
+        << "structurally truncated checkpoint: " << *path_;
+  }
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  const std::string* path_;
+};
+
+// ------------------------------------------------------------ blob framing
+
+template <typename Dtype>
+void WriteBlob(ByteWriter& w, const Blob<Dtype>& blob) {
+  w.Pod(static_cast<std::uint32_t>(blob.num_axes()));
+  for (int a = 0; a < blob.num_axes(); ++a) {
+    w.Pod(static_cast<std::int64_t>(blob.shape(a)));
+  }
+  w.Raw(blob.cpu_data(),
+        static_cast<std::size_t>(blob.count()) * sizeof(Dtype));
+}
+
+/// Reads one blob into `dst`, requiring the stored shape to match exactly.
+/// The payload size is derived from dst's (trusted) count, never from the
+/// file, so corrupt dims cannot drive an allocation.
+template <typename Dtype>
+void ReadBlobInto(ByteReader& r, Blob<Dtype>& dst, const std::string& what,
+                  const std::string& path) {
+  const auto ndims = r.Pod<std::uint32_t>();
+  CGDNN_CHECK_EQ(ndims, static_cast<std::uint32_t>(dst.num_axes()))
+      << "rank mismatch for " << what << " in " << path;
+  for (std::uint32_t d = 0; d < ndims; ++d) {
+    const auto dim = r.Pod<std::int64_t>();
+    CGDNN_CHECK_EQ(dim, static_cast<std::int64_t>(dst.shape(
+                            static_cast<int>(d))))
+        << "shape mismatch for " << what << " in " << path << " (net "
+        << dst.shape_string() << ")";
+  }
+  const std::size_t bytes =
+      static_cast<std::size_t>(dst.count()) * sizeof(Dtype);
+  std::memcpy(dst.mutable_cpu_data(), r.Raw(bytes), bytes);
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------- save
+
+template <typename Dtype>
+void SaveCheckpoint(const std::string& path, const std::string& solver_type,
+                    std::uint64_t param_digest,
+                    const CheckpointMeta<Dtype>& meta, const Net<Dtype>& net,
+                    const std::vector<SolverStateGroup<Dtype>>& groups) {
+  ByteWriter file;
+  file.Raw(kMagic, sizeof(kMagic));
+  file.Pod(kVersion);
+  file.Pod(static_cast<std::uint8_t>(sizeof(Dtype)));
+  const std::uint8_t pad[3] = {0, 0, 0};
+  file.Raw(pad, sizeof(pad));
+  file.Pod(param_digest);
+  file.Str(solver_type);
+
+  {
+    ByteWriter s;
+    s.Pod(static_cast<std::int64_t>(meta.iter));
+    for (std::uint64_t w : meta.rng.s) s.Pod(w);
+    s.Pod(meta.rng.seed);
+    s.Pod(meta.rng.stream);
+    file.Section(kTagMeta, s.bytes());
+  }
+  {
+    ByteWriter s;
+    s.Pod(static_cast<std::uint64_t>(meta.loss_history.size()));
+    s.Raw(meta.loss_history.data(),
+          meta.loss_history.size() * sizeof(Dtype));
+    file.Section(kTagLoss, s.bytes());
+  }
+  {
+    ByteWriter s;
+    std::uint32_t layer_count = 0;
+    for (const auto& layer : net.layers()) {
+      if (!layer->blobs().empty()) ++layer_count;
+    }
+    s.Pod(layer_count);
+    for (std::size_t li = 0; li < net.layers().size(); ++li) {
+      const auto& layer = net.layers()[li];
+      if (layer->blobs().empty()) continue;
+      s.Str(net.layer_names()[li]);
+      s.Pod(static_cast<std::uint32_t>(layer->blobs().size()));
+      for (const auto& blob : layer->blobs()) WriteBlob(s, *blob);
+    }
+    file.Section(kTagWeights, s.bytes());
+  }
+  {
+    ByteWriter s;
+    s.Pod(static_cast<std::uint32_t>(groups.size()));
+    for (const auto& group : groups) {
+      s.Str(group.name);
+      s.Pod(static_cast<std::uint32_t>(group.blobs->size()));
+      for (const auto& blob : *group.blobs) WriteBlob(s, *blob);
+    }
+    file.Section(kTagSolver, s.bytes());
+  }
+  {
+    ByteWriter s;
+    std::uint32_t layer_count = 0;
+    std::vector<std::uint64_t> words;
+    for (const auto& layer : net.layers()) {
+      words.clear();
+      layer->ExportRuntimeState(words);
+      if (!words.empty()) ++layer_count;
+    }
+    s.Pod(layer_count);
+    for (std::size_t li = 0; li < net.layers().size(); ++li) {
+      words.clear();
+      net.layers()[li]->ExportRuntimeState(words);
+      if (words.empty()) continue;
+      s.Str(net.layer_names()[li]);
+      s.Pod(static_cast<std::uint32_t>(words.size()));
+      s.Raw(words.data(), words.size() * sizeof(std::uint64_t));
+    }
+    file.Section(kTagNetState, s.bytes());
+  }
+
+  const std::uint64_t body_bytes = file.bytes().size();
+  const std::uint32_t crc =
+      data::Crc32(file.bytes().data(), file.bytes().size());
+  file.Pod(kTagFooter);
+  file.Pod(body_bytes);
+  file.Pod(crc);
+
+  data::WriteFileAtomic(path, file.bytes());
+}
+
+// -------------------------------------------------------------------- load
+
+template <typename Dtype>
+CheckpointMeta<Dtype> LoadCheckpoint(
+    const std::string& path, const std::string& solver_type,
+    std::uint64_t param_digest, Net<Dtype>& net,
+    const std::vector<SolverStateGroup<Dtype>>& groups) {
+  const std::string bytes = data::ReadFileBytes(path);
+
+  // Integrity first: footer frame and CRC over the whole body. Any
+  // truncation or bit-flip anywhere in the file fails here, before a single
+  // length field is trusted.
+  CGDNN_CHECK_GE(bytes.size(), sizeof(kMagic) + kFooterBytes)
+      << "truncated checkpoint: " << path;
+  const std::size_t body_size = bytes.size() - kFooterBytes;
+  ByteReader footer(bytes.data() + body_size, kFooterBytes, path);
+  CGDNN_CHECK_EQ(footer.Pod<std::uint32_t>(), kTagFooter)
+      << "missing checkpoint footer (truncated file?): " << path;
+  CGDNN_CHECK_EQ(footer.Pod<std::uint64_t>(),
+                 static_cast<std::uint64_t>(body_size))
+      << "checkpoint body size mismatch (truncated file?): " << path;
+  CGDNN_CHECK_EQ(footer.Pod<std::uint32_t>(),
+                 data::Crc32(bytes.data(), body_size))
+      << "checkpoint CRC mismatch (corrupt file): " << path;
+
+  ByteReader r(bytes.data(), body_size, path);
+  CGDNN_CHECK(std::memcmp(r.Raw(sizeof(kMagic)), kMagic, sizeof(kMagic)) == 0)
+      << "not a cgdnn checkpoint: " << path;
+  CGDNN_CHECK_EQ(r.Pod<std::uint32_t>(), kVersion)
+      << "unsupported checkpoint version in " << path;
+  const auto scalar_size = r.Pod<std::uint8_t>();
+  CGDNN_CHECK_EQ(static_cast<std::size_t>(scalar_size), sizeof(Dtype))
+      << "checkpoint scalar width mismatch in " << path;
+  r.Raw(3);  // pad
+  const auto stored_digest = r.Pod<std::uint64_t>();
+  CGDNN_CHECK_EQ(stored_digest, param_digest)
+      << "hyper-parameter digest mismatch: " << path
+      << " was written by a run with different trajectory-relevant solver "
+         "settings (net, lr schedule, seed, ...)";
+  const std::string stored_type = r.Str();
+  CGDNN_CHECK_EQ(stored_type, solver_type)
+      << "checkpoint solver type mismatch in " << path;
+
+  CheckpointMeta<Dtype> meta;
+  bool saw_meta = false, saw_loss = false, saw_weights = false,
+       saw_solver = false, saw_net_state = false;
+  while (r.remaining() > 0) {
+    const auto tag = r.Pod<std::uint32_t>();
+    const auto len = r.Pod<std::uint64_t>();
+    ByteReader s = r.Sub(static_cast<std::size_t>(len));
+    if (tag == kTagMeta) {
+      saw_meta = true;
+      meta.iter = static_cast<index_t>(s.Pod<std::int64_t>());
+      CGDNN_CHECK_GE(meta.iter, 0) << "negative iteration in " << path;
+      for (auto& w : meta.rng.s) w = s.Pod<std::uint64_t>();
+      meta.rng.seed = s.Pod<std::uint64_t>();
+      meta.rng.stream = s.Pod<std::uint64_t>();
+      s.ExpectConsumed("META");
+    } else if (tag == kTagLoss) {
+      saw_loss = true;
+      const auto count = s.Pod<std::uint64_t>();
+      CGDNN_CHECK_EQ(count * sizeof(Dtype), s.remaining())
+          << "loss history length mismatch in " << path;
+      meta.loss_history.resize(static_cast<std::size_t>(count));
+      std::memcpy(meta.loss_history.data(), s.Raw(s.remaining()),
+                  meta.loss_history.size() * sizeof(Dtype));
+    } else if (tag == kTagWeights) {
+      saw_weights = true;
+      const auto layer_count = s.Pod<std::uint32_t>();
+      for (std::uint32_t l = 0; l < layer_count; ++l) {
+        const std::string name = s.Str();
+        const auto blob_count = s.Pod<std::uint32_t>();
+        CGDNN_CHECK(net.has_layer(name))
+            << "checkpoint names unknown layer '" << name << "': " << path;
+        Layer<Dtype>& layer = *net.layer_by_name(name);
+        CGDNN_CHECK_EQ(layer.blobs().size(),
+                       static_cast<std::size_t>(blob_count))
+            << "blob count mismatch for layer '" << name << "' in " << path;
+        for (std::uint32_t b = 0; b < blob_count; ++b) {
+          ReadBlobInto(s, *layer.blobs()[b],
+                       "layer '" + name + "' blob " + std::to_string(b),
+                       path);
+        }
+      }
+      s.ExpectConsumed("WGTS");
+    } else if (tag == kTagSolver) {
+      saw_solver = true;
+      const auto group_count = s.Pod<std::uint32_t>();
+      CGDNN_CHECK_EQ(static_cast<std::size_t>(group_count), groups.size())
+          << "solver state group count mismatch in " << path;
+      for (std::uint32_t g = 0; g < group_count; ++g) {
+        const std::string name = s.Str();
+        CGDNN_CHECK_EQ(name, groups[g].name)
+            << "solver state group mismatch in " << path;
+        const auto blob_count = s.Pod<std::uint32_t>();
+        CGDNN_CHECK_EQ(static_cast<std::size_t>(blob_count),
+                       groups[g].blobs->size())
+            << "solver state blob count mismatch for group '" << name
+            << "' in " << path;
+        for (std::uint32_t b = 0; b < blob_count; ++b) {
+          ReadBlobInto(s, *(*groups[g].blobs)[b],
+                       "solver state '" + name + "' blob " +
+                           std::to_string(b),
+                       path);
+        }
+      }
+      s.ExpectConsumed("SOLV");
+    } else if (tag == kTagNetState) {
+      saw_net_state = true;
+      const auto layer_count = s.Pod<std::uint32_t>();
+      for (std::uint32_t l = 0; l < layer_count; ++l) {
+        const std::string name = s.Str();
+        const auto word_count = s.Pod<std::uint32_t>();
+        CGDNN_CHECK_LE(word_count, 1024u)
+            << "implausible runtime state size in " << path;
+        std::vector<std::uint64_t> words(word_count);
+        std::memcpy(words.data(), s.Raw(word_count * sizeof(std::uint64_t)),
+                    word_count * sizeof(std::uint64_t));
+        CGDNN_CHECK(net.has_layer(name))
+            << "checkpoint runtime state names unknown layer '" << name
+            << "': " << path;
+        net.layer_by_name(name)->ImportRuntimeState(words);
+      }
+      s.ExpectConsumed("NETS");
+    } else {
+      throw Error(__FILE__, __LINE__,
+                  "unknown checkpoint section in " + path);
+    }
+  }
+  CGDNN_CHECK(saw_meta && saw_loss && saw_weights && saw_solver &&
+              saw_net_state)
+      << "checkpoint is missing sections: " << path;
+  return meta;
+}
+
+// ------------------------------------------------- snapshot files on disk
+
+std::string SnapshotPath(const std::string& prefix, index_t iter) {
+  return prefix + "_iter_" + std::to_string(iter) + kSnapshotSuffix;
+}
+
+std::vector<std::pair<index_t, std::string>> ListSnapshots(
+    const std::string& prefix) {
+  namespace fs = std::filesystem;
+  const fs::path p(prefix);
+  fs::path dir = p.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string stem = p.filename().string() + "_iter_";
+  std::vector<std::pair<index_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem, 0) != 0) continue;
+    if (name.size() <= stem.size() + std::strlen(kSnapshotSuffix)) continue;
+    if (name.substr(name.size() - std::strlen(kSnapshotSuffix)) !=
+        kSnapshotSuffix) {
+      continue;
+    }
+    const std::string digits = name.substr(
+        stem.size(), name.size() - stem.size() - std::strlen(kSnapshotSuffix));
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    found.emplace_back(static_cast<index_t>(std::stoll(digits)),
+                       entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+void RotateSnapshots(const std::string& prefix, index_t keep) {
+  if (keep <= 0) return;
+  auto snapshots = ListSnapshots(prefix);
+  if (snapshots.size() <= static_cast<std::size_t>(keep)) return;
+  std::error_code ec;
+  for (std::size_t i = 0; i + static_cast<std::size_t>(keep) < snapshots.size();
+       ++i) {
+    std::filesystem::remove(snapshots[i].second, ec);  // best-effort
+  }
+}
+
+std::uint64_t Fnv1a64(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+#define CGDNN_INSTANTIATE_CHECKPOINT(Dtype)                              \
+  template void SaveCheckpoint<Dtype>(                                   \
+      const std::string&, const std::string&, std::uint64_t,             \
+      const CheckpointMeta<Dtype>&, const Net<Dtype>&,                   \
+      const std::vector<SolverStateGroup<Dtype>>&);                      \
+  template CheckpointMeta<Dtype> LoadCheckpoint<Dtype>(                  \
+      const std::string&, const std::string&, std::uint64_t, Net<Dtype>&, \
+      const std::vector<SolverStateGroup<Dtype>>&)
+
+CGDNN_INSTANTIATE_CHECKPOINT(float);
+CGDNN_INSTANTIATE_CHECKPOINT(double);
+
+}  // namespace cgdnn

@@ -1,0 +1,88 @@
+// Crash-safe full-training-state checkpoints.
+//
+// A checkpoint captures everything a resumed run needs to reproduce the
+// uninterrupted one bit-for-bit: every layer blob (weights, biases,
+// batch-norm statistics), the solver's accumulator blobs (momentum /
+// squared-gradient / second-moment histories), the iteration counter, the
+// loss history, the global RNG state, and per-layer runtime state (data
+// cursors, dropout pass counters).
+//
+// Format "CGDNNCKP" v1, little-endian:
+//   header:   magic[8] | u32 version | u8 scalar_size | u8 pad[3]
+//             | u64 param_digest | u32 type_len | solver type
+//   sections (fixed order), each  u32 tag | u64 payload_bytes | payload:
+//     'META'  i64 iter | u64 rng_state[6]
+//     'LOSS'  u64 count | Dtype losses[count]
+//     'WGTS'  u32 layer_count, per layer: str name | u32 blob_count,
+//             per blob: u32 ndims | i64 dims[] | raw Dtype values
+//     'SOLV'  u32 group_count, per group: str name | u32 blob_count,
+//             per blob: as in WGTS
+//     'NETS'  u32 layer_count, per layer: str name | u32 words | u64[]
+//   footer:   u32 'CRCF' | u64 body_bytes | u32 crc32(file[0..body_bytes))
+//
+// Writes go through data::WriteFileAtomic (tmp + fsync + rename), so a
+// crash mid-snapshot can never corrupt an existing checkpoint. Loads verify
+// the CRC over the whole body before interpreting a single length field, so
+// truncations and bit-flips are rejected up front.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/net/net.hpp"
+
+namespace cgdnn {
+
+/// One named group of solver accumulator blobs (e.g. "history",
+/// "second_moment"). The pointer refers into the owning solver.
+template <typename Dtype>
+struct SolverStateGroup {
+  std::string name;
+  std::vector<std::shared_ptr<Blob<Dtype>>>* blobs;
+};
+
+/// Scalar training state carried alongside the blobs.
+template <typename Dtype>
+struct CheckpointMeta {
+  index_t iter = 0;
+  RngState rng{};
+  std::vector<Dtype> loss_history;
+};
+
+template <typename Dtype>
+void SaveCheckpoint(const std::string& path, const std::string& solver_type,
+                    std::uint64_t param_digest,
+                    const CheckpointMeta<Dtype>& meta, const Net<Dtype>& net,
+                    const std::vector<SolverStateGroup<Dtype>>& groups);
+
+/// Verifies integrity (CRC + structure), the solver type, and the
+/// hyper-parameter digest, then restores net weights, solver state and
+/// layer runtime state in place. Throws cgdnn::Error on any mismatch or
+/// corruption; the net/solver are only mutated after full validation of the
+/// sections that feed them.
+template <typename Dtype>
+CheckpointMeta<Dtype> LoadCheckpoint(
+    const std::string& path, const std::string& solver_type,
+    std::uint64_t param_digest, Net<Dtype>& net,
+    const std::vector<SolverStateGroup<Dtype>>& groups);
+
+/// Canonical snapshot file name: `<prefix>_iter_<iter>.cgdnnckpt`.
+std::string SnapshotPath(const std::string& prefix, index_t iter);
+
+/// Retained snapshots for `prefix`, ascending by iteration. Emergency
+/// snapshots (`<prefix>_emergency_iter_*.cgdnnckpt`) are not included.
+std::vector<std::pair<index_t, std::string>> ListSnapshots(
+    const std::string& prefix);
+
+/// Deletes all but the newest `keep` retained snapshots (keep <= 0 keeps
+/// everything).
+void RotateSnapshots(const std::string& prefix, index_t keep);
+
+/// FNV-1a 64-bit hash, used for hyper-parameter digests.
+std::uint64_t Fnv1a64(std::string_view text);
+
+}  // namespace cgdnn

@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <vector>
+
+#include "cgdnn/data/io.hpp"
 
 namespace cgdnn {
 
@@ -11,6 +14,9 @@ namespace {
 
 constexpr char kMagic[8] = {'C', 'G', 'D', 'N', 'N', 'W', 'T', 'S'};
 constexpr std::uint32_t kVersion = 1;
+/// Upper bound on a single serialized blob (2^33 bytes = 8 GiB): rejects
+/// corrupt dimension fields before they reach the raw-data allocation.
+constexpr std::int64_t kMaxBlobBytes = std::int64_t{1} << 33;
 
 template <typename T>
 void WritePod(std::ostream& out, const T& v) {
@@ -43,8 +49,9 @@ std::string ReadString(std::istream& in, const std::string& path) {
 
 template <typename Dtype>
 void SaveWeights(const Net<Dtype>& net, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  CGDNN_CHECK(out.good()) << "cannot create weights file: " << path;
+  // Serialize into memory, then commit crash-safely: a kill mid-save leaves
+  // the previous weights file intact instead of a half-written one.
+  std::ostringstream out;
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kVersion);
 
@@ -69,7 +76,8 @@ void SaveWeights(const Net<Dtype>& net, const std::string& path) {
                 static_cast<std::streamsize>(blob->count() * sizeof(Dtype)));
     }
   }
-  CGDNN_CHECK(out.good()) << "write failed: " << path;
+  CGDNN_CHECK(out.good()) << "weight serialization failed for " << path;
+  data::WriteFileAtomic(path, out.view());
 }
 
 template <typename Dtype>
@@ -102,12 +110,21 @@ std::size_t LoadWeights(Net<Dtype>& net, const std::string& path) {
       std::vector<index_t> shape;
       index_t count = 1;
       for (std::uint32_t d = 0; d < ndims; ++d) {
-        shape.push_back(static_cast<index_t>(ReadPod<std::int64_t>(in, path)));
+        const auto dim = ReadPod<std::int64_t>(in, path);
+        // Validate before the multiply: a negative or huge dim must never
+        // reach the allocation below (or overflow `count` on the way).
+        CGDNN_CHECK_GT(dim, 0)
+            << "non-positive blob dimension in " << path;
+        CGDNN_CHECK_LE(dim, kMaxBlobBytes / count)
+            << "blob too large in " << path << " (corrupt dimensions?)";
+        shape.push_back(static_cast<index_t>(dim));
         count *= shape.back();
       }
       const auto scalar_size = ReadPod<std::uint8_t>(in, path);
       CGDNN_CHECK(scalar_size == 4 || scalar_size == 8)
           << "unsupported scalar size in " << path;
+      CGDNN_CHECK_LE(count, kMaxBlobBytes / scalar_size)
+          << "blob too large in " << path << " (corrupt dimensions?)";
       std::vector<char> raw(static_cast<std::size_t>(count) * scalar_size);
       in.read(raw.data(), static_cast<std::streamsize>(raw.size()));
       CGDNN_CHECK(in.good()) << "truncated weights file: " << path;

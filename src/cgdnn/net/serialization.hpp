@@ -8,6 +8,12 @@
 // float and double transparently. Loading matches layers by NAME (Caffe
 // semantics): layers absent from the file keep their current weights,
 // layers present must match blob counts and shapes exactly.
+//
+// Saving is crash-safe (tmp + fsync + atomic rename, see data::
+// WriteFileAtomic); loading validates dimensions and caps blob sizes so a
+// corrupt file is rejected with a clear error instead of a wild allocation.
+// Full training-state snapshots (solver history, RNG, cursors) are the
+// separate checkpoint format in cgdnn/net/checkpoint.hpp.
 #pragma once
 
 #include <string>

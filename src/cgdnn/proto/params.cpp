@@ -788,6 +788,9 @@ SolverParameter SolverParameter::FromText(const TextMessage& msg) {
     else if (e.name == "stepsize") p.stepsize = e.value.AsInt();
     else if (e.name == "stepvalue") p.stepvalue.push_back(e.value.AsInt());
     else if (e.name == "clip_gradients") p.clip_gradients = e.value.AsDouble();
+    else if (e.name == "snapshot") p.snapshot = e.value.AsInt();
+    else if (e.name == "snapshot_prefix") p.snapshot_prefix = e.value.AsString();
+    else if (e.name == "snapshot_retain") p.snapshot_retain = e.value.AsInt();
     else if (e.name == "random_seed")
       p.random_seed = static_cast<std::uint64_t>(e.value.AsInt());
     else if (e.name == "delta") p.delta = e.value.AsDouble();
@@ -825,9 +828,13 @@ void SolverParameter::ToText(TextMessage& msg) const {
   if (stepsize != 0) msg.AddInt("stepsize", stepsize);
   for (index_t sv : stepvalue) msg.AddInt("stepvalue", sv);
   if (clip_gradients >= 0.0) msg.AddDouble("clip_gradients", clip_gradients);
+  if (snapshot != 0) msg.AddInt("snapshot", snapshot);
+  if (!snapshot_prefix.empty()) msg.AddString("snapshot_prefix", snapshot_prefix);
+  if (snapshot_retain != 3) msg.AddInt("snapshot_retain", snapshot_retain);
   msg.AddInt("random_seed", static_cast<index_t>(random_seed));
   if (delta != 1e-8) msg.AddDouble("delta", delta);
   if (rms_decay != 0.99) msg.AddDouble("rms_decay", rms_decay);
+  if (momentum2 != 0.999) msg.AddDouble("momentum2", momentum2);
 }
 
 std::string SolverParameter::ToString() const {

@@ -357,6 +357,13 @@ struct SolverParameter {
   index_t stepsize = 0;
   std::vector<index_t> stepvalue;
   double clip_gradients = -1.0;
+  /// Periodic checkpointing (Caffe's snapshot/snapshot_prefix): every
+  /// `snapshot` iterations a full training-state checkpoint is written to
+  /// `<snapshot_prefix>_iter_<N>.cgdnnckpt`; the newest `snapshot_retain`
+  /// files are kept, older ones rotated away. 0 disables.
+  index_t snapshot = 0;
+  std::string snapshot_prefix;
+  index_t snapshot_retain = 3;
   std::uint64_t random_seed = 1;
   double delta = 1e-8;     // AdaGrad / AdaDelta / RMSProp numerical floor
   double rms_decay = 0.99; // RMSProp

@@ -68,6 +68,11 @@ class AdamSolver : public SGDSolver<Dtype> {
 
  protected:
   void ComputeUpdateValue(std::size_t param_id, Dtype rate) override;
+  void AppendStateGroups(
+      std::vector<SolverStateGroup<Dtype>>& groups) override {
+    SGDSolver<Dtype>::AppendStateGroups(groups);
+    groups.push_back({"second_moment", &second_moment_});
+  }
 
  private:
   /// Second-moment accumulator (history_ stores the first moment).
@@ -83,6 +88,11 @@ class AdaDeltaSolver : public SGDSolver<Dtype> {
 
  protected:
   void ComputeUpdateValue(std::size_t param_id, Dtype rate) override;
+  void AppendStateGroups(
+      std::vector<SolverStateGroup<Dtype>>& groups) override {
+    SGDSolver<Dtype>::AppendStateGroups(groups);
+    groups.push_back({"update_history", &update_history_});
+  }
 
  private:
   /// Second accumulator (squared updates), alongside history_ (squared

@@ -73,6 +73,12 @@ void Solver<Dtype>::Step(index_t iters) {
           ? 0.0
           : static_cast<double>(net_->blobs().front()->num());
   for (index_t i = 0; i < iters; ++i) {
+    // Graceful shutdown (e.g. SIGINT in cgdnn_train): stop on an iteration
+    // boundary so a final snapshot captures a resumable state.
+    if (stop_flag_ != nullptr &&
+        stop_flag_->load(std::memory_order_relaxed)) {
+      break;
+    }
     if (test_net_ && param_.test_interval > 0 &&
         iter_ % param_.test_interval == 0 &&
         (iter_ > 0 || param_.test_initialization)) {
@@ -90,6 +96,23 @@ void Solver<Dtype>::Step(index_t iters) {
       loss += net_->ForwardBackward();
     }
     loss /= static_cast<Dtype>(iter_size);
+    if (!std::isfinite(static_cast<double>(loss))) {
+      // Divergence guard: capture the last-good weights (this iteration's
+      // update has NOT been applied) for post-mortem, then fail loudly
+      // instead of training on garbage.
+      std::string note;
+      if (!param_.snapshot_prefix.empty()) {
+        const std::string path = param_.snapshot_prefix + "_emergency" +
+                                 "_iter_" + std::to_string(iter_) +
+                                 ".cgdnnckpt";
+        Snapshot(path);
+        note = "; emergency snapshot saved to " + path;
+      }
+      std::ostringstream msg;
+      msg << "non-finite loss (" << loss << ") at iteration " << iter_
+          << note;
+      throw Error(__FILE__, __LINE__, msg.str());
+    }
     if (iter_size > 1) {
       for (Blob<Dtype>* p : net_->learnable_params()) {
         p->scale_diff(Dtype(1) / static_cast<Dtype>(iter_size));
@@ -98,6 +121,10 @@ void Solver<Dtype>::Step(index_t iters) {
     loss_history_.push_back(loss);
     ApplyUpdate();
     ++iter_;
+    if (param_.snapshot > 0 && !param_.snapshot_prefix.empty() &&
+        iter_ % param_.snapshot == 0) {
+      SnapshotAndRotate();
+    }
     if (telemetry_ != nullptr) {
       const double secs = iter_timer.Seconds();
       telemetry_->Write(
@@ -120,7 +147,77 @@ void Solver<Dtype>::Step(index_t iters) {
 template <typename Dtype>
 void Solver<Dtype>::Solve() {
   CGDNN_CHECK_GT(param_.max_iter, 0) << "Solve() requires max_iter";
-  Step(param_.max_iter - iter_);
+  // A restored solver may already be at (or past) max_iter.
+  Step(std::max<index_t>(0, param_.max_iter - iter_));
+}
+
+// ------------------------------------------------------ checkpoint/resume
+
+template <typename Dtype>
+std::uint64_t Solver<Dtype>::ParamDigest() const {
+  // Digest only what shapes the training trajectory. Run-length and
+  // reporting knobs (max_iter, display, test_*, snapshot_*) may legally
+  // differ between the interrupted and the resuming invocation.
+  proto::SolverParameter p = param_;
+  p.max_iter = 0;
+  p.display = 0;
+  p.test_iter = 0;
+  p.test_interval = 0;
+  p.test_initialization = true;
+  p.snapshot = 0;
+  p.snapshot_prefix.clear();
+  p.snapshot_retain = 3;
+  p.net.clear();
+  return Fnv1a64(p.ToString());
+}
+
+template <typename Dtype>
+void Solver<Dtype>::Snapshot(const std::string& path) {
+  std::vector<SolverStateGroup<Dtype>> groups;
+  AppendStateGroups(groups);
+  CheckpointMeta<Dtype> meta;
+  meta.iter = iter_;
+  meta.rng = GlobalRng().state();
+  meta.loss_history = loss_history_;
+  SaveCheckpoint(path, type(), ParamDigest(), meta, *net_, groups);
+}
+
+template <typename Dtype>
+void Solver<Dtype>::Restore(const std::string& path) {
+  std::vector<SolverStateGroup<Dtype>> groups;
+  AppendStateGroups(groups);
+  CheckpointMeta<Dtype> meta =
+      LoadCheckpoint(path, type(), ParamDigest(), *net_, groups);
+  iter_ = meta.iter;
+  loss_history_ = std::move(meta.loss_history);
+  GlobalRng().set_state(meta.rng);
+}
+
+template <typename Dtype>
+std::string Solver<Dtype>::RestoreLatest(const std::string& prefix) {
+  const auto snapshots = ListSnapshots(prefix);
+  CGDNN_CHECK(!snapshots.empty())
+      << "no snapshots found under prefix " << prefix;
+  // Newest first; a corrupt/truncated snapshot falls back to the previous
+  // retained one.
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    try {
+      Restore(it->second);
+      return it->second;
+    } catch (const std::exception& e) {
+      std::cerr << "warning: skipping unusable snapshot " << it->second
+                << ": " << e.what() << "\n";
+    }
+  }
+  throw Error(__FILE__, __LINE__,
+              "no valid snapshot under prefix " + prefix +
+                  " (all retained files corrupt)");
+}
+
+template <typename Dtype>
+void Solver<Dtype>::SnapshotAndRotate() {
+  Snapshot(SnapshotPath(param_.snapshot_prefix, iter_));
+  RotateSnapshots(param_.snapshot_prefix, param_.snapshot_retain);
 }
 
 template <typename Dtype>

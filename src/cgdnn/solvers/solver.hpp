@@ -10,10 +10,12 @@
 // reproducible.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "cgdnn/net/checkpoint.hpp"
 #include "cgdnn/net/net.hpp"
 #include "cgdnn/proto/params.hpp"
 #include "cgdnn/trace/telemetry.hpp"
@@ -46,6 +48,31 @@ class Solver {
   /// outlive the training loop.
   void set_telemetry(trace::TelemetrySink* sink) { telemetry_ = sink; }
 
+  // ---------------------------------------------------- checkpoint/resume
+
+  /// Writes a crash-safe full-training-state checkpoint (weights, solver
+  /// accumulators, iteration, loss history, RNG state, layer cursors) to
+  /// `path`. See cgdnn/net/checkpoint.hpp for the format.
+  void Snapshot(const std::string& path);
+  /// Restores a checkpoint written by Snapshot. Validates integrity (CRC),
+  /// the solver type, and the hyper-parameter digest; training continued
+  /// from here is bit-identical to a run that was never interrupted.
+  void Restore(const std::string& path);
+  /// Restores the newest valid snapshot under `prefix`
+  /// (`<prefix>_iter_<N>.cgdnnckpt`). A truncated or corrupt snapshot is
+  /// skipped with a warning and the next-older one is tried; throws if no
+  /// retained snapshot loads. Returns the path actually restored.
+  std::string RestoreLatest(const std::string& prefix);
+  /// FNV-1a digest of the trajectory-relevant hyper-parameters (net, lr
+  /// schedule, solver constants, seed — NOT max_iter/display/test/snapshot
+  /// settings). Snapshots embed it so a resume with different training
+  /// dynamics is rejected instead of silently diverging.
+  std::uint64_t ParamDigest() const;
+  /// Cooperative shutdown: when the flag (owned by the caller, e.g. a
+  /// signal handler) becomes true, Step() returns before starting the next
+  /// iteration, leaving the solver in a snapshot-clean state.
+  void set_stop_flag(const std::atomic<bool>* flag) { stop_flag_ = flag; }
+
   Net<Dtype>& net() { return *net_; }
   Net<Dtype>* test_net() { return test_net_.get(); }
   index_t iter() const { return iter_; }
@@ -63,6 +90,17 @@ class Solver {
   void Regularize(std::size_t param_id);
   void ClipGradients();
 
+  /// Names the accumulator blob groups a checkpoint must carry. The base
+  /// solver owns "history"; subclasses with extra state (Adam's second
+  /// moments, AdaDelta's update history) append theirs after calling the
+  /// base implementation. `update_` is per-iteration scratch, not state.
+  virtual void AppendStateGroups(std::vector<SolverStateGroup<Dtype>>& groups) {
+    groups.push_back({"history", &history_});
+  }
+
+  /// Periodic `<prefix>_iter_<N>` snapshot plus retention rotation.
+  void SnapshotAndRotate();
+
   proto::SolverParameter param_;
   std::unique_ptr<Net<Dtype>> net_;
   std::unique_ptr<Net<Dtype>> test_net_;
@@ -72,6 +110,7 @@ class Solver {
   std::vector<std::shared_ptr<Blob<Dtype>>> history_;
   std::vector<std::shared_ptr<Blob<Dtype>>> update_;
   trace::TelemetrySink* telemetry_ = nullptr;
+  const std::atomic<bool>* stop_flag_ = nullptr;
 };
 
 /// Instantiates the solver named by param.type.

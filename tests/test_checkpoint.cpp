@@ -1,0 +1,373 @@
+// Checkpoint/resume semantics (docs/robustness.md). The headline property
+// extends the paper's convergence invariance across a process boundary:
+// training that is snapshotted, destroyed and restored must be
+// bit-identical to a run that was never interrupted — for every solver
+// with extra accumulator state (Adam, AdaDelta) and at 1 and 8 threads.
+#include "cgdnn/net/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <tuple>
+
+#include "cgdnn/data/dataset.hpp"
+#include "cgdnn/layers/data_layers.hpp"
+#include "cgdnn/parallel/context.hpp"
+#include "cgdnn/solvers/solver.hpp"
+
+namespace cgdnn {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cgdnn_ckpt_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    data::ClearDatasetCache();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+/// The tiny logistic-regression problem from test_solvers.cpp, with the
+/// per-solver constants that make each update rule converge.
+proto::SolverParameter CkptSolverParam(const std::string& type) {
+  proto::SolverParameter s;
+  s.type = type;
+  s.base_lr = 0.05;
+  s.lr_policy = "fixed";
+  s.max_iter = 40;
+  s.random_seed = 17;
+  s.test_iter = 0;
+  s.test_interval = 0;
+  if (type == "SGD" || type == "Nesterov") s.momentum = 0.9;
+  if (type == "Adam") {
+    s.momentum = 0.9;
+    s.momentum2 = 0.999;
+    s.base_lr = 0.01;
+  }
+  if (type == "AdaDelta") {
+    s.momentum = 0.95;
+    s.base_lr = 1.0;
+  }
+  s.net_param = proto::NetParameter::FromString(R"(
+    name: "tiny"
+    layer {
+      name: "data" type: "Data" top: "data" top: "label"
+      data_param { source: "synthetic-mnist" batch_size: 16 num_samples: 64 seed: 2 }
+    }
+    layer {
+      name: "ip" type: "InnerProduct" bottom: "data" top: "ip"
+      inner_product_param {
+        num_output: 10
+        weight_filler { type: "xavier" }
+      }
+    }
+    layer {
+      name: "loss" type: "SoftmaxWithLoss" bottom: "ip" bottom: "label"
+      top: "loss"
+    }
+  )");
+  return s;
+}
+
+/// Every learnable parameter as raw bytes — the strictest possible
+/// equality (memcmp distinguishes -0.0 from +0.0 and any NaN payload).
+std::string WeightBytes(Solver<float>& solver) {
+  std::string bytes;
+  for (const auto* p : solver.net().learnable_params()) {
+    bytes.append(reinterpret_cast<const char*>(p->cpu_data()),
+                 static_cast<std::size_t>(p->count()) * sizeof(float));
+  }
+  return bytes;
+}
+
+parallel::ParallelConfig ThreadConfig(int threads) {
+  parallel::ParallelConfig cfg;
+  cfg.mode = threads > 1 ? parallel::ExecutionMode::kCoarseGrain
+                         : parallel::ExecutionMode::kSerial;
+  cfg.num_threads = threads;
+  cfg.merge = parallel::GradientMerge::kOrdered;
+  return cfg;
+}
+
+// ------------------------------------------------ headline: bit-identity
+
+class ResumeBitIdentity
+    : public CheckpointTest,
+      public ::testing::WithParamInterface<std::tuple<std::string, int>> {};
+
+TEST_P(ResumeBitIdentity, InterruptedEqualsUninterrupted) {
+  const auto& [type, threads] = GetParam();
+  parallel::Parallel::Scope scope(ThreadConfig(threads));
+  const auto param = CkptSolverParam(type);
+  const index_t total = 8, half = total / 2;
+
+  // Run A: straight through.
+  data::ClearDatasetCache();
+  const auto straight = CreateSolver<float>(param);
+  straight->Step(total);
+  const std::string want_weights = WeightBytes(*straight);
+  const auto want_loss = straight->loss_history();
+
+  // Run B: half way, snapshot, destroy the solver entirely.
+  const std::string ckpt = Path("resume.cgdnnckpt");
+  data::ClearDatasetCache();
+  {
+    const auto first = CreateSolver<float>(param);
+    first->Step(half);
+    first->Snapshot(ckpt);
+  }
+
+  // Run C: a fresh process-equivalent — new solver, restore, finish.
+  data::ClearDatasetCache();
+  const auto resumed = CreateSolver<float>(param);
+  resumed->Restore(ckpt);
+  ASSERT_EQ(resumed->iter(), half);
+  resumed->Step(total - half);
+
+  EXPECT_EQ(resumed->iter(), straight->iter());
+  EXPECT_EQ(resumed->loss_history(), want_loss)
+      << type << " @ " << threads << " thread(s): loss history diverged";
+  EXPECT_EQ(WeightBytes(*resumed), want_weights)
+      << type << " @ " << threads
+      << " thread(s): weights are not bit-identical after resume";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SolversAndThreads, ResumeBitIdentity,
+    ::testing::Combine(::testing::Values("SGD", "Nesterov", "Adam",
+                                         "AdaDelta"),
+                       ::testing::Values(1, 8)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             std::to_string(std::get<1>(info.param)) + "threads";
+    });
+
+TEST_F(CheckpointTest, ResumeBitIdenticalWithDropout) {
+  // Dropout draws a fresh mask per pass from (layer seed, pass counter);
+  // the counter must survive the checkpoint or the resumed mask stream —
+  // and so the weights — diverge.
+  auto param = CkptSolverParam("SGD");
+  param.net_param = proto::NetParameter::FromString(R"(
+    name: "tiny-dropout"
+    layer {
+      name: "data" type: "Data" top: "data" top: "label"
+      data_param { source: "synthetic-mnist" batch_size: 16 num_samples: 64 seed: 2 }
+    }
+    layer {
+      name: "ip0" type: "InnerProduct" bottom: "data" top: "ip0"
+      inner_product_param { num_output: 32 weight_filler { type: "xavier" } }
+    }
+    layer {
+      name: "drop" type: "Dropout" bottom: "ip0" top: "dp0"
+      dropout_param { dropout_ratio: 0.5 }
+    }
+    layer {
+      name: "ip" type: "InnerProduct" bottom: "dp0" top: "ip"
+      inner_product_param { num_output: 10 weight_filler { type: "xavier" } }
+    }
+    layer {
+      name: "loss" type: "SoftmaxWithLoss" bottom: "ip" bottom: "label"
+      top: "loss"
+    }
+  )");
+
+  data::ClearDatasetCache();
+  const auto straight = CreateSolver<float>(param);
+  straight->Step(6);
+
+  const std::string ckpt = Path("dropout.cgdnnckpt");
+  data::ClearDatasetCache();
+  {
+    const auto first = CreateSolver<float>(param);
+    first->Step(3);
+    first->Snapshot(ckpt);
+  }
+  data::ClearDatasetCache();
+  const auto resumed = CreateSolver<float>(param);
+  resumed->Restore(ckpt);
+  resumed->Step(3);
+
+  EXPECT_EQ(resumed->loss_history(), straight->loss_history());
+  EXPECT_EQ(WeightBytes(*resumed), WeightBytes(*straight));
+}
+
+// ----------------------------------------------------- rejection + safety
+
+TEST_F(CheckpointTest, DigestMismatchRejected) {
+  const auto param = CkptSolverParam("SGD");
+  const auto solver = CreateSolver<float>(param);
+  solver->Step(2);
+  solver->Snapshot(Path("a.cgdnnckpt"));
+
+  auto changed = param;
+  changed.base_lr *= 2;  // different trajectory → different digest
+  const auto other = CreateSolver<float>(changed);
+  EXPECT_THROW(other->Restore(Path("a.cgdnnckpt")), Error);
+}
+
+TEST_F(CheckpointTest, RunLengthAndReportingKnobsDoNotAffectDigest) {
+  // --iterations / display / test cadence / snapshot settings must NOT be
+  // part of the digest: resuming with a longer max_iter is the whole point.
+  const auto param = CkptSolverParam("SGD");
+  const auto solver = CreateSolver<float>(param);
+  solver->Step(2);
+  solver->Snapshot(Path("a.cgdnnckpt"));
+
+  auto changed = param;
+  changed.max_iter = 999;
+  changed.display = 5;
+  changed.snapshot = 7;
+  changed.snapshot_prefix = "elsewhere";
+  const auto other = CreateSolver<float>(changed);
+  other->Restore(Path("a.cgdnnckpt"));
+  EXPECT_EQ(other->iter(), 2);
+  EXPECT_EQ(other->loss_history(), solver->loss_history());
+}
+
+TEST_F(CheckpointTest, SolverTypeMismatchRejected) {
+  const auto sgd = CreateSolver<float>(CkptSolverParam("SGD"));
+  sgd->Step(1);
+  sgd->Snapshot(Path("sgd.cgdnnckpt"));
+  const auto nesterov = CreateSolver<float>(CkptSolverParam("Nesterov"));
+  EXPECT_THROW(nesterov->Restore(Path("sgd.cgdnnckpt")), Error);
+}
+
+TEST_F(CheckpointTest, ScalarWidthMismatchRejected) {
+  const auto f32 = CreateSolver<float>(CkptSolverParam("SGD"));
+  f32->Step(1);
+  f32->Snapshot(Path("f32.cgdnnckpt"));
+  data::ClearDatasetCache();
+  const auto f64 = CreateSolver<double>(CkptSolverParam("SGD"));
+  EXPECT_THROW(f64->Restore(Path("f32.cgdnnckpt")), Error);
+}
+
+TEST_F(CheckpointTest, SnapshotLeavesNoTempFiles) {
+  const auto solver = CreateSolver<float>(CkptSolverParam("SGD"));
+  solver->Step(1);
+  solver->Snapshot(Path("clean.cgdnnckpt"));
+  ASSERT_TRUE(std::filesystem::exists(Path("clean.cgdnnckpt")));
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().extension(), ".cgdnnckpt")
+        << "stray file after atomic snapshot: " << entry.path();
+  }
+}
+
+// ------------------------------------------------------ retention/rotation
+
+TEST_F(CheckpointTest, PeriodicSnapshotsRotateToRetainCount) {
+  auto param = CkptSolverParam("SGD");
+  param.max_iter = 5;
+  param.snapshot = 1;  // every iteration
+  param.snapshot_prefix = Path("rot");
+  param.snapshot_retain = 2;
+  const auto solver = CreateSolver<float>(param);
+  solver->Solve();
+
+  const auto kept = ListSnapshots(Path("rot"));
+  ASSERT_EQ(kept.size(), 2u) << "retention must cap the snapshot count";
+  EXPECT_EQ(kept[0].first, 4);
+  EXPECT_EQ(kept[1].first, 5);
+  EXPECT_EQ(kept[1].second, SnapshotPath(Path("rot"), 5));
+}
+
+TEST_F(CheckpointTest, RestoreLatestPicksNewestSnapshot) {
+  auto param = CkptSolverParam("SGD");
+  const auto solver = CreateSolver<float>(param);
+  solver->Step(2);
+  solver->Snapshot(SnapshotPath(Path("pick"), 2));
+  solver->Step(2);
+  solver->Snapshot(SnapshotPath(Path("pick"), 4));
+
+  data::ClearDatasetCache();
+  const auto resumed = CreateSolver<float>(param);
+  EXPECT_EQ(resumed->RestoreLatest(Path("pick")),
+            SnapshotPath(Path("pick"), 4));
+  EXPECT_EQ(resumed->iter(), 4);
+}
+
+TEST_F(CheckpointTest, RestoreLatestWithNoSnapshotsThrows) {
+  const auto solver = CreateSolver<float>(CkptSolverParam("SGD"));
+  EXPECT_THROW(solver->RestoreLatest(Path("nothing_here")), Error);
+}
+
+// ------------------------------------------------------------- loss guard
+
+TEST_F(CheckpointTest, NonFiniteLossAbortsWithEmergencySnapshot) {
+  proto::SolverParameter s;
+  s.type = "SGD";
+  s.base_lr = 0.1;
+  s.lr_policy = "fixed";
+  s.max_iter = 10;
+  s.random_seed = 17;
+  s.snapshot_prefix = Path("guard");
+  s.net_param = proto::NetParameter::FromString(R"(
+    name: "nan-net"
+    layer {
+      name: "input" type: "MemoryData" top: "data" top: "label"
+      memory_data_param { batch_size: 4 channels: 1 height: 2 width: 2 }
+    }
+    layer {
+      name: "ip" type: "InnerProduct" bottom: "data" top: "ip"
+      inner_product_param { num_output: 2 weight_filler { type: "xavier" } }
+    }
+    layer {
+      name: "loss" type: "SoftmaxWithLoss" bottom: "ip" bottom: "label"
+      top: "loss"
+    }
+  )");
+  const auto solver = CreateSolver<float>(s);
+  auto* mem = dynamic_cast<MemoryDataLayer<float>*>(
+      solver->net().layer_by_name("input").get());
+  ASSERT_NE(mem, nullptr);
+  std::vector<float> data(4 * 4, std::numeric_limits<float>::quiet_NaN());
+  std::vector<float> labels(4, 0.0f);
+  mem->Reset(data.data(), labels.data(), 4);
+
+  try {
+    solver->Step(1);
+    FAIL() << "NaN loss must abort the training loop";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite loss"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("iteration"), std::string::npos)
+        << "error must name the failing iteration: " << e.what();
+  }
+  // The emergency snapshot holds the last-good weights for debugging.
+  bool found_emergency = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().filename().string().find("guard_emergency_iter_") == 0) {
+      found_emergency = true;
+    }
+  }
+  EXPECT_TRUE(found_emergency);
+}
+
+// ---------------------------------------------------------- stop flag
+
+TEST_F(CheckpointTest, StopFlagHaltsOnIterationBoundary) {
+  const auto solver = CreateSolver<float>(CkptSolverParam("SGD"));
+  std::atomic<bool> stop{false};
+  solver->set_stop_flag(&stop);
+  solver->Step(3);
+  EXPECT_EQ(solver->iter(), 3);
+  stop.store(true);
+  solver->Step(5);  // must return without doing any work
+  EXPECT_EQ(solver->iter(), 3);
+  EXPECT_EQ(solver->loss_history().size(), 3u);
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,262 @@
+// Fault injection against the checkpoint format (docs/robustness.md).
+// Walks a real snapshot's structure — header, the five tag|length|payload
+// sections, CRC footer — then truncates the file at every boundary and
+// flips bits in every region. Every corruption must surface as a clean
+// cgdnn::Error from Restore (never a crash, never a silent partial load),
+// and RestoreLatest must fall back past a corrupt newest snapshot to the
+// previous retained one.
+#include "cgdnn/net/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "cgdnn/data/dataset.hpp"
+#include "cgdnn/data/io.hpp"
+#include "cgdnn/solvers/solver.hpp"
+
+namespace cgdnn {
+namespace {
+
+proto::SolverParameter FaultSolverParam() {
+  proto::SolverParameter s;
+  s.type = "SGD";
+  s.base_lr = 0.05;
+  s.momentum = 0.9;
+  s.lr_policy = "fixed";
+  s.max_iter = 40;
+  s.random_seed = 17;
+  s.test_iter = 0;
+  s.test_interval = 0;
+  s.net_param = proto::NetParameter::FromString(R"(
+    name: "tiny"
+    layer {
+      name: "data" type: "Data" top: "data" top: "label"
+      data_param { source: "synthetic-mnist" batch_size: 8 num_samples: 32 seed: 2 }
+    }
+    layer {
+      name: "ip" type: "InnerProduct" bottom: "data" top: "ip"
+      inner_product_param {
+        num_output: 10
+        weight_filler { type: "xavier" }
+      }
+    }
+    layer {
+      name: "loss" type: "SoftmaxWithLoss" bottom: "ip" bottom: "label"
+      top: "loss"
+    }
+  )");
+  return s;
+}
+
+/// Byte offsets of the structural boundaries of a v1 checkpoint, derived
+/// by the same walk a reader would make (validated against the real size).
+struct CheckpointLayout {
+  std::size_t header_end = 0;
+  /// [begin, end) of each tag|len|payload section frame, in file order.
+  std::vector<std::pair<std::size_t, std::size_t>> sections;
+  std::size_t footer_begin = 0;
+};
+
+template <typename T>
+T LoadPod(const std::string& bytes, std::size_t at) {
+  T v{};
+  EXPECT_LE(at + sizeof(T), bytes.size());
+  std::memcpy(&v, bytes.data() + at, sizeof(T));
+  return v;
+}
+
+CheckpointLayout ParseLayout(const std::string& bytes) {
+  CheckpointLayout layout;
+  std::size_t pos = 8 + 4 + 1 + 3 + 8;  // magic|version|scalar|pad|digest
+  const auto type_len = LoadPod<std::uint32_t>(bytes, pos);
+  pos += 4 + type_len;
+  layout.header_end = pos;
+  layout.footer_begin = bytes.size() - (4 + 8 + 4);
+  while (pos < layout.footer_begin) {
+    const auto len = LoadPod<std::uint64_t>(bytes, pos + 4);
+    const std::size_t end = pos + 4 + 8 + static_cast<std::size_t>(len);
+    layout.sections.emplace_back(pos, end);
+    pos = end;
+  }
+  EXPECT_EQ(pos, layout.footer_begin) << "section walk missed the footer";
+  EXPECT_EQ(layout.sections.size(), 5u)
+      << "v1 has exactly META/LOSS/WGTS/SOLV/NETS";
+  return layout;
+}
+
+class CheckpointFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cgdnn_fault_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    data::ClearDatasetCache();
+
+    // One pristine snapshot, read back as bytes for mutation.
+    const auto solver = CreateSolver<float>(FaultSolverParam());
+    solver->Step(3);
+    pristine_path_ = Path("pristine.cgdnnckpt");
+    solver->Snapshot(pristine_path_);
+    pristine_ = data::ReadFileBytes(pristine_path_);
+    layout_ = ParseLayout(pristine_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  void WriteBytes(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  /// A pristine snapshot must load; any mutant must throw Error. A fresh
+  /// solver per attempt so a (hypothetical) partial load cannot leak state
+  /// between cases.
+  void ExpectRejected(const std::string& bytes, const std::string& what) {
+    const std::string path = Path("mutant.cgdnnckpt");
+    WriteBytes(path, bytes);
+    data::ClearDatasetCache();
+    const auto victim = CreateSolver<float>(FaultSolverParam());
+    EXPECT_THROW(victim->Restore(path), Error) << what;
+  }
+
+  std::filesystem::path dir_;
+  std::string pristine_path_;
+  std::string pristine_;
+  CheckpointLayout layout_;
+};
+
+TEST_F(CheckpointFaultTest, PristineSnapshotRestores) {
+  data::ClearDatasetCache();
+  const auto solver = CreateSolver<float>(FaultSolverParam());
+  solver->Restore(pristine_path_);
+  EXPECT_EQ(solver->iter(), 3);
+  EXPECT_EQ(solver->loss_history().size(), 3u);
+}
+
+TEST_F(CheckpointFaultTest, TruncationAtEveryBoundaryRejected) {
+  std::set<std::size_t> cuts{0, 1, 4, 8,  // inside magic / version
+                             layout_.header_end - 1, layout_.header_end};
+  for (const auto& [begin, end] : layout_.sections) {
+    cuts.insert(begin);            // before the tag
+    cuts.insert(begin + 4);        // tag read, length missing
+    cuts.insert(begin + 4 + 8);    // frame header read, payload missing
+    cuts.insert((begin + end) / 2);  // mid-payload
+    cuts.insert(end - 1);
+    cuts.insert(end);
+  }
+  cuts.insert(layout_.footer_begin + 1);  // partial footer
+  cuts.insert(pristine_.size() - 1);      // CRC itself truncated
+  for (const std::size_t cut : cuts) {
+    ASSERT_LT(cut, pristine_.size());
+    ExpectRejected(pristine_.substr(0, cut),
+                   "truncation to " + std::to_string(cut) + " bytes");
+  }
+}
+
+TEST_F(CheckpointFaultTest, BitFlipAnywhereRejected) {
+  std::set<std::size_t> offsets{
+      0,   // magic
+      9,   // version
+      12,  // scalar size
+      14,  // pad (CRC-covered even though unused)
+      16,  // param digest
+      25,  // solver type length field
+      28,  // solver type characters
+  };
+  for (const auto& [begin, end] : layout_.sections) {
+    offsets.insert(begin + 1);       // section tag
+    offsets.insert(begin + 5);       // section length
+    offsets.insert((begin + end) / 2);  // payload
+  }
+  offsets.insert(layout_.footer_begin + 2);   // footer tag
+  offsets.insert(layout_.footer_begin + 6);   // stored body size
+  offsets.insert(layout_.footer_begin + 13);  // stored CRC
+  for (const std::size_t off : offsets) {
+    ASSERT_LT(off, pristine_.size());
+    for (const unsigned char mask : {0x01, 0x80}) {
+      std::string mutant = pristine_;
+      mutant[off] = static_cast<char>(mutant[off] ^ mask);
+      ExpectRejected(mutant, "bit flip 0x" + std::to_string(mask) +
+                                 " at offset " + std::to_string(off));
+    }
+  }
+}
+
+TEST_F(CheckpointFaultTest, EmptyAndGarbageFilesRejected) {
+  ExpectRejected("", "empty file");
+  ExpectRejected(std::string(64, '\0'), "zero-filled file");
+  ExpectRejected("CGDNNCKP but not really a checkpoint, just prose",
+                 "garbage after magic");
+  data::ClearDatasetCache();
+  const auto solver = CreateSolver<float>(FaultSolverParam());
+  EXPECT_THROW(solver->Restore(Path("absent.cgdnnckpt")), Error);
+}
+
+TEST_F(CheckpointFaultTest, RestoreLatestFallsBackPastCorruptNewest) {
+  const std::string prefix = Path("fb");
+  data::ClearDatasetCache();
+  const auto writer = CreateSolver<float>(FaultSolverParam());
+  writer->Step(2);
+  writer->Snapshot(SnapshotPath(prefix, 2));
+  writer->Step(2);
+  writer->Snapshot(SnapshotPath(prefix, 4));
+
+  // Corrupt the newest in place (payload bit flip → CRC mismatch).
+  std::string newest = data::ReadFileBytes(SnapshotPath(prefix, 4));
+  newest[newest.size() / 2] =
+      static_cast<char>(newest[newest.size() / 2] ^ 0x10);
+  WriteBytes(SnapshotPath(prefix, 4), newest);
+
+  data::ClearDatasetCache();
+  const auto resumed = CreateSolver<float>(FaultSolverParam());
+  EXPECT_EQ(resumed->RestoreLatest(prefix), SnapshotPath(prefix, 2));
+  EXPECT_EQ(resumed->iter(), 2);
+}
+
+TEST_F(CheckpointFaultTest, RestoreLatestWithAllSnapshotsCorruptThrows) {
+  const std::string prefix = Path("dead");
+  data::ClearDatasetCache();
+  const auto writer = CreateSolver<float>(FaultSolverParam());
+  writer->Step(1);
+  writer->Snapshot(SnapshotPath(prefix, 1));
+  writer->Step(1);
+  writer->Snapshot(SnapshotPath(prefix, 2));
+  for (const index_t iter : {1, 2}) {
+    WriteBytes(SnapshotPath(prefix, iter), "not a checkpoint");
+  }
+  data::ClearDatasetCache();
+  const auto resumed = CreateSolver<float>(FaultSolverParam());
+  EXPECT_THROW(resumed->RestoreLatest(prefix), Error);
+}
+
+TEST_F(CheckpointFaultTest, TruncatedNewestAlsoFallsBack) {
+  // The most likely real-world corruption after a hard power cut on a
+  // non-atomic filesystem: the newest file exists but is short.
+  const std::string prefix = Path("cut");
+  data::ClearDatasetCache();
+  const auto writer = CreateSolver<float>(FaultSolverParam());
+  writer->Step(2);
+  writer->Snapshot(SnapshotPath(prefix, 2));
+  writer->Step(2);
+  writer->Snapshot(SnapshotPath(prefix, 4));
+  const std::string full = data::ReadFileBytes(SnapshotPath(prefix, 4));
+  WriteBytes(SnapshotPath(prefix, 4), full.substr(0, full.size() / 3));
+
+  data::ClearDatasetCache();
+  const auto resumed = CreateSolver<float>(FaultSolverParam());
+  EXPECT_EQ(resumed->RestoreLatest(prefix), SnapshotPath(prefix, 2));
+  EXPECT_EQ(resumed->iter(), 2);
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 
@@ -141,6 +142,68 @@ TEST_F(SerializationTest, ShapeMismatchRejected) {
   }
   Net<float> target(modified, Phase::kTrain);
   EXPECT_THROW(LoadWeights(target, Path("lenet.cgdnn")), Error);
+}
+
+namespace {
+// Hand-built weights file with attacker-controlled blob dimensions: a
+// valid header/layer framing whose first blob claims the given dims.
+std::string WeightsFileWithDims(const std::vector<std::int64_t>& dims) {
+  std::string bytes("CGDNNWTS", 8);
+  const auto pod = [&bytes](const auto& v) {
+    bytes.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  pod(std::uint32_t{1});  // version
+  pod(std::uint32_t{1});  // layer count
+  const std::string name = "ip";
+  pod(static_cast<std::uint32_t>(name.size()));
+  bytes.append(name);
+  pod(std::uint32_t{1});  // blob count
+  pod(static_cast<std::uint32_t>(dims.size()));
+  for (const std::int64_t d : dims) pod(d);
+  pod(std::uint8_t{4});  // float32 payload (absent — dims must fail first)
+  return bytes;
+}
+}  // namespace
+
+TEST_F(SerializationTest, NonPositiveBlobDimensionsRejected) {
+  SeedGlobalRng(10);
+  Net<float> net(SmallNet(), Phase::kTrain);
+  for (const auto& dims : std::vector<std::vector<std::int64_t>>{
+           {0, 10}, {-1, 10}, {10, -4}, {std::int64_t{-1} << 40}}) {
+    const std::string path = Path("baddims.cgdnn");
+    std::ofstream(path, std::ios::binary) << WeightsFileWithDims(dims);
+    EXPECT_THROW(LoadWeights(net, path), Error) << "dims[0]=" << dims[0];
+  }
+}
+
+TEST_F(SerializationTest, HugeBlobDimensionsRejectedBeforeAllocation) {
+  SeedGlobalRng(11);
+  Net<float> net(SmallNet(), Phase::kTrain);
+  // Each variant would overflow or exhaust memory if the dims were
+  // multiplied or passed to an allocation unchecked.
+  for (const auto& dims : std::vector<std::vector<std::int64_t>>{
+           {std::int64_t{1} << 62},
+           {std::int64_t{1} << 31, std::int64_t{1} << 31},
+           {std::int64_t{1} << 21, std::int64_t{1} << 21,
+            std::int64_t{1} << 21}}) {
+    const std::string path = Path("hugedims.cgdnn");
+    std::ofstream(path, std::ios::binary) << WeightsFileWithDims(dims);
+    EXPECT_THROW(LoadWeights(net, path), Error);
+  }
+}
+
+TEST_F(SerializationTest, SaveLeavesNoTempFile) {
+  SeedGlobalRng(12);
+  Net<float> net(SmallNet(), Phase::kTrain);
+  SaveWeights(net, Path("atomic.cgdnn"));
+  EXPECT_TRUE(std::filesystem::exists(Path("atomic.cgdnn")));
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    ++entries;
+    EXPECT_EQ(entry.path().extension(), ".cgdnn")
+        << "stray file after atomic save: " << entry.path();
+  }
+  EXPECT_EQ(entries, 1u);
 }
 
 TEST_F(SerializationTest, CorruptFilesRejected) {

@@ -5,6 +5,10 @@
 //               [--threads=N] [--merge=ordered|atomic|tree] [--no-coalesce]
 //               [--weights=init.cgdnn] [--snapshot=out.cgdnn]
 //               [--iterations=N]            (overrides solver max_iter)
+//               [--snapshot-every=N]        (periodic full-state checkpoints)
+//               [--snapshot-prefix=P]       (default cgdnn_ckpt)
+//               [--snapshot-retain=K]       (keep newest K, default 3)
+//               [--resume=<file|prefix>]    (continue from a checkpoint)
 //               [--profile]                 (Figure-4-style layer table)
 //               [--trace-out=trace.json] [--metrics-out=metrics.json]
 //               [--telemetry-out=train.jsonl]
@@ -14,9 +18,19 @@
 // to the solver file). --telemetry-out streams one JSON object per training
 // iteration (iter, loss, lr, imgs/sec, RSS); --trace-out records a Chrome
 // trace-event JSON of the whole run.
+//
+// Checkpointing (docs/robustness.md): --snapshot-every writes crash-safe
+// full-training-state checkpoints every N iterations; SIGINT/SIGTERM stop
+// training on the next iteration boundary and write a final checkpoint.
+// --resume accepts either a concrete .cgdnnckpt file or a snapshot prefix;
+// a corrupt newest snapshot falls back to the previous retained one, and
+// the resumed run is bit-identical to one that was never interrupted.
+#include <atomic>
+#include <csignal>
 #include <filesystem>
 #include <iostream>
 
+#include "cgdnn/net/checkpoint.hpp"
 #include "cgdnn/net/serialization.hpp"
 #include "cgdnn/profile/profiler.hpp"
 #include "cgdnn/solvers/solver.hpp"
@@ -25,9 +39,26 @@
 namespace {
 constexpr const char* kUsage =
     "cgdnn_train --solver=<file> [--threads=N] [--merge=MODE] "
-    "[--weights=<file>] [--snapshot=<file>] [--iterations=N] [--profile] "
-    "[--trace-out=<file>] [--metrics-out=<file>] [--telemetry-out=<file>]";
+    "[--weights=<file>] [--snapshot=<file>] [--iterations=N] "
+    "[--snapshot-every=N] [--snapshot-prefix=P] [--snapshot-retain=K] "
+    "[--resume=<file|prefix>] [--profile] [--trace-out=<file>] "
+    "[--metrics-out=<file>] [--telemetry-out=<file>]";
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void HandleStopSignal(int /*signum*/) { g_stop.store(true); }
+
+/// Snapshot prefix for a `--resume` value naming a concrete snapshot file,
+/// or "" when the name does not follow the `<prefix>[_emergency]_iter_<N>`
+/// convention.
+std::string PrefixOfSnapshotFile(const std::string& path) {
+  for (const char* marker : {"_emergency_iter_", "_iter_"}) {
+    const auto pos = path.rfind(marker);
+    if (pos != std::string::npos) return path.substr(0, pos);
+  }
+  return "";
 }
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cgdnn;
@@ -49,6 +80,17 @@ int main(int argc, char** argv) {
     if (param.display == 0) {
       param.display = std::max<index_t>(1, param.max_iter / 10);
     }
+    if (flags.Has("snapshot-every")) {
+      param.snapshot = flags.GetInt("snapshot-every", 0);
+    }
+    if (flags.Has("snapshot-prefix")) {
+      param.snapshot_prefix = flags.GetString("snapshot-prefix");
+    } else if (param.snapshot > 0 && param.snapshot_prefix.empty()) {
+      param.snapshot_prefix = "cgdnn_ckpt";
+    }
+    if (flags.Has("snapshot-retain")) {
+      param.snapshot_retain = flags.GetInt("snapshot-retain", 3);
+    }
 
     const auto solver = CreateSolver<float>(param);
     if (flags.Has("weights")) {
@@ -57,6 +99,33 @@ int main(int argc, char** argv) {
       std::cout << "restored " << n << " layers from "
                 << flags.GetString("weights") << "\n";
     }
+    if (flags.Has("resume")) {
+      const std::string resume = flags.GetString("resume");
+      std::string restored;
+      std::error_code ec;
+      if (std::filesystem::is_regular_file(resume, ec)) {
+        try {
+          solver->Restore(resume);
+          restored = resume;
+        } catch (const std::exception& e) {
+          const std::string prefix = PrefixOfSnapshotFile(resume);
+          if (prefix.empty()) throw;
+          std::cerr << "warning: cannot restore " << resume << " ("
+                    << e.what() << "); falling back to older snapshots\n";
+          restored = solver->RestoreLatest(prefix);
+        }
+      } else {
+        restored = solver->RestoreLatest(resume);
+      }
+      std::cout << "resumed from " << restored << " at iteration "
+                << solver->iter() << "\n";
+    }
+
+    // Stop on an iteration boundary and checkpoint instead of dying with
+    // work lost.
+    solver->set_stop_flag(&g_stop);
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
 
     tools::Observability obs(flags);
     solver->set_telemetry(obs.telemetry());
@@ -69,22 +138,35 @@ int main(int argc, char** argv) {
                      parallel::Parallel::Config().merge)
               << ") for " << param.max_iter << " iterations\n";
     solver->Solve();
-    std::cout << "final loss: " << solver->loss_history().back() << "\n";
+    const bool interrupted = g_stop.load();
+    if (interrupted && !param.snapshot_prefix.empty()) {
+      const std::string path =
+          SnapshotPath(param.snapshot_prefix, solver->iter());
+      solver->Snapshot(path);
+      std::cerr << "interrupted at iteration " << solver->iter()
+                << "; checkpoint saved to " << path << "\n";
+    } else if (interrupted) {
+      std::cerr << "interrupted at iteration " << solver->iter()
+                << " (no --snapshot-prefix, nothing saved)\n";
+    }
+    if (!solver->loss_history().empty()) {
+      std::cout << "final loss: " << solver->loss_history().back() << "\n";
+    }
     solver->net().set_profiler(nullptr);
     solver->set_telemetry(nullptr);
     obs.Finish();
     if (flags.GetBool("profile")) std::cout << profiler.Table();
-    if (solver->test_net() != nullptr) {
+    if (!interrupted && solver->test_net() != nullptr) {
       for (const auto& [name, value] : solver->TestAll()) {
         std::cout << "test " << name << " = " << value << "\n";
       }
     }
 
-    if (flags.Has("snapshot")) {
+    if (!interrupted && flags.Has("snapshot")) {
       SaveWeights(solver->net(), flags.GetString("snapshot"));
       std::cout << "weights saved to " << flags.GetString("snapshot") << "\n";
     }
-    return 0;
+    return interrupted ? 130 : 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Crash drill for the checkpoint subsystem (docs/robustness.md):
+#
+#   1. train N iterations straight through and save the final weights;
+#   2. train the same solver again with periodic snapshots and SIGKILL the
+#      process mid-run — no signal handler gets to run, exactly like a
+#      power cut or OOM kill;
+#   3. resume from the latest valid snapshot and finish to N;
+#   4. require the resumed final weights to be byte-identical to the
+#      uninterrupted run's.
+#
+# Usage: kill_resume_check.sh <cgdnn_train binary> [solver.prototxt]
+# Tunables: ITERS (default 60), EVERY (snapshot period, default 10).
+set -euo pipefail
+
+TRAIN=${1:?usage: $0 <cgdnn_train-binary> [solver.prototxt]}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+SOLVER=${2:-$ROOT/models/lenet_solver.prototxt}
+ITERS=${ITERS:-60}
+EVERY=${EVERY:-10}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/cgdnn_kill_resume.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== baseline: $ITERS uninterrupted iterations"
+"$TRAIN" --solver="$SOLVER" --iterations="$ITERS" --threads=1 \
+         --snapshot="$WORK/baseline.cgdnn" > "$WORK/baseline.log"
+
+echo "== interrupted run: snapshot every $EVERY iterations, then SIGKILL"
+"$TRAIN" --solver="$SOLVER" --iterations="$ITERS" --threads=1 \
+         --snapshot-every="$EVERY" --snapshot-prefix="$WORK/ck" \
+         --snapshot="$WORK/interrupted.cgdnn" > "$WORK/interrupted.log" &
+PID=$!
+# Kill as soon as the first snapshot lands (or the run finishes first on a
+# fast machine — the resume path below is verified either way).
+for _ in $(seq 1 1200); do
+  if compgen -G "$WORK/ck_iter_*.cgdnnckpt" > /dev/null; then break; fi
+  if ! kill -0 "$PID" 2> /dev/null; then break; fi
+  sleep 0.05
+done
+if kill -9 "$PID" 2> /dev/null; then
+  echo "   SIGKILLed pid $PID"
+else
+  echo "   (run finished before the kill landed; resume still verified)"
+fi
+wait "$PID" 2> /dev/null || true
+
+if ! compgen -G "$WORK/ck_iter_*.cgdnnckpt" > /dev/null; then
+  echo "FAIL: no snapshot was written before the kill" >&2
+  exit 1
+fi
+echo "   retained snapshots: $(cd "$WORK" && ls ck_iter_*.cgdnnckpt | tr '\n' ' ')"
+
+echo "== resume from the latest valid snapshot and finish to $ITERS"
+"$TRAIN" --solver="$SOLVER" --iterations="$ITERS" --threads=1 \
+         --resume="$WORK/ck" \
+         --snapshot="$WORK/resumed.cgdnn" > "$WORK/resumed.log"
+grep "resumed from" "$WORK/resumed.log"
+
+echo "== compare final weights (byte-for-byte)"
+if cmp "$WORK/baseline.cgdnn" "$WORK/resumed.cgdnn"; then
+  echo "PASS: resumed weights are byte-identical to the uninterrupted run"
+else
+  echo "FAIL: resumed weights differ from the uninterrupted run" >&2
+  exit 1
+fi
