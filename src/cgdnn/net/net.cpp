@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "cgdnn/perfctr/perfctr.hpp"
 #include "cgdnn/profile/timer.hpp"
+#include "cgdnn/trace/counters.hpp"
 #include "cgdnn/trace/metrics.hpp"
 #include "cgdnn/trace/trace.hpp"
 
@@ -27,6 +29,13 @@ std::string SplitBlobName(const std::string& layer_name,
 /// layer phase, a PhaseStats sample when a profiler is attached, and a
 /// `layer.<name>.<phase>.us` histogram sample when metrics collection is on
 /// (via Profiler::Record, or directly when no profiler is attached).
+///
+/// When hardware-counter collection is armed as well, the driver thread's
+/// counter deltas over the layer are recorded under the same prefix
+/// (`layer.<name>.<phase>.cycles`, `.ipc_last`, ...). In a multi-threaded
+/// run these deltas cover only the driver thread's share of the parallel
+/// work — the per-thread region metrics (`region.<name>.<phase>.*`) carry
+/// the full team; in a serial run they cover the whole layer.
 template <typename Dtype, typename Body>
 void TimedLayerPhase(profile::Profiler* profiler, const std::string& layer,
                      profile::LayerPhase phase, Body&& body) {
@@ -36,9 +45,19 @@ void TimedLayerPhase(profile::Profiler* profiler, const std::string& layer,
   }
   TRACE_SCOPE("layer",
               layer + "." + profile::LayerPhaseName(phase));
+  perfctr::Sample ctr_begin;
+  const bool want_ctr_metrics =
+      trace::MetricsActive() && perfctr::CollectionActive();
+  if (want_ctr_metrics) ctr_begin = perfctr::ReadThreadCounters();
   profile::Timer timer;
   body();
   const double us = timer.MicroSeconds();
+  if (ctr_begin.valid) {
+    trace::RecordCounterDeltaMetrics(
+        "layer." + layer + "." + profile::LayerPhaseName(phase),
+        perfctr::ComputeDelta(ctr_begin, perfctr::ReadThreadCounters()),
+        trace::MetricsRegistry::Default());
+  }
   if (profiler != nullptr) {
     profiler->Record(layer, phase, us);
   } else if (trace::MetricsActive()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cgdnn/trace/counters.hpp"
 #include "cgdnn/trace/metrics.hpp"
 
 namespace cgdnn::parallel {
@@ -10,12 +11,21 @@ RegionStats::RegionStats(std::string name, int nthreads)
     : name_(std::move(name)) {
   if (!trace::CollectionActive()) return;
   active_ = true;
-  busy_ns_.assign(static_cast<std::size_t>(std::max(nthreads, 1)), 0);
+  const auto slots = static_cast<std::size_t>(std::max(nthreads, 1));
+  busy_ns_.assign(slots, 0);
+  counters_active_ = perfctr::CollectionActive();
+  if (counters_active_) deltas_.assign(slots, perfctr::Delta{});
 }
 
 void RegionStats::AddThreadBusyNs(int tid, std::uint64_t busy_ns) {
   if (tid >= 0 && static_cast<std::size_t>(tid) < busy_ns_.size()) {
     busy_ns_[static_cast<std::size_t>(tid)] += busy_ns;
+  }
+}
+
+void RegionStats::AddThreadDelta(int tid, const perfctr::Delta& delta) {
+  if (tid >= 0 && static_cast<std::size_t>(tid) < deltas_.size()) {
+    deltas_[static_cast<std::size_t>(tid)].Accumulate(delta);
   }
 }
 
@@ -34,13 +44,38 @@ double RegionStats::ImbalanceRatio() const {
   return static_cast<double>(max_ns) / mean;
 }
 
+int RegionStats::StragglerTid() const {
+  std::uint64_t max_ns = 0;
+  int straggler = -1;
+  for (std::size_t tid = 0; tid < busy_ns_.size(); ++tid) {
+    if (busy_ns_[tid] > max_ns) {
+      max_ns = busy_ns_[tid];
+      straggler = static_cast<int>(tid);
+    }
+  }
+  return straggler;
+}
+
+perfctr::Delta RegionStats::TotalDelta() const {
+  perfctr::Delta total;
+  for (const perfctr::Delta& d : deltas_) total.Accumulate(d);
+  return total;
+}
+
 RegionStats::~RegionStats() {
   if (!active_ || !trace::MetricsActive()) return;
-  const double ratio = ImbalanceRatio();
-  if (ratio <= 0.0) return;
   auto& registry = trace::MetricsRegistry::Default();
-  registry.GetHistogram("region." + name_ + ".imbalance").Observe(ratio);
-  registry.GetGauge("region." + name_ + ".imbalance_last").Set(ratio);
+  const double ratio = ImbalanceRatio();
+  if (ratio > 0.0) {
+    registry.GetHistogram("region." + name_ + ".imbalance").Observe(ratio);
+    registry.GetGauge("region." + name_ + ".imbalance_last").Set(ratio);
+    registry.GetGauge("region." + name_ + ".straggler_tid")
+        .Set(static_cast<double>(StragglerTid()));
+  }
+  if (counters_active_) {
+    trace::RecordCounterDeltaMetrics("region." + name_, TotalDelta(),
+                                     registry);
+  }
 }
 
 }  // namespace cgdnn::parallel

@@ -6,7 +6,16 @@
 // span per thread (so the region shows up on every thread's timeline in
 // chrome://tracing) and records the load-imbalance ratio — max over mean
 // per-thread busy time, 1.0 = perfectly balanced — into the metrics
-// registry as `region.<name>.imbalance`.
+// registry as `region.<name>.imbalance`, together with the straggler's
+// thread id (`region.<name>.straggler_tid`).
+//
+// When hardware-counter collection is armed (perfctr::SetActive), each
+// ThreadRegionScope additionally samples its thread's counter group at the
+// chunk boundaries: the per-thread deltas ride on the trace spans as args,
+// and the region totals land in the registry as
+// `region.<name>.{cycles,instructions,...}` counters plus derived
+// `ipc_last` / `llc_miss_rate_last` gauges. Counters missing on the host
+// record nothing — output fields are absent, never zeroed.
 //
 // Usage (layer code):
 //   parallel::RegionStats rs("conv1.forward", nthreads);
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "cgdnn/core/common.hpp"
+#include "cgdnn/perfctr/perfctr.hpp"
 #include "cgdnn/trace/trace.hpp"
 
 namespace cgdnn::parallel {
@@ -39,41 +49,64 @@ class RegionStats {
  public:
   /// Serial, before the parallel region opens.
   RegionStats(std::string name, int nthreads);
-  /// Serial, after the region joins: records imbalance metrics.
+  /// Serial, after the region joins: records imbalance + counter metrics.
   ~RegionStats();
   RegionStats(const RegionStats&) = delete;
   RegionStats& operator=(const RegionStats&) = delete;
 
   bool active() const { return active_; }
+  /// True when per-thread counter sampling is on for this region.
+  bool counters_active() const { return counters_active_; }
   const std::string& name() const { return name_; }
 
   /// Called by `tid` only (its own slot): accumulates busy nanoseconds.
   void AddThreadBusyNs(int tid, std::uint64_t busy_ns);
+  /// Called by `tid` only (its own slot): accumulates counter deltas.
+  void AddThreadDelta(int tid, const perfctr::Delta& delta);
 
   /// max/mean busy time over threads that did any work; 0 before the
   /// region ran. Exposed for tests.
   double ImbalanceRatio() const;
+  /// Thread id with the largest busy time (-1 before the region ran).
+  /// The "who is the straggler" half of the imbalance attribution.
+  int StragglerTid() const;
+  /// Sum of per-thread counter deltas (invalid when none were recorded).
+  perfctr::Delta TotalDelta() const;
 
  private:
   std::string name_;
   std::vector<std::uint64_t> busy_ns_;
+  std::vector<perfctr::Delta> deltas_;
   bool active_ = false;
+  bool counters_active_ = false;
 };
 
 /// RAII per-thread hook: times the enclosed worksharing chunk, feeds the
-/// RegionStats slot and emits the thread's span.
+/// RegionStats slot and emits the thread's span (with counter-delta args
+/// when counter collection is on).
 class ThreadRegionScope {
  public:
   ThreadRegionScope(RegionStats& stats, int tid)
       : stats_(stats), tid_(tid) {
-    if (stats_.active()) start_ns_ = trace::NowNs();
+    if (!stats_.active()) return;
+    if (stats_.counters_active()) {
+      start_sample_ = perfctr::ReadThreadCounters();
+    }
+    start_ns_ = trace::NowNs();
   }
   ~ThreadRegionScope() {
     if (!stats_.active()) return;
     const std::uint64_t end_ns = trace::NowNs();
     stats_.AddThreadBusyNs(tid_, end_ns - start_ns_);
+    perfctr::Delta delta;
+    if (start_sample_.valid) {
+      delta = perfctr::ComputeDelta(start_sample_,
+                                    perfctr::ReadThreadCounters());
+      stats_.AddThreadDelta(tid_, delta);
+    }
     if (trace::TracingActive()) {
-      trace::Tracer::Get().Emit("region", stats_.name(), start_ns_, end_ns);
+      trace::Tracer::Get().Emit("region", stats_.name(), start_ns_, end_ns,
+                                trace::CounterTraceArgs(delta));
     }
   }
   ThreadRegionScope(const ThreadRegionScope&) = delete;
@@ -83,6 +116,7 @@ class ThreadRegionScope {
   RegionStats& stats_;
   int tid_;
   std::uint64_t start_ns_ = 0;
+  perfctr::Sample start_sample_;
 };
 
 }  // namespace cgdnn::parallel

@@ -1,0 +1,302 @@
+#include "cgdnn/perfctr/perfctr.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define CGDNN_PERFCTR_LINUX 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define CGDNN_PERFCTR_LINUX 0
+#endif
+
+namespace cgdnn::perfctr {
+
+namespace {
+
+std::atomic<bool> g_active{false};
+std::atomic<bool> g_force_unavailable{false};
+
+// Cached Supported() probe. 0 = not probed, 1 = supported, -1 = unsupported.
+std::atomic<int> g_probe_state{0};
+std::mutex g_probe_mu;
+std::string g_unavailable_reason;  // written under g_probe_mu before state flips
+
+bool DisabledByEnv() {
+  const char* v = std::getenv("CGDNN_PERFCTR");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "off" || s == "0" || s == "false";
+}
+
+#if CGDNN_PERFCTR_LINUX
+
+long PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+/// type/config pair of each Event slot, creation order == enum order.
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr EventSpec kEventSpecs[kNumEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+perf_event_attr MakeAttr(const EventSpec& spec, bool leader) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  // User-space-only counting works under perf_event_paranoid <= 2.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // The group starts disabled and is enabled atomically after every member
+  // opened, so all counters cover the same interval.
+  attr.disabled = leader ? 1 : 0;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+#endif  // CGDNN_PERFCTR_LINUX
+
+}  // namespace
+
+const char* EventName(Event e) {
+  switch (e) {
+    case Event::kCycles: return "cycles";
+    case Event::kInstructions: return "instructions";
+    case Event::kLLCRefs: return "llc_refs";
+    case Event::kLLCMisses: return "llc_misses";
+    case Event::kStalledCycles: return "stalled_cycles";
+  }
+  return "?";
+}
+
+double Delta::Ipc() const {
+  if (!has(Event::kInstructions) || !has(Event::kCycles)) return -1.0;
+  const double cycles = get(Event::kCycles);
+  if (cycles <= 0.0) return -1.0;
+  return get(Event::kInstructions) / cycles;
+}
+
+double Delta::LlcMissRate() const {
+  if (!has(Event::kLLCMisses) || !has(Event::kLLCRefs)) return -1.0;
+  const double refs = get(Event::kLLCRefs);
+  if (refs <= 0.0) return -1.0;
+  return get(Event::kLLCMisses) / refs;
+}
+
+double Delta::StalledFrac() const {
+  if (!has(Event::kStalledCycles) || !has(Event::kCycles)) return -1.0;
+  const double cycles = get(Event::kCycles);
+  if (cycles <= 0.0) return -1.0;
+  return get(Event::kStalledCycles) / cycles;
+}
+
+void Delta::Accumulate(const Delta& other) {
+  if (!other.valid) return;
+  if (!valid) {
+    *this = other;
+    return;
+  }
+  for (int i = 0; i < kNumEvents; ++i) {
+    present[i] = present[i] && other.present[i];
+    value[i] = present[i] ? value[i] + other.value[i] : 0.0;
+  }
+  if (other.multiplex_scale > multiplex_scale) {
+    multiplex_scale = other.multiplex_scale;
+  }
+}
+
+double ScaleMultiplexed(std::uint64_t raw_delta, std::uint64_t enabled_delta,
+                        std::uint64_t running_delta, bool* valid_out) {
+  if (running_delta == 0) {
+    // enabled == running == 0: nothing elapsed, the raw delta (0) is exact.
+    // enabled > 0 with running == 0: the group never reached the PMU over
+    // the interval — there is no basis for an estimate.
+    const bool exact = enabled_delta == 0;
+    if (valid_out != nullptr) *valid_out = exact;
+    return exact ? static_cast<double>(raw_delta) : 0.0;
+  }
+  if (valid_out != nullptr) *valid_out = true;
+  return static_cast<double>(raw_delta) *
+         (static_cast<double>(enabled_delta) /
+          static_cast<double>(running_delta));
+}
+
+Delta ComputeDelta(const Sample& begin, const Sample& end) {
+  Delta d;
+  if (!begin.valid || !end.valid) return d;
+  const std::uint64_t enabled =
+      WrapDelta(begin.time_enabled, end.time_enabled);
+  const std::uint64_t running =
+      WrapDelta(begin.time_running, end.time_running);
+  bool scale_valid = false;
+  // Probe the scale validity once; per-event raw deltas share the group's
+  // enabled/running interval.
+  ScaleMultiplexed(0, enabled, running, &scale_valid);
+  if (!scale_valid) return d;
+  d.valid = true;
+  d.multiplex_scale =
+      running == 0 ? 1.0
+                   : static_cast<double>(enabled) / static_cast<double>(running);
+  for (int i = 0; i < kNumEvents; ++i) {
+    if (!begin.present[i] || !end.present[i]) continue;
+    d.present[i] = true;
+    d.value[i] = ScaleMultiplexed(WrapDelta(begin.value[i], end.value[i]),
+                                  enabled, running, nullptr);
+  }
+  return d;
+}
+
+#if CGDNN_PERFCTR_LINUX
+
+bool CounterSet::Open() {
+  Close();
+  for (int i = 0; i < kNumEvents; ++i) {
+    perf_event_attr attr = MakeAttr(kEventSpecs[i], /*leader=*/i == 0);
+    const long fd = PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1,
+                                  /*group_fd=*/leader_fd_, /*flags=*/0);
+    if (fd < 0) {
+      if (i == 0) return false;  // no leader, no group
+      continue;  // PMU lacks this event (common for stalled-cycles): skip
+    }
+    fds_[static_cast<std::size_t>(i)] = static_cast<int>(fd);
+    present_[static_cast<std::size_t>(i)] = true;
+    if (i == 0) leader_fd_ = static_cast<int>(fd);
+    ++n_open_;
+  }
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  return true;
+}
+
+void CounterSet::Close() {
+  for (int& fd : fds_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+  leader_fd_ = -1;
+  present_.fill(false);
+  n_open_ = 0;
+}
+
+Sample CounterSet::Read() const {
+  Sample s;
+  if (!ok()) return s;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr]
+  // (values in group-creation order, i.e. ascending Event over present_).
+  std::uint64_t buf[3 + kNumEvents];
+  const ssize_t want = static_cast<ssize_t>(
+      (3 + static_cast<std::size_t>(n_open_)) * sizeof(std::uint64_t));
+  if (read(leader_fd_, buf, static_cast<std::size_t>(want)) != want) return s;
+  if (buf[0] != static_cast<std::uint64_t>(n_open_)) return s;
+  s.time_enabled = buf[1];
+  s.time_running = buf[2];
+  std::size_t slot = 3;
+  for (int i = 0; i < kNumEvents; ++i) {
+    if (!present_[static_cast<std::size_t>(i)]) continue;
+    s.value[static_cast<std::size_t>(i)] = buf[slot++];
+    s.present[static_cast<std::size_t>(i)] = true;
+  }
+  s.valid = true;
+  return s;
+}
+
+#else  // !CGDNN_PERFCTR_LINUX
+
+bool CounterSet::Open() { return false; }
+void CounterSet::Close() {}
+Sample CounterSet::Read() const { return Sample{}; }
+
+#endif
+
+bool Supported() {
+  int state = g_probe_state.load(std::memory_order_acquire);
+  if (state != 0) return state > 0;
+  std::lock_guard<std::mutex> lock(g_probe_mu);
+  state = g_probe_state.load(std::memory_order_acquire);
+  if (state != 0) return state > 0;
+
+  std::string reason;
+  bool ok = false;
+  if (g_force_unavailable.load(std::memory_order_relaxed)) {
+    reason = "forced unavailable (test hook)";
+  } else if (DisabledByEnv()) {
+    reason = "disabled via CGDNN_PERFCTR";
+  } else {
+#if CGDNN_PERFCTR_LINUX
+    CounterSet probe;
+    ok = probe.Open();
+    if (!ok) {
+      reason = std::string("perf_event_open failed: ") + std::strerror(errno) +
+               " (check /proc/sys/kernel/perf_event_paranoid or container "
+               "seccomp policy)";
+    }
+#else
+    reason = "perf_event_open not available on this platform";
+#endif
+  }
+  g_unavailable_reason = reason;
+  g_probe_state.store(ok ? 1 : -1, std::memory_order_release);
+  return ok;
+}
+
+std::string UnavailableReason() {
+  if (Supported()) return "";
+  std::lock_guard<std::mutex> lock(g_probe_mu);
+  return g_unavailable_reason;
+}
+
+void SetActive(bool active) {
+  if (active && !Supported()) {
+    g_active.store(false, std::memory_order_relaxed);
+    return;
+  }
+  g_active.store(active, std::memory_order_relaxed);
+}
+
+bool CollectionActive() {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+Sample ReadThreadCounters() {
+  if (!CollectionActive()) return Sample{};
+  // One group per thread, opened on first use and kept for the thread's
+  // lifetime (OpenMP reuses its workers across regions). A failed open is
+  // remembered so the thread does not retry the syscall per read.
+  thread_local CounterSet set;
+  thread_local bool attempted = false;
+  if (!attempted) {
+    attempted = true;
+    set.Open();
+  }
+  return set.Read();
+}
+
+void ForceUnavailableForTest(bool force) {
+  g_force_unavailable.store(force, std::memory_order_relaxed);
+}
+
+void ResetForTest() {
+  g_probe_state.store(0, std::memory_order_release);
+  g_active.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace cgdnn::perfctr

@@ -1,0 +1,159 @@
+// Hardware performance-counter access for the coarse-grain runtime.
+//
+// The paper argues with *measured hardware efficiency* — per-layer scaling,
+// cores kept busy, memory traffic — and wall time alone cannot distinguish a
+// memory-bound layer from a low-IPC one or a straggler thread. CounterSet
+// wraps `perf_event_open` with one event group per thread (leader: cycles;
+// members: instructions, LLC references/misses, stalled backend cycles).
+// Reads go through the leader with PERF_FORMAT_GROUP, so one syscall
+// returns every member plus the group's time_enabled/time_running pair;
+// deltas are multiplex-scaled by enabled/running so numbers stay unbiased
+// when the kernel rotates more groups than the PMU has slots.
+//
+// Fallback discipline: counters are best-effort everywhere. When the host
+// cannot deliver them (container seccomp filter, perf_event_paranoid,
+// non-Linux build, CGDNN_PERFCTR=off) every entry point stays a cheap no-op
+// and downstream consumers (trace args, derived metrics, cgdnn_audit)
+// silently omit counter-derived fields — timing-only output must never
+// break. Nothing is opened unless a tool explicitly arms collection with
+// SetActive(true), so un-instrumented runs pay one relaxed atomic load.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cgdnn/core/common.hpp"
+
+namespace cgdnn::perfctr {
+
+/// Counter slots of one per-thread group, in group-creation order.
+enum class Event {
+  kCycles = 0,
+  kInstructions,
+  kLLCRefs,
+  kLLCMisses,
+  kStalledCycles,
+};
+constexpr int kNumEvents = 5;
+
+/// Stable identifier used in metrics/trace/audit keys ("cycles", ...).
+const char* EventName(Event e);
+
+/// One point-in-time reading of a thread's counter group. `value[i]` is the
+/// raw accumulated count of event i (only meaningful when `present[i]`);
+/// time_enabled/time_running are the group's scheduling times in ns.
+struct Sample {
+  std::array<std::uint64_t, kNumEvents> value{};
+  std::array<bool, kNumEvents> present{};
+  std::uint64_t time_enabled = 0;
+  std::uint64_t time_running = 0;
+  bool valid = false;
+};
+
+/// Multiplex-scaled counter increments between two Samples of the same
+/// group. Values are estimates: raw delta * (enabled / running) over the
+/// interval. `present[i]` mirrors the events the group actually carries;
+/// derived ratios return a negative sentinel when an operand is missing.
+struct Delta {
+  std::array<double, kNumEvents> value{};
+  std::array<bool, kNumEvents> present{};
+  /// enabled/running scale applied (1.0 = the group was never descheduled).
+  double multiplex_scale = 1.0;
+  bool valid = false;
+
+  bool has(Event e) const { return valid && present[static_cast<int>(e)]; }
+  double get(Event e) const { return value[static_cast<int>(e)]; }
+
+  /// Instructions per cycle; < 0 when either counter is missing.
+  double Ipc() const;
+  /// LLC misses / LLC references in [0, 1]; < 0 when missing or no refs.
+  double LlcMissRate() const;
+  /// Stalled backend cycles / cycles; < 0 when missing.
+  double StalledFrac() const;
+
+  /// Element-wise sum (events missing in either side become missing) —
+  /// used to aggregate per-thread deltas into a region total.
+  void Accumulate(const Delta& other);
+};
+
+// ----- pure counter math (unit-tested, no syscalls) ------------------------
+
+/// Increment of a monotonically increasing hardware counter, tolerant of a
+/// 64-bit wraparound between the two readings.
+inline std::uint64_t WrapDelta(std::uint64_t prev, std::uint64_t cur) {
+  return cur - prev;  // unsigned arithmetic is the mod-2^64 delta
+}
+
+/// Extrapolates a raw counter increment over the fraction of the interval
+/// the group was actually scheduled on the PMU. running == 0 (the group
+/// never ran — more groups than hardware slots and no rotation yet) yields
+/// 0 and sets *valid_out to false.
+double ScaleMultiplexed(std::uint64_t raw_delta, std::uint64_t enabled_delta,
+                        std::uint64_t running_delta, bool* valid_out);
+
+/// begin/end must come from the same group. Invalid inputs produce an
+/// invalid (all-absent) Delta.
+Delta ComputeDelta(const Sample& begin, const Sample& end);
+
+// ----- counter group -------------------------------------------------------
+
+/// RAII owner of one perf_event group counting the calling thread (pid=0,
+/// cpu=-1, user space only). Events that the PMU rejects individually are
+/// skipped; the set is usable as long as the cycles leader opened.
+class CounterSet {
+ public:
+  CounterSet() = default;
+  ~CounterSet() { Close(); }
+  CounterSet(const CounterSet&) = delete;
+  CounterSet& operator=(const CounterSet&) = delete;
+
+  /// Opens the group for the calling thread. Returns false (leaving the set
+  /// inert) when perf_event_open is unavailable or denied.
+  bool Open();
+  void Close();
+  bool ok() const { return leader_fd_ >= 0; }
+
+  /// Reads all members in one syscall. Returns an invalid Sample when the
+  /// set is not open or the read fails.
+  Sample Read() const;
+
+ private:
+  int leader_fd_ = -1;
+  std::array<int, kNumEvents> fds_{{-1, -1, -1, -1, -1}};
+  std::array<bool, kNumEvents> present_{};
+  int n_open_ = 0;  ///< group members that opened, in creation order
+};
+
+// ----- process-wide switches ----------------------------------------------
+
+/// True when this process can open counters at all: Linux, not disabled via
+/// CGDNN_PERFCTR (off/0/false), and a probe perf_event_open succeeded. The
+/// probe result is cached after the first call.
+bool Supported();
+
+/// Arms/disarms counter collection. Arming is a request: CollectionActive()
+/// stays false on hosts where Supported() is false, and nothing is opened
+/// until the first ReadThreadCounters() call on each thread.
+void SetActive(bool active);
+
+/// True when collection is armed AND the host supports counters — the one
+/// flag instrumentation hot paths check (a relaxed atomic load).
+bool CollectionActive();
+
+/// Samples the calling thread's lazily-opened counter group. Returns an
+/// invalid Sample when collection is inactive or the group failed to open.
+Sample ReadThreadCounters();
+
+/// Human-readable reason why counters are unavailable ("" when Supported()).
+std::string UnavailableReason();
+
+// ----- test hooks ----------------------------------------------------------
+
+/// Makes Supported() report false (simulating a perf_event_open failure)
+/// until reset. Affects new probes only; call ResetForTest() after toggling.
+void ForceUnavailableForTest(bool force);
+/// Drops the cached Supported() probe so env/force changes take effect.
+void ResetForTest();
+
+}  // namespace cgdnn::perfctr

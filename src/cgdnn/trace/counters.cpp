@@ -1,0 +1,28 @@
+#include "cgdnn/trace/counters.hpp"
+
+namespace cgdnn::trace {
+
+void RecordCounterDeltaMetrics(const std::string& prefix,
+                               const perfctr::Delta& delta,
+                               MetricsRegistry& registry) {
+  if (!delta.valid) return;
+  for (int i = 0; i < perfctr::kNumEvents; ++i) {
+    const auto e = static_cast<perfctr::Event>(i);
+    if (!delta.has(e)) continue;
+    registry.GetCounter(prefix + "." + perfctr::EventName(e))
+        .Add(static_cast<std::int64_t>(delta.get(e)));
+  }
+  const double ipc = delta.Ipc();
+  if (ipc >= 0) registry.GetGauge(prefix + ".ipc_last").Set(ipc);
+  const double miss_rate = delta.LlcMissRate();
+  if (miss_rate >= 0) {
+    registry.GetGauge(prefix + ".llc_miss_rate_last").Set(miss_rate);
+  }
+  const double stalled = delta.StalledFrac();
+  if (stalled >= 0) {
+    registry.GetGauge(prefix + ".stalled_frac_last").Set(stalled);
+  }
+  registry.GetGauge(prefix + ".mux_scale_last").Set(delta.multiplex_scale);
+}
+
+}  // namespace cgdnn::trace

@@ -1,0 +1,28 @@
+// Bridges hardware-counter deltas (cgdnn/perfctr) into the metrics
+// registry: one call records the raw event totals as accumulating counters
+// and the derived ratios as last-value gauges under a caller-chosen prefix.
+//
+// The key shape mirrors the existing instrumentation namespaces:
+//   layer.<name>.<phase>.{cycles,instructions,llc_refs,llc_misses,
+//                         stalled_cycles}           (counters, accumulate)
+//   layer.<name>.<phase>.{ipc,llc_miss_rate,stalled_frac,mux_scale}_last
+//                                                   (gauges, last interval)
+// Missing events record nothing — a metrics dump never contains zeroed
+// placeholder counter fields (fallback discipline, docs/observability.md).
+#pragma once
+
+#include <string>
+
+#include "cgdnn/perfctr/perfctr.hpp"
+#include "cgdnn/trace/metrics.hpp"
+
+namespace cgdnn::trace {
+
+/// Records `delta` under `<prefix>.` into `registry`. No-op for invalid
+/// deltas. Thread-safe (registry updates are atomic), but hot paths should
+/// note the per-call name lookups take the registry mutex.
+void RecordCounterDeltaMetrics(const std::string& prefix,
+                               const perfctr::Delta& delta,
+                               MetricsRegistry& registry);
+
+}  // namespace cgdnn::trace

@@ -75,6 +75,31 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
   return *GetEntry(name, Kind::kHistogram).histogram;
 }
 
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.kind == Kind::kCounter
+             ? it->second.counter.get()
+             : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.kind == Kind::kGauge
+             ? it->second.gauge.get()
+             : nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.kind == Kind::kHistogram
+             ? it->second.histogram.get()
+             : nullptr;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();

@@ -103,6 +103,14 @@ class MetricsRegistry {
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
 
+  /// Read-only lookup: nullptr when `name` is absent or of another kind —
+  /// unlike Get*, never registers. Consumers that must distinguish "metric
+  /// was never recorded" from "recorded as zero" (the audit tool's optional
+  /// counter fields) use these.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
   /// Drops every registered metric. Serial only; invalidates references.
   void Reset();
 

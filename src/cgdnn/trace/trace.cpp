@@ -93,6 +93,12 @@ void Tracer::Clear() {
 
 void Tracer::Emit(const char* category, std::string name,
                   std::uint64_t start_ns, std::uint64_t end_ns) {
+  Emit(category, std::move(name), start_ns, end_ns, {});
+}
+
+void Tracer::Emit(const char* category, std::string name,
+                  std::uint64_t start_ns, std::uint64_t end_ns,
+                  std::vector<TraceArg> args) {
   ThreadLog& log = Log();
   TraceEvent ev;
   ev.name = std::move(name);
@@ -100,7 +106,26 @@ void Tracer::Emit(const char* category, std::string name,
   ev.start_ns = start_ns;
   ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
   ev.tid = log.tid;
+  ev.args = std::move(args);
   log.events.push_back(std::move(ev));
+}
+
+std::vector<TraceArg> CounterTraceArgs(const perfctr::Delta& delta) {
+  std::vector<TraceArg> args;
+  if (!delta.valid) return args;
+  for (int i = 0; i < perfctr::kNumEvents; ++i) {
+    const auto e = static_cast<perfctr::Event>(i);
+    if (delta.has(e)) args.push_back({perfctr::EventName(e), delta.get(e)});
+  }
+  if (args.empty()) return args;
+  const double ipc = delta.Ipc();
+  if (ipc >= 0) args.push_back({"ipc", ipc});
+  const double miss_rate = delta.LlcMissRate();
+  if (miss_rate >= 0) args.push_back({"llc_miss_rate", miss_rate});
+  const double stalled = delta.StalledFrac();
+  if (stalled >= 0) args.push_back({"stalled_frac", stalled});
+  args.push_back({"mux_scale", delta.multiplex_scale});
+  return args;
 }
 
 std::size_t Tracer::event_count() const {
@@ -140,7 +165,18 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
       os << ",\"cat\":\"" << ev.category << "\",\"ph\":\"X\",\"ts\":"
          << static_cast<double>(ev.start_ns) / 1e3
          << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3
-         << ",\"pid\":1,\"tid\":" << ev.tid << "}";
+         << ",\"pid\":1,\"tid\":" << ev.tid;
+      if (!ev.args.empty()) {
+        os << ",\"args\":{";
+        bool afirst = true;
+        for (const TraceArg& arg : ev.args) {
+          if (!afirst) os << ",";
+          afirst = false;
+          os << "\"" << arg.key << "\":" << arg.value;
+        }
+        os << "}";
+      }
+      os << "}";
     }
   }
   os << "\n]\n";

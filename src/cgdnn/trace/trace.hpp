@@ -16,9 +16,11 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cgdnn/core/common.hpp"
+#include "cgdnn/perfctr/perfctr.hpp"
 
 #ifndef CGDNN_TRACE_ENABLED
 #define CGDNN_TRACE_ENABLED 1
@@ -38,6 +40,13 @@ void SetMetrics(bool active);
 /// Nanoseconds since the tracer's epoch (first use of the process tracer).
 std::uint64_t NowNs();
 
+/// One numeric key/value attached to a span ("args" in the Chrome trace
+/// format); used for hardware-counter deltas (cycles, ipc, llc_misses, ...).
+struct TraceArg {
+  const char* key;  ///< static string
+  double value;
+};
+
 /// One completed span, recorded by the owning thread.
 struct TraceEvent {
   std::string name;      ///< e.g. "conv1.forward" or "merge.ordered"
@@ -45,7 +54,15 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;  ///< relative to the tracer epoch
   std::uint64_t dur_ns = 0;
   int tid = 0;  ///< stable per-thread id (registration order)
+  /// Optional counter deltas over the span; empty when hardware-counter
+  /// collection was off (absent, never zeroed).
+  std::vector<TraceArg> args;
 };
+
+/// Flattens the present fields of a counter delta into span args
+/// (raw event counts + derived ipc / llc_miss_rate / stalled_frac /
+/// mux_scale). Invalid deltas flatten to an empty vector.
+std::vector<TraceArg> CounterTraceArgs(const perfctr::Delta& delta);
 
 /// Process-wide span collector. Start()/Stop()/Clear()/Write must be called
 /// from serial code; Emit may be called concurrently from any thread.
@@ -61,6 +78,9 @@ class Tracer {
   /// Records one completed span on the calling thread's log.
   void Emit(const char* category, std::string name, std::uint64_t start_ns,
             std::uint64_t end_ns);
+  /// Same, with counter-delta (or other numeric) args attached.
+  void Emit(const char* category, std::string name, std::uint64_t start_ns,
+            std::uint64_t end_ns, std::vector<TraceArg> args);
 
   /// Event count over all threads (serial only: call after the traced
   /// parallel work has joined/barriered).
@@ -83,7 +103,10 @@ class Tracer {
 };
 
 /// RAII span: captures the start time at construction and emits the event
-/// at destruction. No-op (one atomic load) while tracing is inactive.
+/// at destruction. No-op (one atomic load) while tracing is inactive. When
+/// hardware-counter collection is armed (perfctr::SetActive), the span also
+/// samples the calling thread's counter group at both ends and attaches the
+/// multiplex-scaled deltas as Chrome-trace args.
 class ScopedSpan {
  public:
   ScopedSpan(const char* category, std::string name) {
@@ -91,10 +114,22 @@ class ScopedSpan {
     active_ = true;
     category_ = category;
     name_ = std::move(name);
+    if (perfctr::CollectionActive()) {
+      start_sample_ = perfctr::ReadThreadCounters();
+    }
     start_ns_ = NowNs();
   }
   ~ScopedSpan() {
-    if (active_) Tracer::Get().Emit(category_, std::move(name_), start_ns_, NowNs());
+    if (!active_) return;
+    const std::uint64_t end_ns = NowNs();
+    if (start_sample_.valid) {
+      Tracer::Get().Emit(
+          category_, std::move(name_), start_ns_, end_ns,
+          CounterTraceArgs(perfctr::ComputeDelta(
+              start_sample_, perfctr::ReadThreadCounters())));
+    } else {
+      Tracer::Get().Emit(category_, std::move(name_), start_ns_, end_ns);
+    }
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -104,6 +139,7 @@ class ScopedSpan {
   const char* category_ = nullptr;
   std::string name_;
   std::uint64_t start_ns_ = 0;
+  perfctr::Sample start_sample_;
 };
 
 }  // namespace cgdnn::trace

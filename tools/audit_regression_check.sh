@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Perf-regression sentinel drill for compare_bench.py's audit mode:
+#   1. identical AUDIT reports must compare clean (exit 0)
+#   2. an injected >10% per-layer efficiency drop must be flagged (exit 1)
+#   3. directory mode must glob-match AUDIT_*.json pairs and propagate the
+#      same verdicts
+# Runs against a real report produced by cgdnn_audit so the sentinel is
+# exercised on the genuine schema, not a hand-written fixture.
+#
+# Usage: audit_regression_check.sh <cgdnn_audit-binary> <compare_bench.py>
+set -euo pipefail
+
+AUDIT_BIN=$1
+COMPARE=$2
+WORK=$(mktemp -d)
+trap 'rm -rf "${WORK}"' EXIT
+
+# Keep the budget tiny: the sentinel tests comparison logic, not performance.
+CGDNN_PERFCTR=off "${AUDIT_BIN}" --model=lenet --threads=1,2 --iterations=1 \
+    --warmup=0 --audit-out="${WORK}/AUDIT_lenet.json" > /dev/null
+
+# Degraded copy: halve every layer's efficiency at the top thread count —
+# well beyond the 10% tolerance.
+python3 - "${WORK}/AUDIT_lenet.json" "${WORK}/AUDIT_lenet_bad.json" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+top = str(max(data["threads"]))
+for layer in data["layers"]:
+    if top in layer["efficiency"]:
+        layer["efficiency"][top] *= 0.5
+data["overall"]["efficiency"][top] *= 0.5
+json.dump(data, open(sys.argv[2], "w"))
+EOF
+
+echo "== identical reports must pass =="
+python3 "${COMPARE}" "${WORK}/AUDIT_lenet.json" "${WORK}/AUDIT_lenet.json"
+
+echo "== injected 50% efficiency drop must fail =="
+if python3 "${COMPARE}" "${WORK}/AUDIT_lenet.json" \
+        "${WORK}/AUDIT_lenet_bad.json" > "${WORK}/bad.out"; then
+    echo "ERROR: compare_bench.py did not flag the injected regression"
+    cat "${WORK}/bad.out"
+    exit 1
+fi
+grep -q "REGRESSION" "${WORK}/bad.out"
+
+echo "== directory mode: clean pair passes, degraded pair fails =="
+mkdir -p "${WORK}/base" "${WORK}/good" "${WORK}/bad"
+cp "${WORK}/AUDIT_lenet.json" "${WORK}/base/"
+cp "${WORK}/AUDIT_lenet.json" "${WORK}/good/"
+cp "${WORK}/AUDIT_lenet_bad.json" "${WORK}/bad/AUDIT_lenet.json"
+python3 "${COMPARE}" "${WORK}/base" "${WORK}/good"
+if python3 "${COMPARE}" "${WORK}/base" "${WORK}/bad" > /dev/null; then
+    echo "ERROR: directory mode missed the injected regression"
+    exit 1
+fi
+
+echo "audit_regression_check: PASS"

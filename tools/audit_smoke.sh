@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Audit smoke test: run cgdnn_audit on LeNet with a tiny iteration budget and
+# validate the emitted JSON against the schema checker — once letting the tool
+# arm hardware counters (which may or may not be available in this
+# environment), and once with CGDNN_PERFCTR=off where the report must be
+# timing-only with counter fields absent, not zeroed.
+#
+# Usage: audit_smoke.sh <cgdnn_audit-binary> <check_audit_schema.py>
+set -euo pipefail
+
+AUDIT_BIN=$1
+SCHEMA_CHECK=$2
+WORK=$(mktemp -d)
+trap 'rm -rf "${WORK}"' EXIT
+
+echo "== audit run (counters auto-detected) =="
+"${AUDIT_BIN}" --model=lenet --threads=1,2 --iterations=2 --warmup=1 \
+    --audit-out="${WORK}/AUDIT_lenet.json"
+python3 "${SCHEMA_CHECK}" "${WORK}/AUDIT_lenet.json"
+
+echo "== audit run (CGDNN_PERFCTR=off, must stay timing-only) =="
+CGDNN_PERFCTR=off "${AUDIT_BIN}" --model=lenet --threads=1,2 --iterations=1 \
+    --warmup=0 --audit-out="${WORK}/AUDIT_lenet_off.json"
+python3 "${SCHEMA_CHECK}" "${WORK}/AUDIT_lenet_off.json" --forbid-counters
+
+# The forced-off report must not claim counters were available.
+python3 - "${WORK}/AUDIT_lenet_off.json" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data["counters_available"] is False, \
+    "CGDNN_PERFCTR=off run reported counters_available=true"
+assert "counters_unavailable_reason" in data, \
+    "disabled run should state why counters are unavailable"
+EOF
+
+echo "audit_smoke: PASS"

@@ -5,12 +5,16 @@
 //   cgdnn_time --model=models/lenet_train_test.prototxt
 //              [--iterations=N] [--threads=N] [--merge=MODE] [--csv]
 //              [--trace-out=trace.json] [--metrics-out=metrics.json]
+//              [--counters]
 //
 // --model also accepts the builtin names "lenet" and "cifar10_quick"
 // (synthetic data). --trace-out records a Chrome trace-event JSON of the
 // timed iterations (open in chrome://tracing or Perfetto); --metrics-out
 // dumps the metrics registry, including per-layer FLOPs / bytes / achieved
-// GFLOP/s and per-region load-imbalance histograms.
+// GFLOP/s and per-region load-imbalance histograms. --counters additionally
+// samples hardware performance counters (docs/observability.md) so spans
+// and metrics carry cycles/instructions/LLC/IPC data where the host allows
+// perf_event_open; unsupported hosts degrade to timing-only.
 #include <iostream>
 
 #include "cgdnn/core/rng.hpp"
@@ -23,7 +27,7 @@ namespace {
 constexpr const char* kUsage =
     "cgdnn_time --model=<file|lenet|cifar10_quick> [--iterations=N] "
     "[--threads=N] [--merge=MODE] [--csv] [--trace-out=<file>] "
-    "[--metrics-out=<file>]";
+    "[--metrics-out=<file>] [--counters]";
 }
 
 int main(int argc, char** argv) {

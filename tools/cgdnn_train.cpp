@@ -11,7 +11,7 @@
 //               [--resume=<file|prefix>]    (continue from a checkpoint)
 //               [--profile]                 (Figure-4-style layer table)
 //               [--trace-out=trace.json] [--metrics-out=metrics.json]
-//               [--telemetry-out=train.jsonl]
+//               [--telemetry-out=train.jsonl] [--counters]
 //
 // The solver file may inline its net (`net_param { ... }`) or reference an
 // external prototxt via `net: "relative/path.prototxt"` (resolved relative
@@ -21,7 +21,8 @@
 //
 // Checkpointing (docs/robustness.md): --snapshot-every writes crash-safe
 // full-training-state checkpoints every N iterations; SIGINT/SIGTERM stop
-// training on the next iteration boundary and write a final checkpoint.
+// training on the next iteration boundary, flush any --trace-out/
+// --metrics-out/--telemetry-out sinks, and write a final checkpoint.
 // --resume accepts either a concrete .cgdnnckpt file or a snapshot prefix;
 // a corrupt newest snapshot falls back to the previous retained one, and
 // the resumed run is bit-identical to one that was never interrupted.
@@ -42,7 +43,7 @@ constexpr const char* kUsage =
     "[--weights=<file>] [--snapshot=<file>] [--iterations=N] "
     "[--snapshot-every=N] [--snapshot-prefix=P] [--snapshot-retain=K] "
     "[--resume=<file|prefix>] [--profile] [--trace-out=<file>] "
-    "[--metrics-out=<file>] [--telemetry-out=<file>]";
+    "[--metrics-out=<file>] [--telemetry-out=<file>] [--counters]";
 
 std::atomic<bool> g_stop{false};
 
@@ -139,6 +140,14 @@ int main(int argc, char** argv) {
               << ") for " << param.max_iter << " iterations\n";
     solver->Solve();
     const bool interrupted = g_stop.load();
+    if (interrupted) {
+      // Flush trace/metrics/telemetry before the final checkpoint write so
+      // a second signal arriving mid-snapshot cannot cost the run's
+      // observability output. Finish() is idempotent; the later call on the
+      // common path becomes a no-op.
+      solver->set_telemetry(nullptr);
+      obs.Finish();
+    }
     if (interrupted && !param.snapshot_prefix.empty()) {
       const std::string path =
           SnapshotPath(param.snapshot_prefix, solver->iter());

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate the schema of an AUDIT_*.json report from cgdnn_audit.
+
+Usage:
+    tools/check_audit_schema.py AUDIT_lenet.json [--require-counters]
+        [--forbid-counters]
+
+Checks the structural contract documented in docs/observability.md:
+top-level keys, per-layer speedup/efficiency curves keyed by the declared
+thread counts, machine peaks, and the counter-field discipline — counter
+fields (ipc, llc_miss_rate) must be *absent* (not zeroed) when
+counters_available is false. Exits 1 with a message on the first violation.
+"""
+import argparse
+import json
+import sys
+
+COUNTER_FIELDS = ("ipc", "llc_miss_rate")
+REQUIRED_TOP = ("audit", "model", "iterations", "threads", "base_threads",
+                "counters_available", "machine", "layers", "overall")
+REQUIRED_LAYER = ("name", "phase", "flops", "bytes", "ai", "time_us",
+                  "speedup", "efficiency", "imbalance", "straggler_tid",
+                  "achieved_gflops", "attainable_gflops", "roof_efficiency",
+                  "bound")
+BOUND_CLASSES = {"compute", "memory", "imbalance", "unknown"}
+
+
+def fail(msg):
+    print(f"schema error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_thread_map(owner, field, value, thread_keys, full=False):
+    if not isinstance(value, dict):
+        fail(f"{owner}.{field} is not an object")
+    extra = set(value) - thread_keys
+    if extra:
+        fail(f"{owner}.{field} has keys {sorted(extra)} outside the "
+             f"declared thread list")
+    if full and set(value) != thread_keys:
+        fail(f"{owner}.{field} is missing thread keys "
+             f"{sorted(thread_keys - set(value))}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report")
+    ap.add_argument("--require-counters", action="store_true",
+                    help="fail unless counters_available is true")
+    ap.add_argument("--forbid-counters", action="store_true",
+                    help="fail if any counter-derived field is present")
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        data = json.load(f)
+
+    for key in REQUIRED_TOP:
+        if key not in data:
+            fail(f"missing top-level key '{key}'")
+    threads = data["threads"]
+    if (not isinstance(threads, list) or not threads
+            or any(not isinstance(t, int) or t <= 0 for t in threads)):
+        fail("'threads' must be a non-empty list of positive ints")
+    thread_keys = {str(t) for t in threads}
+    if data["base_threads"] not in threads:
+        fail("'base_threads' not in 'threads'")
+
+    counters = data["counters_available"]
+    if not isinstance(counters, bool):
+        fail("'counters_available' must be a boolean")
+    if args.require_counters and not counters:
+        fail("counters_available is false but --require-counters was given")
+    if args.forbid_counters and counters:
+        fail("counters_available is true but --forbid-counters was given")
+
+    peaks = data["machine"].get("peaks")
+    if not isinstance(peaks, dict) or set(peaks) != thread_keys:
+        fail("'machine.peaks' must carry one entry per thread count")
+    for t, peak in peaks.items():
+        for key in ("gflops", "mem_gbps", "ridge_ai"):
+            if not isinstance(peak.get(key), (int, float)):
+                fail(f"machine.peaks[{t}].{key} missing or non-numeric")
+
+    if not isinstance(data["layers"], list) or not data["layers"]:
+        fail("'layers' must be a non-empty list")
+    saw_counter_field = False
+    for layer in data["layers"]:
+        owner = f"layer {layer.get('name', '?')}.{layer.get('phase', '?')}"
+        for key in REQUIRED_LAYER:
+            if key not in layer:
+                fail(f"{owner}: missing key '{key}'")
+        if layer["phase"] not in ("forward", "backward"):
+            fail(f"{owner}: bad phase")
+        # Curves must cover the full sweep; attribution/counter/roofline maps
+        # may be sparse (a serial layer has no imbalance, a zero-FLOP layer
+        # no roofline placement) but never carry undeclared thread keys.
+        for field in ("time_us", "speedup", "efficiency"):
+            check_thread_map(owner, field, layer[field], thread_keys,
+                             full=True)
+        for field in ("imbalance", "straggler_tid", "achieved_gflops",
+                      "attainable_gflops", "roof_efficiency"):
+            check_thread_map(owner, field, layer[field], thread_keys)
+        check_thread_map(owner, "bound", layer["bound"], thread_keys)
+        for t, cls in layer["bound"].items():
+            if cls not in BOUND_CLASSES:
+                fail(f"{owner}: bound[{t}] = '{cls}' not in "
+                     f"{sorted(BOUND_CLASSES)}")
+        base = str(data["base_threads"])
+        if abs(layer["speedup"][base] - 1.0) > 1e-9:
+            fail(f"{owner}: speedup at base_threads must be 1.0")
+        for field in COUNTER_FIELDS:
+            if field in layer:
+                saw_counter_field = True
+                check_thread_map(owner, field, layer[field], thread_keys)
+                if not counters:
+                    fail(f"{owner}: counter field '{field}' present although "
+                         f"counters_available is false (fields must be "
+                         f"absent, not zeroed)")
+
+    overall = data["overall"]
+    for field in ("time_us", "speedup", "efficiency"):
+        check_thread_map("overall", field, overall.get(field, None),
+                         thread_keys, full=True)
+
+    if args.require_counters and not saw_counter_field:
+        fail("counters_available is true but no layer carries a counter "
+             "field")
+    n_layers = len(data["layers"])
+    print(f"OK: {args.report} valid ({n_layers} layer/phase rows, "
+          f"threads={threads}, counters={'on' if counters else 'off'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,29 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_*.json reports and fail on regressions.
+"""Diff bench/audit JSON reports and fail on regressions.
 
 Usage:
     tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 0.10]
+    tools/compare_bench.py baseline_dir/ current_dir/ [--threshold 0.10]
 
-Reports produced by bench::BenchReport have the shape
-    {"bench": "...", "rows": [{"section": s, "key": k, "values": {col: num}}]}
-Every (section, key, column) present in both files is compared. Direction is
-inferred from the column/section name:
+Two input kinds are understood, sniffed from the file contents:
 
-  * higher-is-better: columns containing "gflops" or "speedup"
-  * lower-is-better:  columns/sections containing "us", "time", "_kb", "_mb"
+  * BENCH_*.json from bench::BenchReport:
+        {"bench": "...", "rows": [{"section": s, "key": k, "values": {col: n}}]}
+  * AUDIT_*.json from cgdnn_audit:
+        per-layer thread-keyed curves (time_us / speedup / efficiency /
+        imbalance / ipc / ...) plus machine peaks and overall totals. Each
+        curve entry is flattened to a (section, key, column) coordinate, e.g.
+        ("conv1.forward", "efficiency", "4t").
+
+When both arguments are directories, files named BENCH_*.json or AUDIT_*.json
+are glob-matched by basename and each pair is compared in turn; files present
+on only one side are listed but do not fail the run.
+
+Every (section, key, column) present in both sides is compared. Direction is
+inferred from the coordinate name:
+
+  * higher-is-better: gflops, speedup, efficiency, ipc
+  * lower-is-better:  *_us, time, _kb, _mb, imbalance, llc_miss_rate
   * everything else is informational (printed, never fails)
 
 A value that moves more than --threshold (default 10%) in the *bad* direction
@@ -19,13 +32,42 @@ and exits 1 if any were found. Entries present in only one file are listed
 but do not fail the comparison (shape sweeps may grow over time).
 """
 import argparse
+import glob
 import json
+import os
 import sys
+
+# Per-layer audit fields flattened into comparable coordinates. Counter
+# fields (ipc, llc_miss_rate) are included when present; a baseline captured
+# with counters vs a current run without simply yields one-sided entries.
+AUDIT_CURVES = ("time_us", "speedup", "efficiency", "imbalance", "ipc",
+                "llc_miss_rate", "achieved_gflops", "roof_efficiency")
+
+
+def flatten_audit(data):
+    rows = {}
+    for layer in data.get("layers", []):
+        section = f"{layer.get('name', '?')}.{layer.get('phase', '?')}"
+        for field in AUDIT_CURVES:
+            for threads, val in layer.get(field, {}).items():
+                if isinstance(val, (int, float)):
+                    rows[(section, field, f"{threads}t")] = float(val)
+    for field, curve in data.get("overall", {}).items():
+        for threads, val in curve.items():
+            if isinstance(val, (int, float)):
+                rows[("overall", field, f"{threads}t")] = float(val)
+    for threads, peak in data.get("machine", {}).get("peaks", {}).items():
+        for key in ("gflops", "mem_gbps"):
+            if isinstance(peak.get(key), (int, float)):
+                rows[("machine", key, f"{threads}t")] = float(peak[key])
+    return "audit:" + data.get("model", "?"), rows
 
 
 def load_rows(path):
     with open(path) as f:
         data = json.load(f)
+    if "audit" in data and "layers" in data:
+        return flatten_audit(data)
     rows = {}
     for row in data.get("rows", []):
         for col, val in row.get("values", {}).items():
@@ -33,26 +75,26 @@ def load_rows(path):
     return data.get("bench", "?"), rows
 
 
-def direction(section, column):
-    s, c = section.lower(), column.lower()
-    if "gflops" in c or "speedup" in c or "gflops" in s:
-        return "higher"
-    for marker in ("us", "time", "_kb", "_mb"):
-        if marker in c or marker in s:
+def direction(section, key, column):
+    # Audit coordinates carry the metric name in the key slot
+    # (e.g. "conv1.forward"/"efficiency"/"2t"); bench coordinates in the
+    # section or column — match against all three.
+    parts = (section.lower(), key.lower(), column.lower())
+    for marker in ("gflops", "speedup", "efficiency", "ipc"):
+        if any(marker in p for p in parts):
+            return "higher"
+    for marker in ("us", "time", "_kb", "_mb", "imbalance", "llc_miss_rate"):
+        if any(marker in p for p in parts):
             return "lower"
     return "info"
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--threshold", type=float, default=0.10,
-                    help="relative regression tolerance (default 0.10 = 10%%)")
-    args = ap.parse_args()
-
-    base_name, base = load_rows(args.baseline)
-    cur_name, cur = load_rows(args.current)
+def compare_pair(baseline, current, threshold, label=None):
+    """Compare one baseline/current file pair; returns the regression list."""
+    base_name, base = load_rows(baseline)
+    cur_name, cur = load_rows(current)
+    if label:
+        print(f"=== {label} ===")
     if base_name != cur_name:
         print(f"note: comparing different benches ({base_name} vs {cur_name})")
 
@@ -67,9 +109,9 @@ def main():
         section, key, col = coord
         b, c = base[coord], cur[coord]
         delta = (c - b) / abs(b) if b != 0 else (0.0 if c == 0 else float("inf"))
-        dirn = direction(section, col)
-        bad = (dirn == "higher" and delta < -args.threshold) or \
-              (dirn == "lower" and delta > args.threshold)
+        dirn = direction(section, key, col)
+        bad = (dirn == "higher" and delta < -threshold) or \
+              (dirn == "lower" and delta > threshold)
         flag = " REGRESSION" if bad else ""
         print(f"{section + '/' + key + '/' + col:58s} {b:12.4g} {c:12.4g} "
               f"{delta:+7.1%}{flag}")
@@ -80,14 +122,62 @@ def main():
         print(f"only in baseline: {'/'.join(coord)}")
     for coord in only_cur:
         print(f"only in current:  {'/'.join(coord)}")
+    return common, regressions
+
+
+def collect_reports(directory):
+    names = {}
+    for pattern in ("BENCH_*.json", "AUDIT_*.json"):
+        for path in glob.glob(os.path.join(directory, pattern)):
+            names[os.path.basename(path)] = path
+    return names
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline report file or directory")
+    ap.add_argument("current", help="current report file or directory")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative regression tolerance (default 0.10 = 10%%)")
+    args = ap.parse_args()
+
+    if os.path.isdir(args.baseline) != os.path.isdir(args.current):
+        print("error: baseline and current must both be files or both be "
+              "directories", file=sys.stderr)
+        return 2
+
+    if os.path.isdir(args.baseline):
+        base_reports = collect_reports(args.baseline)
+        cur_reports = collect_reports(args.current)
+        pairs = sorted(set(base_reports) & set(cur_reports))
+        if not pairs:
+            print("error: no BENCH_*.json/AUDIT_*.json pairs matched between "
+                  "the two directories", file=sys.stderr)
+            return 2
+        for name in sorted(set(base_reports) - set(cur_reports)):
+            print(f"only in baseline dir: {name}")
+        for name in sorted(set(cur_reports) - set(base_reports)):
+            print(f"only in current dir:  {name}")
+        compared, regressions = 0, []
+        for name in pairs:
+            common, regs = compare_pair(base_reports[name], cur_reports[name],
+                                        args.threshold, label=name)
+            compared += len(common)
+            regressions.extend(regs)
+            print()
+    else:
+        compared_coords, regressions = compare_pair(
+            args.baseline, args.current, args.threshold)
+        compared = len(compared_coords)
+        print()
 
     if regressions:
-        print(f"\nFAIL: {len(regressions)} regression(s) beyond "
+        print(f"FAIL: {len(regressions)} regression(s) beyond "
               f"{args.threshold:.0%}:")
         for (section, key, col), b, c, delta in regressions:
             print(f"  {section}/{key}/{col}: {b:.4g} -> {c:.4g} ({delta:+.1%})")
         return 1
-    print(f"\nOK: {len(common)} values compared, no regression beyond "
+    print(f"OK: {compared} values compared, no regression beyond "
           f"{args.threshold:.0%}")
     return 0
 

@@ -12,6 +12,7 @@
 #include "cgdnn/core/common.hpp"
 #include "cgdnn/net/models.hpp"
 #include "cgdnn/parallel/context.hpp"
+#include "cgdnn/perfctr/perfctr.hpp"
 #include "cgdnn/trace/metrics.hpp"
 #include "cgdnn/trace/telemetry.hpp"
 #include "cgdnn/trace/trace.hpp"
@@ -115,14 +116,38 @@ class Observability {
     if (!telemetry_path_.empty()) {
       telemetry_ = std::make_unique<trace::TelemetrySink>(telemetry_path_);
     }
+    // --counters arms hardware-counter sampling for the run: trace spans
+    // carry per-thread counter deltas as args and the metrics registry
+    // gains the derived ipc/llc series. Best-effort — an unsupported host
+    // (seccomp, perf_event_paranoid, CGDNN_PERFCTR=off) degrades to
+    // timing-only with a note, and nothing is opened without this flag.
+    if (flags.GetBool("counters")) {
+      counters_armed_ = true;
+      perfctr::SetActive(true);
+      if (!perfctr::CollectionActive()) {
+        std::cerr << "note: hardware counters unavailable ("
+                  << perfctr::UnavailableReason() << "); continuing without\n";
+      }
+    }
   }
+
+  /// Exception and early-exit paths must not lose the run's observability
+  /// output: Finish() is idempotent and the destructor flushes whatever a
+  /// normal exit did not. Callers that hand telemetry() to a solver must
+  /// clear that pointer before this runs (destruction closes the sink).
+  ~Observability() { Finish(); }
 
   /// The JSONL sink for solvers, or nullptr when --telemetry-out is absent.
   trace::TelemetrySink* telemetry() { return telemetry_.get(); }
 
   /// Stops collection and writes the requested files; reports each path on
-  /// stderr so benchmark stdout stays machine-readable.
+  /// stderr so benchmark stdout stays machine-readable. Safe to call more
+  /// than once — only the first call writes.
   void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (counters_armed_) perfctr::SetActive(false);
+    telemetry_.reset();  // closes the JSONL stream
     if (!trace_path_.empty()) {
       trace::Tracer::Get().Stop();
       std::ofstream out(trace_path_, std::ios::trunc);
@@ -152,6 +177,8 @@ class Observability {
   std::string metrics_path_;
   std::string telemetry_path_;
   std::unique_ptr<trace::TelemetrySink> telemetry_;
+  bool counters_armed_ = false;
+  bool finished_ = false;
 };
 
 }  // namespace cgdnn::tools

@@ -49,5 +49,18 @@ if [ -x "$BENCH_DIR/micro_kernels" ]; then
     --benchmark_out_format=json > micro_kernels.txt
 fi
 
+# Scalability/roofline audit (small iteration budget — the per-layer curves
+# are what matters, not long steady-state numbers). AUDIT_lenet.json sits
+# next to the BENCH reports so compare_bench.py directory mode picks it up:
+#   tools/compare_bench.py baseline_results/ bench/results/
+AUDIT_BIN="$REPO_ROOT/$BUILD_DIR/tools/cgdnn_audit"
+if [ -x "$AUDIT_BIN" ]; then
+  echo "== cgdnn_audit (lenet)"
+  "$AUDIT_BIN" --model=lenet --threads=1,2,4 --iterations=3 --warmup=1 \
+    --audit-out="AUDIT_lenet.json" > audit_lenet.txt
+else
+  echo "skip: cgdnn_audit (not built)" >&2
+fi
+
 echo "reports in $RESULTS_DIR:"
-ls -1 BENCH_*.json
+ls -1 BENCH_*.json AUDIT_*.json 2>/dev/null
