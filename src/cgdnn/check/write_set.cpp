@@ -1,0 +1,183 @@
+#include "cgdnn/check/write_set.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <sstream>
+
+namespace cgdnn::check {
+
+namespace {
+
+// -1 = follow the environment, 0 = forced off, 1 = forced on.
+std::atomic<int> g_override{-1};
+
+bool EnvEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("CGDNN_CHECK");
+    if (v == nullptr) return false;
+    return std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0 ||
+           std::strcmp(v, "true") == 0;
+  }();
+  return enabled;
+}
+
+WriteSetChecker* g_current = nullptr;
+
+}  // namespace
+
+#if CGDNN_CHECK_ENABLED
+bool Enabled() {
+  const int ovr = g_override.load(std::memory_order_relaxed);
+  if (ovr >= 0) return ovr != 0;
+  return EnvEnabled();
+}
+#endif
+
+ScopedEnable::ScopedEnable(bool on)
+    : saved_(g_override.exchange(on ? 1 : 0, std::memory_order_relaxed)) {}
+
+ScopedEnable::~ScopedEnable() {
+  g_override.store(saved_, std::memory_order_relaxed);
+}
+
+WriteSetChecker::WriteSetChecker(std::string region, int nthreads)
+    : region_(std::move(region)), nthreads_(std::max(nthreads, 1)) {
+  threads_.resize(static_cast<std::size_t>(nthreads_));
+  write_phase_done_.assign(static_cast<std::size_t>(nthreads_), 0);
+}
+
+WriteSetChecker::~WriteSetChecker() noexcept(false) {
+  // Don't pile a violation onto an in-flight exception: terminate() beats
+  // losing the original error.
+  if (!verified_ && std::uncaught_exceptions() == 0) Verify();
+}
+
+void WriteSetChecker::RecordWrite(int tid, const void* base, const char* blob,
+                                  std::int64_t begin, std::int64_t end) {
+  if (tid < 0 || tid >= nthreads_ || begin >= end) return;
+  auto& buffers = threads_[static_cast<std::size_t>(tid)].buffers;
+  BufferWrites* bw = nullptr;
+  for (auto& b : buffers) {
+    if (b.base == base) {
+      bw = &b;
+      break;
+    }
+  }
+  if (bw == nullptr) {
+    buffers.push_back(BufferWrites{base, blob, {}});
+    bw = &buffers.back();
+  }
+  if (!bw->intervals.empty()) {
+    WriteInterval& last = bw->intervals.back();
+    // Static chunks arrive in ascending order, so extending the trailing
+    // interval keeps the list O(threads) instead of O(samples).
+    if (begin <= last.end && end >= last.begin) {
+      last.begin = std::min(last.begin, begin);
+      last.end = std::max(last.end, end);
+      return;
+    }
+  }
+  bw->intervals.push_back(WriteInterval{begin, end});
+}
+
+void WriteSetChecker::EndWritePhase(int tid) {
+  if (tid < 0 || tid >= nthreads_) return;
+  // The explicit barrier between the write loop and the merge publishes
+  // this flag; relaxed is enough because BeginMerge only runs after it.
+  write_phase_done_[static_cast<std::size_t>(tid)] = 1;
+}
+
+void WriteSetChecker::BeginMerge(int tid) {
+  for (int t = 0; t < nthreads_; ++t) {
+    if (write_phase_done_[static_cast<std::size_t>(t)]) continue;
+    std::lock_guard<std::mutex> lock(merge_violation_mu_);
+    if (merge_violation_.empty()) {
+      std::ostringstream os;
+      os << "region '" << region_ << "': thread " << tid
+         << " entered the gradient merge while thread " << t
+         << " had not finished its write phase — the explicit barrier "
+            "between the nowait worksharing loop and the merge is missing";
+      merge_violation_ = os.str();
+    }
+    return;
+  }
+}
+
+void WriteSetChecker::Verify() {
+  if (verified_) return;
+  verified_ = true;
+
+  {
+    std::lock_guard<std::mutex> lock(merge_violation_mu_);
+    CGDNN_CHECK(merge_violation_.empty()) << "cgdnn-check: " << merge_violation_;
+  }
+
+  // Merge all threads' lists per buffer, then sweep each buffer's intervals
+  // in (begin, tid) order: any overlap between neighbours from different
+  // threads is a partition violation.
+  struct Tagged {
+    WriteInterval iv;
+    int tid;
+    const char* blob;
+  };
+  std::vector<const void*> bases;
+  for (const auto& tw : threads_) {
+    for (const auto& bw : tw.buffers) {
+      if (std::find(bases.begin(), bases.end(), bw.base) == bases.end()) {
+        bases.push_back(bw.base);
+      }
+    }
+  }
+  for (const void* base : bases) {
+    std::vector<Tagged> all;
+    for (int t = 0; t < nthreads_; ++t) {
+      for (const auto& bw : threads_[static_cast<std::size_t>(t)].buffers) {
+        if (bw.base != base) continue;
+        for (const WriteInterval& iv : bw.intervals) {
+          all.push_back(Tagged{iv, t, bw.blob});
+        }
+      }
+    }
+    std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+      return a.iv.begin != b.iv.begin ? a.iv.begin < b.iv.begin
+                                      : a.iv.end < b.iv.end;
+    });
+    // Sweep in begin order, carrying the interval with the furthest end
+    // seen so far ("active"). Any interval overlapping an earlier one from
+    // another thread must overlap the active one (begin order + maximal
+    // end), so comparing against active alone is sufficient.
+    if (!all.empty()) {
+      Tagged active = all[0];
+      for (std::size_t i = 1; i < all.size(); ++i) {
+        const Tagged& cur = all[i];
+        if (cur.tid != active.tid && cur.iv.begin < active.iv.end) {
+          CGDNN_CHECK(false)
+              << "cgdnn-check: region '" << region_ << "' blob '"
+              << cur.blob << "': overlapping thread write sets — thread "
+              << active.tid << " wrote [" << active.iv.begin << ", "
+              << active.iv.end << ") and thread " << cur.tid << " wrote ["
+              << cur.iv.begin << ", " << cur.iv.end << ")";
+        }
+        if (cur.tid == active.tid) {
+          active.iv.end = std::max(active.iv.end, cur.iv.end);
+        } else if (cur.iv.end > active.iv.end) {
+          active = cur;
+        }
+      }
+    }
+  }
+}
+
+WriteSetChecker* WriteSetChecker::Current() { return g_current; }
+
+CurrentRegionBinding::CurrentRegionBinding(WriteSetChecker* checker)
+    : saved_(g_current) {
+  g_current = checker;
+}
+
+CurrentRegionBinding::~CurrentRegionBinding() { g_current = saved_; }
+
+}  // namespace cgdnn::check

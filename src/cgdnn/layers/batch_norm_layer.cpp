@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "cgdnn/parallel/coalesce.hpp"
+#include "cgdnn/parallel/instrument.hpp"
 
 namespace cgdnn {
 
@@ -127,11 +128,27 @@ void BatchNormLayer<Dtype>::Forward_cpu_parallel(
   Dtype* mean = mean_.mutable_cpu_data();      // resolved before the region
   Dtype* inv_std = inv_std_.mutable_cpu_data();
   const int nthreads = parallel::Parallel::ResolveThreads();
+  parallel::RegionStats rstats(this->layer_param_.name + ".forward",
+                               nthreads);
+  check::WriteSetChecker* chk = rstats.checker();
 #pragma omp parallel num_threads(nthreads)
   {
-    const auto range = parallel::StaticChunk(
-        channels_, omp_get_num_threads(), omp_get_thread_num());
+    const int tid = omp_get_thread_num();
+    parallel::ThreadRegionScope rscope(rstats, tid);
+    const auto range =
+        parallel::StaticChunk(channels_, omp_get_num_threads(), tid);
     ForwardChannels(x, y, mean, inv_std, range.begin, range.end);
+    if (chk != nullptr && range.size() > 0) {
+      chk->RecordWrite(tid, mean, "mean", range.begin, range.end);
+      chk->RecordWrite(tid, inv_std, "inv_std", range.begin, range.end);
+      // The channel partition's writes to y are strided: one slab per
+      // sample covering this thread's channel chunk.
+      for (index_t n = 0; n < num_; ++n) {
+        chk->RecordWrite(tid, y, "top.data",
+                         (n * channels_ + range.begin) * spatial_,
+                         (n * channels_ + range.end) * spatial_);
+      }
+    }
   }
   if (!use_global_stats_) UpdateRunningStats();
 }
@@ -201,11 +218,23 @@ void BatchNormLayer<Dtype>::Backward_cpu_parallel(
   const Dtype* dy = top[0]->cpu_diff();
   Dtype* dx = bottom[0]->mutable_cpu_diff();
   const int nthreads = parallel::Parallel::ResolveThreads();
+  parallel::RegionStats rstats(this->layer_param_.name + ".backward",
+                               nthreads);
+  check::WriteSetChecker* chk = rstats.checker();
 #pragma omp parallel num_threads(nthreads)
   {
-    const auto range = parallel::StaticChunk(
-        channels_, omp_get_num_threads(), omp_get_thread_num());
+    const int tid = omp_get_thread_num();
+    parallel::ThreadRegionScope rscope(rstats, tid);
+    const auto range =
+        parallel::StaticChunk(channels_, omp_get_num_threads(), tid);
     BackwardChannels(x, dy, dx, range.begin, range.end);
+    if (chk != nullptr && range.size() > 0) {
+      for (index_t n = 0; n < num_; ++n) {
+        chk->RecordWrite(tid, dx, "bottom.diff",
+                         (n * channels_ + range.begin) * spatial_,
+                         (n * channels_ + range.end) * spatial_);
+      }
+    }
   }
 }
 

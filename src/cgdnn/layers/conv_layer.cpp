@@ -187,6 +187,7 @@ void ConvolutionLayer<Dtype>::Forward_cpu_parallel(
                                nthreads);
   // Batch-level parallelism, no coalescing needed: each sample is a heavy
   // and uniform work unit (im2col + GEMM), and all writes are disjoint.
+  check::WriteSetChecker* chk = rstats.checker();
 #pragma omp parallel num_threads(nthreads)
   {
     const int tid = omp_get_thread_num();
@@ -197,6 +198,10 @@ void ConvolutionLayer<Dtype>::Forward_cpu_parallel(
       for (index_t n = 0; n < num_; ++n) {
         ForwardSample(bottom_data + n * bottom_dim_, top_data + n * top_dim_,
                       col);
+        if (chk != nullptr) {
+          chk->RecordWrite(tid, top_data, "top.data", n * top_dim_,
+                           (n + 1) * top_dim_);
+        }
       }
     }
     // nowait keeps barrier wait out of the busy-time measurement; the
@@ -259,6 +264,7 @@ void ConvolutionLayer<Dtype>::Backward_cpu_parallel(
   std::vector<Dtype*> priv_b(static_cast<std::size_t>(nthreads), nullptr);
   parallel::RegionStats rstats(this->layer_param_.name + ".backward",
                                nthreads);
+  check::WriteSetChecker* chk = rstats.checker();
 
 #pragma omp parallel num_threads(nthreads)
   {
@@ -290,6 +296,10 @@ void ConvolutionLayer<Dtype>::Backward_cpu_parallel(
         if (bottom_diff != nullptr) {
           BackwardSampleBottom(top_diff + n * top_dim_,
                                bottom_diff + n * bottom_dim_, col);
+          if (chk != nullptr) {
+            chk->RecordWrite(tid, bottom_diff, "bottom.diff",
+                             n * bottom_dim_, (n + 1) * bottom_dim_);
+          }
         }
       }
     }

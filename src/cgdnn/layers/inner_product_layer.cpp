@@ -81,6 +81,7 @@ void InnerProductLayer<Dtype>::Forward_cpu_parallel(
   // Batch-level parallelism: each thread evaluates the GEMM restricted to
   // its contiguous block of samples (rows). Row results are independent,
   // so this is bit-identical to the serial GEMM.
+  check::WriteSetChecker* chk = rstats.checker();
 #pragma omp parallel num_threads(nthreads)
   {
     const int tid = omp_get_thread_num();
@@ -88,6 +89,10 @@ void InnerProductLayer<Dtype>::Forward_cpu_parallel(
     const auto range = parallel::StaticChunk(m_, omp_get_num_threads(), tid);
     if (range.size() > 0) {
       Dtype* out = top_data + range.begin * num_output_;
+      if (chk != nullptr) {
+        chk->RecordWrite(tid, top_data, "top.data",
+                         range.begin * num_output_, range.end * num_output_);
+      }
       blas::gemm(blas::Transpose::kNo, blas::Transpose::kTrans, range.size(),
                  num_output_, k_, Dtype(1), bottom_data + range.begin * k_,
                  weight, Dtype(0), out);
@@ -152,6 +157,7 @@ void InnerProductLayer<Dtype>::Backward_cpu_parallel(
   // bit-identical to the serial GEMM. The weight matrix is the layer's
   // dominant state, so this also avoids the O(weights x threads) memory a
   // batch-partitioned accumulation would privatize.
+  check::WriteSetChecker* chk = rstats.checker();
 #pragma omp parallel num_threads(nthreads)
   {
     const int tid = omp_get_thread_num();
@@ -159,6 +165,16 @@ void InnerProductLayer<Dtype>::Backward_cpu_parallel(
     parallel::ThreadRegionScope rscope(rstats, tid);
     if (do_weights || do_bias) {
       const auto rows = parallel::StaticChunk(num_output_, team, tid);
+      if (chk != nullptr && rows.size() > 0) {
+        if (do_weights) {
+          chk->RecordWrite(tid, weight_diff_dest, "weight.diff",
+                           rows.begin * k_, rows.end * k_);
+        }
+        if (do_bias) {
+          chk->RecordWrite(tid, bias_diff_dest, "bias.diff", rows.begin,
+                           rows.end);
+        }
+      }
       for (index_t o = rows.begin; o < rows.end; ++o) {
         if (do_weights) {
           Dtype* wrow = weight_diff_dest + o * k_;
@@ -180,6 +196,10 @@ void InnerProductLayer<Dtype>::Backward_cpu_parallel(
       // Bottom gradient stays batch-partitioned (disjoint per sample).
       const auto range = parallel::StaticChunk(m_, team, tid);
       if (range.size() > 0) {
+        if (chk != nullptr) {
+          chk->RecordWrite(tid, bottom_diff, "bottom.diff",
+                           range.begin * k_, range.end * k_);
+        }
         blas::gemm(blas::Transpose::kNo, blas::Transpose::kNo, range.size(),
                    k_, num_output_, Dtype(1),
                    top_diff + range.begin * num_output_, weight, Dtype(0),

@@ -189,13 +189,21 @@ void PoolingLayer<Dtype>::Forward_cpu_parallel(
     const int nthreads = parallel::Parallel::ResolveThreads();
     parallel::RegionStats rstats(this->layer_param_.name + ".forward",
                                  nthreads);
+    check::WriteSetChecker* chk = rstats.checker();
 #pragma omp parallel num_threads(nthreads)
     {
-      parallel::ThreadRegionScope rscope(rstats, omp_get_thread_num());
+      const int tid = omp_get_thread_num();
+      parallel::ThreadRegionScope rscope(rstats, tid);
 #pragma omp for schedule(static) nowait
       for (index_t civ = 0; civ < total; ++civ) {
         ForwardPlane(bottom_data + civ * in_plane, top_data + civ * out_plane,
                      mask + civ * out_plane);
+        if (chk != nullptr) {
+          chk->RecordWrite(tid, top_data, "top.data", civ * out_plane,
+                           (civ + 1) * out_plane);
+          chk->RecordWrite(tid, mask, "max_idx", civ * out_plane,
+                           (civ + 1) * out_plane);
+        }
       }
     }
   } else {
@@ -246,13 +254,19 @@ void PoolingLayer<Dtype>::Backward_cpu_parallel(
     const int nthreads = parallel::Parallel::ResolveThreads();
     parallel::RegionStats rstats(this->layer_param_.name + ".backward",
                                  nthreads);
+    check::WriteSetChecker* chk = rstats.checker();
 #pragma omp parallel num_threads(nthreads)
     {
-      parallel::ThreadRegionScope rscope(rstats, omp_get_thread_num());
+      const int tid = omp_get_thread_num();
+      parallel::ThreadRegionScope rscope(rstats, tid);
 #pragma omp for schedule(static) nowait
       for (index_t civ = 0; civ < total; ++civ) {
         BackwardPlane(top_diff + civ * out_plane, mask + civ * out_plane,
                       bottom_diff + civ * in_plane);
+        if (chk != nullptr) {
+          chk->RecordWrite(tid, bottom_diff, "bottom.diff", civ * in_plane,
+                           (civ + 1) * in_plane);
+        }
       }
     }
   } else {

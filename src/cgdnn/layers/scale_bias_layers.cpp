@@ -5,6 +5,7 @@
 #include "cgdnn/blas/blas.hpp"
 #include "cgdnn/layers/filler.hpp"
 #include "cgdnn/parallel/coalesce.hpp"
+#include "cgdnn/parallel/instrument.hpp"
 
 namespace cgdnn {
 
@@ -137,15 +138,27 @@ void ScaleLayer<Dtype>::Backward_cpu_parallel(
   Dtype* db = do_b ? this->blobs_[1]->mutable_cpu_diff() : nullptr;
   Dtype* dx = propagate_down[0] ? bottom[0]->mutable_cpu_diff() : nullptr;
   const int nthreads = parallel::Parallel::ResolveThreads();
+  parallel::RegionStats rstats(this->layer_param_.name + ".backward",
+                               nthreads);
+  check::WriteSetChecker* chk = rstats.checker();
 #pragma omp parallel num_threads(nthreads)
   {
     const int tid = omp_get_thread_num();
     const int team = omp_get_num_threads();
+    parallel::ThreadRegionScope rscope(rstats, tid);
     if (do_w || do_b) {
       // Coefficient-partitioned gradients: thread t owns coefficients
       // [begin, end) and walks their slices in the serial outer order —
       // bit-identical to the sequential accumulation, no privatization.
       const auto coeffs = parallel::StaticChunk(scale_dim_, team, tid);
+      if (chk != nullptr && coeffs.size() > 0) {
+        if (do_w) {
+          chk->RecordWrite(tid, dw, "weight.diff", coeffs.begin, coeffs.end);
+        }
+        if (do_b) {
+          chk->RecordWrite(tid, db, "bias.diff", coeffs.begin, coeffs.end);
+        }
+      }
       for (index_t s = coeffs.begin; s < coeffs.end; ++s) {
         Dtype wsum = do_w ? dw[s] : Dtype(0);
         Dtype bsum = do_b ? db[s] : Dtype(0);
@@ -168,6 +181,9 @@ void ScaleLayer<Dtype>::Backward_cpu_parallel(
         const index_t base = civ * inner_;
         for (index_t i = 0; i < inner_; ++i) {
           dx[base + i] = dy[base + i] * w[s];
+        }
+        if (chk != nullptr) {
+          chk->RecordWrite(tid, dx, "bottom.diff", base, base + inner_);
         }
       }
     }
@@ -267,10 +283,18 @@ void BiasLayer<Dtype>::Backward_cpu_parallel(
   Dtype* db = do_b ? this->blobs_[0]->mutable_cpu_diff() : nullptr;
   const int nthreads = parallel::Parallel::ResolveThreads();
   if (do_b) {
+    parallel::RegionStats rstats(this->layer_param_.name + ".backward",
+                                 nthreads);
+    check::WriteSetChecker* chk = rstats.checker();
 #pragma omp parallel num_threads(nthreads)
     {
-      const auto coeffs = parallel::StaticChunk(
-          bias_dim_, omp_get_num_threads(), omp_get_thread_num());
+      const int tid = omp_get_thread_num();
+      parallel::ThreadRegionScope rscope(rstats, tid);
+      const auto coeffs =
+          parallel::StaticChunk(bias_dim_, omp_get_num_threads(), tid);
+      if (chk != nullptr && coeffs.size() > 0) {
+        chk->RecordWrite(tid, db, "bias.diff", coeffs.begin, coeffs.end);
+      }
       for (index_t s = coeffs.begin; s < coeffs.end; ++s) {
         Dtype sum = db[s];
         for (index_t o = 0; o < outer_; ++o) {

@@ -9,6 +9,11 @@ namespace cgdnn::parallel {
 
 RegionStats::RegionStats(std::string name, int nthreads)
     : name_(std::move(name)) {
+  if (check::Enabled()) {
+    checker_ = std::make_unique<check::WriteSetChecker>(name_, nthreads);
+    checker_binding_ =
+        std::make_unique<check::CurrentRegionBinding>(checker_.get());
+  }
   if (!trace::CollectionActive()) return;
   active_ = true;
   const auto slots = static_cast<std::size_t>(std::max(nthreads, 1));
@@ -62,7 +67,13 @@ perfctr::Delta RegionStats::TotalDelta() const {
   return total;
 }
 
-RegionStats::~RegionStats() {
+RegionStats::~RegionStats() noexcept(false) {
+  // Unbind before Verify so a throwing verification never leaves a dangling
+  // Current() pointer. Verify() is called explicitly (it may throw;
+  // ~unique_ptr is noexcept) — the member destructor then finds it already
+  // verified and stays silent.
+  checker_binding_.reset();
+  if (checker_) checker_->Verify();
   if (!active_ || !trace::MetricsActive()) return;
   auto& registry = trace::MetricsRegistry::Default();
   const double ratio = ImbalanceRatio();

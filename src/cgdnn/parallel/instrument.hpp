@@ -36,9 +36,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cgdnn/check/write_set.hpp"
 #include "cgdnn/core/common.hpp"
 #include "cgdnn/perfctr/perfctr.hpp"
 #include "cgdnn/trace/trace.hpp"
@@ -49,8 +51,10 @@ class RegionStats {
  public:
   /// Serial, before the parallel region opens.
   RegionStats(std::string name, int nthreads);
-  /// Serial, after the region joins: records imbalance + counter metrics.
-  ~RegionStats();
+  /// Serial, after the region joins: records imbalance + counter metrics,
+  /// then verifies the region's write sets when cgdnn-check is armed
+  /// (throwing cgdnn::Error on a partition violation).
+  ~RegionStats() noexcept(false);
   RegionStats(const RegionStats&) = delete;
   RegionStats& operator=(const RegionStats&) = delete;
 
@@ -73,10 +77,19 @@ class RegionStats {
   /// Sum of per-thread counter deltas (invalid when none were recorded).
   perfctr::Delta TotalDelta() const;
 
+  /// The region's write-set checker: non-null only while cgdnn-check is
+  /// armed (CGDNN_CHECK=on / check::ScopedEnable). Layers record their
+  /// shared-buffer writes through it:
+  ///   if (auto* chk = rstats.checker())
+  ///     chk->RecordWrite(tid, top_data, "top.data", begin, end);
+  check::WriteSetChecker* checker() { return checker_.get(); }
+
  private:
   std::string name_;
   std::vector<std::uint64_t> busy_ns_;
   std::vector<perfctr::Delta> deltas_;
+  std::unique_ptr<check::WriteSetChecker> checker_;
+  std::unique_ptr<check::CurrentRegionBinding> checker_binding_;
   bool active_ = false;
   bool counters_active_ = false;
 };
@@ -95,6 +108,10 @@ class ThreadRegionScope {
     start_ns_ = trace::NowNs();
   }
   ~ThreadRegionScope() {
+    // The scope closes right after the thread's worksharing chunk, so it
+    // doubles as the write-phase boundary for the race checker: any merge
+    // entered before every thread passed this point is missing its barrier.
+    if (auto* chk = stats_.checker()) chk->EndWritePhase(tid_);
     if (!stats_.active()) return;
     const std::uint64_t end_ns = trace::NowNs();
     stats_.AddThreadBusyNs(tid_, end_ns - start_ns_);

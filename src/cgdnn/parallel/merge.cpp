@@ -3,6 +3,7 @@
 #include <omp.h>
 
 #include "cgdnn/blas/blas.hpp"
+#include "cgdnn/check/write_set.hpp"
 #include "cgdnn/trace/metrics.hpp"
 #include "cgdnn/trace/trace.hpp"
 
@@ -106,6 +107,12 @@ void MergeTree(Dtype* const* parts, int nparts, Dtype* dest, index_t n) {
 template <typename Dtype>
 void AccumulatePrivate(GradientMerge mode, Dtype* const* parts, int nparts,
                        Dtype* dest, index_t n) {
+  // cgdnn-check hook: a thread reaching the merge while another is still in
+  // its write phase means the barrier before the merge is missing. The
+  // violation is parked and thrown serially at region end.
+  if (auto* chk = check::WriteSetChecker::Current()) {
+    chk->BeginMerge(omp_get_thread_num());
+  }
   switch (mode) {
     case GradientMerge::kOrdered:
       MergeOrdered(parts, nparts, dest, n);

@@ -149,9 +149,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("SGD", "Nesterov", "Adam",
                                          "AdaDelta"),
                        ::testing::Values(1, 8)),
-    [](const auto& info) {
-      return std::get<0>(info.param) + "_" +
-             std::to_string(std::get<1>(info.param)) + "threads";
+    [](const auto& tpi) {
+      return std::get<0>(tpi.param) + "_" +
+             std::to_string(std::get<1>(tpi.param)) + "threads";
     });
 
 TEST_F(CheckpointTest, ResumeBitIdenticalWithDropout) {

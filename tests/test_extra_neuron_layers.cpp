@@ -272,7 +272,7 @@ TEST_P(ExtraNeuronParallel, ParallelMatchesSerialBitExactly) {
 INSTANTIATE_TEST_SUITE_P(Types, ExtraNeuronParallel,
                          ::testing::Values("Power", "Exp", "Log", "AbsVal",
                                            "BNLL", "ELU"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& tpi) { return tpi.param; });
 
 }  // namespace
 }  // namespace cgdnn

@@ -130,11 +130,17 @@ TEST_P(GemmAgainstNaive, FinegrainMatchesSerial) {
                        "inner-product reference";
 }
 
-std::string GemmCaseName(const ::testing::TestParamInfo<GemmCase>& info) {
-  const auto [m, n, k, combo] = info.param;
+std::string GemmCaseName(const ::testing::TestParamInfo<GemmCase>& tpi) {
+  const auto [m, n, k, combo] = tpi.param;
   static constexpr const char* kComboNames[4] = {"NN", "TN", "NT", "TT"};
-  return "m" + std::to_string(m) + "n" + std::to_string(n) + "k" +
-         std::to_string(k) + kComboNames[combo];
+  std::string name = "m";
+  name += std::to_string(m);
+  name += 'n';
+  name += std::to_string(n);
+  name += 'k';
+  name += std::to_string(k);
+  name += kComboNames[combo];
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -206,9 +212,12 @@ TEST_P(GemvAgainstNaive, GerMatchesOuterProduct) {
 INSTANTIATE_TEST_SUITE_P(Shapes, GemvAgainstNaive,
                          ::testing::Combine(::testing::Values(1, 7, 64),
                                             ::testing::Values(1, 9, 50)),
-                         [](const auto& info) {
-                           return "m" + std::to_string(std::get<0>(info.param)) +
-                                  "n" + std::to_string(std::get<1>(info.param));
+                         [](const auto& tpi) {
+                           std::string name = "m";
+                           name += std::to_string(std::get<0>(tpi.param));
+                           name += 'n';
+                           name += std::to_string(std::get<1>(tpi.param));
+                           return name;
                          });
 
 // ---- randomized stress sweep over the packed engine's edge cases -----------

@@ -91,8 +91,8 @@ INSTANTIATE_TEST_SUITE_P(Modes, MergeModes,
                          ::testing::Values(GradientMerge::kOrdered,
                                            GradientMerge::kAtomic,
                                            GradientMerge::kTree),
-                         [](const auto& info) {
-                           return std::string(GradientMergeName(info.param));
+                         [](const auto& tpi) {
+                           return std::string(GradientMergeName(tpi.param));
                          });
 
 TEST(MergeOrdered, BitIdenticalToTidOrderedSequentialFold) {

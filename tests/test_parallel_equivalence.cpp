@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "cgdnn/core/rng.hpp"
 #include "cgdnn/data/dataset.hpp"
@@ -40,7 +42,8 @@ NetState CaptureState(const Net<float>& net) {
 }
 
 NetState RunOnce(const proto::NetParameter& param, int threads,
-                 parallel::GradientMerge merge) {
+                 parallel::GradientMerge merge,
+                 std::vector<std::string>* blob_names = nullptr) {
   parallel::ParallelConfig cfg;
   cfg.mode = threads > 1 ? parallel::ExecutionMode::kCoarseGrain
                          : parallel::ExecutionMode::kSerial;
@@ -53,7 +56,22 @@ NetState RunOnce(const proto::NetParameter& param, int threads,
   Net<float> net(param, Phase::kTrain);
   net.ClearParamDiffs();
   net.ForwardBackward();
+  if (blob_names != nullptr) *blob_names = net.blob_names();
   return CaptureState(net);
+}
+
+// Like ExpectActivationsBitEqual, but names the offending layer output so a
+// failure reads "blob 'conv2'", not "blob 4".
+void ExpectActivationsBitEqualNamed(const NetState& a, const NetState& b,
+                                    const std::vector<std::string>& names) {
+  ASSERT_EQ(a.blob_data.size(), b.blob_data.size());
+  ASSERT_EQ(a.blob_data.size(), names.size());
+  for (std::size_t i = 0; i < a.blob_data.size(); ++i) {
+    EXPECT_EQ(a.blob_data[i], b.blob_data[i])
+        << "activation data of blob '" << names[i] << "'";
+    EXPECT_EQ(a.blob_diff[i], b.blob_diff[i])
+        << "back-propagated diff of blob '" << names[i] << "'";
+  }
 }
 
 void ExpectActivationsBitEqual(const NetState& a, const NetState& b) {
@@ -79,17 +97,17 @@ void ExpectParamDiffsClose(const NetState& a, const NetState& b,
   }
 }
 
-proto::NetParameter LeNetParam() {
+proto::NetParameter LeNetParam(int batch_size = 12) {
   models::ModelOptions o;
-  o.batch_size = 12;  // not a multiple of most thread counts
+  o.batch_size = batch_size;  // default 12: not a multiple of most counts
   o.num_samples = 32;
   o.with_accuracy = false;
   return models::LeNet(o);
 }
 
-proto::NetParameter CifarParam() {
+proto::NetParameter CifarParam(int batch_size = 6) {
   models::ModelOptions o;
-  o.batch_size = 6;
+  o.batch_size = batch_size;
   o.num_samples = 32;
   o.with_accuracy = false;
   return models::Cifar10Quick(o);
@@ -142,8 +160,59 @@ TEST_P(ParallelEquivalence, AtomicMergeCloseToSerial) {
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelEquivalence,
                          ::testing::Values(2, 3, 4, 8),
-                         [](const auto& info) {
-                           return "threads" + std::to_string(info.param);
+                         [](const auto& tpi) {
+                           std::string name = "threads";
+                           name += std::to_string(tpi.param);
+                           return name;
+                         });
+
+// Per-layer sweep over 1 vs {2, 5, 8, 16} threads with batch sizes that no
+// swept thread count divides (7 and 9): uneven static chunks, and at 16
+// threads more workers than samples, so some threads own empty partitions.
+// Every layer's output must still match the serial run bit-for-bit, with
+// failures attributed to the offending blob by name.
+class PerLayerThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerLayerThreadSweep, LeNetIndivisibleBatchBitIdentical) {
+  const auto param = LeNetParam(/*batch_size=*/7);
+  std::vector<std::string> names;
+  const auto serial =
+      RunOnce(param, 1, parallel::GradientMerge::kSerial, &names);
+  const auto parallel_run =
+      RunOnce(param, GetParam(), parallel::GradientMerge::kOrdered);
+  ExpectActivationsBitEqualNamed(serial, parallel_run, names);
+  ExpectParamDiffsClose(serial, parallel_run, 1e-4);
+}
+
+TEST_P(PerLayerThreadSweep, CifarIndivisibleBatchBitIdentical) {
+  const auto param = CifarParam(/*batch_size=*/9);
+  std::vector<std::string> names;
+  const auto serial =
+      RunOnce(param, 1, parallel::GradientMerge::kSerial, &names);
+  const auto parallel_run =
+      RunOnce(param, GetParam(), parallel::GradientMerge::kOrdered);
+  ExpectActivationsBitEqualNamed(serial, parallel_run, names);
+  ExpectParamDiffsClose(serial, parallel_run, 1e-4);
+}
+
+TEST_P(PerLayerThreadSweep, OrderedMergeRunToRunBitEqual) {
+  // Param diffs may differ from serial only by re-association tolerance,
+  // but two runs at the same thread count must agree bit-for-bit.
+  const auto param = LeNetParam(/*batch_size=*/7);
+  const auto a = RunOnce(param, GetParam(), parallel::GradientMerge::kOrdered);
+  const auto b = RunOnce(param, GetParam(), parallel::GradientMerge::kOrdered);
+  ExpectActivationsBitEqual(a, b);
+  for (std::size_t p = 0; p < a.param_diff.size(); ++p) {
+    EXPECT_EQ(a.param_diff[p], b.param_diff[p]) << "param " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, PerLayerThreadSweep,
+                         ::testing::Values(2, 5, 8, 16),
+                         [](const auto& tpi) {
+                           std::string name = "threads";
+                           name += std::to_string(tpi.param);
+                           return name;
                          });
 
 TEST(ParallelEquivalence, CoalescingOffStillCorrect) {

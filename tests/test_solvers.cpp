@@ -79,7 +79,7 @@ TEST_P(SolverTypes, LossDecreasesOverTraining) {
 INSTANTIATE_TEST_SUITE_P(AllSolvers, SolverTypes,
                          ::testing::Values("SGD", "Nesterov", "AdaGrad",
                                            "RMSProp", "AdaDelta", "Adam"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& tpi) { return tpi.param; });
 
 TEST(Solver, UnknownTypeRejected) {
   auto param = TinySolver("Adam2000");

@@ -203,9 +203,11 @@ TEST(Tracer, ConcurrentEmissionLosesNothing) {
   {
     const int tid = omp_get_thread_num();
     for (int i = 0; i < kSpansPerThread; ++i) {
-      Tracer::Get().Emit("stress",
-                         "t" + std::to_string(tid) + ".s" + std::to_string(i),
-                         NowNs(), NowNs());
+      std::string span_name = "t";
+      span_name += std::to_string(tid);
+      span_name += ".s";
+      span_name += std::to_string(i);
+      Tracer::Get().Emit("stress", span_name, NowNs(), NowNs());
     }
   }
   const auto events = Tracer::Get().Events();
@@ -412,8 +414,8 @@ INSTANTIATE_TEST_SUITE_P(Modes, TracedMerge,
                          ::testing::Values(parallel::GradientMerge::kOrdered,
                                            parallel::GradientMerge::kAtomic,
                                            parallel::GradientMerge::kTree),
-                         [](const auto& info) {
-                           return parallel::GradientMergeName(info.param);
+                         [](const auto& tpi) {
+                           return parallel::GradientMergeName(tpi.param);
                          });
 
 }  // namespace

@@ -1,0 +1,15 @@
+// Fixture: a block-form parallel region without the ThreadRegionScope /
+// TRACE_SCOPE idiom is invisible to the tracer AND to the cgdnn-check
+// write-phase protocol (EndWritePhase rides on the scope destructor).
+#include <cstdint>
+
+void BadUninstrumentedRegion(float* y, std::int64_t n) {
+  // EXPECT: instrumented-region
+#pragma omp parallel num_threads(8)
+  {
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+      y[i] = 1.0f;
+    }
+  }
+}

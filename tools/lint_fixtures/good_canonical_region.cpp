@@ -1,0 +1,36 @@
+// Fixture: the canonical cgdnn parallel-region idiom — RegionStats +
+// ThreadRegionScope, nowait worksharing loop, explicit barrier, ordered
+// gradient merge. This is the shape every layer's backward pass follows.
+#include <cstdint>
+
+void GoodCanonicalRegion(float* dest, float* const* parts, float* priv,
+                         std::int64_t n, int nthreads) {
+  RegionStats rstats("layer.backward", nthreads);
+#pragma omp parallel num_threads(nthreads)
+  {
+    const int tid = 0;
+    {
+      ThreadRegionScope rscope(rstats, tid);
+#pragma omp for schedule(static) nowait
+      for (std::int64_t i = 0; i < n; ++i) {
+        priv[i] = 1.0f;
+      }
+    }
+#pragma omp barrier
+    AccumulatePrivate(parts, nthreads, dest, n);
+  }
+}
+
+void GoodNowaitAsTail(float* y, std::int64_t n, int nthreads) {
+  RegionStats rstats("layer.forward", nthreads);
+#pragma omp parallel num_threads(nthreads)
+  {
+    ThreadRegionScope rscope(rstats, 0);
+    // nowait loop as the last statement: the region-end implicit barrier
+    // synchronizes, nothing races.
+#pragma omp for schedule(static) nowait
+    for (std::int64_t i = 0; i < n; ++i) {
+      y[i] = 2.0f;
+    }
+  }
+}

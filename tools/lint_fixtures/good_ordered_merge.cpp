@@ -1,0 +1,15 @@
+// Fixture: the ordered gradient merge — the one place schedule(static, 1)
+// is correct: one iteration per thread id, serialized in id order by the
+// ordered construct to reproduce the sequential accumulation bit pattern.
+#include <cstdint>
+
+void GoodOrderedMerge(float* const* parts, int nparts, float* dest,
+                      std::int64_t n) {
+#pragma omp for ordered schedule(static, 1)
+  for (int th = 0; th < nparts; ++th) {
+#pragma omp ordered
+    {
+      for (std::int64_t i = 0; i < n; ++i) dest[i] += parts[th][i];
+    }
+  }
+}

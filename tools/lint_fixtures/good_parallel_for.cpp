@@ -1,0 +1,19 @@
+// Fixture: combined parallel-for with an explicit static schedule — the
+// elementwise-layer idiom. Combined loops carry no separate region body, so
+// the instrumentation rule does not apply to them.
+#include <cstdint>
+
+void GoodParallelFor(float* y, const float* x, std::int64_t n) {
+#pragma omp parallel for num_threads(4) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+}
+
+void GoodContinuation(float* y, const float* x, std::int64_t n) {
+#pragma omp parallel for num_threads(4) \
+    schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[i] = x[i] * x[i];
+  }
+}

@@ -1,0 +1,380 @@
+#!/usr/bin/env python3
+"""cgdnn parallel-discipline linter.
+
+Statically enforces the repo's OpenMP rules over src/ — the conventions the
+paper's bit-identity argument rests on (docs/correctness.md):
+
+  static-schedule      Worksharing loops must carry an explicit
+                       schedule(static). schedule(static, 1) is reserved for
+                       the ordered merge (requires the `ordered` clause);
+                       dynamic/guided/runtime/auto break the deterministic
+                       sample->thread mapping and are always errors.
+  instrumented-region  Block-form `#pragma omp parallel` regions must use the
+                       ThreadRegionScope / TRACE_SCOPE instrumentation idiom
+                       (which doubles as the cgdnn-check write-phase hook).
+  no-unsafe-calls      No rand()/srand()/time()/clock()/std::random_device/
+                       std::mt19937/drand48-family calls inside parallel
+                       constructs: per-thread nondeterminism breaks the
+                       serial-equivalence claim. GlobalRng (serial-side,
+                       checkpointed) is the only sanctioned randomness.
+  nowait-barrier       A `nowait` worksharing loop must be followed by an
+                       explicit `#pragma omp barrier` or a gradient merge
+                       (AccumulatePrivate) before any further statement in
+                       the region; ending the region immediately (implicit
+                       barrier) is also fine.
+
+Suppressions: a comment `// cgdnn-lint: allow(rule[, rule...])` on the pragma
+line or the line directly above it silences those rules for that construct.
+
+Usage:
+  lint_parallel.py [PATH...]         lint .cpp/.hpp under PATH (default src/)
+  lint_parallel.py --self-test       run the fixture suite under
+                                     tools/lint_fixtures/ (bad files declare
+                                     expected findings with `// EXPECT: rule`)
+
+Exit status: 0 clean, 1 findings (or fixture mismatch), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import re
+import sys
+
+RULES = {
+    "static-schedule",
+    "instrumented-region",
+    "no-unsafe-calls",
+    "nowait-barrier",
+}
+
+PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+omp\b(?P<clauses>.*)$")
+SCHEDULE_RE = re.compile(r"\bschedule\s*\(\s*(?P<kind>\w+)\s*(?:,\s*(?P<chunk>[^)]*?)\s*)?\)")
+ALLOW_RE = re.compile(r"//\s*cgdnn-lint:\s*allow\(([^)]*)\)")
+# Callable randomness/time sources. Lookbehind rejects member access
+# (`timer.time()`) and identifier suffixes (`mytime(`); `std::`-qualified
+# forms are matched explicitly.
+UNSAFE_CALL_RE = re.compile(
+    r"(?:\bstd::\s*)?(?<![\w.])"
+    r"(rand|srand|rand_r|drand48|lrand48|mrand48|random|time|clock)\s*\("
+)
+UNSAFE_TYPE_RE = re.compile(r"\b(random_device|mt19937(?:_64)?|minstd_rand0?)\b")
+SANCTIONED_RNG = "GlobalRng"
+INSTRUMENT_TOKENS = ("ThreadRegionScope", "TRACE_SCOPE")
+MERGE_TOKENS = ("AccumulatePrivate",)
+
+
+@dataclasses.dataclass
+class Finding:
+    path: pathlib.Path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str) -> str:
+    """Remove // and /* */ comments and string/char literal contents,
+    preserving line structure so line numbers survive."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | dq | sq
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                i += 2
+                continue
+            if c == '"':
+                state = "dq"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "sq"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state in ("line", "block"):
+            if c == "\n":
+                out.append(c)
+                if state == "line":
+                    state = "code"
+            elif state == "block" and c == "*" and nxt == "/":
+                state = "code"
+                i += 1
+        else:  # dq / sq: drop contents, keep delimiters
+            if c == "\\":
+                i += 2
+                continue
+            if (state == "dq" and c == '"') or (state == "sq" and c == "'"):
+                out.append(c)
+                state = "code"
+            elif c == "\n":
+                out.append(c)
+                state = "code"  # unterminated literal: bail to code
+            i += 1
+            continue
+        i += 1
+    return "".join(out)
+
+
+@dataclasses.dataclass
+class Pragma:
+    line: int        # 1-based line of the '#pragma'
+    end_line: int    # last physical line (continuations)
+    text: str        # joined clause text after 'omp'
+    allowed: set[str]
+
+
+class FileLinter:
+    def __init__(self, path: pathlib.Path, text: str):
+        self.path = path
+        self.raw_lines = text.splitlines()
+        self.lines = strip_comments(text).splitlines()
+        self.findings: list[Finding] = []
+
+    # ---------------------------------------------------------------- utils
+    def allow_set(self, line_idx: int) -> set[str]:
+        """Suppressions on this raw line or the one above."""
+        allowed: set[str] = set()
+        for idx in (line_idx, line_idx - 1):
+            if 0 <= idx < len(self.raw_lines):
+                m = ALLOW_RE.search(self.raw_lines[idx])
+                if m:
+                    for rule in m.group(1).split(","):
+                        rule = rule.strip()
+                        if rule and rule not in RULES:
+                            self.report(idx + 1, "static-schedule",
+                                        f"unknown rule '{rule}' in cgdnn-lint "
+                                        "suppression")
+                        allowed.add(rule)
+        return allowed
+
+    def report(self, line: int, rule: str, message: str) -> None:
+        self.findings.append(Finding(self.path, line, rule, message))
+
+    def pragmas(self) -> list[Pragma]:
+        result = []
+        i = 0
+        while i < len(self.lines):
+            m = PRAGMA_RE.match(self.lines[i])
+            if not m:
+                i += 1
+                continue
+            start = i
+            clause = m.group("clauses")
+            while clause.rstrip().endswith("\\") and i + 1 < len(self.lines):
+                clause = clause.rstrip()[:-1] + " " + self.lines[i + 1].strip()
+                i += 1
+            result.append(Pragma(start + 1, i + 1, " ".join(clause.split()),
+                                 self.allow_set(start)))
+            i += 1
+        return result
+
+    def match_braces(self, start_idx: int) -> tuple[int, int]:
+        """Extent [open_idx, close_idx] of the first braced block at or after
+        line index start_idx. Returns (-1, -1) if none found."""
+        depth = 0
+        open_idx = -1
+        for idx in range(start_idx, len(self.lines)):
+            for ch in self.lines[idx]:
+                if ch == "{":
+                    if open_idx < 0:
+                        open_idx = idx
+                    depth += 1
+                elif ch == "}" and open_idx >= 0:
+                    depth -= 1
+                    if depth == 0:
+                        return open_idx, idx
+            # Statement ended before any brace: single-statement body.
+            if open_idx < 0 and self.lines[idx].rstrip().endswith(";"):
+                return idx, idx
+        return -1, -1
+
+    # ---------------------------------------------------------------- rules
+    def check_schedule(self, p: Pragma) -> None:
+        if "static-schedule" in p.allowed:
+            return
+        m = SCHEDULE_RE.search(p.text)
+        if m is None:
+            self.report(p.line, "static-schedule",
+                        "worksharing loop without an explicit "
+                        "schedule(static) clause")
+            return
+        kind = m.group("kind")
+        chunk = (m.group("chunk") or "").strip()
+        if kind != "static":
+            self.report(p.line, "static-schedule",
+                        f"schedule({kind}) breaks the deterministic "
+                        "sample-to-thread mapping; use schedule(static)")
+            return
+        if chunk:
+            if chunk != "1" or "ordered" not in p.text.split():
+                self.report(p.line, "static-schedule",
+                            f"schedule(static, {chunk}) is only allowed as "
+                            "schedule(static, 1) on the ordered merge loop")
+
+    def check_region_body(self, p: Pragma, body: str) -> None:
+        if "instrumented-region" not in p.allowed and not any(
+                tok in body for tok in INSTRUMENT_TOKENS):
+            self.report(p.line, "instrumented-region",
+                        "parallel region without ThreadRegionScope/"
+                        "TRACE_SCOPE instrumentation")
+        self.check_unsafe_calls(p, body)
+
+    def check_unsafe_calls(self, p: Pragma, body: str) -> None:
+        if "no-unsafe-calls" in p.allowed:
+            return
+        scrubbed = body.replace(SANCTIONED_RNG, "")
+        m = UNSAFE_CALL_RE.search(scrubbed) or UNSAFE_TYPE_RE.search(scrubbed)
+        if m:
+            self.report(p.line, "no-unsafe-calls",
+                        f"'{m.group(1)}' inside a parallel construct: "
+                        "per-thread nondeterminism breaks serial "
+                        "equivalence (use GlobalRng from serial code)")
+
+    def check_nowait(self, p: Pragma, loop_end: int, region_end: int) -> None:
+        """Lines (loop_end, region_end) after a nowait loop must start with a
+        barrier or a merge before any other statement."""
+        if "nowait-barrier" in p.allowed:
+            return
+        for idx in range(loop_end + 1, region_end):
+            stripped = self.lines[idx].strip()
+            if not stripped or all(ch in "{}" for ch in stripped):
+                continue
+            m = PRAGMA_RE.match(stripped)
+            if m:
+                if "barrier" in m.group("clauses").split():
+                    return
+                continue  # other pragmas (e.g. a following loop) keep scanning
+            if any(tok in stripped for tok in MERGE_TOKENS):
+                return
+            self.report(p.line, "nowait-barrier",
+                        "statement after a nowait worksharing loop without "
+                        "an intervening '#pragma omp barrier' or gradient "
+                        f"merge (line {idx + 1})")
+            return
+
+    # ----------------------------------------------------------------- run
+    def run(self) -> list[Finding]:
+        pragmas = self.pragmas()
+        for p in pragmas:
+            words = p.text.split()
+            if not words:
+                continue
+            is_parallel = words[0] == "parallel"
+            is_loop = words[0] == "for" or (is_parallel and len(words) > 1
+                                            and words[1] == "for")
+            if is_loop:
+                self.check_schedule(p)
+            if is_parallel and not is_loop:
+                open_idx, close_idx = self.match_braces(p.end_line)
+                if open_idx >= 0:
+                    body = "\n".join(self.lines[open_idx:close_idx + 1])
+                    self.check_region_body(p, body)
+                    self.scan_nowait_loops(open_idx, close_idx)
+            elif is_loop:
+                open_idx, close_idx = self.match_braces(p.end_line)
+                if open_idx >= 0:
+                    self.check_unsafe_calls(
+                        p, "\n".join(self.lines[open_idx:close_idx + 1]))
+        return self.findings
+
+    def scan_nowait_loops(self, region_open: int, region_close: int) -> None:
+        idx = region_open
+        while idx <= region_close:
+            m = PRAGMA_RE.match(self.lines[idx])
+            if m:
+                clauses = m.group("clauses")
+                p_line = idx
+                while clauses.rstrip().endswith("\\") and idx + 1 <= region_close:
+                    clauses = clauses.rstrip()[:-1] + " " + self.lines[idx + 1].strip()
+                    idx += 1
+                words = clauses.split()
+                if words and words[0] == "for" and "nowait" in words:
+                    _, loop_close = self.match_braces(idx + 1)
+                    if loop_close > 0:
+                        self.check_nowait(
+                            Pragma(p_line + 1, idx + 1, " ".join(words),
+                                   self.allow_set(p_line)),
+                            loop_close, region_close)
+                        idx = loop_close
+            idx += 1
+
+
+def lint_paths(paths: list[pathlib.Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    files: list[pathlib.Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.cpp")))
+            files.extend(sorted(path.rglob("*.hpp")))
+        else:
+            files.append(path)
+    for f in files:
+        findings.extend(FileLinter(f, f.read_text()).run())
+    return findings
+
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([\w-]+)")
+
+
+def self_test(fixtures_dir: pathlib.Path) -> int:
+    """Every fixture file must produce exactly its declared findings."""
+    failures = 0
+    fixture_files = sorted(fixtures_dir.rglob("*.cpp"))
+    if not fixture_files:
+        print(f"lint_parallel: no fixtures under {fixtures_dir}",
+              file=sys.stderr)
+        return 1
+    for f in fixture_files:
+        text = f.read_text()
+        expected = sorted(EXPECT_RE.findall(text))
+        got = sorted(fi.rule for fi in FileLinter(f, text).run())
+        if expected != got:
+            failures += 1
+            print(f"FAIL {f.name}: expected {expected or ['<clean>']}, "
+                  f"got {got or ['<clean>']}")
+        else:
+            print(f"ok   {f.name}: {expected or ['clean']}")
+    print(f"lint_parallel self-test: {len(fixture_files) - failures}/"
+          f"{len(fixture_files)} fixtures passed")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    args = argv[1:]
+    if "--self-test" in args:
+        args.remove("--self-test")
+        fixtures = pathlib.Path(args[0]) if args else (
+            repo_root / "tools" / "lint_fixtures")
+        return self_test(fixtures)
+    paths = [pathlib.Path(a) for a in args] or [repo_root / "src"]
+    for p in paths:
+        if not p.exists():
+            print(f"lint_parallel: no such path: {p}", file=sys.stderr)
+            return 2
+    findings = lint_paths(paths)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_parallel: {len(findings)} finding(s)")
+        return 1
+    print("lint_parallel: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

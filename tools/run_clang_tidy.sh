@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# clang-tidy driver for the cgdnn tree (config in .clang-tidy).
+#
+# Usage: run_clang_tidy.sh [--subset] [build-dir]
+#
+#   --subset    only the concurrency-critical sources (parallel/, check/,
+#               layer parallel paths) — what the clang_tidy_parallel ctest
+#               case runs; the full tree is the default for local use.
+#   build-dir   directory holding compile_commands.json (default: build).
+#
+# Exits 0 when clang-tidy reports nothing, 1 on findings, 2 when the
+# prerequisites (clang-tidy, compile database) are missing.
+set -u
+
+subset=0
+if [[ "${1:-}" == "--subset" ]]; then
+  subset=1
+  shift
+fi
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH" >&2
+  exit 2
+fi
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy: ${build_dir}/compile_commands.json missing —" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+if [[ ${subset} -eq 1 ]]; then
+  mapfile -t files < <(
+    find "${repo_root}/src/cgdnn/parallel" "${repo_root}/src/cgdnn/check" \
+         "${repo_root}/src/cgdnn/layers" -name '*.cpp' | sort)
+else
+  mapfile -t files < <(find "${repo_root}/src" -name '*.cpp' | sort)
+fi
+
+status=0
+for f in "${files[@]}"; do
+  # --quiet keeps the per-file banner out; findings still print in full.
+  if ! clang-tidy --quiet -p "${build_dir}" "$f"; then
+    status=1
+  fi
+done
+
+if [[ ${status} -eq 0 ]]; then
+  echo "run_clang_tidy: clean (${#files[@]} files)"
+else
+  echo "run_clang_tidy: findings reported" >&2
+fi
+exit ${status}
