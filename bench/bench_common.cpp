@@ -6,6 +6,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "cgdnn/core/buildinfo.hpp"
 #include "cgdnn/core/rng.hpp"
 #include "cgdnn/data/dataset.hpp"
 #include "cgdnn/parallel/context.hpp"
@@ -260,7 +261,9 @@ bool BenchReport::Write(const std::string& bench_name) {
     rows_.clear();
     return false;
   }
-  out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"rows\": [";
+  out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"meta\": ";
+  buildinfo::WriteMetaJson(out);
+  out << ",\n  \"rows\": [";
   out << std::setprecision(15);
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     const Row& r = rows_[i];

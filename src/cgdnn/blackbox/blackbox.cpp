@@ -1,0 +1,646 @@
+#include "cgdnn/blackbox/blackbox.hpp"
+
+#if CGDNN_BLACKBOX_ENABLED
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cgdnn/blackbox/dump_format.hpp"
+#include "cgdnn/core/buildinfo.hpp"
+#include "cgdnn/core/common.hpp"
+
+namespace cgdnn::blackbox {
+
+namespace {
+
+// Static budgets. Everything the crash handler touches is preallocated and
+// fixed-size: the handler must not malloc, lock, or run constructors.
+constexpr std::uint32_t kMaxThreads = 256;
+constexpr std::uint32_t kMaxNames = 512;
+constexpr std::uint32_t kNameHashSize = 1024;  // power of two, > 2*kMaxNames
+constexpr std::uint32_t kMaxDepth = 4;
+constexpr std::uint64_t kDefaultRingEvents = 4096;
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "ring slots must be plain words for the write(2) dump path");
+static_assert(sizeof(std::atomic<std::uint64_t>) == sizeof(std::uint64_t));
+
+/// One thread's event ring plus its watchdog-visible position stack.
+/// Producer: the owning thread (relaxed word stores, release head publish).
+/// Consumers: crash handler / watchdog (acquire head, relaxed word loads) —
+/// they only read, so SPSC discipline holds.
+struct Ring {
+  explicit Ring(std::uint32_t tid_in, std::uint64_t capacity_in)
+      : tid(tid_in),
+        capacity(capacity_in),
+        mask(capacity_in - 1),
+        words(new std::atomic<std::uint64_t>[capacity_in * 4]()) {}
+
+  const std::uint32_t tid;
+  const std::uint64_t capacity;  // power of two
+  const std::uint64_t mask;
+  std::atomic<std::uint64_t> head{0};  // total events ever recorded
+  std::atomic<std::uint64_t> last_event_ns{0};
+  std::atomic<std::uint32_t> depth{0};  // open positions (may exceed kMaxDepth)
+  std::atomic<std::uint64_t> pos_packed[kMaxDepth] = {};  // (name_id<<32)|kind
+  std::atomic<std::uint64_t> pos_t_ns[kMaxDepth] = {};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words;  // 4 per slot
+};
+
+// --- Global recorder state ------------------------------------------------
+
+// Armed state: 0 = not yet read from environment, 1 = on, 2 = off.
+std::atomic<int> g_armed{0};
+std::atomic<std::uint64_t> g_generation{1};  // bumped by ResetForTest
+std::uint64_t g_capacity = kDefaultRingEvents;
+
+std::mutex g_register_mutex;  // thread registration + arming (cold paths)
+std::atomic<Ring*> g_rings[kMaxThreads] = {};
+std::atomic<std::uint32_t> g_ring_count{0};
+std::vector<std::unique_ptr<Ring>> g_ring_owner;  // under g_register_mutex
+
+// Interned names. The char table is what the dump writer emits verbatim;
+// the hash table maps name *content* (not pointers — span names are
+// dynamically built strings) to ids lock-free. Slot values are shifted so
+// zero-initialized storage reads as empty:
+//   0 = empty, 1 = claiming (winner is copying the name), v >= 2 = id v-2.
+char g_names[kMaxNames][64] = {};
+std::atomic<std::uint32_t> g_name_count{0};
+std::atomic<std::uint32_t> g_name_slots[kNameHashSize] = {};
+constexpr std::uint32_t kSlotEmpty = 0;
+constexpr std::uint32_t kSlotClaiming = 1;
+
+// Solver heartbeat slot (one solver per process is the repo's model).
+std::atomic<std::uint64_t> g_solver_iter{kNoIteration};
+std::atomic<std::uint64_t> g_solver_begin_ns{0};
+std::atomic<bool> g_solver_open{false};
+
+// Dump machinery. First dump wins: a watchdog dump must not be clobbered by
+// the SIGABRT the watchdog then raises, and a crashing thread must not race
+// a second crashing thread.
+std::atomic<bool> g_dumped{false};
+std::atomic<bool> g_prepared{false};  // path + meta buffers ready
+char g_dump_path[1024] = {};
+char g_meta[2048] = {};
+std::uint64_t g_meta_len = 0;
+bool g_handlers_installed = false;  // under g_register_mutex
+
+// Fault injection (drills). Read from the environment at arming time.
+bool g_inject_any = false;
+char g_crash_region[64] = {};
+bool g_crash_in_iter = false;  // CGDNN_BLACKBOX_CRASH_IN_ITERATION
+char g_stall_region[64] = {};
+std::uint64_t g_stall_ms = 0;
+std::atomic<bool> g_stall_done{false};
+
+// Per-thread state. Constant-initialized POD: no TLS guard, safe to read
+// from a signal handler once the thread has recorded at least one event.
+struct ThreadState {
+  Ring* ring;
+  std::uint64_t generation;
+  std::uint32_t tid;
+};
+thread_local ThreadState t_state{nullptr, 0, kNoThread};
+
+bool ArmSlow() {
+  std::lock_guard<std::mutex> lock(g_register_mutex);
+  int armed = g_armed.load(std::memory_order_relaxed);
+  if (armed != 0) return armed == 1;
+
+  const char* env = std::getenv("CGDNN_BLACKBOX");
+  bool on = true;
+  if (env != nullptr &&
+      (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+       std::strcmp(env, "false") == 0)) {
+    on = false;
+  }
+
+  g_capacity = kDefaultRingEvents;
+  if (const char* cap = std::getenv("CGDNN_BLACKBOX_RING")) {
+    const std::uint64_t parsed = std::strtoull(cap, nullptr, 10);
+    if (parsed >= 16) g_capacity = parsed;
+  }
+  g_capacity = std::bit_ceil(g_capacity);
+
+  g_crash_region[0] = '\0';
+  g_stall_region[0] = '\0';
+  g_stall_ms = 0;
+  if (const char* r = std::getenv("CGDNN_BLACKBOX_CRASH_REGION")) {
+    std::strncpy(g_crash_region, r, sizeof(g_crash_region) - 1);
+    // Hold the crash until a solver iteration is open, so the dump also
+    // carries the "last solver iteration" forensics the drill asserts on
+    // (setup/warmup passes hit the region first otherwise).
+    g_crash_in_iter =
+        std::getenv("CGDNN_BLACKBOX_CRASH_IN_ITERATION") != nullptr;
+  }
+  if (const char* r = std::getenv("CGDNN_BLACKBOX_STALL_REGION")) {
+    std::strncpy(g_stall_region, r, sizeof(g_stall_region) - 1);
+    if (const char* ms = std::getenv("CGDNN_BLACKBOX_STALL_MS")) {
+      g_stall_ms = std::strtoull(ms, nullptr, 10);
+    }
+    if (g_stall_ms == 0) g_stall_ms = 2000;
+  }
+  g_inject_any = g_crash_region[0] != '\0' || g_stall_region[0] != '\0';
+
+  // Reserve the last name slot as the overflow bucket so Record never has
+  // to fail when the intern table fills up.
+  std::strncpy(g_names[kMaxNames - 1], "<overflow>",
+               sizeof(g_names[kMaxNames - 1]) - 1);
+
+  g_armed.store(on ? 1 : 2, std::memory_order_release);
+  return on;
+}
+
+inline bool Armed() {
+  const int armed = g_armed.load(std::memory_order_acquire);
+  if (armed != 0) return armed == 1;
+  return ArmSlow();
+}
+
+Ring* RegisterThread() {
+  std::lock_guard<std::mutex> lock(g_register_mutex);
+  const std::uint32_t idx = g_ring_count.load(std::memory_order_relaxed);
+  if (idx >= kMaxThreads) return nullptr;
+  auto ring = std::make_unique<Ring>(idx, g_capacity);
+  Ring* raw = ring.get();
+  g_ring_owner.push_back(std::move(ring));
+  g_rings[idx].store(raw, std::memory_order_release);
+  g_ring_count.store(idx + 1, std::memory_order_release);
+  t_state = {raw, g_generation.load(std::memory_order_relaxed), idx};
+  return raw;
+}
+
+inline Ring* CurrentRing() {
+  Ring* ring = t_state.ring;
+  if (ring != nullptr &&
+      t_state.generation == g_generation.load(std::memory_order_relaxed)) {
+    return ring;
+  }
+  return RegisterThread();
+}
+
+std::uint32_t InternName(const char* name) {
+  // Open-addressed content hash. Names are short (<64 chars, truncated to
+  // the table width) and few (tens of call sites), so the fast path is one
+  // FNV hash and one probe; no locks anywhere.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  std::size_t len = 0;
+  for (const char* p = name; *p != '\0' && len < 63; ++p, ++len) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001b3ull;
+  }
+  for (std::uint32_t probe = 0; probe < kNameHashSize; ++probe) {
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(h + probe) & (kNameHashSize - 1);
+    std::uint32_t existing = g_name_slots[slot].load(std::memory_order_acquire);
+    if (existing == kSlotEmpty) {
+      if (g_name_slots[slot].compare_exchange_strong(
+              existing, kSlotClaiming, std::memory_order_acq_rel)) {
+        std::uint32_t id = g_name_count.fetch_add(1, std::memory_order_relaxed);
+        if (id >= kMaxNames - 1) {
+          id = kMaxNames - 1;  // shared overflow bucket
+        } else {
+          std::memcpy(g_names[id], name, len);  // table is zero-initialized
+        }
+        g_name_slots[slot].store(id + 2, std::memory_order_release);
+        return id;
+      }
+    }
+    while ((existing = g_name_slots[slot].load(std::memory_order_acquire)) ==
+           kSlotClaiming) {
+      // The claiming thread is between CAS and publication; momentary.
+    }
+    const std::uint32_t id = existing - 2;
+    if (std::strncmp(g_names[id], name, 63) == 0) return id;
+    // A different name hashed to this slot: keep probing.
+  }
+  return kMaxNames - 1;
+}
+
+inline void RecordInRing(Ring* ring, EventKind kind, std::uint32_t name_id,
+                         std::uint64_t t_ns, std::uint64_t a,
+                         std::uint64_t b) {
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  std::atomic<std::uint64_t>* w = &ring->words[(head & ring->mask) * 4];
+  w[0].store(t_ns, std::memory_order_relaxed);
+  w[1].store(PackEvent(static_cast<std::uint16_t>(kind), ring->tid, name_id),
+             std::memory_order_relaxed);
+  w[2].store(a, std::memory_order_relaxed);
+  w[3].store(b, std::memory_order_relaxed);
+  ring->last_event_ns.store(t_ns, std::memory_order_relaxed);
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+void MaybeInject(EventKind kind, const char* name) {
+  if (kind == EventKind::kChunkBegin && g_crash_region[0] != '\0' &&
+      t_state.tid == 0 && std::strcmp(name, g_crash_region) == 0 &&
+      (!g_crash_in_iter || g_solver_open.load(std::memory_order_relaxed))) {
+    volatile int* null_page = nullptr;
+    *null_page = 42;  // SIGSEGV mid-region, by request (crash drill)
+  }
+  if ((kind == EventKind::kMergeBegin || kind == EventKind::kChunkBegin) &&
+      g_stall_region[0] != '\0' && std::strcmp(name, g_stall_region) == 0 &&
+      !g_stall_done.exchange(true, std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(g_stall_ms));
+  }
+}
+
+// --- Dump writing ---------------------------------------------------------
+
+bool WriteFull(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Single static batch buffer for event copy-out. Safe without locking:
+/// g_dumped guarantees at most one dump ever runs.
+EventRecord g_scratch[256];
+
+/// The actual dump. Async-signal-safe: open/write/close, static tables,
+/// stack PODs — no allocation, locks, or iostreams. Caller must have won
+/// the g_dumped exchange and ensured g_prepared (path + meta) beforehand.
+bool WriteDump(DumpReason reason, int signo, std::uint32_t crash_tid) {
+  const int fd =
+      ::open(g_dump_path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  const std::uint32_t nthreads =
+      std::min(g_ring_count.load(std::memory_order_acquire), kMaxThreads);
+  const std::uint32_t nnames =
+      std::min(g_name_count.load(std::memory_order_acquire), kMaxNames);
+
+  DumpHeader hdr = {};
+  std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+  hdr.version = kFormatVersion;
+  hdr.reason = static_cast<std::uint32_t>(reason);
+  hdr.pid = static_cast<std::uint64_t>(::getpid());
+  hdr.dump_t_ns = MonotonicNowNs();
+  hdr.thread_count = nthreads;
+  hdr.name_count = nnames;
+  hdr.crash_tid = crash_tid;
+  hdr.signo = static_cast<std::uint32_t>(signo);
+  hdr.solver_iter = g_solver_iter.load(std::memory_order_relaxed);
+  hdr.meta_bytes = g_meta_len;
+
+  bool ok = WriteFull(fd, &hdr, sizeof(hdr));
+  ok = ok && WriteFull(fd, g_meta, g_meta_len);
+  ok = ok && WriteFull(fd, g_names, static_cast<std::size_t>(nnames) * 64);
+
+  for (std::uint32_t t = 0; ok && t < nthreads; ++t) {
+    Ring* ring = g_rings[t].load(std::memory_order_acquire);
+    if (ring == nullptr) break;  // registration raced the dump; stop here
+
+    ThreadHeader th = {};
+    th.tid = ring->tid;
+    th.head = ring->head.load(std::memory_order_acquire);
+    th.capacity = ring->capacity;
+    th.last_event_ns = ring->last_event_ns.load(std::memory_order_relaxed);
+    th.position_depth =
+        std::min(ring->depth.load(std::memory_order_acquire), kMaxDepth);
+    for (std::uint32_t d = 0; d < th.position_depth; ++d) {
+      th.position[d] = ring->pos_packed[d].load(std::memory_order_relaxed);
+      th.position_t_ns[d] = ring->pos_t_ns[d].load(std::memory_order_relaxed);
+    }
+    ok = WriteFull(fd, &th, sizeof(th));
+
+    const std::uint64_t count = std::min(th.head, ring->capacity);
+    const std::uint64_t start = th.head - count;
+    std::uint64_t written = 0;
+    while (ok && written < count) {
+      const std::uint64_t batch =
+          std::min<std::uint64_t>(count - written, 256);
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        const std::uint64_t slot = (start + written + i) & ring->mask;
+        std::atomic<std::uint64_t>* w = &ring->words[slot * 4];
+        g_scratch[i].t_ns = w[0].load(std::memory_order_relaxed);
+        g_scratch[i].packed = w[1].load(std::memory_order_relaxed);
+        g_scratch[i].a = w[2].load(std::memory_order_relaxed);
+        g_scratch[i].b = w[3].load(std::memory_order_relaxed);
+      }
+      ok = WriteFull(fd, g_scratch,
+                     static_cast<std::size_t>(batch) * sizeof(EventRecord));
+      written += batch;
+    }
+  }
+  ::close(fd);
+  return ok;
+}
+
+/// Build the dump path and meta JSON buffers. NOT signal-safe (snprintf,
+/// string building) — called from InstallCrashHandlers / DumpNow, which run
+/// in normal context; the signal handler only ever reads the result.
+void PrepareDump(const char* requested_path) {
+  if (requested_path != nullptr && requested_path[0] != '\0') {
+    const std::size_t len = std::strlen(requested_path);
+    if (requested_path[len - 1] == '/') {
+      std::snprintf(g_dump_path, sizeof(g_dump_path), "%sblackbox-%d.bin",
+                    requested_path, static_cast<int>(::getpid()));
+    } else {
+      std::snprintf(g_dump_path, sizeof(g_dump_path), "%s", requested_path);
+    }
+  } else if (g_dump_path[0] == '\0') {
+    std::snprintf(g_dump_path, sizeof(g_dump_path), "blackbox-%d.bin",
+                  static_cast<int>(::getpid()));
+  }
+  const std::string meta = buildinfo::MetaJson();
+  g_meta_len = std::min(meta.size(), sizeof(g_meta));
+  std::memcpy(g_meta, meta.data(), g_meta_len);
+  g_prepared.store(true, std::memory_order_release);
+}
+
+void EnsurePrepared() {
+  if (g_prepared.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(g_register_mutex);
+  if (!g_prepared.load(std::memory_order_relaxed)) PrepareDump(nullptr);
+}
+
+extern "C" void CgdnnBlackboxOnFatalSignal(int signo) {
+  if (!g_dumped.exchange(true, std::memory_order_acq_rel) &&
+      g_prepared.load(std::memory_order_acquire)) {
+    WriteDump(DumpReason::kSignal, signo, t_state.tid);
+  }
+  // Restore the default disposition and re-deliver so the process still
+  // dies (and cores) the way it would have without us.
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+// --- Watchdog -------------------------------------------------------------
+
+struct Watchdog {
+  std::thread thread;
+  std::atomic<bool> stop{false};
+  WatchdogOptions options;
+  bool running = false;  // under g_register_mutex
+};
+Watchdog g_watchdog;
+
+void ReportStall(const char* site, std::uint64_t age_ns) {
+  if (g_watchdog.options.on_stall != nullptr) {
+    g_watchdog.options.on_stall(site, age_ns);
+  }
+  DumpNow(DumpReason::kWatchdog);
+  if (g_watchdog.options.abort_on_stall) {
+    // g_dumped is already set, so the SIGABRT handler cannot clobber the
+    // forensics we just wrote.
+    std::fprintf(stderr,
+                 "cgdnn_blackbox: watchdog stall at %s (%.1fs); dump: %s\n",
+                 site, static_cast<double>(age_ns) * 1e-9, g_dump_path);
+    std::abort();
+  }
+}
+
+void WatchdogLoop() {
+  const std::uint64_t deadline = g_watchdog.options.deadline_ns;
+  const auto poll = std::chrono::nanoseconds(
+      std::min<std::uint64_t>(deadline / 4, 250'000'000ull));
+  while (!g_watchdog.stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(poll);
+    if (g_watchdog.stop.load(std::memory_order_acquire)) return;
+
+    const std::uint64_t now = MonotonicNowNs();
+    const std::uint32_t nthreads =
+        std::min(g_ring_count.load(std::memory_order_acquire), kMaxThreads);
+
+    // A stall is OPEN work with no progress: we age a position against the
+    // later of its entry time and the thread's most recent event, so a
+    // long-but-active region never trips. An idle process (no open
+    // positions, no open iteration) can never trip.
+    std::uint64_t global_last = 0;
+    for (std::uint32_t t = 0; t < nthreads; ++t) {
+      Ring* ring = g_rings[t].load(std::memory_order_acquire);
+      if (ring == nullptr) continue;
+      global_last = std::max(
+          global_last, ring->last_event_ns.load(std::memory_order_relaxed));
+    }
+
+    char site[160];
+    for (std::uint32_t t = 0; t < nthreads; ++t) {
+      Ring* ring = g_rings[t].load(std::memory_order_acquire);
+      if (ring == nullptr) continue;
+      const std::uint32_t depth =
+          std::min(ring->depth.load(std::memory_order_acquire), kMaxDepth);
+      const std::uint64_t last =
+          ring->last_event_ns.load(std::memory_order_relaxed);
+      // Innermost-first: every enclosing position of a stalled site is
+      // stale too, but the deepest one names where the thread actually is.
+      for (std::uint32_t d = depth; d-- > 0;) {
+        const std::uint64_t packed =
+            ring->pos_packed[d].load(std::memory_order_relaxed);
+        const std::uint64_t since =
+            ring->pos_t_ns[d].load(std::memory_order_relaxed);
+        const std::uint64_t ref = std::max(since, last);
+        if (now <= ref + deadline) continue;
+        const std::uint32_t name_id =
+            static_cast<std::uint32_t>(packed >> 32);
+        const char* name = name_id < kMaxNames ? g_names[name_id] : "?";
+        std::snprintf(site, sizeof(site), "%s [%s] tid=%u", name,
+                      KindName(static_cast<EventKind>(
+                          static_cast<std::uint16_t>(packed))),
+                      ring->tid);
+        ReportStall(site, now - ref);
+        return;  // one trip per watchdog lifetime
+      }
+    }
+
+    if (g_solver_open.load(std::memory_order_acquire)) {
+      const std::uint64_t ref = std::max(
+          g_solver_begin_ns.load(std::memory_order_relaxed), global_last);
+      if (now > ref + deadline) {
+        std::snprintf(site, sizeof(site), "solver iteration %llu",
+                      static_cast<unsigned long long>(
+                          g_solver_iter.load(std::memory_order_relaxed)));
+        ReportStall(site, now - ref);
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* KindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpanBegin: return "span_begin";
+    case EventKind::kSpanEnd: return "span_end";
+    case EventKind::kRegionBegin: return "region_begin";
+    case EventKind::kRegionEnd: return "region_end";
+    case EventKind::kChunkBegin: return "chunk_begin";
+    case EventKind::kChunkEnd: return "chunk_end";
+    case EventKind::kMergeBegin: return "merge_begin";
+    case EventKind::kMergeEnd: return "merge_end";
+    case EventKind::kSolverIterBegin: return "solver_iter_begin";
+    case EventKind::kSolverIterEnd: return "solver_iter_end";
+    case EventKind::kCheckpointBegin: return "checkpoint_begin";
+    case EventKind::kCheckpointEnd: return "checkpoint_end";
+    case EventKind::kViolation: return "violation";
+    case EventKind::kLayerBegin: return "layer_begin";
+    case EventKind::kLayerEnd: return "layer_end";
+    default: return "unknown";
+  }
+}
+
+bool Enabled() { return Armed(); }
+
+void Record(EventKind kind, const char* name, std::uint64_t a,
+            std::uint64_t b) {
+  if (!Armed()) return;
+  Ring* ring = CurrentRing();
+  if (ring == nullptr) return;
+  RecordInRing(ring, kind, InternName(name), MonotonicNowNs(), a, b);
+}
+
+void PushPosition(EventKind begin_kind, const char* name, std::uint64_t a,
+                  std::uint64_t b) {
+  if (!Armed()) return;
+  Ring* ring = CurrentRing();
+  if (ring == nullptr) return;
+  const std::uint64_t now = MonotonicNowNs();
+  const std::uint32_t name_id = InternName(name);
+  RecordInRing(ring, begin_kind, name_id, now, a, b);
+  const std::uint32_t depth = ring->depth.load(std::memory_order_relaxed);
+  if (depth < kMaxDepth) {
+    ring->pos_packed[depth].store(
+        (static_cast<std::uint64_t>(name_id) << 32) |
+            static_cast<std::uint16_t>(begin_kind),
+        std::memory_order_relaxed);
+    ring->pos_t_ns[depth].store(now, std::memory_order_relaxed);
+  }
+  ring->depth.store(depth + 1, std::memory_order_release);
+  if (g_inject_any) MaybeInject(begin_kind, name);
+}
+
+void PopPosition(EventKind end_kind, const char* name, std::uint64_t a,
+                 std::uint64_t b) {
+  if (!Armed()) return;
+  Ring* ring = CurrentRing();
+  if (ring == nullptr) return;
+  RecordInRing(ring, end_kind, InternName(name), MonotonicNowNs(), a, b);
+  const std::uint32_t depth = ring->depth.load(std::memory_order_relaxed);
+  if (depth > 0) ring->depth.store(depth - 1, std::memory_order_release);
+}
+
+void BeginSolverIteration(std::uint64_t iter) {
+  if (!Armed()) return;
+  g_solver_iter.store(iter, std::memory_order_relaxed);
+  g_solver_begin_ns.store(MonotonicNowNs(), std::memory_order_relaxed);
+  g_solver_open.store(true, std::memory_order_release);
+  Record(EventKind::kSolverIterBegin, "solver.iteration", iter);
+}
+
+void EndSolverIteration(std::uint64_t iter, double loss) {
+  if (!Armed()) return;
+  Record(EventKind::kSolverIterEnd, "solver.iteration", iter,
+         std::bit_cast<std::uint64_t>(loss));
+  g_solver_open.store(false, std::memory_order_release);
+}
+
+void InstallCrashHandlers(const std::string& dump_path) {
+  if (!Armed()) return;
+  std::lock_guard<std::mutex> lock(g_register_mutex);
+  PrepareDump(dump_path.c_str());
+  if (g_handlers_installed) return;
+  struct sigaction action = {};
+  action.sa_handler = &CgdnnBlackboxOnFatalSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  for (const int signo : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT}) {
+    ::sigaction(signo, &action, nullptr);
+  }
+  g_handlers_installed = true;
+}
+
+bool DumpNow(DumpReason reason) {
+  if (!Armed()) return false;
+  EnsurePrepared();
+  if (g_dumped.exchange(true, std::memory_order_acq_rel)) return false;
+  return WriteDump(reason, 0, kNoThread);
+}
+
+std::string DumpPath() {
+  if (!Armed()) return {};
+  EnsurePrepared();
+  return g_dump_path;
+}
+
+void StartWatchdog(const WatchdogOptions& options) {
+  if (!Armed() || options.deadline_ns == 0) return;
+  std::lock_guard<std::mutex> lock(g_register_mutex);
+  if (g_watchdog.running) return;
+  g_watchdog.options = options;
+  g_watchdog.stop.store(false, std::memory_order_release);
+  g_watchdog.thread = std::thread(WatchdogLoop);
+  g_watchdog.running = true;
+}
+
+void StopWatchdog() {
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lock(g_register_mutex);
+    if (!g_watchdog.running) return;
+    g_watchdog.stop.store(true, std::memory_order_release);
+    joinable = std::move(g_watchdog.thread);
+    g_watchdog.running = false;
+  }
+  joinable.join();
+}
+
+void ResetForTest() {
+  StopWatchdog();
+  std::lock_guard<std::mutex> lock(g_register_mutex);
+  for (auto& slot : g_rings) slot.store(nullptr, std::memory_order_relaxed);
+  g_ring_count.store(0, std::memory_order_relaxed);
+  g_ring_owner.clear();
+  for (auto& slot : g_name_slots) {
+    slot.store(kSlotEmpty, std::memory_order_relaxed);
+  }
+  std::memset(g_names, 0, sizeof(g_names));
+  g_name_count.store(0, std::memory_order_relaxed);
+  g_solver_iter.store(kNoIteration, std::memory_order_relaxed);
+  g_solver_open.store(false, std::memory_order_relaxed);
+  g_dumped.store(false, std::memory_order_relaxed);
+  g_prepared.store(false, std::memory_order_relaxed);
+  g_dump_path[0] = '\0';
+  g_stall_done.store(false, std::memory_order_relaxed);
+  // Bump the generation so live threads' cached ring pointers re-register,
+  // then re-read the environment on the next Armed() call.
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  g_armed.store(0, std::memory_order_release);
+}
+
+std::uint64_t RingCapacityForTest() {
+  if (!Armed()) return 0;
+  return g_capacity;
+}
+
+}  // namespace cgdnn::blackbox
+
+#else  // !CGDNN_BLACKBOX_ENABLED
+
+namespace cgdnn::blackbox {
+
+const char* KindName(EventKind) { return "unknown"; }
+
+}  // namespace cgdnn::blackbox
+
+#endif  // CGDNN_BLACKBOX_ENABLED

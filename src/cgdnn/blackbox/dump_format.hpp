@@ -1,0 +1,96 @@
+// On-disk layout of `blackbox-<pid>.bin` dumps, shared by the recorder's
+// async-signal-safe writer and the tools/cgdnn_blackbox decoder.
+//
+// Everything is little-endian, naturally aligned, fixed-size — the crash
+// handler memcpy-free-writes these structs straight from static storage.
+// Layout, in file order:
+//
+//   DumpHeader
+//   meta JSON              [DumpHeader.meta_bytes]  (no NUL)
+//   NameRecord             x DumpHeader.name_count
+//   per thread:            x DumpHeader.thread_count
+//     ThreadHeader
+//     EventRecord          x min(head, capacity)   (oldest -> newest)
+//
+// The decoder must tolerate truncation anywhere after the header: a crash
+// while dumping (or a dump racing live producers) can tear the final
+// records. Sanity rules for salvage: kind must be < kMax and nonzero,
+// name_id < name_count.
+#pragma once
+
+#include <cstdint>
+
+namespace cgdnn::blackbox {
+
+inline constexpr char kMagic[8] = {'C', 'G', 'D', 'N', 'N', 'B', 'B', 'X'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Sentinel for "no crashing thread" / "no solver iteration yet".
+inline constexpr std::uint32_t kNoThread = 0xffffffffu;
+inline constexpr std::uint64_t kNoIteration = ~0ull;
+
+struct DumpHeader {
+  char magic[8];               ///< kMagic
+  std::uint32_t version;       ///< kFormatVersion
+  std::uint32_t reason;        ///< DumpReason
+  std::uint64_t pid;
+  std::uint64_t dump_t_ns;     ///< MonotonicNowNs at dump time
+  std::uint32_t thread_count;  ///< ThreadHeader sections that follow names
+  std::uint32_t name_count;    ///< NameRecord entries
+  std::uint32_t crash_tid;     ///< recorder tid that took the signal, or kNoThread
+  std::uint32_t signo;         ///< signal number for kSignal dumps, else 0
+  std::uint64_t solver_iter;   ///< last begun solver iteration, or kNoIteration
+  std::uint64_t meta_bytes;    ///< length of the meta JSON section
+};
+static_assert(sizeof(DumpHeader) == 64, "dump header layout is part of the format");
+
+/// Interned name table entry: fixed-width, NUL-padded.
+struct NameRecord {
+  char name[64];
+};
+static_assert(sizeof(NameRecord) == 64);
+
+/// One recorder thread's section header.
+struct ThreadHeader {
+  std::uint32_t tid;            ///< recorder-assigned dense id (0-based)
+  std::uint32_t position_depth; ///< open positions at dump time (<= kMaxDepth)
+  std::uint64_t head;           ///< total events ever recorded by this thread
+  std::uint64_t capacity;       ///< ring capacity; event_count = min(head, capacity)
+  std::uint64_t last_event_ns;  ///< timestamp of the newest event
+  /// Open-position stack, innermost last: packed as (name_id << 32) | kind
+  /// in `position[i]`, entry timestamp in `position_t_ns[i]`.
+  std::uint64_t position[4];
+  std::uint64_t position_t_ns[4];
+};
+static_assert(sizeof(ThreadHeader) == 96);
+
+/// One ring slot. 32 bytes; in memory the same four words live in
+/// std::atomic<uint64_t> (lock-free => layout-identical to uint64_t).
+///   w0 = t_ns
+///   w1 = (kind << 48) | (tid << 32) | name_id
+///   w2 = a
+///   w3 = b
+struct EventRecord {
+  std::uint64_t t_ns;
+  std::uint64_t packed;
+  std::uint64_t a;
+  std::uint64_t b;
+};
+static_assert(sizeof(EventRecord) == 32);
+
+inline std::uint64_t PackEvent(std::uint16_t kind, std::uint32_t tid,
+                               std::uint32_t name_id) {
+  return (static_cast<std::uint64_t>(kind) << 48) |
+         (static_cast<std::uint64_t>(tid & 0xffffu) << 32) | name_id;
+}
+inline std::uint16_t EventKindOf(std::uint64_t packed) {
+  return static_cast<std::uint16_t>(packed >> 48);
+}
+inline std::uint32_t EventTidOf(std::uint64_t packed) {
+  return static_cast<std::uint32_t>((packed >> 32) & 0xffffu);
+}
+inline std::uint32_t EventNameOf(std::uint64_t packed) {
+  return static_cast<std::uint32_t>(packed & 0xffffffffu);
+}
+
+}  // namespace cgdnn::blackbox

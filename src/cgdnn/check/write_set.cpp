@@ -7,7 +7,15 @@
 #include <exception>
 #include <sstream>
 
+#include "cgdnn/blackbox/blackbox.hpp"
+
 namespace cgdnn::check {
+
+namespace {
+// kViolation event `a` values (decoder renders these).
+constexpr std::uint64_t kViolationMissingBarrier = 1;
+constexpr std::uint64_t kViolationOverlappingWrites = 2;
+}  // namespace
 
 namespace {
 
@@ -101,6 +109,11 @@ void WriteSetChecker::BeginMerge(int tid) {
          << " had not finished its write phase — the explicit barrier "
             "between the nowait worksharing loop and the merge is missing";
       merge_violation_ = os.str();
+      // Park in the flight recorder immediately: the throw happens later,
+      // at region end, and the process may crash before reaching it.
+      blackbox::Record(blackbox::EventKind::kViolation, region_.c_str(),
+                       kViolationMissingBarrier,
+                       static_cast<std::uint64_t>(tid));
     }
     return;
   }
@@ -154,6 +167,9 @@ void WriteSetChecker::Verify() {
       for (std::size_t i = 1; i < all.size(); ++i) {
         const Tagged& cur = all[i];
         if (cur.tid != active.tid && cur.iv.begin < active.iv.end) {
+          blackbox::Record(blackbox::EventKind::kViolation, region_.c_str(),
+                           kViolationOverlappingWrites,
+                           static_cast<std::uint64_t>(cur.tid));
           CGDNN_CHECK(false)
               << "cgdnn-check: region '" << region_ << "' blob '"
               << cur.blob << "': overlapping thread write sets — thread "

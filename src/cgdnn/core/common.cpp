@@ -1,6 +1,16 @@
 #include "cgdnn/core/common.hpp"
 
+#include <chrono>
+
 namespace cgdnn {
+
+std::uint64_t MonotonicNowNs() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
 
 std::string Error::Format(const char* file, int line, const std::string& msg) {
   std::ostringstream os;

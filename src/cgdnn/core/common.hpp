@@ -93,6 +93,12 @@ std::unique_ptr<std::string> MakeCheckOpString(const A& a, const B& b,
 #define CGDNN_NOT_IMPLEMENTED \
   CGDNN_CHECK(false) << "not implemented"
 
+/// Nanoseconds since the process-wide monotonic epoch (pinned on first
+/// call). Every timing subsystem — the span tracer, the flight recorder,
+/// the profiler-independent watchdog — shares this epoch so their
+/// timestamps line up when merged into one timeline.
+std::uint64_t MonotonicNowNs();
+
 /// Phase of network execution, mirroring Caffe's caffe::Phase.
 enum class Phase { kTrain, kTest };
 

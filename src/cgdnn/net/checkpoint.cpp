@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <string>
 
+#include "cgdnn/blackbox/blackbox.hpp"
 #include "cgdnn/data/io.hpp"
 
 namespace cgdnn {
@@ -152,6 +153,8 @@ void SaveCheckpoint(const std::string& path, const std::string& solver_type,
                     std::uint64_t param_digest,
                     const CheckpointMeta<Dtype>& meta, const Net<Dtype>& net,
                     const std::vector<SolverStateGroup<Dtype>>& groups) {
+  blackbox::Record(blackbox::EventKind::kCheckpointBegin, "checkpoint.save",
+                   static_cast<std::uint64_t>(meta.iter));
   ByteWriter file;
   file.Raw(kMagic, sizeof(kMagic));
   file.Pod(kVersion);
@@ -231,6 +234,9 @@ void SaveCheckpoint(const std::string& path, const std::string& solver_type,
   file.Pod(crc);
 
   data::WriteFileAtomic(path, file.bytes());
+  blackbox::Record(blackbox::EventKind::kCheckpointEnd, "checkpoint.save",
+                   static_cast<std::uint64_t>(meta.iter),
+                   file.bytes().size());
 }
 
 // -------------------------------------------------------------------- load

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "cgdnn/blackbox/blackbox.hpp"
 #include "cgdnn/perfctr/perfctr.hpp"
 #include "cgdnn/profile/timer.hpp"
 #include "cgdnn/trace/counters.hpp"
@@ -39,8 +40,14 @@ std::string SplitBlobName(const std::string& layer_name,
 template <typename Dtype, typename Body>
 void TimedLayerPhase(profile::Profiler* profiler, const std::string& layer,
                      profile::LayerPhase phase, Body&& body) {
+  // Always-on flight-recorder breadcrumbs (both paths): a crash dump can
+  // name the layer in flight even when tracing/profiling are off.
+  blackbox::Record(blackbox::EventKind::kLayerBegin, layer.c_str(),
+                   static_cast<std::uint64_t>(phase));
   if (profiler == nullptr && !trace::CollectionActive()) {
     body();
+    blackbox::Record(blackbox::EventKind::kLayerEnd, layer.c_str(),
+                     static_cast<std::uint64_t>(phase));
     return;
   }
   TRACE_SCOPE("layer",
@@ -66,6 +73,8 @@ void TimedLayerPhase(profile::Profiler* profiler, const std::string& layer,
                       ".us")
         .Observe(us);
   }
+  blackbox::Record(blackbox::EventKind::kLayerEnd, layer.c_str(),
+                   static_cast<std::uint64_t>(phase));
 }
 
 }  // namespace

@@ -8,7 +8,11 @@
 namespace cgdnn::parallel {
 
 RegionStats::RegionStats(std::string name, int nthreads)
-    : name_(std::move(name)) {
+    : name_(std::move(name)), nthreads_(nthreads) {
+  // The flight recorder tracks every region — even with tracing/metrics
+  // off — so crash dumps and the watchdog can name the region in flight.
+  blackbox::PushPosition(blackbox::EventKind::kRegionBegin, name_.c_str(),
+                         static_cast<std::uint64_t>(nthreads));
   if (check::Enabled()) {
     checker_ = std::make_unique<check::WriteSetChecker>(name_, nthreads);
     checker_binding_ =
@@ -68,6 +72,10 @@ perfctr::Delta RegionStats::TotalDelta() const {
 }
 
 RegionStats::~RegionStats() noexcept(false) {
+  // Pop before Verify: a partition violation throws, and the recorder's
+  // position stack must stay balanced through that unwind.
+  blackbox::PopPosition(blackbox::EventKind::kRegionEnd, name_.c_str(),
+                        static_cast<std::uint64_t>(nthreads_));
   // Unbind before Verify so a throwing verification never leaves a dangling
   // Current() pointer. Verify() is called explicitly (it may throw;
   // ~unique_ptr is noexcept) — the member destructor then finds it already

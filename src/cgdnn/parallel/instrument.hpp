@@ -86,6 +86,7 @@ class RegionStats {
 
  private:
   std::string name_;
+  int nthreads_ = 0;
   std::vector<std::uint64_t> busy_ns_;
   std::vector<perfctr::Delta> deltas_;
   std::unique_ptr<check::WriteSetChecker> checker_;
@@ -101,6 +102,9 @@ class ThreadRegionScope {
  public:
   ThreadRegionScope(RegionStats& stats, int tid)
       : stats_(stats), tid_(tid) {
+    blackbox::PushPosition(blackbox::EventKind::kChunkBegin,
+                           stats_.name().c_str(),
+                           static_cast<std::uint64_t>(tid));
     if (!stats_.active()) return;
     if (stats_.counters_active()) {
       start_sample_ = perfctr::ReadThreadCounters();
@@ -108,6 +112,9 @@ class ThreadRegionScope {
     start_ns_ = trace::NowNs();
   }
   ~ThreadRegionScope() {
+    blackbox::PopPosition(blackbox::EventKind::kChunkEnd,
+                          stats_.name().c_str(),
+                          static_cast<std::uint64_t>(tid_));
     // The scope closes right after the thread's worksharing chunk, so it
     // doubles as the write-phase boundary for the race checker: any merge
     // entered before every thread passed this point is missing its barrier.

@@ -113,6 +113,20 @@ void AccumulatePrivate(GradientMerge mode, Dtype* const* parts, int nparts,
   if (auto* chk = check::WriteSetChecker::Current()) {
     chk->BeginMerge(omp_get_thread_num());
   }
+  // Flight-recorder position for the whole merge, including its barriers:
+  // a thread that never leaves (missing barrier, deadlocked ordered clause)
+  // shows an open merge position in the dump and trips the watchdog.
+  const char* merge_site = "merge.serial";
+  switch (mode) {
+    case GradientMerge::kOrdered: merge_site = "merge.ordered"; break;
+    case GradientMerge::kAtomic: merge_site = "merge.atomic"; break;
+    case GradientMerge::kTree: merge_site = "merge.tree"; break;
+    case GradientMerge::kSerial: break;
+  }
+  blackbox::ScopedPosition bbx_merge(blackbox::EventKind::kMergeBegin,
+                                     blackbox::EventKind::kMergeEnd,
+                                     merge_site,
+                                     static_cast<std::uint64_t>(mode));
   switch (mode) {
     case GradientMerge::kOrdered:
       MergeOrdered(parts, nparts, dest, n);

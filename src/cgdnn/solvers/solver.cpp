@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "cgdnn/blackbox/blackbox.hpp"
 #include "cgdnn/blas/blas.hpp"
 #include "cgdnn/core/rng.hpp"
 #include "cgdnn/profile/timer.hpp"
@@ -85,6 +86,10 @@ void Solver<Dtype>::Step(index_t iters) {
       TestAll();
     }
     TRACE_SCOPE("solver", "iteration");
+    // Flight-recorder heartbeat: the watchdog ages open iterations, and a
+    // crash dump's header names the last iteration that began.
+    const auto bbx_iter = static_cast<std::uint64_t>(iter_);
+    blackbox::BeginSolverIteration(bbx_iter);
     profile::Timer iter_timer;
     net_->ClearParamDiffs();
     // Gradient accumulation: iter_size passes per update (effective batch
@@ -108,6 +113,9 @@ void Solver<Dtype>::Step(index_t iters) {
         Snapshot(path);
         note = "; emergency snapshot saved to " + path;
       }
+      // Dump the flight recorder too: the rings show which layers/merges
+      // ran right before the divergence, which the snapshot cannot.
+      blackbox::DumpNow(blackbox::DumpReason::kGuard);
       std::ostringstream msg;
       msg << "non-finite loss (" << loss << ") at iteration " << iter_
           << note;
@@ -120,6 +128,7 @@ void Solver<Dtype>::Step(index_t iters) {
     }
     loss_history_.push_back(loss);
     ApplyUpdate();
+    blackbox::EndSolverIteration(bbx_iter, static_cast<double>(loss));
     ++iter_;
     if (param_.snapshot > 0 && !param_.snapshot_prefix.empty() &&
         iter_ % param_.snapshot == 0) {

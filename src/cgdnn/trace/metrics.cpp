@@ -2,6 +2,8 @@
 
 #include <iomanip>
 
+#include "cgdnn/core/buildinfo.hpp"
+
 namespace cgdnn::trace {
 
 namespace {
@@ -145,7 +147,9 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
     }
     os << (first ? "}" : "\n  }") << (trailing_comma ? "," : "") << "\n";
   };
-  os << "{\n";
+  os << "{\n  \"meta\": ";
+  buildinfo::WriteMetaJson(os);
+  os << ",\n";
   write_section("counters", Kind::kCounter, true);
   write_section("gauges", Kind::kGauge, true);
   write_section("histograms", Kind::kHistogram, false);

@@ -7,10 +7,20 @@
 #include <unistd.h>
 #endif
 
+#include "cgdnn/core/buildinfo.hpp"
+
 namespace cgdnn::trace {
 
 TelemetrySink::TelemetrySink(const std::string& path)
-    : path_(path), out_(path, std::ios::trunc) {}
+    : path_(path), out_(path, std::ios::trunc) {
+  // First line is the provenance header; every later line is one sample.
+  // Consumers that only want samples skip lines containing a "meta" key.
+  if (ok()) {
+    out_ << "{\"meta\":";
+    buildinfo::WriteMetaJson(out_);
+    out_ << "}\n" << std::flush;
+  }
+}
 
 void TelemetrySink::Write(
     std::initializer_list<std::pair<const char*, double>> fields) {

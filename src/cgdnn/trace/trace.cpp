@@ -1,9 +1,10 @@
 #include "cgdnn/trace/trace.hpp"
 
 #include <atomic>
-#include <chrono>
 #include <iomanip>
 #include <mutex>
+
+#include "cgdnn/core/buildinfo.hpp"
 
 namespace cgdnn::trace {
 
@@ -11,11 +12,6 @@ namespace {
 
 std::atomic<bool> g_tracing{false};
 std::atomic<bool> g_metrics{false};
-
-std::chrono::steady_clock::time_point Epoch() {
-  static const auto epoch = std::chrono::steady_clock::now();
-  return epoch;
-}
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 void WriteJsonString(std::ostream& os, const std::string& s) {
@@ -49,10 +45,10 @@ void SetMetrics(bool active) {
 }
 
 std::uint64_t NowNs() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - Epoch())
-          .count());
+  // Shared process epoch (cgdnn::MonotonicNowNs): tracer spans and flight-
+  // recorder events land on one timeline, so decoded black-box dumps merge
+  // cleanly with Chrome traces.
+  return MonotonicNowNs();
 }
 
 struct Tracer::ThreadLog {
@@ -81,7 +77,7 @@ Tracer::ThreadLog& Tracer::Log() {
 }
 
 void Tracer::Start() {
-  Epoch();  // pin the epoch before the first event
+  MonotonicNowNs();  // pin the epoch before the first event
   g_tracing.store(true, std::memory_order_relaxed);
 }
 
@@ -154,8 +150,13 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
   const auto saved_flags = os.flags();
   const auto saved_prec = os.precision();
   os << std::fixed << std::setprecision(3);
-  os << "[";
-  bool first = true;
+  // Provenance rides along as a Chrome metadata ("M") event so the output
+  // stays a plain event array (viewers and existing consumers expect '[').
+  os << "[\n{\"name\":\"cgdnn_meta\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"meta\":";
+  buildinfo::WriteMetaJson(os);
+  os << "}}";
+  bool first = false;
   for (const ThreadLog* log : logs_) {
     for (const TraceEvent& ev : log->events) {
       if (!first) os << ",";

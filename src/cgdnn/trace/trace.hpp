@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "cgdnn/blackbox/blackbox.hpp"
 #include "cgdnn/core/common.hpp"
 #include "cgdnn/perfctr/perfctr.hpp"
 
@@ -109,17 +110,20 @@ class Tracer {
 /// multiplex-scaled deltas as Chrome-trace args.
 class ScopedSpan {
  public:
-  ScopedSpan(const char* category, std::string name) {
+  ScopedSpan(const char* category, std::string name) : name_(std::move(name)) {
+    // The flight recorder sees every span — even with tracing off — so a
+    // crash dump can show what each thread was inside when it died.
+    blackbox::Record(blackbox::EventKind::kSpanBegin, name_.c_str());
     if (!TracingActive()) return;
     active_ = true;
     category_ = category;
-    name_ = std::move(name);
     if (perfctr::CollectionActive()) {
       start_sample_ = perfctr::ReadThreadCounters();
     }
     start_ns_ = NowNs();
   }
   ~ScopedSpan() {
+    blackbox::Record(blackbox::EventKind::kSpanEnd, name_.c_str());
     if (!active_) return;
     const std::uint64_t end_ns = NowNs();
     if (start_sample_.valid) {

@@ -204,7 +204,11 @@ TEST_F(PerfctrTest, TraceOmitsCounterArgsWhenUnavailable) {
   trace::Tracer::Get().WriteChromeTrace(out);
   const std::string json = out.str();
   EXPECT_NE(json.find("fbtrace.forward"), std::string::npos);
-  EXPECT_EQ(json.find("\"args\""), std::string::npos);
+  // Span events must not carry counter args; only the leading provenance
+  // metadata event may have an args object.
+  const auto meta_end = json.find("}}");
+  ASSERT_NE(meta_end, std::string::npos);
+  EXPECT_EQ(json.find("\"args\"", meta_end), std::string::npos);
   EXPECT_EQ(json.find("cycles"), std::string::npos);
 }
 

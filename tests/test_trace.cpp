@@ -344,12 +344,15 @@ TEST(Telemetry, WritesOneJsonObjectPerLine) {
   std::vector<std::string> lines;
   while (std::getline(in, line)) lines.push_back(line);
   std::remove(path.c_str());
-  ASSERT_EQ(lines.size(), 2u);
+  ASSERT_EQ(lines.size(), 3u);
   for (const auto& l : lines) {
     EXPECT_TRUE(JsonChecker::Valid(l)) << l;
   }
-  EXPECT_NE(lines[0].find("\"iter\""), std::string::npos);
-  EXPECT_NE(lines[1].find("\"loss\":null"), std::string::npos)
+  // Line 0 is the provenance header; the data rows follow.
+  EXPECT_NE(lines[0].find("\"meta\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"iter\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"loss\":null"), std::string::npos)
       << "non-finite values must serialize as null";
 }
 

@@ -4,6 +4,7 @@
 //               [--iterations=N] [--warmup=N] [--merge=MODE] [--no-coalesce]
 //               [--audit-out=AUDIT_<model>.json] [--no-counters]
 //               [--probe-gemm-dim=N] [--probe-triad-elems=N]
+//               [--blackbox=dump.bin] [--watchdog-sec=N] [--blackbox-dump]
 //
 // Drives the model across the requested thread counts and distills the
 // paper's Figure 5/8 analysis into one machine-readable report: per-layer
@@ -28,6 +29,7 @@
 #include <sstream>
 #include <vector>
 
+#include "cgdnn/core/buildinfo.hpp"
 #include "cgdnn/core/rng.hpp"
 #include "cgdnn/net/net.hpp"
 #include "cgdnn/perfctr/perfctr.hpp"
@@ -45,7 +47,8 @@ constexpr const char* kUsage =
     "cgdnn_audit --model=<file|lenet|cifar10_quick> [--threads=1,2,4] "
     "[--iterations=N] [--warmup=N] [--merge=MODE] [--no-coalesce] "
     "[--audit-out=<file>] [--no-counters] [--probe-gemm-dim=N] "
-    "[--probe-triad-elems=N]";
+    "[--probe-triad-elems=N] [--blackbox=<file>] [--watchdog-sec=N] "
+    "[--blackbox-dump]";
 
 std::vector<int> ParseThreadList(const std::string& spec) {
   std::vector<int> threads;
@@ -164,6 +167,7 @@ int main(int argc, char** argv) {
     const bool coalesce = !flags.GetBool("no-coalesce");
     const std::string out_path =
         flags.GetString("audit-out", "AUDIT_" + model + ".json");
+    tools::ConfigureBlackbox(flags);
 
     // Counters are the one subsystem this tool arms by default; --no-counters
     // forces the timing-only path (same output shape as an unsupported host).
@@ -291,6 +295,9 @@ int main(int argc, char** argv) {
     CGDNN_CHECK(out.good()) << "cannot write " << out_path;
     out << std::setprecision(15);
     out << "{\n";
+    out << "  \"meta\": ";
+    buildinfo::WriteMetaJson(out);
+    out << ",\n";
     out << "  \"audit\": \"" << net.name() << "\",\n";
     out << "  \"model\": \"" << model << "\",\n";
     out << "  \"iterations\": " << iterations << ",\n";
@@ -463,6 +470,7 @@ int main(int argc, char** argv) {
                 << speedup_of(overall_us.at(base_t), overall_us.at(t)) << "x";
     }
     std::cout << "\n";
+    tools::FinishBlackbox(flags);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,369 @@
+// cgdnn_blackbox: decode a flight-recorder dump (blackbox-<pid>.bin).
+//
+// Two outputs from one dump:
+//   * a human-readable per-thread timeline on stdout (default), leading
+//     with the dump header — why it was written, which thread crashed,
+//     the last solver iteration — and each thread's open positions;
+//   * --json=<path>: a Chrome trace-event array (same shape as the span
+//     tracer's --trace-out) whose timestamps share the tracer's epoch, so
+//     the two files merge into one chrome://tracing / Perfetto timeline.
+//
+// The decoder is deliberately forgiving: a dump written mid-crash can be
+// truncated anywhere and the final records of a racing ring can be torn.
+// It salvages every record that passes sanity (valid kind, known name) and
+// reports what it skipped, instead of failing.
+//
+//   cgdnn_blackbox <dump.bin> [--json=<out.json>] [--limit=N]
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cgdnn/blackbox/blackbox.hpp"
+#include "cgdnn/blackbox/dump_format.hpp"
+#include "flags.hpp"
+
+namespace {
+
+using cgdnn::blackbox::DumpHeader;
+using cgdnn::blackbox::DumpReason;
+using cgdnn::blackbox::EventKind;
+using cgdnn::blackbox::EventRecord;
+using cgdnn::blackbox::NameRecord;
+using cgdnn::blackbox::ThreadHeader;
+
+struct DecodedThread {
+  ThreadHeader header;
+  std::vector<EventRecord> events;  // oldest -> newest, salvaged
+  std::uint64_t skipped = 0;        // records dropped by sanity checks
+  bool truncated = false;           // file ended inside this section
+};
+
+struct DecodedDump {
+  DumpHeader header;
+  std::string meta_json;
+  std::vector<std::string> names;
+  std::vector<DecodedThread> threads;
+  bool truncated = false;
+};
+
+const char* ReasonName(std::uint32_t reason) {
+  switch (static_cast<DumpReason>(reason)) {
+    case DumpReason::kManual: return "manual";
+    case DumpReason::kSignal: return "fatal signal";
+    case DumpReason::kWatchdog: return "watchdog stall";
+    case DumpReason::kGuard: return "non-finite loss guard";
+    default: return "unknown";
+  }
+}
+
+bool SaneEvent(const EventRecord& ev, std::size_t nnames) {
+  const std::uint16_t kind = cgdnn::blackbox::EventKindOf(ev.packed);
+  return kind > 0 && kind < static_cast<std::uint16_t>(EventKind::kMax) &&
+         cgdnn::blackbox::EventNameOf(ev.packed) < nnames;
+}
+
+/// Reads `size` bytes; false (without throwing) on short read so callers
+/// can salvage everything before the truncation point.
+bool ReadExact(std::istream& in, void* dst, std::size_t size) {
+  in.read(static_cast<char*>(dst), static_cast<std::streamsize>(size));
+  return static_cast<std::size_t>(in.gcount()) == size;
+}
+
+DecodedDump Decode(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CGDNN_CHECK(in.good()) << "cannot open dump: " << path;
+
+  DecodedDump dump;
+  CGDNN_CHECK(ReadExact(in, &dump.header, sizeof(dump.header)))
+      << "dump shorter than its header: " << path;
+  CGDNN_CHECK(std::memcmp(dump.header.magic, cgdnn::blackbox::kMagic,
+                          sizeof(cgdnn::blackbox::kMagic)) == 0)
+      << "bad magic (not a cgdnn blackbox dump): " << path;
+  CGDNN_CHECK_EQ(dump.header.version, cgdnn::blackbox::kFormatVersion)
+      << "unsupported dump version in " << path;
+
+  dump.meta_json.resize(dump.header.meta_bytes);
+  if (dump.header.meta_bytes > 0 &&
+      !ReadExact(in, dump.meta_json.data(), dump.header.meta_bytes)) {
+    dump.truncated = true;
+    return dump;
+  }
+
+  for (std::uint32_t i = 0; i < dump.header.name_count; ++i) {
+    NameRecord rec;
+    if (!ReadExact(in, &rec, sizeof(rec))) {
+      dump.truncated = true;
+      return dump;
+    }
+    rec.name[sizeof(rec.name) - 1] = '\0';
+    dump.names.emplace_back(rec.name);
+  }
+
+  for (std::uint32_t t = 0; t < dump.header.thread_count; ++t) {
+    DecodedThread thread;
+    if (!ReadExact(in, &thread.header, sizeof(thread.header))) {
+      dump.truncated = true;
+      return dump;
+    }
+    const std::uint64_t count =
+        std::min(thread.header.head, thread.header.capacity);
+    thread.events.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      EventRecord ev;
+      if (!ReadExact(in, &ev, sizeof(ev))) {
+        thread.truncated = true;
+        dump.truncated = true;
+        break;
+      }
+      if (SaneEvent(ev, dump.names.size())) {
+        thread.events.push_back(ev);
+      } else {
+        ++thread.skipped;  // torn by a racing producer; drop just this slot
+      }
+    }
+    const bool stop = thread.truncated;
+    dump.threads.push_back(std::move(thread));
+    if (stop) break;
+  }
+  return dump;
+}
+
+std::string EventName(const DecodedDump& dump, const EventRecord& ev) {
+  const std::uint32_t id = cgdnn::blackbox::EventNameOf(ev.packed);
+  return id < dump.names.size() ? dump.names[id] : "?";
+}
+
+/// Renders the kind-specific payload for the timeline view.
+std::string DescribeArgs(EventKind kind, const EventRecord& ev) {
+  std::ostringstream os;
+  switch (kind) {
+    case EventKind::kSolverIterEnd:
+      os << "iter=" << ev.a << " loss=" << std::bit_cast<double>(ev.b);
+      break;
+    case EventKind::kSolverIterBegin:
+      os << "iter=" << ev.a;
+      break;
+    case EventKind::kRegionBegin:
+    case EventKind::kRegionEnd:
+      os << "threads=" << ev.a;
+      break;
+    case EventKind::kChunkBegin:
+    case EventKind::kChunkEnd:
+      os << "omp_tid=" << ev.a;
+      break;
+    case EventKind::kLayerBegin:
+    case EventKind::kLayerEnd:
+      os << "phase=" << (ev.a == 0 ? "forward" : "backward");
+      break;
+    case EventKind::kCheckpointBegin:
+      os << "iter=" << ev.a;
+      break;
+    case EventKind::kCheckpointEnd:
+      os << "iter=" << ev.a << " bytes=" << ev.b;
+      break;
+    case EventKind::kViolation:
+      os << (ev.a == 1 ? "missing-barrier" : "overlapping-writes")
+         << " tid=" << ev.b;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+void PrintTimeline(const DecodedDump& dump, std::uint64_t limit) {
+  const DumpHeader& h = dump.header;
+  std::cout << "blackbox dump: reason=" << ReasonName(h.reason);
+  if (h.signo != 0) std::cout << " (signal " << h.signo << ")";
+  std::cout << " pid=" << h.pid << " t=" << std::fixed << std::setprecision(3)
+            << static_cast<double>(h.dump_t_ns) / 1e6 << "ms\n";
+  if (h.crash_tid != cgdnn::blackbox::kNoThread) {
+    std::cout << "crashing thread: tid=" << h.crash_tid << "\n";
+  }
+  if (h.solver_iter != cgdnn::blackbox::kNoIteration) {
+    std::cout << "last solver iteration: " << h.solver_iter << "\n";
+  }
+  if (!dump.meta_json.empty()) std::cout << "meta: " << dump.meta_json << "\n";
+  if (dump.truncated) {
+    std::cout << "note: dump is truncated; decoded what precedes the cut\n";
+  }
+
+  for (const DecodedThread& thread : dump.threads) {
+    const ThreadHeader& th = thread.header;
+    std::cout << "\nthread " << th.tid << ": " << th.head
+              << " events recorded, " << thread.events.size() << " decoded";
+    if (thread.skipped > 0) std::cout << ", " << thread.skipped << " torn";
+    if (thread.truncated) std::cout << ", section truncated";
+    std::cout << "\n";
+    for (std::uint32_t d = 0; d < th.position_depth; ++d) {
+      const std::uint32_t name_id =
+          static_cast<std::uint32_t>(th.position[d] >> 32);
+      const auto kind = static_cast<EventKind>(
+          static_cast<std::uint16_t>(th.position[d]));
+      std::cout << "  open: "
+                << (name_id < dump.names.size() ? dump.names[name_id] : "?")
+                << " [" << cgdnn::blackbox::KindName(kind) << "] since "
+                << static_cast<double>(th.position_t_ns[d]) / 1e6 << "ms ("
+                << static_cast<double>(h.dump_t_ns - th.position_t_ns[d]) /
+                       1e6
+                << "ms before the dump)\n";
+    }
+    const std::size_t n = thread.events.size();
+    const std::size_t first =
+        limit > 0 && n > limit ? n - static_cast<std::size_t>(limit) : 0;
+    if (first > 0) std::cout << "  ... (" << first << " earlier events)\n";
+    for (std::size_t i = first; i < n; ++i) {
+      const EventRecord& ev = thread.events[i];
+      const auto kind = static_cast<EventKind>(
+          cgdnn::blackbox::EventKindOf(ev.packed));
+      std::cout << "  " << std::setw(12)
+                << static_cast<double>(ev.t_ns) / 1e6 << "ms  "
+                << std::setw(18) << cgdnn::blackbox::KindName(kind) << "  "
+                << EventName(dump, ev);
+      const std::string args = DescribeArgs(kind, ev);
+      if (!args.empty()) std::cout << "  (" << args << ")";
+      std::cout << "\n";
+    }
+  }
+}
+
+void WriteJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+/// True for kinds that open a paired interval (matching end = kind + 1; the
+/// enum interleaves begin/end deliberately).
+bool IsBeginKind(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpanBegin:
+    case EventKind::kRegionBegin:
+    case EventKind::kChunkBegin:
+    case EventKind::kMergeBegin:
+    case EventKind::kSolverIterBegin:
+    case EventKind::kCheckpointBegin:
+    case EventKind::kLayerBegin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void WriteChromeJson(const DecodedDump& dump, std::ostream& os) {
+  os << std::fixed << std::setprecision(3);
+  // Same leading metadata-event convention as the span tracer's output;
+  // "pid":2 keeps recorder rows visually separate from tracer rows when the
+  // two files are merged in one viewer.
+  os << "[\n{\"name\":\"cgdnn_blackbox_meta\",\"ph\":\"M\",\"pid\":2,"
+        "\"tid\":0,\"args\":{\"reason\":";
+  WriteJsonString(os, ReasonName(dump.header.reason));
+  os << ",\"signo\":" << dump.header.signo
+     << ",\"crash_tid\":" << static_cast<std::int64_t>(dump.header.crash_tid)
+     << ",\"solver_iter\":"
+     << (dump.header.solver_iter == cgdnn::blackbox::kNoIteration
+             ? -1
+             : static_cast<std::int64_t>(dump.header.solver_iter))
+     << ",\"meta\":"
+     << (dump.meta_json.empty() ? "null" : dump.meta_json) << "}}";
+
+  for (const DecodedThread& thread : dump.threads) {
+    // Pair begin/end events into Chrome "X" (complete) spans. An unmatched
+    // begin — the interesting case in a crash dump — becomes a span that
+    // runs to the dump timestamp, so the open region is visible in the UI.
+    std::vector<std::size_t> stack;
+    std::vector<bool> closed(thread.events.size(), false);
+    auto emit = [&](const EventRecord& begin, std::uint64_t end_ns,
+                    bool open) {
+      const auto kind = static_cast<EventKind>(
+          cgdnn::blackbox::EventKindOf(begin.packed));
+      os << ",\n{\"name\":";
+      WriteJsonString(os, EventName(dump, begin) + (open ? " (open)" : ""));
+      os << ",\"cat\":\"blackbox\",\"ph\":\"X\",\"ts\":"
+         << static_cast<double>(begin.t_ns) / 1e3 << ",\"dur\":"
+         << static_cast<double>(end_ns - begin.t_ns) / 1e3
+         << ",\"pid\":2,\"tid\":" << thread.header.tid << ",\"args\":{"
+         << "\"kind\":\"" << cgdnn::blackbox::KindName(kind) << "\",\"a\":"
+         << begin.a << ",\"b\":" << begin.b << "}}";
+    };
+    for (std::size_t i = 0; i < thread.events.size(); ++i) {
+      const EventRecord& ev = thread.events[i];
+      const auto kind = static_cast<EventKind>(
+          cgdnn::blackbox::EventKindOf(ev.packed));
+      if (IsBeginKind(kind)) {
+        stack.push_back(i);
+      } else if (kind == EventKind::kViolation) {
+        os << ",\n{\"name\":";
+        WriteJsonString(os, EventName(dump, ev));
+        os << ",\"cat\":\"blackbox\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+           << static_cast<double>(ev.t_ns) / 1e3
+           << ",\"pid\":2,\"tid\":" << thread.header.tid << ",\"args\":{"
+           << "\"kind\":\"violation\",\"a\":" << ev.a << ",\"b\":" << ev.b
+           << "}}";
+      } else {
+        // End event: match the innermost open begin of kind-1. A ring that
+        // wrapped can hold ends whose begins were overwritten; drop those.
+        while (!stack.empty()) {
+          const std::size_t bi = stack.back();
+          const auto bkind = static_cast<EventKind>(
+              cgdnn::blackbox::EventKindOf(thread.events[bi].packed));
+          stack.pop_back();
+          if (static_cast<std::uint16_t>(bkind) + 1 ==
+              static_cast<std::uint16_t>(kind)) {
+            emit(thread.events[bi], ev.t_ns, false);
+            closed[bi] = true;
+            break;
+          }
+        }
+      }
+    }
+    for (const std::size_t bi : stack) {
+      if (!closed[bi]) emit(thread.events[bi], dump.header.dump_t_ns, true);
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "cgdnn_blackbox <dump.bin> [--json=<out.json>] [--limit=N]";
+  const cgdnn::tools::Flags flags(argc, argv);
+  if (flags.positional().size() != 1) {
+    std::cerr << "usage: " << usage << "\n";
+    return 2;
+  }
+  try {
+    const DecodedDump dump = Decode(flags.positional()[0]);
+    const std::string json_path = flags.GetString("json");
+    if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::trunc);
+      CGDNN_CHECK(out.good()) << "cannot write " << json_path;
+      WriteChromeJson(dump, out);
+      std::cerr << "chrome trace written to " << json_path << "\n";
+    }
+    PrintTimeline(dump, static_cast<std::uint64_t>(
+                            flags.GetInt("limit", 64)));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

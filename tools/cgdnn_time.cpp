@@ -6,6 +6,7 @@
 //              [--iterations=N] [--threads=N] [--merge=MODE] [--csv]
 //              [--trace-out=trace.json] [--metrics-out=metrics.json]
 //              [--counters]
+//              [--blackbox=dump.bin] [--watchdog-sec=N] [--blackbox-dump]
 //
 // --model also accepts the builtin names "lenet" and "cifar10_quick"
 // (synthetic data). --trace-out records a Chrome trace-event JSON of the
@@ -27,7 +28,8 @@ namespace {
 constexpr const char* kUsage =
     "cgdnn_time --model=<file|lenet|cifar10_quick> [--iterations=N] "
     "[--threads=N] [--merge=MODE] [--csv] [--trace-out=<file>] "
-    "[--metrics-out=<file>] [--counters]";
+    "[--metrics-out=<file>] [--counters] [--blackbox=<file>] "
+    "[--watchdog-sec=N] [--blackbox-dump]";
 }
 
 int main(int argc, char** argv) {
@@ -37,6 +39,7 @@ int main(int argc, char** argv) {
     const std::string model = flags.Require("model", kUsage);
     const index_t iterations = flags.GetInt("iterations", 10);
     tools::ConfigureParallel(flags);
+    tools::ConfigureBlackbox(flags);
 
     SeedGlobalRng(1);
     Net<float> net(tools::ResolveModel(model), Phase::kTrain);
@@ -65,6 +68,7 @@ int main(int argc, char** argv) {
     net.set_profiler(nullptr);
     obs.Finish();
     std::cout << (flags.GetBool("csv") ? profiler.Csv() : profiler.Table());
+    tools::FinishBlackbox(flags);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -12,6 +12,7 @@
 //               [--profile]                 (Figure-4-style layer table)
 //               [--trace-out=trace.json] [--metrics-out=metrics.json]
 //               [--telemetry-out=train.jsonl] [--counters]
+//               [--blackbox=dump.bin] [--watchdog-sec=N] [--blackbox-dump]
 //
 // The solver file may inline its net (`net_param { ... }`) or reference an
 // external prototxt via `net: "relative/path.prototxt"` (resolved relative
@@ -43,7 +44,8 @@ constexpr const char* kUsage =
     "[--weights=<file>] [--snapshot=<file>] [--iterations=N] "
     "[--snapshot-every=N] [--snapshot-prefix=P] [--snapshot-retain=K] "
     "[--resume=<file|prefix>] [--profile] [--trace-out=<file>] "
-    "[--metrics-out=<file>] [--telemetry-out=<file>] [--counters]";
+    "[--metrics-out=<file>] [--telemetry-out=<file>] [--counters] "
+    "[--blackbox=<file>] [--watchdog-sec=N] [--blackbox-dump]";
 
 std::atomic<bool> g_stop{false};
 
@@ -67,6 +69,7 @@ int main(int argc, char** argv) {
     const tools::Flags flags(argc, argv);
     const std::string solver_path = flags.Require("solver", kUsage);
     tools::ConfigureParallel(flags);
+    tools::ConfigureBlackbox(flags);
 
     auto param = proto::SolverParameter::FromText(
         proto::TextMessage::ParseFile(solver_path));
@@ -175,6 +178,7 @@ int main(int argc, char** argv) {
       SaveWeights(solver->net(), flags.GetString("snapshot"));
       std::cout << "weights saved to " << flags.GetString("snapshot") << "\n";
     }
+    tools::FinishBlackbox(flags);
     return interrupted ? 130 : 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

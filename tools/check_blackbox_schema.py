@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate the Chrome-trace JSON emitted by `cgdnn_blackbox --json=...`.
+
+Checks the contract that makes recorder output merge cleanly with the span
+tracer's --trace-out files:
+
+  * the file is one JSON array (chrome://tracing / Perfetto both accept it);
+  * the first element is a "M" metadata event carrying the dump header
+    (reason, signo, crash_tid, solver_iter) and the build-provenance meta
+    object (git_sha, compiler, options, threads, hostname);
+  * every other event is a complete span ("X", with name/ts/dur/tid) or an
+    instant ("i", write-set violations), on pid 2 so recorder rows stay
+    separate from tracer rows (pid 1) in a merged view.
+
+Usage: check_blackbox_schema.py <trace.json> [--expect-reason=R]
+"""
+import argparse
+import json
+import numbers
+import sys
+
+META_KEYS = ("git_sha", "compiler", "build_type", "flags", "options",
+             "threads", "hostname")
+
+
+def fail(msg):
+    print(f"check_blackbox_schema: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace")
+    ap.add_argument("--expect-reason", default=None,
+                    help="required dump reason in the metadata event")
+    args = ap.parse_args()
+
+    with open(args.trace) as f:
+        data = json.load(f)
+    if not isinstance(data, list) or not data:
+        fail("not a non-empty JSON array")
+
+    head = data[0]
+    if head.get("ph") != "M" or head.get("name") != "cgdnn_blackbox_meta":
+        fail("first event is not the cgdnn_blackbox_meta metadata event")
+    hargs = head.get("args", {})
+    for key in ("reason", "signo", "crash_tid", "solver_iter"):
+        if key not in hargs:
+            fail(f"metadata event missing args.{key}")
+    if args.expect_reason and hargs["reason"] != args.expect_reason:
+        fail(f"reason is {hargs['reason']!r}, expected "
+             f"{args.expect_reason!r}")
+    meta = hargs.get("meta")
+    if not isinstance(meta, dict):
+        fail("metadata event missing the build-provenance meta object")
+    for key in META_KEYS:
+        if key not in meta:
+            fail(f"meta object missing {key!r}")
+
+    spans = 0
+    for i, ev in enumerate(data[1:], start=1):
+        ph = ev.get("ph")
+        if ph not in ("X", "i"):
+            fail(f"event {i}: unexpected ph {ph!r}")
+        if ev.get("pid") != 2:
+            fail(f"event {i}: recorder events must use pid 2")
+        for key in ("name", "ts", "tid"):
+            if key not in ev:
+                fail(f"event {i}: missing {key}")
+        if not isinstance(ev["ts"], numbers.Number):
+            fail(f"event {i}: ts is not numeric")
+        if ph == "X":
+            spans += 1
+            if not isinstance(ev.get("dur"), numbers.Number):
+                fail(f"event {i}: X event without numeric dur")
+            if ev["dur"] < 0:
+                fail(f"event {i}: negative duration")
+        if ev.get("args", {}).get("kind") is None:
+            fail(f"event {i}: missing args.kind")
+
+    if spans == 0:
+        fail("no complete spans decoded — empty forensics")
+    print(f"check_blackbox_schema: OK ({len(data) - 1} events, "
+          f"{spans} spans, reason={hargs['reason']!r})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,16 +63,28 @@ def flatten_audit(data):
     return "audit:" + data.get("model", "?"), rows
 
 
+def format_meta(meta):
+    """One-line provenance summary from a report's "meta" header."""
+    if not isinstance(meta, dict):
+        return "(no meta header)"
+    fields = ("git_sha", "build_type", "compiler", "threads", "hostname",
+              "options")
+    parts = [f"{k}={meta[k]}" for k in fields if k in meta]
+    return " ".join(parts) if parts else "(empty meta header)"
+
+
 def load_rows(path):
     with open(path) as f:
         data = json.load(f)
+    meta = data.get("meta")
     if "audit" in data and "layers" in data:
-        return flatten_audit(data)
+        name, rows = flatten_audit(data)
+        return name, rows, meta
     rows = {}
     for row in data.get("rows", []):
         for col, val in row.get("values", {}).items():
             rows[(row["section"], row["key"], col)] = float(val)
-    return data.get("bench", "?"), rows
+    return data.get("bench", "?"), rows, meta
 
 
 def direction(section, key, column):
@@ -91,8 +103,8 @@ def direction(section, key, column):
 
 def compare_pair(baseline, current, threshold, label=None):
     """Compare one baseline/current file pair; returns the regression list."""
-    base_name, base = load_rows(baseline)
-    cur_name, cur = load_rows(current)
+    base_name, base, base_meta = load_rows(baseline)
+    cur_name, cur, cur_meta = load_rows(current)
     if label:
         print(f"=== {label} ===")
     if base_name != cur_name:
@@ -122,6 +134,12 @@ def compare_pair(baseline, current, threshold, label=None):
         print(f"only in baseline: {'/'.join(coord)}")
     for coord in only_cur:
         print(f"only in current:  {'/'.join(coord)}")
+    if regressions:
+        # A regression is only interpretable next to the provenance of both
+        # runs — a compiler, flag, or thread-count difference explains far
+        # more regressions than real code changes do.
+        print(f"baseline meta: {format_meta(base_meta)}")
+        print(f"current meta:  {format_meta(cur_meta)}")
     return common, regressions
 
 

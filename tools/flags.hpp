@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "cgdnn/blackbox/blackbox.hpp"
 #include "cgdnn/core/common.hpp"
 #include "cgdnn/net/models.hpp"
 #include "cgdnn/parallel/context.hpp"
@@ -83,6 +84,34 @@ inline void ConfigureParallel(const Flags& flags) {
   cfg.merge =
       parallel::GradientMergeFromName(flags.GetString("merge", "ordered"));
   cfg.coalesce = !flags.GetBool("no-coalesce");
+}
+
+/// Arms the always-on flight recorder for a tool run: installs the fatal-
+/// signal crash handlers (dumping to --blackbox=<path>, default
+/// blackbox-<pid>.bin in the CWD) and, with --watchdog-sec=N, starts the
+/// hang watchdog with an N-second stall deadline. No-op when the recorder
+/// is compiled out or disabled via CGDNN_BLACKBOX=off.
+inline void ConfigureBlackbox(const Flags& flags) {
+  if (!blackbox::Enabled()) return;
+  blackbox::InstallCrashHandlers(flags.GetString("blackbox"));
+  const index_t watchdog_sec = flags.GetInt("watchdog-sec", 0);
+  if (watchdog_sec > 0) {
+    blackbox::WatchdogOptions options;
+    options.deadline_ns =
+        static_cast<std::uint64_t>(watchdog_sec) * 1'000'000'000ull;
+    blackbox::StartWatchdog(options);
+  }
+}
+
+/// End-of-run counterpart: --blackbox-dump forces a manual flight-recorder
+/// dump on clean exit (decoder drills, post-run inspection). Stops the
+/// watchdog so it never outlives the workload it monitors.
+inline void FinishBlackbox(const Flags& flags) {
+  blackbox::StopWatchdog();
+  if (flags.GetBool("blackbox-dump") &&
+      blackbox::DumpNow(blackbox::DumpReason::kManual)) {
+    std::cerr << "blackbox dump written to " << blackbox::DumpPath() << "\n";
+  }
 }
 
 /// Resolves --model values: the builtin names "lenet" and "cifar10_quick"

@@ -2,14 +2,27 @@
 # Runs every figure/table/ablation bench and collects the machine-readable
 # BENCH_<name>.json reports under bench/results/.
 #
-#   tools/run_benches.sh [build_dir]     (default: build)
+#   tools/run_benches.sh [--quick] [build_dir]     (default: build)
+#
+# --quick runs a <60s subset (one layer-time figure, one overall figure, the
+# reduction-mode ablation, a 2-iteration audit) — enough coordinates for
+# compare_bench.py to gate a change against bench/baselines/ without the
+# full sweep. Every report carries a "meta" provenance header (git SHA,
+# compiler, flags, thread count, hostname) for exactly that comparison.
 #
 # Human-readable figure output goes to bench/results/<name>.txt alongside
 # each JSON report. micro_kernels (google-benchmark) uses its native JSON
 # reporter.
 set -eu
 
-BUILD_DIR=${1:-build}
+QUICK=0
+BUILD_DIR=build
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) BUILD_DIR=$arg ;;
+  esac
+done
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BENCH_DIR="$REPO_ROOT/$BUILD_DIR/bench"
 RESULTS_DIR="$REPO_ROOT/bench/results"
@@ -26,6 +39,9 @@ BENCHES="fig4_mnist_layer_time fig5_mnist_layer_scalability \
 fig6_mnist_overall fig7_cifar_layer_time fig8_cifar_layer_scalability \
 fig9_cifar_overall tab_memory_overhead abl_reduction_modes abl_coalescing \
 abl_blas_vs_batch abl_model_sensitivity"
+if [ "$QUICK" -eq 1 ]; then
+  BENCHES="fig4_mnist_layer_time fig6_mnist_overall abl_reduction_modes"
+fi
 
 for name in $BENCHES; do
   bin="$BENCH_DIR/$name"
@@ -42,7 +58,7 @@ done
 # (native JSON reporter). Gate a change with e.g.:
 #   tools/compare_bench.py baseline/BENCH_gemm_micro.json \
 #       bench/results/BENCH_gemm_micro.json
-if [ -x "$BENCH_DIR/micro_kernels" ]; then
+if [ "$QUICK" -eq 0 ] && [ -x "$BENCH_DIR/micro_kernels" ]; then
   echo "== micro_kernels"
   "$BENCH_DIR/micro_kernels" \
     --benchmark_out="BENCH_micro_kernels.json" \
@@ -56,8 +72,13 @@ fi
 AUDIT_BIN="$REPO_ROOT/$BUILD_DIR/tools/cgdnn_audit"
 if [ -x "$AUDIT_BIN" ]; then
   echo "== cgdnn_audit (lenet)"
-  "$AUDIT_BIN" --model=lenet --threads=1,2,4 --iterations=3 --warmup=1 \
-    --audit-out="AUDIT_lenet.json" > audit_lenet.txt
+  if [ "$QUICK" -eq 1 ]; then
+    "$AUDIT_BIN" --model=lenet --threads=1,2 --iterations=2 --warmup=1 \
+      --audit-out="AUDIT_lenet.json" > audit_lenet.txt
+  else
+    "$AUDIT_BIN" --model=lenet --threads=1,2,4 --iterations=3 --warmup=1 \
+      --audit-out="AUDIT_lenet.json" > audit_lenet.txt
+  fi
 else
   echo "skip: cgdnn_audit (not built)" >&2
 fi

@@ -35,14 +35,16 @@ result() {  # result <name> <status>  (status 0 pass, 77 skip, else fail)
 # merge/privatizer/coalescing unit tests, and the cgdnn-check runtime
 # checker. Anchored names: a bare "Merge" would also pull in the (slow)
 # convergence training runs.
-parallel_tests='ParallelEquivalence|PerLayerThreadSweep|WriteSetCheckerTest|CheckedModels|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk'
+parallel_tests='ParallelEquivalence|PerLayerThreadSweep|WriteSetCheckerTest|CheckedModels|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest'
 # TSan runs the unit-level parallel suites plus single-thread model passes.
 # Whole-model multi-thread runs are excluded: TSan-instrumented GEMM inner
 # loops plus libgomp's ordered-section spin wait (which ignores
 # OMP_WAIT_POLICY) make them take tens of minutes per test on few-core
 # hosts. On a many-core machine run them directly with
 #   ctest --preset tsan -R 'PerLayerThreadSweep|CheckedModels'
-tsan_tests='WriteSetCheckerTest|CheckedModels.*threads1$|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk'
+# BlackboxTest rides along in both sanitizer stages: the recorder's
+# lock-free rings and watchdog reads must be TSan-clean by construction.
+tsan_tests='WriteSetCheckerTest|CheckedModels.*threads1$|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest'
 
 note "lint_parallel"
 python3 tools/lint_parallel.py --self-test && python3 tools/lint_parallel.py
@@ -59,6 +61,18 @@ fi
 if [[ ${fast} -eq 1 ]]; then
   [[ ${failures} -eq 0 ]] && echo "run_checks: fast checks clean"
   exit $((failures > 0))
+fi
+
+note "blackbox drills (crash dump + watchdog)"
+# End-to-end flight-recorder forensics against the regular build: injected
+# SIGSEGV -> decodable dump, injected merge stall -> watchdog abort. Both
+# are ctest `checks` cases; SKIP when the default build tree is absent.
+if [[ -f build/CTestTestfile.cmake ]]; then
+  ( cd build && ctest -R 'crash_dump_check|watchdog_check' \
+      --output-on-failure )
+  result "blackbox-drills" $?
+else
+  result "blackbox-drills" 77
 fi
 
 run_sanitizer_preset() {  # run_sanitizer_preset <preset> <test-regex>
