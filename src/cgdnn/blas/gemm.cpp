@@ -16,146 +16,32 @@
 // how callers partition rows — the bit-identity the coarse-grain
 // inner-product path relies on (and FLOP counts/timings are value-
 // independent: there are no data-dependent skips anywhere).
+//
+// The pack routines, microkernel, blocking nest and small-path row kernels
+// live in gemm_kernels.hpp so the planner's direct-convolution path can run
+// the very same kernel symbols on implicitly-gathered im2col data (the
+// bit-identity contract between conv strategies).
 #include <algorithm>
 
 #include "cgdnn/blas/blas.hpp"
+#include "cgdnn/blas/gemm_kernels.hpp"
 #include "cgdnn/core/arena.hpp"
 
 namespace cgdnn::blas {
 
-namespace {
-
-constexpr index_t RoundUp(index_t v, index_t to) { return (v + to - 1) / to * to; }
-
-/// One grow-only pack arena per OS thread: a single allocation on the
-/// thread's first packed GEMM (sizes are compile-time constants), then
-/// reused across calls, layers and samples — no malloc inside parallel
-/// regions after warm-up. Distinct from parallel::PrivatizationPool's
-/// arenas, whose scope is reset per layer by serial code.
+namespace kernels {
 ThreadArena& PackArena() {
   static thread_local ThreadArena arena;
   return arena;
 }
+}  // namespace kernels
 
-template <typename Dtype>
-void ScaleC(index_t m, index_t n, Dtype beta, Dtype* c) {
-  const index_t total = m * n;
-  if (beta == Dtype(0)) {
-    std::fill(c, c + total, Dtype(0));
-  } else if (beta != Dtype(1)) {
-    for (index_t i = 0; i < total; ++i) c[i] *= beta;
-  }
-}
+namespace {
 
-// ---- packed path -----------------------------------------------------------
-
-/// Packs the mc x kc slab of op(A) starting at (row i0, depth p0) into
-/// MR-wide row panels: panel p holds rows [p*MR, p*MR+MR), laid out kk-major
-/// with MR contiguous values per kk. alpha is folded in here; rows past mc
-/// are zero-padded so the microkernel never branches on the row remainder.
-template <typename Dtype>
-void PackASlab(bool trans, const Dtype* a, index_t lda, index_t i0,
-               index_t p0, index_t mc, index_t kc, Dtype alpha, Dtype* pack) {
-  constexpr index_t MR = GemmBlocking<Dtype>::kMR;
-  for (index_t ir = 0; ir < mc; ir += MR) {
-    const index_t mr = std::min(MR, mc - ir);
-    for (index_t kk = 0; kk < kc; ++kk) {
-      if (trans) {
-        // op(A)(i, kk) = a[kk * lda + i]
-        const Dtype* src = a + (p0 + kk) * lda + i0 + ir;
-        for (index_t i = 0; i < mr; ++i) pack[i] = alpha * src[i];
-      } else {
-        // op(A)(i, kk) = a[i * lda + kk]
-        const Dtype* src = a + (i0 + ir) * lda + p0 + kk;
-        for (index_t i = 0; i < mr; ++i) pack[i] = alpha * src[i * lda];
-      }
-      for (index_t i = mr; i < MR; ++i) pack[i] = Dtype(0);
-      pack += MR;
-    }
-  }
-}
-
-/// Packs the kc x nc slab of op(B) starting at (depth p0, col j0) into
-/// NR-wide column panels (kk-major, NR contiguous values per kk), columns
-/// past nc zero-padded.
-template <typename Dtype>
-void PackBSlab(bool trans, const Dtype* b, index_t ldb, index_t p0,
-               index_t j0, index_t kc, index_t nc, Dtype* pack) {
-  constexpr index_t NR = GemmBlocking<Dtype>::kNR;
-  for (index_t jr = 0; jr < nc; jr += NR) {
-    const index_t nr = std::min(NR, nc - jr);
-    for (index_t kk = 0; kk < kc; ++kk) {
-      if (trans) {
-        // op(B)(kk, j) = b[j * ldb + kk]
-        const Dtype* src = b + (j0 + jr) * ldb + p0 + kk;
-        for (index_t j = 0; j < nr; ++j) pack[j] = src[j * ldb];
-      } else {
-        // op(B)(kk, j) = b[kk * ldb + j]
-        const Dtype* src = b + (p0 + kk) * ldb + j0 + jr;
-        for (index_t j = 0; j < nr; ++j) pack[j] = src[j];
-      }
-      for (index_t j = nr; j < NR; ++j) pack[j] = Dtype(0);
-      pack += NR;
-    }
-  }
-}
-
-/// The single inner kernel: accumulates op(A)op(B) over one KC panel into an
-/// MR x NR register tile, then merges the tile into C. `beta` applies to
-/// the destination exactly once per (jc, C-tile) — the caller passes the
-/// user's beta for the first KC panel and 1 afterwards. The kk loop is
-/// branch-free; edge handling happens only in the store, on padded tiles.
-template <typename Dtype>
-void MicroKernel(index_t kc, const Dtype* __restrict ap,
-                 const Dtype* __restrict bp, Dtype* __restrict c, index_t ldc,
-                 index_t mr, index_t nr, Dtype beta) {
-  constexpr index_t MR = GemmBlocking<Dtype>::kMR;
-  constexpr index_t NR = GemmBlocking<Dtype>::kNR;
-  Dtype acc[MR * NR] = {};
-  for (index_t kk = 0; kk < kc; ++kk) {
-    const Dtype* a = ap + kk * MR;
-    const Dtype* b = bp + kk * NR;
-    for (index_t i = 0; i < MR; ++i) {
-      const Dtype ai = a[i];
-#pragma omp simd
-      for (index_t j = 0; j < NR; ++j) acc[i * NR + j] += ai * b[j];
-    }
-  }
-  if (mr == MR && nr == NR) {
-    if (beta == Dtype(1)) {
-      for (index_t i = 0; i < MR; ++i) {
-        Dtype* ci = c + i * ldc;
-#pragma omp simd
-        for (index_t j = 0; j < NR; ++j) ci[j] += acc[i * NR + j];
-      }
-    } else if (beta == Dtype(0)) {
-      for (index_t i = 0; i < MR; ++i) {
-        Dtype* ci = c + i * ldc;
-#pragma omp simd
-        for (index_t j = 0; j < NR; ++j) ci[j] = acc[i * NR + j];
-      }
-    } else {
-      for (index_t i = 0; i < MR; ++i) {
-        Dtype* ci = c + i * ldc;
-#pragma omp simd
-        for (index_t j = 0; j < NR; ++j) ci[j] = beta * ci[j] + acc[i * NR + j];
-      }
-    }
-  } else {
-    for (index_t i = 0; i < mr; ++i) {
-      Dtype* ci = c + i * ldc;
-      for (index_t j = 0; j < nr; ++j) {
-        if (beta == Dtype(1)) {
-          ci[j] += acc[i * NR + j];
-        } else if (beta == Dtype(0)) {
-          ci[j] = acc[i * NR + j];
-        } else {
-          ci[j] = beta * ci[j] + acc[i * NR + j];
-        }
-      }
-    }
-  }
-}
+using kernels::AxpyRowKernel;
+using kernels::DotRowKernel;
+using kernels::RoundUpTo;
+using kernels::ScaleC;
 
 template <typename Dtype>
 void PackedGemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
@@ -164,34 +50,23 @@ void PackedGemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
   using B = GemmBlocking<Dtype>;
   const index_t lda = trans_a ? m : k;
   const index_t ldb = trans_b ? k : n;
-  ThreadArena& arena = PackArena();
+  ThreadArena& arena = kernels::PackArena();
   arena.ResetScope();
   auto* packa = static_cast<Dtype*>(arena.Allocate(
-      static_cast<std::size_t>(RoundUp(B::kMC, B::kMR) * B::kKC) *
+      static_cast<std::size_t>(RoundUpTo(B::kMC, B::kMR) * B::kKC) *
       sizeof(Dtype)));
   auto* packb = static_cast<Dtype*>(arena.Allocate(
-      static_cast<std::size_t>(RoundUp(B::kNC, B::kNR) * B::kKC) *
+      static_cast<std::size_t>(RoundUpTo(B::kNC, B::kNR) * B::kKC) *
       sizeof(Dtype)));
-  for (index_t jc = 0; jc < n; jc += B::kNC) {
-    const index_t nc = std::min(B::kNC, n - jc);
-    for (index_t pc = 0; pc < k; pc += B::kKC) {
-      const index_t kc = std::min(B::kKC, k - pc);
-      const Dtype beta_panel = pc == 0 ? beta : Dtype(1);
-      PackBSlab(trans_b, b, ldb, pc, jc, kc, nc, packb);
-      for (index_t ic = 0; ic < m; ic += B::kMC) {
-        const index_t mc = std::min(B::kMC, m - ic);
-        PackASlab(trans_a, a, lda, ic, pc, mc, kc, alpha, packa);
-        for (index_t jr = 0; jr < nc; jr += B::kNR) {
-          const index_t nr = std::min(B::kNR, nc - jr);
-          for (index_t ir = 0; ir < mc; ir += B::kMR) {
-            const index_t mr = std::min(B::kMR, mc - ir);
-            MicroKernel(kc, packa + ir * kc, packb + jr * kc,
-                        c + (ic + ir) * n + jc + jr, n, mr, nr, beta_panel);
-          }
-        }
-      }
-    }
-  }
+  kernels::PackedGemmLoop(
+      m, n, k, beta, c, n,
+      [&](index_t i0, index_t p0, index_t mc, index_t kc, Dtype* pack) {
+        kernels::PackASlab(trans_a, a, lda, i0, p0, mc, kc, alpha, pack);
+      },
+      [&](index_t p0, index_t j0, index_t kc, index_t nc, Dtype* pack) {
+        kernels::PackBSlab(trans_b, b, ldb, p0, j0, kc, nc, pack);
+      },
+      packa, packb);
 }
 
 // ---- small path ------------------------------------------------------------
@@ -199,22 +74,19 @@ void PackedGemm(bool trans_a, bool trans_b, index_t m, index_t n, index_t k,
 // Branch-free naive loop nests (the pre-packing kernels, minus their
 // value-dependent zero skips), run after ScaleC. Loop orders keep the
 // innermost loop over contiguous C and, when possible, contiguous A/B;
-// K-blocking keeps the NN working set inside L1/L2.
-
-constexpr index_t kBlockK = 256;
+// K-blocking keeps the NN working set inside L1/L2. The row-level work runs
+// through the shared AxpyRowKernel / DotRowKernel symbols (bit-identity with
+// the direct-conv small path).
 
 template <typename Dtype>
 void SmallGemmNN(index_t m, index_t n, index_t k, Dtype alpha, const Dtype* a,
                  const Dtype* b, Dtype* c) {
-  for (index_t k0 = 0; k0 < k; k0 += kBlockK) {
-    const index_t k1 = std::min(k0 + kBlockK, k);
+  for (index_t k0 = 0; k0 < k; k0 += kernels::kSmallGemmBlockK) {
+    const index_t k1 = std::min(k0 + kernels::kSmallGemmBlockK, k);
     for (index_t i = 0; i < m; ++i) {
       Dtype* ci = c + i * n;
       for (index_t kk = k0; kk < k1; ++kk) {
-        const Dtype aik = alpha * a[i * k + kk];
-        const Dtype* bk = b + kk * n;
-#pragma omp simd
-        for (index_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+        AxpyRowKernel(n, alpha * a[i * k + kk], b + kk * n, ci);
       }
     }
   }
@@ -227,11 +99,7 @@ void SmallGemmNT(index_t m, index_t n, index_t k, Dtype alpha, const Dtype* a,
     const Dtype* ai = a + i * k;
     Dtype* ci = c + i * n;
     for (index_t j = 0; j < n; ++j) {
-      const Dtype* bj = b + j * k;
-      Dtype sum = 0;
-#pragma omp simd reduction(+ : sum)
-      for (index_t kk = 0; kk < k; ++kk) sum += ai[kk] * bj[kk];
-      ci[j] += alpha * sum;
+      ci[j] += alpha * DotRowKernel(k, ai, b + j * k);
     }
   }
 }
@@ -244,10 +112,7 @@ void SmallGemmTN(index_t m, index_t n, index_t k, Dtype alpha, const Dtype* a,
     const Dtype* ak = a + kk * m;
     const Dtype* bk = b + kk * n;
     for (index_t i = 0; i < m; ++i) {
-      const Dtype aik = alpha * ak[i];
-      Dtype* ci = c + i * n;
-#pragma omp simd
-      for (index_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+      AxpyRowKernel(n, alpha * ak[i], bk, c + i * n);
     }
   }
 }
@@ -267,16 +132,11 @@ void SmallGemmTT(index_t m, index_t n, index_t k, Dtype alpha, const Dtype* a,
   }
 }
 
-/// m is deliberately not consulted: a row-partitioned call must take the
-/// same branch as the full-batch call (see kGemmPackMinWork).
-template <typename Dtype>
-bool UsePackedPath(index_t n, index_t k) {
-  return n >= GemmBlocking<Dtype>::kNR && n * k >= kGemmPackMinWork;
-}
-
 }  // namespace
 
-std::size_t gemm_pack_scratch_bytes() { return PackArena().capacity_bytes(); }
+std::size_t gemm_pack_scratch_bytes() {
+  return kernels::PackArena().capacity_bytes();
+}
 
 template <typename Dtype>
 void gemm(Transpose trans_a, Transpose trans_b, index_t m, index_t n,
@@ -292,7 +152,7 @@ void gemm(Transpose trans_a, Transpose trans_b, index_t m, index_t n,
   }
   const bool ta = trans_a == Transpose::kTrans;
   const bool tb = trans_b == Transpose::kTrans;
-  if (UsePackedPath<Dtype>(n, k)) {
+  if (kernels::UsePackedPath<Dtype>(n, k)) {
     PackedGemm(ta, tb, m, n, k, alpha, a, b, beta, c);
     return;
   }
@@ -321,20 +181,13 @@ void gemv(Transpose trans_a, index_t m, index_t n, Dtype alpha,
   if (alpha == Dtype(0) || m == 0 || n == 0) return;
   if (trans_a == Transpose::kNo) {
     for (index_t i = 0; i < m; ++i) {
-      const Dtype* ai = a + i * n;
-      Dtype sum = 0;
-#pragma omp simd reduction(+ : sum)
-      for (index_t j = 0; j < n; ++j) sum += ai[j] * x[j];
-      y[i] += alpha * sum;
+      y[i] += alpha * DotRowKernel(n, a + i * n, x);
     }
   } else {
     for (index_t i = 0; i < m; ++i) {
       // No zero-skip on x[i]: FLOP counts and timings must stay
       // input-independent (the paper's instrumentation assumption).
-      const Dtype axi = alpha * x[i];
-      const Dtype* ai = a + i * n;
-#pragma omp simd
-      for (index_t j = 0; j < n; ++j) y[j] += axi * ai[j];
+      AxpyRowKernel(n, alpha * x[i], a + i * n, y);
     }
   }
 }
@@ -344,10 +197,7 @@ void ger(index_t m, index_t n, Dtype alpha, const Dtype* x, const Dtype* y,
          Dtype* a) {
   for (index_t i = 0; i < m; ++i) {
     // No zero-skip on x[i] — see gemv.
-    const Dtype axi = alpha * x[i];
-    Dtype* ai = a + i * n;
-#pragma omp simd
-    for (index_t j = 0; j < n; ++j) ai[j] += axi * y[j];
+    AxpyRowKernel(n, alpha * x[i], y, a + i * n);
   }
 }
 

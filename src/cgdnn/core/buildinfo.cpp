@@ -5,6 +5,7 @@
 #include <sstream>
 
 #ifdef __unix__
+#include <sys/resource.h>
 #include <unistd.h>
 #endif
 
@@ -102,7 +103,17 @@ void WriteMetaJson(std::ostream& os) {
   WriteJsonEscaped(os, info.flags);
   os << ", \"options\": ";
   WriteJsonEscaped(os, info.options);
-  os << ", \"threads\": " << omp_get_max_threads() << ", \"hostname\": ";
+  os << ", \"threads\": " << omp_get_max_threads();
+#ifdef __unix__
+  // Peak RSS of the whole process so far (ru_maxrss is KB on Linux). Meta
+  // headers are written when the report is, i.e. after the workload — the
+  // number covers the run. compare_bench.py diffs it between reports that
+  // both carry it (the arena planner's memory claims are gated on this).
+  if (struct rusage ru; getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+    os << ", \"peak_rss_kb\": " << ru.ru_maxrss;
+  }
+#endif
+  os << ", \"hostname\": ";
   WriteJsonEscaped(os, Hostname().c_str());
   os << "}";
 }

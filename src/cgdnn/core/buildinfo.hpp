@@ -31,8 +31,11 @@ const std::string& Hostname();
 
 /// Writes the meta header as one JSON object (no trailing separator):
 ///   {"git_sha": "...", "compiler": "...", "build_type": "...",
-///    "flags": "...", "options": "...", "threads": N, "hostname": "..."}
+///    "flags": "...", "options": "...", "threads": N,
+///    "peak_rss_kb": N, "hostname": "..."}
 /// `threads` is omp_get_max_threads() — the run's thread ceiling.
+/// `peak_rss_kb` is the process peak RSS at write time (getrusage;
+/// omitted on platforms without it).
 void WriteMetaJson(std::ostream& os);
 
 /// WriteMetaJson into a string (handy for sinks that write line-wise).

@@ -86,8 +86,45 @@ void ConvolutionLayer<Dtype>::Reshape(const std::vector<Blob<Dtype>*>& bottom,
 
 template <typename Dtype>
 Dtype* ConvolutionLayer<Dtype>::SerialColBuffer() {
+  // An arena plan replaces the private buffer with a shared scratch slot
+  // (one slot serves every conv layer — col contents never outlive one
+  // sample step, so they can all alias).
+  if (planned_col_ != nullptr) {
+    CGDNN_CHECK_GE(planned_col_count_, col_count_)
+        << "arena col slot too small for " << this->layer_param_.name;
+    return planned_col_;
+  }
   col_buffer_.Reshape({channels_ * kernel_h_ * kernel_w_, out_h_, out_w_});
   return col_buffer_.mutable_cpu_data();
+}
+
+template <typename Dtype>
+void ConvolutionLayer<Dtype>::BindSerialColBuffer(Dtype* slot,
+                                                  index_t count) {
+  planned_col_ = slot;
+  planned_col_count_ = slot != nullptr ? count : 0;
+}
+
+template <typename Dtype>
+blas::ConvGeom ConvolutionLayer<Dtype>::geom() const {
+  blas::ConvGeom g;
+  g.channels = channels_;
+  g.height = height_;
+  g.width = width_;
+  g.kernel_h = kernel_h_;
+  g.kernel_w = kernel_w_;
+  g.pad_h = pad_h_;
+  g.pad_w = pad_w_;
+  g.stride_h = stride_h_;
+  g.stride_w = stride_w_;
+  g.out_h = out_h_;
+  g.out_w = out_w_;
+  return g;
+}
+
+template <typename Dtype>
+bool ConvolutionLayer<Dtype>::DirectSupported() const {
+  return blas::DirectConvSupported(geom(), group_, dilation_);
 }
 
 template <typename Dtype>
@@ -102,15 +139,22 @@ template <typename Dtype>
 void ConvolutionLayer<Dtype>::ForwardSample(const Dtype* bottom_data,
                                             Dtype* top_data,
                                             Dtype* col) const {
-  Im2ColSample(bottom_data, col);
   const Dtype* weights = this->blobs_[0]->cpu_data();
-  const index_t out_per_group = num_output_ / group_;
-  for (index_t g = 0; g < group_; ++g) {
-    blas::gemm(blas::Transpose::kNo, blas::Transpose::kNo, out_per_group,
-               out_spatial_, kernel_dim_, Dtype(1),
-               weights + g * out_per_group * kernel_dim_,
-               col + g * kernel_dim_ * out_spatial_, Dtype(0),
-               top_data + g * out_per_group * out_spatial_);
+  if (forward_strategy_ == ConvStrategy::kDirect) {
+    // Implicit im2col: same kernel symbols, no materialized col (col may be
+    // null). Planner guarantees DirectSupported(), i.e. group_ == 1.
+    blas::DirectConvForward(geom(), num_output_, weights, bottom_data,
+                            top_data);
+  } else {
+    Im2ColSample(bottom_data, col);
+    const index_t out_per_group = num_output_ / group_;
+    for (index_t g = 0; g < group_; ++g) {
+      blas::gemm(blas::Transpose::kNo, blas::Transpose::kNo, out_per_group,
+                 out_spatial_, kernel_dim_, Dtype(1),
+                 weights + g * out_per_group * kernel_dim_,
+                 col + g * kernel_dim_ * out_spatial_, Dtype(0),
+                 top_data + g * out_per_group * out_spatial_);
+    }
   }
   if (bias_term_) {
     // top += bias ⊗ ones(out_spatial)
@@ -126,15 +170,20 @@ void ConvolutionLayer<Dtype>::BackwardSampleWeights(const Dtype* bottom_data,
                                                     Dtype* weight_diff,
                                                     Dtype* bias_diff,
                                                     Dtype* col) const {
-  Im2ColSample(bottom_data, col);
-  const index_t out_per_group = num_output_ / group_;
-  for (index_t g = 0; g < group_; ++g) {
-    // dW_g += top_diff_g (out_per_group x spatial) x col_g^T (spatial x kdim)
-    blas::gemm(blas::Transpose::kNo, blas::Transpose::kTrans, out_per_group,
-               kernel_dim_, out_spatial_, Dtype(1),
-               top_diff + g * out_per_group * out_spatial_,
-               col + g * kernel_dim_ * out_spatial_, Dtype(1),
-               weight_diff + g * out_per_group * kernel_dim_);
+  if (backward_weights_strategy_ == ConvStrategy::kDirect) {
+    blas::DirectConvBackwardWeights(geom(), num_output_, top_diff,
+                                    bottom_data, weight_diff);
+  } else {
+    Im2ColSample(bottom_data, col);
+    const index_t out_per_group = num_output_ / group_;
+    for (index_t g = 0; g < group_; ++g) {
+      // dW_g += top_diff_g (out_per_group x spatial) x col_g^T
+      blas::gemm(blas::Transpose::kNo, blas::Transpose::kTrans, out_per_group,
+                 kernel_dim_, out_spatial_, Dtype(1),
+                 top_diff + g * out_per_group * out_spatial_,
+                 col + g * kernel_dim_ * out_spatial_, Dtype(1),
+                 weight_diff + g * out_per_group * kernel_dim_);
+    }
   }
   if (bias_diff != nullptr) {
     blas::gemv(blas::Transpose::kNo, num_output_, out_spatial_, Dtype(1),
@@ -167,9 +216,14 @@ void ConvolutionLayer<Dtype>::Forward_cpu(
     const std::vector<Blob<Dtype>*>& top) {
   const Dtype* bottom_data = bottom[0]->cpu_data();
   Dtype* top_data = top[0]->mutable_cpu_data();
-  Dtype* col = SerialColBuffer();
+  Dtype* col = forward_strategy_ == ConvStrategy::kDirect ? nullptr
+                                                          : SerialColBuffer();
+  const FusedEpilogue<Dtype>* ep = this->fused_epilogue();
   for (index_t n = 0; n < num_; ++n) {
     ForwardSample(bottom_data + n * bottom_dim_, top_data + n * top_dim_, col);
+    if (ep != nullptr) {
+      ep->ApplyForward(top_data + n * top_dim_, n * top_dim_, top_dim_);
+    }
   }
 }
 
@@ -188,16 +242,23 @@ void ConvolutionLayer<Dtype>::Forward_cpu_parallel(
   // Batch-level parallelism, no coalescing needed: each sample is a heavy
   // and uniform work unit (im2col + GEMM), and all writes are disjoint.
   check::WriteSetChecker* chk = rstats.checker();
+  const FusedEpilogue<Dtype>* ep = this->fused_epilogue();
+  const bool need_col = forward_strategy_ != ConvStrategy::kDirect;
 #pragma omp parallel num_threads(nthreads)
   {
     const int tid = omp_get_thread_num();
-    Dtype* col = pool.Acquire<Dtype>(tid, col_count_);
+    Dtype* col = need_col ? pool.Acquire<Dtype>(tid, col_count_) : nullptr;
     {
       parallel::ThreadRegionScope rscope(rstats, tid);
 #pragma omp for schedule(static) nowait
       for (index_t n = 0; n < num_; ++n) {
         ForwardSample(bottom_data + n * bottom_dim_, top_data + n * top_dim_,
                       col);
+        if (ep != nullptr) {
+          // Fused elementwise chain, applied while the sample's output is
+          // cache-hot; writes stay inside this sample's top range.
+          ep->ApplyForward(top_data + n * top_dim_, n * top_dim_, top_dim_);
+        }
         if (chk != nullptr) {
           chk->RecordWrite(tid, top_data, "top.data", n * top_dim_,
                            (n + 1) * top_dim_);
@@ -216,7 +277,11 @@ void ConvolutionLayer<Dtype>::Backward_cpu(
     const std::vector<Blob<Dtype>*>& bottom) {
   const Dtype* top_diff = top[0]->cpu_diff();
   const Dtype* bottom_data = bottom[0]->cpu_data();
-  Dtype* col = SerialColBuffer();
+  const bool col_for_weights =
+      this->param_propagate_down(0) &&
+      backward_weights_strategy_ != ConvStrategy::kDirect;
+  Dtype* col = col_for_weights || propagate_down[0] ? SerialColBuffer()
+                                                    : nullptr;
   Dtype* weight_diff = this->param_propagate_down(0)
                            ? this->blobs_[0]->mutable_cpu_diff()
                            : nullptr;
@@ -266,10 +331,13 @@ void ConvolutionLayer<Dtype>::Backward_cpu_parallel(
                                nthreads);
   check::WriteSetChecker* chk = rstats.checker();
 
+  const bool need_col =
+      (do_weights && backward_weights_strategy_ != ConvStrategy::kDirect) ||
+      propagate_down[0];
 #pragma omp parallel num_threads(nthreads)
   {
     const int tid = omp_get_thread_num();
-    Dtype* col = pool.Acquire<Dtype>(tid, col_count_);
+    Dtype* col = need_col ? pool.Acquire<Dtype>(tid, col_count_) : nullptr;
     Dtype* wgrad = nullptr;
     Dtype* bgrad = nullptr;
     if (do_weights) {

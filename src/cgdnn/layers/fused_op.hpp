@@ -1,0 +1,104 @@
+// Fused elementwise epilogues: the planner's forward-pass fusion mechanism.
+//
+// When a stateless elementwise layer runs in place on its producer's output
+// (relu1 on top of ip1, the evaluation nets' standard idiom), the planner
+// detaches the consumer from Net::Forward and hands the producer a
+// FusedEpilogue instead. The producer applies the chain to each output chunk
+// while it is still cache-hot inside its own (already instrumented) parallel
+// loop — the tensor is written once instead of being round-tripped through
+// memory by a separate layer pass.
+//
+// Legality rules (docs/perf.md): a layer may join an epilogue chain only if
+// it (a) runs in place (top blob == bottom blob), so skipping it leaves no
+// unwritten output; (b) is elementwise with no cross-element or cross-sample
+// coupling, so per-chunk application inside any partitioning is equivalent;
+// and (c) is stateless in forward, so application order/time cannot matter.
+// ReLU/Sigmoid/TanH and inference Scale/Bias qualify; Dropout never does
+// (its counter-based mask is stateful), nor do LRN/Pooling (cross-element).
+// Backward is NOT fused: the consumer layers stay in the net and run their
+// own Backward unchanged — forward fusion leaves every blob bit-identical,
+// so the backward pass is bit-identical by construction.
+//
+// Each formula below replicates the corresponding layer's Forward_cpu
+// expression exactly (same operations, same order) — that is what makes
+// fused and unfused execution bit-identical, and the planned thread-sweep
+// tests enforce it.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cgdnn/core/common.hpp"
+
+namespace cgdnn {
+
+enum class FusedOpKind { kReLU, kSigmoid, kTanH, kScale, kBias };
+
+template <typename Dtype>
+struct FusedOp {
+  FusedOpKind kind = FusedOpKind::kReLU;
+  Dtype slope = 0;              // kReLU: negative slope
+  const Dtype* coef = nullptr;  // kScale: scale vector; kBias: bias vector
+  const Dtype* bias = nullptr;  // kScale with bias_term: bias vector
+  index_t dim = 0;              // kScale/kBias: coefficient count
+  index_t inner = 1;            // kScale/kBias: inner (spatial) extent
+};
+
+/// An ordered chain of fused elementwise ops applied to a producer's output
+/// range. `start` is the element's global offset within the blob — the
+/// Scale/Bias coefficient index is (global_idx / inner) % dim, so chunked
+/// application from any partitioning matches a whole-blob pass.
+template <typename Dtype>
+class FusedEpilogue {
+ public:
+  void Append(FusedOp<Dtype> op, std::string layer_name) {
+    ops_.push_back(op);
+    layer_names_.push_back(std::move(layer_name));
+  }
+
+  std::size_t size() const { return ops_.size(); }
+  const std::vector<std::string>& layer_names() const { return layer_names_; }
+
+  void ApplyForward(Dtype* data, index_t start, index_t count) const {
+    for (const FusedOp<Dtype>& op : ops_) {
+      switch (op.kind) {
+        case FusedOpKind::kReLU: {
+          const Dtype slope = op.slope;
+          for (index_t i = 0; i < count; ++i) {
+            data[i] = data[i] > 0 ? data[i] : slope * data[i];
+          }
+          break;
+        }
+        case FusedOpKind::kSigmoid:
+          for (index_t i = 0; i < count; ++i) {
+            data[i] =
+                Dtype(0.5) * std::tanh(Dtype(0.5) * data[i]) + Dtype(0.5);
+          }
+          break;
+        case FusedOpKind::kTanH:
+          for (index_t i = 0; i < count; ++i) data[i] = std::tanh(data[i]);
+          break;
+        case FusedOpKind::kScale:
+          for (index_t i = 0; i < count; ++i) {
+            const index_t s = (start + i) / op.inner % op.dim;
+            data[i] = data[i] * op.coef[s] +
+                      (op.bias != nullptr ? op.bias[s] : Dtype(0));
+          }
+          break;
+        case FusedOpKind::kBias:
+          for (index_t i = 0; i < count; ++i) {
+            data[i] += op.coef[(start + i) / op.inner % op.dim];
+          }
+          break;
+      }
+    }
+  }
+
+ private:
+  std::vector<FusedOp<Dtype>> ops_;
+  std::vector<std::string> layer_names_;
+};
+
+}  // namespace cgdnn

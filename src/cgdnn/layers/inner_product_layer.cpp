@@ -65,6 +65,9 @@ void InnerProductLayer<Dtype>::Forward_cpu(
     blas::ger(m_, num_output_, Dtype(1), bias_multiplier_.cpu_data(),
               this->blobs_[1]->cpu_data(), top_data);
   }
+  if (const FusedEpilogue<Dtype>* ep = this->fused_epilogue()) {
+    ep->ApplyForward(top_data, 0, m_ * num_output_);
+  }
 }
 
 template <typename Dtype>
@@ -100,6 +103,12 @@ void InnerProductLayer<Dtype>::Forward_cpu_parallel(
         for (index_t s = 0; s < range.size(); ++s) {
           blas::axpy(num_output_, Dtype(1), bias, out + s * num_output_);
         }
+      }
+      if (const FusedEpilogue<Dtype>* ep = this->fused_epilogue()) {
+        // Fused chain over this thread's row chunk — elementwise, so the
+        // partitioned application is bit-identical to a whole-blob pass.
+        ep->ApplyForward(out, range.begin * num_output_,
+                         range.size() * num_output_);
       }
     }
   }

@@ -19,6 +19,7 @@
 
 #include "cgdnn/core/blob.hpp"
 #include "cgdnn/core/common.hpp"
+#include "cgdnn/layers/fused_op.hpp"
 #include "cgdnn/parallel/context.hpp"
 #include "cgdnn/proto/params.hpp"
 
@@ -106,6 +107,20 @@ class Layer {
   Phase phase() const { return phase_; }
   void set_phase(Phase phase) { phase_ = phase; }
 
+  /// True for producers whose forward loops apply a planner-installed
+  /// FusedEpilogue to each output chunk (conv/ip/pooling). The planner only
+  /// fuses consumers into layers that opt in here.
+  virtual bool SupportsFusedEpilogue() const { return false; }
+  /// Installs (or clears, with nullptr) the fused elementwise chain this
+  /// layer applies to its forward output. Set by plan::ApplyPlan from serial
+  /// code; the layer reads it inside Forward only.
+  void set_fused_epilogue(std::shared_ptr<const FusedEpilogue<Dtype>> ep) {
+    fused_epilogue_ = std::move(ep);
+  }
+  const FusedEpilogue<Dtype>* fused_epilogue() const {
+    return fused_epilogue_.get();
+  }
+
   /// Mutable runtime state beyond blobs() — data cursors, dropout pass
   /// counters — exported as opaque u64 words for checkpointing. A resumed
   /// net must replay training bit-identically, so any layer whose forward
@@ -154,6 +169,7 @@ class Layer {
   std::vector<std::shared_ptr<Blob<Dtype>>> blobs_;
   std::vector<bool> param_propagate_down_;
   std::vector<Dtype> loss_;
+  std::shared_ptr<const FusedEpilogue<Dtype>> fused_epilogue_;
 };
 
 // ----------------------------------------------------------------- Registry

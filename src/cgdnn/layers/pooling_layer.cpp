@@ -161,11 +161,16 @@ void PoolingLayer<Dtype>::Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,
   Dtype* top_data = top[0]->mutable_cpu_data();
   const index_t in_plane = height_ * width_;
   const index_t out_plane = pooled_h_ * pooled_w_;
+  const FusedEpilogue<Dtype>* ep = this->fused_epilogue();
   for (index_t n = 0; n < num_; ++n) {
     for (index_t c = 0; c < channels_; ++c) {
       const index_t plane = n * channels_ + c;
       ForwardPlane(bottom_data + plane * in_plane, top_data + plane * out_plane,
                    max_idx_.data() + plane * out_plane);
+      if (ep != nullptr) {
+        ep->ApplyForward(top_data + plane * out_plane, plane * out_plane,
+                         out_plane);
+      }
     }
   }
 }
@@ -190,6 +195,7 @@ void PoolingLayer<Dtype>::Forward_cpu_parallel(
     parallel::RegionStats rstats(this->layer_param_.name + ".forward",
                                  nthreads);
     check::WriteSetChecker* chk = rstats.checker();
+    const FusedEpilogue<Dtype>* ep = this->fused_epilogue();
 #pragma omp parallel num_threads(nthreads)
     {
       const int tid = omp_get_thread_num();
@@ -198,6 +204,11 @@ void PoolingLayer<Dtype>::Forward_cpu_parallel(
       for (index_t civ = 0; civ < total; ++civ) {
         ForwardPlane(bottom_data + civ * in_plane, top_data + civ * out_plane,
                      mask + civ * out_plane);
+        if (ep != nullptr) {
+          // Fused elementwise chain per plane (writes stay in this plane).
+          ep->ApplyForward(top_data + civ * out_plane, civ * out_plane,
+                           out_plane);
+        }
         if (chk != nullptr) {
           chk->RecordWrite(tid, top_data, "top.data", civ * out_plane,
                            (civ + 1) * out_plane);
@@ -207,12 +218,33 @@ void PoolingLayer<Dtype>::Forward_cpu_parallel(
       }
     }
   } else {
-#pragma omp parallel for num_threads(parallel::Parallel::ResolveThreads()) schedule(static)
-    for (index_t n = 0; n < num_; ++n) {
-      for (index_t c = 0; c < channels_; ++c) {
-        const index_t plane = n * channels_ + c;
-        ForwardPlane(bottom_data + plane * in_plane,
-                     top_data + plane * out_plane, mask + plane * out_plane);
+    const int nthreads = parallel::Parallel::ResolveThreads();
+    parallel::RegionStats rstats(this->layer_param_.name + ".forward",
+                                 nthreads);
+    check::WriteSetChecker* chk = rstats.checker();
+    const FusedEpilogue<Dtype>* ep = this->fused_epilogue();
+#pragma omp parallel num_threads(nthreads)
+    {
+      const int tid = omp_get_thread_num();
+      parallel::ThreadRegionScope rscope(rstats, tid);
+#pragma omp for schedule(static)
+      for (index_t n = 0; n < num_; ++n) {
+        for (index_t c = 0; c < channels_; ++c) {
+          const index_t plane = n * channels_ + c;
+          ForwardPlane(bottom_data + plane * in_plane,
+                       top_data + plane * out_plane, mask + plane * out_plane);
+          if (ep != nullptr) {
+            ep->ApplyForward(top_data + plane * out_plane, plane * out_plane,
+                             out_plane);
+          }
+        }
+        if (chk != nullptr) {
+          chk->RecordWrite(tid, top_data, "top.data",
+                           n * channels_ * out_plane,
+                           (n + 1) * channels_ * out_plane);
+          chk->RecordWrite(tid, mask, "max_idx", n * channels_ * out_plane,
+                           (n + 1) * channels_ * out_plane);
+        }
       }
     }
   }

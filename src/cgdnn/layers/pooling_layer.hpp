@@ -29,6 +29,7 @@ class PoolingLayer : public Layer<Dtype> {
   const char* type() const override { return "Pooling"; }
   int ExactNumBottomBlobs() const override { return 1; }
   int ExactNumTopBlobs() const override { return 1; }
+  bool SupportsFusedEpilogue() const override { return true; }
 
  protected:
   void Forward_cpu(const std::vector<Blob<Dtype>*>& bottom,

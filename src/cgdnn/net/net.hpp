@@ -72,6 +72,37 @@ class Net {
   const std::string& name() const { return name_; }
   Phase phase() const { return phase_; }
 
+  // ---- planner hooks (src/cgdnn/plan/) -----------------------------------
+
+  /// Per-layer blob-id wiring and backward-need flags, exposed read-only for
+  /// the planner's lifetime analysis and fusion legality checks.
+  const std::vector<std::vector<std::size_t>>& top_id_vecs() const {
+    return top_id_vecs_;
+  }
+  const std::vector<std::vector<std::size_t>>& bottom_id_vecs() const {
+    return bottom_id_vecs_;
+  }
+  const std::vector<bool>& layer_need_backward() const {
+    return layer_need_backward_;
+  }
+  const std::vector<bool>& blob_need_backward() const {
+    return blob_need_backward_;
+  }
+
+  /// Marks layer `li` as fused into its producer: Forward() skips it (its
+  /// work happens in the producer's FusedEpilogue); Backward still runs it.
+  void set_layer_forward_skip(std::size_t li, bool skip);
+  bool layer_forward_skip(std::size_t li) const {
+    return li < layer_forward_skip_.size() && layer_forward_skip_[li];
+  }
+
+  /// Keeps the execution plan's owned state (activation arena storage,
+  /// epilogues) alive as long as the net; opaque to the net itself.
+  void AttachPlanState(std::shared_ptr<void> state) {
+    plan_state_ = std::move(state);
+  }
+  const std::shared_ptr<void>& plan_state() const { return plan_state_; }
+
   /// Bytes held by all intermediate blobs (the "total memory" of the
   /// paper's §3.2.1 memory accounting).
   std::size_t MemoryUsedBytes() const;
@@ -122,6 +153,9 @@ class Net {
   // Scratch for blob availability during wiring: name -> blob id of the
   // most recent producer.
   std::map<std::string, std::size_t> available_blobs_;
+
+  std::vector<bool> layer_forward_skip_;  // true: fused into producer
+  std::shared_ptr<void> plan_state_;      // owned by the execution plan
 
   bool force_backward_ = false;
   profile::Profiler* profiler_ = nullptr;

@@ -1,0 +1,84 @@
+// Lifetime-planned activation arena: interval coloring over the execution
+// timeline.
+//
+// Per-blob allocation keeps every activation's data and diff plane alive for
+// the whole iteration even though most are dead for most of it. The arena
+// plan models one training iteration as a timeline of 2L integer steps for
+// an L-layer net — forward of layer i at step i, backward of layer i at step
+// 2L-1-i — assigns each plane a live interval on that timeline, and packs
+// the intervals into one flat buffer: two planes may share addresses iff
+// their intervals do not overlap in time. This is classic interval-graph
+// coloring (offsets play the role of colors), solved greedily: place
+// intervals in decreasing size order, each at the lowest aligned offset that
+// does not collide with an already-placed, time-overlapping interval
+// (first-fit decreasing — optimal on interval graphs for unit sizes, and a
+// good 2-approximation here).
+//
+// A plane whose slot is re-used later in the timeline holds garbage after
+// the iteration. The `preserved` flag records exactly this: an interval is
+// preserved iff no address-overlapping interval starts after it ends.
+// Validation (and anything else inspecting post-iteration state) may only
+// compare preserved planes; everything the training loop itself reads is
+// live by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cgdnn/core/common.hpp"
+
+namespace cgdnn::plan {
+
+/// What a lifetime interval binds to when the plan is applied.
+enum class SlotKind {
+  kData = 0,  ///< a blob's data plane
+  kDiff = 1,  ///< a blob's diff plane
+  kCol = 2,   ///< the shared serial-path conv column scratch
+};
+
+struct LifetimeInterval {
+  std::string name;     ///< blob name (or "col" for the shared scratch)
+  SlotKind kind = SlotKind::kData;
+  index_t blob_id = -1;  ///< net blob index; -1 for the col scratch
+  index_t start = 0;     ///< first timeline step the plane is live (incl.)
+  index_t end = 0;       ///< last timeline step the plane is live (incl.)
+  index_t bytes = 0;     ///< plane size in bytes
+  index_t offset = -1;   ///< assigned arena offset; -1 before planning
+  bool preserved = false;  ///< contents intact after the iteration
+};
+
+struct ArenaLayout {
+  std::vector<LifetimeInterval> intervals;
+  index_t total_bytes = 0;     ///< arena size (max offset + size, aligned)
+  index_t per_plane_bytes = 0; ///< sum of plane sizes: the per-blob baseline
+};
+
+/// True when the two intervals are simultaneously live.
+inline bool TimeOverlap(const LifetimeInterval& a, const LifetimeInterval& b) {
+  return a.start <= b.end && b.start <= a.end;
+}
+
+/// True when the two placed intervals share any arena addresses.
+inline bool AddrOverlap(const LifetimeInterval& a, const LifetimeInterval& b) {
+  return a.offset >= 0 && b.offset >= 0 && a.offset < b.offset + b.bytes &&
+         b.offset < a.offset + a.bytes;
+}
+
+/// Assigns offsets (first-fit decreasing, `align`-byte aligned), computes
+/// total/per-plane bytes and the preserved flags. Interval order in the
+/// result matches the input (sorting is internal).
+ArenaLayout PlanArenaOffsets(std::vector<LifetimeInterval> intervals,
+                             index_t align = 64);
+
+/// Recomputes every interval's preserved flag from the current offsets
+/// (exposed separately so tests and the bad-plan injector can re-derive
+/// flags after editing offsets).
+void ComputePreserved(std::vector<LifetimeInterval>* intervals);
+
+/// Checks the invariant that makes a layout safe: no two time-overlapping
+/// intervals share addresses. Returns the offending pair's names via `why`
+/// (when non-null) and false on violation.
+bool ValidateLayout(const std::vector<LifetimeInterval>& intervals,
+                    std::string* why);
+
+}  // namespace cgdnn::plan

@@ -1,0 +1,261 @@
+#include "cgdnn/plan/json_lite.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace cgdnn::plan {
+
+namespace {
+constexpr std::size_t kMaxDepth = 64;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out, 0)) return false;
+    SkipWs();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, std::size_t depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      case 't':
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = true;
+        return Literal("true");
+      case 'f':
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = false;
+        return Literal("false");
+      case 'n':
+        out->kind_ = JsonValue::Kind::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return false;
+    // strtod accepts hex/inf/nan forms JSON forbids; our writer never emits
+    // them, and accepting them here cannot produce a wrong plan (the value
+    // is just a number), so we keep the parser small.
+    pos_ += static_cast<std::size_t>(end - begin);
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = v;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // Basic-plane UTF-8 encoding; surrogate pairs are not expected in
+          // plan files (layer names are ASCII) and decode to replacements.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseArray(JsonValue* out, std::size_t depth) {
+    out->kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue elem;
+      SkipWs();
+      if (!ParseValue(&elem, depth + 1)) return false;
+      out->array_.push_back(std::move(elem));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseObject(JsonValue* out, std::size_t depth) {
+    out->kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || !ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->members_.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out) {
+  return JsonParser(text).Parse(out);
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 std::string def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind_ == Kind::kString ? v->string_
+                                                   : std::move(def);
+}
+
+double JsonValue::GetNumber(const std::string& key, double def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsNumber(def) : def;
+}
+
+index_t JsonValue::GetInt(const std::string& key, index_t def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsInt(def) : def;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsBool(def) : def;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace cgdnn::plan

@@ -11,11 +11,13 @@
 #include <string>
 #include <vector>
 
+#include "cgdnn/check/write_set.hpp"
 #include "cgdnn/core/rng.hpp"
 #include "cgdnn/data/dataset.hpp"
 #include "cgdnn/net/models.hpp"
 #include "cgdnn/net/net.hpp"
 #include "cgdnn/parallel/context.hpp"
+#include "cgdnn/plan/planner.hpp"
 
 namespace cgdnn {
 namespace {
@@ -209,6 +211,145 @@ TEST_P(PerLayerThreadSweep, OrderedMergeRunToRunBitEqual) {
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, PerLayerThreadSweep,
                          ::testing::Values(2, 5, 8, 16),
+                         [](const auto& tpi) {
+                           std::string name = "threads";
+                           name += std::to_string(tpi.param);
+                           return name;
+                         });
+
+// ---- planned execution: cost-model plan vs plain execution ----------------
+//
+// The planner's every decision (direct conv kernels, fused epilogues,
+// arena-rebound activations) claims bit-identity with the unplanned net.
+// These sweeps enforce the claim at every thread count and merge mode, with
+// the write-set checker armed so fused regions still prove their write
+// discipline. Arena planes whose slot is legitimately reused later in the
+// timeline hold garbage after the iteration; the plan's `preserved` flags
+// say exactly which — everything else must match bit-for-bit.
+
+struct PlannedRun {
+  NetState state;
+  plan::ExecutionPlan plan;
+};
+
+PlannedRun RunOncePlanned(const proto::NetParameter& param, int threads,
+                          parallel::GradientMerge merge) {
+  parallel::ParallelConfig cfg;
+  cfg.mode = threads > 1 ? parallel::ExecutionMode::kCoarseGrain
+                         : parallel::ExecutionMode::kSerial;
+  cfg.num_threads = threads;
+  cfg.merge = merge;
+  parallel::Parallel::Scope scope(cfg);
+  check::ScopedEnable armed;
+
+  SeedGlobalRng(1234);
+  data::ClearDatasetCache();
+  Net<float> net(param, Phase::kTrain);
+  plan::PlannerOptions opts;
+  opts.threads = threads;
+  opts.use_cache = false;  // decisions under test, not the cache
+  opts.measure = false;
+  auto built = plan::BuildPlan(net, opts);
+  // Force the direct kernels everywhere they are legal: the cost model may
+  // or may not pick them on this host, but bit-identity must hold either
+  // way, so the sweep pins the more adventurous choice.
+  for (auto& d : built.plan.conv_decisions) {
+    d.forward_direct = true;
+    d.backward_weights_direct = true;
+  }
+  plan::ApplyPlan(&net, built.plan);
+  net.ClearParamDiffs();
+  net.ForwardBackward();
+  return {CaptureState(net), std::move(built.plan)};
+}
+
+void ExpectPlannedBitIdentical(const NetState& ref, const PlannedRun& planned,
+                               const std::vector<std::string>& names,
+                               bool params_bit_exact = true) {
+  ASSERT_EQ(ref.blob_data.size(), planned.state.blob_data.size());
+  ASSERT_EQ(ref.blob_data.size(), names.size());
+  std::vector<bool> data_ok(ref.blob_data.size(), true);
+  std::vector<bool> diff_ok(ref.blob_data.size(), true);
+  for (const auto& iv : planned.plan.arena.intervals) {
+    if (iv.blob_id < 0 || iv.preserved) continue;
+    if (iv.kind == plan::SlotKind::kData) {
+      data_ok[static_cast<std::size_t>(iv.blob_id)] = false;
+    } else if (iv.kind == plan::SlotKind::kDiff) {
+      diff_ok[static_cast<std::size_t>(iv.blob_id)] = false;
+    }
+  }
+  for (std::size_t i = 0; i < ref.blob_data.size(); ++i) {
+    if (data_ok[i]) {
+      EXPECT_EQ(ref.blob_data[i], planned.state.blob_data[i])
+          << "planned data of blob '" << names[i] << "'";
+    }
+    if (diff_ok[i]) {
+      EXPECT_EQ(ref.blob_diff[i], planned.state.blob_diff[i])
+          << "planned diff of blob '" << names[i] << "'";
+    }
+  }
+  // Same thread count, same merge mode: parameter gradients agree
+  // bit-for-bit for the deterministic merges (serial, ordered). Tree and
+  // atomic merges are not bit-reproducible across process runs (atomics
+  // commit in arrival order), so for those the caller passes
+  // params_bit_exact = false and gets the same re-association tolerance the
+  // unplanned merge tests use.
+  ASSERT_EQ(ref.param_diff.size(), planned.state.param_diff.size());
+  if (params_bit_exact) {
+    for (std::size_t p = 0; p < ref.param_diff.size(); ++p) {
+      EXPECT_EQ(ref.param_diff[p], planned.state.param_diff[p])
+          << "planned param diff " << p;
+    }
+  } else {
+    ExpectParamDiffsClose(ref, planned.state, 1e-4);
+  }
+}
+
+class PlannedThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlannedThreadSweep, LeNetPlannedBitIdenticalToUnplanned) {
+  const auto param = LeNetParam(/*batch_size=*/7);
+  const auto merge = GetParam() > 1 ? parallel::GradientMerge::kOrdered
+                                    : parallel::GradientMerge::kSerial;
+  std::vector<std::string> names;
+  const auto ref = RunOnce(param, GetParam(), merge, &names);
+  const auto planned = RunOncePlanned(param, GetParam(), merge);
+  // The plan must actually exercise the machinery it claims to test.
+  EXPECT_FALSE(planned.plan.fusion_groups.empty());
+  EXPECT_GT(planned.plan.arena.total_bytes, 0);
+  EXPECT_LT(planned.plan.arena.total_bytes,
+            planned.plan.arena.per_plane_bytes);
+  ExpectPlannedBitIdentical(ref, planned, names);
+}
+
+TEST_P(PlannedThreadSweep, CifarPlannedBitIdenticalToUnplanned) {
+  const auto param = CifarParam(/*batch_size=*/9);
+  const auto merge = GetParam() > 1 ? parallel::GradientMerge::kOrdered
+                                    : parallel::GradientMerge::kSerial;
+  std::vector<std::string> names;
+  const auto ref = RunOnce(param, GetParam(), merge, &names);
+  const auto planned = RunOncePlanned(param, GetParam(), merge);
+  EXPECT_FALSE(planned.plan.fusion_groups.empty());
+  EXPECT_FALSE(planned.plan.conv_decisions.empty());
+  ExpectPlannedBitIdentical(ref, planned, names);
+}
+
+TEST_P(PlannedThreadSweep, AllMergeModesBitIdentical) {
+  if (GetParam() == 1) return;  // merge modes only exist in parallel runs
+  const auto param = LeNetParam(/*batch_size=*/7);
+  for (const auto merge :
+       {parallel::GradientMerge::kOrdered, parallel::GradientMerge::kTree,
+        parallel::GradientMerge::kAtomic}) {
+    std::vector<std::string> names;
+    const auto ref = RunOnce(param, GetParam(), merge, &names);
+    const auto planned = RunOncePlanned(param, GetParam(), merge);
+    ExpectPlannedBitIdentical(ref, planned, names,
+                              merge == parallel::GradientMerge::kOrdered);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, PlannedThreadSweep,
+                         ::testing::Values(1, 2, 5, 8, 16),
                          [](const auto& tpi) {
                            std::string name = "threads";
                            name += std::to_string(tpi.param);

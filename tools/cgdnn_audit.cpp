@@ -3,7 +3,7 @@
 //   cgdnn_audit --model=<file|lenet|cifar10_quick> [--threads=1,2,4]
 //               [--iterations=N] [--warmup=N] [--merge=MODE] [--no-coalesce]
 //               [--audit-out=AUDIT_<model>.json] [--no-counters]
-//               [--probe-gemm-dim=N] [--probe-triad-elems=N]
+//               [--probe-gemm-dim=N] [--probe-triad-elems=N] [--planned]
 //               [--blackbox=dump.bin] [--watchdog-sec=N] [--blackbox-dump]
 //
 // Drives the model across the requested thread counts and distills the
@@ -19,7 +19,13 @@
 // timing-only output; counter-derived JSON fields are then absent, never
 // zeroed. Schema: docs/observability.md; gate a change against a baseline
 // with tools/compare_bench.py (exits 1 on >10% efficiency regression).
+//
+// --planned adds an A/B pass: at every swept thread count the same model is
+// re-run under the cost-model execution plan (src/cgdnn/plan) and plain,
+// measured wall-clock on identical fresh nets, and the report gains a
+// "planned" section with both times and the planned-over-plain speedup.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
@@ -32,8 +38,10 @@
 #include "cgdnn/core/buildinfo.hpp"
 #include "cgdnn/core/rng.hpp"
 #include "cgdnn/net/net.hpp"
+#include "cgdnn/data/dataset.hpp"
 #include "cgdnn/perfctr/perfctr.hpp"
 #include "cgdnn/perfctr/roofline.hpp"
+#include "cgdnn/plan/planner.hpp"
 #include "cgdnn/profile/profiler.hpp"
 #include "cgdnn/sim/workload.hpp"
 #include "cgdnn/trace/metrics.hpp"
@@ -47,8 +55,8 @@ constexpr const char* kUsage =
     "cgdnn_audit --model=<file|lenet|cifar10_quick> [--threads=1,2,4] "
     "[--iterations=N] [--warmup=N] [--merge=MODE] [--no-coalesce] "
     "[--audit-out=<file>] [--no-counters] [--probe-gemm-dim=N] "
-    "[--probe-triad-elems=N] [--blackbox=<file>] [--watchdog-sec=N] "
-    "[--blackbox-dump]";
+    "[--probe-triad-elems=N] [--planned] [--blackbox=<file>] "
+    "[--watchdog-sec=N] [--blackbox-dump]";
 
 std::vector<int> ParseThreadList(const std::string& spec) {
   std::vector<int> threads;
@@ -280,6 +288,60 @@ int main(int argc, char** argv) {
     }
     trace::SetMetrics(false);
 
+    // --- planned A/B pass --------------------------------------------------
+    // Wall-clock on identical fresh nets, plain vs. under the execution
+    // plan, so the two numbers share a measurement basis (the per-layer
+    // profiler attribution above cannot see fused epilogues as such).
+    const bool planned_mode = flags.GetBool("planned");
+    std::map<int, double> plain_wall_us, planned_wall_us;
+    if (planned_mode) {
+      const auto measure_wall = [&](Net<float>& n) {
+        for (index_t i = 0; i < warmup; ++i) {
+          n.ClearParamDiffs();
+          n.ForwardBackward();
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        for (index_t i = 0; i < iterations; ++i) {
+          n.ClearParamDiffs();
+          n.ForwardBackward();
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double, std::micro>(t1 - t0).count() /
+               static_cast<double>(iterations);
+      };
+      for (const int t : threads) {
+        parallel::ParallelConfig cfg;
+        cfg.mode = t > 1 ? parallel::ExecutionMode::kCoarseGrain
+                         : parallel::ExecutionMode::kSerial;
+        cfg.num_threads = t;
+        cfg.merge = parallel::GradientMergeFromName(merge_name);
+        cfg.coalesce = coalesce;
+        parallel::Parallel::Scope scope(cfg);
+
+        SeedGlobalRng(1);
+        data::ClearDatasetCache();
+        Net<float> plain_net(tools::ResolveModel(model), Phase::kTrain);
+        plain_wall_us[t] = measure_wall(plain_net);
+
+        SeedGlobalRng(1);
+        data::ClearDatasetCache();
+        Net<float> planned_net(tools::ResolveModel(model), Phase::kTrain);
+        plan::PlannerOptions popts;
+        popts.threads = t;
+        popts.use_cache = !flags.GetBool("no-cache");
+        popts.cache_dir = flags.GetString("cache-dir");
+        plan::PlanAndApply(&planned_net, popts);
+        planned_wall_us[t] = measure_wall(planned_net);
+
+        std::cout << "  planned @" << std::setw(2) << t << "t: "
+                  << std::fixed << std::setprecision(0) << planned_wall_us[t]
+                  << " us vs " << plain_wall_us[t] << " us plain ("
+                  << std::setprecision(2)
+                  << plain_wall_us[t] / planned_wall_us[t] << "x)\n"
+                  << std::defaultfloat;
+      }
+    }
+
     // --- derived curves + report ------------------------------------------
     const int base_t = threads.front();
     const auto speedup_of = [&](double base_us, double t_us) {
@@ -455,7 +517,26 @@ int main(int argc, char** argv) {
       return efficiency_of(
           speedup_of(overall_us.at(base_t), overall_us.at(t)), t);
     });
-    out << "}\n}\n";
+    out << "}";
+    if (planned_mode) {
+      out << ",\n  \"planned\": {\"time_us\": ";
+      WriteThreadMap(out, threads, [&](int t) -> std::optional<double> {
+        return planned_wall_us.at(t);
+      });
+      out << ", \"plain_time_us\": ";
+      WriteThreadMap(out, threads, [&](int t) -> std::optional<double> {
+        return plain_wall_us.at(t);
+      });
+      out << ", \"speedup_vs_plain\": ";
+      WriteThreadMap(out, threads, [&](int t) -> std::optional<double> {
+        return planned_wall_us.at(t) > 0
+                   ? std::optional<double>(plain_wall_us.at(t) /
+                                           planned_wall_us.at(t))
+                   : std::nullopt;
+      });
+      out << "}";
+    }
+    out << "\n}\n";
     out.close();
     CGDNN_CHECK(out.good()) << "error writing " << out_path;
     std::cerr << "audit written to " << out_path << " (" << rows.size()

@@ -4,6 +4,7 @@
 Usage:
     tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 0.10]
     tools/compare_bench.py baseline_dir/ current_dir/ [--threshold 0.10]
+    tools/compare_bench.py ... --json[=diff.json]
 
 Two input kinds are understood, sniffed from the file contents:
 
@@ -30,6 +31,18 @@ A value that moves more than --threshold (default 10%) in the *bad* direction
 is a regression; the script prints every comparison, summarizes regressions,
 and exits 1 if any were found. Entries present in only one file are listed
 but do not fail the comparison (shape sweeps may grow over time).
+
+When both reports' meta headers carry "peak_rss_kb" (every tool stamps it
+via buildinfo::WriteMetaJson), the peak-RSS delta is compared as a
+lower-is-better coordinate like any other — a memory regression beyond the
+threshold fails the run just as a time regression does.
+
+--json emits the full diff as machine-readable JSON on stdout (or to the
+given file), with the human-readable table diverted to stderr; the exit
+status is unchanged. Schema: {"threshold": t, "ok": bool, "pairs":
+[{"label", "baseline", "current", "rows": [{"section", "key", "column",
+"baseline", "current", "delta", "direction", "regression"}], "only_in_*"}],
+"regressions": [...]}.
 """
 import argparse
 import glob
@@ -79,12 +92,18 @@ def load_rows(path):
     meta = data.get("meta")
     if "audit" in data and "layers" in data:
         name, rows = flatten_audit(data)
-        return name, rows, meta
-    rows = {}
-    for row in data.get("rows", []):
-        for col, val in row.get("values", {}).items():
-            rows[(row["section"], row["key"], col)] = float(val)
-    return data.get("bench", "?"), rows, meta
+    else:
+        name, rows = data.get("bench", "?"), {}
+        for row in data.get("rows", []):
+            for col, val in row.get("values", {}).items():
+                rows[(row["section"], row["key"], col)] = float(val)
+    # Peak RSS from the meta header, when the producing tool stamped one:
+    # compared lower-is-better like any other _kb coordinate, so memory
+    # regressions gate the run exactly as time regressions do.
+    if isinstance(meta, dict) and isinstance(meta.get("peak_rss_kb"),
+                                             (int, float)):
+        rows[("meta", "peak_rss_kb", "process")] = float(meta["peak_rss_kb"])
+    return name, rows, meta
 
 
 def direction(section, key, column):
@@ -101,22 +120,28 @@ def direction(section, key, column):
     return "info"
 
 
-def compare_pair(baseline, current, threshold, label=None):
-    """Compare one baseline/current file pair; returns the regression list."""
+def compare_pair(baseline, current, threshold, label=None, out=sys.stdout):
+    """Compare one baseline/current file pair.
+
+    Returns (common, regressions, record) where record is the pair's
+    machine-readable diff for --json output.
+    """
     base_name, base, base_meta = load_rows(baseline)
     cur_name, cur, cur_meta = load_rows(current)
     if label:
-        print(f"=== {label} ===")
+        print(f"=== {label} ===", file=out)
     if base_name != cur_name:
-        print(f"note: comparing different benches ({base_name} vs {cur_name})")
+        print(f"note: comparing different benches ({base_name} vs {cur_name})",
+              file=out)
 
     common = sorted(set(base) & set(cur))
     only_base = sorted(set(base) - set(cur))
     only_cur = sorted(set(cur) - set(base))
     regressions = []
+    rows_out = []
 
     print(f"{'section/key/column':58s} {'baseline':>12s} {'current':>12s} "
-          f"{'delta':>8s}")
+          f"{'delta':>8s}", file=out)
     for coord in common:
         section, key, col = coord
         b, c = base[coord], cur[coord]
@@ -126,21 +151,30 @@ def compare_pair(baseline, current, threshold, label=None):
               (dirn == "lower" and delta > threshold)
         flag = " REGRESSION" if bad else ""
         print(f"{section + '/' + key + '/' + col:58s} {b:12.4g} {c:12.4g} "
-              f"{delta:+7.1%}{flag}")
+              f"{delta:+7.1%}{flag}", file=out)
+        rows_out.append({"section": section, "key": key, "column": col,
+                         "baseline": b, "current": c,
+                         "delta": None if delta == float("inf") else delta,
+                         "direction": dirn, "regression": bad})
         if bad:
             regressions.append((coord, b, c, delta))
 
     for coord in only_base:
-        print(f"only in baseline: {'/'.join(coord)}")
+        print(f"only in baseline: {'/'.join(coord)}", file=out)
     for coord in only_cur:
-        print(f"only in current:  {'/'.join(coord)}")
+        print(f"only in current:  {'/'.join(coord)}", file=out)
     if regressions:
         # A regression is only interpretable next to the provenance of both
         # runs — a compiler, flag, or thread-count difference explains far
         # more regressions than real code changes do.
-        print(f"baseline meta: {format_meta(base_meta)}")
-        print(f"current meta:  {format_meta(cur_meta)}")
-    return common, regressions
+        print(f"baseline meta: {format_meta(base_meta)}", file=out)
+        print(f"current meta:  {format_meta(cur_meta)}", file=out)
+    record = {"label": label, "bench": cur_name,
+              "baseline": os.fspath(baseline), "current": os.fspath(current),
+              "rows": rows_out,
+              "only_in_baseline": ["/".join(c) for c in only_base],
+              "only_in_current": ["/".join(c) for c in only_cur]}
+    return common, regressions, record
 
 
 def collect_reports(directory):
@@ -157,13 +191,21 @@ def main():
     ap.add_argument("current", help="current report file or directory")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="relative regression tolerance (default 0.10 = 10%%)")
+    ap.add_argument("--json", nargs="?", const="-", default=None,
+                    metavar="FILE",
+                    help="emit the diff as JSON to stdout (or FILE); the "
+                         "human-readable table moves to stderr")
     args = ap.parse_args()
+
+    # With --json on stdout, the table must not corrupt the JSON stream.
+    out = sys.stderr if args.json == "-" else sys.stdout
 
     if os.path.isdir(args.baseline) != os.path.isdir(args.current):
         print("error: baseline and current must both be files or both be "
               "directories", file=sys.stderr)
         return 2
 
+    pair_records = []
     if os.path.isdir(args.baseline):
         base_reports = collect_reports(args.baseline)
         cur_reports = collect_reports(args.current)
@@ -173,30 +215,53 @@ def main():
                   "the two directories", file=sys.stderr)
             return 2
         for name in sorted(set(base_reports) - set(cur_reports)):
-            print(f"only in baseline dir: {name}")
+            print(f"only in baseline dir: {name}", file=out)
         for name in sorted(set(cur_reports) - set(base_reports)):
-            print(f"only in current dir:  {name}")
+            print(f"only in current dir:  {name}", file=out)
         compared, regressions = 0, []
         for name in pairs:
-            common, regs = compare_pair(base_reports[name], cur_reports[name],
-                                        args.threshold, label=name)
+            common, regs, record = compare_pair(
+                base_reports[name], cur_reports[name], args.threshold,
+                label=name, out=out)
             compared += len(common)
             regressions.extend(regs)
-            print()
+            pair_records.append(record)
+            print(file=out)
     else:
-        compared_coords, regressions = compare_pair(
-            args.baseline, args.current, args.threshold)
+        compared_coords, regressions, record = compare_pair(
+            args.baseline, args.current, args.threshold, out=out)
         compared = len(compared_coords)
-        print()
+        pair_records.append(record)
+        print(file=out)
+
+    if args.json is not None:
+        report = {
+            "threshold": args.threshold,
+            "compared": compared,
+            "ok": not regressions,
+            "pairs": pair_records,
+            "regressions": [
+                {"section": s, "key": k, "column": c,
+                 "baseline": b, "current": cur, "delta": delta}
+                for (s, k, c), b, cur, delta in regressions],
+        }
+        if args.json == "-":
+            json.dump(report, sys.stdout, indent=1)
+            sys.stdout.write("\n")
+        else:
+            with open(args.json, "w") as f:
+                json.dump(report, f, indent=1)
+            print(f"diff written to {args.json}", file=out)
 
     if regressions:
         print(f"FAIL: {len(regressions)} regression(s) beyond "
-              f"{args.threshold:.0%}:")
+              f"{args.threshold:.0%}:", file=out)
         for (section, key, col), b, c, delta in regressions:
-            print(f"  {section}/{key}/{col}: {b:.4g} -> {c:.4g} ({delta:+.1%})")
+            print(f"  {section}/{key}/{col}: {b:.4g} -> {c:.4g} ({delta:+.1%})",
+                  file=out)
         return 1
     print(f"OK: {compared} values compared, no regression beyond "
-          f"{args.threshold:.0%}")
+          f"{args.threshold:.0%}", file=out)
     return 0
 
 

@@ -1,0 +1,19 @@
+// Fixture: applying a fused elementwise epilogue inside a parallel loop
+// moves another layer's writes into this construct. Doing it from a bare
+// combined parallel-for loses both the ThreadRegionScope imbalance
+// accounting and the write-set checker's view of the fused writes.
+#include <cstdint>
+
+struct Epilogue {
+  void ApplyForward(float* data, std::int64_t start, std::int64_t count) const;
+};
+
+void BadFusedWithoutDiscipline(float* top, std::int64_t num, std::int64_t dim,
+                               const Epilogue* ep) {
+  // EXPECT: fused-instrumented
+  // EXPECT: fused-instrumented
+#pragma omp parallel for schedule(static)
+  for (std::int64_t n = 0; n < num; ++n) {
+    ep->ApplyForward(top + n * dim, n * dim, dim);
+  }
+}

@@ -1,0 +1,35 @@
+// Fixture: the sanctioned shape for fused-epilogue application — the
+// block-form region keeps ThreadRegionScope instrumentation and records
+// the fused in-place writes with the write-set checker, exactly as the
+// producer's unfused loop would.
+#include <cstdint>
+
+struct Epilogue {
+  void ApplyForward(float* data, std::int64_t start, std::int64_t count) const;
+};
+struct Checker {
+  void RecordWrite(int tid, const float* base, const char* plane,
+                   std::int64_t begin, std::int64_t end);
+};
+struct ThreadRegionScope {
+  explicit ThreadRegionScope(int tid);
+};
+int CurrentThread();
+
+void GoodFusedRegion(float* top, std::int64_t num, std::int64_t dim,
+                     const Epilogue* ep, Checker* chk) {
+#pragma omp parallel num_threads(4)
+  {
+    const int tid = CurrentThread();
+    ThreadRegionScope rscope(tid);
+#pragma omp for schedule(static)
+    for (std::int64_t n = 0; n < num; ++n) {
+      if (ep != nullptr) {
+        ep->ApplyForward(top + n * dim, n * dim, dim);
+      }
+      if (chk != nullptr) {
+        chk->RecordWrite(tid, top, "top.data", n * dim, (n + 1) * dim);
+      }
+    }
+  }
+}

@@ -22,6 +22,13 @@ paper's bit-identity argument rests on (docs/correctness.md):
                        (AccumulatePrivate) before any further statement in
                        the region; ending the region immediately (implicit
                        barrier) is also fine.
+  fused-instrumented   A parallel construct that applies a fused elementwise
+                       epilogue (FusedEpilogue::ApplyForward) must keep the
+                       full region discipline: ThreadRegionScope/TRACE_SCOPE
+                       instrumentation AND a write-set RecordWrite covering
+                       the fused writes. Fusion moves another layer's writes
+                       into the producer's loop — they must not escape the
+                       checker or the imbalance accounting.
 
 Suppressions: a comment `// cgdnn-lint: allow(rule[, rule...])` on the pragma
 line or the line directly above it silences those rules for that construct.
@@ -47,6 +54,7 @@ RULES = {
     "instrumented-region",
     "no-unsafe-calls",
     "nowait-barrier",
+    "fused-instrumented",
 }
 
 PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+omp\b(?P<clauses>.*)$")
@@ -63,6 +71,8 @@ UNSAFE_TYPE_RE = re.compile(r"\b(random_device|mt19937(?:_64)?|minstd_rand0?)\b"
 SANCTIONED_RNG = "GlobalRng"
 INSTRUMENT_TOKENS = ("ThreadRegionScope", "TRACE_SCOPE")
 MERGE_TOKENS = ("AccumulatePrivate",)
+FUSED_TOKENS = ("ApplyForward",)
+WRITE_RECORD_TOKENS = ("RecordWrite",)
 
 
 @dataclasses.dataclass
@@ -232,6 +242,33 @@ class FileLinter:
                         "parallel region without ThreadRegionScope/"
                         "TRACE_SCOPE instrumentation")
         self.check_unsafe_calls(p, body)
+        self.check_fused(p, body)
+
+    def check_fused(self, p: Pragma, body: str,
+                    require_instrumentation: bool = True) -> None:
+        """Fused-epilogue application keeps the full region discipline.
+
+        A bare `omp for` inside a block-form region inherits the region's
+        ThreadRegionScope (checked at the region level), so only constructs
+        that start a parallel region demand instrumentation in their own
+        body; the RecordWrite requirement applies everywhere.
+        """
+        if "fused-instrumented" in p.allowed:
+            return
+        if not any(tok in body for tok in FUSED_TOKENS):
+            return
+        if require_instrumentation and not any(
+                tok in body for tok in INSTRUMENT_TOKENS):
+            self.report(p.line, "fused-instrumented",
+                        "fused epilogue applied in a parallel construct "
+                        "without ThreadRegionScope/TRACE_SCOPE "
+                        "instrumentation")
+        if not any(tok in body for tok in WRITE_RECORD_TOKENS):
+            self.report(p.line, "fused-instrumented",
+                        "fused epilogue applied without a write-set "
+                        "RecordWrite: the consumer's in-place writes moved "
+                        "into this loop and must stay visible to the "
+                        "checker")
 
     def check_unsafe_calls(self, p: Pragma, body: str) -> None:
         if "no-unsafe-calls" in p.allowed:
@@ -287,8 +324,13 @@ class FileLinter:
             elif is_loop:
                 open_idx, close_idx = self.match_braces(p.end_line)
                 if open_idx >= 0:
-                    self.check_unsafe_calls(
-                        p, "\n".join(self.lines[open_idx:close_idx + 1]))
+                    body = "\n".join(self.lines[open_idx:close_idx + 1])
+                    self.check_unsafe_calls(p, body)
+                    # A combined parallel-for cannot host ThreadRegionScope
+                    # (fused work there always needs the block form); a bare
+                    # `omp for` inherits its enclosing region's scope.
+                    self.check_fused(p, body,
+                                     require_instrumentation=is_parallel)
         return self.findings
 
     def scan_nowait_loops(self, region_open: int, region_close: int) -> None:

@@ -63,6 +63,18 @@ if [[ ${fast} -eq 1 ]]; then
   exit $((failures > 0))
 fi
 
+note "plan drills (smoke + bad-plan sentinel)"
+# Execution-planner gates: plan dump/cache smoke and the injected arena
+# collision that `cgdnn_plan --validate` must reject. ctest `checks` cases;
+# SKIP when the default build tree is absent.
+if [[ -f build/CTestTestfile.cmake ]]; then
+  ( cd build && ctest -R 'plan_smoke|plan_regression_check' \
+      --output-on-failure )
+  result "plan-drills" $?
+else
+  result "plan-drills" 77
+fi
+
 note "blackbox drills (crash dump + watchdog)"
 # End-to-end flight-recorder forensics against the regular build: injected
 # SIGSEGV -> decodable dump, injected merge stall -> watchdog abort. Both
