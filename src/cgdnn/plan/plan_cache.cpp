@@ -43,7 +43,20 @@ bool LoadCachedPlan(const PlanCacheKey& key, const std::string& dir,
     return false;  // no file: miss
   }
   ExecutionPlan plan;
-  if (!ExecutionPlan::FromJson(bytes, &plan)) return false;
+  if (!ExecutionPlan::FromJson(bytes, &plan)) {
+    // Corrupt or truncated entry (partial write survived a crash, disk
+    // error, hand edit). Discard it so every later process pays the parse
+    // attempt only once, and say so: silent deletion would mask a flaky
+    // disk. A key-field mismatch below is NOT deleted — that file is a
+    // valid plan for some other configuration hashed into the same name.
+    std::fprintf(stderr,
+                 "cgdnn: warning: discarding corrupt plan cache entry %s "
+                 "(%zu bytes); re-planning\n",
+                 path.c_str(), bytes.size());
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return false;
+  }
   if (plan.net_signature != key.net_signature || plan.batch != key.batch ||
       plan.threads != key.threads || plan.git_sha != key.git_sha) {
     return false;

@@ -36,7 +36,11 @@ std::string PlanCacheDir(const std::string& override_dir = "");
 std::string PlanCachePath(const PlanCacheKey& key, const std::string& dir);
 
 /// Loads and key-verifies a cached plan. False on miss, parse failure, or
-/// any key-field mismatch (all treated identically: re-plan).
+/// any key-field mismatch (all mean: re-plan). A file that exists but does
+/// not parse — the torn remains of a crashed writer, a disk error, a hand
+/// edit — is deleted with a stderr warning so it is never re-probed; a
+/// parseable plan whose key fields mismatch (CRC name collision) is left
+/// in place, since it is valid for its own configuration.
 bool LoadCachedPlan(const PlanCacheKey& key, const std::string& dir,
                     ExecutionPlan* out);
 

@@ -1,0 +1,304 @@
+#include "cgdnn/serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+
+#include "cgdnn/core/rng.hpp"
+
+namespace cgdnn::serve {
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Draw from Exp(rate): the Poisson process's inter-arrival law.
+double ExpDraw(Rng& rng, double rate) {
+  double u = rng.Uniform();
+  if (u <= 0) u = 1e-12;
+  return -std::log(u) / rate;
+}
+
+}  // namespace
+
+std::vector<double> BuildArrivals(const LoadGenOptions& opts, Rng& rng) {
+  std::vector<double> arrivals;
+  const double rate = opts.rate_qps;
+  if (rate <= 0) return arrivals;
+  if (opts.trace == "bursty") {
+    // Arrivals concentrate in the first `duty` fraction of each period at
+    // rate/duty, so the mean offered rate stays rate_qps but the server
+    // sees alternating overload spikes and idle valleys.
+    const double period = opts.burst_period_ms / 1e3;
+    const double duty = std::min(std::max(opts.burst_duty, 0.01), 1.0);
+    const double burst_len = duty * period;
+    const double burst_rate = rate / duty;
+    // Walk window indices rather than advancing one fmod-tracked clock:
+    // jumping a double to "the next multiple of period" can land an ulp
+    // short of it, where fmod reads ~period and the jump degenerates into
+    // an epsilon-at-a-time spin.
+    const auto windows = static_cast<std::size_t>(
+        std::ceil(opts.duration_s / period));
+    for (std::size_t w = 0; w < windows; ++w) {
+      const double window_start = static_cast<double>(w) * period;
+      double pos = 0;
+      while (true) {
+        pos += ExpDraw(rng, burst_rate);
+        if (pos >= burst_len) break;  // rest of the window is idle
+        const double t = window_start + pos;
+        if (t < opts.duration_s) arrivals.push_back(t);
+      }
+    }
+  } else {
+    CGDNN_CHECK_EQ(opts.trace, "poisson")
+        << "trace must be 'poisson' or 'bursty'";
+    double t = 0;
+    while (true) {
+      t += ExpDraw(rng, rate);
+      if (t >= opts.duration_s) break;
+      arrivals.push_back(t);
+    }
+  }
+  return arrivals;
+}
+
+namespace {
+
+struct Call {
+  int attempts = 0;               ///< submissions so far
+  bool resolved = false;          ///< client-side final verdict reached
+  std::uint64_t first_submit_ns = 0;
+  RequestClass cls = RequestClass::kInteractive;
+};
+
+struct Completion {
+  std::size_t call = 0;
+  int attempt = 0;
+  Status status = Status::kError;
+  std::uint64_t now_ns = 0;
+  double total_us = 0;  ///< Response::total_us (server-side latency)
+};
+
+struct Event {
+  enum class Kind { kArrival, kTimeout, kRetry };
+  Clock::time_point at;
+  Kind kind;
+  std::size_t call = 0;
+  int attempt = 0;  ///< for kTimeout: which attempt this timer covers
+  bool operator>(const Event& other) const { return at > other.at; }
+};
+
+}  // namespace
+
+LoadGenReport RunLoad(Server& server, const LoadGenOptions& opts) {
+  Rng rng(opts.seed, /*stream=*/7);
+  const std::vector<double> arrival_s = BuildArrivals(opts, rng);
+
+  LoadGenReport report;
+  report.calls = arrival_s.size();
+  report.offered_qps = opts.duration_s > 0
+                           ? static_cast<double>(arrival_s.size()) /
+                                 opts.duration_s
+                           : 0;
+  if (arrival_s.empty()) return report;
+
+  // One synthetic input sample shared by every request (content is
+  // irrelevant to load behaviour; a copy per request keeps the server's
+  // ownership contract honest).
+  std::vector<float> sample(static_cast<std::size_t>(server.sample_size()));
+  for (auto& v : sample) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+
+  std::vector<Call> calls(arrival_s.size());
+  std::vector<double> latencies_us;
+  std::vector<double> server_latencies_us;  // OK attempts, admit->complete
+
+  // Completions cross from server threads to the driver here.
+  std::mutex mu;
+  std::condition_variable cv;
+  auto completions = std::make_shared<std::vector<Completion>>();
+  auto push_completion = [&mu, &cv, completions](Completion c) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      completions->push_back(c);
+    }
+    cv.notify_one();
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < arrival_s.size(); ++i) {
+    events.push(Event{start + std::chrono::microseconds(
+                                  static_cast<std::int64_t>(arrival_s[i] * 1e6)),
+                      Event::Kind::kArrival, i, 0});
+    calls[i].cls = rng.Bernoulli(opts.batch_fraction)
+                       ? RequestClass::kBatch
+                       : RequestClass::kInteractive;
+  }
+
+  auto submit_attempt = [&](std::size_t ci) {
+    Call& call = calls[ci];
+    call.attempts += 1;
+    const int attempt = call.attempts;
+    if (attempt > 1) report.retries += 1;
+    report.attempts += 1;
+
+    auto req = std::make_shared<Request>();
+    req->cls = call.cls;
+    req->input = sample;
+    if (opts.deadline_ms > 0) {
+      req->deadline_ns = MonotonicNowNs() + opts.deadline_ms * 1'000'000ull;
+    }
+    req->done = [ci, attempt, push_completion](Response&& r) {
+      push_completion(
+          Completion{ci, attempt, r.status, MonotonicNowNs(), r.total_us});
+    };
+    if (call.first_submit_ns == 0) call.first_submit_ns = MonotonicNowNs();
+    server.Submit(std::move(req));
+    events.push(Event{Clock::now() + std::chrono::milliseconds(opts.timeout_ms),
+                      Event::Kind::kTimeout, ci, attempt});
+  };
+
+  auto schedule_retry_or_fail = [&](std::size_t ci) {
+    Call& call = calls[ci];
+    if (call.attempts > opts.max_retries) {
+      call.resolved = true;
+      report.failed += 1;
+      return;
+    }
+    // Capped exponential backoff with decorrelating jitter.
+    double backoff_ms =
+        opts.backoff_base_ms * std::pow(2.0, call.attempts - 1);
+    backoff_ms = std::min(backoff_ms, opts.backoff_cap_ms);
+    backoff_ms *= rng.Uniform(0.5, 1.0);
+    events.push(Event{Clock::now() + std::chrono::microseconds(
+                                         static_cast<std::int64_t>(
+                                             backoff_ms * 1e3)),
+                      Event::Kind::kRetry, ci, 0});
+  };
+
+  auto process_completion = [&](const Completion& c) {
+    Call& call = calls[c.call];
+    if (call.resolved || c.attempt != call.attempts) {
+      // The client already moved on (timeout fired, maybe a retry is in
+      // flight): a late response is recorded but changes nothing.
+      report.late_responses += 1;
+      return;
+    }
+    switch (c.status) {
+      case Status::kOk:
+        call.resolved = true;
+        report.succeeded += 1;
+        latencies_us.push_back(
+            static_cast<double>(c.now_ns - call.first_submit_ns) / 1e3);
+        server_latencies_us.push_back(c.total_us);
+        return;
+      case Status::kShedQueueFull:
+      case Status::kShedLoad:
+        report.shed += 1;
+        break;
+      case Status::kExpired:
+        report.expired += 1;
+        break;
+      case Status::kWorkerStalled:
+        report.stalled += 1;
+        break;
+      case Status::kError:
+        report.errors += 1;
+        break;
+    }
+    schedule_retry_or_fail(c.call);
+  };
+
+  // Driver loop: completions preempt timers (they are drained first), the
+  // heap orders everything else.
+  std::vector<Completion> drained;
+  while (!events.empty()) {
+    const Event ev = events.top();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait_until(lock, ev.at, [&] { return !completions->empty(); });
+      drained.swap(*completions);
+    }
+    for (const auto& c : drained) process_completion(c);
+    drained.clear();
+    if (Clock::now() < ev.at) continue;  // woken by a completion, not a timer
+    events.pop();
+
+    const bool cancelled =
+        opts.cancel != nullptr &&
+        opts.cancel->load(std::memory_order_acquire);
+    Call& call = calls[ev.call];
+    switch (ev.kind) {
+      case Event::Kind::kArrival:
+        if (cancelled) {
+          call.resolved = true;  // never offered; don't count as failed
+          report.calls -= 1;
+          break;
+        }
+        submit_attempt(ev.call);
+        break;
+      case Event::Kind::kTimeout:
+        if (!call.resolved && ev.attempt == call.attempts) {
+          report.timeouts += 1;
+          schedule_retry_or_fail(ev.call);
+        }
+        break;
+      case Event::Kind::kRetry:
+        if (cancelled && !call.resolved) {
+          call.resolved = true;
+          report.failed += 1;
+          break;
+        }
+        if (!call.resolved) submit_attempt(ev.call);
+        break;
+    }
+  }
+  // Heap empty: every call resolved (each attempt carries a timeout timer).
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& c : *completions) {
+      if (!calls[c.call].resolved) process_completion(c);
+    }
+  }
+
+  report.wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  report.achieved_qps = report.wall_s > 0
+                            ? static_cast<double>(report.succeeded) /
+                                  report.wall_s
+                            : 0;
+  report.p50_us = Percentile(latencies_us, 0.50);
+  report.p99_us = Percentile(latencies_us, 0.99);
+  report.max_us = latencies_us.empty()
+                      ? 0
+                      : *std::max_element(latencies_us.begin(),
+                                          latencies_us.end());
+  if (!latencies_us.empty()) {
+    double sum = 0;
+    for (double v : latencies_us) sum += v;
+    report.mean_us = sum / static_cast<double>(latencies_us.size());
+  }
+  report.server_p50_us = Percentile(server_latencies_us, 0.50);
+  report.server_p99_us = Percentile(server_latencies_us, 0.99);
+  report.server_max_us =
+      server_latencies_us.empty()
+          ? 0
+          : *std::max_element(server_latencies_us.begin(),
+                              server_latencies_us.end());
+  return report;
+}
+
+}  // namespace cgdnn::serve

@@ -1,0 +1,97 @@
+// Synthetic open-loop load generator: the serving runtime's bench AND its
+// overload drill.
+//
+// Open-loop means arrivals follow a fixed stochastic schedule (Poisson or
+// bursty) that does NOT slow down when the server does — precisely the
+// regime where an unbounded queue melts down and a bounded one sheds. The
+// client side models real callers: every call has a timeout, and timed-out
+// or shed calls retry with capped exponential backoff up to `max_retries`.
+//
+// One driver thread walks an event heap (arrivals, timeouts, retries);
+// server completions arrive asynchronously from worker threads and are
+// recorded per call. Latency percentiles are computed exactly from the
+// recorded samples of successful calls (not from log-scale histogram
+// buckets).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cgdnn/core/rng.hpp"
+#include "cgdnn/serve/server.hpp"
+
+namespace cgdnn::serve {
+
+struct LoadGenOptions {
+  double rate_qps = 100;        ///< mean offered rate (open loop)
+  double duration_s = 1.0;      ///< arrival window; drains afterwards
+  std::string trace = "poisson";  ///< "poisson" | "bursty"
+  /// Bursty trace: arrivals concentrate in the first `burst_duty` fraction
+  /// of every `burst_period_ms` window at rate/burst_duty (mean offered
+  /// rate stays rate_qps).
+  double burst_period_ms = 100;
+  double burst_duty = 0.2;
+
+  std::uint64_t timeout_ms = 100;   ///< client-side per-attempt timeout
+  int max_retries = 2;              ///< after the first attempt
+  double backoff_base_ms = 5;      ///< retry k waits base * 2^k ...
+  double backoff_cap_ms = 80;      ///< ... capped here
+  double batch_fraction = 0.0;     ///< fraction of kBatch-class calls
+  std::uint64_t deadline_ms = 0;   ///< per-request deadline (0 = server default)
+  std::uint64_t seed = 1;
+
+  /// Cooperative cancellation (SIGTERM drill): once *cancel is true the
+  /// generator submits no further arrivals or retries and only drains the
+  /// timers of calls already in flight. May be null.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+struct LoadGenReport {
+  // Call-level (a call = one logical request incl. retries).
+  std::uint64_t calls = 0;
+  std::uint64_t succeeded = 0;      ///< got an OK response before timeout
+  std::uint64_t failed = 0;         ///< exhausted retries
+  // Attempt-level.
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t shed = 0;           ///< kShedQueueFull + kShedLoad rejections
+  std::uint64_t expired = 0;
+  std::uint64_t stalled = 0;        ///< kWorkerStalled responses
+  std::uint64_t errors = 0;
+  std::uint64_t timeouts = 0;       ///< attempts with no response in time
+  std::uint64_t late_responses = 0; ///< response after client gave up
+  // Latency of successful calls, first submit -> OK response (includes
+  // client-side retry backoff, the user-visible number).
+  double p50_us = 0;
+  double p99_us = 0;
+  double mean_us = 0;
+  double max_us = 0;
+  // Server-side latency of ADMITTED requests that completed OK
+  // (admission -> completion, Response::total_us). This is the number the
+  // overload drill holds against the deadline: every admitted request must
+  // finish within it or be expired, no matter how hard the client side is
+  // retrying.
+  double server_p50_us = 0;
+  double server_p99_us = 0;
+  double server_max_us = 0;
+  double achieved_qps = 0;          ///< succeeded / wall duration
+  double offered_qps = 0;
+  double wall_s = 0;
+};
+
+/// Exact percentile over a sample vector (nearest-rank); q in [0,1].
+double Percentile(std::vector<double> samples, double q);
+
+/// Arrival offsets (seconds from start) for the configured trace; exposed
+/// for tests of the trace shapes.
+std::vector<double> BuildArrivals(const LoadGenOptions& opts, Rng& rng);
+
+/// Runs the load pattern against `server` (which must be Start()ed) and
+/// blocks until every call resolved (response, timeout+exhausted retries)
+/// or drained. Single-use per call; thread-safe against the server's
+/// completion threads.
+LoadGenReport RunLoad(Server& server, const LoadGenOptions& opts);
+
+}  // namespace cgdnn::serve

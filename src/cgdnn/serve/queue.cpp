@@ -1,0 +1,172 @@
+#include "cgdnn/serve/queue.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "cgdnn/trace/metrics.hpp"
+
+namespace cgdnn::serve {
+
+namespace {
+
+std::uint64_t StallPushMsFromEnv() {
+  const char* env = std::getenv("CGDNN_SERVE_FAULT_STALL_QUEUE");
+  if (env == nullptr || env[0] == '\0') return 0;
+  return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+}  // namespace
+
+const char* RequestClassName(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::kInteractive: return "interactive";
+    case RequestClass::kBatch: return "batch";
+  }
+  return "?";
+}
+
+const char* StatusName(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kShedQueueFull: return "shed_queue_full";
+    case Status::kShedLoad: return "shed_load";
+    case Status::kExpired: return "expired";
+    case Status::kWorkerStalled: return "worker_stalled";
+    case Status::kError: return "error";
+  }
+  return "?";
+}
+
+bool CompleteOnce(const RequestPtr& req, Response&& response) {
+  if (req == nullptr) return false;
+  if (req->completed.exchange(true, std::memory_order_acq_rel)) return false;
+  if (req->done) req->done(std::move(response));
+  return true;
+}
+
+BoundedRequestQueue::BoundedRequestQueue(std::size_t capacity)
+    : capacity_(capacity),
+      stall_push_ms_(StallPushMsFromEnv()),
+      depth_gauge_(&trace::MetricsRegistry::Default().GetGauge(
+          "serve.queue.depth")),
+      depth_hist_(&trace::MetricsRegistry::Default().GetHistogram(
+          "serve.queue.depth_hist")),
+      lock_wait_hist_(&trace::MetricsRegistry::Default().GetHistogram(
+          "serve.queue.lock_wait_us")) {
+  CGDNN_CHECK_GT(capacity_, 0u) << "request queue needs a positive capacity";
+}
+
+void BoundedRequestQueue::RecordLockWait(std::uint64_t wait_ns) {
+  lock_wait_hist_->Observe(static_cast<double>(wait_ns) / 1e3);
+}
+
+PushResult BoundedRequestQueue::Push(RequestPtr req) {
+  const std::uint64_t t0 = MonotonicNowNs();
+  std::unique_lock<std::mutex> lock(mu_);
+  RecordLockWait(MonotonicNowNs() - t0);
+  // Fault drill: hold the queue lock to simulate a stalled/contended queue.
+  // Producers and consumers pile up on mu_ and the lock-wait histogram plus
+  // shed counters must tell the story (docs/serving.md).
+  if (stall_push_ms_ > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_push_ms_));
+  }
+  if (closed_) return PushResult::kClosed;
+  if (queue_.size() >= capacity_) return PushResult::kFull;
+  queue_.push_back(std::move(req));
+  if (queue_.size() > max_depth_) max_depth_ = queue_.size();
+  depth_gauge_->Set(static_cast<double>(queue_.size()));
+  depth_hist_->Observe(static_cast<double>(queue_.size()));
+  lock.unlock();
+  not_empty_.notify_one();
+  return PushResult::kAccepted;
+}
+
+std::vector<RequestPtr> BoundedRequestQueue::PopBatch(
+    std::size_t max_batch, std::uint64_t fill_deadline_us) {
+  std::vector<RequestPtr> batch;
+  if (max_batch == 0) return batch;
+  std::vector<RequestPtr> expired;
+
+  const std::uint64_t t0 = MonotonicNowNs();
+  std::unique_lock<std::mutex> lock(mu_);
+  RecordLockWait(MonotonicNowNs() - t0);
+
+  // Phase 1: block for the first request (or close+drain to empty).
+  not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+
+  auto take_available = [&] {
+    const std::uint64_t now = MonotonicNowNs();
+    while (!queue_.empty() && batch.size() < max_batch) {
+      RequestPtr req = std::move(queue_.front());
+      queue_.pop_front();
+      // Deadline enforcement at dequeue: an expired request must not waste
+      // a batch slot or a forward.
+      if (req->ExpiredAt(now)) {
+        expired.push_back(std::move(req));
+      } else {
+        batch.push_back(std::move(req));
+      }
+    }
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
+  };
+
+  take_available();
+
+  // Phase 2: coalesce. Wait (bounded by the batch deadline counted from the
+  // first dequeue) for the batch to fill. A closed queue stops the wait —
+  // drain latency beats fill factor during shutdown.
+  if (fill_deadline_us > 0 && !batch.empty()) {
+    const auto fill_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(fill_deadline_us);
+    while (batch.size() < max_batch && !closed_) {
+      if (not_empty_.wait_until(lock, fill_deadline, [&] {
+            return closed_ || !queue_.empty();
+          })) {
+        take_available();
+      } else {
+        break;  // fill deadline elapsed
+      }
+    }
+  }
+  lock.unlock();
+
+  for (auto& req : expired) {
+    const std::uint64_t now = MonotonicNowNs();
+    Response r;
+    r.status = Status::kExpired;
+    r.queue_us = static_cast<double>(now - req->admit_ns) / 1e3;
+    r.total_us = r.queue_us;
+    CompleteOnce(req, std::move(r));
+    trace::MetricsRegistry::Default()
+        .GetCounter("serve.requests.expired_dequeue")
+        .Add(1);
+  }
+  return batch;
+}
+
+void BoundedRequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+bool BoundedRequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t BoundedRequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t BoundedRequestQueue::max_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_;
+}
+
+}  // namespace cgdnn::serve

@@ -1,0 +1,89 @@
+// Bounded, lock-aware request queue with deadline-driven batch dequeue.
+//
+// Overload safety comes from two properties:
+//  * the queue is BOUNDED: Push never blocks and never grows the queue past
+//    its capacity — a full queue is an explicit rejection (the admission
+//    controller turns it into Status::kShedQueueFull), so sustained
+//    overload shows up as shed counters, not as unbounded memory;
+//  * dequeue is DEADLINE-DRIVEN: PopBatch coalesces single-sample requests
+//    up to `max_batch` or until `fill_deadline_us` elapses after the first
+//    request arrives — whichever comes first — and drops already-expired
+//    requests before they waste a forward.
+//
+// "Lock-aware" concretely: the queue measures its own mutex acquisition
+// wait on every producer/consumer entry and publishes it as the
+// serve.queue.lock_wait_us histogram, alongside depth (gauge + histogram
+// sampled at every push). A contended or fault-stalled queue is therefore
+// visible in the metrics registry, not just in end-to-end latency.
+//
+// Fault injection: CGDNN_SERVE_FAULT_STALL_QUEUE=<ms> makes every Push hold
+// the queue mutex for the given duration — the drill for "queue stalls must
+// surface as lock-wait/latency metrics and shed counters, not hangs".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "cgdnn/serve/request.hpp"
+
+namespace cgdnn::trace {
+class Gauge;
+class Histogram;
+}  // namespace cgdnn::trace
+
+namespace cgdnn::serve {
+
+/// Why a push was refused (mapped to a Status by the admission controller).
+enum class PushResult {
+  kAccepted,
+  kFull,      ///< at capacity
+  kClosed,    ///< queue shut down (server stopping)
+};
+
+class BoundedRequestQueue {
+ public:
+  explicit BoundedRequestQueue(std::size_t capacity);
+
+  /// Non-blocking bounded push. Never grows the queue past capacity.
+  PushResult Push(RequestPtr req);
+
+  /// Blocks until at least one request is available (or the queue closes),
+  /// then coalesces up to `max_batch` requests, waiting at most
+  /// `fill_deadline_us` after the FIRST dequeued request for more to
+  /// arrive. Expired requests are completed with Status::kExpired here and
+  /// never occupy a batch slot. Returns the coalesced batch (empty only
+  /// when the queue closed and drained).
+  std::vector<RequestPtr> PopBatch(std::size_t max_batch,
+                                   std::uint64_t fill_deadline_us);
+
+  /// Closes the queue: subsequent Push returns kClosed, blocked PopBatch
+  /// calls wake. Queued requests remain poppable (drain).
+  void Close();
+  bool closed() const;
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+  /// High-water mark of depth over the queue's lifetime (bounded-queue
+  /// assertion in the overload drill).
+  std::size_t max_depth() const;
+
+ private:
+  void RecordLockWait(std::uint64_t wait_ns);
+
+  const std::size_t capacity_;
+  const std::uint64_t stall_push_ms_;  // CGDNN_SERVE_FAULT_STALL_QUEUE
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<RequestPtr> queue_;
+  bool closed_ = false;
+  std::size_t max_depth_ = 0;
+
+  trace::Gauge* depth_gauge_;
+  trace::Histogram* depth_hist_;
+  trace::Histogram* lock_wait_hist_;
+};
+
+}  // namespace cgdnn::serve

@@ -1,0 +1,90 @@
+// Serving request/response types (ROADMAP item 1: `cgdnn_serve`).
+//
+// A Request is one single-sample inference job with an absolute deadline
+// and a traffic class. Responses are delivered through a completion
+// callback that fires EXACTLY once, no matter how many parties race to
+// finish the request — the worker that forwarded it, the dequeue path that
+// found it expired, the admission controller that shed it, or the hang
+// supervisor failing over a stalled worker's in-flight batch. That
+// exactly-once discipline (CompleteOnce) is what lets the overload and
+// stalled-worker paths re-route requests without double-completing them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cgdnn/core/common.hpp"
+
+namespace cgdnn::serve {
+
+/// Traffic classes for admission control. Interactive requests survive
+/// deeper into the degradation ladder than batch (best-effort) traffic:
+/// under sustained overload the server sheds kBatch first.
+enum class RequestClass : std::uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+const char* RequestClassName(RequestClass cls);
+
+/// Terminal status of a request. Every admitted request ends in exactly one
+/// of these; rejected requests are answered synchronously at Submit.
+enum class Status : std::uint8_t {
+  kOk = 0,            ///< forwarded; output is valid
+  kShedQueueFull,     ///< rejected at admission: bounded queue at capacity
+  kShedLoad,          ///< rejected at admission: degradation ladder shed
+  kExpired,           ///< deadline passed (at dequeue or at batch completion)
+  kWorkerStalled,     ///< failed over from a hung worker's in-flight batch
+  kError,             ///< forward threw; server kept serving
+};
+
+const char* StatusName(Status status);
+
+/// What the server hands back. For Status::kOk `output` holds the model's
+/// output plane for this sample (e.g. class probabilities); for every other
+/// status it is empty.
+struct Response {
+  Status status = Status::kError;
+  std::vector<float> output;
+  double queue_us = 0;    ///< admission -> dequeue
+  double total_us = 0;    ///< admission -> completion
+  int batch_size = 0;     ///< coalesced batch this request rode in (0 = none)
+};
+
+/// One in-flight inference request. Owned by shared_ptr: the queue, the
+/// worker's batch, the hang supervisor and the client can all hold it while
+/// racing to complete it.
+struct Request {
+  std::uint64_t id = 0;
+  RequestClass cls = RequestClass::kInteractive;
+  /// Absolute deadline on the cgdnn::MonotonicNowNs timeline. 0 = none.
+  std::uint64_t deadline_ns = 0;
+  std::uint64_t admit_ns = 0;  ///< stamped by Server::Submit
+  /// Sample-major input, exactly one sample of the model's input shape.
+  std::vector<float> input;
+  /// Completion callback; invoked exactly once via CompleteOnce. May be
+  /// called from a worker thread, the supervisor thread, or the submitting
+  /// thread (synchronous shed) — must be thread-safe and non-blocking.
+  std::function<void(Response&&)> done;
+
+  /// Guards exactly-once completion. Internal to CompleteOnce.
+  std::atomic<bool> completed{false};
+
+  bool ExpiredAt(std::uint64_t now_ns) const {
+    return deadline_ns != 0 && now_ns > deadline_ns;
+  }
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+/// Completes `req` with `response` unless another party got there first.
+/// Returns true when this call delivered the completion. The response
+/// callback itself runs outside any server lock.
+bool CompleteOnce(const RequestPtr& req, Response&& response);
+
+}  // namespace cgdnn::serve

@@ -33,4 +33,19 @@ assert "counters_unavailable_reason" in data, \
     "disabled run should state why counters are unavailable"
 EOF
 
+echo "== audit run (--serve: serving latency/throughput vs worker count) =="
+"${AUDIT_BIN}" --model=lenet --threads=1 --iterations=1 --warmup=0 \
+    --serve --serve-workers=1,2 --serve-duration-s=0.5 \
+    --audit-out="${WORK}/AUDIT_lenet_serve.json"
+python3 "${SCHEMA_CHECK}" "${WORK}/AUDIT_lenet_serve.json"
+python3 - "${WORK}/AUDIT_lenet_serve.json" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+serving = data["serving"]
+assert set(serving["achieved_qps"]) == {"1", "2"}
+for w in ("1", "2"):
+    assert serving["achieved_qps"][w] > 0, f"nothing served at {w} workers"
+    assert serving["sustainable_qps"][w] > 0
+EOF
+
 echo "audit_smoke: PASS"

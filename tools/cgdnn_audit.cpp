@@ -24,6 +24,14 @@
 // re-run under the cost-model execution plan (src/cgdnn/plan) and plain,
 // measured wall-clock on identical fresh nets, and the report gains a
 // "planned" section with both times and the planned-over-plain speedup.
+//
+// --serve audits the serving runtime (src/cgdnn/serve) instead of a layer
+// at a time: for each worker count in --serve-workers it calibrates the
+// sustainable throughput, offers --serve-rate-factor of it open-loop for
+// --serve-duration-s, and the report gains a "serving" section with
+// sustainable/offered/achieved QPS, client and admitted (server-side)
+// latency percentiles, shed rate, and mean dynamic-batch size per worker
+// count — throughput should scale with workers at a fixed utilization.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -43,6 +51,8 @@
 #include "cgdnn/perfctr/roofline.hpp"
 #include "cgdnn/plan/planner.hpp"
 #include "cgdnn/profile/profiler.hpp"
+#include "cgdnn/serve/loadgen.hpp"
+#include "cgdnn/serve/server.hpp"
 #include "cgdnn/sim/workload.hpp"
 #include "cgdnn/trace/metrics.hpp"
 #include "flags.hpp"
@@ -55,8 +65,15 @@ constexpr const char* kUsage =
     "cgdnn_audit --model=<file|lenet|cifar10_quick> [--threads=1,2,4] "
     "[--iterations=N] [--warmup=N] [--merge=MODE] [--no-coalesce] "
     "[--audit-out=<file>] [--no-counters] [--probe-gemm-dim=N] "
-    "[--probe-triad-elems=N] [--planned] [--blackbox=<file>] "
-    "[--watchdog-sec=N] [--blackbox-dump]";
+    "[--probe-triad-elems=N] [--planned] [--serve] [--serve-workers=1,2,4] "
+    "[--serve-rate-factor=F] [--serve-duration-s=F] [--serve-max-batch=N] "
+    "[--blackbox=<file>] [--watchdog-sec=N] [--blackbox-dump]";
+
+double GetDoubleFlag(const tools::Flags& flags, const std::string& key,
+                     double def) {
+  const std::string s = flags.GetString(key);
+  return s.empty() ? def : std::stod(s);
+}
 
 std::vector<int> ParseThreadList(const std::string& spec) {
   std::vector<int> threads;
@@ -342,6 +359,72 @@ int main(int argc, char** argv) {
       }
     }
 
+    // --- serving sweep -----------------------------------------------------
+    // Latency/throughput vs worker count at a fixed utilization: each
+    // worker count is offered `rate_factor` of ITS OWN calibrated
+    // sustainable rate, so achieved QPS tracking offered QPS across the
+    // sweep IS the scalability result, and p50/p99 are compared at equal
+    // load pressure. Intra-op threading stays serial — the serving pool
+    // parallelizes across workers (Server::Start's contract).
+    const bool serve_mode = flags.GetBool("serve");
+    std::vector<int> serve_workers;
+    double serve_factor = 0, serve_duration = 0;
+    std::map<int, double> srv_sustainable, srv_offered, srv_achieved,
+        srv_p50, srv_p99, srv_admitted_p50, srv_admitted_p99, srv_shed_rate,
+        srv_batch_mean;
+    if (serve_mode) {
+      serve_workers =
+          ParseThreadList(flags.GetString("serve-workers", "1,2,4"));
+      serve_factor = GetDoubleFlag(flags, "serve-rate-factor", 0.7);
+      serve_duration = GetDoubleFlag(flags, "serve-duration-s", 1.0);
+      for (const int w : serve_workers) {
+        parallel::ParallelConfig cfg;
+        cfg.mode = parallel::ExecutionMode::kSerial;
+        cfg.num_threads = 1;
+        parallel::Parallel::Scope scope(cfg);
+        SeedGlobalRng(1);
+        data::ClearDatasetCache();
+
+        serve::ServerOptions sopts;
+        sopts.workers = w;
+        sopts.max_batch = flags.GetInt("serve-max-batch", 8);
+        sopts.plan_cache = false;  // hermetic: no on-disk state
+        serve::Server server(tools::ResolveModel(model), sopts);
+        const double sustainable = server.CalibrateSustainableQps();
+        server.Start();
+
+        serve::LoadGenOptions lopts;
+        lopts.rate_qps = serve_factor * sustainable;
+        lopts.duration_s = serve_duration;
+        lopts.seed = 1;
+        const serve::LoadGenReport rep = serve::RunLoad(server, lopts);
+        server.Stop();
+        const serve::ServerStats sstats = server.stats();
+
+        srv_sustainable[w] = sustainable;
+        srv_offered[w] = rep.offered_qps;
+        srv_achieved[w] = rep.achieved_qps;
+        srv_p50[w] = rep.p50_us;
+        srv_p99[w] = rep.p99_us;
+        srv_admitted_p50[w] = rep.server_p50_us;
+        srv_admitted_p99[w] = rep.server_p99_us;
+        srv_shed_rate[w] =
+            sstats.submitted > 0
+                ? static_cast<double>(sstats.shed_queue_full +
+                                      sstats.shed_load) /
+                      static_cast<double>(sstats.submitted)
+                : 0.0;
+        srv_batch_mean[w] = sstats.batch_size_mean;
+        std::cout << "  serve @" << std::setw(2) << w << "w: "
+                  << std::fixed << std::setprecision(0) << rep.achieved_qps
+                  << "/" << rep.offered_qps << " req/s, p99 "
+                  << std::setprecision(1) << rep.p99_us / 1e3
+                  << " ms (admitted " << rep.server_p99_us / 1e3
+                  << " ms), batch " << std::setprecision(2)
+                  << sstats.batch_size_mean << "\n" << std::defaultfloat;
+      }
+    }
+
     // --- derived curves + report ------------------------------------------
     const int base_t = threads.front();
     const auto speedup_of = [&](double base_us, double t_us) {
@@ -534,6 +617,38 @@ int main(int argc, char** argv) {
                                            planned_wall_us.at(t))
                    : std::nullopt;
       });
+      out << "}";
+    }
+    if (serve_mode) {
+      const auto map_of = [&](const std::map<int, double>& m) {
+        return [&m](int w) -> std::optional<double> { return m.at(w); };
+      };
+      out << ",\n  \"serving\": {\"workers\": [";
+      for (std::size_t i = 0; i < serve_workers.size(); ++i) {
+        out << (i != 0 ? ", " : "") << serve_workers[i];
+      }
+      out << "], \"rate_factor\": ";
+      WriteJsonNumber(out, serve_factor);
+      out << ", \"duration_s\": ";
+      WriteJsonNumber(out, serve_duration);
+      out << ",\n    \"sustainable_qps\": ";
+      WriteThreadMap(out, serve_workers, map_of(srv_sustainable));
+      out << ", \"offered_qps\": ";
+      WriteThreadMap(out, serve_workers, map_of(srv_offered));
+      out << ", \"achieved_qps\": ";
+      WriteThreadMap(out, serve_workers, map_of(srv_achieved));
+      out << ",\n    \"p50_us\": ";
+      WriteThreadMap(out, serve_workers, map_of(srv_p50));
+      out << ", \"p99_us\": ";
+      WriteThreadMap(out, serve_workers, map_of(srv_p99));
+      out << ",\n    \"admitted_p50_us\": ";
+      WriteThreadMap(out, serve_workers, map_of(srv_admitted_p50));
+      out << ", \"admitted_p99_us\": ";
+      WriteThreadMap(out, serve_workers, map_of(srv_admitted_p99));
+      out << ",\n    \"shed_rate\": ";
+      WriteThreadMap(out, serve_workers, map_of(srv_shed_rate));
+      out << ", \"batch_size_mean\": ";
+      WriteThreadMap(out, serve_workers, map_of(srv_batch_mean));
       out << "}";
     }
     out << "\n}\n";

@@ -122,6 +122,27 @@ def main():
         check_thread_map("overall", field, overall.get(field, None),
                          thread_keys, full=True)
 
+    # Optional serving section (--serve): its curves are keyed by WORKER
+    # counts, independent of the training sweep's thread list.
+    if "serving" in data:
+        serving = data["serving"]
+        workers = serving.get("workers")
+        if (not isinstance(workers, list) or not workers
+                or any(not isinstance(w, int) or w <= 0 for w in workers)):
+            fail("serving.workers must be a non-empty list of positive ints")
+        worker_keys = {str(w) for w in workers}
+        for field in ("rate_factor", "duration_s"):
+            if not isinstance(serving.get(field), (int, float)):
+                fail(f"serving.{field} missing or non-numeric")
+        for field in ("sustainable_qps", "offered_qps", "achieved_qps",
+                      "p50_us", "p99_us", "admitted_p50_us",
+                      "admitted_p99_us", "shed_rate", "batch_size_mean"):
+            check_thread_map("serving", field, serving.get(field),
+                             worker_keys, full=True)
+        for w, rate in serving["shed_rate"].items():
+            if not 0.0 <= rate <= 1.0:
+                fail(f"serving.shed_rate[{w}] = {rate} outside [0, 1]")
+
     if args.require_counters and not saw_counter_field:
         fail("counters_available is true but no layer carries a counter "
              "field")

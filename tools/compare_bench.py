@@ -23,8 +23,9 @@ on only one side are listed but do not fail the run.
 Every (section, key, column) present in both sides is compared. Direction is
 inferred from the coordinate name:
 
-  * higher-is-better: gflops, speedup, efficiency, ipc
-  * lower-is-better:  *_us, time, _kb, _mb, imbalance, llc_miss_rate
+  * higher-is-better: gflops, speedup, efficiency, ipc, *_qps
+  * lower-is-better:  *_us, time, _kb, _mb, imbalance, llc_miss_rate,
+                      shed_rate
   * everything else is informational (printed, never fails)
 
 A value that moves more than --threshold (default 10%) in the *bad* direction
@@ -111,10 +112,13 @@ def direction(section, key, column):
     # (e.g. "conv1.forward"/"efficiency"/"2t"); bench coordinates in the
     # section or column — match against all three.
     parts = (section.lower(), key.lower(), column.lower())
-    for marker in ("gflops", "speedup", "efficiency", "ipc"):
+    # "qps" before the lower-is-better pass: "sustainable_qps" would
+    # otherwise substring-match the "us" marker.
+    for marker in ("gflops", "speedup", "efficiency", "ipc", "qps"):
         if any(marker in p for p in parts):
             return "higher"
-    for marker in ("us", "time", "_kb", "_mb", "imbalance", "llc_miss_rate"):
+    for marker in ("us", "time", "_kb", "_mb", "imbalance", "llc_miss_rate",
+                   "shed_rate"):
         if any(marker in p for p in parts):
             return "lower"
     return "info"

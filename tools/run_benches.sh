@@ -2,12 +2,14 @@
 # Runs every figure/table/ablation bench and collects the machine-readable
 # BENCH_<name>.json reports under bench/results/.
 #
-#   tools/run_benches.sh [--quick] [build_dir]     (default: build)
+#   tools/run_benches.sh [--quick] [--serve] [build_dir]   (default: build)
 #
 # --quick runs a <60s subset (one layer-time figure, one overall figure, the
 # reduction-mode ablation, a 2-iteration audit) — enough coordinates for
 # compare_bench.py to gate a change against bench/baselines/ without the
-# full sweep. Every report carries a "meta" provenance header (git SHA,
+# full sweep. --serve runs ONLY the serving-runtime bench (BENCH_serve.json:
+# latency percentiles, QPS, shed rate; baseline under bench/baselines/).
+# Every report carries a "meta" provenance header (git SHA,
 # compiler, flags, thread count, hostname) for exactly that comparison.
 #
 # Human-readable figure output goes to bench/results/<name>.txt alongside
@@ -16,10 +18,12 @@
 set -eu
 
 QUICK=0
+SERVE_ONLY=0
 BUILD_DIR=build
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
+    --serve) SERVE_ONLY=1 ;;
     *) BUILD_DIR=$arg ;;
   esac
 done
@@ -38,10 +42,13 @@ cd "$RESULTS_DIR"
 BENCHES="fig4_mnist_layer_time fig5_mnist_layer_scalability \
 fig6_mnist_overall fig7_cifar_layer_time fig8_cifar_layer_scalability \
 fig9_cifar_overall tab_memory_overhead abl_reduction_modes abl_coalescing \
-abl_blas_vs_batch abl_model_sensitivity bench_plan"
+abl_blas_vs_batch abl_model_sensitivity bench_plan bench_serve"
 if [ "$QUICK" -eq 1 ]; then
   BENCHES="fig4_mnist_layer_time fig6_mnist_overall abl_reduction_modes \
 bench_plan"
+fi
+if [ "$SERVE_ONLY" -eq 1 ]; then
+  BENCHES="bench_serve"
 fi
 
 for name in $BENCHES; do
@@ -59,7 +66,8 @@ done
 # (native JSON reporter). Gate a change with e.g.:
 #   tools/compare_bench.py baseline/BENCH_gemm_micro.json \
 #       bench/results/BENCH_gemm_micro.json
-if [ "$QUICK" -eq 0 ] && [ -x "$BENCH_DIR/micro_kernels" ]; then
+if [ "$QUICK" -eq 0 ] && [ "$SERVE_ONLY" -eq 0 ] && \
+   [ -x "$BENCH_DIR/micro_kernels" ]; then
   echo "== micro_kernels"
   "$BENCH_DIR/micro_kernels" \
     --benchmark_out="BENCH_micro_kernels.json" \
@@ -71,7 +79,9 @@ fi
 # next to the BENCH reports so compare_bench.py directory mode picks it up:
 #   tools/compare_bench.py baseline_results/ bench/results/
 AUDIT_BIN="$REPO_ROOT/$BUILD_DIR/tools/cgdnn_audit"
-if [ -x "$AUDIT_BIN" ]; then
+if [ "$SERVE_ONLY" -eq 1 ]; then
+  : # serve-only mode: just bench_serve above
+elif [ -x "$AUDIT_BIN" ]; then
   echo "== cgdnn_audit (lenet)"
   if [ "$QUICK" -eq 1 ]; then
     "$AUDIT_BIN" --model=lenet --threads=1,2 --iterations=2 --warmup=1 \

@@ -35,7 +35,7 @@ result() {  # result <name> <status>  (status 0 pass, 77 skip, else fail)
 # merge/privatizer/coalescing unit tests, and the cgdnn-check runtime
 # checker. Anchored names: a bare "Merge" would also pull in the (slow)
 # convergence training runs.
-parallel_tests='ParallelEquivalence|PerLayerThreadSweep|WriteSetCheckerTest|CheckedModels|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest'
+parallel_tests='ParallelEquivalence|PerLayerThreadSweep|WriteSetCheckerTest|CheckedModels|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest|ServeTest'
 # TSan runs the unit-level parallel suites plus single-thread model passes.
 # Whole-model multi-thread runs are excluded: TSan-instrumented GEMM inner
 # loops plus libgomp's ordered-section spin wait (which ignores
@@ -44,7 +44,13 @@ parallel_tests='ParallelEquivalence|PerLayerThreadSweep|WriteSetCheckerTest|Chec
 #   ctest --preset tsan -R 'PerLayerThreadSweep|CheckedModels'
 # BlackboxTest rides along in both sanitizer stages: the recorder's
 # lock-free rings and watchdog reads must be TSan-clean by construction.
-tsan_tests='WriteSetCheckerTest|CheckedModels.*threads1$|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest'
+#
+# ServeTest rides along in both stages — the serving pool is the one
+# subsystem whose threads are hand-rolled (queue, workers, supervisor)
+# rather than OpenMP teams. TSan gets the concurrency-critical subset:
+# the OMP-heavy bit-identity sweep and the 5s load-generator soak are
+# excluded for the same few-core-host reasons as the whole-model runs.
+tsan_tests='WriteSetCheckerTest|CheckedModels.*threads1$|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest|ServeTest\.(QueueIsBounded|ExpiredRequests|CompleteOnce|ServerForwards|AdmissionSheds|DegradationLadder|StalledWorker|DropResponse)'
 
 note "lint_parallel"
 python3 tools/lint_parallel.py --self-test && python3 tools/lint_parallel.py
@@ -73,6 +79,17 @@ if [[ -f build/CTestTestfile.cmake ]]; then
   result "plan-drills" $?
 else
   result "plan-drills" 77
+fi
+
+note "serve drills (overload shed + SIGTERM drain + stalled worker)"
+# Serving-runtime gates: 3x-overload must shed explicitly with a bounded
+# queue and deadline-bounded admitted p99, SIGTERM must drain cleanly, and
+# an injected worker stall must be excluded without taking the pool down.
+if [[ -f build/CTestTestfile.cmake ]]; then
+  ( cd build && ctest -R 'serve_overload_check' --output-on-failure )
+  result "serve-drills" $?
+else
+  result "serve-drills" 77
 fi
 
 note "blackbox drills (crash dump + watchdog)"

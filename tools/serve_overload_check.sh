@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Serving overload drill (docs/serving.md, docs/robustness.md).
+#
+# Three runs against the real binary, end to end:
+#   1. 3x-sustainable open-loop overload: the server must shed explicitly
+#      (never OOM or queue without bound), keep the queue at or under its
+#      configured capacity, and hold the admitted-request p99 under the
+#      deadline — overload degrades rejected throughput, not served latency.
+#   2. SIGTERM mid-load: the process must drain queued and in-flight
+#      requests, report interrupted=true in its summary, and exit 0.
+#   3. Injected stalled worker: the pool must exclude the stuck worker,
+#      keep serving on the survivors, and (when the flight recorder is
+#      compiled in) leave a non-empty blackbox dump for forensics.
+#
+# Usage: serve_overload_check.sh <cgdnn_serve-binary> <blackbox:0|1>
+set -euo pipefail
+
+SERVE_BIN=$1
+HAVE_BLACKBOX=${2:-0}
+WORK=$(mktemp -d)
+trap 'rm -rf "${WORK}"' EXIT
+
+DEADLINE_MS=50
+
+echo "== 1. overload: 3x sustainable, bounded queue, explicit shed =="
+"${SERVE_BIN}" --model=lenet --workers=2 --threads=1 --max-batch=8 \
+    --queue-capacity=32 --deadline-ms=${DEADLINE_MS} \
+    --rate=3x --duration-s=2 --timeout-ms=200 --retries=2 --no-plan \
+    --json-out="${WORK}/overload.json" > /dev/null
+python3 - "${WORK}/overload.json" ${DEADLINE_MS} <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+deadline_us = float(sys.argv[2]) * 1000.0
+srv, load = r["server"], r["load"]
+shed = srv["shed_queue_full"] + srv["shed_load"]
+assert shed > 0, "3x overload produced no explicit sheds"
+assert srv["queue_max_depth"] <= srv["queue_capacity"], (
+    f"queue grew past capacity: {srv['queue_max_depth']} > "
+    f"{srv['queue_capacity']}")
+assert load["succeeded"] > 0, "no calls succeeded under overload"
+assert load["server_p99_us"] > 0, "no admitted-latency samples recorded"
+assert load["server_p99_us"] < deadline_us, (
+    f"admitted p99 {load['server_p99_us']:.0f}us breaches the "
+    f"{deadline_us:.0f}us deadline")
+assert not srv["interrupted"]
+print(f"   shed={shed} queue_max={srv['queue_max_depth']}/"
+      f"{srv['queue_capacity']} admitted_p99="
+      f"{load['server_p99_us']/1000:.1f}ms < {deadline_us/1000:.0f}ms")
+EOF
+
+echo "== 2. SIGTERM mid-load drains cleanly and exits 0 =="
+"${SERVE_BIN}" --model=lenet --workers=2 --threads=1 --no-plan \
+    --rate=200 --duration-s=30 --json-out="${WORK}/sigterm.json" \
+    > /dev/null 2> "${WORK}/sigterm.err" &
+SERVE_PID=$!
+sleep 2
+kill -TERM "${SERVE_PID}"
+RC=0
+wait "${SERVE_PID}" || RC=$?
+[[ ${RC} -eq 0 ]] || { echo "FAIL: exit ${RC} after SIGTERM"; exit 1; }
+grep -q "drained cleanly" "${WORK}/sigterm.err"
+python3 - "${WORK}/sigterm.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["server"]["interrupted"] is True
+assert r["server"]["ok"] > 0, "nothing served before the stop signal"
+print(f"   served {r['server']['ok']} before drain, exit 0")
+EOF
+
+echo "== 3. stalled worker is excluded; pool keeps serving =="
+CGDNN_SERVE_FAULT_SLOW_WORKER=0:60000 \
+"${SERVE_BIN}" --model=lenet --workers=2 --threads=1 --no-plan \
+    --hang-deadline-ms=300 --rate=100 --duration-s=3 --timeout-ms=500 \
+    --blackbox="${WORK}/serve_dump.bin" \
+    --json-out="${WORK}/stall.json" > /dev/null
+python3 - "${WORK}/stall.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+srv = r["server"]
+assert srv["workers_excluded"] >= 1, "stalled worker was not excluded"
+assert r["load"]["succeeded"] > 0, "survivor worker served nothing"
+print(f"   excluded={srv['workers_excluded']} "
+      f"served={srv['ok']} on survivor")
+EOF
+if [[ "${HAVE_BLACKBOX}" == "1" ]]; then
+    [[ -s "${WORK}/serve_dump.bin" ]] || {
+        echo "FAIL: no blackbox dump from the stalled-worker failover"
+        exit 1
+    }
+    echo "   blackbox dump: $(wc -c < "${WORK}/serve_dump.bin") bytes"
+fi
+
+echo "serve_overload_check: PASS"
