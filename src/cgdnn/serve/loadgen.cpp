@@ -92,6 +92,17 @@ struct Completion {
   double total_us = 0;  ///< Response::total_us (server-side latency)
 };
 
+/// Completions cross from server threads to the driver here. Owned by
+/// shared_ptr: request callbacks can outlive RunLoad (a client-side timeout
+/// resolves the call while the request still sits in the server queue;
+/// Server::Stop later completes it), so the channel must not live on
+/// RunLoad's stack.
+struct CompletionChannel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Completion> completions;
+};
+
 struct Event {
   enum class Kind { kArrival, kTimeout, kRetry };
   Clock::time_point at;
@@ -125,16 +136,13 @@ LoadGenReport RunLoad(Server& server, const LoadGenOptions& opts) {
   std::vector<double> latencies_us;
   std::vector<double> server_latencies_us;  // OK attempts, admit->complete
 
-  // Completions cross from server threads to the driver here.
-  std::mutex mu;
-  std::condition_variable cv;
-  auto completions = std::make_shared<std::vector<Completion>>();
-  auto push_completion = [&mu, &cv, completions](Completion c) {
+  auto chan = std::make_shared<CompletionChannel>();
+  auto push_completion = [chan](Completion c) {
     {
-      std::lock_guard<std::mutex> lock(mu);
-      completions->push_back(c);
+      std::lock_guard<std::mutex> lock(chan->mu);
+      chan->completions.push_back(c);
     }
-    cv.notify_one();
+    chan->cv.notify_one();
   };
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
@@ -227,19 +235,29 @@ LoadGenReport RunLoad(Server& server, const LoadGenOptions& opts) {
   std::vector<Completion> drained;
   while (!events.empty()) {
     const Event ev = events.top();
-    {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait_until(lock, ev.at, [&] { return !completions->empty(); });
-      drained.swap(*completions);
-    }
-    for (const auto& c : drained) process_completion(c);
-    drained.clear();
-    if (Clock::now() < ev.at) continue;  // woken by a completion, not a timer
-    events.pop();
-
     const bool cancelled =
         opts.cancel != nullptr &&
         opts.cancel->load(std::memory_order_acquire);
+    // Once cancelled, not-yet-due arrivals/retries resolve immediately
+    // below instead of being waited for: only the timeout timers of
+    // attempts already in flight pace the drain, so the generator exits
+    // within ~timeout_ms of the stop signal, not after the remaining
+    // trace duration (loadgen.hpp's cancellation contract).
+    const bool due_now = cancelled && ev.kind != Event::Kind::kTimeout;
+    {
+      std::unique_lock<std::mutex> lock(chan->mu);
+      if (!due_now) {
+        chan->cv.wait_until(lock, ev.at,
+                            [&] { return !chan->completions.empty(); });
+      }
+      drained.swap(chan->completions);
+    }
+    for (const auto& c : drained) process_completion(c);
+    drained.clear();
+    if (!due_now && Clock::now() < ev.at) {
+      continue;  // woken by a completion, not a timer
+    }
+    events.pop();
     Call& call = calls[ev.call];
     switch (ev.kind) {
       case Event::Kind::kArrival:
@@ -268,8 +286,8 @@ LoadGenReport RunLoad(Server& server, const LoadGenOptions& opts) {
   }
   // Heap empty: every call resolved (each attempt carries a timeout timer).
   {
-    std::lock_guard<std::mutex> lock(mu);
-    for (const auto& c : *completions) {
+    std::lock_guard<std::mutex> lock(chan->mu);
+    for (const auto& c : chan->completions) {
       if (!calls[c.call].resolved) process_completion(c);
     }
   }

@@ -54,8 +54,11 @@ class BoundedRequestQueue {
   /// then coalesces up to `max_batch` requests, waiting at most
   /// `fill_deadline_us` after the FIRST dequeued request for more to
   /// arrive. Expired requests are completed with Status::kExpired here and
-  /// never occupy a batch slot. Returns the coalesced batch (empty only
-  /// when the queue closed and drained).
+  /// never occupy a batch slot. Returns the coalesced batch. An EMPTY
+  /// return means either (a) the queue closed and drained, or (b) every
+  /// request popped this round had already expired (each was completed
+  /// with kExpired above) — callers must distinguish via closed()/depth()
+  /// rather than treating empty as shutdown.
   std::vector<RequestPtr> PopBatch(std::size_t max_batch,
                                    std::uint64_t fill_deadline_us);
 

@@ -58,9 +58,15 @@ struct Server::Impl {
     std::unique_ptr<InferenceEngine::Worker> model;  // private activations
     std::thread thread;
     /// Heartbeat: MonotonicNowNs at batch start, 0 when idle. The
-    /// supervisor's hang detection reads this.
+    /// supervisor's hang detection reads this. Written only under
+    /// inflight_mu so it stays paired with `inflight` (failover re-checks
+    /// it under the lock to avoid killing a batch the worker already
+    /// moved past).
     std::atomic<std::uint64_t> batch_start_ns{0};
     std::atomic<bool> excluded{false};
+    /// WorkerLoop returned; Stop() joins only after seeing this (a hung
+    /// worker is failed over + detached instead — see Stop()).
+    std::atomic<bool> exited{false};
     /// The batch currently being forwarded, visible to the supervisor for
     /// failover when this worker stalls.
     std::mutex inflight_mu;
@@ -159,7 +165,8 @@ struct Server::Impl {
 
   void WorkerLoop(int id);
   void SupervisorLoop();
-  void FailOverStalledWorker(int id, std::uint64_t age_ns);
+  bool FailOverStalledWorker(int id, std::uint64_t observed_start_ns,
+                             std::uint64_t age_ns);
 };
 
 Server::Server(const proto::NetParameter& model, const ServerOptions& opts)
@@ -216,7 +223,10 @@ double Server::CalibrateSustainableQps(int reps) {
                                     zeros.data());
   {  // warmup every replica (lazy buffers, cold caches)
     std::vector<std::vector<float>> outputs;
-    for (auto& probe : probes) probe->RunBatch(samples, &outputs);
+    for (auto& probe : probes) {
+      outputs.clear();  // RunBatch appends; don't accumulate across calls
+      probe->RunBatch(samples, &outputs);
+    }
   }
   const std::uint64_t t0 = MonotonicNowNs();
   std::vector<std::thread> threads;
@@ -224,7 +234,13 @@ double Server::CalibrateSustainableQps(int reps) {
   for (auto& probe : probes) {
     threads.emplace_back([&probe, &samples, reps] {
       std::vector<std::vector<float>> outputs;
-      for (int r = 0; r < reps; ++r) probe->RunBatch(samples, &outputs);
+      for (int r = 0; r < reps; ++r) {
+        // Clear per rep (RunBatch appends): accumulating reps x max_batch
+        // vectors would add allocation overhead inside the timed region
+        // and deflate the calibrated rate.
+        outputs.clear();
+        probe->RunBatch(samples, &outputs);
+      }
     });
   }
   for (auto& t : threads) t.join();
@@ -337,12 +353,15 @@ void Server::Impl::WorkerLoop(int id) {
 
     // Publish the heartbeat + in-flight batch BEFORE any work (including
     // the slow-worker fault) so the supervisor can see a stall and fail
-    // the batch over.
+    // the batch over. Both are published under inflight_mu as one unit:
+    // failover re-reads batch_start_ns under the lock and aborts if it no
+    // longer matches the timestamp that triggered the hang verdict.
+    const std::uint64_t batch_start = MonotonicNowNs();
     {
       std::lock_guard<std::mutex> lock(ws.inflight_mu);
       ws.inflight = batch;
+      ws.batch_start_ns.store(batch_start, std::memory_order_release);
     }
-    ws.batch_start_ns.store(MonotonicNowNs(), std::memory_order_release);
 
     if (ws.fault_slow_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(ws.fault_slow_ms));
@@ -369,9 +388,7 @@ void Server::Impl::WorkerLoop(int id) {
       const RequestPtr& req = batch[i];
       Response r;
       r.batch_size = static_cast<int>(batch.size());
-      r.queue_us =
-          static_cast<double>(ws.batch_start_ns.load(
-              std::memory_order_relaxed) - req->admit_ns) / 1e3;
+      r.queue_us = static_cast<double>(batch_start - req->admit_ns) / 1e3;
       r.total_us = static_cast<double>(done_ns - req->admit_ns) / 1e3;
       if (!forward_ok) {
         r.status = Status::kError;
@@ -397,40 +414,51 @@ void Server::Impl::WorkerLoop(int id) {
       CompleteOnce(req, std::move(r));
     }
 
-    ws.batch_start_ns.store(0, std::memory_order_release);
     {
       std::lock_guard<std::mutex> lock(ws.inflight_mu);
+      ws.batch_start_ns.store(0, std::memory_order_release);
       ws.inflight.clear();
     }
     batches.fetch_add(1, std::memory_order_relaxed);
     batched_requests.fetch_add(batch.size(), std::memory_order_relaxed);
     m_batch_size->Observe(static_cast<double>(batch.size()));
   }
+  ws.exited.store(true, std::memory_order_release);
 }
 
-void Server::Impl::FailOverStalledWorker(int id, std::uint64_t age_ns) {
+bool Server::Impl::FailOverStalledWorker(int id,
+                                         std::uint64_t observed_start_ns,
+                                         std::uint64_t age_ns) {
   WorkerState& ws = *workers[static_cast<std::size_t>(id)];
-  ws.excluded.store(true, std::memory_order_release);
+
+  // Re-check the hang verdict under inflight_mu: the caller sampled
+  // batch_start_ns WITHOUT the lock, and the worker may have finished that
+  // batch (and even started a new one) in between. batch_start_ns only
+  // changes under inflight_mu, so a match here proves the stalled batch is
+  // still the in-flight one; a mismatch means the worker recovered — abort
+  // rather than exclude a healthy worker and fail its NEW batch.
+  std::vector<RequestPtr> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(ws.inflight_mu);
+    // Supervisor and Stop() can both reach a hang verdict; excluded is set
+    // only under inflight_mu, so this check makes failover single-shot.
+    if (ws.excluded.load(std::memory_order_relaxed)) return false;
+    if (ws.batch_start_ns.load(std::memory_order_relaxed) !=
+        observed_start_ns) {
+      return false;
+    }
+    ws.excluded.store(true, std::memory_order_release);
+    orphaned = ws.inflight;
+  }
   workers_excluded.fetch_add(1, std::memory_order_relaxed);
   trace::MetricsRegistry::Default()
       .GetCounter("serve.workers.excluded")
       .Add(1);
 
-  // Forensics first: one blackbox dump captures every thread's ring,
-  // including the stalled worker's open "serve.worker.batch" position.
-  blackbox::Record(blackbox::EventKind::kViolation, "serve.worker.stall",
-                   static_cast<std::uint64_t>(id), age_ns);
-  blackbox::DumpNow(blackbox::DumpReason::kWatchdog);
-
-  // Fail the in-flight batch over: complete each request with
-  // kWorkerStalled. CompleteOnce makes this race-safe against the worker
-  // finishing late — whichever side gets there first wins, the other
-  // no-ops.
-  std::vector<RequestPtr> orphaned;
-  {
-    std::lock_guard<std::mutex> lock(ws.inflight_mu);
-    orphaned = ws.inflight;
-  }
+  // Fail the in-flight batch over BEFORE the (slow, file-writing) blackbox
+  // dump: clients have waited >= hang_deadline already. CompleteOnce makes
+  // this race-safe against the worker finishing late — whichever side gets
+  // there first wins, the other no-ops.
   const std::uint64_t now = MonotonicNowNs();
   for (const auto& req : orphaned) {
     Response r;
@@ -439,6 +467,13 @@ void Server::Impl::FailOverStalledWorker(int id, std::uint64_t age_ns) {
     r.total_us = static_cast<double>(now - req->admit_ns) / 1e3;
     CompleteOnce(req, std::move(r));
   }
+
+  // Forensics: one blackbox dump captures every thread's ring, including
+  // the stalled worker's still-open "serve.worker.batch" position.
+  blackbox::Record(blackbox::EventKind::kViolation, "serve.worker.stall",
+                   static_cast<std::uint64_t>(id), age_ns);
+  blackbox::DumpNow(blackbox::DumpReason::kWatchdog);
+  return true;
 }
 
 void Server::Impl::SupervisorLoop() {
@@ -473,7 +508,7 @@ void Server::Impl::SupervisorLoop() {
       const std::uint64_t start =
           ws.batch_start_ns.load(std::memory_order_acquire);
       if (start != 0 && now > start && now - start > hang_ns) {
-        FailOverStalledWorker(static_cast<int>(i), now - start);
+        FailOverStalledWorker(static_cast<int>(i), start, now - start);
       }
     }
   }
@@ -487,14 +522,57 @@ void Server::Stop() {
   // batch fill (queue.hpp), and PopBatch returns empty once drained.
   impl.queue->Close();
 
-  for (auto& ws : impl.workers) {
-    if (!ws->thread.joinable()) continue;
-    if (ws->excluded.load(std::memory_order_acquire)) {
-      // A stalled worker may never return from its forward; it holds a
-      // shared_ptr to Impl, so detaching is safe.
-      ws->thread.detach();
-    } else {
-      ws->thread.join();
+  // Join workers with a bounded wait: a worker hung inside its forward
+  // never returns, and a plain join would block SIGTERM drain forever. The
+  // supervisor is still running here and may exclude the worker first;
+  // otherwise Stop applies the same hang deadline itself, fails the batch
+  // over, and detaches. A detached worker holds a shared_ptr to Impl, so
+  // detaching is safe. The deadline is re-based on every sign of progress
+  // (new batch started, or batch finished) so a long multi-batch drain is
+  // never mistaken for a hang.
+  const std::uint64_t hang_ns = impl.opts.hang_deadline_ms * 1'000'000ull;
+  for (std::size_t i = 0; i < impl.workers.size(); ++i) {
+    Impl::WorkerState& ws = *impl.workers[i];
+    if (!ws.thread.joinable()) continue;
+    if (hang_ns == 0) {
+      // Hang detection disabled: no basis for declaring the worker stuck.
+      ws.thread.join();
+      continue;
+    }
+    std::uint64_t idle_ref = MonotonicNowNs();
+    std::uint64_t last_start =
+        ws.batch_start_ns.load(std::memory_order_acquire);
+    while (true) {
+      if (ws.exited.load(std::memory_order_acquire)) {
+        ws.thread.join();
+        break;
+      }
+      if (ws.excluded.load(std::memory_order_acquire)) {
+        // Already failed over (supervisor or a previous pass here); its
+        // in-flight batch was completed with kWorkerStalled.
+        ws.thread.detach();
+        break;
+      }
+      const std::uint64_t now = MonotonicNowNs();
+      const std::uint64_t start =
+          ws.batch_start_ns.load(std::memory_order_acquire);
+      if (start != last_start) {  // progress: new batch, or went idle
+        last_start = start;
+        idle_ref = now;
+      }
+      const std::uint64_t ref = start != 0 ? start : idle_ref;
+      if (now > ref && now - ref > hang_ns) {
+        if (impl.FailOverStalledWorker(static_cast<int>(i), start,
+                                       now - ref)) {
+          ws.thread.detach();
+          break;
+        }
+        // The worker made progress between the sample and the lock —
+        // re-base and keep waiting.
+        idle_ref = MonotonicNowNs();
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
 

@@ -120,8 +120,12 @@ class Server {
   /// Graceful shutdown: closes the queue, lets workers drain every queued
   /// request (forwarding, not discarding), joins them, and completes
   /// anything left (all-workers-stalled case) with Status::kShedLoad.
-  /// Idempotent; also invoked by the destructor and typically by a SIGTERM
-  /// handler in the serving binary.
+  /// The join is BOUNDED when hang detection is enabled: a worker stuck in
+  /// one forward past `hang_deadline_ms` during shutdown is failed over
+  /// (batch completed with kWorkerStalled) and detached, so SIGTERM drain
+  /// cannot block forever on a hung thread. Idempotent; also invoked by
+  /// the destructor and typically by a SIGTERM handler in the serving
+  /// binary.
   void Stop();
 
   ServerStats stats() const;

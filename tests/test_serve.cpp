@@ -335,7 +335,11 @@ TEST(ServeTest, DegradationLadderShedsBatchClassUnderSustainedOverload) {
 TEST(ServeTest, StalledWorkerIsExcludedAndPoolKeepsServing) {
   SeedGlobalRng(7);
   data::ClearDatasetCache();
-  // Worker 0 stalls hard (10s per batch) against a 150ms hang deadline.
+  // Worker 0 stalls hard (10s per batch) against a 2s hang deadline. The
+  // deadline is generous so that ONLY the faulted worker can trip it: under
+  // TSan/ASan a healthy forward slows by an order of magnitude, and with a
+  // tight deadline the supervisor would (correctly, per its contract)
+  // exclude a merely-slow healthy worker, which is not this scenario.
   setenv("CGDNN_SERVE_FAULT_SLOW_WORKER", "0:10000", 1);
   serve::ServerOptions opts;
   opts.workers = 2;
@@ -343,19 +347,23 @@ TEST(ServeTest, StalledWorkerIsExcludedAndPoolKeepsServing) {
   opts.batch_deadline_us = 200;
   opts.default_deadline_ms = 60'000;
   opts.supervisor_tick_ms = 2;
-  opts.hang_deadline_ms = 150;
+  opts.hang_deadline_ms = 2000;
   opts.planned = false;
   serve::Server server(SmallLeNet(), opts);
   server.Start();
   unsetenv("CGDNN_SERVE_FAULT_SLOW_WORKER");
 
+  // Feed traffic until the stall is detected. Short per-request deadlines
+  // keep the backlog self-draining: whatever the surviving worker cannot
+  // serve in time is dropped at dequeue, so the queue is free again for
+  // the post-exclusion probes below.
   Collector collector;
   int submitted = 0;
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(30);
   while (server.stats().workers_excluded == 0 &&
          std::chrono::steady_clock::now() < deadline) {
-    server.Submit(MakeRequest(server, &collector));
+    server.Submit(MakeRequest(server, &collector, /*deadline_ms=*/200));
     ++submitted;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
@@ -373,6 +381,44 @@ TEST(ServeTest, StalledWorkerIsExcludedAndPoolKeepsServing) {
   }
   server.Stop();  // must not hang on the stuck (detached) worker
   EXPECT_EQ(server.stats().workers_started, 2);
+}
+
+// Stop() while a worker is hung mid-forward and the supervisor has NOT yet
+// reached a hang verdict (stall younger than hang_deadline_ms, or the
+// supervisor simply hasn't ticked): the bounded join must apply the hang
+// deadline itself, fail the batch over with kWorkerStalled, and detach —
+// never block SIGTERM drain on a thread that cannot exit its forward.
+TEST(ServeTest, StopDoesNotBlockOnWorkerHungMidForward) {
+  SeedGlobalRng(7);
+  data::ClearDatasetCache();
+  setenv("CGDNN_SERVE_FAULT_SLOW_WORKER", "0:10000", 1);  // 10s per batch
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 2;
+  opts.batch_deadline_us = 200;
+  opts.default_deadline_ms = 60'000;
+  // Tick slowly enough that Stop() races ahead of the supervisor's verdict.
+  opts.supervisor_tick_ms = 500;
+  opts.hang_deadline_ms = 150;
+  opts.planned = false;
+  serve::Server server(SmallLeNet(), opts);
+  server.Start();
+  unsetenv("CGDNN_SERVE_FAULT_SLOW_WORKER");
+
+  Collector collector;
+  server.Submit(MakeRequest(server, &collector));
+  // Let the worker pop the batch and enter its 10s stall.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.Stop();
+  const double stop_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(stop_s, 5.0) << "Stop blocked on the hung worker";
+  ASSERT_TRUE(collector.WaitFor(1));
+  EXPECT_EQ(collector.responses[0].status, serve::Status::kWorkerStalled);
+  EXPECT_EQ(server.stats().workers_excluded, 1);
 }
 
 TEST(ServeTest, DropResponseFaultIsCountedNotCrashed) {
