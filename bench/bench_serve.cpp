@@ -15,8 +15,9 @@
 //    deadline-bounded no matter the pressure), and the mean dynamic batch
 //    size (expected to ride at max_batch under saturation).
 //
-// compare_bench.py direction markers: *_us, shed_rate lower-is-better;
-// *_qps higher-is-better. Gate a change with:
+// compare_bench.py direction markers: *_us, shed_rate, shed_frac and
+// straggler_frac lower-is-better; *_qps higher-is-better. Gate a change
+// with:
 //   tools/compare_bench.py bench/baselines/BENCH_serve.json BENCH_serve.json
 #include <iomanip>
 #include <iostream>
@@ -54,6 +55,10 @@ void BenchRegime(const std::string& model_name,
   const serve::LoadGenReport rep = serve::RunLoad(server, lopts);
   server.Stop();
   const serve::ServerStats stats = server.stats();
+  // Tail attribution from the live-stats window (default 10 s — covers the
+  // whole 1.5 s run including the drain): where the p99 went and how
+  // concentrated the slow requests were on one worker.
+  const serve::StatsSnapshot live = server.live_stats();
 
   const double shed_rate =
       stats.submitted > 0
@@ -71,6 +76,13 @@ void BenchRegime(const std::string& model_name,
   report.Add(section, "sustainable_qps", "value", sustainable);
   report.Add(section, "shed_rate", "value", shed_rate);
   report.Add(section, "batch_size_mean", "value", stats.batch_size_mean);
+  // Attribution coordinates (lower-is-better in compare_bench.py): a rise
+  // in shed_frac/straggler_frac flags an admission or imbalance regression
+  // even when the headline percentiles still pass.
+  report.Add(section, "shed_frac", "window", live.shed_rate);
+  report.Add(section, "straggler_frac", "window", live.straggler_frac);
+  report.Add(section, "queue_wait_p99_us", "window", live.queue_wait_p99_us);
+  report.Add(section, "compute_p99_us", "window", live.compute_p99_us);
 
   std::cout << "  " << std::left << std::setw(9) << regime << std::right
             << " (" << std::fixed << std::setprecision(1) << rate_factor
@@ -80,7 +92,7 @@ void BenchRegime(const std::string& model_name,
             << " ms, admitted p99 " << rep.server_p99_us / 1e3
             << " ms, shed " << std::setprecision(1) << 100.0 * shed_rate
             << "%, batch " << std::setprecision(2) << stats.batch_size_mean
-            << "\n" << std::defaultfloat;
+            << ", p99 " << live.p99_class << "\n" << std::defaultfloat;
 }
 
 void BenchModel(const std::string& name, const proto::NetParameter& param) {

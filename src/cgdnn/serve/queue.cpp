@@ -100,6 +100,7 @@ std::vector<RequestPtr> BoundedRequestQueue::PopBatch(
     while (!queue_.empty() && batch.size() < max_batch) {
       RequestPtr req = std::move(queue_.front());
       queue_.pop_front();
+      req->dequeue_ns = now;  // queue_wait stage ends here (request.hpp)
       // Deadline enforcement at dequeue: an expired request must not waste
       // a batch slot or a forward.
       if (req->ExpiredAt(now)) {
@@ -136,8 +137,12 @@ std::vector<RequestPtr> BoundedRequestQueue::PopBatch(
     const std::uint64_t now = MonotonicNowNs();
     Response r;
     r.status = Status::kExpired;
-    r.queue_us = static_cast<double>(now - req->admit_ns) / 1e3;
-    r.total_us = r.queue_us;
+    r.trace_id = req->id;
+    r.queue_wait_us =
+        static_cast<double>(req->dequeue_ns - req->admit_ns) / 1e3;
+    r.complete_us = static_cast<double>(now - req->dequeue_ns) / 1e3;
+    r.queue_us = r.queue_wait_us;
+    r.total_us = static_cast<double>(now - req->admit_ns) / 1e3;
     CompleteOnce(req, std::move(r));
     trace::MetricsRegistry::Default()
         .GetCounter("serve.requests.expired_dequeue")

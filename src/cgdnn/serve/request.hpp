@@ -54,6 +54,20 @@ struct Response {
   double queue_us = 0;    ///< admission -> dequeue
   double total_us = 0;    ///< admission -> completion
   int batch_size = 0;     ///< coalesced batch this request rode in (0 = none)
+
+  /// Request-scoped attribution (docs/observability.md). The trace id is
+  /// the request id; the stage durations telescope — computed from the
+  /// admit/dequeue/dispatch/forward-done/completion stamps on one shared
+  /// timeline, so queue_wait + batch_form + compute + complete == total
+  /// (up to float rounding). Stages a request never reached stay 0 (a
+  /// request shed at admission has only `complete`; one expired at dequeue
+  /// has queue_wait + complete).
+  std::uint64_t trace_id = 0;
+  int worker = -1;            ///< worker that forwarded the batch (-1: none)
+  double queue_wait_us = 0;   ///< admit -> popped off the queue
+  double batch_form_us = 0;   ///< popped -> batch dispatched to the worker
+  double compute_us = 0;      ///< dispatch -> forward done
+  double complete_us = 0;     ///< forward done -> completion stamped
 };
 
 /// One in-flight inference request. Owned by shared_ptr: the queue, the
@@ -65,6 +79,13 @@ struct Request {
   /// Absolute deadline on the cgdnn::MonotonicNowNs timeline. 0 = none.
   std::uint64_t deadline_ns = 0;
   std::uint64_t admit_ns = 0;  ///< stamped by Server::Submit
+  /// Stamped by BoundedRequestQueue::PopBatch when the request is popped
+  /// into a batch (0 until then). With admit_ns and the worker's dispatch /
+  /// forward-done / completion stamps this yields the per-stage breakdown
+  /// in Response (the request's TraceContext: its id doubles as the
+  /// Chrome-trace flow id binding the submit-side span to the worker-side
+  /// span).
+  std::uint64_t dequeue_ns = 0;
   /// Sample-major input, exactly one sample of the model's input shape.
   std::vector<float> input;
   /// Completion callback; invoked exactly once via CompleteOnce. May be

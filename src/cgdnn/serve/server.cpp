@@ -11,6 +11,7 @@
 #include "cgdnn/blackbox/blackbox.hpp"
 #include "cgdnn/parallel/context.hpp"
 #include "cgdnn/trace/metrics.hpp"
+#include "cgdnn/trace/trace.hpp"
 
 namespace cgdnn::serve {
 
@@ -52,6 +53,9 @@ struct Server::Impl {
   // ---- request path -------------------------------------------------------
   std::unique_ptr<BoundedRequestQueue> queue;
   std::atomic<std::uint64_t> next_id{1};
+
+  // ---- live stats (stats.hpp) ---------------------------------------------
+  std::unique_ptr<StatsExporter> stats_exporter;
 
   // ---- worker pool --------------------------------------------------------
   struct WorkerState {
@@ -124,6 +128,26 @@ struct Server::Impl {
   /// path — worker, supervisor failover, dequeue expiry, synchronous shed —
   /// is counted exactly once.
   void Count(const Response& r) {
+    stats_exporter->RecordCompletion(r);
+    // Satellite signals for the currently-invisible outcomes: a trace
+    // instant per shed/expired/stalled completion makes overload decisions
+    // visible on the timeline next to the request spans they displaced.
+    if (trace::TracingActive() && r.status != Status::kOk) {
+      const char* name = nullptr;
+      switch (r.status) {
+        case Status::kOk: break;
+        case Status::kShedQueueFull: name = "serve.shed.queue_full"; break;
+        case Status::kShedLoad: name = "serve.shed.load"; break;
+        case Status::kExpired: name = "serve.expired"; break;
+        case Status::kWorkerStalled: name = "serve.worker_stalled"; break;
+        case Status::kError: name = "serve.error"; break;
+      }
+      if (name != nullptr) {
+        trace::Tracer::Get().EmitInstant(
+            "serve", name, trace::NowNs(),
+            {{"trace_id", static_cast<double>(r.trace_id)}});
+      }
+    }
     switch (r.status) {
       case Status::kOk:
         ok.fetch_add(1, std::memory_order_relaxed);
@@ -185,6 +209,7 @@ Server::Server(const proto::NetParameter& model, const ServerOptions& opts)
   eopts.plan_threads = parallel::Parallel::ResolveThreads();
   impl_->engine = std::make_unique<InferenceEngine>(model, eopts);
   impl_->queue = std::make_unique<BoundedRequestQueue>(opts.queue_capacity);
+  impl_->stats_exporter = std::make_unique<StatsExporter>(opts.stats);
 }
 
 Server::~Server() { Stop(); }
@@ -195,6 +220,12 @@ index_t Server::output_size() const { return impl_->engine->output_size(); }
 int Server::degrade_level() const {
   return impl_->degrade_level.load(std::memory_order_relaxed);
 }
+
+StatsSnapshot Server::live_stats() const {
+  return impl_->stats_exporter->Snapshot(MonotonicNowNs());
+}
+
+void Server::FlushStats() { impl_->stats_exporter->Finish(); }
 
 double Server::CalibrateSustainableQps(int reps) {
   Impl& impl = *impl_;
@@ -269,6 +300,8 @@ void Server::Start() {
   ParseSlowWorkerFault(&fault_worker, &fault_ms);
   impl_->drop_response_every = DropResponseEveryFromEnv();
 
+  impl_->stats_exporter->Start();  // snapshot publisher (if paths are set)
+
   // Worker replicas are built serially: net construction draws from the
   // (non-thread-safe) global RNG, and plan application publishes gauges.
   for (int i = 0; i < impl_->opts.workers; ++i) {
@@ -310,6 +343,10 @@ void Server::Submit(RequestPtr req) {
   auto reject = [&](Status status) {
     Response r;
     r.status = status;
+    r.trace_id = req->id;
+    const double us = static_cast<double>(MonotonicNowNs() - now) / 1e3;
+    r.complete_us = us;  // never queued: the whole life is the verdict
+    r.total_us = us;
     CompleteOnce(req, std::move(r));
   };
 
@@ -327,6 +364,15 @@ void Server::Submit(RequestPtr req) {
   switch (impl.queue->Push(req)) {
     case PushResult::kAccepted:
       impl.admitted.fetch_add(1, std::memory_order_relaxed);
+      // Trace the admission: a submit-side span enclosing a flow START
+      // whose id is the request id. The matching flow end fires inside the
+      // worker-side request span, so Perfetto draws the cross-thread
+      // queue -> worker arrow (docs/observability.md).
+      if (trace::TracingActive()) {
+        auto& tracer = trace::Tracer::Get();
+        tracer.Emit("serve", "serve.submit", now, MonotonicNowNs());
+        tracer.EmitFlow("serve", "serve.req", now, req->id, 's');
+      }
       break;
     case PushResult::kFull:
       reject(Status::kShedQueueFull);
@@ -384,12 +430,47 @@ void Server::Impl::WorkerLoop(int id) {
     }
 
     const std::uint64_t done_ns = MonotonicNowNs();
+    const bool tracing = trace::TracingActive();
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const RequestPtr& req = batch[i];
       Response r;
       r.batch_size = static_cast<int>(batch.size());
+      r.trace_id = req->id;
+      r.worker = id;
+      // Stage attribution (request.hpp): the stamps telescope —
+      // admit (Submit) -> dequeue (PopBatch) -> dispatch (batch_start,
+      // which the fault sleep FOLLOWS so an injected straggler shows up as
+      // compute) -> forward done -> completion. queue_us keeps its
+      // pre-existing meaning (admit -> dispatch) for older consumers.
+      const std::uint64_t complete_ns = MonotonicNowNs();
+      r.queue_wait_us =
+          static_cast<double>(req->dequeue_ns - req->admit_ns) / 1e3;
+      r.batch_form_us =
+          static_cast<double>(batch_start - req->dequeue_ns) / 1e3;
+      r.compute_us = static_cast<double>(done_ns - batch_start) / 1e3;
+      r.complete_us = static_cast<double>(complete_ns - done_ns) / 1e3;
       r.queue_us = static_cast<double>(batch_start - req->admit_ns) / 1e3;
-      r.total_us = static_cast<double>(done_ns - req->admit_ns) / 1e3;
+      r.total_us = static_cast<double>(complete_ns - req->admit_ns) / 1e3;
+      if (tracing) {
+        // Worker-side request span + stage children, and the flow END that
+        // binds this span back to the submit-side flow start. The child
+        // spans share boundary stamps, so they tile the request span.
+        auto& tracer = trace::Tracer::Get();
+        tracer.Emit("serve", "serve.request", req->dequeue_ns, complete_ns,
+                    {{"trace_id", static_cast<double>(req->id)},
+                     {"batch_size", static_cast<double>(batch.size())},
+                     {"queue_wait_us", r.queue_wait_us},
+                     {"batch_form_us", r.batch_form_us},
+                     {"compute_us", r.compute_us},
+                     {"complete_us", r.complete_us}});
+        tracer.Emit("serve", "serve.stage.queue_wait", req->admit_ns,
+                    req->dequeue_ns);
+        tracer.Emit("serve", "serve.stage.batch_form", req->dequeue_ns,
+                    batch_start);
+        tracer.Emit("serve", "serve.stage.compute", batch_start, done_ns);
+        tracer.Emit("serve", "serve.stage.complete", done_ns, complete_ns);
+        tracer.EmitFlow("serve", "serve.req", req->dequeue_ns, req->id, 'f');
+      }
       if (!forward_ok) {
         r.status = Status::kError;
       } else if (req->ExpiredAt(done_ns)) {
@@ -422,6 +503,7 @@ void Server::Impl::WorkerLoop(int id) {
     batches.fetch_add(1, std::memory_order_relaxed);
     batched_requests.fetch_add(batch.size(), std::memory_order_relaxed);
     m_batch_size->Observe(static_cast<double>(batch.size()));
+    stats_exporter->RecordBatch(id, batch.size());
   }
   ws.exited.store(true, std::memory_order_release);
 }
@@ -463,6 +545,16 @@ bool Server::Impl::FailOverStalledWorker(int id,
   for (const auto& req : orphaned) {
     Response r;
     r.status = Status::kWorkerStalled;
+    r.trace_id = req->id;
+    r.worker = id;
+    // Attribution for the failed-over batch: it is stuck in compute — the
+    // stamps up to dispatch (observed_start_ns) are real, the rest of its
+    // life is the stall itself.
+    r.queue_wait_us =
+        static_cast<double>(req->dequeue_ns - req->admit_ns) / 1e3;
+    r.batch_form_us =
+        static_cast<double>(observed_start_ns - req->dequeue_ns) / 1e3;
+    r.compute_us = static_cast<double>(now - observed_start_ns) / 1e3;
     r.queue_us = 0;
     r.total_us = static_cast<double>(now - req->admit_ns) / 1e3;
     CompleteOnce(req, std::move(r));
@@ -495,8 +587,21 @@ void Server::Impl::SupervisorLoop() {
     }
     if (level == 2 && fill < opts.shed_fill * 0.5) level = 1;
     if (level == 1 && fill < opts.degrade_fill * 0.5) level = 0;
-    degrade_level.store(level, std::memory_order_relaxed);
+    const int prev =
+        degrade_level.exchange(level, std::memory_order_relaxed);
     m_degrade->Set(static_cast<double>(level));
+    stats_exporter->SetQueueFill(fill);
+    stats_exporter->SetDegradeLevel(level);
+    if (level != prev && trace::TracingActive()) {
+      // Ladder transitions are rare and load-bearing: mark each one on the
+      // supervisor's timeline so a latency cliff can be lined up with the
+      // level change that caused (or failed to prevent) it.
+      trace::Tracer::Get().EmitInstant(
+          "serve", "serve.degrade.level_change", trace::NowNs(),
+          {{"level", static_cast<double>(level)},
+           {"prev", static_cast<double>(prev)},
+           {"queue_fill", fill}});
+    }
 
     // Hang detection: a worker whose current batch is older than the
     // deadline is excluded and its batch failed over.
@@ -586,11 +691,21 @@ void Server::Stop() {
         static_cast<std::size_t>(impl.opts.max_batch), 0);
     if (leftover.empty()) break;
     for (const auto& req : leftover) {
+      const std::uint64_t now = MonotonicNowNs();
       Response r;
       r.status = Status::kShedLoad;
+      r.trace_id = req->id;
+      r.queue_wait_us =
+          static_cast<double>(req->dequeue_ns - req->admit_ns) / 1e3;
+      r.complete_us = static_cast<double>(now - req->dequeue_ns) / 1e3;
+      r.total_us = static_cast<double>(now - req->admit_ns) / 1e3;
       CompleteOnce(req, std::move(r));
     }
   }
+
+  // The drained run's final window (including everything completed during
+  // the drain above) must land in the snapshot/history files.
+  impl.stats_exporter->Finish();
 }
 
 ServerStats Server::stats() const {

@@ -47,6 +47,7 @@
 #include "cgdnn/serve/engine.hpp"
 #include "cgdnn/serve/queue.hpp"
 #include "cgdnn/serve/request.hpp"
+#include "cgdnn/serve/stats.hpp"
 
 namespace cgdnn::serve {
 
@@ -73,6 +74,11 @@ struct ServerOptions {
   /// Worker stuck in one batch longer than this is dumped + excluded.
   /// 0 disables hang detection.
   std::uint64_t hang_deadline_ms = 1000;
+
+  /// Live stats exporter (stats.hpp): sliding-window aggregation always
+  /// runs; the snapshot/exposition/history files are published only when
+  /// their paths are set.
+  StatsOptions stats;
 };
 
 /// Monotonic counters + pool state, snapshot at any time. All counts are
@@ -130,6 +136,15 @@ class Server {
 
   ServerStats stats() const;
   int degrade_level() const;
+
+  /// The live sliding-window view (stats.hpp): windowed qps/percentiles,
+  /// tail classification, exemplars. Valid any time after construction.
+  StatsSnapshot live_stats() const;
+  /// Flushes the stats exporter (final snapshot write; idempotent). Stop()
+  /// does this too — this entry point exists for fatal-error/signal paths
+  /// that must persist observability output without a full drain
+  /// (Observability::Finish parity, tools/flags.hpp).
+  void FlushStats();
 
   /// Measures the pool's sustainable throughput (requests/s): one probe
   /// replica per worker runs `reps` forwards at max_batch CONCURRENTLY and

@@ -1,0 +1,365 @@
+#include "cgdnn/serve/stats.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "cgdnn/core/buildinfo.hpp"
+#include "cgdnn/data/io.hpp"
+
+namespace cgdnn::serve {
+
+namespace {
+
+/// Minimum share of the slow exemplars that must sit on one worker before
+/// the window's tail is blamed on that worker rather than on compute in
+/// general. 2/3 echoes the imbalance-threshold idiom of the audit tool: a
+/// balanced pool spreads its tail roughly evenly.
+constexpr double kStragglerConcentration = 2.0 / 3.0;
+
+}  // namespace
+
+StatsExporter::StatsExporter(const StatsOptions& opts)
+    : opts_(opts),
+      start_ns_(MonotonicNowNs()),
+      total_us_(opts.window_s),
+      queue_wait_us_(opts.window_s),
+      batch_form_us_(opts.window_s),
+      compute_us_(opts.window_s),
+      ok_(opts.window_s),
+      shed_(opts.window_s),
+      expired_(opts.window_s),
+      stalled_(opts.window_s),
+      errors_(opts.window_s) {
+  CGDNN_CHECK_GT(opts_.window_s, 0) << "stats window must be positive";
+  CGDNN_CHECK_GT(opts_.exemplars, 0) << "need at least one exemplar slot";
+  exemplar_slots_.resize(static_cast<std::size_t>(opts_.window_s));
+}
+
+StatsExporter::~StatsExporter() { Finish(); }
+
+void StatsExporter::Start() {
+  if (started_.exchange(true)) return;
+  const bool has_output = !opts_.snapshot_path.empty() ||
+                          !opts_.exposition_path.empty() ||
+                          !opts_.history_path.empty();
+  if (opts_.period_ms > 0 && has_output) {
+    publisher_ = std::thread([this] { PublisherLoop(); });
+  }
+}
+
+void StatsExporter::Finish() {
+  if (finished_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(publisher_mu_);
+    publisher_stop_ = true;
+  }
+  publisher_cv_.notify_all();
+  if (publisher_.joinable()) publisher_.join();
+  // One final publish: the last window — shutdown-drain completions
+  // included — must reach the snapshot/history files even when the period
+  // never elapsed (short runs, fatal-error exits).
+  Publish();
+}
+
+void StatsExporter::RecordCompletion(const Response& r) {
+  const std::uint64_t now = MonotonicNowNs();
+  switch (r.status) {
+    case Status::kOk: break;
+    case Status::kShedQueueFull:
+    case Status::kShedLoad:
+      shed_.Add(1, now);
+      return;
+    case Status::kExpired:
+      expired_.Add(1, now);
+      return;
+    case Status::kWorkerStalled:
+      stalled_.Add(1, now);
+      return;
+    case Status::kError:
+      errors_.Add(1, now);
+      return;
+  }
+  ok_.Add(1, now);
+  total_us_.Observe(r.total_us, now);
+  queue_wait_us_.Observe(r.queue_wait_us, now);
+  batch_form_us_.Observe(r.batch_form_us, now);
+  compute_us_.Observe(r.compute_us, now);
+
+  StatsExemplar ex;
+  ex.trace_id = r.trace_id;
+  ex.worker = r.worker;
+  ex.batch_size = r.batch_size;
+  ex.total_us = r.total_us;
+  ex.queue_wait_us = r.queue_wait_us;
+  ex.batch_form_us = r.batch_form_us;
+  ex.compute_us = r.compute_us;
+  ex.complete_us = r.complete_us;
+
+  const std::uint64_t sec = now / 1'000'000'000ull;
+  const std::size_t k = static_cast<std::size_t>(opts_.exemplars);
+  std::lock_guard<std::mutex> lock(exemplars_mu_);
+  ExemplarSlot& slot = exemplar_slots_[static_cast<std::size_t>(
+      sec % static_cast<std::uint64_t>(opts_.window_s))];
+  if (slot.sec != sec) {
+    slot.sec = sec;
+    slot.top.clear();
+  }
+  if (slot.top.size() < k) {
+    slot.top.push_back(ex);
+    return;
+  }
+  auto slowest_min = std::min_element(
+      slot.top.begin(), slot.top.end(),
+      [](const StatsExemplar& a, const StatsExemplar& b) {
+        return a.total_us < b.total_us;
+      });
+  if (ex.total_us > slowest_min->total_us) *slowest_min = ex;
+}
+
+void StatsExporter::RecordBatch(int worker, std::size_t batch_size) {
+  if (worker < 0) return;
+  const std::uint64_t now = MonotonicNowNs();
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  while (worker_batches_.size() <= static_cast<std::size_t>(worker)) {
+    worker_batches_.push_back(
+        std::make_unique<trace::SlidingCounter>(opts_.window_s));
+  }
+  (void)batch_size;
+  worker_batches_[static_cast<std::size_t>(worker)]->Add(1, now);
+}
+
+void StatsExporter::SetQueueFill(double fill) {
+  queue_fill_.store(fill, std::memory_order_relaxed);
+}
+
+void StatsExporter::SetDegradeLevel(int level) {
+  degrade_level_.store(level, std::memory_order_relaxed);
+}
+
+StatsSnapshot StatsExporter::Snapshot(std::uint64_t now_ns) const {
+  StatsSnapshot snap;
+  snap.version = version_.load(std::memory_order_relaxed);
+  snap.uptime_s =
+      now_ns >= start_ns_ ? static_cast<double>(now_ns - start_ns_) / 1e9 : 0;
+  snap.window_s = opts_.window_s;
+
+  snap.ok = ok_.Sum(now_ns);
+  snap.shed = shed_.Sum(now_ns);
+  snap.expired = expired_.Sum(now_ns);
+  snap.stalled = stalled_.Sum(now_ns);
+  snap.errors = errors_.Sum(now_ns);
+  // QPS over the part of the window that has actually elapsed: a 2 s old
+  // server with a 60 s window serves at ok/2, not ok/60.
+  const double covered =
+      std::min(static_cast<double>(opts_.window_s),
+               std::max(snap.uptime_s, 1e-3));
+  snap.qps = static_cast<double>(snap.ok) / covered;
+  const std::uint64_t completions =
+      snap.ok + snap.shed + snap.expired + snap.stalled + snap.errors;
+  snap.shed_rate = completions > 0 ? static_cast<double>(snap.shed) /
+                                         static_cast<double>(completions)
+                                   : 0;
+
+  const auto total = total_us_.Read(now_ns);
+  snap.p50_us = total.p50;
+  snap.p90_us = total.p90;
+  snap.p99_us = total.p99;
+  snap.queue_wait_p99_us = queue_wait_us_.Read(now_ns).p99;
+  snap.batch_form_p99_us = batch_form_us_.Read(now_ns).p99;
+  snap.compute_p99_us = compute_us_.Read(now_ns).p99;
+
+  snap.queue_fill = queue_fill_.load(std::memory_order_relaxed);
+  snap.degrade_level = degrade_level_.load(std::memory_order_relaxed);
+  int active_workers = 0;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    snap.worker_batches.reserve(worker_batches_.size());
+    for (const auto& counter : worker_batches_) {
+      const std::uint64_t n = counter->Sum(now_ns);
+      snap.worker_batches.push_back(n);
+      if (n > 0) ++active_workers;
+    }
+  }
+
+  // Exemplars: merge in-window slots, keep the global K slowest.
+  {
+    const std::uint64_t now_sec = now_ns / 1'000'000'000ull;
+    std::lock_guard<std::mutex> lock(exemplars_mu_);
+    for (const ExemplarSlot& slot : exemplar_slots_) {
+      if (slot.sec == ~0ull) continue;
+      if (slot.sec + static_cast<std::uint64_t>(opts_.window_s) <= now_sec) {
+        continue;
+      }
+      snap.slowest.insert(snap.slowest.end(), slot.top.begin(),
+                          slot.top.end());
+    }
+  }
+  std::sort(snap.slowest.begin(), snap.slowest.end(),
+            [](const StatsExemplar& a, const StatsExemplar& b) {
+              return a.total_us > b.total_us;
+            });
+  if (snap.slowest.size() > static_cast<std::size_t>(opts_.exemplars)) {
+    snap.slowest.resize(static_cast<std::size_t>(opts_.exemplars));
+  }
+
+  // Tail attribution: blame the dominant stage of the slow exemplars.
+  if (snap.ok == 0 || snap.slowest.empty()) {
+    snap.p99_class = "idle";
+    return snap;
+  }
+  double fq = 0, fb = 0, fc = 0;
+  std::map<int, std::size_t> by_worker;
+  for (const StatsExemplar& ex : snap.slowest) {
+    if (ex.total_us > 0) {
+      fq += ex.queue_wait_us / ex.total_us;
+      fb += ex.batch_form_us / ex.total_us;
+      fc += ex.compute_us / ex.total_us;
+    }
+    by_worker[ex.worker] += 1;
+  }
+  const double n = static_cast<double>(snap.slowest.size());
+  fq /= n;
+  fb /= n;
+  fc /= n;
+  std::size_t modal = 0;
+  for (const auto& [worker, count] : by_worker) {
+    (void)worker;
+    modal = std::max(modal, count);
+  }
+  snap.straggler_frac = static_cast<double>(modal) / n;
+  if (fc >= fq && fc >= fb) {
+    snap.p99_class = (active_workers >= 2 &&
+                      snap.straggler_frac >= kStragglerConcentration)
+                         ? "straggler_bound"
+                         : "compute_bound";
+  } else if (fq >= fb) {
+    snap.p99_class = "queue_bound";
+  } else {
+    snap.p99_class = "batch_deadline_bound";
+  }
+  return snap;
+}
+
+void StatsExporter::WriteSnapshotJson(std::ostream& os,
+                                      const StatsSnapshot& snap) {
+  const auto saved_prec = os.precision();
+  os << std::setprecision(12);
+  os << "{\"meta\": ";
+  buildinfo::WriteMetaJson(os);
+  os << ", \"version\": " << snap.version
+     << ", \"uptime_s\": " << snap.uptime_s
+     << ", \"window_s\": " << snap.window_s << ", \"window\": {\"qps\": "
+     << snap.qps << ", \"ok\": " << snap.ok << ", \"shed\": " << snap.shed
+     << ", \"expired\": " << snap.expired << ", \"stalled\": " << snap.stalled
+     << ", \"errors\": " << snap.errors
+     << ", \"shed_rate\": " << snap.shed_rate
+     << ", \"p50_us\": " << snap.p50_us << ", \"p90_us\": " << snap.p90_us
+     << ", \"p99_us\": " << snap.p99_us
+     << ", \"queue_wait_p99_us\": " << snap.queue_wait_p99_us
+     << ", \"batch_form_p99_us\": " << snap.batch_form_p99_us
+     << ", \"compute_p99_us\": " << snap.compute_p99_us
+     << "}, \"state\": {\"queue_fill\": " << snap.queue_fill
+     << ", \"degrade_level\": " << snap.degrade_level
+     << ", \"worker_batches\": [";
+  for (std::size_t i = 0; i < snap.worker_batches.size(); ++i) {
+    os << (i != 0 ? ", " : "") << snap.worker_batches[i];
+  }
+  os << "]}, \"p99_class\": \"" << snap.p99_class
+     << "\", \"straggler_frac\": " << snap.straggler_frac
+     << ", \"exemplars\": [";
+  for (std::size_t i = 0; i < snap.slowest.size(); ++i) {
+    const StatsExemplar& ex = snap.slowest[i];
+    os << (i != 0 ? ", " : "") << "{\"trace_id\": " << ex.trace_id
+       << ", \"worker\": " << ex.worker
+       << ", \"batch_size\": " << ex.batch_size
+       << ", \"total_us\": " << ex.total_us
+       << ", \"queue_wait_us\": " << ex.queue_wait_us
+       << ", \"batch_form_us\": " << ex.batch_form_us
+       << ", \"compute_us\": " << ex.compute_us
+       << ", \"complete_us\": " << ex.complete_us << "}";
+  }
+  os << "]}";
+  os.precision(saved_prec);
+}
+
+void StatsExporter::WriteExposition(std::ostream& os,
+                                    const StatsSnapshot& snap) {
+  const auto saved_prec = os.precision();
+  os << std::setprecision(12);
+  os << "# cgdnn serving live stats (window " << snap.window_s
+     << "s, version " << snap.version << ")\n";
+  os << "cgdnn_serve_snapshot_version " << snap.version << "\n";
+  os << "cgdnn_serve_uptime_seconds " << snap.uptime_s << "\n";
+  os << "cgdnn_serve_window_qps " << snap.qps << "\n";
+  os << "cgdnn_serve_window_requests{status=\"ok\"} " << snap.ok << "\n";
+  os << "cgdnn_serve_window_requests{status=\"shed\"} " << snap.shed << "\n";
+  os << "cgdnn_serve_window_requests{status=\"expired\"} " << snap.expired
+     << "\n";
+  os << "cgdnn_serve_window_requests{status=\"stalled\"} " << snap.stalled
+     << "\n";
+  os << "cgdnn_serve_window_requests{status=\"error\"} " << snap.errors
+     << "\n";
+  os << "cgdnn_serve_window_shed_rate " << snap.shed_rate << "\n";
+  os << "cgdnn_serve_window_latency_us{quantile=\"0.5\"} " << snap.p50_us
+     << "\n";
+  os << "cgdnn_serve_window_latency_us{quantile=\"0.9\"} " << snap.p90_us
+     << "\n";
+  os << "cgdnn_serve_window_latency_us{quantile=\"0.99\"} " << snap.p99_us
+     << "\n";
+  os << "cgdnn_serve_window_stage_p99_us{stage=\"queue_wait\"} "
+     << snap.queue_wait_p99_us << "\n";
+  os << "cgdnn_serve_window_stage_p99_us{stage=\"batch_form\"} "
+     << snap.batch_form_p99_us << "\n";
+  os << "cgdnn_serve_window_stage_p99_us{stage=\"compute\"} "
+     << snap.compute_p99_us << "\n";
+  os << "cgdnn_serve_queue_fill " << snap.queue_fill << "\n";
+  os << "cgdnn_serve_degrade_level " << snap.degrade_level << "\n";
+  for (std::size_t w = 0; w < snap.worker_batches.size(); ++w) {
+    os << "cgdnn_serve_window_worker_batches{worker=\"" << w << "\"} "
+       << snap.worker_batches[w] << "\n";
+  }
+  os << "cgdnn_serve_window_p99_class{class=\"" << snap.p99_class
+     << "\"} 1\n";
+  os << "cgdnn_serve_window_straggler_frac " << snap.straggler_frac << "\n";
+  os.precision(saved_prec);
+}
+
+void StatsExporter::Publish() {
+  StatsSnapshot snap = Snapshot(MonotonicNowNs());
+  snap.version = version_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  std::ostringstream json;
+  WriteSnapshotJson(json, snap);
+  json << "\n";
+  if (!opts_.snapshot_path.empty()) {
+    data::WriteFileAtomic(opts_.snapshot_path, json.str());
+  }
+  if (!opts_.exposition_path.empty()) {
+    std::ostringstream prom;
+    WriteExposition(prom, snap);
+    data::WriteFileAtomic(opts_.exposition_path, prom.str());
+  }
+  if (!opts_.history_path.empty()) {
+    std::ofstream hist(opts_.history_path, std::ios::app);
+    if (hist) hist << json.str();
+  }
+}
+
+void StatsExporter::PublisherLoop() {
+  std::unique_lock<std::mutex> lock(publisher_mu_);
+  while (!publisher_stop_) {
+    publisher_cv_.wait_for(lock,
+                           std::chrono::milliseconds(opts_.period_ms),
+                           [this] { return publisher_stop_; });
+    if (publisher_stop_) break;  // Finish() writes the final snapshot
+    lock.unlock();
+    Publish();
+    lock.lock();
+  }
+}
+
+}  // namespace cgdnn::serve

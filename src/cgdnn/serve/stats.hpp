@@ -1,0 +1,165 @@
+// Live serving stats: sliding-window aggregation + snapshot publishing.
+//
+// Everything else the runtime records (Chrome traces, the metrics
+// registry, the audit JSON) is end-of-run output; an overloaded or
+// degrading server needs inspection WHILE it runs. The StatsExporter is
+// the bridge: every completion lands in sliding-window histograms/counters
+// (trace/metrics.hpp), and a publisher thread atomically replaces a
+// versioned JSON snapshot file (plus a Prometheus-style text exposition)
+// every period — readers always see a complete, parseable file
+// (data::WriteFileAtomic), never a torn write.
+//
+// Tail attribution: the exporter keeps the K slowest OK requests of the
+// window (exemplars, with their full stage breakdown and trace ids) and
+// classifies the window's p99 by the exemplars' dominant stage:
+//
+//   queue_bound           queue_wait dominates — admission outruns drain
+//   batch_deadline_bound  batch_form dominates — coalescing waits, not work
+//   compute_bound         compute dominates, spread across workers
+//   straggler_bound       compute dominates AND the slow requests
+//                         concentrate on one worker (the Das et al.
+//                         synchronous-straggler effect, per-request)
+//   idle                  no OK completion in the window
+//
+// docs/observability.md documents the snapshot schema and exposition
+// names; tools/cgdnn_stats pretty-prints/follows the snapshot file.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cgdnn/serve/request.hpp"
+#include "cgdnn/trace/metrics.hpp"
+
+namespace cgdnn::serve {
+
+struct StatsOptions {
+  std::string snapshot_path;    ///< versioned JSON snapshot (atomic replace)
+  std::string exposition_path;  ///< Prometheus-style text exposition
+  std::string history_path;     ///< JSONL: every published snapshot appended
+  std::uint64_t period_ms = 250;  ///< publish cadence
+  int window_s = 10;              ///< sliding-window width
+  int exemplars = 5;              ///< K slowest OK requests kept per window
+};
+
+/// One slow-request exemplar: enough to find the request in the Chrome
+/// trace (trace_id == flow id) and see where its time went.
+struct StatsExemplar {
+  std::uint64_t trace_id = 0;
+  int worker = -1;
+  int batch_size = 0;
+  double total_us = 0;
+  double queue_wait_us = 0;
+  double batch_form_us = 0;
+  double compute_us = 0;
+  double complete_us = 0;
+};
+
+/// Point-in-time view over the last `window_s` seconds.
+struct StatsSnapshot {
+  std::uint64_t version = 0;  ///< bumps on every publish; never decreases
+  double uptime_s = 0;        ///< exporter construction -> snapshot
+  int window_s = 0;
+  // Windowed completion counts by outcome + derived rates. `qps` counts OK
+  // completions per second of covered window (min(window_s, uptime)).
+  std::uint64_t ok = 0, shed = 0, expired = 0, stalled = 0, errors = 0;
+  double qps = 0;
+  double shed_rate = 0;  ///< shed / all completions in window
+  // Windowed latency quantiles (OK requests; SlidingHistogram error
+  // <= ~2%, see metrics.hpp).
+  double p50_us = 0, p90_us = 0, p99_us = 0;
+  double queue_wait_p99_us = 0, batch_form_p99_us = 0, compute_p99_us = 0;
+  // Instantaneous server state (fed by the supervisor tick).
+  double queue_fill = 0;
+  int degrade_level = 0;
+  std::vector<std::uint64_t> worker_batches;  ///< per-worker, in window
+  // Tail attribution.
+  std::string p99_class = "idle";
+  double straggler_frac = 0;  ///< modal-worker share of the exemplars
+  std::vector<StatsExemplar> slowest;  ///< descending total_us, size <= K
+};
+
+class StatsExporter {
+ public:
+  explicit StatsExporter(const StatsOptions& opts);
+  ~StatsExporter();  ///< Finish()
+
+  StatsExporter(const StatsExporter&) = delete;
+  StatsExporter& operator=(const StatsExporter&) = delete;
+
+  /// Launches the publisher thread when any output path is configured.
+  /// Recording works without Start (in-memory Snapshot only).
+  void Start();
+  /// Stops the publisher and writes one final snapshot (so the last window
+  /// — including shutdown-drain completions — is never lost). Idempotent;
+  /// safe from signal-drain and fatal-error paths (Observability::Finish
+  /// parity, see tools/flags.hpp).
+  void Finish();
+
+  /// Books one completion. Any thread; called for every completion path
+  /// via Server::Impl::Count.
+  void RecordCompletion(const Response& r);
+  /// Books one forwarded batch on `worker`. Worker threads.
+  void RecordBatch(int worker, std::size_t batch_size);
+  /// Supervisor-fed instantaneous state.
+  void SetQueueFill(double fill);
+  void SetDegradeLevel(int level);
+
+  /// Builds the current view (does not bump the version or touch files).
+  StatsSnapshot Snapshot(std::uint64_t now_ns) const;
+
+  /// Single-line JSON form of a snapshot (the snapshot file's and history
+  /// line's format; schema in docs/observability.md).
+  static void WriteSnapshotJson(std::ostream& os, const StatsSnapshot& snap);
+  /// Prometheus-style text exposition of a snapshot.
+  static void WriteExposition(std::ostream& os, const StatsSnapshot& snap);
+
+  const StatsOptions& options() const { return opts_; }
+
+ private:
+  void PublisherLoop();
+  void Publish();
+
+  const StatsOptions opts_;
+  const std::uint64_t start_ns_;
+
+  trace::SlidingHistogram total_us_;
+  trace::SlidingHistogram queue_wait_us_;
+  trace::SlidingHistogram batch_form_us_;
+  trace::SlidingHistogram compute_us_;
+  trace::SlidingCounter ok_, shed_, expired_, stalled_, errors_;
+
+  std::atomic<double> queue_fill_{0.0};
+  std::atomic<int> degrade_level_{0};
+
+  // Per-worker windowed batch counts; grown on first sight of a worker id.
+  mutable std::mutex workers_mu_;
+  std::vector<std::unique_ptr<trace::SlidingCounter>> worker_batches_;
+
+  // Exemplars: per-second ring slots, each holding the K slowest OK
+  // requests of that second; Snapshot merges in-window slots and keeps the
+  // global K. Bounded memory, exact top-K over the window.
+  struct ExemplarSlot {
+    std::uint64_t sec = ~0ull;
+    std::vector<StatsExemplar> top;  ///< unordered, size <= K
+  };
+  mutable std::mutex exemplars_mu_;
+  std::vector<ExemplarSlot> exemplar_slots_;
+
+  std::atomic<std::uint64_t> version_{0};
+  std::thread publisher_;
+  std::mutex publisher_mu_;
+  std::condition_variable publisher_cv_;
+  bool publisher_stop_ = false;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
+};
+
+}  // namespace cgdnn::serve

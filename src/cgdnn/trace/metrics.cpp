@@ -1,5 +1,6 @@
 #include "cgdnn/trace/metrics.hpp"
 
+#include <cmath>
 #include <iomanip>
 
 #include "cgdnn/core/buildinfo.hpp"
@@ -40,6 +41,125 @@ double Histogram::max() const {
 double Histogram::mean() const {
   const std::uint64_t n = count();
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+SlidingHistogram::SlidingHistogram(int window_s) : window_s_(window_s) {
+  CGDNN_CHECK_GT(window_s_, 0) << "sliding window needs a positive width";
+  slots_.resize(static_cast<std::size_t>(window_s_));
+}
+
+int SlidingHistogram::BucketIndex(double v) {
+  if (!(v > 1.0)) return 0;
+  const int i =
+      static_cast<int>(std::ceil(std::log(v) / std::log(kGamma)));
+  return i >= kNumBuckets ? kNumBuckets - 1 : (i < 0 ? 0 : i);
+}
+
+double SlidingHistogram::BucketValue(int i) {
+  return std::pow(kGamma, static_cast<double>(i)) / std::sqrt(kGamma);
+}
+
+SlidingHistogram::Slot& SlidingHistogram::SlotFor(std::uint64_t sec) {
+  Slot& slot = slots_[static_cast<std::size_t>(
+      sec % static_cast<std::uint64_t>(window_s_))];
+  if (slot.sec != sec) {
+    // This ring position last held a second that has slid out of the
+    // window (ring size == window width, so distinct in-window seconds
+    // never collide) — recycle it.
+    slot.sec = sec;
+    slot.count = 0;
+    slot.sum = 0;
+    slot.min = 0;
+    slot.max = 0;
+    slot.buckets.assign(static_cast<std::size_t>(kNumBuckets), 0);
+  }
+  return slot;
+}
+
+void SlidingHistogram::Observe(double v, std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = SlotFor(now_ns / 1'000'000'000ull);
+  slot.buckets[static_cast<std::size_t>(BucketIndex(v))] += 1;
+  if (slot.count == 0 || v < slot.min) slot.min = v;
+  if (slot.count == 0 || v > slot.max) slot.max = v;
+  slot.count += 1;
+  slot.sum += v;
+}
+
+SlidingHistogram::Snapshot SlidingHistogram::Read(
+    std::uint64_t now_ns) const {
+  const std::uint64_t now_sec = now_ns / 1'000'000'000ull;
+  Snapshot snap;
+  std::array<std::uint64_t, kNumBuckets> merged{};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Slot& slot : slots_) {
+      // In-window: sec in (now_sec - window, now_sec]. A slot stamped a
+      // hair ahead of `now` by a racing observer counts as current.
+      if (slot.sec == kEmptySec || slot.count == 0) continue;
+      if (slot.sec + static_cast<std::uint64_t>(window_s_) <= now_sec) {
+        continue;
+      }
+      for (int i = 0; i < kNumBuckets; ++i) {
+        merged[static_cast<std::size_t>(i)] +=
+            slot.buckets[static_cast<std::size_t>(i)];
+      }
+      if (snap.count == 0 || slot.min < snap.min) snap.min = slot.min;
+      if (snap.count == 0 || slot.max > snap.max) snap.max = slot.max;
+      snap.count += slot.count;
+      snap.sum += slot.sum;
+    }
+  }
+  if (snap.count == 0) return snap;
+  const auto quantile = [&](double q) {
+    const double rank = q * static_cast<double>(snap.count - 1);
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += merged[static_cast<std::size_t>(i)];
+      if (static_cast<double>(seen) > rank) {
+        // Clamp the bucket midpoint to the observed range: exact for the
+        // extreme quantiles of sparse windows.
+        double v = BucketValue(i);
+        if (v < snap.min) v = snap.min;
+        if (v > snap.max) v = snap.max;
+        return v;
+      }
+    }
+    return snap.max;
+  };
+  snap.p50 = quantile(0.50);
+  snap.p90 = quantile(0.90);
+  snap.p99 = quantile(0.99);
+  return snap;
+}
+
+SlidingCounter::SlidingCounter(int window_s) : window_s_(window_s) {
+  CGDNN_CHECK_GT(window_s_, 0) << "sliding window needs a positive width";
+  slots_.resize(static_cast<std::size_t>(window_s_));
+}
+
+void SlidingCounter::Add(std::uint64_t n, std::uint64_t now_ns) {
+  const std::uint64_t sec = now_ns / 1'000'000'000ull;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[static_cast<std::size_t>(
+      sec % static_cast<std::uint64_t>(window_s_))];
+  if (slot.sec != sec) {
+    slot.sec = sec;
+    slot.count = 0;
+  }
+  slot.count += n;
+}
+
+std::uint64_t SlidingCounter::Sum(std::uint64_t now_ns) const {
+  const std::uint64_t now_sec = now_ns / 1'000'000'000ull;
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Slot& slot : slots_) {
+    if (slot.sec == kEmptySec) continue;
+    if (slot.sec + static_cast<std::uint64_t>(window_s_) <= now_sec) continue;
+    total += slot.count;
+  }
+  return total;
 }
 
 MetricsRegistry& MetricsRegistry::Default() {

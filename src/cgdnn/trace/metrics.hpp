@@ -18,6 +18,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "cgdnn/core/common.hpp"
 
@@ -90,6 +91,93 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Sliding-window histogram over fine log-scale buckets.
+///
+/// The cumulative Histogram above answers "over the whole run"; live
+/// serving needs "over the last W seconds". This keeps a ring of W
+/// per-second slots, each a bucketized histogram; Observe lands in the slot
+/// for its timestamp's second (lazily recycling slots whose second has
+/// slid out of the window) and Read merges every slot still inside the
+/// window into count/sum/min/max + interpolated quantiles.
+///
+/// Buckets are powers of kGamma (1.04) rather than powers of two: a
+/// quantile read off a bucket's geometric midpoint then carries at most
+/// ~(kGamma-1)/2 ≈ 2% relative error — fine-grained enough for live
+/// percentiles to be compared against exact end-of-run recomputation
+/// (docs/observability.md), which 2x-wide buckets (up to ~100% error)
+/// cannot support. 700 buckets span 1 .. ~8.5e11, microseconds-to-days.
+///
+/// Timestamps are passed in explicitly (cgdnn::MonotonicNowNs timeline) so
+/// rotation and wraparound are deterministic under test. Observe is safe
+/// from any thread; Read is safe concurrently with Observe (one mutex
+/// guards the ring — serving-rate update frequencies make contention
+/// irrelevant next to the queue mutex).
+class SlidingHistogram {
+ public:
+  static constexpr double kGamma = 1.04;
+  static constexpr int kNumBuckets = 700;
+
+  explicit SlidingHistogram(int window_s);
+
+  static int BucketIndex(double v);
+  /// Representative value of bucket `i`: the geometric midpoint of its
+  /// (gamma^(i-1), gamma^i] range, which halves the worst-case error.
+  static double BucketValue(int i);
+
+  void Observe(double v, std::uint64_t now_ns);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+  };
+  /// Merges every slot whose second is within [now-window, now].
+  Snapshot Read(std::uint64_t now_ns) const;
+
+  int window_s() const { return window_s_; }
+
+ private:
+  struct Slot {
+    std::uint64_t sec = kEmptySec;
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::vector<std::uint32_t> buckets;
+  };
+  static constexpr std::uint64_t kEmptySec = ~0ull;
+  Slot& SlotFor(std::uint64_t sec);
+
+  const int window_s_;
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+};
+
+/// Sliding-window counter: ring of per-second increment totals. Sum(now)
+/// is the total over the last window; same timestamp/threading contract as
+/// SlidingHistogram.
+class SlidingCounter {
+ public:
+  explicit SlidingCounter(int window_s);
+  void Add(std::uint64_t n, std::uint64_t now_ns);
+  std::uint64_t Sum(std::uint64_t now_ns) const;
+  int window_s() const { return window_s_; }
+
+ private:
+  static constexpr std::uint64_t kEmptySec = ~0ull;
+  struct Slot {
+    std::uint64_t sec = kEmptySec;
+    std::uint64_t count = 0;
+  };
+  const int window_s_;
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
 };
 
 /// Name -> metric map. Get* registers on first use; requesting an existing

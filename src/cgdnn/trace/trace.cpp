@@ -106,6 +106,33 @@ void Tracer::Emit(const char* category, std::string name,
   log.events.push_back(std::move(ev));
 }
 
+void Tracer::EmitFlow(const char* category, std::string name,
+                      std::uint64_t ts_ns, std::uint64_t flow_id,
+                      char phase) {
+  ThreadLog& log = Log();
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = category;
+  ev.start_ns = ts_ns;
+  ev.tid = log.tid;
+  ev.phase = phase;
+  ev.flow_id = flow_id;
+  log.events.push_back(std::move(ev));
+}
+
+void Tracer::EmitInstant(const char* category, std::string name,
+                         std::uint64_t ts_ns, std::vector<TraceArg> args) {
+  ThreadLog& log = Log();
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = category;
+  ev.start_ns = ts_ns;
+  ev.tid = log.tid;
+  ev.phase = 'i';
+  ev.args = std::move(args);
+  log.events.push_back(std::move(ev));
+}
+
 std::vector<TraceArg> CounterTraceArgs(const perfctr::Delta& delta) {
   std::vector<TraceArg> args;
   if (!delta.valid) return args;
@@ -163,10 +190,20 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
       first = false;
       os << "\n{\"name\":";
       WriteJsonString(os, ev.name);
-      os << ",\"cat\":\"" << ev.category << "\",\"ph\":\"X\",\"ts\":"
-         << static_cast<double>(ev.start_ns) / 1e3
-         << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3
-         << ",\"pid\":1,\"tid\":" << ev.tid;
+      os << ",\"cat\":\"" << ev.category << "\",\"ph\":\"" << ev.phase
+         << "\",\"ts\":" << static_cast<double>(ev.start_ns) / 1e3;
+      if (ev.phase == 'X') {
+        os << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3;
+      }
+      os << ",\"pid\":1,\"tid\":" << ev.tid;
+      if (ev.phase == 's' || ev.phase == 't' || ev.phase == 'f') {
+        os << ",\"id\":" << ev.flow_id;
+        // Bind the flow end to the ENCLOSING slice, not the next one: the
+        // per-request span the flow terminates in is already open when the
+        // flow-end timestamp fires.
+        if (ev.phase == 'f') os << ",\"bp\":\"e\"";
+      }
+      if (ev.phase == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
       if (!ev.args.empty()) {
         os << ",\"args\":{";
         bool afirst = true;

@@ -48,13 +48,21 @@ struct TraceArg {
   double value;
 };
 
-/// One completed span, recorded by the owning thread.
+/// One recorded event. Most events are completed spans (phase 'X'); flow
+/// events ('s'/'t'/'f') stitch spans on different threads into one causal
+/// arrow (Perfetto renders them as connecting lines), and instants ('i')
+/// mark a point in time (a shed decision, a ladder transition).
 struct TraceEvent {
   std::string name;      ///< e.g. "conv1.forward" or "merge.ordered"
   const char* category;  ///< static string: "layer", "region", "merge", ...
   std::uint64_t start_ns = 0;  ///< relative to the tracer epoch
   std::uint64_t dur_ns = 0;
   int tid = 0;  ///< stable per-thread id (registration order)
+  /// Chrome trace phase: 'X' complete span, 's' flow start, 't' flow step,
+  /// 'f' flow end (bound to the enclosing slice), 'i' instant.
+  char phase = 'X';
+  /// Flow-binding id for 's'/'t'/'f' events; 0 otherwise.
+  std::uint64_t flow_id = 0;
   /// Optional counter deltas over the span; empty when hardware-counter
   /// collection was off (absent, never zeroed).
   std::vector<TraceArg> args;
@@ -83,6 +91,18 @@ class Tracer {
   void Emit(const char* category, std::string name, std::uint64_t start_ns,
             std::uint64_t end_ns, std::vector<TraceArg> args);
 
+  /// Records a flow event ('s' start, 't' step, 'f' end) on the calling
+  /// thread. All events sharing `flow_id` form one flow; Perfetto draws the
+  /// arrow between the slices enclosing each event's timestamp, which is
+  /// how a request's cross-thread path (submit thread -> worker thread)
+  /// renders as one connected chain.
+  void EmitFlow(const char* category, std::string name, std::uint64_t ts_ns,
+                std::uint64_t flow_id, char phase);
+  /// Records a point-in-time ('i', thread-scoped) event on the calling
+  /// thread, e.g. a shed decision or a degradation-ladder transition.
+  void EmitInstant(const char* category, std::string name, std::uint64_t ts_ns,
+                   std::vector<TraceArg> args = {});
+
   /// Event count over all threads (serial only: call after the traced
   /// parallel work has joined/barriered).
   std::size_t event_count() const;
@@ -92,7 +112,9 @@ class Tracer {
   std::vector<TraceEvent> Events() const;
 
   /// Writes the Chrome trace-event JSON array: one "X" (complete) event per
-  /// span, with "ts"/"dur" in microseconds. Serial only.
+  /// span, "s"/"t"/"f" events carrying their flow "id" (flow ends bind to
+  /// the enclosing slice via "bp":"e"), "i" instants, with "ts"/"dur" in
+  /// microseconds. Serial only.
   void WriteChromeTrace(std::ostream& os) const;
 
  private:

@@ -30,8 +30,11 @@
 // sustainable throughput, offers --serve-rate-factor of it open-loop for
 // --serve-duration-s, and the report gains a "serving" section with
 // sustainable/offered/achieved QPS, client and admitted (server-side)
-// latency percentiles, shed rate, and mean dynamic-batch size per worker
-// count — throughput should scale with workers at a fixed utilization.
+// latency percentiles, shed rate, mean dynamic-batch size, and the tail
+// attribution (p99_class + straggler_frac from the live-stats window,
+// serve/stats.hpp) per worker count — throughput should scale with
+// workers at a fixed utilization, and the p99_class says where the tail
+// went when it does not.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -371,7 +374,8 @@ int main(int argc, char** argv) {
     double serve_factor = 0, serve_duration = 0;
     std::map<int, double> srv_sustainable, srv_offered, srv_achieved,
         srv_p50, srv_p99, srv_admitted_p50, srv_admitted_p99, srv_shed_rate,
-        srv_batch_mean;
+        srv_batch_mean, srv_straggler_frac;
+    std::map<int, std::string> srv_p99_class;
     if (serve_mode) {
       serve_workers =
           ParseThreadList(flags.GetString("serve-workers", "1,2,4"));
@@ -400,8 +404,14 @@ int main(int argc, char** argv) {
         const serve::LoadGenReport rep = serve::RunLoad(server, lopts);
         server.Stop();
         const serve::ServerStats sstats = server.stats();
+        // Tail attribution (stats.hpp): which stage owns this worker
+        // count's p99, and how concentrated the slow requests are on one
+        // worker. The default 10 s window covers the whole run + drain.
+        const serve::StatsSnapshot live = server.live_stats();
 
         srv_sustainable[w] = sustainable;
+        srv_p99_class[w] = live.p99_class;
+        srv_straggler_frac[w] = live.straggler_frac;
         srv_offered[w] = rep.offered_qps;
         srv_achieved[w] = rep.achieved_qps;
         srv_p50[w] = rep.p50_us;
@@ -421,7 +431,8 @@ int main(int argc, char** argv) {
                   << std::setprecision(1) << rep.p99_us / 1e3
                   << " ms (admitted " << rep.server_p99_us / 1e3
                   << " ms), batch " << std::setprecision(2)
-                  << sstats.batch_size_mean << "\n" << std::defaultfloat;
+                  << sstats.batch_size_mean << ", p99 " << live.p99_class
+                  << "\n" << std::defaultfloat;
       }
     }
 
@@ -649,6 +660,19 @@ int main(int argc, char** argv) {
       WriteThreadMap(out, serve_workers, map_of(srv_shed_rate));
       out << ", \"batch_size_mean\": ";
       WriteThreadMap(out, serve_workers, map_of(srv_batch_mean));
+      // Tail attribution per worker count, mirroring the per-layer
+      // roofline "bound" string map: where the p99 went at this scale.
+      out << ",\n    \"p99_class\": {";
+      {
+        bool first = true;
+        for (const int w : serve_workers) {
+          if (!first) out << ", ";
+          first = false;
+          out << "\"" << w << "\": \"" << srv_p99_class.at(w) << "\"";
+        }
+      }
+      out << "}, \"straggler_frac\": ";
+      WriteThreadMap(out, serve_workers, map_of(srv_straggler_frac));
       out << "}";
     }
     out << "\n}\n";

@@ -10,13 +10,22 @@
 //               [--timeout-ms=N] [--retries=N] [--batch-fraction=F]
 //               [--seed=N] [--json-out=<file>]
 //               [--metrics-out=<file>] [--trace-out=<file>]
+//               [--stats-out=<file>] [--stats-exposition=<file>]
+//               [--stats-history=<file>] [--stats-period-ms=N]
+//               [--stats-window-s=N] [--stats-exemplars=N]
 //               [--blackbox=<file>] [--blackbox-dump]
 //
 // --rate accepts an absolute offered rate in requests/s, or "<F>x" to
 // scale a calibrated sustainable-throughput estimate (e.g. --rate=3x is
 // the overload drill's 3x-sustainable load). SIGTERM/SIGINT stop the load
 // and drain the server gracefully: queued and in-flight requests are
-// forwarded (or explicitly completed), then the process exits 0. Fault
+// forwarded (or explicitly completed), then the process exits 0.
+// --stats-out publishes a live, atomically-replaced JSON snapshot of the
+// sliding-window serving stats every --stats-period-ms (plus an optional
+// Prometheus-style exposition and a JSONL history); tools/cgdnn_stats
+// tails it while the server runs (docs/observability.md). All
+// observability artifacts — trace, metrics, stats — are flushed on signal
+// drain and fatal-error paths alike. Fault
 // drills are injected via CGDNN_SERVE_FAULT_SLOW_WORKER=<id:ms|ms>,
 // CGDNN_SERVE_FAULT_DROP_RESPONSE=<n> and CGDNN_SERVE_FAULT_STALL_QUEUE=<ms>.
 #include <atomic>
@@ -39,7 +48,9 @@ constexpr const char* kUsage =
     "[--queue-capacity=N] [--deadline-ms=N] [--hang-deadline-ms=N] "
     "[--no-plan] [--weights=<file>] [--rate=QPS|<F>x] [--duration-s=F] "
     "[--trace=poisson|bursty] [--timeout-ms=N] [--retries=N] "
-    "[--batch-fraction=F] [--seed=N] [--json-out=<file>]";
+    "[--batch-fraction=F] [--seed=N] [--json-out=<file>] "
+    "[--stats-out=<file>] [--stats-exposition=<file>] "
+    "[--stats-history=<file>] [--stats-period-ms=N] [--stats-window-s=N]";
 
 std::atomic<bool> g_stop{false};
 
@@ -56,7 +67,9 @@ double GetDouble(const cgdnn::tools::Flags& flags, const std::string& key,
 void WriteSummaryJson(std::ostream& os, const cgdnn::serve::ServerOptions& so,
                       const cgdnn::serve::LoadGenOptions& lo,
                       const cgdnn::serve::LoadGenReport& r,
-                      const cgdnn::serve::ServerStats& s, bool interrupted) {
+                      const cgdnn::serve::ServerStats& s,
+                      const cgdnn::serve::StatsSnapshot& live,
+                      bool interrupted) {
   os << "{\n"
      << "  \"config\": {\"workers\": " << so.workers
      << ", \"max_batch\": " << so.max_batch
@@ -96,8 +109,13 @@ void WriteSummaryJson(std::ostream& os, const cgdnn::serve::ServerOptions& so,
      << ", \"degrade_level\": " << s.degrade_level
      << ", \"queue_max_depth\": " << s.queue_max_depth
      << ", \"queue_capacity\": " << s.queue_capacity
-     << ", \"interrupted\": " << (interrupted ? "true" : "false") << "}\n"
-     << "}\n";
+     << ", \"interrupted\": " << (interrupted ? "true" : "false") << "},\n"
+     << "  \"stats\": ";
+  // The exporter's end-of-run view (same schema as the live snapshot file)
+  // so drills can compare windowed percentiles against the exact
+  // end-of-run ones above without a second file.
+  cgdnn::serve::StatsExporter::WriteSnapshotJson(os, live);
+  os << "\n}\n";
 }
 
 }  // namespace
@@ -124,6 +142,14 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(flags.GetInt("hang-deadline-ms", 1000));
     sopts.planned = !flags.GetBool("no-plan");
     sopts.plan_cache_dir = flags.GetString("plan-cache-dir");
+    sopts.stats.snapshot_path = flags.GetString("stats-out");
+    sopts.stats.exposition_path = flags.GetString("stats-exposition");
+    sopts.stats.history_path = flags.GetString("stats-history");
+    sopts.stats.period_ms =
+        static_cast<std::uint64_t>(flags.GetInt("stats-period-ms", 250));
+    sopts.stats.window_s = static_cast<int>(flags.GetInt("stats-window-s", 10));
+    sopts.stats.exemplars =
+        static_cast<int>(flags.GetInt("stats-exemplars", 5));
 
     serve::Server server(tools::ResolveModel(model), sopts);
     const std::string weights = flags.GetString("weights");
@@ -163,6 +189,12 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, HandleStopSignal);
 
     tools::Observability obs(flags);
+    // Artifact-flush parity: the stats exporter joins trace/metrics under
+    // Observability's idempotent Finish, so fatal-error unwinds and signal
+    // drains persist the final snapshot too. (`server` outlives `obs` —
+    // declared earlier in this scope — so the capture stays valid on every
+    // exit path.)
+    obs.OnFinish([&server] { server.FlushStats(); });
     server.Start();
     std::cerr << "serving " << model << ": " << sopts.workers
               << " worker(s), max_batch " << sopts.max_batch
@@ -176,10 +208,11 @@ int main(int argc, char** argv) {
     }
     server.Stop();  // graceful drain (idempotent; also the SIGTERM path)
     const serve::ServerStats stats = server.stats();
+    const serve::StatsSnapshot live = server.live_stats();
     obs.Finish();
 
     std::ostringstream json;
-    WriteSummaryJson(json, sopts, lopts, report, stats, interrupted);
+    WriteSummaryJson(json, sopts, lopts, report, stats, live, interrupted);
     const std::string json_out = flags.GetString("json-out");
     if (!json_out.empty()) {
       std::ofstream out(json_out, std::ios::trunc);

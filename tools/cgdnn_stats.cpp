@@ -1,0 +1,176 @@
+// cgdnn_stats — tail/pretty-print the live serving stats snapshot
+// published by `cgdnn_serve --stats-out` (docs/observability.md).
+//
+//   cgdnn_stats --snapshot=<file> [--json] [--follow]
+//               [--interval-ms=N] [--iterations=N]
+//
+// One-shot mode parses the snapshot once and prints a human summary (or,
+// with --json, echoes the raw snapshot). --follow polls the file every
+// --interval-ms and prints one line per NEW version (the snapshot is
+// atomically replaced by the server, so every read parses); --iterations
+// bounds how many updates to print (0 = until SIGINT). The snapshot may
+// not exist yet when following a server that is still starting — that is
+// not an error, the poll just keeps waiting.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "cgdnn/plan/json_lite.hpp"
+#include "flags.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "cgdnn_stats --snapshot=<file> [--json] [--follow] [--interval-ms=N] "
+    "[--iterations=N]";
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void HandleStopSignal(int) {
+  g_stop.store(true, std::memory_order_release);
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return in.good() || in.eof();
+}
+
+void PrintFollowLine(const cgdnn::plan::JsonValue& snap) {
+  const auto* window = snap.Find("window");
+  const auto* state = snap.Find("state");
+  std::cout << "v" << snap.GetInt("version") << "  qps "
+            << (window ? window->GetNumber("qps") : 0) << "  p50 "
+            << (window ? window->GetNumber("p50_us") : 0) << "us  p99 "
+            << (window ? window->GetNumber("p99_us") : 0) << "us  shed_rate "
+            << (window ? window->GetNumber("shed_rate") : 0) << "  fill "
+            << (state ? state->GetNumber("queue_fill") : 0) << "  L"
+            << (state ? state->GetInt("degrade_level") : 0) << "  "
+            << snap.GetString("p99_class", "?") << "\n";
+  std::cout.flush();
+}
+
+void PrintSummary(const cgdnn::plan::JsonValue& snap) {
+  const auto* window = snap.Find("window");
+  const auto* state = snap.Find("state");
+  std::cout << "cgdnn serving stats v" << snap.GetInt("version")
+            << "  (uptime " << snap.GetNumber("uptime_s") << "s, window "
+            << snap.GetInt("window_s") << "s)\n";
+  if (window != nullptr) {
+    std::cout << "  qps " << window->GetNumber("qps") << "   ok "
+              << window->GetInt("ok") << "  shed " << window->GetInt("shed")
+              << " (rate " << window->GetNumber("shed_rate")
+              << ")  expired " << window->GetInt("expired") << "  stalled "
+              << window->GetInt("stalled") << "  errors "
+              << window->GetInt("errors") << "\n";
+    std::cout << "  latency us  p50 " << window->GetNumber("p50_us")
+              << "  p90 " << window->GetNumber("p90_us") << "  p99 "
+              << window->GetNumber("p99_us") << "   [p99: "
+              << snap.GetString("p99_class", "?") << ", straggler_frac "
+              << snap.GetNumber("straggler_frac") << "]\n";
+    std::cout << "  stage p99 us  queue_wait "
+              << window->GetNumber("queue_wait_p99_us") << "  batch_form "
+              << window->GetNumber("batch_form_p99_us") << "  compute "
+              << window->GetNumber("compute_p99_us") << "\n";
+  }
+  if (state != nullptr) {
+    std::cout << "  queue fill " << state->GetNumber("queue_fill")
+              << "   degrade level " << state->GetInt("degrade_level")
+              << "   worker batches [";
+    if (const auto* wb = state->Find("worker_batches");
+        wb != nullptr && wb->is_array()) {
+      for (std::size_t i = 0; i < wb->array().size(); ++i) {
+        std::cout << (i != 0 ? ", " : "") << wb->array()[i].AsInt();
+      }
+    }
+    std::cout << "]\n";
+  }
+  if (const auto* exemplars = snap.Find("exemplars");
+      exemplars != nullptr && exemplars->is_array() &&
+      !exemplars->array().empty()) {
+    std::cout << "  slowest:\n";
+    for (const auto& ex : exemplars->array()) {
+      std::cout << "    id " << ex.GetInt("trace_id") << "  worker "
+                << ex.GetInt("worker") << "  batch "
+                << ex.GetInt("batch_size") << "  total "
+                << ex.GetNumber("total_us") << "us  (queue_wait "
+                << ex.GetNumber("queue_wait_us") << ", batch_form "
+                << ex.GetNumber("batch_form_us") << ", compute "
+                << ex.GetNumber("compute_us") << ", complete "
+                << ex.GetNumber("complete_us") << ")\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cgdnn;
+  try {
+    const tools::Flags flags(argc, argv);
+    const std::string path = flags.Require("snapshot", kUsage);
+    const bool raw_json = flags.GetBool("json");
+    const bool follow = flags.GetBool("follow");
+    const auto interval =
+        std::chrono::milliseconds(flags.GetInt("interval-ms", 500));
+    const index_t iterations = flags.GetInt("iterations", 0);
+
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+
+    if (!follow) {
+      std::string text;
+      if (!ReadFile(path, &text)) {
+        std::cerr << "error: cannot read " << path << "\n";
+        return 1;
+      }
+      if (raw_json) {
+        std::cout << text;
+        return 0;
+      }
+      plan::JsonValue snap;
+      if (!plan::JsonValue::Parse(text, &snap) || !snap.is_object()) {
+        std::cerr << "error: " << path << " is not a valid snapshot\n";
+        return 1;
+      }
+      PrintSummary(snap);
+      return 0;
+    }
+
+    // Follow mode: the server atomically replaces the snapshot, so every
+    // successful read is a complete document; print each new version.
+    std::int64_t last_version = -1;
+    index_t printed = 0;
+    while (!g_stop.load(std::memory_order_acquire)) {
+      std::string text;
+      plan::JsonValue snap;
+      if (ReadFile(path, &text) && plan::JsonValue::Parse(text, &snap) &&
+          snap.is_object()) {
+        const std::int64_t version = snap.GetInt("version");
+        if (version != last_version) {
+          last_version = version;
+          if (raw_json) {
+            std::cout << text;
+            std::cout.flush();
+          } else {
+            PrintFollowLine(snap);
+          }
+          printed += 1;
+          if (iterations > 0 && printed >= iterations) break;
+        }
+      }
+      std::this_thread::sleep_for(interval);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -136,12 +136,24 @@ def main():
                 fail(f"serving.{field} missing or non-numeric")
         for field in ("sustainable_qps", "offered_qps", "achieved_qps",
                       "p50_us", "p99_us", "admitted_p50_us",
-                      "admitted_p99_us", "shed_rate", "batch_size_mean"):
+                      "admitted_p99_us", "shed_rate", "batch_size_mean",
+                      "straggler_frac"):
             check_thread_map("serving", field, serving.get(field),
                              worker_keys, full=True)
-        for w, rate in serving["shed_rate"].items():
-            if not 0.0 <= rate <= 1.0:
-                fail(f"serving.shed_rate[{w}] = {rate} outside [0, 1]")
+        for field in ("shed_rate", "straggler_frac"):
+            for w, rate in serving[field].items():
+                if not 0.0 <= rate <= 1.0:
+                    fail(f"serving.{field}[{w}] = {rate} outside [0, 1]")
+        # Tail attribution: one classification label per worker count,
+        # from the documented set (serve/stats.hpp).
+        classes = serving.get("p99_class")
+        if not isinstance(classes, dict) or set(classes) != worker_keys:
+            fail("serving.p99_class must map every worker count")
+        allowed = {"idle", "queue_bound", "batch_deadline_bound",
+                   "compute_bound", "straggler_bound"}
+        for w, label in classes.items():
+            if label not in allowed:
+                fail(f"serving.p99_class[{w}] = {label!r} not in {allowed}")
 
     if args.require_counters and not saw_counter_field:
         fail("counters_available is true but no layer carries a counter "

@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Validate a cgdnn_serve live-stats snapshot against its schema.
+
+Usage:
+    tools/check_stats_schema.py SNAPSHOT.json [--exposition FILE]
+                                [--history FILE]
+
+The snapshot is the versioned JSON document published by
+`cgdnn_serve --stats-out` (docs/observability.md): a "meta" provenance
+header, a "window" section of sliding-window counts and latency
+quantiles, a "state" section of instantaneous server state, the tail
+attribution (p99_class / straggler_frac / exemplars), and a version
+counter that never decreases between publishes.
+
+Checked invariants:
+
+  * every required field is present with the right JSON type;
+  * version >= 1, uptime_s >= 0, window_s >= 1;
+  * counts are non-negative, shed_rate and queue_fill sit in [0, 1];
+  * quantiles are ordered (p50 <= p90 <= p99) whenever the window saw an
+    OK completion, and stage p99s do not exceed the total p99 beyond
+    sketch error;
+  * p99_class is one of the documented labels and is consistent with the
+    window's OK count and exemplars ("idle" iff the window is empty,
+    modulo the snapshot/completion race on live mid-run reads);
+  * each exemplar's stage durations telescope back to its total
+    (queue_wait + batch_form + compute + complete == total within
+    rounding), and exemplars are sorted slowest-first;
+  * with --exposition, the Prometheus-style text exposition parses line
+    by line and carries every documented metric name with values
+    consistent with the snapshot;
+  * with --history, every JSONL line is itself a valid snapshot and the
+    version sequence is strictly increasing.
+
+Exits non-zero with a message on the first violation.
+"""
+import argparse
+import json
+import math
+import sys
+
+P99_CLASSES = ("idle", "queue_bound", "batch_deadline_bound",
+               "compute_bound", "straggler_bound")
+
+EXPOSITION_METRICS = (
+    "cgdnn_serve_snapshot_version",
+    "cgdnn_serve_uptime_seconds",
+    "cgdnn_serve_window_qps",
+    "cgdnn_serve_window_requests",
+    "cgdnn_serve_window_shed_rate",
+    "cgdnn_serve_window_latency_us",
+    "cgdnn_serve_window_stage_p99_us",
+    "cgdnn_serve_queue_fill",
+    "cgdnn_serve_degrade_level",
+    "cgdnn_serve_window_p99_class",
+    "cgdnn_serve_window_straggler_frac",
+)
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def number(obj, key, where):
+    require(key in obj, f"{where}: missing '{key}'")
+    val = obj[key]
+    require(isinstance(val, (int, float)) and not isinstance(val, bool),
+            f"{where}: '{key}' is {type(val).__name__}, expected number")
+    require(math.isfinite(float(val)), f"{where}: '{key}' is not finite")
+    return float(val)
+
+
+def count(obj, key, where):
+    val = number(obj, key, where)
+    require(val >= 0 and val == int(val),
+            f"{where}: '{key}' = {val} is not a non-negative integer")
+    return int(val)
+
+
+def check_snapshot(snap, where="snapshot"):
+    require(isinstance(snap, dict), f"{where}: not a JSON object")
+    require(isinstance(snap.get("meta"), dict),
+            f"{where}: missing provenance 'meta' header")
+    version = count(snap, "version", where)
+    require(version >= 1, f"{where}: version {version} < 1")
+    require(number(snap, "uptime_s", where) >= 0, f"{where}: negative uptime")
+    require(count(snap, "window_s", where) >= 1, f"{where}: window_s < 1")
+
+    window = snap.get("window")
+    require(isinstance(window, dict), f"{where}: missing 'window' section")
+    w = f"{where}.window"
+    ok = count(window, "ok", w)
+    for key in ("shed", "expired", "stalled", "errors"):
+        count(window, key, w)
+    require(number(window, "qps", w) >= 0, f"{w}: negative qps")
+    shed_rate = number(window, "shed_rate", w)
+    require(0.0 <= shed_rate <= 1.0, f"{w}: shed_rate {shed_rate} not in [0,1]")
+    p50 = number(window, "p50_us", w)
+    p90 = number(window, "p90_us", w)
+    p99 = number(window, "p99_us", w)
+    stage_p99 = [number(window, k, w) for k in
+                 ("queue_wait_p99_us", "batch_form_p99_us", "compute_p99_us")]
+    # Mid-run snapshots can race a completion between the counter read and
+    # the histogram read, so a live snapshot with ok==1 may not have the
+    # sample in the quantiles yet; ordering must still hold.
+    if ok > 0:
+        require(0 <= p50 <= p90 <= p99,
+                f"{w}: quantiles out of order: p50={p50} p90={p90} p99={p99}")
+    if p99 > 0:
+        # Each stage is a subset of the request, so its p99 cannot exceed
+        # the total p99 beyond sketch error (~2% per side).
+        for name, val in zip(("queue_wait", "batch_form", "compute"),
+                             stage_p99):
+            require(val <= p99 * 1.10 + 1.0,
+                    f"{w}: {name}_p99_us {val} exceeds total p99 {p99}")
+
+    state = snap.get("state")
+    require(isinstance(state, dict), f"{where}: missing 'state' section")
+    s = f"{where}.state"
+    fill = number(state, "queue_fill", s)
+    require(0.0 <= fill <= 1.0, f"{s}: queue_fill {fill} not in [0,1]")
+    require(count(state, "degrade_level", s) >= 0, f"{s}: degrade_level < 0")
+    batches = state.get("worker_batches")
+    require(isinstance(batches, list), f"{s}: worker_batches not a list")
+    for i, b in enumerate(batches):
+        require(isinstance(b, int) and b >= 0,
+                f"{s}: worker_batches[{i}] = {b!r} invalid")
+
+    p99_class = snap.get("p99_class")
+    require(p99_class in P99_CLASSES,
+            f"{where}: p99_class {p99_class!r} not in {P99_CLASSES}")
+    frac = number(snap, "straggler_frac", where)
+    require(0.0 <= frac <= 1.0, f"{where}: straggler_frac not in [0,1]")
+
+    exemplars = snap.get("exemplars")
+    require(isinstance(exemplars, list), f"{where}: exemplars not a list")
+    # Classification follows the exemplars: a window with OK completions
+    # and exemplars must be attributed; a truly empty window is "idle".
+    if ok > 0 and exemplars:
+        require(p99_class != "idle",
+                f"{where}: ok={ok} with exemplars but p99_class is idle")
+    if ok == 0 and not exemplars:
+        require(p99_class == "idle",
+                f"{where}: empty window classified {p99_class!r}")
+    prev_total = math.inf
+    for i, ex in enumerate(exemplars):
+        e = f"{where}.exemplars[{i}]"
+        require(isinstance(ex, dict), f"{e}: not an object")
+        require(count(ex, "trace_id", e) >= 1, f"{e}: trace_id < 1")
+        number(ex, "worker", e)
+        require(count(ex, "batch_size", e) >= 1, f"{e}: batch_size < 1")
+        total = number(ex, "total_us", e)
+        stages = sum(number(ex, k, e) for k in
+                     ("queue_wait_us", "batch_form_us", "compute_us",
+                      "complete_us"))
+        require(total > 0, f"{e}: total_us {total} <= 0")
+        require(abs(stages - total) <= max(1.0, 0.01 * total),
+                f"{e}: stage sum {stages:.1f}us != total {total:.1f}us")
+        require(total <= prev_total * 1.000001,
+                f"{e}: exemplars not sorted slowest-first")
+        prev_total = total
+    return snap
+
+
+def check_exposition(path, snap):
+    seen = set()
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            head, _, value = line.rpartition(" ")
+            require(head and value, f"exposition:{lineno}: unparseable line")
+            try:
+                float(value)
+            except ValueError:
+                fail(f"exposition:{lineno}: value {value!r} is not a number")
+            name = head.split("{", 1)[0]
+            require(name.startswith("cgdnn_serve_"),
+                    f"exposition:{lineno}: unexpected metric {name!r}")
+            seen.add(name)
+            if name == "cgdnn_serve_snapshot_version":
+                require(int(float(value)) >= int(snap["version"]),
+                        f"exposition:{lineno}: version behind snapshot")
+    missing = [m for m in EXPOSITION_METRICS if m not in seen]
+    require(not missing, f"exposition: missing metrics {missing}")
+
+
+def check_history(path):
+    versions = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                snap = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"history:{lineno}: invalid JSON ({e})")
+            check_snapshot(snap, where=f"history:{lineno}")
+            versions.append(int(snap["version"]))
+    require(versions, "history: no snapshots recorded")
+    for a, b in zip(versions, versions[1:]):
+        require(a < b, f"history: versions not strictly increasing "
+                       f"({a} then {b})")
+    return versions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("snapshot", help="snapshot JSON file to validate")
+    ap.add_argument("--exposition", help="Prometheus-style exposition file")
+    ap.add_argument("--history", help="JSONL snapshot history file")
+    args = ap.parse_args()
+
+    with open(args.snapshot) as f:
+        snap = check_snapshot(json.load(f))
+    msg = (f"snapshot v{snap['version']}: ok={snap['window']['ok']} "
+           f"p99={snap['window']['p99_us']:.0f}us "
+           f"class={snap['p99_class']}")
+    if args.exposition:
+        check_exposition(args.exposition, snap)
+        msg += ", exposition ok"
+    if args.history:
+        versions = check_history(args.history)
+        msg += f", history {len(versions)} snapshot(s)"
+    print(f"OK: {msg}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,7 @@ inferred from the coordinate name:
 
   * higher-is-better: gflops, speedup, efficiency, ipc, *_qps
   * lower-is-better:  *_us, time, _kb, _mb, imbalance, llc_miss_rate,
-                      shed_rate
+                      shed_rate, shed_frac, straggler_frac
   * everything else is informational (printed, never fails)
 
 A value that moves more than --threshold (default 10%) in the *bad* direction
@@ -118,7 +118,7 @@ def direction(section, key, column):
         if any(marker in p for p in parts):
             return "higher"
     for marker in ("us", "time", "_kb", "_mb", "imbalance", "llc_miss_rate",
-                   "shed_rate"):
+                   "shed_rate", "shed_frac", "straggler_frac"):
         if any(marker in p for p in parts):
             return "lower"
     return "info"

@@ -3,6 +3,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -169,12 +170,22 @@ class Observability {
   /// The JSONL sink for solvers, or nullptr when --telemetry-out is absent.
   trace::TelemetrySink* telemetry() { return telemetry_.get(); }
 
+  /// Registers extra flush work to run FIRST in Finish() — once, no matter
+  /// how the run ends (normal exit, signal drain, exception unwind via the
+  /// destructor). The serving binary hooks its stats exporter here so live
+  /// snapshots get their final flush with the same idempotence guarantee
+  /// as the trace/metrics files. Callbacks must not throw.
+  void OnFinish(std::function<void()> fn) {
+    on_finish_.push_back(std::move(fn));
+  }
+
   /// Stops collection and writes the requested files; reports each path on
   /// stderr so benchmark stdout stays machine-readable. Safe to call more
   /// than once — only the first call writes.
   void Finish() {
     if (finished_) return;
     finished_ = true;
+    for (const auto& fn : on_finish_) fn();
     if (counters_armed_) perfctr::SetActive(false);
     telemetry_.reset();  // closes the JSONL stream
     if (!trace_path_.empty()) {
@@ -206,6 +217,7 @@ class Observability {
   std::string metrics_path_;
   std::string telemetry_path_;
   std::unique_ptr<trace::TelemetrySink> telemetry_;
+  std::vector<std::function<void()>> on_finish_;
   bool counters_armed_ = false;
   bool finished_ = false;
 };

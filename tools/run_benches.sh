@@ -8,7 +8,9 @@
 # reduction-mode ablation, a 2-iteration audit) — enough coordinates for
 # compare_bench.py to gate a change against bench/baselines/ without the
 # full sweep. --serve runs ONLY the serving-runtime bench (BENCH_serve.json:
-# latency percentiles, QPS, shed rate; baseline under bench/baselines/).
+# latency percentiles, QPS, shed rate, tail attribution; baseline under
+# bench/baselines/) plus a short cgdnn_serve run that collects the
+# live-stats snapshot series (serve_stats.json[l]).
 # Every report carries a "meta" provenance header (git SHA,
 # compiler, flags, thread count, hostname) for exactly that comparison.
 #
@@ -60,6 +62,23 @@ for name in $BENCHES; do
   echo "== $name"
   "$bin" > "$name.txt"
 done
+
+# Live-stats series for the serving bench: a short real cgdnn_serve run
+# publishing its sliding-window snapshot every 250 ms. The JSONL series
+# (serve_stats.jsonl) and the final snapshot land next to BENCH_serve.json
+# for offline inspection (tools/cgdnn_stats --snapshot=... or jq); the
+# run summary (SERVE_summary.json) carries the end-of-run window for the
+# windowed-vs-exact percentile cross-check (docs/observability.md).
+SERVE_BIN="$REPO_ROOT/$BUILD_DIR/tools/cgdnn_serve"
+if [ "$QUICK" -eq 0 ] && [ -x "$SERVE_BIN" ]; then
+  echo "== cgdnn_serve (live-stats series)"
+  rm -f serve_stats.jsonl  # history appends; keep one run per collection
+  "$SERVE_BIN" --model=lenet --workers=2 --threads=1 --no-plan \
+    --rate=0.7x --duration-s=2 --retries=0 \
+    --stats-out=serve_stats.json --stats-history=serve_stats.jsonl \
+    --stats-period-ms=250 --stats-window-s=60 \
+    --json-out=SERVE_summary.json > /dev/null 2> serve_stats.txt
+fi
 
 # micro_kernels first runs the old-vs-new GEMM engine sweep (writes
 # BENCH_gemm_micro.json into the cwd), then the google-benchmark primitives

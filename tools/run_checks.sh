@@ -35,7 +35,7 @@ result() {  # result <name> <status>  (status 0 pass, 77 skip, else fail)
 # merge/privatizer/coalescing unit tests, and the cgdnn-check runtime
 # checker. Anchored names: a bare "Merge" would also pull in the (slow)
 # convergence training runs.
-parallel_tests='ParallelEquivalence|PerLayerThreadSweep|WriteSetCheckerTest|CheckedModels|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest|ServeTest'
+parallel_tests='ParallelEquivalence|PerLayerThreadSweep|WriteSetCheckerTest|CheckedModels|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest|ServeTest|ServeStatsTest'
 # TSan runs the unit-level parallel suites plus single-thread model passes.
 # Whole-model multi-thread runs are excluded: TSan-instrumented GEMM inner
 # loops plus libgomp's ordered-section spin wait (which ignores
@@ -50,7 +50,10 @@ parallel_tests='ParallelEquivalence|PerLayerThreadSweep|WriteSetCheckerTest|Chec
 # rather than OpenMP teams. TSan gets the concurrency-critical subset:
 # the OMP-heavy bit-identity sweep and the 5s load-generator soak are
 # excluded for the same few-core-host reasons as the whole-model runs.
-tsan_tests='WriteSetCheckerTest|CheckedModels.*threads1$|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest|ServeTest\.(QueueIsBounded|ExpiredRequests|CompleteOnce|ServerForwards|AdmissionSheds|DegradationLadder|StalledWorker|DropResponse)'
+# ServeStatsTest (live-stats exporter) joins the same way: the sliding-
+# window/exemplar/publisher concurrency cases run under TSan, the two
+# model-forward cases (stage telescoping, trace flows) under ASan only.
+tsan_tests='WriteSetCheckerTest|CheckedModels.*threads1$|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest|ServeTest\.(QueueIsBounded|ExpiredRequests|CompleteOnce|ServerForwards|AdmissionSheds|DegradationLadder|StalledWorker|DropResponse)|ServeStatsTest\.(SlidingHistogram|SlidingCounter|Exemplars|TailClassifier|SnapshotFile)'
 
 note "lint_parallel"
 python3 tools/lint_parallel.py --self-test && python3 tools/lint_parallel.py
@@ -81,12 +84,17 @@ else
   result "plan-drills" 77
 fi
 
-note "serve drills (overload shed + SIGTERM drain + stalled worker)"
+note "serve drills (overload shed + SIGTERM drain + stalled worker + stats)"
 # Serving-runtime gates: 3x-overload must shed explicitly with a bounded
 # queue and deadline-bounded admitted p99, SIGTERM must drain cleanly, and
 # an injected worker stall must be excluded without taking the pool down.
+# serve_stats_check adds the observability gate: live snapshots must be
+# readable mid-run, windowed percentiles must agree with exact end-of-run
+# ones within 5%, and request flows must connect across threads in the
+# Chrome trace.
 if [[ -f build/CTestTestfile.cmake ]]; then
-  ( cd build && ctest -R 'serve_overload_check' --output-on-failure )
+  ( cd build && ctest -R 'serve_overload_check|serve_stats_check' \
+      --output-on-failure )
   result "serve-drills" $?
 else
   result "serve-drills" 77

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# Live-stats + tracing drill (docs/observability.md).
+#
+# One real serving run, inspected from three angles:
+#   1. WHILE the server runs, the snapshot file must be live: cgdnn_stats
+#      --follow must read complete, parseable snapshots (atomic replace —
+#      never a torn file) with strictly increasing versions.
+#   2. After the drain, the final snapshot/exposition/history must pass
+#      the schema checker, and the windowed p50/p99/ok-count must agree
+#      with the exact end-of-run percentiles the load generator computed
+#      from every sample: ok matches exactly, quantiles within 5%.
+#      (The run is sized so the window covers it entirely: rate=0.5x so
+#      nothing sheds, retries=0 and timeout > deadline so the client and
+#      server populations coincide, window_s > run length.)
+#   3. The Chrome trace must connect at least one request's path across
+#      threads: a flow start ('s') on the submit side and a flow finish
+#      ('f') with the same id on a worker thread, plus the per-request
+#      stage spans.
+# A second short overload run checks the shed path: windowed shed counts,
+# shed_rate > 0, and explicit shed instants in the trace.
+#
+# Usage: serve_stats_check.sh <cgdnn_serve-binary> <cgdnn_stats-binary>
+#                             <check_stats_schema.py>
+set -euo pipefail
+
+SERVE_BIN=$1
+STATS_BIN=$2
+SCHEMA_CHECK=$3
+WORK=$(mktemp -d)
+trap 'rm -rf "${WORK}"' EXIT
+
+echo "== 1. moderate load: live snapshots + windowed-vs-exact agreement =="
+# Follower starts before the server: a missing snapshot is not an error,
+# the poll just waits for the first publish.
+"${STATS_BIN}" --snapshot="${WORK}/stats.json" --follow --interval-ms=50 \
+    --iterations=5 > "${WORK}/follow.txt" &
+FOLLOW_PID=$!
+
+"${SERVE_BIN}" --model=lenet --workers=2 --threads=1 --max-batch=8 \
+    --no-plan --rate=0.5x --duration-s=3 --deadline-ms=1000 \
+    --timeout-ms=2000 --retries=0 \
+    --stats-out="${WORK}/stats.json" \
+    --stats-exposition="${WORK}/stats.prom" \
+    --stats-history="${WORK}/stats.jsonl" \
+    --stats-period-ms=100 --stats-window-s=60 --stats-exemplars=5 \
+    --trace-out="${WORK}/trace.json" \
+    --json-out="${WORK}/summary.json" > /dev/null
+
+# The follower needed ~5 publishes out of ~30; it must already be done.
+for _ in $(seq 50); do
+    kill -0 "${FOLLOW_PID}" 2> /dev/null || break
+    sleep 0.1
+done
+kill "${FOLLOW_PID}" 2> /dev/null || true
+wait "${FOLLOW_PID}" 2> /dev/null || true
+
+python3 - "${WORK}/follow.txt" <<'EOF'
+import sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) >= 2, f"follower saw {len(lines)} live snapshot(s), want >=2"
+versions = [int(l.split()[0].lstrip("v")) for l in lines]
+assert versions == sorted(set(versions)), (
+    f"live versions not strictly increasing: {versions}")
+print(f"   follower read {len(lines)} live snapshots, versions {versions}")
+EOF
+
+python3 "${SCHEMA_CHECK}" "${WORK}/stats.json" \
+    --exposition "${WORK}/stats.prom" --history "${WORK}/stats.jsonl"
+
+# The viewer's one-shot summary must render the final snapshot.
+"${STATS_BIN}" --snapshot="${WORK}/stats.json" | grep -q "cgdnn serving stats"
+
+python3 - "${WORK}/summary.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+load, srv, stats = r["load"], r["server"], r["stats"]
+win = stats["window"]
+# Exact match: the end-of-run window covers the whole run, the final
+# publish happens after the drain, and the client observed every OK
+# completion (retries=0, timeout > deadline).
+assert win["ok"] == srv["ok"], (
+    f"windowed ok {win['ok']} != server ok {srv['ok']}")
+assert srv["ok"] > 0, "no OK completions to compare percentiles over"
+# Quantile agreement: the sliding histogram's relative error is <= ~2%
+# (gamma=1.04 log buckets); the acceptance gate is 5%.
+for key, exact in (("p50_us", load["server_p50_us"]),
+                   ("p99_us", load["server_p99_us"])):
+    got = win[key]
+    assert exact > 0, f"load generator recorded no {key}"
+    err = abs(got - exact) / exact
+    assert err <= 0.05, (
+        f"windowed {key} {got:.1f}us vs exact {exact:.1f}us: "
+        f"{err:.1%} > 5%")
+assert win["qps"] > 0, "windowed qps is zero after a served run"
+assert stats["p99_class"] != "idle", "served window classified idle"
+assert stats["exemplars"], "no slow-request exemplars recorded"
+slowest = stats["exemplars"][0]
+assert slowest["trace_id"] >= 1 and slowest["total_us"] > 0
+print(f"   windowed ok={win['ok']} p50 {win['p50_us']:.0f}us "
+      f"p99 {win['p99_us']:.0f}us vs exact "
+      f"{load['server_p50_us']:.0f}/{load['server_p99_us']:.0f}us; "
+      f"p99_class={stats['p99_class']}")
+EOF
+
+echo "== 2. trace: flow events connect a request across threads =="
+python3 - "${WORK}/trace.json" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+events = data if isinstance(data, list) else data["traceEvents"]
+starts, finishes = {}, {}
+for ev in events:
+    if ev.get("cat") == "serve" and ev.get("name") == "serve.req":
+        if ev.get("ph") == "s":
+            starts[ev["id"]] = ev
+        elif ev.get("ph") == "f":
+            finishes.setdefault(ev["id"], ev)
+paired = set(starts) & set(finishes)
+assert paired, f"no flow start/finish pairs ({len(starts)} starts, " \
+               f"{len(finishes)} finishes)"
+cross = [i for i in paired if starts[i]["tid"] != finishes[i]["tid"]]
+assert cross, "no flow pair crosses threads (queue -> worker)"
+for i in cross:
+    assert finishes[i].get("bp") == "e", "flow finish missing bp=e binding"
+names = {ev.get("name") for ev in events}
+for needed in ("serve.submit", "serve.request", "serve.stage.queue_wait",
+               "serve.stage.batch_form", "serve.stage.compute",
+               "serve.stage.complete"):
+    assert needed in names, f"trace missing {needed} events"
+spans = [ev for ev in events
+         if ev.get("name") == "serve.request" and ev.get("ph") == "X"]
+assert spans and all("trace_id" in ev.get("args", {}) for ev in spans)
+print(f"   {len(cross)} request path(s) connected across threads, "
+      f"{len(spans)} request spans with stage children")
+EOF
+
+echo "== 3. overload: shed counters + shed instants in the trace =="
+"${SERVE_BIN}" --model=lenet --workers=2 --threads=1 --max-batch=8 \
+    --queue-capacity=32 --deadline-ms=50 --no-plan \
+    --rate=3x --duration-s=1.5 --timeout-ms=200 --retries=0 \
+    --stats-out="${WORK}/overload_stats.json" \
+    --stats-period-ms=100 --stats-window-s=60 \
+    --trace-out="${WORK}/overload_trace.json" \
+    --json-out="${WORK}/overload.json" > /dev/null
+python3 "${SCHEMA_CHECK}" "${WORK}/overload_stats.json"
+python3 - "${WORK}/overload.json" "${WORK}/overload_trace.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+stats, srv = r["stats"], r["server"]
+shed_total = srv["shed_queue_full"] + srv["shed_load"]
+assert shed_total > 0, "3x overload produced no sheds"
+assert stats["window"]["shed"] == shed_total, (
+    f"windowed shed {stats['window']['shed']} != server {shed_total}")
+assert stats["window"]["shed_rate"] > 0
+data = json.load(open(sys.argv[2]))
+events = data if isinstance(data, list) else data["traceEvents"]
+instants = [ev for ev in events if ev.get("ph") == "i" and
+            ev.get("name", "").startswith(("serve.shed", "serve.expired"))]
+assert instants, "no shed/expired instants in the overload trace"
+assert all("trace_id" in ev.get("args", {}) for ev in instants)
+print(f"   windowed shed={stats['window']['shed']} "
+      f"(rate {stats['window']['shed_rate']:.2f}), "
+      f"{len(instants)} shed/expired instants in trace")
+EOF
+
+echo "serve_stats_check: PASS"
