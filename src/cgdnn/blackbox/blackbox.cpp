@@ -20,6 +20,7 @@
 #include "cgdnn/blackbox/dump_format.hpp"
 #include "cgdnn/core/buildinfo.hpp"
 #include "cgdnn/core/common.hpp"
+#include "cgdnn/core/thread_annotations.hpp"
 
 namespace cgdnn::blackbox {
 
@@ -64,12 +65,13 @@ struct Ring {
 // Armed state: 0 = not yet read from environment, 1 = on, 2 = off.
 std::atomic<int> g_armed{0};
 std::atomic<std::uint64_t> g_generation{1};  // bumped by ResetForTest
-std::uint64_t g_capacity = kDefaultRingEvents;
-
-std::mutex g_register_mutex;  // thread registration + arming (cold paths)
+Mutex g_register_mutex;  // thread registration + arming (cold paths)
+std::uint64_t g_capacity CGDNN_GUARDED_BY(g_register_mutex) =
+    kDefaultRingEvents;
 std::atomic<Ring*> g_rings[kMaxThreads] = {};
 std::atomic<std::uint32_t> g_ring_count{0};
-std::vector<std::unique_ptr<Ring>> g_ring_owner;  // under g_register_mutex
+std::vector<std::unique_ptr<Ring>> g_ring_owner
+    CGDNN_GUARDED_BY(g_register_mutex);
 
 // Interned names. The char table is what the dump writer emits verbatim;
 // the hash table maps name *content* (not pointers — span names are
@@ -95,7 +97,7 @@ std::atomic<bool> g_prepared{false};  // path + meta buffers ready
 char g_dump_path[1024] = {};
 char g_meta[2048] = {};
 std::uint64_t g_meta_len = 0;
-bool g_handlers_installed = false;  // under g_register_mutex
+bool g_handlers_installed CGDNN_GUARDED_BY(g_register_mutex) = false;
 
 // Fault injection (drills). Read from the environment at arming time.
 bool g_inject_any = false;
@@ -115,7 +117,7 @@ struct ThreadState {
 thread_local ThreadState t_state{nullptr, 0, kNoThread};
 
 bool ArmSlow() {
-  std::lock_guard<std::mutex> lock(g_register_mutex);
+  LockGuard lock(g_register_mutex);
   int armed = g_armed.load(std::memory_order_relaxed);
   if (armed != 0) return armed == 1;
 
@@ -170,7 +172,7 @@ inline bool Armed() {
 }
 
 Ring* RegisterThread() {
-  std::lock_guard<std::mutex> lock(g_register_mutex);
+  LockGuard lock(g_register_mutex);
   const std::uint32_t idx = g_ring_count.load(std::memory_order_relaxed);
   if (idx >= kMaxThreads) return nullptr;
   auto ring = std::make_unique<Ring>(idx, g_capacity);
@@ -370,7 +372,7 @@ void PrepareDump(const char* requested_path) {
 
 void EnsurePrepared() {
   if (g_prepared.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(g_register_mutex);
+  LockGuard lock(g_register_mutex);
   if (!g_prepared.load(std::memory_order_relaxed)) PrepareDump(nullptr);
 }
 
@@ -391,7 +393,7 @@ struct Watchdog {
   std::thread thread;
   std::atomic<bool> stop{false};
   WatchdogOptions options;
-  bool running = false;  // under g_register_mutex
+  bool running CGDNN_GUARDED_BY(g_register_mutex) = false;
 };
 Watchdog g_watchdog;
 
@@ -557,7 +559,7 @@ void EndSolverIteration(std::uint64_t iter, double loss) {
 
 void InstallCrashHandlers(const std::string& dump_path) {
   if (!Armed()) return;
-  std::lock_guard<std::mutex> lock(g_register_mutex);
+  LockGuard lock(g_register_mutex);
   PrepareDump(dump_path.c_str());
   if (g_handlers_installed) return;
   struct sigaction action = {};
@@ -585,7 +587,7 @@ std::string DumpPath() {
 
 void StartWatchdog(const WatchdogOptions& options) {
   if (!Armed() || options.deadline_ns == 0) return;
-  std::lock_guard<std::mutex> lock(g_register_mutex);
+  LockGuard lock(g_register_mutex);
   if (g_watchdog.running) return;
   g_watchdog.options = options;
   g_watchdog.stop.store(false, std::memory_order_release);
@@ -596,7 +598,7 @@ void StartWatchdog(const WatchdogOptions& options) {
 void StopWatchdog() {
   std::thread joinable;
   {
-    std::lock_guard<std::mutex> lock(g_register_mutex);
+    LockGuard lock(g_register_mutex);
     if (!g_watchdog.running) return;
     g_watchdog.stop.store(true, std::memory_order_release);
     joinable = std::move(g_watchdog.thread);
@@ -607,7 +609,7 @@ void StopWatchdog() {
 
 void ResetForTest() {
   StopWatchdog();
-  std::lock_guard<std::mutex> lock(g_register_mutex);
+  LockGuard lock(g_register_mutex);
   for (auto& slot : g_rings) slot.store(nullptr, std::memory_order_relaxed);
   g_ring_count.store(0, std::memory_order_relaxed);
   g_ring_owner.clear();
@@ -630,6 +632,7 @@ void ResetForTest() {
 
 std::uint64_t RingCapacityForTest() {
   if (!Armed()) return 0;
+  LockGuard lock(g_register_mutex);
   return g_capacity;
 }
 

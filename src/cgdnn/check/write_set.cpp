@@ -101,7 +101,7 @@ void WriteSetChecker::EndWritePhase(int tid) {
 void WriteSetChecker::BeginMerge(int tid) {
   for (int t = 0; t < nthreads_; ++t) {
     if (write_phase_done_[static_cast<std::size_t>(t)]) continue;
-    std::lock_guard<std::mutex> lock(merge_violation_mu_);
+    LockGuard lock(merge_violation_mu_);
     if (merge_violation_.empty()) {
       std::ostringstream os;
       os << "region '" << region_ << "': thread " << tid
@@ -124,7 +124,7 @@ void WriteSetChecker::Verify() {
   verified_ = true;
 
   {
-    std::lock_guard<std::mutex> lock(merge_violation_mu_);
+    LockGuard lock(merge_violation_mu_);
     CGDNN_CHECK(merge_violation_.empty()) << "cgdnn-check: " << merge_violation_;
   }
 

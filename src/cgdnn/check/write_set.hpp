@@ -28,11 +28,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cgdnn/core/common.hpp"
+#include "cgdnn/core/thread_annotations.hpp"
 
 #ifndef CGDNN_CHECK_ENABLED
 #define CGDNN_CHECK_ENABLED 1
@@ -136,9 +136,9 @@ class WriteSetChecker {
   // per region by the owner thread, read by mergers after a barrier.
   std::vector<std::uint8_t> write_phase_done_;
   // First in-region violation (missing barrier), parked for Verify().
-  // Guarded by merge_violation_mu_: every merging thread may report.
-  std::mutex merge_violation_mu_;
-  std::string merge_violation_;
+  // Every merging thread may report; Verify re-reads under the lock.
+  Mutex merge_violation_mu_;
+  std::string merge_violation_ CGDNN_GUARDED_BY(merge_violation_mu_);
 };
 
 /// Serial RAII binding of WriteSetChecker::Current() (used by RegionStats).

@@ -1,0 +1,177 @@
+// Clang Thread Safety Analysis surface for the whole hand-rolled
+// concurrency layer (serve queue/server/stats/loadgen, blackbox arming,
+// sliding metrics, dataset cache, perfctr probe).
+//
+// Two pieces live here:
+//
+//  * the CGDNN_* capability macros — thin wrappers over clang's
+//    thread-safety attributes that expand to nothing on compilers without
+//    them (GCC builds are unaffected; the `tidy` preset builds with
+//    clang++ -Wthread-safety -Werror and enforces every annotation, see
+//    docs/correctness.md "Concurrency contracts");
+//
+//  * annotated synchronization primitives `cgdnn::Mutex`, `cgdnn::LockGuard`,
+//    `cgdnn::UniqueLock` and `cgdnn::CondVar`. std::mutex cannot carry the
+//    capability attribute, so the analysis cannot see through
+//    std::lock_guard<std::mutex>; the wrappers delegate straight to the
+//    std types and add only attributes. CondVar is deliberately narrower
+//    than std::condition_variable: every wait takes the Mutex directly and
+//    REQUIRES a predicate, so the "condvar waits must use the predicate
+//    overload" rule (tools/lint_locks.py, rule condvar-predicate) is
+//    unrepresentable-by-construction for code using the wrapper.
+//
+// Annotation conventions (enforced tree-wide, docs/correctness.md):
+//  * every mutex-guarded field is declared CGDNN_GUARDED_BY(mu);
+//  * private helpers called with a lock held are CGDNN_REQUIRES(mu);
+//  * fields published by atomic release/acquire (not by a mutex) stay
+//    unannotated and carry a comment naming the publishing protocol;
+//  * CGDNN_NO_THREAD_SAFETY_ANALYSIS is an allowlisted escape hatch —
+//    every use must cite a reason and is audited in docs/correctness.md.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CGDNN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CGDNN_THREAD_ANNOTATION
+#define CGDNN_THREAD_ANNOTATION(x)  // no-op on GCC and pre-TSA clang
+#endif
+
+#define CGDNN_CAPABILITY(x) CGDNN_THREAD_ANNOTATION(capability(x))
+#define CGDNN_SCOPED_CAPABILITY CGDNN_THREAD_ANNOTATION(scoped_lockable)
+#define CGDNN_GUARDED_BY(x) CGDNN_THREAD_ANNOTATION(guarded_by(x))
+#define CGDNN_PT_GUARDED_BY(x) CGDNN_THREAD_ANNOTATION(pt_guarded_by(x))
+#define CGDNN_ACQUIRED_BEFORE(...) \
+  CGDNN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CGDNN_ACQUIRED_AFTER(...) \
+  CGDNN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define CGDNN_REQUIRES(...) \
+  CGDNN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CGDNN_ACQUIRE(...) \
+  CGDNN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CGDNN_RELEASE(...) \
+  CGDNN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CGDNN_TRY_ACQUIRE(...) \
+  CGDNN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define CGDNN_EXCLUDES(...) CGDNN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define CGDNN_RETURN_CAPABILITY(x) CGDNN_THREAD_ANNOTATION(lock_returned(x))
+#define CGDNN_NO_THREAD_SAFETY_ANALYSIS \
+  CGDNN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cgdnn {
+
+/// std::mutex with the capability attribute, so GUARDED_BY/REQUIRES can
+/// name it. Identical runtime behavior to std::mutex.
+class CGDNN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CGDNN_ACQUIRE() { mu_.lock(); }
+  void unlock() CGDNN_RELEASE() { mu_.unlock(); }
+  bool try_lock() CGDNN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// For interop with std facilities that need the raw mutex. The analysis
+  /// cannot follow uses through this; prefer LockGuard/UniqueLock/CondVar.
+  std::mutex& native() { return mu_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::lock_guard over cgdnn::Mutex. Scoped: acquires at construction,
+/// releases at scope end.
+class CGDNN_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) CGDNN_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() CGDNN_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over cgdnn::Mutex: scoped like LockGuard but supports
+/// early Unlock() (and re-Lock()) for the hand-off patterns in the serve
+/// queue — drop the lock before running completion callbacks/notifies.
+class CGDNN_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) CGDNN_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~UniqueLock() CGDNN_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void Lock() CGDNN_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void Unlock() CGDNN_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  bool owns_lock() const { return held_; }
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable bound to cgdnn::Mutex. Only predicate overloads
+/// exist — spurious-wakeup-safe by construction — and every wait states
+/// CGDNN_REQUIRES(mu) so the analysis verifies the caller holds the lock.
+///
+/// Implemented over condition_variable_any waiting on the Mutex directly:
+/// the unlock/relock inside std::condition_variable_any happens in a
+/// system header, outside the analysis, which is exactly the semantics a
+/// condvar wait needs (the capability is held again whenever the predicate
+/// runs and when the wait returns). Predicates that read GUARDED_BY state
+/// are written `[&]() CGDNN_REQUIRES(mu) { ... }` at their definition site
+/// — the lock IS held whenever a wait runs the predicate.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Blocks until pred() is true. pred runs with mu held.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) CGDNN_REQUIRES(mu) {
+    cv_.wait(mu, pred);
+  }
+
+  /// Returns pred() after waiting at most rel_time.
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& rel_time,
+               Pred pred) CGDNN_REQUIRES(mu) {
+    return cv_.wait_for(mu, rel_time, pred);
+  }
+
+  /// Returns pred() after waiting until deadline at the latest.
+  template <typename Clock, typename Duration, typename Pred>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline,
+                 Pred pred) CGDNN_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline, pred);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace cgdnn

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <tuple>
 
+#include "cgdnn/core/thread_annotations.hpp"
 #include "cgdnn/data/io.hpp"
 #include "cgdnn/data/synthetic.hpp"
 
@@ -15,8 +16,8 @@ std::map<CacheKey, std::shared_ptr<const Dataset>>& Cache() {
   static std::map<CacheKey, std::shared_ptr<const Dataset>> cache;
   return cache;
 }
-std::mutex& CacheMutex() {
-  static std::mutex m;
+cgdnn::Mutex& CacheMutex() {
+  static cgdnn::Mutex m;
   return m;
 }
 }  // namespace
@@ -25,9 +26,18 @@ std::shared_ptr<const Dataset> LoadDataset(const std::string& source,
                                            index_t num_samples,
                                            std::uint64_t seed) {
   const CacheKey key{source, num_samples, seed};
-  std::lock_guard<std::mutex> lock(CacheMutex());
-  auto& cache = Cache();
-  if (const auto it = cache.find(key); it != cache.end()) return it->second;
+  // Check-release-load-relock-insert: the load below can read files, and
+  // holding the cache mutex across disk I/O would stall every other cache
+  // user behind one cold miss (tools/lint_locks.py rule
+  // blocking-under-lock; regression fixture
+  // tools/lock_fixtures/bad_cache_load_under_lock.cpp). Two threads racing
+  // the same cold key may both load; the first insert wins and the loser's
+  // copy is discarded.
+  {
+    cgdnn::LockGuard lock(CacheMutex());
+    auto& cache = Cache();
+    if (const auto it = cache.find(key); it != cache.end()) return it->second;
+  }
 
   std::shared_ptr<const Dataset> ds;
   if (source == "synthetic-mnist") {
@@ -44,12 +54,12 @@ std::shared_ptr<const Dataset> LoadDataset(const std::string& source,
   } else {
     throw Error(__FILE__, __LINE__, "unknown dataset source: " + source);
   }
-  cache.emplace(key, ds);
-  return ds;
+  cgdnn::LockGuard lock(CacheMutex());
+  return Cache().emplace(key, ds).first->second;
 }
 
 void ClearDatasetCache() {
-  std::lock_guard<std::mutex> lock(CacheMutex());
+  cgdnn::LockGuard lock(CacheMutex());
   Cache().clear();
 }
 

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "cgdnn/core/thread_annotations.hpp"
+
 #if defined(__linux__) && __has_include(<linux/perf_event.h>)
 #define CGDNN_PERFCTR_LINUX 1
 #include <linux/perf_event.h>
@@ -25,8 +27,8 @@ std::atomic<bool> g_force_unavailable{false};
 
 // Cached Supported() probe. 0 = not probed, 1 = supported, -1 = unsupported.
 std::atomic<int> g_probe_state{0};
-std::mutex g_probe_mu;
-std::string g_unavailable_reason;  // written under g_probe_mu before state flips
+Mutex g_probe_mu;
+std::string g_unavailable_reason CGDNN_GUARDED_BY(g_probe_mu);
 
 bool DisabledByEnv() {
   const char* v = std::getenv("CGDNN_PERFCTR");
@@ -230,7 +232,7 @@ Sample CounterSet::Read() const { return Sample{}; }
 bool Supported() {
   int state = g_probe_state.load(std::memory_order_acquire);
   if (state != 0) return state > 0;
-  std::lock_guard<std::mutex> lock(g_probe_mu);
+  LockGuard lock(g_probe_mu);
   state = g_probe_state.load(std::memory_order_acquire);
   if (state != 0) return state > 0;
 
@@ -260,7 +262,7 @@ bool Supported() {
 
 std::string UnavailableReason() {
   if (Supported()) return "";
-  std::lock_guard<std::mutex> lock(g_probe_mu);
+  LockGuard lock(g_probe_mu);
   return g_unavailable_reason;
 }
 

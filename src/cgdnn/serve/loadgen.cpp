@@ -3,11 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <queue>
 
 #include "cgdnn/core/rng.hpp"
+#include "cgdnn/core/thread_annotations.hpp"
 
 namespace cgdnn::serve {
 
@@ -98,9 +97,9 @@ struct Completion {
 /// Server::Stop later completes it), so the channel must not live on
 /// RunLoad's stack.
 struct CompletionChannel {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<Completion> completions;
+  Mutex mu;
+  CondVar cv;
+  std::vector<Completion> completions CGDNN_GUARDED_BY(mu);
 };
 
 struct Event {
@@ -139,10 +138,10 @@ LoadGenReport RunLoad(Server& server, const LoadGenOptions& opts) {
   auto chan = std::make_shared<CompletionChannel>();
   auto push_completion = [chan](Completion c) {
     {
-      std::lock_guard<std::mutex> lock(chan->mu);
+      LockGuard lock(chan->mu);
       chan->completions.push_back(c);
     }
-    chan->cv.notify_one();
+    chan->cv.NotifyOne();
   };
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
@@ -245,10 +244,11 @@ LoadGenReport RunLoad(Server& server, const LoadGenOptions& opts) {
     // trace duration (loadgen.hpp's cancellation contract).
     const bool due_now = cancelled && ev.kind != Event::Kind::kTimeout;
     {
-      std::unique_lock<std::mutex> lock(chan->mu);
+      UniqueLock lock(chan->mu);
       if (!due_now) {
-        chan->cv.wait_until(lock, ev.at,
-                            [&] { return !chan->completions.empty(); });
+        chan->cv.WaitUntil(chan->mu, ev.at, [&]() CGDNN_REQUIRES(chan->mu) {
+          return !chan->completions.empty();
+        });
       }
       drained.swap(chan->completions);
     }
@@ -286,7 +286,7 @@ LoadGenReport RunLoad(Server& server, const LoadGenOptions& opts) {
   }
   // Heap empty: every call resolved (each attempt carries a timeout timer).
   {
-    std::lock_guard<std::mutex> lock(chan->mu);
+    LockGuard lock(chan->mu);
     for (const auto& c : chan->completions) {
       if (!calls[c.call].resolved) process_completion(c);
     }

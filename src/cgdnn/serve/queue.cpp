@@ -63,12 +63,15 @@ void BoundedRequestQueue::RecordLockWait(std::uint64_t wait_ns) {
 
 PushResult BoundedRequestQueue::Push(RequestPtr req) {
   const std::uint64_t t0 = MonotonicNowNs();
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   RecordLockWait(MonotonicNowNs() - t0);
   // Fault drill: hold the queue lock to simulate a stalled/contended queue.
   // Producers and consumers pile up on mu_ and the lock-wait histogram plus
-  // shed counters must tell the story (docs/serving.md).
+  // shed counters must tell the story (docs/serving.md). The sleep-under-
+  // lock is the drill's entire point, so it carries the one allowlisted
+  // blocking-under-lock suppression in the tree (docs/correctness.md).
   if (stall_push_ms_ > 0) {
+    // cgdnn-lint: allow(blocking-under-lock)
     std::this_thread::sleep_for(std::chrono::milliseconds(stall_push_ms_));
   }
   if (closed_) return PushResult::kClosed;
@@ -77,8 +80,8 @@ PushResult BoundedRequestQueue::Push(RequestPtr req) {
   if (queue_.size() > max_depth_) max_depth_ = queue_.size();
   depth_gauge_->Set(static_cast<double>(queue_.size()));
   depth_hist_->Observe(static_cast<double>(queue_.size()));
-  lock.unlock();
-  not_empty_.notify_one();
+  lock.Unlock();
+  not_empty_.NotifyOne();
   return PushResult::kAccepted;
 }
 
@@ -89,13 +92,15 @@ std::vector<RequestPtr> BoundedRequestQueue::PopBatch(
   std::vector<RequestPtr> expired;
 
   const std::uint64_t t0 = MonotonicNowNs();
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   RecordLockWait(MonotonicNowNs() - t0);
 
   // Phase 1: block for the first request (or close+drain to empty).
-  not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  not_empty_.Wait(mu_, [&]() CGDNN_REQUIRES(mu_) {
+    return closed_ || !queue_.empty();
+  });
 
-  auto take_available = [&] {
+  auto take_available = [&]() CGDNN_REQUIRES(mu_) {
     const std::uint64_t now = MonotonicNowNs();
     while (!queue_.empty() && batch.size() < max_batch) {
       RequestPtr req = std::move(queue_.front());
@@ -122,7 +127,7 @@ std::vector<RequestPtr> BoundedRequestQueue::PopBatch(
         std::chrono::steady_clock::now() +
         std::chrono::microseconds(fill_deadline_us);
     while (batch.size() < max_batch && !closed_) {
-      if (not_empty_.wait_until(lock, fill_deadline, [&] {
+      if (not_empty_.WaitUntil(mu_, fill_deadline, [&]() CGDNN_REQUIRES(mu_) {
             return closed_ || !queue_.empty();
           })) {
         take_available();
@@ -131,7 +136,7 @@ std::vector<RequestPtr> BoundedRequestQueue::PopBatch(
       }
     }
   }
-  lock.unlock();
+  lock.Unlock();
 
   for (auto& req : expired) {
     const std::uint64_t now = MonotonicNowNs();
@@ -153,24 +158,24 @@ std::vector<RequestPtr> BoundedRequestQueue::PopBatch(
 
 void BoundedRequestQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     closed_ = true;
   }
-  not_empty_.notify_all();
+  not_empty_.NotifyAll();
 }
 
 bool BoundedRequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return closed_;
 }
 
 std::size_t BoundedRequestQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return queue_.size();
 }
 
 std::size_t BoundedRequestQueue::max_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return max_depth_;
 }
 

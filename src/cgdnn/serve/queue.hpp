@@ -21,12 +21,11 @@
 // surface as lock-wait/latency metrics and shed counters, not hangs".
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "cgdnn/core/thread_annotations.hpp"
 #include "cgdnn/serve/request.hpp"
 
 namespace cgdnn::trace {
@@ -78,11 +77,11 @@ class BoundedRequestQueue {
 
   const std::size_t capacity_;
   const std::uint64_t stall_push_ms_;  // CGDNN_SERVE_FAULT_STALL_QUEUE
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::deque<RequestPtr> queue_;
-  bool closed_ = false;
-  std::size_t max_depth_ = 0;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  std::deque<RequestPtr> queue_ CGDNN_GUARDED_BY(mu_);
+  bool closed_ CGDNN_GUARDED_BY(mu_) = false;
+  std::size_t max_depth_ CGDNN_GUARDED_BY(mu_) = 0;
 
   trace::Gauge* depth_gauge_;
   trace::Histogram* depth_hist_;

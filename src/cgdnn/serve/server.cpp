@@ -4,11 +4,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "cgdnn/blackbox/blackbox.hpp"
+#include "cgdnn/core/thread_annotations.hpp"
 #include "cgdnn/parallel/context.hpp"
 #include "cgdnn/trace/metrics.hpp"
 #include "cgdnn/trace/trace.hpp"
@@ -73,8 +73,8 @@ struct Server::Impl {
     std::atomic<bool> exited{false};
     /// The batch currently being forwarded, visible to the supervisor for
     /// failover when this worker stalls.
-    std::mutex inflight_mu;
-    std::vector<RequestPtr> inflight;
+    Mutex inflight_mu;
+    std::vector<RequestPtr> inflight CGDNN_GUARDED_BY(inflight_mu);
     std::uint64_t fault_slow_ms = 0;  // CGDNN_SERVE_FAULT_SLOW_WORKER
   };
   std::vector<std::unique_ptr<WorkerState>> workers;
@@ -284,7 +284,8 @@ double Server::CalibrateSustainableQps(int reps) {
 void Server::Start() {
   CGDNN_CHECK(!impl_->stopped.load(std::memory_order_acquire))
       << "Server::Start after Stop";
-  CGDNN_CHECK(!impl_->started.exchange(true)) << "Server::Start called twice";
+  CGDNN_CHECK(!impl_->started.exchange(true, std::memory_order_acq_rel))
+      << "Server::Start called twice";
 
   // Intra-op parallelism (global OMP config + tid-keyed privatization
   // arenas) does not compose with concurrent worker forwards.
@@ -404,7 +405,7 @@ void Server::Impl::WorkerLoop(int id) {
     // longer matches the timestamp that triggered the hang verdict.
     const std::uint64_t batch_start = MonotonicNowNs();
     {
-      std::lock_guard<std::mutex> lock(ws.inflight_mu);
+      LockGuard lock(ws.inflight_mu);
       ws.inflight = batch;
       ws.batch_start_ns.store(batch_start, std::memory_order_release);
     }
@@ -496,7 +497,7 @@ void Server::Impl::WorkerLoop(int id) {
     }
 
     {
-      std::lock_guard<std::mutex> lock(ws.inflight_mu);
+      LockGuard lock(ws.inflight_mu);
       ws.batch_start_ns.store(0, std::memory_order_release);
       ws.inflight.clear();
     }
@@ -521,7 +522,7 @@ bool Server::Impl::FailOverStalledWorker(int id,
   // rather than exclude a healthy worker and fail its NEW batch.
   std::vector<RequestPtr> orphaned;
   {
-    std::lock_guard<std::mutex> lock(ws.inflight_mu);
+    LockGuard lock(ws.inflight_mu);
     // Supervisor and Stop() can both reach a hang verdict; excluded is set
     // only under inflight_mu, so this check makes failover single-shot.
     if (ws.excluded.load(std::memory_order_relaxed)) return false;
@@ -621,7 +622,7 @@ void Server::Impl::SupervisorLoop() {
 
 void Server::Stop() {
   Impl& impl = *impl_;
-  if (impl.stopped.exchange(true)) return;
+  if (impl.stopped.exchange(true, std::memory_order_acq_rel)) return;
 
   // Close first: Push starts rejecting, draining workers stop waiting for
   // batch fill (queue.hpp), and PopBatch returns empty once drained.

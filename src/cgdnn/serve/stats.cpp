@@ -42,7 +42,7 @@ StatsExporter::StatsExporter(const StatsOptions& opts)
 StatsExporter::~StatsExporter() { Finish(); }
 
 void StatsExporter::Start() {
-  if (started_.exchange(true)) return;
+  if (started_.exchange(true, std::memory_order_acq_rel)) return;
   const bool has_output = !opts_.snapshot_path.empty() ||
                           !opts_.exposition_path.empty() ||
                           !opts_.history_path.empty();
@@ -52,12 +52,12 @@ void StatsExporter::Start() {
 }
 
 void StatsExporter::Finish() {
-  if (finished_.exchange(true)) return;
+  if (finished_.exchange(true, std::memory_order_acq_rel)) return;
   {
-    std::lock_guard<std::mutex> lock(publisher_mu_);
+    LockGuard lock(publisher_mu_);
     publisher_stop_ = true;
   }
-  publisher_cv_.notify_all();
+  publisher_cv_.NotifyAll();
   if (publisher_.joinable()) publisher_.join();
   // One final publish: the last window — shutdown-drain completions
   // included — must reach the snapshot/history files even when the period
@@ -101,7 +101,7 @@ void StatsExporter::RecordCompletion(const Response& r) {
 
   const std::uint64_t sec = now / 1'000'000'000ull;
   const std::size_t k = static_cast<std::size_t>(opts_.exemplars);
-  std::lock_guard<std::mutex> lock(exemplars_mu_);
+  LockGuard lock(exemplars_mu_);
   ExemplarSlot& slot = exemplar_slots_[static_cast<std::size_t>(
       sec % static_cast<std::uint64_t>(opts_.window_s))];
   if (slot.sec != sec) {
@@ -123,7 +123,7 @@ void StatsExporter::RecordCompletion(const Response& r) {
 void StatsExporter::RecordBatch(int worker, std::size_t batch_size) {
   if (worker < 0) return;
   const std::uint64_t now = MonotonicNowNs();
-  std::lock_guard<std::mutex> lock(workers_mu_);
+  LockGuard lock(workers_mu_);
   while (worker_batches_.size() <= static_cast<std::size_t>(worker)) {
     worker_batches_.push_back(
         std::make_unique<trace::SlidingCounter>(opts_.window_s));
@@ -176,7 +176,7 @@ StatsSnapshot StatsExporter::Snapshot(std::uint64_t now_ns) const {
   snap.degrade_level = degrade_level_.load(std::memory_order_relaxed);
   int active_workers = 0;
   {
-    std::lock_guard<std::mutex> lock(workers_mu_);
+    LockGuard lock(workers_mu_);
     snap.worker_batches.reserve(worker_batches_.size());
     for (const auto& counter : worker_batches_) {
       const std::uint64_t n = counter->Sum(now_ns);
@@ -188,7 +188,7 @@ StatsSnapshot StatsExporter::Snapshot(std::uint64_t now_ns) const {
   // Exemplars: merge in-window slots, keep the global K slowest.
   {
     const std::uint64_t now_sec = now_ns / 1'000'000'000ull;
-    std::lock_guard<std::mutex> lock(exemplars_mu_);
+    LockGuard lock(exemplars_mu_);
     for (const ExemplarSlot& slot : exemplar_slots_) {
       if (slot.sec == ~0ull) continue;
       if (slot.sec + static_cast<std::uint64_t>(opts_.window_s) <= now_sec) {
@@ -350,15 +350,19 @@ void StatsExporter::Publish() {
 }
 
 void StatsExporter::PublisherLoop() {
-  std::unique_lock<std::mutex> lock(publisher_mu_);
+  UniqueLock lock(publisher_mu_);
   while (!publisher_stop_) {
-    publisher_cv_.wait_for(lock,
-                           std::chrono::milliseconds(opts_.period_ms),
-                           [this] { return publisher_stop_; });
+    publisher_cv_.WaitFor(publisher_mu_,
+                          std::chrono::milliseconds(opts_.period_ms),
+                          [this]() CGDNN_REQUIRES(publisher_mu_) {
+                            return publisher_stop_;
+                          });
     if (publisher_stop_) break;  // Finish() writes the final snapshot
-    lock.unlock();
+    // Publish() is EXCLUDES(publisher_mu_): all file I/O happens with the
+    // lock dropped, so Finish() is never blocked behind a slow disk.
+    lock.Unlock();
     Publish();
-    lock.lock();
+    lock.Lock();
   }
 }
 

@@ -26,15 +26,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cgdnn/core/thread_annotations.hpp"
 #include "cgdnn/serve/request.hpp"
 #include "cgdnn/trace/metrics.hpp"
 
@@ -124,8 +123,11 @@ class StatsExporter {
   const StatsOptions& options() const { return opts_; }
 
  private:
-  void PublisherLoop();
-  void Publish();
+  void PublisherLoop() CGDNN_EXCLUDES(publisher_mu_);
+  // Publishing does file I/O (WriteFileAtomic + history append); the
+  // EXCLUDES annotation is the compile-time form of the "no blocking work
+  // under a lock" rule — the publisher must drop its mutex first.
+  void Publish() CGDNN_EXCLUDES(publisher_mu_);
 
   const StatsOptions opts_;
   const std::uint64_t start_ns_;
@@ -140,8 +142,9 @@ class StatsExporter {
   std::atomic<int> degrade_level_{0};
 
   // Per-worker windowed batch counts; grown on first sight of a worker id.
-  mutable std::mutex workers_mu_;
-  std::vector<std::unique_ptr<trace::SlidingCounter>> worker_batches_;
+  mutable Mutex workers_mu_;
+  std::vector<std::unique_ptr<trace::SlidingCounter>> worker_batches_
+      CGDNN_GUARDED_BY(workers_mu_);
 
   // Exemplars: per-second ring slots, each holding the K slowest OK
   // requests of that second; Snapshot merges in-window slots and keeps the
@@ -150,14 +153,14 @@ class StatsExporter {
     std::uint64_t sec = ~0ull;
     std::vector<StatsExemplar> top;  ///< unordered, size <= K
   };
-  mutable std::mutex exemplars_mu_;
-  std::vector<ExemplarSlot> exemplar_slots_;
+  mutable Mutex exemplars_mu_;
+  std::vector<ExemplarSlot> exemplar_slots_ CGDNN_GUARDED_BY(exemplars_mu_);
 
   std::atomic<std::uint64_t> version_{0};
   std::thread publisher_;
-  std::mutex publisher_mu_;
-  std::condition_variable publisher_cv_;
-  bool publisher_stop_ = false;
+  Mutex publisher_mu_;
+  CondVar publisher_cv_;
+  bool publisher_stop_ CGDNN_GUARDED_BY(publisher_mu_) = false;
   std::atomic<bool> started_{false};
   std::atomic<bool> finished_{false};
 };

@@ -77,7 +77,7 @@ SlidingHistogram::Slot& SlidingHistogram::SlotFor(std::uint64_t sec) {
 }
 
 void SlidingHistogram::Observe(double v, std::uint64_t now_ns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   Slot& slot = SlotFor(now_ns / 1'000'000'000ull);
   slot.buckets[static_cast<std::size_t>(BucketIndex(v))] += 1;
   if (slot.count == 0 || v < slot.min) slot.min = v;
@@ -92,7 +92,7 @@ SlidingHistogram::Snapshot SlidingHistogram::Read(
   Snapshot snap;
   std::array<std::uint64_t, kNumBuckets> merged{};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     for (const Slot& slot : slots_) {
       // In-window: sec in (now_sec - window, now_sec]. A slot stamped a
       // hair ahead of `now` by a racing observer counts as current.
@@ -140,7 +140,7 @@ SlidingCounter::SlidingCounter(int window_s) : window_s_(window_s) {
 
 void SlidingCounter::Add(std::uint64_t n, std::uint64_t now_ns) {
   const std::uint64_t sec = now_ns / 1'000'000'000ull;
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   Slot& slot = slots_[static_cast<std::size_t>(
       sec % static_cast<std::uint64_t>(window_s_))];
   if (slot.sec != sec) {
@@ -153,7 +153,7 @@ void SlidingCounter::Add(std::uint64_t n, std::uint64_t now_ns) {
 std::uint64_t SlidingCounter::Sum(std::uint64_t now_ns) const {
   const std::uint64_t now_sec = now_ns / 1'000'000'000ull;
   std::uint64_t total = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (const Slot& slot : slots_) {
     if (slot.sec == kEmptySec) continue;
     if (slot.sec + static_cast<std::uint64_t>(window_s_) <= now_sec) continue;
@@ -169,7 +169,7 @@ MetricsRegistry& MetricsRegistry::Default() {
 
 MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& name,
                                                   Kind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto [it, inserted] = entries_.try_emplace(name);
   Entry& e = it->second;
   if (inserted) {
@@ -198,7 +198,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = entries_.find(name);
   return it != entries_.end() && it->second.kind == Kind::kCounter
              ? it->second.counter.get()
@@ -206,7 +206,7 @@ const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = entries_.find(name);
   return it != entries_.end() && it->second.kind == Kind::kGauge
              ? it->second.gauge.get()
@@ -215,7 +215,7 @@ const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
 
 const Histogram* MetricsRegistry::FindHistogram(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = entries_.find(name);
   return it != entries_.end() && it->second.kind == Kind::kHistogram
              ? it->second.histogram.get()
@@ -223,12 +223,12 @@ const Histogram* MetricsRegistry::FindHistogram(
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   entries_.clear();
 }
 
 void MetricsRegistry::WriteJson(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto saved_prec = os.precision();
   os << std::setprecision(15);
   const auto write_section = [&](const char* title, Kind kind,

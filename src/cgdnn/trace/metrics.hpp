@@ -15,12 +15,12 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "cgdnn/core/common.hpp"
+#include "cgdnn/core/thread_annotations.hpp"
 
 namespace cgdnn::trace {
 
@@ -152,11 +152,11 @@ class SlidingHistogram {
     std::vector<std::uint32_t> buckets;
   };
   static constexpr std::uint64_t kEmptySec = ~0ull;
-  Slot& SlotFor(std::uint64_t sec);
+  Slot& SlotFor(std::uint64_t sec) CGDNN_REQUIRES(mu_);
 
   const int window_s_;
-  mutable std::mutex mu_;
-  std::vector<Slot> slots_;
+  mutable Mutex mu_;
+  std::vector<Slot> slots_ CGDNN_GUARDED_BY(mu_);
 };
 
 /// Sliding-window counter: ring of per-second increment totals. Sum(now)
@@ -176,8 +176,8 @@ class SlidingCounter {
     std::uint64_t count = 0;
   };
   const int window_s_;
-  mutable std::mutex mu_;
-  std::vector<Slot> slots_;
+  mutable Mutex mu_;
+  std::vector<Slot> slots_ CGDNN_GUARDED_BY(mu_);
 };
 
 /// Name -> metric map. Get* registers on first use; requesting an existing
@@ -216,8 +216,8 @@ class MetricsRegistry {
   };
   Entry& GetEntry(const std::string& name, Kind kind);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ CGDNN_GUARDED_BY(mu_);
 };
 
 }  // namespace cgdnn::trace

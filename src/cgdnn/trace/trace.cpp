@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "cgdnn/core/buildinfo.hpp"
+#include "cgdnn/core/thread_annotations.hpp"
 
 namespace cgdnn::trace {
 
@@ -65,10 +66,10 @@ Tracer::ThreadLog& Tracer::Log() {
   // Registration order assigns the stable tid. OpenMP reuses its worker
   // threads across parallel regions, so each worker keeps one log for the
   // process lifetime; the thread_local caches the lookup.
-  static std::mutex mu;
+  static Mutex mu;
   thread_local ThreadLog* log = [this] {
     auto* l = new ThreadLog();
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     l->tid = static_cast<int>(logs_.size());
     logs_.push_back(l);
     return l;

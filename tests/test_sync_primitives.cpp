@@ -1,0 +1,209 @@
+// Tests for the annotated synchronization primitives
+// (src/cgdnn/core/thread_annotations.hpp): cgdnn::Mutex, LockGuard,
+// UniqueLock and the predicate-only CondVar. These wrap std types 1:1, so
+// the interesting properties are behavioral — mutual exclusion, early
+// unlock/relock, predicate waits surviving spurious wakeups, timed waits —
+// exercised under real thread contention so the TSan stage of
+// tools/run_checks.sh (SyncPrimitives rides in tsan_tests) can vouch for
+// the wrappers themselves. One case runs a producer/consumer handoff under
+// the armed write-set checker to prove the wrappers coexist with
+// cgdnn-check instrumentation.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cgdnn/check/write_set.hpp"
+#include "cgdnn/core/thread_annotations.hpp"
+
+namespace cgdnn {
+namespace {
+
+TEST(SyncPrimitives, LockGuardMutualExclusion) {
+  // N threads × M increments of a guarded counter: any lost update means
+  // the guard did not exclude.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  Mutex mu;
+  std::int64_t counter CGDNN_GUARDED_BY(mu) = 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kIters; ++i) {
+        LockGuard lock(mu);
+        counter += 1;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  LockGuard lock(mu);
+  EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+TEST(SyncPrimitives, TryLockRespectsHolder) {
+  Mutex mu;
+  mu.lock();
+  // A second try_lock on a non-recursive mutex from another thread must
+  // fail while held and succeed after release.
+  bool acquired_while_held = true;
+  std::thread probe([&]() { acquired_while_held = mu.try_lock(); });
+  probe.join();
+  EXPECT_FALSE(acquired_while_held);
+  mu.unlock();
+
+  bool acquired_after_release = false;
+  std::thread probe2([&]() {
+    acquired_after_release = mu.try_lock();
+    if (acquired_after_release) mu.unlock();
+  });
+  probe2.join();
+  EXPECT_TRUE(acquired_after_release);
+}
+
+TEST(SyncPrimitives, UniqueLockEarlyUnlockAndRelock) {
+  // The serve-queue handoff pattern: mutate under the lock, Unlock() to
+  // run side effects, Lock() again to continue. owns_lock() tracks state.
+  Mutex mu;
+  int value CGDNN_GUARDED_BY(mu) = 0;
+
+  UniqueLock lock(mu);
+  EXPECT_TRUE(lock.owns_lock());
+  value = 1;
+  lock.Unlock();
+  EXPECT_FALSE(lock.owns_lock());
+
+  // While unlocked, another thread can take the mutex.
+  std::thread other([&]() {
+    LockGuard inner(mu);
+    value = 2;
+  });
+  other.join();
+
+  lock.Lock();
+  EXPECT_TRUE(lock.owns_lock());
+  EXPECT_EQ(value, 2);
+}
+
+TEST(SyncPrimitives, CondVarPredicateWake) {
+  // Producer/consumer through CondVar::Wait. The predicate overload is the
+  // only overload — a notify with the predicate still false must NOT
+  // release the waiter (stage < wanted), which is exactly the
+  // spurious-wakeup/missed-condition discipline the wrapper hardcodes.
+  Mutex mu;
+  CondVar cv;
+  int stage CGDNN_GUARDED_BY(mu) = 0;
+  int observed CGDNN_GUARDED_BY(mu) = -1;
+
+  std::thread consumer([&]() {
+    UniqueLock lock(mu);
+    cv.Wait(mu, [&]() CGDNN_REQUIRES(mu) { return stage >= 2; });
+    observed = stage;
+  });
+
+  {
+    LockGuard lock(mu);
+    stage = 1;
+  }
+  cv.NotifyAll();  // predicate still false: consumer must keep waiting
+  {
+    LockGuard lock(mu);
+    stage = 2;
+  }
+  cv.NotifyAll();
+  consumer.join();
+
+  LockGuard lock(mu);
+  EXPECT_EQ(observed, 2);
+}
+
+TEST(SyncPrimitives, WaitForTimesOutOnFalsePredicate) {
+  Mutex mu;
+  CondVar cv;
+  bool never CGDNN_GUARDED_BY(mu) = false;
+
+  UniqueLock lock(mu);
+  const auto start = std::chrono::steady_clock::now();
+  const bool ok =
+      cv.WaitFor(mu, std::chrono::milliseconds(20),
+                 [&]() CGDNN_REQUIRES(mu) { return never; });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(ok);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+}
+
+TEST(SyncPrimitives, WaitUntilWakesOnPredicate) {
+  // WaitUntil with a generous deadline must return true promptly once the
+  // predicate flips — it is a deadline, not a sleep.
+  Mutex mu;
+  CondVar cv;
+  bool ready CGDNN_GUARDED_BY(mu) = false;
+  bool woke = false;
+
+  std::thread waiter([&]() {
+    UniqueLock lock(mu);
+    woke = cv.WaitUntil(
+        mu, std::chrono::steady_clock::now() + std::chrono::seconds(30),
+        [&]() CGDNN_REQUIRES(mu) { return ready; });
+  });
+
+  {
+    LockGuard lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(SyncPrimitives, HandoffUnderArmedWriteSetChecker) {
+  // The wrappers must coexist with cgdnn-check instrumentation: run a
+  // bounded producer/consumer handoff with the write-set checker armed.
+  // (When CGDNN_CHECK is compiled out, ScopedEnable is a no-op and this
+  // degenerates to a plain concurrency test — still worth running.)
+  check::ScopedEnable armed;
+  constexpr int kItems = 1000;
+  Mutex mu;
+  CondVar cv;
+  std::vector<int> queue CGDNN_GUARDED_BY(mu);
+  bool done CGDNN_GUARDED_BY(mu) = false;
+  std::int64_t sum = 0;
+
+  std::thread consumer([&]() {
+    std::int64_t local = 0;
+    UniqueLock lock(mu);
+    while (true) {
+      cv.Wait(mu, [&]() CGDNN_REQUIRES(mu) {
+        return done || !queue.empty();
+      });
+      for (int v : queue) local += v;
+      queue.clear();
+      if (done) break;
+    }
+    sum = local;
+  });
+
+  for (int i = 1; i <= kItems; ++i) {
+    {
+      LockGuard lock(mu);
+      queue.push_back(i);
+    }
+    cv.NotifyOne();
+  }
+  {
+    LockGuard lock(mu);
+    done = true;
+  }
+  cv.NotifyOne();
+  consumer.join();
+
+  EXPECT_EQ(sum, static_cast<std::int64_t>(kItems) * (kItems + 1) / 2);
+}
+
+}  // namespace
+}  // namespace cgdnn

@@ -1,0 +1,944 @@
+#!/usr/bin/env python3
+"""cgdnn lock-discipline linter.
+
+Cross-translation-unit companion to the Clang Thread Safety Analysis layer
+(src/cgdnn/core/thread_annotations.hpp). Clang's analysis is per-function:
+it proves GUARDED_BY/REQUIRES contracts but cannot see that function A
+takes lock X then calls B which takes lock Y while another path takes them
+in the opposite order, or that a callee three frames down does file I/O
+under a mutex. This linter extracts a whole-tree model — every lock
+acquisition, every call made while a lock is held, transitively — and
+enforces the rules the serving runtime's latency and liveness arguments
+rest on (docs/correctness.md "Concurrency contracts"):
+
+  lock-order           The global lock-acquisition-order graph (direct
+                       nestings plus lock sets propagated through the call
+                       graph) must be acyclic. The graph is emitted as a
+                       JSON artifact (--graph-json) and DOT (--dot) for the
+                       docs.
+  blocking-under-lock  No blocking operation while any lock is held: file
+                       I/O (WriteFileAtomic, fstream, fsync, raw write),
+                       sleeps, thread joins, model compute (Forward /
+                       Backward / RunBatch), or a condition-variable wait
+                       on a *different* mutex. Applies transitively through
+                       calls to functions defined in the scanned tree.
+  condvar-predicate    Every condition-variable wait must use the predicate
+                       overload (wait(lock, pred) / wait_for(lock, dur,
+                       pred) / Wait(mu, pred) / ...): bare waits are
+                       spurious-wakeup bugs waiting to happen.
+  memory-order         Atomic operations in the serve/ and blackbox/ hot
+                       paths must state their std::memory_order explicitly;
+                       a bare .load()/.store()/.exchange() hides a seq_cst
+                       decision nobody made. (Fixtures opt in with a
+                       `// cgdnn-lint: hot-path` marker.)
+
+Suppressions: `// cgdnn-lint: allow(rule[, rule...])` on the offending line
+or the line directly above it. Every tree suppression must cite a reason in
+the adjacent comment and is audited in docs/correctness.md.
+
+Usage:
+  lint_locks.py [PATH...]            lint .cpp/.hpp under PATH (default src/)
+  lint_locks.py --self-test          run the fixture suite under
+                                     tools/lock_fixtures/ (bad files declare
+                                     expected findings with `// EXPECT: rule`)
+  lint_locks.py --graph-json FILE    write the lock-order graph as JSON
+  lint_locks.py --dot FILE           write the lock-order graph as DOT
+
+Exit status: 0 clean, 1 findings (or fixture mismatch), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import json
+import pathlib
+import re
+import sys
+
+RULES = {
+    "lock-order",
+    "blocking-under-lock",
+    "condvar-predicate",
+    "memory-order",
+}
+
+ALLOW_RE = re.compile(r"//\s*cgdnn-lint:\s*allow\(([^)]*)\)")
+HOT_PATH_MARK = "cgdnn-lint: hot-path"
+
+# Guard construction: std::lock_guard/unique_lock/scoped_lock and the
+# annotated cgdnn::LockGuard/UniqueLock wrappers.
+GUARD_RE = re.compile(
+    r"\b(?:cgdnn::)?(?:std::)?"
+    r"(lock_guard|unique_lock|scoped_lock|LockGuard|UniqueLock)\s*"
+    r"(?:<[^<>;]*>)?\s+([A-Za-z_]\w*)\s*[({]"
+)
+UNLOCK_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*(?:unlock|Unlock)\s*\(\s*\)")
+RELOCK_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*(?:lock|Lock)\s*\(\s*\)")
+
+# Mutex declarations (members, globals, function-locals).
+DECL_RE = re.compile(
+    r"(?:\bmutable\s+)?(?:\bstatic\s+)?(?:cgdnn::)?(?:std::)?"
+    r"\b(?:Mutex|mutex)\s+([A-Za-z_]\w*)\s*;"
+)
+
+WAIT_RE = re.compile(
+    r"(?:\.|->)\s*(wait|wait_for|wait_until|Wait|WaitFor|WaitUntil)\s*\("
+)
+
+# Direct blocking operations. Receiver-less syscall-ish names reject member
+# access and :: qualification via the lookbehind.
+BLOCKING_RES = (
+    (re.compile(r"\b(WriteFileAtomic|fsync|fdatasync|fopen|fwrite|fread|"
+                r"popen|sleep_for|sleep_until|usleep|nanosleep)\s*\("),
+     "blocking call"),
+    (re.compile(r"(?<![\w.:>])(write|pwrite|pread|rename|unlink)\s*\("),
+     "raw file I/O"),
+    (re.compile(r"\bstd::\s*(ofstream|ifstream|fstream)\b"), "stream I/O"),
+    (re.compile(r"(?:\.|->)\s*(join)\s*\(\s*\)"), "thread join"),
+    (re.compile(r"(?:\.|->)\s*(Forward|Backward|RunBatch)\s*\("),
+     "model compute"),
+)
+
+ATOMIC_RE = re.compile(
+    r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|"
+    r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)"
+    r"\s*\("
+)
+
+CALL_RE = re.compile(r"(?<![\w.:>])((?:\w+::)*[A-Za-z_]\w*)\s*\(|"
+                     r"(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+
+CONTROL_KEYWORDS = {
+    "if", "else", "while", "for", "do", "switch", "case", "default", "try",
+    "catch", "return", "sizeof", "new", "delete", "throw", "static_cast",
+    "dynamic_cast", "reinterpret_cast", "const_cast", "decltype", "alignof",
+    "co_return", "co_await", "co_yield", "using", "typedef", "goto",
+}
+GUARD_TYPE_NAMES = {"lock_guard", "unique_lock", "scoped_lock", "LockGuard",
+                    "UniqueLock"}
+
+
+@dataclasses.dataclass
+class Finding:
+    path: pathlib.Path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str) -> str:
+    """Remove // and /* */ comments and string/char literal contents,
+    preserving line structure so line numbers survive."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | dq | sq
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                i += 2
+                continue
+            if c == '"':
+                state = "dq"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "sq"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state in ("line", "block"):
+            if c == "\n":
+                out.append(c)
+                if state == "line":
+                    state = "code"
+            elif state == "block" and c == "*" and nxt == "/":
+                state = "code"
+                i += 1
+            else:
+                out.append(" ")
+        else:  # dq / sq: drop contents, keep delimiters
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if (state == "dq" and c == '"') or (state == "sq" and c == "'"):
+                out.append(c)
+                state = "code"
+            elif c == "\n":
+                out.append(c)
+                state = "code"  # unterminated literal: bail to code
+            else:
+                out.append(" ")
+            i += 1
+            continue
+        i += 1
+    return "".join(out)
+
+
+def blank_preprocessor(text: str) -> str:
+    """Blank out preprocessor logical lines (including continuations):
+    macro bodies may contain unbalanced braces/parens."""
+    out = []
+    in_pp = False
+    for line in text.split("\n"):
+        if in_pp or line.lstrip().startswith("#"):
+            in_pp = line.rstrip().endswith("\\")
+            out.append("")
+        else:
+            in_pp = False
+            out.append(line)
+    return "\n".join(out)
+
+
+def balanced_args(text: str, open_paren: int) -> tuple[str, int]:
+    """Argument text of the call whose '(' is at `open_paren`, plus the
+    top-level argument count. Returns ("", 0) when unbalanced/truncated."""
+    depth = 0
+    i = open_paren
+    start = open_paren + 1
+    while i < len(text):
+        c = text[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                args = text[start:i]
+                if not args.strip():
+                    return "", 0
+                # Only bracket pairs for comma depth: '<'/'>' are unusable
+                # (operator ->, comparisons) and template args rarely
+                # appear bare in these call sites.
+                count, d2 = 1, 0
+                for ch in args:
+                    if ch in "([{":
+                        d2 += 1
+                    elif ch in ")]}":
+                        d2 -= 1
+                    elif ch == "," and d2 == 0:
+                        count += 1
+                return args, count
+        i += 1
+    return "", 0
+
+
+def first_arg(args: str) -> str:
+    depth = 0
+    for i, ch in enumerate(args):
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            return args[:i]
+    return args
+
+
+@dataclasses.dataclass
+class Func:
+    key: str  # Class::name or name
+    cls: str  # innermost enclosing class ("" for free functions)
+    path: pathlib.Path
+    line: int
+    # (lock_expr, cls_ctx, line, held_refs) — held_refs are (expr, cls) raw.
+    acquisitions: list = dataclasses.field(default_factory=list)
+    calls: list = dataclasses.field(default_factory=list)
+    blocking: list = dataclasses.field(default_factory=list)
+    waits: list = dataclasses.field(default_factory=list)
+    local_mutexes: set = dataclasses.field(default_factory=set)
+
+
+@dataclasses.dataclass
+class Scope:
+    kind: str  # namespace | class | function | plain
+    name: str
+    func: Func | None  # active function record inside this scope
+
+
+class FileScan:
+    """Single-file walk: scope tracking, guard lifetimes, event extraction.
+
+    Produces per-function records for the global (cross-TU) phase plus the
+    findings that need no cross-file knowledge (condvar-predicate,
+    memory-order)."""
+
+    def __init__(self, path: pathlib.Path, text: str, hot_override=None):
+        self.path = path
+        self.raw_lines = text.splitlines()
+        stripped = blank_preprocessor(strip_comments(text))
+        self.text = stripped
+        self.line_starts = [0]
+        for i, c in enumerate(stripped):
+            if c == "\n":
+                self.line_starts.append(i + 1)
+        self.findings: list[Finding] = []
+        self.functions: list[Func] = []
+        self.member_mutexes: dict[str, set[str]] = {}
+        self.global_mutexes: set[str] = set()
+        parts = {p.lower() for p in path.parts}
+        self.hot = (hot_override if hot_override is not None else
+                    bool({"serve", "blackbox"} & parts) or
+                    HOT_PATH_MARK in text)
+
+    # ---------------------------------------------------------------- utils
+    def line_of(self, offset: int) -> int:
+        return bisect.bisect_right(self.line_starts, offset)  # 1-based
+
+    def allow_set(self, line: int) -> set[str]:
+        """Suppressions on this raw line (1-based) or the one above."""
+        allowed: set[str] = set()
+        for idx in (line - 1, line - 2):
+            if 0 <= idx < len(self.raw_lines):
+                m = ALLOW_RE.search(self.raw_lines[idx])
+                if m:
+                    for rule in m.group(1).split(","):
+                        rule = rule.strip()
+                        if rule and rule not in RULES:
+                            self.report(idx + 1, "lock-order",
+                                        f"unknown rule '{rule}' in cgdnn-lint "
+                                        "suppression")
+                        allowed.add(rule)
+        return allowed
+
+    def report(self, line: int, rule: str, message: str) -> None:
+        if rule in self.allow_set(line):
+            return
+        self.findings.append(Finding(self.path, line, rule, message))
+
+    # ------------------------------------------------- statement classifier
+    @staticmethod
+    def classify_stmt(stmt: str):
+        """What does the '{' ending this statement open?
+        Returns (kind, name) with kind in namespace|class|function|plain."""
+        s = " ".join(stmt.split())
+        if not s:
+            return "plain", ""
+        m = re.search(r"\bnamespace(?:\s+([\w:]+))?\s*$", s)
+        if m:
+            return "namespace", m.group(1) or "<anon>"
+        first = re.match(r"[A-Za-z_]\w*", s.lstrip("}"))
+        if first and first.group(0) in CONTROL_KEYWORDS:
+            return "plain", ""
+        km = re.search(r"\b(?:class|struct|union)\b", s)
+        if km:
+            # Name = trailing identifier after dropping the base clause,
+            # 'final', and attribute macros (CGDNN_CAPABILITY("mutex"), ...).
+            rest = s[km.end():]
+            base = re.search(r"(?<!:):(?!:)", rest)
+            if base:
+                rest = rest[:base.start()]
+            rest = re.sub(r"\bfinal\s*$", "", rest.strip()).strip()
+            m = re.search(r"([A-Za-z_]\w*)$", rest)
+            if m and m.group(1) not in CONTROL_KEYWORDS:
+                return "class", m.group(1)
+        if re.search(r"(?<![=!<>])=(?!=)", s):
+            return "plain", ""  # assignment / lambda / brace init
+        fn = FileScan.parse_function_stmt(s)
+        if fn:
+            return "function", fn
+        return "plain", ""
+
+    @staticmethod
+    def parse_function_stmt(s: str):
+        """(qualifier_last, name) for a function-definition statement, else
+        None. Handles ctor init lists, trailing qualifiers, and the CGDNN_*
+        annotation macros."""
+        m = re.search(r"\)\s*:(?!:)", s)
+        if m:
+            s = s[:m.start() + 1]
+        while True:
+            s2 = re.sub(
+                r"(?:\bconst|\bnoexcept(?:\s*\([^()]*\))?|\boverride|"
+                r"\bfinal|\btry|CGDNN_[A-Z_]+(?:\s*\([^()]*\))?|"
+                r"__attribute__\s*\(\([^()]*\)\))\s*$", "", s).rstrip()
+            if s2 == s:
+                break
+            s = s2
+        if not s.endswith(")"):
+            return None
+        depth, i = 0, len(s) - 1
+        while i >= 0:
+            if s[i] == ")":
+                depth += 1
+            elif s[i] == "(":
+                depth -= 1
+                if depth == 0:
+                    break
+            i -= 1
+        if i <= 0:
+            return None
+        head = s[:i].rstrip()
+        m = re.search(r"((?:[A-Za-z_]\w*::)*)(~?[A-Za-z_]\w*)$", head)
+        if not m:
+            return None
+        name = m.group(2)
+        if name.lstrip("~") in CONTROL_KEYWORDS or name in GUARD_TYPE_NAMES:
+            return None
+        qual = m.group(1).rstrip(":")
+        qual_last = qual.split("::")[-1] if qual else ""
+        return qual_last, name
+
+    # ----------------------------------------------------------------- walk
+    def walk(self) -> None:
+        text = self.text
+        events: list[tuple[int, str, object]] = []
+        for i, c in enumerate(text):
+            if c in "{};":
+                events.append((i, c, None))
+        for m in GUARD_RE.finditer(text):
+            events.append((m.start(), "guard", m))
+        for m in UNLOCK_RE.finditer(text):
+            events.append((m.start(), "unlock", m))
+        for m in RELOCK_RE.finditer(text):
+            events.append((m.start(), "relock", m))
+        for m in DECL_RE.finditer(text):
+            events.append((m.start(), "decl", m))
+        for m in WAIT_RE.finditer(text):
+            events.append((m.start(), "wait", m))
+        for idx, (rx, what) in enumerate(BLOCKING_RES):
+            for m in rx.finditer(text):
+                events.append((m.start(), "blocking", (m, what)))
+        if self.hot:
+            for m in ATOMIC_RE.finditer(text):
+                events.append((m.start(), "atomic", m))
+        for m in CALL_RE.finditer(text):
+            events.append((m.start(), "call", m))
+        events.sort(key=lambda e: (e[0], e[1]))
+
+        scopes: list[Scope] = []
+        # Held guards: [var, lock_expr, cls_ctx, scope_depth, active]
+        held: list[list] = []
+        stmt_start = 0
+        guard_spans: list[tuple[int, int]] = []  # skip call-matches inside
+
+        def cur_func() -> Func | None:
+            for sc in reversed(scopes):
+                if sc.func is not None:
+                    return sc.func
+            return None
+
+        def cur_class() -> str:
+            for sc in reversed(scopes):
+                if sc.kind == "class":
+                    return sc.name
+                if sc.kind == "function" and sc.func is not None and \
+                        sc.func.cls:
+                    return sc.func.cls
+            return ""
+
+        def held_refs():
+            return [(h[1], h[2]) for h in held if h[4]]
+
+        for off, kind, payload in events:
+            line = self.line_of(off)
+            if kind == "{":
+                stmt = text[stmt_start:off]
+                skind, name = self.classify_stmt(stmt)
+                func = None
+                if skind == "function":
+                    qual_last, fname = name
+                    cls = qual_last or cur_class()
+                    key = f"{cls}::{fname}" if cls else fname
+                    func = Func(key=key, cls=cls, path=self.path, line=line)
+                    self.functions.append(func)
+                    name = key
+                scopes.append(Scope(skind, name if isinstance(name, str)
+                                    else name[1], func))
+                stmt_start = off + 1
+            elif kind == "}":
+                depth = len(scopes)
+                held[:] = [h for h in held if h[3] < depth]
+                if scopes:
+                    scopes.pop()
+                stmt_start = off + 1
+            elif kind == ";":
+                stmt_start = off + 1
+            elif kind == "guard":
+                m = payload
+                open_ch = m.group(0)[-1]
+                if open_ch != "(":
+                    continue  # brace-init guards don't occur in this tree
+                args, _ = balanced_args(text, m.end() - 1)
+                guard_spans.append((m.start(), m.end() - 1 + len(args) + 2))
+                gtype, var = m.group(1), m.group(2)
+                exprs = []
+                for a in re.split(r",(?![^(<\[]*[)>\]])", args):
+                    a = a.strip()
+                    if not a or re.search(r"\b(defer_lock|try_to_lock|"
+                                          r"adopt_lock)\b", a):
+                        continue
+                    exprs.append(a)
+                func = cur_func()
+                cls = cur_class()
+                for expr in exprs:
+                    if func is not None:
+                        func.acquisitions.append(
+                            (expr, cls, line, held_refs()))
+                    # Scope depth AT declaration: the guard dies when the
+                    # scope containing it closes, surviving nested blocks.
+                    held.append([var, expr, cls, len(scopes), True])
+            elif kind == "unlock":
+                var = payload.group(1)
+                for h in held:
+                    if h[0] == var and h[4]:
+                        h[4] = False
+            elif kind == "relock":
+                var = payload.group(1)
+                known = [h for h in held if h[0] == var]
+                if known:
+                    for h in known:
+                        if not h[4]:
+                            h[4] = True
+                            func = cur_func()
+                            if func is not None:
+                                func.acquisitions.append(
+                                    (h[1], h[2], line,
+                                     [(x[1], x[2]) for x in held
+                                      if x[4] and x is not h]))
+                else:
+                    # Direct mutex .lock(): treat as an acquisition held to
+                    # the end of the enclosing scope.
+                    func = cur_func()
+                    cls = cur_class()
+                    if func is not None:
+                        func.acquisitions.append(
+                            (var, cls, line, held_refs()))
+                    held.append([None, var, cls, len(scopes), True])
+            elif kind == "decl":
+                nm = payload.group(1)
+                cls = cur_class()
+                func = cur_func()
+                in_class = any(sc.kind == "class" for sc in scopes)
+                if func is not None and not in_class:
+                    func.local_mutexes.add(nm)
+                elif in_class:
+                    self.member_mutexes.setdefault(nm, set()).add(cls)
+                else:
+                    self.global_mutexes.add(nm)
+            elif kind == "wait":
+                m = payload
+                name = m.group(1)
+                args, nargs = balanced_args(text, m.end() - 1)
+                need = 2 if name in ("wait", "Wait") else 3
+                if nargs < need:
+                    self.report(line, "condvar-predicate",
+                                f"'{name}' without a predicate: bare "
+                                "condition-variable waits return on spurious "
+                                "wakeups; use the predicate overload")
+                func = cur_func()
+                if func is not None and nargs >= 1:
+                    wait_on = first_arg(args).strip()
+                    # A guard variable as the wait argument stands for its
+                    # mutex (std::condition_variable::wait(lock) style).
+                    for h in held:
+                        if h[0] == wait_on:
+                            wait_on = h[1]
+                            break
+                    func.waits.append(
+                        (wait_on, cur_class(), line, held_refs()))
+            elif kind == "blocking":
+                m, what = payload
+                name = m.group(1)
+                func = cur_func()
+                if func is not None:
+                    func.blocking.append(
+                        (f"{name} ({what})", line, held_refs()))
+            elif kind == "atomic":
+                m = payload
+                args, _ = balanced_args(text, m.end() - 1)
+                if "memory_order" not in args:
+                    self.report(line, "memory-order",
+                                f"atomic '{m.group(1)}' without an explicit "
+                                "std::memory_order in a hot path (serve/ and "
+                                "blackbox/ state every ordering decision)")
+            elif kind == "call":
+                m = payload
+                if any(a <= m.start() < b for a, b in guard_spans[-4:]):
+                    continue
+                callee = m.group(1) or m.group(2)
+                simple = callee.split("::")[-1]
+                if simple in CONTROL_KEYWORDS or simple in GUARD_TYPE_NAMES:
+                    continue
+                func = cur_func()
+                if func is not None:
+                    func.calls.append((simple, line, held_refs()))
+
+
+class LockLinter:
+    """Cross-TU phase: lock-identity resolution, transitive propagation,
+    lock-order graph + cycle detection, blocking-under-lock."""
+
+    def __init__(self, files: list[pathlib.Path], hot_override=None):
+        self.scans: list[FileScan] = []
+        for f in files:
+            scan = FileScan(f, f.read_text(), hot_override)
+            scan.walk()
+            self.scans.append(scan)
+        self.members: dict[str, set[str]] = {}
+        self.globals: set[str] = set()
+        for scan in self.scans:
+            for nm, owners in scan.member_mutexes.items():
+                self.members.setdefault(nm, set()).update(owners)
+            self.globals.update(scan.global_mutexes)
+        self.funcs: dict[str, list[Func]] = {}
+        for scan in self.scans:
+            for fn in scan.functions:
+                # The locking primitives themselves (Mutex::lock, UniqueLock
+                # ::Lock, CondVar::Wait, ...) are modeled directly at each
+                # call site by the walker; resolving calls INTO them would
+                # alias every guard's inner mutex to one node.
+                if fn.cls in ("Mutex", "LockGuard", "UniqueLock", "CondVar"):
+                    continue
+                self.funcs.setdefault(fn.key.split("::")[-1], []).append(fn)
+        # (from, to) -> "file:line" example
+        self.edges: dict[tuple[str, str], str] = {}
+
+    # ------------------------------------------------------------- identity
+    def resolve(self, expr: str, cls_ctx: str, func: Func | None) -> str:
+        expr = re.sub(r"\s+", "", expr)
+        expr = re.sub(r"^\*?(?:this->)?", "", expr)
+        if "(" in expr:
+            return expr  # capability-returning call, e.g. CacheMutex()
+        m = re.search(r"([A-Za-z_]\w*)$", expr)
+        if not m:
+            return expr
+        nm = m.group(1)
+        owners = self.members.get(nm, set())
+        if "." in expr or "->" in expr:
+            if len(owners) == 1:
+                return f"{next(iter(owners))}::{nm}"
+            return nm
+        if func is not None and nm in func.local_mutexes:
+            return f"{func.key}::{nm}"
+        if cls_ctx and cls_ctx in owners:
+            return f"{cls_ctx}::{nm}"
+        if nm in self.globals:
+            return nm
+        if len(owners) == 1:
+            return f"{next(iter(owners))}::{nm}"
+        if cls_ctx:
+            return f"{cls_ctx}::{nm}"
+        return nm
+
+    def resolve_refs(self, refs, func) -> list[str]:
+        return [self.resolve(e, c, func) for e, c in refs]
+
+    # ---------------------------------------------------------- propagation
+    def run(self) -> list[Finding]:
+        findings: list[Finding] = []
+        for scan in self.scans:
+            findings.extend(scan.findings)
+
+        # Transitive per-function facts. Ambiguous simple names: lock sets
+        # union (extra edges only matter if they close a cycle); blocking
+        # propagates only when EVERY candidate blocks (no false positives
+        # from name collisions).
+        acquires: dict[str, set[str]] = {}
+        blocks: dict[str, str] = {}  # func key -> reason ("" = doesn't)
+        by_key: dict[str, list[Func]] = {}
+        for fns in self.funcs.values():
+            for fn in fns:
+                by_key.setdefault(fn.key, []).append(fn)
+                acq = acquires.setdefault(fn.key, set())
+                for expr, cls, _line, _held in fn.acquisitions:
+                    acq.add(self.resolve(expr, cls, fn))
+                if fn.key not in blocks:
+                    blocks[fn.key] = ""
+                if fn.blocking and not blocks[fn.key]:
+                    blocks[fn.key] = fn.blocking[0][0]
+
+        def candidates(simple: str) -> list[Func]:
+            return self.funcs.get(simple, [])
+
+        changed = True
+        while changed:
+            changed = False
+            for key, fns in by_key.items():
+                for fn in fns:
+                    for simple, _line, _held in fn.calls:
+                        for cal in candidates(simple):
+                            extra = acquires.get(cal.key, set()) - \
+                                acquires[key]
+                            if extra:
+                                acquires[key] |= extra
+                                changed = True
+                    if not blocks[key]:
+                        for simple, _line, _held in fn.calls:
+                            cals = candidates(simple)
+                            if cals and all(blocks.get(c.key)
+                                            for c in cals):
+                                blocks[key] = (f"call to '{simple}' -> "
+                                               f"{blocks[cals[0].key]}")
+                                changed = True
+                                break
+
+        # ------------------------------------------------ lock-order edges
+        for fns in by_key.values():
+            for fn in fns:
+                for expr, cls, line, held in fn.acquisitions:
+                    to = self.resolve(expr, cls, fn)
+                    for frm in self.resolve_refs(held, fn):
+                        if frm != to:
+                            self.edges.setdefault(
+                                (frm, to), f"{fn.path}:{line}")
+                for simple, line, held in fn.calls:
+                    if not held:
+                        continue
+                    callee_locks: set[str] = set()
+                    for cal in candidates(simple):
+                        callee_locks |= acquires.get(cal.key, set())
+                    for frm in self.resolve_refs(held, fn):
+                        for to in callee_locks:
+                            if frm != to:
+                                self.edges.setdefault(
+                                    (frm, to), f"{fn.path}:{line}")
+
+        findings.extend(self.check_cycles())
+        findings.extend(self.check_blocking(blocks))
+        return findings
+
+    # ---------------------------------------------------------- lock order
+    def check_cycles(self) -> list[Finding]:
+        adj: dict[str, list[str]] = {}
+        for (a, b) in self.edges:
+            adj.setdefault(a, []).append(b)
+            adj.setdefault(b, [])
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[list[str]] = []
+        counter = [0]
+
+        def strongconnect(v: str) -> None:
+            work = [(v, iter(adj[v]))]
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for w in it:
+                    if w not in index:
+                        index[w] = low[w] = counter[0]
+                        counter[0] += 1
+                        stack.append(w)
+                        on_stack.add(w)
+                        work.append((w, iter(adj[w])))
+                        advanced = True
+                        break
+                    if w in on_stack:
+                        low[node] = min(low[node], index[w])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.append(w)
+                        if w == node:
+                            break
+                    sccs.append(comp)
+
+        for v in adj:
+            if v not in index:
+                strongconnect(v)
+
+        findings: list[Finding] = []
+        for comp in sccs:
+            cyclic = len(comp) > 1 or (comp[0], comp[0]) in self.edges
+            if not cyclic:
+                continue
+            comp_set = set(comp)
+            # One readable simple cycle through the component.
+            path = [comp[0]]
+            seen = {comp[0]}
+            node = comp[0]
+            while True:
+                nxt = next(w for w in adj[node]
+                           if w in comp_set and (len(comp) == 1 or
+                                                 w != node))
+                if nxt in seen:
+                    path.append(nxt)
+                    break
+                path.append(nxt)
+                seen.add(nxt)
+                node = nxt
+            edge_bits = []
+            for a, b in zip(path, path[1:]):
+                where = self.edges.get((a, b), "?")
+                edge_bits.append(f"{a} -> {b} at {where}")
+            example = self.edges.get((path[0], path[1]), "?:0")
+            ex_path, _, ex_line = example.rpartition(":")
+            findings.append(Finding(
+                pathlib.Path(ex_path), int(ex_line or 0), "lock-order",
+                "lock acquisition cycle: " + " -> ".join(path) +
+                " (" + "; ".join(edge_bits) + ")"))
+        return findings
+
+    # ------------------------------------------------- blocking under lock
+    def check_blocking(self, blocks: dict[str, str]) -> list[Finding]:
+        findings: list[Finding] = []
+        scan_of = {scan.path: scan for scan in self.scans}
+
+        def report(fn: Func, line: int, message: str) -> None:
+            scan = scan_of[fn.path]
+            if "blocking-under-lock" in scan.allow_set(line):
+                return
+            findings.append(Finding(fn.path, line, "blocking-under-lock",
+                                    message))
+
+        for fns in self.funcs.values():
+            for fn in fns:
+                for what, line, held in fn.blocking:
+                    locks = self.resolve_refs(held, fn)
+                    if locks:
+                        report(fn, line,
+                               f"{what} while holding {{{', '.join(locks)}}}")
+                for simple, line, held in fn.calls:
+                    if not held:
+                        continue
+                    cals = self.funcs.get(simple, [])
+                    if cals and all(blocks.get(c.key) for c in cals):
+                        locks = self.resolve_refs(held, fn)
+                        report(fn, line,
+                               f"call to '{simple}' ({blocks[cals[0].key]}) "
+                               f"while holding {{{', '.join(locks)}}}")
+                for wait_on, cls, line, held in fn.waits:
+                    target = self.resolve(wait_on, cls, fn)
+                    others = [lk for lk in self.resolve_refs(held, fn)
+                              if lk != target]
+                    if others:
+                        report(fn, line,
+                               f"condition-variable wait on '{target}' while "
+                               f"also holding {{{', '.join(others)}}}: the "
+                               "other lock stays held for the whole wait")
+        return findings
+
+    # ------------------------------------------------------------ artifacts
+    def graph_json(self) -> str:
+        nodes = sorted({n for e in self.edges for n in e})
+        edges = [{"from": a, "to": b, "example": ex}
+                 for (a, b), ex in sorted(self.edges.items())]
+        return json.dumps({"nodes": nodes, "edges": edges}, indent=2) + "\n"
+
+    def graph_dot(self) -> str:
+        out = ["// Lock-acquisition-order graph, generated by",
+               "// tools/lint_locks.py --dot (docs/correctness.md).",
+               "digraph lock_order {"]
+        out.append('  rankdir=LR;')
+        out.append('  node [shape=box, fontname="monospace"];')
+        for (a, b), ex in sorted(self.edges.items()):
+            label = ex.split("/")[-1]
+            out.append(f'  "{a}" -> "{b}" [label="{label}", fontsize=9];')
+        out.append("}")
+        return "\n".join(out) + "\n"
+
+
+def collect_files(paths: list[pathlib.Path]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.cpp")))
+            files.extend(sorted(path.rglob("*.hpp")))
+        else:
+            files.append(path)
+    return files
+
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([\w-]+)")
+
+
+def self_test(fixtures_dir: pathlib.Path) -> int:
+    """Every fixture file must produce exactly its declared findings.
+    Fixtures are linted independently (each is its own 'tree')."""
+    failures = 0
+    fixture_files = sorted(fixtures_dir.rglob("*.cpp"))
+    if not fixture_files:
+        print(f"lint_locks: no fixtures under {fixtures_dir}",
+              file=sys.stderr)
+        return 1
+    for f in fixture_files:
+        text = f.read_text()
+        expected = sorted(EXPECT_RE.findall(text))
+        got = sorted(fi.rule for fi in LockLinter([f]).run())
+        if expected != got:
+            failures += 1
+            print(f"FAIL {f.name}: expected {expected or ['<clean>']}, "
+                  f"got {got or ['<clean>']}")
+            for fi in LockLinter([f]).run():
+                print(f"     {fi}")
+        else:
+            print(f"ok   {f.name}: {expected or ['clean']}")
+    print(f"lint_locks self-test: {len(fixture_files) - failures}/"
+          f"{len(fixture_files)} fixtures passed")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    args = argv[1:]
+    graph_json_path = dot_path = None
+    if "--graph-json" in args:
+        i = args.index("--graph-json")
+        try:
+            graph_json_path = pathlib.Path(args[i + 1])
+        except IndexError:
+            print("lint_locks: --graph-json needs a file", file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    if "--dot" in args:
+        i = args.index("--dot")
+        try:
+            dot_path = pathlib.Path(args[i + 1])
+        except IndexError:
+            print("lint_locks: --dot needs a file", file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    if "--self-test" in args:
+        args.remove("--self-test")
+        fixtures = pathlib.Path(args[0]) if args else (
+            repo_root / "tools" / "lock_fixtures")
+        return self_test(fixtures)
+    paths = [pathlib.Path(a) for a in args] or [repo_root / "src"]
+    for p in paths:
+        if not p.exists():
+            print(f"lint_locks: no such path: {p}", file=sys.stderr)
+            return 2
+    linter = LockLinter(collect_files(paths))
+    findings = linter.run()
+    if graph_json_path is not None:
+        graph_json_path.write_text(linter.graph_json())
+    if dot_path is not None:
+        dot_path.write_text(linter.graph_dot())
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_locks: {len(findings)} finding(s)")
+        return 1
+    n_edges = len(linter.edges)
+    print(f"lint_locks: clean ({n_edges} lock-order edge(s), acyclic)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

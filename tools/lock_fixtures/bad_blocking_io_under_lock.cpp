@@ -1,0 +1,35 @@
+// Known-bad fixture: file I/O while holding a mutex — the StatsExporter
+// shape the lint exists to forbid (a slow disk under the stats mutex would
+// block Finish() and every worker publishing batch stats). One direct
+// WriteFileAtomic under the lock, plus a call to a helper that does stream
+// I/O (caught transitively through the call graph).
+// EXPECT: blocking-under-lock
+// EXPECT: blocking-under-lock
+#include <mutex>
+#include <string>
+
+namespace fixture {
+
+bool WriteFileAtomic(const std::string& path, const std::string& body);
+
+class Exporter {
+ public:
+  void Publish();
+  void WriteSnapshot(const std::string& path);
+
+ private:
+  std::mutex mu_;
+  std::string snapshot_;
+};
+
+void Exporter::WriteSnapshot(const std::string& path) {
+  std::ofstream out(path);  // stream I/O, no lock held here by itself
+}
+
+void Exporter::Publish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteFileAtomic("stats.json", snapshot_);  // direct I/O under mu_
+  WriteSnapshot("stats.txt");                // transitive I/O under mu_
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Known-bad fixture: regression shape for the dataset-cache finding — a
+// cache that holds its mutex across the (file-reading) load. Every other
+// cache user stalls behind one cold-miss disk read. The fixed pattern is
+// check-release-load-relock-insert (see src/cgdnn/data/dataset.cpp).
+// EXPECT: blocking-under-lock
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fixture {
+
+struct Blob {
+  std::string bytes;
+};
+
+Blob ReadBlobFile(const std::string& path) {
+  std::ifstream in(path);  // real file I/O
+  return Blob{};
+}
+
+std::mutex cache_mu;
+std::map<std::string, Blob> cache;
+
+const Blob& Load(const std::string& path) {
+  std::lock_guard<std::mutex> lock(cache_mu);
+  auto it = cache.find(path);
+  if (it == cache.end()) {
+    it = cache.emplace(path, ReadBlobFile(path)).first;  // I/O under lock
+  }
+  return it->second;
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Known-bad fixture: bare condition-variable waits. A wait without a
+// predicate returns on spurious wakeups and on missed-notify races; every
+// wait must restate its condition. Covers the bare timed overloads too
+// (wait_for/wait_until with no predicate argument).
+// EXPECT: condvar-predicate
+// EXPECT: condvar-predicate
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+std::mutex mu;
+std::condition_variable cv;
+bool done;
+
+void BareWait() {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock);  // no predicate: spurious wakeup falls through
+}
+
+void BareTimedWait() {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait_for(lock, std::chrono::milliseconds(10));  // no predicate
+}
+
+void GoodWait() {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [] { return done; });  // predicate overload: fine
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Known-bad fixture: direct lock-order inversion inside one file.
+// Thread 1 takes a then b; thread 2 takes b then a — classic ABBA deadlock.
+// EXPECT: lock-order
+#include <mutex>
+
+namespace fixture {
+
+std::mutex a;
+std::mutex b;
+int x;
+int y;
+
+void Thread1() {
+  std::lock_guard<std::mutex> la(a);
+  std::lock_guard<std::mutex> lb(b);  // edge a -> b
+  x = 1;
+}
+
+void Thread2() {
+  std::lock_guard<std::mutex> lb(b);
+  std::lock_guard<std::mutex> la(a);  // edge b -> a: cycle
+  y = 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,56 @@
+// Known-bad fixture: lock-order inversion only visible ACROSS functions —
+// the shape per-function analysis (and clang -Wthread-safety) cannot see.
+// Supervisor() holds supervisor_mu_ and calls Queue::Close(), which takes
+// queue_mu_; Worker() holds queue_mu_ (via Pop) and calls back into
+// Supervisor-side ReportStall(), which takes supervisor_mu_. The cycle only
+// exists in the cross-TU call graph.
+// EXPECT: lock-order
+#include <mutex>
+
+namespace fixture {
+
+class Supervisor {
+ public:
+  void Drain();
+  void ReportStall();
+
+ private:
+  std::mutex supervisor_mu_;
+  int stalls_ = 0;
+};
+
+class Queue {
+ public:
+  void Close();
+  int Pop(Supervisor* sup);
+
+ private:
+  std::mutex queue_mu_;
+  int depth_ = 0;
+};
+
+void Supervisor::Drain() {
+  std::lock_guard<std::mutex> lock(supervisor_mu_);
+  static Queue q;
+  q.Close();  // supervisor_mu_ -> queue_mu_ (transitive)
+}
+
+void Supervisor::ReportStall() {
+  std::lock_guard<std::mutex> lock(supervisor_mu_);
+  stalls_ += 1;
+}
+
+void Queue::Close() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  depth_ = 0;
+}
+
+int Queue::Pop(Supervisor* sup) {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (depth_ == 0) {
+    sup->ReportStall();  // queue_mu_ -> supervisor_mu_ (transitive): cycle
+  }
+  return depth_;
+}
+
+}  // namespace fixture

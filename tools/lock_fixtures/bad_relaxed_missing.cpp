@@ -1,0 +1,28 @@
+// Known-bad fixture: atomics without an explicit std::memory_order on a
+// hot path. Models the real findings fixed in serve/ (started_/stopped
+// exchanges were bare, i.e. silently seq_cst). The marker below opts this
+// file into the hot-path rule the way serve/ and blackbox/ paths are.
+// cgdnn-lint: hot-path
+// EXPECT: memory-order
+// EXPECT: memory-order
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<bool> g_started{false};
+std::atomic<std::uint64_t> g_epoch{0};
+
+bool StartOnce() {
+  return !g_started.exchange(true);  // bare: which ordering was intended?
+}
+
+std::uint64_t BumpEpoch() {
+  return g_epoch.fetch_add(1);  // bare fetch_add on the hot path
+}
+
+std::uint64_t ReadEpoch() {
+  return g_epoch.load(std::memory_order_acquire);  // explicit: fine
+}
+
+}  // namespace fixture

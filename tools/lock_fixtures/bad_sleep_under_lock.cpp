@@ -1,0 +1,20 @@
+// Known-bad fixture: sleeping while holding a lock stalls every other
+// thread contending for it — latency injected straight into the critical
+// section.
+// EXPECT: blocking-under-lock
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+std::mutex g_mu;
+int g_state;
+
+void SlowUpdate() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  g_state += 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Known-bad fixture: waiting on one mutex while holding ANOTHER. The wait
+// releases only its own mutex; the second lock stays held for the entire
+// wait, blocking everyone who needs it (and inviting deadlock if the waker
+// needs that lock to signal).
+// EXPECT: blocking-under-lock
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+std::mutex wait_mu;
+std::mutex other_mu;
+std::condition_variable cv;
+bool ready;
+
+void WaitHoldingBoth() {
+  std::lock_guard<std::mutex> held(other_mu);
+  std::unique_lock<std::mutex> lock(wait_mu);
+  cv.wait(lock, [] { return ready; });  // other_mu held across the wait
+}
+
+}  // namespace fixture

@@ -1,0 +1,63 @@
+// Known-good fixture: the patterns the tree actually uses, all clean.
+//  * publish-outside-lock: snapshot under the mutex, I/O after release
+//    (the fixed StatsExporter shape);
+//  * unlock-before-notify via early guard release;
+//  * predicate condvar waits;
+//  * explicit memory_order on hot-path atomics;
+//  * a documented suppression (the queue fault-drill sleep).
+// cgdnn-lint: hot-path
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace fixture {
+
+bool WriteFileAtomic(const std::string& path, const std::string& body);
+
+class Exporter {
+ public:
+  void Publish() {
+    std::string snap;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snap = snapshot_;
+    }
+    WriteFileAtomic("stats.json", snap);  // lock already released: fine
+  }
+
+  void Signal() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_ = true;
+    lock.unlock();
+    cv_.notify_one();  // notify after release: no hurry-up-and-wait
+  }
+
+  void Await() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return ready_; });
+  }
+
+  void FaultDrill() {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Deliberate stall drill, mirrors serve/queue.cpp.
+    // cgdnn-lint: allow(blocking-under-lock)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+  std::string snapshot_;
+};
+
+std::atomic<bool> g_armed{false};
+
+bool ArmOnce() {
+  return !g_armed.exchange(true, std::memory_order_acq_rel);
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Known-good fixture: consistent nesting is fine. Both paths take the
+// locks in the same order (coarse -> fine), directly in one function and
+// transitively through a call — the graph has edges but no cycle.
+#include <mutex>
+
+namespace fixture {
+
+class Fine {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(fine_mu_);
+    n_ += 1;
+  }
+
+ private:
+  std::mutex fine_mu_;
+  int n_ = 0;
+};
+
+class Coarse {
+ public:
+  void DirectNesting() {
+    std::lock_guard<std::mutex> outer(coarse_mu_);
+    std::lock_guard<std::mutex> inner(member_mu_);  // coarse -> member
+    total_ += 1;
+  }
+
+  void ThroughCall(Fine* fine) {
+    std::lock_guard<std::mutex> outer(coarse_mu_);
+    fine->Touch();  // coarse -> fine, same direction everywhere
+  }
+
+ private:
+  std::mutex coarse_mu_;
+  std::mutex member_mu_;
+  int total_ = 0;
+};
+
+}  // namespace fixture

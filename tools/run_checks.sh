@@ -2,9 +2,14 @@
 # One-stop static + dynamic analysis gate (docs/correctness.md):
 #
 #   1. tools/lint_parallel.py         — parallel-discipline lint over src/
-#   2. tools/run_clang_tidy.sh        — clang-tidy, if installed
-#   3. sanitize preset (ASan+UBSan)   — parallel-relevant test suites
-#   4. tsan preset (ThreadSanitizer)  — same suites, tsan.supp applied
+#   2. tools/lint_locks.py            — lock-discipline lint (order graph,
+#                                       blocking-under-lock, condvar
+#                                       predicates, memory_order) plus the
+#                                       clang -Wthread-safety build when
+#                                       clang++ is installed
+#   3. tools/run_clang_tidy.sh        — clang-tidy, if installed
+#   4. sanitize preset (ASan+UBSan)   — parallel-relevant test suites
+#   5. tsan preset (ThreadSanitizer)  — same suites, tsan.supp applied
 #
 # Sanitizer stages build incrementally into build-sanitize/ and build-tsan/.
 # Skippable pieces (no clang-tidy, no TSan support in the toolchain) are
@@ -35,7 +40,7 @@ result() {  # result <name> <status>  (status 0 pass, 77 skip, else fail)
 # merge/privatizer/coalescing unit tests, and the cgdnn-check runtime
 # checker. Anchored names: a bare "Merge" would also pull in the (slow)
 # convergence training runs.
-parallel_tests='ParallelEquivalence|PerLayerThreadSweep|WriteSetCheckerTest|CheckedModels|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest|ServeTest|ServeStatsTest'
+parallel_tests='ParallelEquivalence|PerLayerThreadSweep|WriteSetCheckerTest|CheckedModels|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest|ServeTest|ServeStatsTest|SyncPrimitives'
 # TSan runs the unit-level parallel suites plus single-thread model passes.
 # Whole-model multi-thread runs are excluded: TSan-instrumented GEMM inner
 # loops plus libgomp's ordered-section spin wait (which ignores
@@ -53,11 +58,27 @@ parallel_tests='ParallelEquivalence|PerLayerThreadSweep|WriteSetCheckerTest|Chec
 # ServeStatsTest (live-stats exporter) joins the same way: the sliding-
 # window/exemplar/publisher concurrency cases run under TSan, the two
 # model-forward cases (stage telescoping, trace flows) under ASan only.
-tsan_tests='WriteSetCheckerTest|CheckedModels.*threads1$|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest|ServeTest\.(QueueIsBounded|ExpiredRequests|CompleteOnce|ServerForwards|AdmissionSheds|DegradationLadder|StalledWorker|DropResponse)|ServeStatsTest\.(SlidingHistogram|SlidingCounter|Exemplars|TailClassifier|SnapshotFile)'
+tsan_tests='WriteSetCheckerTest|CheckedModels.*threads1$|MergeModes|MergeOrdered\.|MergeTree\.|PrivatizationPool|CoalescedRange|StaticChunk|BlackboxTest|ServeTest\.(QueueIsBounded|ExpiredRequests|CompleteOnce|ServerForwards|AdmissionSheds|DegradationLadder|StalledWorker|DropResponse)|ServeStatsTest\.(SlidingHistogram|SlidingCounter|Exemplars|TailClassifier|SnapshotFile)|SyncPrimitives'
 
 note "lint_parallel"
 python3 tools/lint_parallel.py --self-test && python3 tools/lint_parallel.py
 result "lint_parallel" $?
+
+note "lock-lint"
+# Lock-discipline gate (docs/correctness.md "Concurrency contracts"):
+# fixture self-test, then the tree run — any new violation exits 1. The
+# tree run refreshes the lock-order graph artifacts under build/.
+mkdir -p build
+python3 tools/lint_locks.py --self-test && \
+  python3 tools/lint_locks.py --graph-json build/lock_order.json \
+    --dot build/lock_order.dot
+result "lock-lint" $?
+
+note "thread-safety (clang -Wthread-safety -Werror)"
+# Availability-gated like clang-tidy: GCC cannot run the analysis, so the
+# stage SKIPs on images without clang++ (the script itself exits 77).
+bash tools/thread_safety_check.sh
+result "thread-safety" $?
 
 note "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then

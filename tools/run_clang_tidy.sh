@@ -4,8 +4,9 @@
 # Usage: run_clang_tidy.sh [--subset] [build-dir]
 #
 #   --subset    only the concurrency-critical sources (parallel/, check/,
-#               layer parallel paths) — what the clang_tidy_parallel ctest
-#               case runs; the full tree is the default for local use.
+#               layer parallel paths, serve/, blackbox/) — what the
+#               clang_tidy_parallel ctest case runs; the full tree is the
+#               default for local use.
 #   build-dir   directory holding compile_commands.json (default: build).
 #
 # Exits 0 when clang-tidy reports nothing, 1 on findings, 2 when the
@@ -33,7 +34,8 @@ fi
 if [[ ${subset} -eq 1 ]]; then
   mapfile -t files < <(
     find "${repo_root}/src/cgdnn/parallel" "${repo_root}/src/cgdnn/check" \
-         "${repo_root}/src/cgdnn/layers" -name '*.cpp' | sort)
+         "${repo_root}/src/cgdnn/layers" "${repo_root}/src/cgdnn/serve" \
+         "${repo_root}/src/cgdnn/blackbox" -name '*.cpp' | sort)
 else
   mapfile -t files < <(find "${repo_root}/src" -name '*.cpp' | sort)
 fi

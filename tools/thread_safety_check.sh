@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build the library under clang's Thread Safety Analysis with warnings as
+# errors — the enforcing pass over every CGDNN_GUARDED_BY/REQUIRES/ACQUIRE
+# annotation in src/cgdnn/core/thread_annotations.hpp users
+# (docs/correctness.md "Concurrency contracts").
+#
+# Usage: thread_safety_check.sh [build-dir]
+#   build-dir   out-of-tree build directory (default: <repo>/build-tidy,
+#               matching the `tidy` CMake preset).
+#
+# Exits 0 when the annotated tree compiles -Wthread-safety-clean, 1 on any
+# thread-safety (or other) diagnostic, 77 when clang++ is unavailable (GCC
+# cannot run the analysis; ctest and run_checks.sh treat 77 as SKIP).
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tidy}"
+
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "thread_safety_check: clang++ not found on PATH — SKIP" \
+       "(GCC has no thread-safety analysis)" >&2
+  exit 77
+fi
+
+set -x
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_CXX_COMPILER=clang++ \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCGDNN_WERROR=ON \
+  -DCGDNN_BUILD_TESTS=OFF \
+  -DCGDNN_BUILD_BENCH=OFF \
+  -DCGDNN_BUILD_EXAMPLES=OFF || exit 1
+cmake --build "${build_dir}" --target cgdnn -j "$(nproc)" || exit 1
+set +x
+echo "thread_safety_check: clean (-Wthread-safety -Werror)"
+exit 0
